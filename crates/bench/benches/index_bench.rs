@@ -1,0 +1,74 @@
+//! Criterion: index construction — compact vs standard interval tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oociso_itree::{CompactIntervalTree, StandardIntervalTree};
+use oociso_metacell::MetacellInterval;
+
+fn synth_intervals(n: u32, endpoints: u32) -> Vec<MetacellInterval> {
+    (0..n)
+        .map(|i| {
+            let lo = (i.wrapping_mul(2654435761)) % endpoints;
+            let span = 1 + (i.wrapping_mul(40503)) % (endpoints / 4).max(1);
+            MetacellInterval::new(i, lo, (lo + span).min(endpoints))
+        })
+        .collect()
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    for &n in &[1_000u32, 10_000, 50_000] {
+        let intervals = synth_intervals(n, 255);
+        group.bench_with_input(BenchmarkId::new("compact", n), &intervals, |b, iv| {
+            b.iter(|| {
+                let mut cursor = 0u64;
+                CompactIntervalTree::build(iv, &mut |_| {
+                    let s = oociso_exio::Span {
+                        offset: cursor,
+                        len: 734,
+                    };
+                    cursor += 734;
+                    Ok(s)
+                })
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("standard", n), &intervals, |b, iv| {
+            b.iter(|| StandardIntervalTree::build(iv))
+        });
+    }
+    group.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let intervals = synth_intervals(50_000, 255);
+    let mut cursor = 0u64;
+    let tree = CompactIntervalTree::build(&intervals, &mut |_| {
+        let s = oociso_exio::Span {
+            offset: cursor,
+            len: 734,
+        };
+        cursor += 734;
+        Ok(s)
+    })
+    .unwrap();
+    let std_tree = StandardIntervalTree::build(&intervals);
+    let mut group = c.benchmark_group("query_plan");
+    group.bench_function("compact_plan", |b| {
+        let mut iso = 0u32;
+        b.iter(|| {
+            iso = (iso + 37) % 255;
+            tree.plan(iso)
+        })
+    });
+    group.bench_function("standard_stab", |b| {
+        let mut iso = 0u32;
+        b.iter(|| {
+            iso = (iso + 37) % 255;
+            std_tree.stab(iso)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds, bench_planning);
+criterion_main!(benches);

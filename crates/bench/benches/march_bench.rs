@@ -1,0 +1,52 @@
+//! Criterion: triangle generation — Marching Cubes vs Marching Tetrahedra.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oociso_march::{marching_cubes, marching_tetrahedra, TriangleSoup, Vec3};
+use oociso_volume::field::{FieldExt, GyroidField, SphereField};
+use oociso_volume::{Dims3, Volume};
+
+fn bench_extractors(c: &mut Criterion) {
+    let sphere: Volume<u8> = SphereField::centered(0.35, 128.0).sample(Dims3::cube(48));
+    let gyroid: Volume<u8> = GyroidField {
+        cells: 4.0,
+        level: 128.0,
+        amplitude: 80.0,
+    }
+    .sample(Dims3::cube(48));
+
+    let mut group = c.benchmark_group("triangulation");
+    let cells = 47u64 * 47 * 47;
+    group.throughput(Throughput::Elements(cells));
+    for (name, vol) in [("sphere", &sphere), ("gyroid", &gyroid)] {
+        group.bench_function(format!("mc_{name}"), |b| {
+            b.iter(|| {
+                let mut soup = TriangleSoup::new();
+                marching_cubes(vol, 128.0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
+                soup
+            })
+        });
+        group.bench_function(format!("mt_{name}"), |b| {
+            b.iter(|| {
+                let mut soup = TriangleSoup::new();
+                marching_tetrahedra(vol, 128.0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
+                soup
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_metacell_unit(c: &mut Criterion) {
+    // one 9×9×9 metacell — the per-record unit of the pipeline
+    let cell: Volume<u8> = SphereField::centered(0.4, 128.0).sample(Dims3::cube(9));
+    c.bench_function("mc_one_metacell", |b| {
+        b.iter(|| {
+            let mut soup = TriangleSoup::new();
+            marching_cubes(&cell, 128.0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
+            soup
+        })
+    });
+}
+
+criterion_group!(benches, bench_extractors, bench_metacell_unit);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion: end-to-end cluster extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oociso_cluster::{Cluster, ClusterBuildOptions};
+use oociso_volume::{Dims3, RmProxy};
+
+fn bench_extract(c: &mut Criterion) {
+    let dims = Dims3::new(64, 64, 60);
+    let vol = RmProxy::with_seed(7).volume(200, dims);
+    let mut group = c.benchmark_group("cluster_extract");
+    group.sample_size(20);
+    for &nodes in &[1usize, 2, 4] {
+        let dir = std::env::temp_dir().join(format!(
+            "oociso_qbench_{}_{nodes}",
+            std::process::id()
+        ));
+        let (cluster, _) = Cluster::build(
+            &vol,
+            &dir,
+            nodes,
+            &ClusterBuildOptions {
+                metacell_k: 9,
+                mmap: true,
+            },
+        )
+        .unwrap();
+        let tris = cluster.extract(110.0).unwrap().report.total_triangles();
+        group.throughput(Throughput::Elements(tris));
+        group.bench_with_input(BenchmarkId::new("extract_iso110", nodes), &cluster, |b, cl| {
+            b.iter(|| cl.extract(110.0).unwrap())
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+fn bench_isovalue_sensitivity(c: &mut Criterion) {
+    let dims = Dims3::new(64, 64, 60);
+    let vol = RmProxy::with_seed(7).volume(200, dims);
+    let dir = std::env::temp_dir().join(format!("oociso_qbench_io_{}", std::process::id()));
+    let (cluster, _) = Cluster::build(
+        &vol,
+        &dir,
+        1,
+        &ClusterBuildOptions {
+            metacell_k: 9,
+            mmap: true,
+        },
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("query_isovalues");
+    group.sample_size(20);
+    for iso in [30.0f32, 110.0, 190.0] {
+        group.bench_with_input(
+            BenchmarkId::new("extract", iso as u32),
+            &iso,
+            |b, &iso| b.iter(|| cluster.extract(iso).unwrap()),
+        );
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_extract, bench_isovalue_sensitivity);
+criterion_main!(benches);

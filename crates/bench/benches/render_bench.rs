@@ -1,0 +1,60 @@
+//! Criterion: rasterization and sort-last compositing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oociso_march::{marching_cubes, TriangleSoup, Vec3};
+use oociso_render::{rasterize_soup, z_merge, Camera, Framebuffer, TileLayout};
+use oociso_volume::field::{FieldExt, SphereField};
+use oociso_volume::{Dims3, Volume};
+
+fn sphere_soup() -> TriangleSoup {
+    let vol: Volume<u8> = SphereField::centered(0.35, 128.0).sample(Dims3::cube(40));
+    let mut soup = TriangleSoup::new();
+    marching_cubes(&vol, 128.0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
+    soup
+}
+
+fn bench_raster(c: &mut Criterion) {
+    let soup = sphere_soup();
+    let camera = Camera::orbiting(&soup.bounds(), 0.7, 0.4, 2.5);
+    let mut group = c.benchmark_group("raster");
+    group.throughput(Throughput::Elements(soup.len() as u64));
+    for res in [256usize, 512] {
+        group.bench_function(format!("rasterize_{res}"), |b| {
+            let mut fb = Framebuffer::new(res, res);
+            b.iter(|| {
+                fb.clear();
+                rasterize_soup(&soup, &camera, [0.9, 0.8, 0.6], &mut fb)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_composite(c: &mut Criterion) {
+    let soup = sphere_soup();
+    let camera = Camera::orbiting(&soup.bounds(), 0.7, 0.4, 2.5);
+    let res = 512;
+    let mut fb = Framebuffer::new(res, res);
+    rasterize_soup(&soup, &camera, [0.9, 0.8, 0.6], &mut fb);
+    let buffers: Vec<Framebuffer> = (0..4).map(|_| fb.clone()).collect();
+    let layout = TileLayout::paper_wall(res, res);
+
+    let mut group = c.benchmark_group("composite");
+    group.throughput(Throughput::Bytes(
+        (res * res) as u64 * Framebuffer::BYTES_PER_PIXEL * 4,
+    ));
+    group.bench_function("sort_last_4node_512", |b| {
+        b.iter(|| layout.composite(&buffers))
+    });
+    group.bench_function("z_merge_pair_512", |b| {
+        b.iter(|| {
+            let mut dst = buffers[0].clone();
+            z_merge(&mut dst, &buffers[1]);
+            dst
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raster, bench_composite);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion: striped preprocessing (scan + build + write).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oociso_cluster::{Cluster, ClusterBuildOptions};
+use oociso_metacell::{scan_volume, MetacellLayout};
+use oociso_volume::{Dims3, RmProxy, Volume};
+
+fn bench_scan(c: &mut Criterion) {
+    let dims = Dims3::new(64, 64, 60);
+    let vol: Volume<u8> = RmProxy::with_seed(3).volume(150, dims);
+    let layout = MetacellLayout::paper(dims);
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(dims.raw_bytes::<u8>() as u64));
+    group.bench_function("metacell_scan", |b| b.iter(|| scan_volume(&vol, &layout)));
+    group.finish();
+}
+
+fn bench_cluster_build(c: &mut Criterion) {
+    let dims = Dims3::new(48, 48, 45);
+    let vol: Volume<u8> = RmProxy::with_seed(3).volume(150, dims);
+    let mut group = c.benchmark_group("cluster_build");
+    group.sample_size(10);
+    for &nodes in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("build", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let dir = std::env::temp_dir().join(format!(
+                    "oociso_sbench_{}_{n}",
+                    std::process::id()
+                ));
+                let out = Cluster::build(
+                    &vol,
+                    &dir,
+                    n,
+                    &ClusterBuildOptions {
+                        metacell_k: 9,
+                        mmap: false,
+                    },
+                )
+                .unwrap();
+                std::fs::remove_dir_all(&dir).ok();
+                out.1
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_cluster_build);
+criterion_main!(benches);

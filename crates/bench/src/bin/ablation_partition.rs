@@ -1,0 +1,69 @@
+//! **Ablation A** — data distribution: the paper's round-robin brick striping
+//! vs the range-space partition of prior work (Zhang–Bajaj–Blanke [21]).
+//!
+//! §2's claim: under range partitioning "one can have a case in which the
+//! distribution of active cells among the processors for a given isovalue
+//! could be extremely unbalanced", while striping balances every isovalue.
+//!
+//! Run: `cargo run --release -p oociso-bench --bin ablation_partition`
+
+use oociso_bench::{bench_dims, bench_step, paper_isovalues, rm_volume, TextTable};
+use oociso_itree::striped::{
+    active_counts, range_partition, round_robin_partition, staggered_round_robin_partition,
+};
+use oociso_metacell::{scan_volume, MetacellInterval, MetacellLayout};
+
+fn main() {
+    let dims = bench_dims();
+    let vol = rm_volume(bench_step(), dims);
+    let layout = MetacellLayout::paper(dims);
+    let (built, _) = scan_volume(&vol, &layout);
+    let intervals: Vec<MetacellInterval> = built.iter().map(|b| b.interval).collect();
+    let p = 4;
+    println!(
+        "Ablation A: load balance of {} metacells across {p} nodes\n",
+        intervals.len()
+    );
+
+    let rr = round_robin_partition(&intervals, p);
+    let st = staggered_round_robin_partition(&intervals, p);
+    let rp = range_partition(&intervals, p);
+
+    let mut table = TextTable::new(&[
+        "iso",
+        "active",
+        "striping max/mean",
+        "staggered max/mean",
+        "range max/mean",
+        "range worst node share",
+    ]);
+    let mut worst_rr: f64 = 1.0;
+    let mut worst_st: f64 = 1.0;
+    let mut worst_rp: f64 = 1.0;
+    for &iso in &paper_isovalues() {
+        let key = iso as u32;
+        let a = active_counts(&intervals, &rr, p, key);
+        let s = active_counts(&intervals, &st, p, key);
+        let b = active_counts(&intervals, &rp, p, key);
+        worst_rr = worst_rr.max(a.imbalance());
+        worst_st = worst_st.max(s.imbalance());
+        worst_rp = worst_rp.max(b.imbalance());
+        table.row(vec![
+            format!("{iso:.0}"),
+            a.total().to_string(),
+            format!("{:.3}", a.imbalance()),
+            format!("{:.3}", s.imbalance()),
+            format!("{:.3}", b.imbalance()),
+            format!("{:.0}%", 100.0 * b.max() as f64 / b.total().max(1) as f64),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nworst-case imbalance across the sweep: striping {worst_rr:.3}, staggered {worst_st:.3}, range {worst_rp:.3}"
+    );
+    println!("(1.0 = perfect balance; parallel completion time scales with this factor —");
+    println!(
+        "a {p}-node run under range partitioning degrades toward a {worst_rp:.2}x slowdown;"
+    );
+    println!("staggered striping is an oociso extension removing the paper scheme's node-0 bias)");
+}

@@ -1,0 +1,187 @@
+//! **Tables 2–5 and Figures 5–6** — single-step extraction performance on
+//! 1, 2, 4 and 8 nodes across the isovalue sweep 10…210.
+//!
+//! For each node count the binary prints a table in the paper's format:
+//! active metacells, AMC retrieval time, triangulation time, rendering time,
+//! triangles, and MTri/s. Times come in two flavors:
+//!
+//! * *simulated* — I/O priced at the paper's 50 MB/s disk, triangulation and
+//!   rendering at fixed per-triangle rates, compositing at 10 Gbps
+//!   (see `SimulatedTimeModel`); these reproduce the *shape* of the paper's
+//!   numbers independent of host hardware;
+//! * *measured* — wall-clock on this machine (informational; with fewer
+//!   physical cores than simulated nodes the parallel wall times are
+//!   contention-bound).
+//!
+//! Figures 5 (overall time vs isovalue per p) and 6 (speedup vs isovalue)
+//! are emitted as CSV files under the data directory.
+//!
+//! Run: `cargo run --release -p oociso-bench --bin table2_5`
+
+use oociso_bench::{bench_dims, bench_step, cached_cluster, paper_isovalues, secs, write_csv, TextTable};
+use oociso_cluster::{NodeReport, SimulatedTimeModel};
+use std::time::Duration;
+
+const DISPLAY: (usize, usize) = (1024, 1024);
+const TILES: usize = 4;
+
+/// Workload scale factor mapping our default 256×256×240 proxy to the
+/// paper's full 2048×2048×1920 dataset (512× the voxels; the paper's
+/// 100–650M-triangle surfaces vs our 0.27–0.72M). The time model is linear
+/// in per-node bytes/triangles while the index and brick *structure* are
+/// independent of data size (n ≤ 256 endpoints), so scaling the counts —
+/// seeks and composite held fixed — evaluates the same model at the paper's
+/// workload. These are the speedup curves comparable to Figures 5–6.
+const PAPER_SCALE: u64 = 512;
+
+/// Simulated node time at workload scale `s`.
+///
+/// Per-node *means* scale with the data (each brick holds `s×` the records);
+/// per-node *deviations* from the mean stay absolute — the striping
+/// guarantee bounds them by ±1 record per brick irrespective of brick
+/// population. Seek counts and the composite are data-size independent.
+fn node_time_scaled(
+    model: &SimulatedTimeModel,
+    n: &NodeReport,
+    mean_bytes: f64,
+    mean_tris: f64,
+    s: u64,
+) -> Duration {
+    let s = s as f64;
+    let bytes = (n.io.bytes_read + n.io.skip_bytes) as f64;
+    let scaled_bytes = (mean_bytes * s + (bytes - mean_bytes)).max(0.0);
+    let tris = n.triangles as f64;
+    let scaled_tris = (mean_tris * s + (tris - mean_tris)).max(0.0);
+    let io = model.disk.seek.mul_f64(n.io.seeks as f64)
+        + Duration::from_secs_f64(scaled_bytes / model.disk.bytes_per_sec);
+    let tri = Duration::from_secs_f64(scaled_tris / model.tris_per_sec);
+    let ren = Duration::from_secs_f64(scaled_tris / model.render_tris_per_sec);
+    io + tri + ren
+}
+
+fn main() {
+    let dims = bench_dims();
+    let step = bench_step();
+    let model = SimulatedTimeModel::paper();
+    println!(
+        "Tables 2-5: RM proxy step {step} at {}x{}x{} (OOCISO_DIMS to change)\n",
+        dims.nx, dims.ny, dims.nz
+    );
+
+    let mut fig5_rows: Vec<String> = Vec::new();
+    let mut fig6_rows: Vec<String> = Vec::new();
+    let mut fig5p_rows: Vec<String> = Vec::new();
+    let mut fig6p_rows: Vec<String> = Vec::new();
+    // simulated serial totals per isovalue (denominator of the speedups)
+    let mut serial_time: Vec<f64> = Vec::new();
+    let mut serial_time_paper: Vec<f64> = Vec::new();
+    let mut paper_speedup_range: Vec<(usize, f64, f64)> = Vec::new();
+
+    for &nodes in &[1usize, 2, 4, 8] {
+        let (cluster, _) = cached_cluster(step, dims, nodes);
+        println!("== Table {} ({} node{}) ==", 2 + nodes.trailing_zeros(), nodes, if nodes > 1 { "s" } else { "" });
+        let mut table = TextTable::new(&[
+            "iso", "AMC", "AMC io (sim s)", "triang (sim s)", "render (sim s)",
+            "total (sim s)", "triangles", "MTri/s (sim)", "wall (meas s)",
+        ]);
+        for (i, &iso) in paper_isovalues().iter().enumerate() {
+            let e = cluster.extract(iso).expect("extract");
+            let r = &e.report;
+            let sim_io: Duration = r.nodes.iter().map(|n| model.node_io_time(n)).max().unwrap();
+            let sim_tri: Duration = r
+                .nodes
+                .iter()
+                .map(|n| model.node_triangulation_time(n))
+                .max()
+                .unwrap();
+            let sim_ren: Duration = r
+                .nodes
+                .iter()
+                .map(|n| model.node_render_time(n))
+                .max()
+                .unwrap();
+            let sim_total = model.query_time(r, TILES, DISPLAY);
+            let tris = r.total_triangles();
+            let mtris = tris as f64 / 1e6 / sim_total.as_secs_f64().max(1e-12);
+            table.row(vec![
+                format!("{iso:.0}"),
+                r.total_active_metacells().to_string(),
+                secs(sim_io),
+                secs(sim_tri),
+                secs(sim_ren),
+                secs(sim_total),
+                tris.to_string(),
+                format!("{mtris:.2}"),
+                secs(r.total_wall),
+            ]);
+            if nodes == 1 {
+                serial_time.push(sim_total.as_secs_f64());
+            }
+            fig5_rows.push(format!("{nodes},{iso},{}", sim_total.as_secs_f64()));
+            if nodes > 1 {
+                let speedup = serial_time[i] / sim_total.as_secs_f64().max(1e-12);
+                fig6_rows.push(format!("{nodes},{iso},{speedup:.3}"));
+            }
+
+            // paper-workload-scale variant (counts × PAPER_SCALE)
+            let mean_bytes = r
+                .nodes
+                .iter()
+                .map(|n| (n.io.bytes_read + n.io.skip_bytes) as f64)
+                .sum::<f64>()
+                / r.nodes.len() as f64;
+            let mean_tris =
+                r.nodes.iter().map(|n| n.triangles as f64).sum::<f64>() / r.nodes.len() as f64;
+            let bottleneck = r
+                .nodes
+                .iter()
+                .map(|n| node_time_scaled(&model, n, mean_bytes, mean_tris, PAPER_SCALE))
+                .max()
+                .unwrap();
+            let total_paper =
+                bottleneck + model.composite_time(nodes, TILES, DISPLAY);
+            if nodes == 1 {
+                serial_time_paper.push(total_paper.as_secs_f64());
+            }
+            fig5p_rows.push(format!("{nodes},{iso},{}", total_paper.as_secs_f64()));
+            if nodes > 1 {
+                let sp = serial_time_paper[i] / total_paper.as_secs_f64().max(1e-12);
+                fig6p_rows.push(format!("{nodes},{iso},{sp:.3}"));
+                match paper_speedup_range.iter_mut().find(|e| e.0 == nodes) {
+                    Some(e) => {
+                        e.1 = e.1.min(sp);
+                        e.2 = e.2.max(sp);
+                    }
+                    None => paper_speedup_range.push((nodes, sp, sp)),
+                }
+            }
+        }
+        table.print();
+        println!();
+    }
+
+    let f5 = write_csv("figure5_overall_time.csv", "nodes,isovalue,sim_seconds", &fig5_rows);
+    let f6 = write_csv("figure6_speedup.csv", "nodes,isovalue,speedup", &fig6_rows);
+    let f5p = write_csv(
+        "figure5_overall_time_paperscale.csv",
+        "nodes,isovalue,sim_seconds",
+        &fig5p_rows,
+    );
+    let f6p = write_csv(
+        "figure6_speedup_paperscale.csv",
+        "nodes,isovalue,speedup",
+        &fig6p_rows,
+    );
+    println!("Figure 5 series written to {}", f5.display());
+    println!("Figure 6 series written to {}", f6.display());
+    println!("Paper-workload-scale variants: {} and {}", f5p.display(), f6p.display());
+
+    println!("\nspeedup ranges at paper workload scale (counts x{PAPER_SCALE}):");
+    for (p, lo, hi) in &paper_speedup_range {
+        println!("  p={p}: {lo:.2} .. {hi:.2}");
+    }
+    println!("\npaper's reference points: ~4 MTri/s on one node; speedups 3.54-3.97 (p=4)");
+    println!("and 6.91-7.83 (p=8) across the sweep. At our 512x-reduced data scale the");
+    println!("fixed composite cost caps raw speedups earlier; the paper-scale rows above");
+    println!("evaluate the same linear time model at the paper's workload magnitude.");
+}

@@ -1,0 +1,607 @@
+//! The cluster: build, open, and query.
+
+use crate::meta::ClusterMeta;
+use crate::timing::{NodeReport, QueryReport};
+use oociso_exio::{DiskFarm, RecordStore};
+use oociso_itree::plan::execute_plan;
+use oociso_itree::{persist, CompactIntervalTree, MetacellRecordFormat};
+use oociso_march::mc::{marching_cubes, McStats};
+use oociso_march::{TriangleSoup, Vec3};
+use oociso_metacell::{scan_volume, MetacellInterval, MetacellLayout, MetacellRecord, PreprocessStats};
+use oociso_render::{rasterize_soup, Camera, Framebuffer, TileLayout};
+use oociso_volume::{ScalarValue, Volume};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Options for building a cluster dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterBuildOptions {
+    /// Metacell vertices per axis (paper: 9).
+    pub metacell_k: usize,
+    /// Open the brick stores memory-mapped.
+    pub mmap: bool,
+}
+
+impl Default for ClusterBuildOptions {
+    fn default() -> Self {
+        ClusterBuildOptions {
+            metacell_k: 9,
+            mmap: false,
+        }
+    }
+}
+
+/// The result of one parallel extraction: per-node triangle soups plus the
+/// per-phase report.
+#[derive(Clone, Debug)]
+pub struct ClusterExtraction {
+    /// One triangle soup per node (local geometry, already in global
+    /// coordinates).
+    pub soups: Vec<TriangleSoup>,
+    /// Per-node and aggregate measurements.
+    pub report: QueryReport,
+}
+
+impl ClusterExtraction {
+    /// Merge all node soups into one (for single-image rendering or export).
+    pub fn merged_soup(&self) -> TriangleSoup {
+        let mut out = TriangleSoup::with_capacity(
+            self.soups.iter().map(TriangleSoup::len).sum(),
+        );
+        for s in &self.soups {
+            out.append(s.clone());
+        }
+        out
+    }
+}
+
+/// A `p`-node cluster over a preprocessed dataset directory.
+///
+/// Each node owns `node<i>.bricks` (its stripe of every brick) and
+/// `node<i>.index` (its local compact interval tree). Queries run one OS
+/// thread per node, sharing nothing but the read-only index and its own
+/// store — the paper's shared-nothing execution, minus MPI.
+pub struct Cluster<S: ScalarValue> {
+    dir: PathBuf,
+    nodes: usize,
+    layout: MetacellLayout,
+    format: MetacellRecordFormat<S>,
+    trees: Vec<CompactIntervalTree>,
+    stores: Vec<RecordStore>,
+}
+
+fn index_path(dir: &Path, node: usize) -> PathBuf {
+    dir.join(format!("node{node:03}.index"))
+}
+
+impl<S: ScalarValue> Cluster<S> {
+    /// Preprocess `vol` into `dir` for `nodes` nodes: scan metacells, cull
+    /// constants, stripe bricks round-robin across per-node stores, build and
+    /// persist per-node compact interval trees.
+    pub fn build(
+        vol: &Volume<S>,
+        dir: &Path,
+        nodes: usize,
+        opts: &ClusterBuildOptions,
+    ) -> io::Result<(Self, PreprocessStats)> {
+        assert!(nodes > 0);
+        let layout = MetacellLayout::new(vol.dims(), opts.metacell_k);
+        let (built, stats) = scan_volume(vol, &layout);
+        let intervals: Vec<MetacellInterval> = built.iter().map(|b| b.interval).collect();
+
+        let farm = DiskFarm::new(dir, nodes);
+        let mut writers = farm.create_writers()?;
+        let trees = CompactIntervalTree::build_striped(&intervals, nodes, &mut |stripe, iv| {
+            let idx = built
+                .binary_search_by_key(&iv.id, |b| b.interval.id)
+                .expect("interval id from this build");
+            writers[stripe].append(&built[idx].record.encode())
+        })?;
+        for w in writers {
+            w.finish()?;
+        }
+        for (i, tree) in trees.iter().enumerate() {
+            persist::save(tree, &index_path(dir, i))?;
+        }
+        ClusterMeta {
+            dims: vol.dims(),
+            metacell_k: opts.metacell_k,
+            scalar: S::NAME.to_string(),
+            nodes,
+        }
+        .save(dir)?;
+
+        let stores = farm.open_stores(opts.mmap)?;
+        Ok((
+            Cluster {
+                dir: dir.to_path_buf(),
+                nodes,
+                layout,
+                format: MetacellRecordFormat::new(layout),
+                trees,
+                stores,
+            },
+            stats,
+        ))
+    }
+
+    /// Preprocess a raw volume **file** into `dir` without ever holding the
+    /// volume in memory — the true out-of-core preprocessing path.
+    ///
+    /// Two streaming passes over the file (the paper likens preprocessing
+    /// cost to an external sort):
+    ///
+    /// 1. stream z-slabs, computing every metacell's `(vmin, vmax)` interval
+    ///    (constant metacells culled); build the striped trees with a
+    ///    *dry-run* sink that only assigns each record its destination
+    ///    `(stripe, offset)` — no payload exists yet;
+    /// 2. stream z-slabs again, encoding each kept record and writing it at
+    ///    its pre-assigned offset via positioned writes.
+    ///
+    /// Peak memory is one slab (`nx × ny × k` samples) plus the interval list
+    /// and index — independent of `nz`.
+    pub fn build_from_file(
+        volume_path: &Path,
+        dir: &Path,
+        nodes: usize,
+        opts: &ClusterBuildOptions,
+    ) -> io::Result<(Self, PreprocessStats)> {
+        use std::os::unix::fs::FileExt;
+        assert!(nodes > 0);
+        let mut reader = oociso_volume::io::RawVolumeReader::<S>::open(volume_path)?;
+        let layout = MetacellLayout::new(reader.dims(), opts.metacell_k);
+
+        // Pass 1: intervals only (records dropped immediately).
+        let mut intervals: Vec<MetacellInterval> = Vec::new();
+        let stats = oociso_metacell::scan_reader(&mut reader, opts.metacell_k, |built| {
+            intervals.push(built.interval);
+        })?;
+
+        // Dry-run striped build: assign offsets, build trees.
+        let mut cursors = vec![0u64; nodes];
+        // placement[kept_index] = (stripe, offset); intervals are sorted by id
+        let mut placement: Vec<(usize, u64)> = vec![(0, 0); intervals.len()];
+        let trees = CompactIntervalTree::build_striped(&intervals, nodes, &mut |stripe, iv| {
+            let len = layout.record_len(iv.id, S::BYTES) as u64;
+            let offset = cursors[stripe];
+            cursors[stripe] += len;
+            let idx = intervals
+                .binary_search_by_key(&iv.id, |v| v.id)
+                .expect("id from this scan");
+            placement[idx] = (stripe, offset);
+            Ok(oociso_exio::Span { offset, len })
+        })?;
+
+        // Create store files sized up front.
+        std::fs::create_dir_all(dir)?;
+        let farm = DiskFarm::new(dir, nodes);
+        let files: Vec<std::fs::File> = (0..nodes)
+            .map(|i| {
+                let f = std::fs::File::create(farm.store_path(i))?;
+                f.set_len(cursors[i])?;
+                Ok(f)
+            })
+            .collect::<io::Result<_>>()?;
+
+        // Pass 2: stream again, writing each record at its placement.
+        let mut reader = oociso_volume::io::RawVolumeReader::<S>::open(volume_path)?;
+        let mut kept_cursor = 0usize;
+        oociso_metacell::scan_reader(&mut reader, opts.metacell_k, |built| {
+            debug_assert_eq!(built.interval.id, intervals[kept_cursor].id);
+            let (stripe, offset) = placement[kept_cursor];
+            kept_cursor += 1;
+            let bytes = built.record.encode();
+            files[stripe]
+                .write_all_at(&bytes, offset)
+                .expect("record write");
+        })?;
+        drop(files);
+
+        for (i, tree) in trees.iter().enumerate() {
+            persist::save(tree, &index_path(dir, i))?;
+        }
+        ClusterMeta {
+            dims: layout.volume_dims(),
+            metacell_k: opts.metacell_k,
+            scalar: S::NAME.to_string(),
+            nodes,
+        }
+        .save(dir)?;
+
+        let stores = farm.open_stores(opts.mmap)?;
+        Ok((
+            Cluster {
+                dir: dir.to_path_buf(),
+                nodes,
+                layout,
+                format: MetacellRecordFormat::new(layout),
+                trees,
+                stores,
+            },
+            stats,
+        ))
+    }
+
+    /// Open a previously built cluster directory.
+    pub fn open(dir: &Path, mmap: bool) -> io::Result<Self> {
+        let meta = ClusterMeta::load(dir)?;
+        if meta.scalar != S::NAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("scalar mismatch: dataset is {}, requested {}", meta.scalar, S::NAME),
+            ));
+        }
+        let layout = MetacellLayout::new(meta.dims, meta.metacell_k);
+        let farm = DiskFarm::new(dir, meta.nodes);
+        let stores = farm.open_stores(mmap)?;
+        let trees = (0..meta.nodes)
+            .map(|i| persist::load(&index_path(dir, i)))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Cluster {
+            dir: dir.to_path_buf(),
+            nodes: meta.nodes,
+            layout,
+            format: MetacellRecordFormat::new(layout),
+            trees,
+            stores,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The metacell layout of the dataset.
+    pub fn layout(&self) -> &MetacellLayout {
+        &self.layout
+    }
+
+    /// Per-node index trees (read-only).
+    pub fn trees(&self) -> &[CompactIntervalTree] {
+        &self.trees
+    }
+
+    /// Dataset directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Run the parallel extraction for `iso`: every node plans against its
+    /// local index, streams its active metacells, and triangulates — one
+    /// thread per node, no cross-node communication.
+    pub fn extract(&self, iso: f32) -> io::Result<ClusterExtraction> {
+        let key = S::query_key(iso);
+        let t_total = Instant::now();
+        let results: Vec<io::Result<(TriangleSoup, NodeReport)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.nodes)
+                .map(|i| {
+                    let tree = &self.trees[i];
+                    let store = &self.stores[i];
+                    scope.spawn(move || self.node_extract(i, tree, store, key, iso))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread panicked"))
+                .collect()
+        });
+        let mut soups = Vec::with_capacity(self.nodes);
+        let mut nodes = Vec::with_capacity(self.nodes);
+        for r in results {
+            let (soup, report) = r?;
+            soups.push(soup);
+            nodes.push(report);
+        }
+        let report = QueryReport {
+            isovalue: iso,
+            nodes,
+            composite_wire_bytes: 0,
+            composite_wall: Duration::ZERO,
+            total_wall: t_total.elapsed(),
+        };
+        Ok(ClusterExtraction { soups, report })
+    }
+
+    /// One node's extraction work (runs on the node's thread).
+    fn node_extract(
+        &self,
+        node: usize,
+        tree: &CompactIntervalTree,
+        store: &RecordStore,
+        key: u32,
+        iso: f32,
+    ) -> io::Result<(TriangleSoup, NodeReport)> {
+        // Phase 1: AMC retrieval — stream all active metacell records into
+        // memory (the paper's metric (i)).
+        let io_before = store.device().io_snapshot();
+        let t0 = Instant::now();
+        let plan = tree.plan(key);
+        let mut records: Vec<Vec<u8>> = Vec::new();
+        execute_plan(&plan, store, &self.format, |_id, bytes| {
+            records.push(bytes.to_vec())
+        })?;
+        let amc_retrieval = t0.elapsed();
+        let io = store.device().io_snapshot().since(&io_before);
+
+        // Phase 2: triangulation (metric (ii)).
+        let t1 = Instant::now();
+        let mut soup = TriangleSoup::new();
+        let mut mc = McStats::default();
+        let mut bytes_read = 0u64;
+        for rec in &records {
+            bytes_read += rec.len() as u64;
+            let (record, used) = MetacellRecord::<S>::decode(rec, &self.layout);
+            debug_assert_eq!(used, rec.len());
+            let ((x0, y0, z0), _) = self.layout.vertex_box(record.id);
+            let local = record.into_volume(&self.layout);
+            let stats = marching_cubes(
+                &local,
+                iso,
+                Vec3::new(x0 as f32, y0 as f32, z0 as f32),
+                Vec3::new(1.0, 1.0, 1.0),
+                &mut soup,
+            );
+            mc.merge(&stats);
+        }
+        let triangulation = t1.elapsed();
+
+        Ok((
+            soup,
+            NodeReport {
+                node,
+                active_metacells: records.len() as u64,
+                cells_visited: mc.cells_visited,
+                active_cells: mc.active_cells,
+                triangles: mc.triangles,
+                bytes_read,
+                amc_retrieval,
+                triangulation,
+                rendering: Duration::ZERO,
+                io,
+            },
+        ))
+    }
+
+    /// Extract, render locally on every node, and sort-last composite onto
+    /// the tiled display (§5.1's full pipeline, metric (iii) included).
+    pub fn extract_and_render(
+        &self,
+        iso: f32,
+        camera: &Camera,
+        tiles: &TileLayout,
+        base_color: [f32; 3],
+    ) -> io::Result<(Framebuffer, ClusterExtraction)> {
+        let t_total = Instant::now();
+        let mut extraction = self.extract(iso)?;
+
+        // Per-node local rendering (one thread per node, own framebuffer).
+        let frames: Vec<(Framebuffer, Duration)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = extraction
+                .soups
+                .iter()
+                .map(|soup| {
+                    scope.spawn(move || {
+                        let mut fb = Framebuffer::new(tiles.width, tiles.height);
+                        let t = Instant::now();
+                        rasterize_soup(soup, camera, base_color, &mut fb);
+                        (fb, t.elapsed())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("render thread panicked"))
+                .collect()
+        });
+        let mut buffers = Vec::with_capacity(frames.len());
+        for (i, (fb, dt)) in frames.into_iter().enumerate() {
+            extraction.report.nodes[i].rendering = dt;
+            buffers.push(fb);
+        }
+
+        // Sort-last composite: the only communication of the whole query.
+        let t_comp = Instant::now();
+        let (wall, wire_bytes) = tiles.composite(&buffers);
+        extraction.report.composite_wall = t_comp.elapsed();
+        extraction.report.composite_wire_bytes = wire_bytes;
+        extraction.report.total_wall = t_total.elapsed();
+        Ok((wall, extraction))
+    }
+
+    /// Per-node `(active_metacells, triangles)` distribution for an isovalue —
+    /// the rows of Tables 6 and 7.
+    pub fn distribution(&self, iso: f32) -> io::Result<Vec<(u64, u64)>> {
+        let e = self.extract(iso)?;
+        Ok(e.report
+            .nodes
+            .iter()
+            .map(|n| (n.active_metacells, n.triangles))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oociso_volume::field::{FieldExt, SphereField};
+    use oociso_volume::Dims3;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("oociso_cluster_{}_{}", std::process::id(), name));
+        p
+    }
+
+    fn test_volume() -> Volume<u8> {
+        SphereField::centered(0.32, 128.0).sample(Dims3::new(33, 33, 33))
+    }
+
+    #[test]
+    fn parallel_matches_serial_triangles() {
+        let vol = test_volume();
+        // ground truth: whole-volume marching cubes
+        let mut truth = TriangleSoup::new();
+        marching_cubes(
+            &vol,
+            128.0,
+            Vec3::ZERO,
+            Vec3::new(1.0, 1.0, 1.0),
+            &mut truth,
+        );
+
+        let d1 = tmpdir("p1");
+        let (c1, stats1) = Cluster::build(&vol, &d1, 1, &ClusterBuildOptions::default()).unwrap();
+        let e1 = c1.extract(128.0).unwrap();
+        assert_eq!(e1.report.total_triangles() as usize, truth.len());
+        assert!(stats1.kept_metacells > 0);
+
+        let d4 = tmpdir("p4");
+        let (c4, stats4) = Cluster::build(&vol, &d4, 4, &ClusterBuildOptions::default()).unwrap();
+        let e4 = c4.extract(128.0).unwrap();
+        assert_eq!(e4.report.total_triangles() as usize, truth.len());
+        assert_eq!(stats1.kept_metacells, stats4.kept_metacells);
+        assert_eq!(
+            e1.report.total_active_metacells(),
+            e4.report.total_active_metacells()
+        );
+        std::fs::remove_dir_all(&d1).ok();
+        std::fs::remove_dir_all(&d4).ok();
+    }
+
+    #[test]
+    fn out_of_core_build_matches_in_memory_build() {
+        let vol = test_volume();
+        let vol_path = tmpdir("ooc.vol");
+        oociso_volume::io::write_volume(&vol_path, &vol).unwrap();
+
+        let d_mem = tmpdir("ooc_mem");
+        let d_file = tmpdir("ooc_file");
+        let opts = ClusterBuildOptions::default();
+        let (c_mem, s_mem) = Cluster::build(&vol, &d_mem, 3, &opts).unwrap();
+        let (c_file, s_file) =
+            Cluster::<u8>::build_from_file(&vol_path, &d_file, 3, &opts).unwrap();
+        assert_eq!(s_mem, s_file);
+        // store files byte-identical
+        for i in 0..3 {
+            let a = std::fs::read(d_mem.join(format!("node{i:03}.bricks"))).unwrap();
+            let b = std::fs::read(d_file.join(format!("node{i:03}.bricks"))).unwrap();
+            assert_eq!(a, b, "node {i} store differs");
+        }
+        // queries agree
+        for iso in [80.0, 128.0, 180.0] {
+            let em = c_mem.extract(iso).unwrap();
+            let ef = c_file.extract(iso).unwrap();
+            assert_eq!(em.report.total_triangles(), ef.report.total_triangles());
+            assert_eq!(
+                em.report.total_active_metacells(),
+                ef.report.total_active_metacells()
+            );
+        }
+        std::fs::remove_file(&vol_path).ok();
+        std::fs::remove_dir_all(&d_mem).ok();
+        std::fs::remove_dir_all(&d_file).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_queries() {
+        let vol = test_volume();
+        let dir = tmpdir("reopen");
+        let (c, _) = Cluster::build(&vol, &dir, 2, &ClusterBuildOptions::default()).unwrap();
+        let before = c.extract(100.0).unwrap();
+        drop(c);
+        let c2 = Cluster::<u8>::open(&dir, true).unwrap();
+        let after = c2.extract(100.0).unwrap();
+        assert_eq!(
+            before.report.total_triangles(),
+            after.report.total_triangles()
+        );
+        assert_eq!(
+            before.report.total_active_metacells(),
+            after.report.total_active_metacells()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_scalar_rejected_on_open() {
+        let vol = test_volume();
+        let dir = tmpdir("scalar");
+        let (_c, _) = Cluster::build(&vol, &dir, 1, &ClusterBuildOptions::default()).unwrap();
+        assert!(Cluster::<u16>::open(&dir, false).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn balance_across_nodes() {
+        let vol = test_volume();
+        let dir = tmpdir("balance");
+        let (c, _) = Cluster::build(&vol, &dir, 4, &ClusterBuildOptions::default()).unwrap();
+        for iso in [60.0, 100.0, 128.0, 160.0, 200.0] {
+            let dist = c.distribution(iso).unwrap();
+            let total: u64 = dist.iter().map(|d| d.0).sum();
+            if total < 16 {
+                continue;
+            }
+            let max = dist.iter().map(|d| d.0).max().unwrap();
+            let mean = total as f64 / dist.len() as f64;
+            assert!(
+                max as f64 / mean < 1.75,
+                "iso {iso}: metacell distribution {dist:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_phases_populated() {
+        let vol = test_volume();
+        let dir = tmpdir("phases");
+        let (c, _) = Cluster::build(&vol, &dir, 2, &ClusterBuildOptions::default()).unwrap();
+        let e = c.extract(128.0).unwrap();
+        for n in &e.report.nodes {
+            assert!(n.bytes_read > 0);
+            assert!(n.io.read_calls > 0);
+            assert!(n.cells_visited >= n.active_cells);
+            assert!(n.triangles > 0);
+        }
+        assert!(e.report.total_wall > Duration::ZERO);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn render_composites_all_nodes() {
+        let vol = test_volume();
+        let dir = tmpdir("render");
+        let (c, _) = Cluster::build(&vol, &dir, 4, &ClusterBuildOptions::default()).unwrap();
+        let e0 = c.extract(128.0).unwrap();
+        let soup = e0.merged_soup();
+        let bounds = soup.bounds();
+        let camera = Camera::orbiting(&bounds, 0.6, 0.5, 2.5);
+        let tiles = TileLayout::paper_wall(128, 128);
+        let (wall, e) = c
+            .extract_and_render(128.0, &camera, &tiles, [0.9, 0.85, 0.6])
+            .unwrap();
+        assert!(wall.covered_pixels() > 100, "sphere should cover pixels");
+        assert!(e.report.composite_wire_bytes > 0);
+        for n in &e.report.nodes {
+            assert!(n.rendering > Duration::ZERO);
+        }
+
+        // the composited wall must equal rendering the merged soup directly
+        let mut reference = Framebuffer::new(128, 128);
+        rasterize_soup(&soup, &camera, [0.9, 0.85, 0.6], &mut reference);
+        let mut diff = 0usize;
+        for y in 0..128 {
+            for x in 0..128 {
+                if reference.color_at(x, y) != wall.color_at(x, y) {
+                    diff += 1;
+                }
+            }
+        }
+        // identical except possibly where equal depths tie-break differently
+        assert!(diff < 40, "{diff} differing pixels");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

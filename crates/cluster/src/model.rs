@@ -1,0 +1,191 @@
+//! Simulated-time composition.
+//!
+//! Our hardware differs from the paper's 2006 cluster in every component, so
+//! wall-clock numbers are not comparable — and with fewer physical cores than
+//! simulated nodes, measured parallel wall time cannot show 8-way speedups at
+//! all. The simulated-time model reconstructs what the paper measures from
+//! quantities that *are* faithful at any scale: per-node I/O counters (priced
+//! at the paper's 50 MB/s disk), per-node triangle counts (priced at a
+//! triangulation rate), and the composite traffic (priced at 10 Gbps
+//! InfiniBand). Because the parallel algorithm's scaling is entirely
+//! work-distribution-driven — the paper's own analysis — these modeled times
+//! reproduce the shape of Tables 2–5 and Figures 5–6.
+
+use crate::timing::{NodeReport, QueryReport};
+use oociso_exio::IoCostModel;
+use oociso_render::InterconnectModel;
+use std::time::Duration;
+
+/// Rates used to convert counters into simulated seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct SimulatedTimeModel {
+    /// Disk model for AMC retrieval (default: the paper's 50 MB/s disk).
+    pub disk: IoCostModel,
+    /// Triangles generated per second per node. The paper's single-node runs
+    /// sustain ≈ 4 M triangles/s end-to-end with triangulation dominating;
+    /// we default to 5 M/s for the triangulation phase alone.
+    pub tris_per_sec: f64,
+    /// Local GPU rendering rate (triangles/s). The paper: "once the triangles
+    /// are generated, they are rendered on the GPU very quickly".
+    pub render_tris_per_sec: f64,
+    /// Interconnect for the composite shuffle.
+    pub net: InterconnectModel,
+}
+
+impl SimulatedTimeModel {
+    /// The paper's hardware constants.
+    pub fn paper() -> Self {
+        SimulatedTimeModel {
+            disk: IoCostModel::paper_disk(),
+            tris_per_sec: 5.0e6,
+            render_tris_per_sec: 60.0e6,
+            net: InterconnectModel::infiniband_10g(),
+        }
+    }
+
+    /// Simulated AMC retrieval time of one node.
+    pub fn node_io_time(&self, n: &NodeReport) -> Duration {
+        self.disk.modeled_time(&n.io)
+    }
+
+    /// Simulated triangulation time of one node.
+    pub fn node_triangulation_time(&self, n: &NodeReport) -> Duration {
+        Duration::from_secs_f64(n.triangles as f64 / self.tris_per_sec)
+    }
+
+    /// Simulated rendering time of one node.
+    pub fn node_render_time(&self, n: &NodeReport) -> Duration {
+        Duration::from_secs_f64(n.triangles as f64 / self.render_tris_per_sec)
+    }
+
+    /// Simulated total for one node.
+    pub fn node_time(&self, n: &NodeReport) -> Duration {
+        self.node_io_time(n) + self.node_triangulation_time(n) + self.node_render_time(n)
+    }
+
+    /// Simulated composite time for `nodes` buffers shuffled to `tiles`
+    /// display servers at `display` resolution.
+    pub fn composite_time(&self, nodes: usize, tiles: usize, display: (usize, usize)) -> Duration {
+        let region_bytes = (display.0 * display.1 / tiles.max(1)) as u64
+            * oociso_render::Framebuffer::BYTES_PER_PIXEL;
+        self.net.composite_time(nodes, tiles, region_bytes)
+    }
+
+    /// Simulated end-to-end query time: slowest node + composite. This is the
+    /// quantity Figures 5 (overall time) and 6 (speedup) sweep.
+    pub fn query_time(
+        &self,
+        report: &QueryReport,
+        tiles: usize,
+        display: (usize, usize),
+    ) -> Duration {
+        let bottleneck = report
+            .nodes
+            .iter()
+            .map(|n| self.node_time(n))
+            .max()
+            .unwrap_or(Duration::ZERO);
+        bottleneck + self.composite_time(report.nodes.len(), tiles, display)
+    }
+
+    /// Simulated serial time: the sum of all per-node work on one node (the
+    /// denominator of the speedup curves; §5.1 argues total work is
+    /// conserved under striping).
+    pub fn serial_time(&self, report: &QueryReport) -> Duration {
+        report
+            .nodes
+            .iter()
+            .map(|n| self.node_time(n))
+            .sum::<Duration>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oociso_exio::IoSnapshot;
+
+    fn node(triangles: u64, bytes: u64, seeks: u64) -> NodeReport {
+        NodeReport {
+            triangles,
+            io: IoSnapshot {
+                read_calls: seeks,
+                seeks,
+                forward_skips: 0,
+                skip_bytes: 0,
+                sequential_reads: 0,
+                bytes_read: bytes,
+                blocks_read: bytes / 8192,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn io_time_at_fifty_mbps() {
+        let m = SimulatedTimeModel::paper();
+        let n = node(0, 50_000_000, 1);
+        let t = m.node_io_time(&n).as_secs_f64();
+        assert!((t - 1.008).abs() < 0.01, "50 MB ≈ 1 s, got {t}");
+    }
+
+    #[test]
+    fn triangulation_dominates_like_the_paper() {
+        // paper §7.1: "the triangle generation stage is the bottleneck"
+        let m = SimulatedTimeModel::paper();
+        // a node with 10 M triangles from ~90 MB of metacells (the paper's
+        // per-node ballpark at isovalue 130 on 4 nodes)
+        let n = node(10_000_000, 90_000_000, 10);
+        assert!(m.node_triangulation_time(&n) > m.node_io_time(&n));
+        assert!(m.node_render_time(&n) < m.node_io_time(&n));
+    }
+
+    #[test]
+    fn query_time_tracks_bottleneck() {
+        let m = SimulatedTimeModel::paper();
+        let r = QueryReport {
+            nodes: vec![node(1_000_000, 1 << 20, 1), node(4_000_000, 1 << 22, 1)],
+            ..Default::default()
+        };
+        let q = m.query_time(&r, 4, (1024, 1024));
+        let slow = m.node_time(&r.nodes[1]);
+        assert!(q >= slow);
+        assert!(q < slow + Duration::from_millis(200));
+    }
+
+    #[test]
+    fn serial_time_is_sum() {
+        let m = SimulatedTimeModel::paper();
+        let a = node(1_000_000, 1 << 20, 1);
+        let b = node(2_000_000, 1 << 21, 2);
+        let r = QueryReport {
+            nodes: vec![a, b],
+            ..Default::default()
+        };
+        let sum = m.node_time(&a) + m.node_time(&b);
+        assert_eq!(m.serial_time(&r), sum);
+    }
+
+    #[test]
+    fn balanced_nodes_scale_linearly() {
+        // p identical nodes at paper-scale workloads (hundreds of millions of
+        // triangles) → speedup ≈ p; the composite's fixed cost is what keeps
+        // the paper's own 8-node speedups at 6.91–7.83 rather than 8.
+        let m = SimulatedTimeModel::paper();
+        let one = node(256_000_000, 2048 << 20, 4);
+        for p in [2usize, 4, 8] {
+            let per = node(256_000_000 / p as u64, (2048 << 20) / p as u64, 4);
+            let r = QueryReport {
+                nodes: vec![per; p],
+                ..Default::default()
+            };
+            let serial = m.node_time(&one);
+            let parallel = m.query_time(&r, 4, (1024, 1024));
+            let speedup = serial.as_secs_f64() / parallel.as_secs_f64();
+            assert!(
+                speedup > 0.85 * p as f64 && speedup <= p as f64 + 0.2,
+                "p={p}: speedup {speedup}"
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-phase timing reports.
+
+use oociso_exio::IoSnapshot;
+use std::time::Duration;
+
+/// One node's measurements for one isosurface query — the row format of the
+/// paper's Tables 2–5 (AMC retrieval, triangulation, rendering) plus I/O
+/// counters for the modeled times.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeReport {
+    /// Node index.
+    pub node: usize,
+    /// Active metacells this node retrieved.
+    pub active_metacells: u64,
+    /// Unit cells scanned inside those metacells.
+    pub cells_visited: u64,
+    /// Cells that produced triangles.
+    pub active_cells: u64,
+    /// Triangles generated.
+    pub triangles: u64,
+    /// Bytes of metacell records read.
+    pub bytes_read: u64,
+    /// Measured wall-clock time retrieving active metacells from disk.
+    pub amc_retrieval: Duration,
+    /// Measured wall-clock time generating triangles.
+    pub triangulation: Duration,
+    /// Measured wall-clock time rasterizing locally (zero if not rendering).
+    pub rendering: Duration,
+    /// I/O counters for this node's reads during the query.
+    pub io: IoSnapshot,
+}
+
+impl NodeReport {
+    /// Measured total for this node.
+    pub fn wall_total(&self) -> Duration {
+        self.amc_retrieval + self.triangulation + self.rendering
+    }
+}
+
+/// A whole-cluster query report.
+#[derive(Clone, Debug, Default)]
+pub struct QueryReport {
+    /// The queried isovalue (real-valued).
+    pub isovalue: f32,
+    /// Per-node rows.
+    pub nodes: Vec<NodeReport>,
+    /// Bytes the sort-last shuffle moved (0 until rendering runs).
+    pub composite_wire_bytes: u64,
+    /// Measured wall-clock of the composite step.
+    pub composite_wall: Duration,
+    /// Measured end-to-end wall clock (threads + composite).
+    pub total_wall: Duration,
+}
+
+impl QueryReport {
+    /// Total active metacells across nodes.
+    pub fn total_active_metacells(&self) -> u64 {
+        self.nodes.iter().map(|n| n.active_metacells).sum()
+    }
+
+    /// Total triangles across nodes.
+    pub fn total_triangles(&self) -> u64 {
+        self.nodes.iter().map(|n| n.triangles).sum()
+    }
+
+    /// Total bytes read across nodes.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_read).sum()
+    }
+
+    /// The slowest node's measured time — the parallel completion time.
+    pub fn bottleneck_wall(&self) -> Duration {
+        self.nodes
+            .iter()
+            .map(NodeReport::wall_total)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Measured triangle throughput (millions of triangles per second of
+    /// end-to-end wall time) — the paper's headline "3.5 ∼ 4.0 M tri/s".
+    pub fn mtris_per_sec(&self) -> f64 {
+        let secs = self.total_wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_triangles() as f64 / 1e6 / secs
+    }
+
+    /// Max/mean imbalance of active metacells (Table 6's balance statistic).
+    pub fn metacell_imbalance(&self) -> f64 {
+        imbalance(self.nodes.iter().map(|n| n.active_metacells))
+    }
+
+    /// Max/mean imbalance of triangles (Table 7's balance statistic).
+    pub fn triangle_imbalance(&self) -> f64 {
+        imbalance(self.nodes.iter().map(|n| n.triangles))
+    }
+}
+
+fn imbalance(counts: impl Iterator<Item = u64>) -> f64 {
+    let v: Vec<u64> = counts.collect();
+    if v.is_empty() {
+        return 1.0;
+    }
+    let total: u64 = v.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / v.len() as f64;
+    *v.iter().max().unwrap() as f64 / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(n: usize, amc: u64, tris: u64, ms: (u64, u64, u64)) -> NodeReport {
+        NodeReport {
+            node: n,
+            active_metacells: amc,
+            triangles: tris,
+            amc_retrieval: Duration::from_millis(ms.0),
+            triangulation: Duration::from_millis(ms.1),
+            rendering: Duration::from_millis(ms.2),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn aggregation() {
+        let r = QueryReport {
+            isovalue: 70.0,
+            nodes: vec![
+                node(0, 100, 5000, (10, 20, 5)),
+                node(1, 110, 5500, (11, 22, 5)),
+            ],
+            composite_wire_bytes: 1024,
+            composite_wall: Duration::from_millis(2),
+            total_wall: Duration::from_millis(40),
+        };
+        assert_eq!(r.total_active_metacells(), 210);
+        assert_eq!(r.total_triangles(), 10_500);
+        assert_eq!(r.bottleneck_wall(), Duration::from_millis(38));
+        let rate = r.mtris_per_sec();
+        assert!((rate - 10_500.0 / 1e6 / 0.040).abs() < 1e-6);
+    }
+
+    #[test]
+    fn imbalance_stats() {
+        let r = QueryReport {
+            isovalue: 0.0,
+            nodes: vec![node(0, 10, 100, (0, 0, 0)), node(1, 30, 100, (0, 0, 0))],
+            ..Default::default()
+        };
+        assert!((r.metacell_imbalance() - 1.5).abs() < 1e-9);
+        assert!((r.triangle_imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let r = QueryReport::default();
+        assert_eq!(r.total_triangles(), 0);
+        assert_eq!(r.mtris_per_sec(), 0.0);
+        assert_eq!(r.bottleneck_wall(), Duration::ZERO);
+        assert_eq!(r.metacell_imbalance(), 1.0);
+    }
+}

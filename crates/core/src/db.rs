@@ -1,0 +1,304 @@
+//! Single-volume databases: serial and clustered.
+
+use oociso_cluster::{Cluster, ClusterBuildOptions, ClusterExtraction, QueryReport};
+use oociso_march::TriangleSoup;
+use oociso_metacell::PreprocessStats;
+use oociso_render::{Camera, Framebuffer, TileLayout};
+use oociso_volume::{ScalarValue, Volume};
+use std::io;
+use std::path::Path;
+
+/// Preprocessing options.
+#[derive(Clone, Copy, Debug)]
+pub struct PreprocessOptions {
+    /// Metacell vertices per axis (the paper uses 9 → 734-byte u8 records).
+    pub metacell_k: usize,
+    /// Number of cluster nodes / disk stripes (1 = serial).
+    pub nodes: usize,
+    /// Memory-map the brick stores for reading.
+    pub mmap: bool,
+}
+
+impl Default for PreprocessOptions {
+    fn default() -> Self {
+        PreprocessOptions {
+            metacell_k: 9,
+            nodes: 1,
+            mmap: false,
+        }
+    }
+}
+
+impl PreprocessOptions {
+    fn cluster_opts(&self) -> ClusterBuildOptions {
+        ClusterBuildOptions {
+            metacell_k: self.metacell_k,
+            mmap: self.mmap,
+        }
+    }
+}
+
+/// The result of an extraction: the surface plus the per-phase report.
+#[derive(Clone, Debug)]
+pub struct ExtractResult {
+    /// The isosurface triangles (global coordinates, vertex units).
+    pub mesh: TriangleSoup,
+    /// Phase timings, I/O counters, per-node rows.
+    pub report: QueryReport,
+}
+
+/// A `p`-node out-of-core isosurface database.
+pub struct ClusterDatabase<S: ScalarValue> {
+    cluster: Cluster<S>,
+    preprocess_stats: Option<PreprocessStats>,
+}
+
+impl<S: ScalarValue> ClusterDatabase<S> {
+    /// Preprocess an in-memory volume into `dir`.
+    pub fn preprocess(
+        vol: &Volume<S>,
+        dir: &Path,
+        opts: &PreprocessOptions,
+    ) -> io::Result<Self> {
+        let (cluster, stats) = Cluster::build(vol, dir, opts.nodes, &opts.cluster_opts())?;
+        Ok(ClusterDatabase {
+            cluster,
+            preprocess_stats: Some(stats),
+        })
+    }
+
+    /// Preprocess a raw volume *file* out-of-core (two streaming passes; peak
+    /// memory one z-slab + index).
+    pub fn preprocess_file(
+        volume_path: &Path,
+        dir: &Path,
+        opts: &PreprocessOptions,
+    ) -> io::Result<Self> {
+        let (cluster, stats) =
+            Cluster::build_from_file(volume_path, dir, opts.nodes, &opts.cluster_opts())?;
+        Ok(ClusterDatabase {
+            cluster,
+            preprocess_stats: Some(stats),
+        })
+    }
+
+    /// Open a previously preprocessed directory.
+    pub fn open(dir: &Path, mmap: bool) -> io::Result<Self> {
+        Ok(ClusterDatabase {
+            cluster: Cluster::open(dir, mmap)?,
+            preprocess_stats: None,
+        })
+    }
+
+    /// Extract the isosurface at `iso` (parallel across nodes), returning the
+    /// merged mesh and the full report.
+    pub fn extract(&self, iso: f32) -> io::Result<ExtractResult> {
+        let e = self.cluster.extract(iso)?;
+        Ok(ExtractResult {
+            mesh: e.merged_soup(),
+            report: e.report,
+        })
+    }
+
+    /// Extract without merging: per-node soups plus report (what the
+    /// rendering path and the balance tables consume).
+    pub fn extract_per_node(&self, iso: f32) -> io::Result<ClusterExtraction> {
+        self.cluster.extract(iso)
+    }
+
+    /// Full pipeline: extract, render per node, sort-last composite.
+    pub fn extract_and_render(
+        &self,
+        iso: f32,
+        camera: &Camera,
+        tiles: &TileLayout,
+        base_color: [f32; 3],
+    ) -> io::Result<(Framebuffer, ClusterExtraction)> {
+        self.cluster.extract_and_render(iso, camera, tiles, base_color)
+    }
+
+    /// Preprocessing statistics (only available right after building).
+    pub fn preprocess_stats(&self) -> Option<&PreprocessStats> {
+        self.preprocess_stats.as_ref()
+    }
+
+    /// The underlying cluster (index access, distributions).
+    pub fn cluster(&self) -> &Cluster<S> {
+        &self.cluster
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.cluster.nodes()
+    }
+
+    /// Total index size in bytes across all nodes (paper-style entry
+    /// encoding; the RM single-step index is ~6 KB).
+    pub fn index_bytes(&self) -> u64 {
+        self.cluster
+            .trees()
+            .iter()
+            .map(|t| oociso_itree::size::compact_size(t, S::BYTES).bytes)
+            .sum()
+    }
+}
+
+/// A serial (single-node) out-of-core isosurface database — the common case
+/// for a workstation, and the baseline the speedup tables divide by.
+pub struct IsoDatabase<S: ScalarValue> {
+    inner: ClusterDatabase<S>,
+}
+
+impl<S: ScalarValue> IsoDatabase<S> {
+    /// Preprocess an in-memory volume into `dir` (forces `nodes = 1`).
+    pub fn preprocess(vol: &Volume<S>, dir: &Path, opts: &PreprocessOptions) -> io::Result<Self> {
+        let opts = PreprocessOptions { nodes: 1, ..*opts };
+        Ok(IsoDatabase {
+            inner: ClusterDatabase::preprocess(vol, dir, &opts)?,
+        })
+    }
+
+    /// Preprocess a raw volume file out-of-core (forces `nodes = 1`).
+    pub fn preprocess_file(
+        volume_path: &Path,
+        dir: &Path,
+        opts: &PreprocessOptions,
+    ) -> io::Result<Self> {
+        let opts = PreprocessOptions { nodes: 1, ..*opts };
+        Ok(IsoDatabase {
+            inner: ClusterDatabase::preprocess_file(volume_path, dir, &opts)?,
+        })
+    }
+
+    /// Open a previously preprocessed single-node directory.
+    pub fn open(dir: &Path, mmap: bool) -> io::Result<Self> {
+        let inner = ClusterDatabase::open(dir, mmap)?;
+        if inner.nodes() != 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "directory holds a multi-node dataset; use ClusterDatabase::open",
+            ));
+        }
+        Ok(IsoDatabase { inner })
+    }
+
+    /// Extract the isosurface at `iso`.
+    pub fn extract(&self, iso: f32) -> io::Result<ExtractResult> {
+        self.inner.extract(iso)
+    }
+
+    /// Render the isosurface from `camera` into a single framebuffer.
+    pub fn render(
+        &self,
+        iso: f32,
+        camera: &Camera,
+        width: usize,
+        height: usize,
+        base_color: [f32; 3],
+    ) -> io::Result<(Framebuffer, ExtractResult)> {
+        let tiles = TileLayout::new(1, 1, width, height);
+        let (fb, e) = self.inner.extract_and_render(iso, camera, &tiles, base_color)?;
+        Ok((
+            fb,
+            ExtractResult {
+                mesh: e.merged_soup(),
+                report: e.report,
+            },
+        ))
+    }
+
+    /// Preprocessing statistics (only right after building).
+    pub fn preprocess_stats(&self) -> Option<&PreprocessStats> {
+        self.inner.preprocess_stats()
+    }
+
+    /// Index size in bytes.
+    pub fn index_bytes(&self) -> u64 {
+        self.inner.index_bytes()
+    }
+
+    /// Access the underlying cluster database.
+    pub fn as_cluster(&self) -> &ClusterDatabase<S> {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oociso_volume::field::{FieldExt, SphereField};
+    use oociso_volume::Dims3;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("oociso_db_{}_{}", std::process::id(), name));
+        p
+    }
+
+    fn vol() -> Volume<u8> {
+        SphereField::centered(0.3, 120.0).sample(Dims3::new(25, 25, 25))
+    }
+
+    #[test]
+    fn quickstart_flow() {
+        let dir = tmpdir("quick");
+        let db = IsoDatabase::preprocess(&vol(), &dir, &PreprocessOptions::default()).unwrap();
+        let surface = db.extract(120.0).unwrap();
+        assert!(surface.mesh.len() > 100);
+        assert_eq!(
+            surface.mesh.len() as u64,
+            surface.report.total_triangles()
+        );
+        assert!(db.index_bytes() > 0);
+        assert!(db.preprocess_stats().unwrap().kept_metacells > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_db_matches_serial_db() {
+        let v = vol();
+        let d1 = tmpdir("serial");
+        let d4 = tmpdir("cluster");
+        let serial = IsoDatabase::preprocess(&v, &d1, &PreprocessOptions::default()).unwrap();
+        let opts = PreprocessOptions {
+            nodes: 4,
+            ..Default::default()
+        };
+        let cluster = ClusterDatabase::preprocess(&v, &d4, &opts).unwrap();
+        for iso in [90.0, 120.0, 150.0] {
+            let a = serial.extract(iso).unwrap();
+            let b = cluster.extract(iso).unwrap();
+            assert_eq!(a.mesh.len(), b.mesh.len(), "iso {iso}");
+        }
+        std::fs::remove_dir_all(&d1).ok();
+        std::fs::remove_dir_all(&d4).ok();
+    }
+
+    #[test]
+    fn open_serial_rejects_multinode_dir() {
+        let v = vol();
+        let d = tmpdir("multi");
+        let opts = PreprocessOptions {
+            nodes: 2,
+            ..Default::default()
+        };
+        let _ = ClusterDatabase::preprocess(&v, &d, &opts).unwrap();
+        assert!(IsoDatabase::<u8>::open(&d, false).is_err());
+        assert!(ClusterDatabase::<u8>::open(&d, false).is_ok());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn render_produces_pixels() {
+        let v = vol();
+        let d = tmpdir("render");
+        let db = IsoDatabase::preprocess(&v, &d, &PreprocessOptions::default()).unwrap();
+        let surface = db.extract(120.0).unwrap();
+        let camera = oociso_render::Camera::orbiting(&surface.mesh.bounds(), 0.7, 0.4, 2.5);
+        let (fb, res) = db.render(120.0, &camera, 96, 96, [0.8, 0.8, 0.9]).unwrap();
+        assert!(fb.covered_pixels() > 50);
+        assert!(res.report.nodes[0].rendering > std::time::Duration::ZERO);
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -1,0 +1,72 @@
+//! Disk-block arithmetic.
+//!
+//! I/O complexity in the external-memory model is measured in *block
+//! transfers*: a read of `len` bytes starting at `offset` touches every block
+//! its byte range overlaps.
+
+/// Default disk block size. The paper cites typical blocks of 4 KB or 8 KB;
+/// we default to 8 KB.
+pub const DEFAULT_BLOCK_BYTES: u64 = 8192;
+
+/// Number of blocks of size `block` overlapped by the byte range
+/// `[offset, offset + len)`. Zero-length reads touch zero blocks.
+#[inline]
+pub fn blocks_spanned(offset: u64, len: u64, block: u64) -> u64 {
+    assert!(block > 0, "block size must be positive");
+    if len == 0 {
+        return 0;
+    }
+    let first = offset / block;
+    let last = (offset + len - 1) / block;
+    last - first + 1
+}
+
+/// Round `offset` down to its block boundary.
+#[inline]
+pub fn block_floor(offset: u64, block: u64) -> u64 {
+    offset - offset % block
+}
+
+/// Round `offset` up to the next block boundary.
+#[inline]
+pub fn block_ceil(offset: u64, block: u64) -> u64 {
+    offset.div_ceil(block) * block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_within_one_block() {
+        assert_eq!(blocks_spanned(0, 1, 8192), 1);
+        assert_eq!(blocks_spanned(100, 100, 8192), 1);
+        assert_eq!(blocks_spanned(8191, 1, 8192), 1);
+    }
+
+    #[test]
+    fn spans_across_boundaries() {
+        assert_eq!(blocks_spanned(8191, 2, 8192), 2);
+        assert_eq!(blocks_spanned(0, 8193, 8192), 2);
+        assert_eq!(blocks_spanned(4096, 16384, 8192), 3);
+    }
+
+    #[test]
+    fn zero_len_touches_nothing() {
+        assert_eq!(blocks_spanned(12345, 0, 8192), 0);
+    }
+
+    #[test]
+    fn exact_block_multiples() {
+        assert_eq!(blocks_spanned(8192, 8192, 8192), 1);
+        assert_eq!(blocks_spanned(0, 3 * 8192, 8192), 3);
+    }
+
+    #[test]
+    fn floors_and_ceils() {
+        assert_eq!(block_floor(10000, 8192), 8192);
+        assert_eq!(block_ceil(10000, 8192), 16384);
+        assert_eq!(block_ceil(8192, 8192), 8192);
+        assert_eq!(block_floor(0, 8192), 0);
+    }
+}

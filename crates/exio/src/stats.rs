@@ -1,0 +1,229 @@
+//! I/O accounting: seeks, forward skips, sequential continuations, bytes and
+//! block transfers.
+//!
+//! Counters are lock-free atomics so they can be shared by reference across
+//! the cluster's node threads. Each read is classified against the previous
+//! read's end offset:
+//!
+//! * **sequential** — begins exactly where the last read ended (no head
+//!   movement);
+//! * **forward skip** — begins a short distance ahead (gap ≤ the device's
+//!   forward window): a disk head passes over the gap at transfer rate, so
+//!   the *gap bytes* are charged like read bytes, not like a seek. This is
+//!   how Case 2 of the query — prefix reads of consecutive bricks laid out
+//!   contiguously — achieves the paper's full-bandwidth retrieval;
+//! * **seek** — anything else (backward motion or a long jump).
+//!
+//! The default forward window is 512 KB ≈ `seek_time × transfer_rate` for
+//! the paper's disk (8 ms × 50 MB/s = 400 KB): beyond that, seeking is
+//! cheaper than reading through, so a long gap is counted as a seek.
+
+use crate::block::blocks_spanned;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default forward-skip window (bytes): gaps up to this are read through.
+pub const DEFAULT_FORWARD_WINDOW: u64 = 512 * 1024;
+
+/// Shared, thread-safe I/O counters for one device.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    read_calls: AtomicU64,
+    seeks: AtomicU64,
+    forward_skips: AtomicU64,
+    skip_bytes: AtomicU64,
+    sequential_reads: AtomicU64,
+    bytes_read: AtomicU64,
+    blocks_read: AtomicU64,
+    /// End offset of the most recent read (for sequentiality detection).
+    last_end: AtomicU64,
+    /// Whether any read has happened (so the first read is always a seek).
+    touched: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read of `len` bytes at `offset` against block size `block`,
+    /// classifying gaps up to `forward_window` as skips.
+    pub fn record_read(&self, offset: u64, len: u64, block: u64, forward_window: u64) {
+        self.read_calls.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(len, Ordering::Relaxed);
+        self.blocks_read
+            .fetch_add(blocks_spanned(offset, len, block), Ordering::Relaxed);
+        let was_touched = self.touched.swap(1, Ordering::Relaxed) == 1;
+        let prev_end = self.last_end.swap(offset + len, Ordering::Relaxed);
+        if !was_touched {
+            self.seeks.fetch_add(1, Ordering::Relaxed);
+        } else if prev_end == offset {
+            self.sequential_reads.fetch_add(1, Ordering::Relaxed);
+        } else if offset > prev_end && offset - prev_end <= forward_window {
+            self.forward_skips.fetch_add(1, Ordering::Relaxed);
+            self.skip_bytes
+                .fetch_add(offset - prev_end, Ordering::Relaxed);
+        } else {
+            self.seeks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.read_calls.store(0, Ordering::Relaxed);
+        self.seeks.store(0, Ordering::Relaxed);
+        self.forward_skips.store(0, Ordering::Relaxed);
+        self.skip_bytes.store(0, Ordering::Relaxed);
+        self.sequential_reads.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.blocks_read.store(0, Ordering::Relaxed);
+        self.last_end.store(0, Ordering::Relaxed);
+        self.touched.store(0, Ordering::Relaxed);
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            read_calls: self.read_calls.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+            forward_skips: self.forward_skips.load(Ordering::Relaxed),
+            skip_bytes: self.skip_bytes.load(Ordering::Relaxed),
+            sequential_reads: self.sequential_reads.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`IoStats`] counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    pub read_calls: u64,
+    pub seeks: u64,
+    pub forward_skips: u64,
+    /// Gap bytes passed over by forward skips (charged at transfer rate).
+    pub skip_bytes: u64,
+    pub sequential_reads: u64,
+    pub bytes_read: u64,
+    pub blocks_read: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier` (for per-phase accounting).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            read_calls: self.read_calls - earlier.read_calls,
+            seeks: self.seeks - earlier.seeks,
+            forward_skips: self.forward_skips - earlier.forward_skips,
+            skip_bytes: self.skip_bytes - earlier.skip_bytes,
+            sequential_reads: self.sequential_reads - earlier.sequential_reads,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            blocks_read: self.blocks_read - earlier.blocks_read,
+        }
+    }
+
+    /// Counter-wise sum (for aggregating across devices/nodes).
+    pub fn merged(&self, other: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            read_calls: self.read_calls + other.read_calls,
+            seeks: self.seeks + other.seeks,
+            forward_skips: self.forward_skips + other.forward_skips,
+            skip_bytes: self.skip_bytes + other.skip_bytes,
+            sequential_reads: self.sequential_reads + other.sequential_reads,
+            bytes_read: self.bytes_read + other.bytes_read,
+            blocks_read: self.blocks_read + other.blocks_read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: u64 = DEFAULT_FORWARD_WINDOW;
+
+    #[test]
+    fn first_read_is_a_seek() {
+        let s = IoStats::new();
+        s.record_read(0, 100, 8192, W);
+        let snap = s.snapshot();
+        assert_eq!(snap.seeks, 1);
+        assert_eq!(snap.sequential_reads, 0);
+        assert_eq!(snap.forward_skips, 0);
+    }
+
+    #[test]
+    fn contiguous_reads_are_sequential() {
+        let s = IoStats::new();
+        s.record_read(1000, 500, 8192, W);
+        s.record_read(1500, 500, 8192, W);
+        s.record_read(2000, 500, 8192, W);
+        let snap = s.snapshot();
+        assert_eq!(snap.seeks, 1);
+        assert_eq!(snap.sequential_reads, 2);
+        assert_eq!(snap.bytes_read, 1500);
+    }
+
+    #[test]
+    fn short_forward_gap_is_a_skip() {
+        let s = IoStats::new();
+        s.record_read(0, 100, 8192, W);
+        s.record_read(300, 100, 8192, W); // forward gap of 200 bytes
+        let snap = s.snapshot();
+        assert_eq!(snap.seeks, 1);
+        assert_eq!(snap.forward_skips, 1);
+        assert_eq!(snap.skip_bytes, 200);
+    }
+
+    #[test]
+    fn long_or_backward_gaps_are_seeks() {
+        let s = IoStats::new();
+        s.record_read(0, 100, 8192, W);
+        s.record_read(100 + W + 1, 100, 8192, W); // beyond the window
+        s.record_read(0, 50, 8192, W); // backward
+        let snap = s.snapshot();
+        assert_eq!(snap.seeks, 3);
+        assert_eq!(snap.forward_skips, 0);
+    }
+
+    #[test]
+    fn window_boundary_inclusive() {
+        let s = IoStats::new();
+        s.record_read(0, 100, 8192, W);
+        s.record_read(100 + W, 10, 8192, W); // gap exactly == window
+        assert_eq!(s.snapshot().forward_skips, 1);
+        assert_eq!(s.snapshot().skip_bytes, W);
+    }
+
+    #[test]
+    fn block_accounting() {
+        let s = IoStats::new();
+        s.record_read(8190, 10, 8192, W); // straddles a boundary
+        assert_eq!(s.snapshot().blocks_read, 2);
+    }
+
+    #[test]
+    fn snapshot_since_and_merge() {
+        let s = IoStats::new();
+        s.record_read(0, 8192, 8192, W);
+        let a = s.snapshot();
+        s.record_read(8192, 8192, 8192, W);
+        s.record_read(20000, 100, 8192, W); // forward skip
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.read_calls, 2);
+        assert_eq!(d.forward_skips, 1);
+        assert_eq!(d.skip_bytes, 20000 - 16384);
+        let m = a.merged(&d);
+        assert_eq!(m.bytes_read, b.bytes_read);
+        assert_eq!(m.skip_bytes, b.skip_bytes);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = IoStats::new();
+        s.record_read(0, 10, 8192, W);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+}

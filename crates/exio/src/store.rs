@@ -1,0 +1,231 @@
+//! Append-only record stores.
+//!
+//! The compact interval tree lays metacells out as *bricks*: runs of
+//! variable-length records stored contiguously, addressed by byte spans. A
+//! [`RecordStoreWriter`] appends records during preprocessing and returns
+//! their spans; a [`RecordStore`] serves ranged reads at query time through
+//! any [`BlockDevice`] backend.
+
+use crate::device::{BlockDevice, FileDevice, MemDevice};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A byte range inside a store: `[offset, offset + len)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    pub offset: u64,
+    pub len: u64,
+}
+
+impl Span {
+    /// The empty span at a position.
+    pub fn empty_at(offset: u64) -> Self {
+        Span { offset, len: 0 }
+    }
+
+    /// End offset (exclusive).
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// Whether this span directly precedes `next` (contiguity check used to
+    /// coalesce brick reads into bulk transfers).
+    #[inline]
+    pub fn abuts(&self, next: &Span) -> bool {
+        self.end() == next.offset
+    }
+
+    /// Union of two *abutting* spans.
+    pub fn join(&self, next: &Span) -> Span {
+        debug_assert!(self.abuts(next));
+        Span {
+            offset: self.offset,
+            len: self.len + next.len,
+        }
+    }
+}
+
+/// Sequential writer producing a record store file.
+pub struct RecordStoreWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    cursor: u64,
+}
+
+impl RecordStoreWriter {
+    /// Create (truncate) the store file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(RecordStoreWriter {
+            out: BufWriter::with_capacity(1 << 20, File::create(path)?),
+            path: path.to_path_buf(),
+            cursor: 0,
+        })
+    }
+
+    /// Append one record; returns its span.
+    pub fn append(&mut self, record: &[u8]) -> io::Result<Span> {
+        let span = Span {
+            offset: self.cursor,
+            len: record.len() as u64,
+        };
+        self.out.write_all(record)?;
+        self.cursor += record.len() as u64;
+        Ok(span)
+    }
+
+    /// Bytes written so far.
+    pub fn position(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Flush and close, returning the file path.
+    pub fn finish(mut self) -> io::Result<PathBuf> {
+        self.out.flush()?;
+        Ok(self.path)
+    }
+}
+
+/// A read-only record store over any block device.
+pub struct RecordStore {
+    device: Box<dyn BlockDevice>,
+}
+
+impl RecordStore {
+    /// Open a store file with positioned reads.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Ok(RecordStore {
+            device: Box::new(FileDevice::open(path)?),
+        })
+    }
+
+    /// Open a store file memory-mapped.
+    pub fn open_mmap(path: &Path) -> io::Result<Self> {
+        Ok(RecordStore {
+            device: Box::new(FileDevice::open_mmap(path)?),
+        })
+    }
+
+    /// Store over an in-memory buffer (tests, I/O modeling).
+    pub fn in_memory(data: Vec<u8>) -> Self {
+        RecordStore {
+            device: Box::new(MemDevice::new(data)),
+        }
+    }
+
+    /// Wrap an arbitrary device.
+    pub fn from_device(device: Box<dyn BlockDevice>) -> Self {
+        RecordStore { device }
+    }
+
+    /// Read the bytes of a span.
+    pub fn read_span(&self, span: Span) -> io::Result<Vec<u8>> {
+        self.device.read_vec(span.offset, span.len as usize)
+    }
+
+    /// Read a span into the caller's buffer (must be exactly `span.len` long).
+    pub fn read_span_into(&self, span: Span, buf: &mut [u8]) -> io::Result<()> {
+        debug_assert_eq!(buf.len() as u64, span.len);
+        self.device.read_at(span.offset, buf)
+    }
+
+    /// Underlying device (for stats inspection).
+    pub fn device(&self) -> &dyn BlockDevice {
+        self.device.as_ref()
+    }
+
+    /// Total store length in bytes.
+    pub fn len(&self) -> u64 {
+        self.device.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.device.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("oociso_store_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn span_arithmetic() {
+        let a = Span { offset: 0, len: 10 };
+        let b = Span {
+            offset: 10,
+            len: 5,
+        };
+        assert!(a.abuts(&b));
+        assert_eq!(a.join(&b), Span { offset: 0, len: 15 });
+        assert!(!b.abuts(&a));
+        assert_eq!(a.end(), 10);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let p = tmp("rt.store");
+        let mut w = RecordStoreWriter::create(&p).unwrap();
+        let s1 = w.append(b"hello").unwrap();
+        let s2 = w.append(b"world!!").unwrap();
+        let s3 = w.append(b"").unwrap();
+        assert_eq!(w.position(), 12);
+        w.finish().unwrap();
+
+        let store = RecordStore::open(&p).unwrap();
+        assert_eq!(store.read_span(s1).unwrap(), b"hello");
+        assert_eq!(store.read_span(s2).unwrap(), b"world!!");
+        assert_eq!(store.read_span(s3).unwrap(), b"");
+        assert_eq!(store.len(), 12);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn spans_are_contiguous() {
+        let p = tmp("contig.store");
+        let mut w = RecordStoreWriter::create(&p).unwrap();
+        let mut prev: Option<Span> = None;
+        for i in 0..20u8 {
+            let rec = vec![i; (i as usize % 5) + 1];
+            let s = w.append(&rec).unwrap();
+            if let Some(pv) = prev {
+                assert!(pv.abuts(&s));
+            }
+            prev = Some(s);
+        }
+        w.finish().unwrap();
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn in_memory_store() {
+        let store = RecordStore::in_memory(vec![1, 2, 3, 4, 5]);
+        assert_eq!(
+            store.read_span(Span { offset: 1, len: 3 }).unwrap(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(store.device().io_snapshot().read_calls, 1);
+    }
+
+    #[test]
+    fn mmap_backend_equivalent() {
+        let p = tmp("mm.store");
+        let mut w = RecordStoreWriter::create(&p).unwrap();
+        let s = w.append(&vec![9u8; 1000]).unwrap();
+        w.finish().unwrap();
+        let a = RecordStore::open(&p).unwrap().read_span(s).unwrap();
+        let b = RecordStore::open_mmap(&p).unwrap().read_span(s).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for block arithmetic, spans and I/O accounting.
+
+use oociso_exio::{blocks_spanned, BlockDevice, IoCostModel, MemDevice, Span};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn blocks_spanned_matches_enumeration(
+        offset in 0u64..1_000_000,
+        len in 0u64..100_000,
+        block in prop::sample::select(vec![512u64, 4096, 8192, 65536]),
+    ) {
+        let got = blocks_spanned(offset, len, block);
+        let expected = if len == 0 {
+            0
+        } else {
+            let first = offset / block;
+            let last = (offset + len - 1) / block;
+            last - first + 1
+        };
+        prop_assert_eq!(got, expected);
+        // reading the same range in two halves touches at least as many blocks
+        if len >= 2 {
+            let half = len / 2;
+            let two = blocks_spanned(offset, half, block)
+                + blocks_spanned(offset + half, len - half, block);
+            prop_assert!(two >= got);
+            prop_assert!(two <= got + 1, "split adds at most one boundary block");
+        }
+    }
+
+    #[test]
+    fn span_join_preserves_extent(offset in 0u64..1_000_000, a in 0u64..10_000, b in 0u64..10_000) {
+        let s1 = Span { offset, len: a };
+        let s2 = Span { offset: offset + a, len: b };
+        prop_assert!(s1.abuts(&s2));
+        let joined = s1.join(&s2);
+        prop_assert_eq!(joined.offset, offset);
+        prop_assert_eq!(joined.end(), s2.end());
+    }
+
+    #[test]
+    fn io_stats_counts_conserved(reads in prop::collection::vec((0u64..10_000, 1u64..500), 1..50)) {
+        let total_len: u64 = 12_000;
+        let dev = MemDevice::new(vec![0u8; total_len as usize]).with_block_bytes(512);
+        let mut expected_bytes = 0u64;
+        let mut issued = 0u64;
+        for (off, len) in reads {
+            let off = off % (total_len - 500);
+            let mut buf = vec![0u8; len as usize];
+            dev.read_at(off, &mut buf).unwrap();
+            expected_bytes += len;
+            issued += 1;
+        }
+        let snap = dev.io_snapshot();
+        prop_assert_eq!(snap.bytes_read, expected_bytes);
+        prop_assert_eq!(snap.read_calls, issued);
+        prop_assert_eq!(
+            snap.seeks + snap.sequential_reads + snap.forward_skips,
+            issued
+        );
+    }
+
+    #[test]
+    fn modeled_time_is_monotone_in_work(
+        bytes_a in 0u64..1_000_000_000,
+        bytes_b in 0u64..1_000_000_000,
+        seeks_a in 0u64..10_000,
+        seeks_b in 0u64..10_000,
+    ) {
+        let m = IoCostModel::paper_disk();
+        let snap = |bytes, seeks| oociso_exio::IoSnapshot {
+            read_calls: seeks,
+            seeks,
+            forward_skips: 0,
+            skip_bytes: 0,
+            sequential_reads: 0,
+            bytes_read: bytes,
+            blocks_read: bytes / 8192,
+        };
+        let ta = m.modeled_time(&snap(bytes_a.min(bytes_b), seeks_a.min(seeks_b)));
+        let tb = m.modeled_time(&snap(bytes_a.max(bytes_b), seeks_a.max(seeks_b)));
+        prop_assert!(ta <= tb);
+    }
+
+    #[test]
+    fn device_reads_consistent_with_source(data in prop::collection::vec(any::<u8>(), 1..4096)) {
+        let dev = MemDevice::new(data.clone());
+        // read back in random-ish chunks and reassemble
+        let mut out = Vec::with_capacity(data.len());
+        let mut at = 0usize;
+        let mut chunk = 7usize;
+        while at < data.len() {
+            let take = chunk.min(data.len() - at);
+            let mut buf = vec![0u8; take];
+            dev.read_at(at as u64, &mut buf).unwrap();
+            out.extend_from_slice(&buf);
+            at += take;
+            chunk = chunk * 2 % 97 + 1;
+        }
+        prop_assert_eq!(out, data);
+    }
+}

@@ -1,0 +1,190 @@
+//! Blocked compact interval tree (§5's out-of-core index fallback).
+//!
+//! "In the unlikely case when the compact interval tree does not fit in main
+//! memory, we … group each B nodes of the binary tree into one disk block
+//! thereby reducing the height of the tree to O(log_B n)." This module
+//! implements that grouping: the binary tree is cut into subtree "super
+//! nodes" of up to `B` nodes (top-down, breadth-first within a group), each
+//! assigned one block id. A root→leaf walk then touches `O(log_B n)` distinct
+//! blocks instead of `O(log_2 n)` nodes.
+
+use crate::compact::{CompactIntervalTree, CompactNode};
+use std::collections::VecDeque;
+
+/// Block assignment for the nodes of a compact interval tree.
+pub struct BlockedCompactTree<'a> {
+    tree: &'a CompactIntervalTree,
+    /// Block id per node index.
+    block_of: Vec<u32>,
+    num_blocks: u32,
+    nodes_per_block: usize,
+}
+
+impl<'a> BlockedCompactTree<'a> {
+    /// Group the tree's nodes into blocks of up to `nodes_per_block` nodes.
+    ///
+    /// Grouping is top-down: starting from the root (then from each "exit"
+    /// child of a full group) a breadth-first frontier of up to
+    /// `nodes_per_block` nodes becomes one block — so the top `log2(B)`
+    /// levels of every subtree share a block, giving the `O(log_B n)` path
+    /// property.
+    pub fn new(tree: &'a CompactIntervalTree, nodes_per_block: usize) -> Self {
+        assert!(nodes_per_block >= 1);
+        let nodes = tree.nodes();
+        let mut block_of = vec![u32::MAX; nodes.len()];
+        let mut num_blocks = 0u32;
+        let mut roots: VecDeque<u32> = VecDeque::new();
+        if let Some(r) = tree.root() {
+            roots.push_back(r);
+        }
+        while let Some(group_root) = roots.pop_front() {
+            if block_of[group_root as usize] != u32::MAX {
+                continue;
+            }
+            let block = num_blocks;
+            num_blocks += 1;
+            // BFS within the group
+            let mut frontier: VecDeque<u32> = VecDeque::new();
+            frontier.push_back(group_root);
+            let mut taken = 0usize;
+            while let Some(i) = frontier.pop_front() {
+                if taken < nodes_per_block {
+                    block_of[i as usize] = block;
+                    taken += 1;
+                    let n: &CompactNode = &nodes[i as usize];
+                    if let Some(l) = n.left {
+                        frontier.push_back(l);
+                    }
+                    if let Some(r) = n.right {
+                        frontier.push_back(r);
+                    }
+                } else {
+                    // exits become roots of future groups
+                    roots.push_back(i);
+                }
+            }
+        }
+        BlockedCompactTree {
+            tree,
+            block_of,
+            num_blocks,
+            nodes_per_block,
+        }
+    }
+
+    /// Number of blocks in the layout.
+    pub fn num_blocks(&self) -> u32 {
+        self.num_blocks
+    }
+
+    /// Block id of a node.
+    pub fn block_of(&self, node: u32) -> u32 {
+        self.block_of[node as usize]
+    }
+
+    /// Distinct blocks touched by the root→leaf walk for `iso_key` (the I/O
+    /// cost of planning a query with an external index).
+    pub fn io_blocks_for(&self, iso_key: u32) -> u32 {
+        let nodes = self.tree.nodes();
+        let mut cursor = self.tree.root();
+        let mut last_block = u32::MAX;
+        let mut count = 0u32;
+        while let Some(i) = cursor {
+            let b = self.block_of[i as usize];
+            if b != last_block {
+                count += 1;
+                last_block = b;
+            }
+            let n = &nodes[i as usize];
+            cursor = if iso_key >= n.split_key { n.right } else { n.left };
+        }
+        count
+    }
+
+    /// Upper bound `ceil(height / floor(log2(B+1)))` on path blocks.
+    pub fn path_block_bound(&self) -> u32 {
+        let levels = (usize::BITS - (self.nodes_per_block + 1).leading_zeros() - 1).max(1);
+        (self.tree.height() as u32).div_ceil(levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oociso_exio::Span;
+    use oociso_metacell::MetacellInterval;
+
+    fn build_tree(n: u32) -> CompactIntervalTree {
+        let intervals: Vec<_> = (0..n)
+            .map(|i| MetacellInterval::new(i, i % 199, i % 199 + 1 + i % 31))
+            .collect();
+        let mut cursor = 0u64;
+        CompactIntervalTree::build(&intervals, &mut |_| {
+            let s = Span {
+                offset: cursor,
+                len: 8,
+            };
+            cursor += 8;
+            Ok(s)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn every_node_assigned_exactly_once() {
+        let tree = build_tree(2000);
+        let blocked = BlockedCompactTree::new(&tree, 7);
+        for i in 0..tree.num_nodes() {
+            assert_ne!(blocked.block_of(i as u32), u32::MAX);
+        }
+    }
+
+    #[test]
+    fn path_blocks_shrink_with_block_size() {
+        let tree = build_tree(4000);
+        let b1 = BlockedCompactTree::new(&tree, 1);
+        let b15 = BlockedCompactTree::new(&tree, 15);
+        let mut total1 = 0;
+        let mut total15 = 0;
+        for q in (0..200).step_by(10) {
+            total1 += b1.io_blocks_for(q);
+            total15 += b15.io_blocks_for(q);
+        }
+        assert!(
+            total15 * 2 < total1,
+            "B=15 should cut path I/O at least 2x: {total15} vs {total1}"
+        );
+    }
+
+    #[test]
+    fn path_blocks_within_bound() {
+        let tree = build_tree(3000);
+        for b in [3usize, 7, 15, 63] {
+            let blocked = BlockedCompactTree::new(&tree, b);
+            let bound = blocked.path_block_bound();
+            for q in 0..230 {
+                assert!(
+                    blocked.io_blocks_for(q) <= bound,
+                    "B={b} q={q}: {} > bound {bound}",
+                    blocked.io_blocks_for(q)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_blocks_equal_path_length() {
+        let tree = build_tree(500);
+        let blocked = BlockedCompactTree::new(&tree, 1);
+        // with one node per block, blocks touched == nodes on the path
+        let q = 42;
+        let mut cursor = tree.root();
+        let mut path = 0;
+        while let Some(i) = cursor {
+            path += 1;
+            let n = &tree.nodes()[i as usize];
+            cursor = if q >= n.split_key { n.right } else { n.left };
+        }
+        assert_eq!(blocked.io_blocks_for(q), path);
+    }
+}

@@ -1,0 +1,177 @@
+//! On-disk index format for the compact interval tree.
+//!
+//! The index is tiny (`O(n log n)` entries), so persistence is a simple flat
+//! little-endian dump with a magic/version header. A preprocessed database
+//! reopens by loading this file into memory — matching the paper's usage
+//! where "each node of the visualization cluster holds an indexing structure
+//! with pointers to the bricks stored on its local disk".
+
+use crate::brick::BrickEntry;
+use crate::compact::{CompactIntervalTree, CompactNode};
+use oociso_exio::Span;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"OOCITRE1";
+const NONE: u32 = u32::MAX;
+
+fn w32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn r32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn r64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Serialize a tree to `path`.
+pub fn save(tree: &CompactIntervalTree, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w64(&mut w, tree.nodes().len() as u64)?;
+    w32(&mut w, tree.root().unwrap_or(NONE))?;
+    w64(&mut w, tree.num_intervals())?;
+    w64(&mut w, tree.num_endpoints() as u64)?;
+    for node in tree.nodes() {
+        w32(&mut w, node.split_key)?;
+        w32(&mut w, node.left.unwrap_or(NONE))?;
+        w32(&mut w, node.right.unwrap_or(NONE))?;
+        w32(&mut w, node.entries.len() as u32)?;
+        for e in &node.entries {
+            w32(&mut w, e.vmax_key)?;
+            w32(&mut w, e.min_vmin_key)?;
+            w64(&mut w, e.span.offset)?;
+            w64(&mut w, e.span.len)?;
+            w32(&mut w, e.count)?;
+        }
+    }
+    w.flush()
+}
+
+/// Load a tree from `path`.
+pub fn load(path: &Path) -> io::Result<CompactIntervalTree> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic"));
+    }
+    let num_nodes = r64(&mut r)? as usize;
+    let root = match r32(&mut r)? {
+        NONE => None,
+        v => Some(v),
+    };
+    let num_intervals = r64(&mut r)?;
+    let num_endpoints = r64(&mut r)? as usize;
+    let mut nodes = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let split_key = r32(&mut r)?;
+        let left = match r32(&mut r)? {
+            NONE => None,
+            v => Some(v),
+        };
+        let right = match r32(&mut r)? {
+            NONE => None,
+            v => Some(v),
+        };
+        let n_entries = r32(&mut r)? as usize;
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let vmax_key = r32(&mut r)?;
+            let min_vmin_key = r32(&mut r)?;
+            let offset = r64(&mut r)?;
+            let len = r64(&mut r)?;
+            let count = r32(&mut r)?;
+            entries.push(BrickEntry {
+                vmax_key,
+                min_vmin_key,
+                span: Span { offset, len },
+                count,
+            });
+        }
+        nodes.push(CompactNode {
+            split_key,
+            entries,
+            left,
+            right,
+        });
+    }
+    Ok(CompactIntervalTree::from_parts(
+        nodes,
+        root,
+        num_intervals,
+        num_endpoints,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oociso_metacell::MetacellInterval;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("oociso_persist_{}_{}", std::process::id(), name));
+        p
+    }
+
+    fn build(n: u32) -> CompactIntervalTree {
+        let intervals: Vec<_> = (0..n)
+            .map(|i| MetacellInterval::new(i, i % 23, i % 23 + 1 + i % 7))
+            .collect();
+        let mut cursor = 0u64;
+        CompactIntervalTree::build(&intervals, &mut |_| {
+            let s = Span {
+                offset: cursor,
+                len: 16,
+            };
+            cursor += 16;
+            Ok(s)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let tree = build(500);
+        let p = tmp("rt.idx");
+        save(&tree, &p).unwrap();
+        let back = load(&p).unwrap();
+        assert_eq!(tree, back);
+        // query plans identical
+        for q in 0..32 {
+            assert_eq!(tree.plan(q), back.plan(q));
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_tree_roundtrip() {
+        let tree = CompactIntervalTree::build(&[], &mut |_| unreachable!()).unwrap();
+        let p = tmp("empty.idx");
+        save(&tree, &p).unwrap();
+        let back = load(&p).unwrap();
+        assert_eq!(tree, back);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let p = tmp("bad.idx");
+        std::fs::write(&p, b"GARBAGE_GARBAGE_GARBAGE_").unwrap();
+        assert!(load(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

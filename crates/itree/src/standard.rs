@@ -1,0 +1,224 @@
+//! The classical (standard) interval tree — the paper's size baseline.
+//!
+//! Each node stores the splitting value and **two sorted secondary lists** of
+//! every interval assigned to it: one ascending by `vmin`, one descending by
+//! `vmax` (§4). Every interval therefore appears twice, making the structure
+//! `Ω(N)` in the number of intervals — the quantity Table 1 compares against
+//! the compact tree's `O(n log n)`. It also serves as an in-memory
+//! correctness oracle for stabbing queries.
+
+use oociso_metacell::MetacellInterval;
+
+/// A stored interval reference: `(key, other_key, id)` — the secondary lists
+/// hold these sorted by their first component.
+type ListEntry = (u32, u32, u32);
+
+/// One node of the standard interval tree.
+#[derive(Clone, Debug)]
+pub struct StandardNode {
+    /// Splitting value (median of subtree endpoints).
+    pub split_key: u32,
+    /// Intervals stabbing `split_key`, ascending by `vmin`: `(vmin, vmax, id)`.
+    pub by_min: Vec<ListEntry>,
+    /// The same intervals, descending by `vmax`: `(vmax, vmin, id)`.
+    pub by_max: Vec<ListEntry>,
+    /// Left child (intervals entirely below the split).
+    pub left: Option<u32>,
+    /// Right child (intervals entirely above the split).
+    pub right: Option<u32>,
+}
+
+/// The standard binary interval tree.
+#[derive(Clone, Debug, Default)]
+pub struct StandardIntervalTree {
+    nodes: Vec<StandardNode>,
+    root: Option<u32>,
+    num_intervals: u64,
+}
+
+impl StandardIntervalTree {
+    /// Build from a set of metacell intervals.
+    pub fn build(intervals: &[MetacellInterval]) -> Self {
+        let mut tree = StandardIntervalTree {
+            nodes: Vec::new(),
+            root: None,
+            num_intervals: intervals.len() as u64,
+        };
+        let idxs: Vec<usize> = (0..intervals.len()).collect();
+        tree.root = tree.build_rec(intervals, idxs);
+        tree
+    }
+
+    fn build_rec(&mut self, intervals: &[MetacellInterval], idxs: Vec<usize>) -> Option<u32> {
+        if idxs.is_empty() {
+            return None;
+        }
+        let mut eps: Vec<u32> = Vec::with_capacity(idxs.len() * 2);
+        for &i in &idxs {
+            eps.push(intervals[i].min_key);
+            eps.push(intervals[i].max_key);
+        }
+        eps.sort_unstable();
+        eps.dedup();
+        let split_key = eps[eps.len() / 2];
+
+        let mut here = Vec::new();
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for i in idxs {
+            let iv = &intervals[i];
+            if iv.max_key < split_key {
+                left.push(i);
+            } else if iv.min_key > split_key {
+                right.push(i);
+            } else {
+                here.push(i);
+            }
+        }
+        let mut by_min: Vec<ListEntry> = here
+            .iter()
+            .map(|&i| (intervals[i].min_key, intervals[i].max_key, intervals[i].id))
+            .collect();
+        by_min.sort_unstable_by_key(|&(min, _, id)| (min, id));
+        let mut by_max: Vec<ListEntry> = here
+            .iter()
+            .map(|&i| (intervals[i].max_key, intervals[i].min_key, intervals[i].id))
+            .collect();
+        by_max.sort_unstable_by_key(|&(max, _, id)| (u32::MAX - max, id));
+
+        let me = self.nodes.len() as u32;
+        self.nodes.push(StandardNode {
+            split_key,
+            by_min,
+            by_max,
+            left: None,
+            right: None,
+        });
+        let l = self.build_rec(intervals, left);
+        let r = self.build_rec(intervals, right);
+        self.nodes[me as usize].left = l;
+        self.nodes[me as usize].right = r;
+        Some(me)
+    }
+
+    /// Stabbing query: IDs of all intervals containing `iso_key`, sorted.
+    pub fn stab(&self, iso_key: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut cursor = self.root;
+        while let Some(i) = cursor {
+            let node = &self.nodes[i as usize];
+            if iso_key < node.split_key {
+                for &(min, _max, id) in &node.by_min {
+                    if min > iso_key {
+                        break;
+                    }
+                    out.push(id);
+                }
+                cursor = node.left;
+            } else if iso_key > node.split_key {
+                for &(max, _min, id) in &node.by_max {
+                    if max < iso_key {
+                        break;
+                    }
+                    out.push(id);
+                }
+                cursor = node.right;
+            } else {
+                // exactly the split value: every interval here stabs; neither
+                // subtree can contain a stabbing interval.
+                out.extend(node.by_min.iter().map(|&(_, _, id)| id));
+                break;
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of tree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total secondary-list elements (2 per interval): the `Ω(N)` term.
+    pub fn num_list_entries(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.by_min.len() + n.by_max.len())
+            .sum()
+    }
+
+    /// Number of intervals indexed.
+    pub fn num_intervals(&self) -> u64 {
+        self.num_intervals
+    }
+
+    /// Tree height.
+    pub fn height(&self) -> usize {
+        fn h(nodes: &[StandardNode], at: Option<u32>) -> usize {
+            match at {
+                None => 0,
+                Some(i) => 1 + h(nodes, nodes[i as usize].left).max(h(nodes, nodes[i as usize].right)),
+            }
+        }
+        h(&self.nodes, self.root)
+    }
+
+    /// Nodes (read-only, for size accounting and the BBIO layout).
+    pub fn nodes(&self) -> &[StandardNode] {
+        &self.nodes
+    }
+
+    /// Root index.
+    pub fn root(&self) -> Option<u32> {
+        self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oociso_metacell::interval::brute_force_active;
+
+    fn mk(id: u32, lo: u32, hi: u32) -> MetacellInterval {
+        MetacellInterval::new(id, lo, hi)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = StandardIntervalTree::build(&[]);
+        assert_eq!(t.stab(5), Vec::<u32>::new());
+        assert_eq!(t.num_nodes(), 0);
+    }
+
+    #[test]
+    fn stab_matches_brute_force() {
+        let intervals: Vec<_> = (0..200)
+            .map(|i| mk(i, (i * 13) % 50, (i * 13) % 50 + 1 + (i % 17)))
+            .collect();
+        let t = StandardIntervalTree::build(&intervals);
+        for q in 0..70 {
+            assert_eq!(t.stab(q), brute_force_active(&intervals, q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn every_interval_listed_twice() {
+        let intervals: Vec<_> = (0..50).map(|i| mk(i, i % 10, i % 10 + 2)).collect();
+        let t = StandardIntervalTree::build(&intervals);
+        assert_eq!(t.num_list_entries(), 2 * intervals.len());
+    }
+
+    #[test]
+    fn height_logarithmic() {
+        let intervals: Vec<_> = (0..1000).map(|i| mk(i, i % 128, i % 128 + 5)).collect();
+        let t = StandardIntervalTree::build(&intervals);
+        assert!(t.height() <= 10, "height {}", t.height());
+    }
+
+    #[test]
+    fn exact_split_value_query() {
+        let intervals = vec![mk(0, 5, 5), mk(1, 0, 10), mk(2, 5, 7)];
+        let t = StandardIntervalTree::build(&intervals);
+        assert_eq!(t.stab(5), brute_force_active(&intervals, 5));
+    }
+}

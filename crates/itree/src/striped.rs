@@ -1,0 +1,310 @@
+//! Striping analysis and the range-partition baseline.
+//!
+//! §5.1's claim: dealing each brick's metacells round-robin across `p` disks
+//! makes the per-processor active count balanced for *every* isovalue (per
+//! brick, counts differ by ≤ 1). The paper contrasts this with prior
+//! range-space partitioning (Zhang–Bajaj–Blanke [21]) where "the distribution
+//! of active cells among the processors for a given isovalue could be
+//! extremely unbalanced". This module provides:
+//!
+//! * [`BalanceReport`] — imbalance statistics over per-node counts (drives
+//!   Tables 6/7);
+//! * [`range_partition`] — the baseline data distribution: processors own
+//!   contiguous value subranges;
+//! * [`round_robin_partition`] — the paper's striping, as a standalone
+//!   assignment function for head-to-head ablation.
+
+use oociso_metacell::MetacellInterval;
+
+/// Imbalance statistics over per-processor counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BalanceReport {
+    /// Count per processor.
+    pub counts: Vec<u64>,
+}
+
+impl BalanceReport {
+    /// Build from per-processor counts.
+    pub fn new(counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty());
+        BalanceReport { counts }
+    }
+
+    /// Total work.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Largest per-processor count.
+    pub fn max(&self) -> u64 {
+        *self.counts.iter().max().unwrap()
+    }
+
+    /// Smallest per-processor count.
+    pub fn min(&self) -> u64 {
+        *self.counts.iter().min().unwrap()
+    }
+
+    /// `max / mean` — 1.0 is perfect balance; the parallel completion time is
+    /// proportional to this factor.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.counts.len() as f64;
+        self.max() as f64 / mean
+    }
+
+    /// `(max - min)` spread.
+    pub fn spread(&self) -> u64 {
+        self.max() - self.min()
+    }
+}
+
+/// The paper's striping as a pure assignment: processor of the `pos`-th
+/// metacell (in ascending `vmin` order) of any brick is `pos % p`.
+///
+/// Returns `assignment[i] = processor of intervals[i]` computed brick-wise
+/// (bricks keyed by `(max_key)` within the whole set here — adequate for
+/// distribution ablations that do not need the tree; the real layout groups
+/// per tree node first, which only refines balance further).
+pub fn round_robin_partition(intervals: &[MetacellInterval], p: usize) -> Vec<usize> {
+    assert!(p > 0);
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_unstable_by_key(|&i| {
+        (
+            intervals[i].max_key,
+            intervals[i].min_key,
+            intervals[i].id,
+        )
+    });
+    let mut assignment = vec![0usize; intervals.len()];
+    let mut brick_pos = 0usize;
+    let mut prev_max: Option<u32> = None;
+    for &i in &order {
+        if prev_max != Some(intervals[i].max_key) {
+            brick_pos = 0;
+            prev_max = Some(intervals[i].max_key);
+        }
+        assignment[i] = brick_pos % p;
+        brick_pos += 1;
+    }
+    assignment
+}
+
+/// Staggered round-robin (an `oociso` extension beyond the paper): identical
+/// to [`round_robin_partition`] except each brick's deal starts at
+/// `brick_index % p` instead of always at processor 0.
+///
+/// The paper's scheme sends the *first* metacell of every brick to disk 0, so
+/// for isovalues that activate short prefixes of many bricks, node 0
+/// systematically collects the extras (aggregate spread up to the number of
+/// active bricks). Staggering the start distributes those extras round-robin,
+/// cutting the worst-case spread to roughly `#active bricks / p` while
+/// keeping the per-brick ±1 guarantee.
+pub fn staggered_round_robin_partition(
+    intervals: &[MetacellInterval],
+    p: usize,
+) -> Vec<usize> {
+    assert!(p > 0);
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_unstable_by_key(|&i| {
+        (
+            intervals[i].max_key,
+            intervals[i].min_key,
+            intervals[i].id,
+        )
+    });
+    let mut assignment = vec![0usize; intervals.len()];
+    let mut brick_pos = 0usize;
+    let mut brick_index = 0usize;
+    let mut prev_max: Option<u32> = None;
+    for &i in &order {
+        if prev_max != Some(intervals[i].max_key) {
+            if prev_max.is_some() {
+                brick_index += 1;
+            }
+            brick_pos = 0;
+            prev_max = Some(intervals[i].max_key);
+        }
+        assignment[i] = (brick_pos + brick_index) % p;
+        brick_pos += 1;
+    }
+    assignment
+}
+
+/// Range-space partition baseline: the key range is cut into `p` equal
+/// subranges; an interval belongs to the processor owning its `vmin`.
+pub fn range_partition(intervals: &[MetacellInterval], p: usize) -> Vec<usize> {
+    assert!(p > 0);
+    if intervals.is_empty() {
+        return Vec::new();
+    }
+    let lo = intervals.iter().map(|iv| iv.min_key).min().unwrap();
+    let hi = intervals.iter().map(|iv| iv.max_key).max().unwrap().max(lo + 1);
+    intervals
+        .iter()
+        .map(|iv| {
+            let t = (iv.min_key - lo) as u64 * p as u64 / (hi - lo + 1) as u64;
+            (t as usize).min(p - 1)
+        })
+        .collect()
+}
+
+/// Per-processor active counts for an isovalue under an assignment.
+pub fn active_counts(
+    intervals: &[MetacellInterval],
+    assignment: &[usize],
+    p: usize,
+    iso_key: u32,
+) -> BalanceReport {
+    let mut counts = vec![0u64; p];
+    for (iv, &proc_id) in intervals.iter().zip(assignment) {
+        if iv.contains(iso_key) {
+            counts[proc_id] += 1;
+        }
+    }
+    BalanceReport::new(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(id: u32, lo: u32, hi: u32) -> MetacellInterval {
+        MetacellInterval::new(id, lo, hi)
+    }
+
+    #[test]
+    fn balance_report_math() {
+        let r = BalanceReport::new(vec![10, 12, 8, 10]);
+        assert_eq!(r.total(), 40);
+        assert_eq!(r.max(), 12);
+        assert_eq!(r.min(), 8);
+        assert!((r.imbalance() - 1.2).abs() < 1e-9);
+        assert_eq!(r.spread(), 4);
+    }
+
+    #[test]
+    fn round_robin_spread_bounded_by_active_bricks() {
+        // skewed interval population: heavy clustering at low values.
+        // The §5.1 guarantee is per brick (counts differ by ≤ 1), so the
+        // aggregate spread is at most the number of active bricks.
+        let intervals: Vec<_> = (0..2000)
+            .map(|i| {
+                let lo = (i * i) % 37;
+                mk(i, lo, lo + 1 + (i % 11))
+            })
+            .collect();
+        let p = 4;
+        let assign = round_robin_partition(&intervals, p);
+        for q in 0..50 {
+            let r = active_counts(&intervals, &assign, p, q);
+            let active_bricks = {
+                let mut maxes: Vec<u32> = intervals
+                    .iter()
+                    .filter(|iv| iv.contains(q))
+                    .map(|iv| iv.max_key)
+                    .collect();
+                maxes.sort_unstable();
+                maxes.dedup();
+                maxes.len() as u64
+            };
+            assert!(
+                r.spread() <= active_bricks,
+                "q={q}: counts {:?}, active bricks {active_bricks}",
+                r.counts
+            );
+            // for volume-dominated isovalues the relative imbalance is tight
+            if r.total() >= 64 * active_bricks {
+                assert!(r.imbalance() < 1.1, "q={q}: counts {:?}", r.counts);
+            }
+        }
+    }
+
+    #[test]
+    fn range_partition_can_be_extremely_unbalanced() {
+        // all intervals near one value: whoever owns that subrange gets all
+        let intervals: Vec<_> = (0..1000).map(|i| mk(i, 10, 12 + i % 3)).collect();
+        let p = 4;
+        let assign = range_partition(&intervals, p);
+        let r = active_counts(&intervals, &assign, p, 11);
+        assert!(
+            r.imbalance() > 2.0,
+            "range partition should be skewed: {:?}",
+            r.counts
+        );
+        // while round-robin stays balanced on the same input
+        let rr = active_counts(&intervals, &round_robin_partition(&intervals, p), p, 11);
+        assert!(rr.imbalance() < 1.1, "{:?}", rr.counts);
+    }
+
+    #[test]
+    fn assignments_cover_all_processors() {
+        let intervals: Vec<_> = (0..100).map(|i| mk(i, i, i + 5)).collect();
+        for p in [1, 2, 5, 8] {
+            let a = round_robin_partition(&intervals, p);
+            assert!(a.iter().all(|&x| x < p));
+            let b = range_partition(&intervals, p);
+            assert!(b.iter().all(|&x| x < p));
+            let c = staggered_round_robin_partition(&intervals, p);
+            assert!(c.iter().all(|&x| x < p));
+        }
+    }
+
+    #[test]
+    fn staggered_keeps_per_brick_balance() {
+        let intervals: Vec<_> = (0..500)
+            .map(|i| mk(i, (i * 3) % 29, (i * 3) % 29 + 1 + i % 5))
+            .collect();
+        let p = 4;
+        let assign = staggered_round_robin_partition(&intervals, p);
+        // per brick (same max_key), counts differ by ≤ 1
+        use std::collections::HashMap;
+        let mut per_brick: HashMap<u32, Vec<u64>> = HashMap::new();
+        for (iv, &a) in intervals.iter().zip(&assign) {
+            per_brick.entry(iv.max_key).or_insert_with(|| vec![0; p])[a] += 1;
+        }
+        for (vmax, counts) in per_brick {
+            let hi = *counts.iter().max().unwrap();
+            let lo = *counts.iter().min().unwrap();
+            assert!(hi - lo <= 1, "brick {vmax}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn staggered_beats_plain_on_prefix_heavy_queries() {
+        // many bricks, each with a short active prefix at q=0 — the worst
+        // case for plain striping's node-0 bias
+        let intervals: Vec<_> = (0..4000)
+            .map(|i| {
+                let brick = i % 40; // 40 distinct vmax values
+                let lo = i / 40 % 17; // varying vmin
+                mk(i, lo, 100 + brick)
+            })
+            .collect();
+        let p = 4;
+        let q = 0; // activates only vmin == 0 records: short prefixes
+        let plain = active_counts(&intervals, &round_robin_partition(&intervals, p), p, q);
+        let stag = active_counts(
+            &intervals,
+            &staggered_round_robin_partition(&intervals, p),
+            p,
+            q,
+        );
+        assert_eq!(plain.total(), stag.total());
+        assert!(
+            stag.spread() * 2 <= plain.spread().max(2),
+            "staggered {:?} should beat plain {:?}",
+            stag.counts,
+            plain.counts
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(range_partition(&[], 4).is_empty());
+        assert!(round_robin_partition(&[], 4).is_empty());
+    }
+}

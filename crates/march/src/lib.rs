@@ -1,0 +1,31 @@
+//! Triangle generation: Marching Cubes and Marching Tetrahedra.
+//!
+//! Once the query pipeline has an active metacell in memory, "any of the
+//! several variations of the Marching Cubes algorithm can be used to precisely
+//! determine the active cells within the metacell and generate the appropriate
+//! triangles" (§5). This crate provides two such variants:
+//!
+//! * [`mc`] — Marching Cubes with a **generated** case table: for each of the
+//!   256 sign configurations the isosurface's intersection loops are traced
+//!   over the cube's faces with a face-local ambiguity rule (inside corners
+//!   separated). Because the rule depends only on the shared face's sign
+//!   pattern, adjacent cells always agree on their shared face and the mesh is
+//!   watertight by construction — the property tests assert it. Loops are
+//!   fan-triangulated with consistent orientation (normals point toward the
+//!   `≥ isovalue` side).
+//! * [`mt`] — Marching Tetrahedra over the 6-tetrahedra cube decomposition: a
+//!   simpler, unambiguous variant used as a cross-check and in the extraction
+//!   ablation.
+//! * [`mesh`] — minimal triangle/vector types shared with the renderer.
+
+pub mod mc;
+pub mod mesh;
+pub mod mt;
+pub mod tables;
+pub mod topology;
+pub mod unstructured;
+
+pub use mc::{marching_cubes, McStats};
+pub use mesh::{Aabb, Triangle, TriangleSoup, Vec3};
+pub use mt::{march_tet, marching_tetrahedra};
+pub use topology::{analyze, TopologyReport};

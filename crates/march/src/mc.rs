@@ -1,0 +1,360 @@
+//! Marching Cubes over a dense (sub-)volume.
+
+use crate::mesh::{Triangle, TriangleSoup, Vec3};
+use crate::tables::{tables, CORNERS, EDGES};
+use oociso_volume::{ScalarValue, Volume};
+
+/// Counters from one marching-cubes pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct McStats {
+    /// Unit cells examined.
+    pub cells_visited: u64,
+    /// Cells that intersect the isosurface.
+    pub active_cells: u64,
+    /// Triangles emitted.
+    pub triangles: u64,
+}
+
+impl McStats {
+    /// Accumulate another pass's counters.
+    pub fn merge(&mut self, o: &McStats) {
+        self.cells_visited += o.cells_visited;
+        self.active_cells += o.active_cells;
+        self.triangles += o.triangles;
+    }
+}
+
+/// Extract the isosurface of `vol` at `iso` into `soup`.
+///
+/// `origin` is the world position of vertex `(0,0,0)` and `scale` the world
+/// extent of one cell per axis — a metacell passes its own vertex-box corner
+/// so that per-metacell outputs assemble seamlessly.
+///
+/// Vertices on shared cell edges are interpolated in a canonical corner order
+/// (lexicographic grid position), so adjacent cells — and adjacent metacells —
+/// produce bit-identical positions: the soup is watertight wherever the
+/// isosurface does not exit the sampled region.
+pub fn marching_cubes<S: ScalarValue>(
+    vol: &Volume<S>,
+    iso: f32,
+    origin: Vec3,
+    scale: Vec3,
+    soup: &mut TriangleSoup,
+) -> McStats {
+    let dims = vol.dims();
+    let mut stats = McStats::default();
+    let t = tables();
+    let mut corner_vals = [0.0f32; 8];
+    let mut edge_points = [Vec3::ZERO; 12];
+
+    for cz in 0..dims.nz.saturating_sub(1) {
+        for cy in 0..dims.ny.saturating_sub(1) {
+            for cx in 0..dims.nx.saturating_sub(1) {
+                stats.cells_visited += 1;
+                let mut config = 0u8;
+                for (i, &(dx, dy, dz)) in CORNERS.iter().enumerate() {
+                    let v = vol.get(cx + dx, cy + dy, cz + dz).to_f32();
+                    corner_vals[i] = v;
+                    if v < iso {
+                        config |= 1 << i;
+                    }
+                }
+                if config == 0 || config == 255 {
+                    continue;
+                }
+                let loops = t.loops(config);
+                if loops.is_empty() {
+                    continue;
+                }
+                stats.active_cells += 1;
+                // interpolate every intersected edge once
+                for l in loops {
+                    for &e in l {
+                        edge_points[e as usize] = interp_edge(
+                            e as usize,
+                            (cx, cy, cz),
+                            &corner_vals,
+                            iso,
+                            origin,
+                            scale,
+                        );
+                    }
+                }
+                for l in loops {
+                    let v0 = edge_points[l[0] as usize];
+                    for w in l[1..].windows(2) {
+                        let tri = Triangle {
+                            v: [v0, edge_points[w[0] as usize], edge_points[w[1] as usize]],
+                        };
+                        soup.push(tri);
+                        stats.triangles += 1;
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Interpolate the isosurface crossing on cube edge `e` of the cell at `cell`,
+/// with corners canonicalized to lexicographic (z, y, x) order so both cells
+/// sharing the edge compute bit-identical points.
+#[inline]
+fn interp_edge(
+    e: usize,
+    cell: (usize, usize, usize),
+    corner_vals: &[f32; 8],
+    iso: f32,
+    origin: Vec3,
+    scale: Vec3,
+) -> Vec3 {
+    let (mut a, mut b) = EDGES[e];
+    let ga = (
+        cell.2 + CORNERS[a].2,
+        cell.1 + CORNERS[a].1,
+        cell.0 + CORNERS[a].0,
+    );
+    let gb = (
+        cell.2 + CORNERS[b].2,
+        cell.1 + CORNERS[b].1,
+        cell.0 + CORNERS[b].0,
+    );
+    if gb < ga {
+        std::mem::swap(&mut a, &mut b);
+    }
+    let (va, vb) = (corner_vals[a], corner_vals[b]);
+    // Transform both endpoints to world space *before* interpolating: with
+    // integer-valued origins (metacell corners) the endpoint positions are
+    // exact, so adjacent metacells compute bit-identical crossing points.
+    let pa = Vec3::new(
+        origin.x + (cell.0 + CORNERS[a].0) as f32 * scale.x,
+        origin.y + (cell.1 + CORNERS[a].1) as f32 * scale.y,
+        origin.z + (cell.2 + CORNERS[a].2) as f32 * scale.z,
+    );
+    let pb = Vec3::new(
+        origin.x + (cell.0 + CORNERS[b].0) as f32 * scale.x,
+        origin.y + (cell.1 + CORNERS[b].1) as f32 * scale.y,
+        origin.z + (cell.2 + CORNERS[b].2) as f32 * scale.z,
+    );
+    let t = if (vb - va).abs() > 0.0 {
+        ((iso - va) / (vb - va)).clamp(0.0, 1.0)
+    } else {
+        0.5
+    };
+    pa + (pb - pa) * t
+}
+
+/// Count active cells without emitting geometry (used by planners/reports).
+pub fn count_active_cells<S: ScalarValue>(vol: &Volume<S>, iso: f32) -> u64 {
+    let dims = vol.dims();
+    let mut active = 0u64;
+    for cz in 0..dims.nz.saturating_sub(1) {
+        for cy in 0..dims.ny.saturating_sub(1) {
+            for cx in 0..dims.nx.saturating_sub(1) {
+                let mut below = false;
+                let mut above = false;
+                for &(dx, dy, dz) in CORNERS.iter() {
+                    if vol.get(cx + dx, cy + dy, cz + dz).to_f32() < iso {
+                        below = true;
+                    } else {
+                        above = true;
+                    }
+                }
+                if below && above {
+                    active += 1;
+                }
+            }
+        }
+    }
+    active
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oociso_volume::field::{FieldExt, SphereField};
+    use oociso_volume::Dims3;
+    use std::collections::HashMap;
+
+    fn sphere_soup(n: usize, radius: f32) -> (TriangleSoup, McStats) {
+        let f = SphereField::centered(radius, 128.0);
+        let vol: Volume<f32> = f.sample(Dims3::cube(n));
+        let mut soup = TriangleSoup::new();
+        let stats = marching_cubes(
+            &vol,
+            128.0,
+            Vec3::ZERO,
+            Vec3::new(1.0, 1.0, 1.0),
+            &mut soup,
+        );
+        (soup, stats)
+    }
+
+    type VKey = (i64, i64, i64);
+
+    /// Quantized vertex key for watertightness checks.
+    fn key(v: Vec3) -> VKey {
+        let q = 1_048_576.0; // 2^20: exact for our grid-scale coordinates
+        (
+            (v.x * q).round() as i64,
+            (v.y * q).round() as i64,
+            (v.z * q).round() as i64,
+        )
+    }
+
+    #[test]
+    fn sphere_surface_is_closed() {
+        let (soup, stats) = sphere_soup(24, 0.3);
+        assert!(stats.triangles > 100);
+        assert_eq!(stats.triangles as usize, soup.len());
+        // every undirected edge must be shared by exactly two triangles
+        let mut edge_count: HashMap<(VKey, VKey), u32> = HashMap::new();
+        for t in soup.triangles() {
+            for i in 0..3 {
+                let a = key(t.v[i]);
+                let b = key(t.v[(i + 1) % 3]);
+                let e = if a < b { (a, b) } else { (b, a) };
+                *edge_count.entry(e).or_insert(0) += 1;
+            }
+        }
+        for (e, c) in &edge_count {
+            assert_eq!(*c, 2, "edge {e:?} shared by {c} triangles");
+        }
+    }
+
+    #[test]
+    fn sphere_area_close_to_analytic() {
+        // radius 0.3 of the unit cube sampled on a 48³ grid: world radius in
+        // grid units is 0.3 * 47
+        let n = 48;
+        let (soup, _) = sphere_soup(n, 0.3);
+        let r = 0.3 * (n as f32 - 1.0);
+        let analytic = 4.0 * std::f32::consts::PI * r * r;
+        let measured = soup.area() as f32;
+        let rel = (measured - analytic).abs() / analytic;
+        assert!(
+            rel < 0.05,
+            "area {measured} vs analytic {analytic} ({rel:.3} rel err)"
+        );
+    }
+
+    #[test]
+    fn euler_characteristic_of_sphere() {
+        let (soup, _) = sphere_soup(20, 0.28);
+        let mut verts = std::collections::HashSet::new();
+        let mut edges = std::collections::HashSet::new();
+        for t in soup.triangles() {
+            for i in 0..3 {
+                verts.insert(key(t.v[i]));
+                let a = key(t.v[i]);
+                let b = key(t.v[(i + 1) % 3]);
+                edges.insert(if a < b { (a, b) } else { (b, a) });
+            }
+        }
+        let v = verts.len() as i64;
+        let e = edges.len() as i64;
+        let f = soup.len() as i64;
+        assert_eq!(v - e + f, 2, "V={v} E={e} F={f}");
+    }
+
+    #[test]
+    fn normals_point_toward_higher_values() {
+        // SphereField: higher inside. Inside is ≥ iso; normals must point
+        // inward (toward the center).
+        let (soup, _) = sphere_soup(24, 0.3);
+        let center = Vec3::new(11.5, 11.5, 11.5);
+        let mut agree = 0usize;
+        for t in soup.triangles() {
+            let to_high = center - t.centroid();
+            if t.normal().dot(to_high) > 0.0 {
+                agree += 1;
+            }
+        }
+        let frac = agree as f64 / soup.len() as f64;
+        assert!(frac > 0.99, "only {frac:.3} of normals point to high side");
+    }
+
+    #[test]
+    fn metacell_decomposition_matches_monolithic() {
+        // run MC over the whole volume vs per-metacell with shared layers;
+        // triangle multiset must be identical.
+        let f = SphereField::centered(0.35, 100.0);
+        let dims = Dims3::new(17, 17, 17);
+        let vol: Volume<u8> = f.sample(dims);
+        let mut whole = TriangleSoup::new();
+        marching_cubes(&vol, 100.0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut whole);
+
+        let layout = oociso_metacell::MetacellLayout::new(dims, 9);
+        let mut parts = TriangleSoup::new();
+        for id in layout.ids() {
+            let ((x0, y0, z0), (x1, y1, z1)) = layout.vertex_box(id);
+            let sub = vol.extract_box((x0, y0, z0), (x1, y1, z1));
+            marching_cubes(
+                &sub,
+                100.0,
+                Vec3::new(x0 as f32, y0 as f32, z0 as f32),
+                Vec3::new(1.0, 1.0, 1.0),
+                &mut parts,
+            );
+        }
+        assert_eq!(whole.len(), parts.len());
+        let canon = |s: &TriangleSoup| {
+            let mut v: Vec<_> = s
+                .triangles()
+                .iter()
+                .map(|t| {
+                    let mut ks = [key(t.v[0]), key(t.v[1]), key(t.v[2])];
+                    ks.sort_unstable();
+                    ks
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(canon(&whole), canon(&parts));
+    }
+
+    #[test]
+    fn count_matches_generation() {
+        let f = SphereField::centered(0.3, 128.0);
+        let vol: Volume<u8> = f.sample(Dims3::cube(16));
+        let mut soup = TriangleSoup::new();
+        let stats = marching_cubes(
+            &vol,
+            128.0,
+            Vec3::ZERO,
+            Vec3::new(1.0, 1.0, 1.0),
+            &mut soup,
+        );
+        assert_eq!(stats.active_cells, count_active_cells(&vol, 128.0));
+        assert_eq!(stats.cells_visited, 15 * 15 * 15);
+    }
+
+    #[test]
+    fn flat_field_yields_nothing() {
+        let vol = Volume::<u8>::filled(Dims3::cube(8), 10);
+        let mut soup = TriangleSoup::new();
+        let stats = marching_cubes(
+            &vol,
+            128.0,
+            Vec3::ZERO,
+            Vec3::new(1.0, 1.0, 1.0),
+            &mut soup,
+        );
+        assert_eq!(stats.triangles, 0);
+        assert_eq!(stats.active_cells, 0);
+        assert!(soup.is_empty());
+    }
+
+    #[test]
+    fn no_degenerate_triangles_on_generic_field() {
+        let (soup, _) = sphere_soup(16, 0.31);
+        let degenerate = soup
+            .triangles()
+            .iter()
+            .filter(|t| t.is_degenerate())
+            .count();
+        // sphere positioned off-lattice: no crossings exactly at corners
+        assert_eq!(degenerate, 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Minimal geometry types for isosurface meshes.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A 3-component `f32` vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector (zero stays zero).
+    pub fn normalized(self) -> Vec3 {
+        let l = self.length();
+        if l > 0.0 {
+            self / l
+        } else {
+            Vec3::ZERO
+        }
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f32) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f32) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// One isosurface triangle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Triangle {
+    /// The three vertices, wound so [`Triangle::normal`] points toward the
+    /// `≥ isovalue` side of the field.
+    pub v: [Vec3; 3],
+}
+
+impl Triangle {
+    /// Unnormalized face normal (`(v1-v0) × (v2-v0)`).
+    #[inline]
+    pub fn raw_normal(&self) -> Vec3 {
+        (self.v[1] - self.v[0]).cross(self.v[2] - self.v[0])
+    }
+
+    /// Unit face normal.
+    pub fn normal(&self) -> Vec3 {
+        self.raw_normal().normalized()
+    }
+
+    /// Triangle area.
+    pub fn area(&self) -> f32 {
+        self.raw_normal().length() * 0.5
+    }
+
+    /// Centroid.
+    pub fn centroid(&self) -> Vec3 {
+        (self.v[0] + self.v[1] + self.v[2]) / 3.0
+    }
+
+    /// Whether the triangle has (near-)zero area.
+    pub fn is_degenerate(&self) -> bool {
+        self.area() < 1e-12
+    }
+}
+
+/// Axis-aligned bounding box.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb {
+    pub lo: Vec3,
+    pub hi: Vec3,
+}
+
+impl Aabb {
+    /// The empty box (inverted bounds).
+    pub fn empty() -> Self {
+        Aabb {
+            lo: Vec3::new(f32::INFINITY, f32::INFINITY, f32::INFINITY),
+            hi: Vec3::new(f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY),
+        }
+    }
+
+    /// Expand to include a point.
+    pub fn grow(&mut self, p: Vec3) {
+        self.lo = self.lo.min(p);
+        self.hi = self.hi.max(p);
+    }
+
+    /// Box center.
+    pub fn center(&self) -> Vec3 {
+        (self.lo + self.hi) * 0.5
+    }
+
+    /// Diagonal vector.
+    pub fn extent(&self) -> Vec3 {
+        self.hi - self.lo
+    }
+}
+
+/// A bag of triangles (positions only; normals derived per face).
+#[derive(Clone, Debug, Default)]
+pub struct TriangleSoup {
+    tris: Vec<Triangle>,
+}
+
+impl TriangleSoup {
+    /// Empty soup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Preallocate.
+    pub fn with_capacity(n: usize) -> Self {
+        TriangleSoup {
+            tris: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append one triangle.
+    #[inline]
+    pub fn push(&mut self, t: Triangle) {
+        self.tris.push(t);
+    }
+
+    /// Number of triangles.
+    pub fn len(&self) -> usize {
+        self.tris.len()
+    }
+
+    /// Whether the soup holds no triangles.
+    pub fn is_empty(&self) -> bool {
+        self.tris.is_empty()
+    }
+
+    /// Triangle slice.
+    pub fn triangles(&self) -> &[Triangle] {
+        &self.tris
+    }
+
+    /// Total surface area.
+    pub fn area(&self) -> f64 {
+        self.tris.iter().map(|t| t.area() as f64).sum()
+    }
+
+    /// Bounding box of all vertices.
+    pub fn bounds(&self) -> Aabb {
+        let mut b = Aabb::empty();
+        for t in &self.tris {
+            for &v in &t.v {
+                b.grow(v);
+            }
+        }
+        b
+    }
+
+    /// Absorb another soup.
+    pub fn append(&mut self, mut other: TriangleSoup) {
+        self.tris.append(&mut other.tris);
+    }
+}
+
+impl TriangleSoup {
+    /// Export as a Wavefront OBJ file (positions only, per-face normals are
+    /// implicit). Vertices are written per triangle without welding — simple
+    /// and loss-free; viewers handle it fine for meshes of this size.
+    pub fn write_obj(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "# oociso isosurface: {} triangles", self.len())?;
+        for t in &self.tris {
+            for v in &t.v {
+                writeln!(out, "v {} {} {}", v.x, v.y, v.z)?;
+            }
+        }
+        for i in 0..self.tris.len() {
+            let b = 3 * i + 1;
+            writeln!(out, "f {} {} {}", b, b + 1, b + 2)?;
+        }
+        out.flush()
+    }
+}
+
+impl FromIterator<Triangle> for TriangleSoup {
+    fn from_iter<I: IntoIterator<Item = Triangle>>(iter: I) -> Self {
+        TriangleSoup {
+            tris: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_algebra() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!((a + b).length(), 2.0f32.sqrt());
+        assert_eq!((a * 3.0).x, 3.0);
+        assert_eq!((-a).x, -1.0);
+    }
+
+    #[test]
+    fn normalize_zero_safe() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+        let n = Vec3::new(0.0, 0.0, 5.0).normalized();
+        assert!((n.z - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triangle_area_and_normal() {
+        let t = Triangle {
+            v: [
+                Vec3::new(0.0, 0.0, 0.0),
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+            ],
+        };
+        assert!((t.area() - 0.5).abs() < 1e-6);
+        assert_eq!(t.normal(), Vec3::new(0.0, 0.0, 1.0));
+        assert!(!t.is_degenerate());
+        let d = Triangle {
+            v: [Vec3::ZERO, Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)],
+        };
+        assert!(d.is_degenerate());
+    }
+
+    #[test]
+    fn soup_accounting() {
+        let mut s = TriangleSoup::new();
+        assert!(s.is_empty());
+        s.push(Triangle {
+            v: [
+                Vec3::ZERO,
+                Vec3::new(2.0, 0.0, 0.0),
+                Vec3::new(0.0, 2.0, 0.0),
+            ],
+        });
+        assert_eq!(s.len(), 1);
+        assert!((s.area() - 2.0).abs() < 1e-6);
+        let b = s.bounds();
+        assert_eq!(b.lo, Vec3::ZERO);
+        assert_eq!(b.hi, Vec3::new(2.0, 2.0, 0.0));
+        let mut s2 = TriangleSoup::new();
+        s2.append(s.clone());
+        s2.append(s);
+        assert_eq!(s2.len(), 2);
+    }
+
+    #[test]
+    fn obj_export_well_formed() {
+        let mut s = TriangleSoup::new();
+        s.push(Triangle {
+            v: [
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+            ],
+        });
+        s.push(Triangle {
+            v: [
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(1.0, 1.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+            ],
+        });
+        let mut p = std::env::temp_dir();
+        p.push(format!("oociso_mesh_{}.obj", std::process::id()));
+        s.write_obj(&p).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("v ")).count(), 6);
+        assert_eq!(text.lines().filter(|l| l.starts_with("f ")).count(), 2);
+        assert!(text.contains("f 4 5 6"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn aabb_grow() {
+        let mut b = Aabb::empty();
+        b.grow(Vec3::new(1.0, 2.0, 3.0));
+        b.grow(Vec3::new(-1.0, 0.0, 5.0));
+        assert_eq!(b.lo, Vec3::new(-1.0, 0.0, 3.0));
+        assert_eq!(b.hi, Vec3::new(1.0, 2.0, 5.0));
+        assert_eq!(b.center(), Vec3::new(0.0, 1.0, 4.0));
+    }
+}

@@ -1,0 +1,370 @@
+//! Generated Marching Cubes case tables.
+//!
+//! Instead of transcribing the classic 256×16 triangle table, the table is
+//! *derived* at first use from the cube's combinatorics:
+//!
+//! 1. For a sign configuration (bit `i` set ⇔ corner `i` is *inside*, i.e.
+//!    `value < isovalue`), every cube face contributes directed surface
+//!    segments between its intersected edges. Segments bound the inside
+//!    region counter-clockwise as seen from outside the cube; on ambiguous
+//!    faces (diagonal insides) the rule *separates the inside corners*. The
+//!    rule depends only on the face's own sign pattern, so two cells sharing
+//!    a face always produce identical segments there — the mesh is watertight
+//!    across cells by construction.
+//! 2. Each intersected cube edge is the start of exactly one segment and the
+//!    end of exactly one, so segments form disjoint directed cycles; tracing
+//!    them yields the configuration's oriented edge loops.
+//!
+//! The resulting per-configuration loops are functionally equivalent to the
+//! classic Lorensen–Cline/Bourke table (same surface topology for all
+//! unambiguous cases; the fixed separate-inside rule for ambiguous ones) and
+//! validated by the invariants in this module's tests.
+
+use std::sync::OnceLock;
+
+/// Corner offsets within a cell, Bourke numbering: 0–3 on the `z` face
+/// (x, y winding), 4–7 above them.
+pub const CORNERS: [(usize, usize, usize); 8] = [
+    (0, 0, 0),
+    (1, 0, 0),
+    (1, 1, 0),
+    (0, 1, 0),
+    (0, 0, 1),
+    (1, 0, 1),
+    (1, 1, 1),
+    (0, 1, 1),
+];
+
+/// The cube's 12 edges as corner pairs, Bourke numbering.
+pub const EDGES: [(usize, usize); 12] = [
+    (0, 1),
+    (1, 2),
+    (2, 3),
+    (3, 0),
+    (4, 5),
+    (5, 6),
+    (6, 7),
+    (7, 4),
+    (0, 4),
+    (1, 5),
+    (2, 6),
+    (3, 7),
+];
+
+/// Face corner cycles (adjacent corners around each face) with outward
+/// normals; cycles are re-oriented CCW-from-outside at table build time.
+const FACE_CYCLES: [([usize; 4], [f32; 3]); 6] = [
+    ([0, 3, 7, 4], [-1.0, 0.0, 0.0]), // x = 0
+    ([1, 2, 6, 5], [1.0, 0.0, 0.0]),  // x = 1
+    ([0, 1, 5, 4], [0.0, -1.0, 0.0]), // y = 0
+    ([2, 3, 7, 6], [0.0, 1.0, 0.0]),  // y = 1
+    ([0, 1, 2, 3], [0.0, 0.0, -1.0]), // z = 0
+    ([4, 5, 6, 7], [0.0, 0.0, 1.0]),  // z = 1
+];
+
+/// The case table: for each of the 256 configurations, the oriented loops of
+/// cube-edge indices the isosurface traces through the cell.
+pub struct McTables {
+    loops: Vec<Vec<Vec<u8>>>,
+}
+
+impl McTables {
+    /// The loops for a configuration.
+    #[inline]
+    pub fn loops(&self, config: u8) -> &[Vec<u8>] {
+        &self.loops[config as usize]
+    }
+
+    /// Triangle count the configuration will emit (fan triangulation).
+    pub fn triangle_count(&self, config: u8) -> usize {
+        self.loops[config as usize]
+            .iter()
+            .map(|l| l.len().saturating_sub(2))
+            .sum()
+    }
+}
+
+/// Access the lazily generated global tables.
+pub fn tables() -> &'static McTables {
+    static TABLES: OnceLock<McTables> = OnceLock::new();
+    TABLES.get_or_init(generate)
+}
+
+fn corner_pos(c: usize) -> [f32; 3] {
+    let (x, y, z) = CORNERS[c];
+    [x as f32, y as f32, z as f32]
+}
+
+/// Edge index for an unordered corner pair.
+fn edge_between(a: usize, b: usize) -> u8 {
+    for (i, &(p, q)) in EDGES.iter().enumerate() {
+        if (p == a && q == b) || (p == b && q == a) {
+            return i as u8;
+        }
+    }
+    panic!("corners {a},{b} do not share an edge");
+}
+
+/// Re-orient a face cycle to be CCW when viewed from outside (along -normal).
+fn ccw_cycle(cycle: [usize; 4], normal: [f32; 3]) -> [usize; 4] {
+    let p0 = corner_pos(cycle[0]);
+    let p1 = corner_pos(cycle[1]);
+    let p2 = corner_pos(cycle[2]);
+    let u = [p1[0] - p0[0], p1[1] - p0[1], p1[2] - p0[2]];
+    let v = [p2[0] - p1[0], p2[1] - p1[1], p2[2] - p1[2]];
+    let cross = [
+        u[1] * v[2] - u[2] * v[1],
+        u[2] * v[0] - u[0] * v[2],
+        u[0] * v[1] - u[1] * v[0],
+    ];
+    let dot = cross[0] * normal[0] + cross[1] * normal[1] + cross[2] * normal[2];
+    if dot > 0.0 {
+        cycle
+    } else {
+        [cycle[0], cycle[3], cycle[2], cycle[1]]
+    }
+}
+
+/// Generate the full table.
+fn generate() -> McTables {
+    // Pre-orient all faces.
+    let faces: Vec<[usize; 4]> = FACE_CYCLES
+        .iter()
+        .map(|&(cycle, normal)| ccw_cycle(cycle, normal))
+        .collect();
+
+    let mut loops = Vec::with_capacity(256);
+    for config in 0..256u16 {
+        loops.push(loops_for(config as u8, &faces));
+    }
+    McTables { loops }
+}
+
+/// Directed segments for one configuration: `next[edge] = edge` mapping.
+fn loops_for(config: u8, faces: &[[usize; 4]]) -> Vec<Vec<u8>> {
+    let inside = |c: usize| (config >> c) & 1 == 1;
+    // next[from_edge] = to_edge
+    let mut next: [Option<u8>; 12] = [None; 12];
+    for cycle in faces {
+        // maximal cyclic runs of inside corners
+        let ins: Vec<bool> = cycle.iter().map(|&c| inside(c)).collect();
+        let count = ins.iter().filter(|&&b| b).count();
+        if count == 0 || count == 4 {
+            continue;
+        }
+        for start in 0..4 {
+            // a run starts at `start` if corner is inside and predecessor is not
+            if ins[start] && !ins[(start + 3) % 4] {
+                // walk to the end of the run
+                let mut end = start;
+                while ins[(end + 1) % 4] {
+                    end = (end + 1) % 4;
+                }
+                let enter = edge_between(cycle[(start + 3) % 4], cycle[start]);
+                let exit = edge_between(cycle[end], cycle[(end + 1) % 4]);
+                // segment runs from the exit crossing back to the enter
+                // crossing, closing the inside region CCW from outside
+                debug_assert!(next[exit as usize].is_none());
+                next[exit as usize] = Some(enter);
+            }
+        }
+    }
+    // trace directed cycles
+    let mut visited = [false; 12];
+    let mut result = Vec::new();
+    for start in 0..12u8 {
+        if visited[start as usize] || next[start as usize].is_none() {
+            continue;
+        }
+        let mut cycle = Vec::new();
+        let mut at = start;
+        loop {
+            visited[at as usize] = true;
+            cycle.push(at);
+            at = next[at as usize].expect("2-regular segment graph");
+            if at == start {
+                break;
+            }
+        }
+        // Tracing follows the inside region's CCW boundary as seen from
+        // outside the cube, which fan-triangulates with normals toward the
+        // inside (< iso) side; reverse so normals point toward ≥ iso.
+        cycle.reverse();
+        result.push(cycle);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Edge is intersected iff its corners have different inside flags.
+    fn intersected_edges(config: u8) -> Vec<u8> {
+        let inside = |c: usize| (config >> c) & 1 == 1;
+        EDGES
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b))| inside(a) != inside(b))
+            .map(|(i, _)| i as u8)
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_full_configs_have_no_loops() {
+        let t = tables();
+        assert!(t.loops(0).is_empty());
+        assert!(t.loops(255).is_empty());
+    }
+
+    #[test]
+    fn loops_cover_exactly_the_intersected_edges() {
+        let t = tables();
+        for config in 0..=255u8 {
+            let mut covered: Vec<u8> = t
+                .loops(config)
+                .iter()
+                .flat_map(|l| l.iter().copied())
+                .collect();
+            covered.sort_unstable();
+            let mut expected = intersected_edges(config);
+            expected.sort_unstable();
+            assert_eq!(covered, expected, "config {config:#04x}");
+        }
+    }
+
+    #[test]
+    fn loops_have_at_least_three_edges() {
+        let t = tables();
+        for config in 0..=255u8 {
+            for l in t.loops(config) {
+                assert!(l.len() >= 3, "config {config:#04x}: loop {l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_corner_cases_are_one_triangle() {
+        let t = tables();
+        for c in 0..8 {
+            let config = 1u8 << c;
+            assert_eq!(t.loops(config).len(), 1);
+            assert_eq!(t.loops(config)[0].len(), 3);
+            assert_eq!(t.triangle_count(config), 1);
+        }
+    }
+
+    #[test]
+    fn complementary_configs_same_edges_reversed_orientation() {
+        let t = tables();
+        for config in 0..=255u8 {
+            let comp = !config;
+            let mut a: Vec<u8> = t
+                .loops(config)
+                .iter()
+                .flat_map(|l| l.iter().copied())
+                .collect();
+            let mut b: Vec<u8> = t
+                .loops(comp)
+                .iter()
+                .flat_map(|l| l.iter().copied())
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "config {config:#04x} vs complement");
+        }
+    }
+
+    /// The heart of watertightness: two adjacent cells share a face; the
+    /// segments each cell's configuration induces on that face must coincide
+    /// (as undirected edge pairs). We check all 256×(opposite-face pairings).
+    #[test]
+    fn shared_face_segments_agree() {
+        // For the +x face of cell A and the -x face of cell B, corner
+        // correspondence: A corners (1,2,6,5) ↔ B corners (0,3,7,4); edges
+        // e1↔e3 (wait—match via corner pairs directly).
+        // Build the face-segment sets directly from loops_for internals by
+        // re-deriving them per face from the table loops: a loop step u→v is a
+        // face segment of the unique face containing both edges.
+        let t = tables();
+        // map: for each config, set of (face_idx, unordered edge pair)
+        let faces: Vec<[usize; 4]> = FACE_CYCLES
+            .iter()
+            .map(|&(cycle, normal)| ccw_cycle(cycle, normal))
+            .collect();
+        let face_edges: Vec<Vec<u8>> = faces
+            .iter()
+            .map(|cy| {
+                (0..4)
+                    .map(|i| edge_between(cy[i], cy[(i + 1) % 4]))
+                    .collect()
+            })
+            .collect();
+        let face_of_pair = |a: u8, b: u8| -> Option<usize> {
+            face_edges
+                .iter()
+                .position(|fe| fe.contains(&a) && fe.contains(&b))
+        };
+        let segments_on_face = |config: u8, face: usize| -> Vec<(u8, u8)> {
+            let mut out = Vec::new();
+            for l in t.loops(config) {
+                for i in 0..l.len() {
+                    let u = l[i];
+                    let v = l[(i + 1) % l.len()];
+                    if let Some(f) = face_of_pair(u, v) {
+                        if f == face {
+                            out.push((u.min(v), u.max(v)));
+                        }
+                    }
+                }
+            }
+            out.sort_unstable();
+            out
+        };
+        // cell A's +x face (face index 1, corners 1,2,6,5) adjoins cell B's -x
+        // face (face 0, corners 0,3,7,4) with correspondence 1→0, 2→3, 6→7, 5→4.
+        // Edge correspondence: e1=(1,2)→(0,3)=e3, e10=(2,6)→(3,7)=e11,
+        // e5=(5,6)→(4,7)=e7, e9=(1,5)→(0,4)=e8.
+        let edge_map: [(u8, u8); 4] = [(1, 3), (10, 11), (5, 7), (9, 8)];
+        let map_edge = |e: u8| -> u8 {
+            edge_map
+                .iter()
+                .find(|&&(a, _)| a == e)
+                .map(|&(_, b)| b)
+                .unwrap()
+        };
+        for config_a in 0..=255u8 {
+            // B's corners 0,3,7,4 must match A's 1,2,6,5 inside flags; B's
+            // other corners are free — but the face segments depend only on
+            // the shared corners, so fix them to 0.
+            let bit = |cfg: u8, c: usize| (cfg >> c) & 1;
+            let config_b = bit(config_a, 1)
+                | (bit(config_a, 2) << 3)
+                | (bit(config_a, 6) << 7)
+                | (bit(config_a, 5) << 4);
+            let seg_a = segments_on_face(config_a, 1);
+            let seg_b: Vec<(u8, u8)> = segments_on_face(config_b, 0);
+            let mapped_a: Vec<(u8, u8)> = {
+                let mut v: Vec<(u8, u8)> = seg_a
+                    .iter()
+                    .map(|&(u, w)| {
+                        let (mu, mw) = (map_edge(u), map_edge(w));
+                        (mu.min(mw), mu.max(mw))
+                    })
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(mapped_a, seg_b, "config {config_a:#04x}");
+        }
+    }
+
+    #[test]
+    fn triangle_counts_bounded() {
+        let t = tables();
+        for config in 0..=255u8 {
+            let n = t.triangle_count(config);
+            assert!(n <= 10, "config {config:#04x}: {n} triangles");
+        }
+    }
+}

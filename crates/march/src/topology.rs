@@ -1,0 +1,215 @@
+//! Mesh topology analysis: welding, components, Euler characteristic.
+//!
+//! Tools a downstream user needs to *verify* an extracted isosurface: weld
+//! the triangle soup into an indexed mesh, count connected components,
+//! classify boundary vs interior edges, and compute the Euler characteristic
+//! (2 per sphere-like closed component). The test suites use these to check
+//! whole-pipeline watertightness.
+
+use crate::mesh::{TriangleSoup, Vec3};
+use std::collections::HashMap;
+
+/// Quantization factor for welding (2^20 per unit — exact for the grid-scale
+/// coordinates the extractors emit).
+const WELD_SCALE: f32 = 1_048_576.0;
+
+fn weld_key(v: Vec3) -> (i64, i64, i64) {
+    (
+        (v.x * WELD_SCALE).round() as i64,
+        (v.y * WELD_SCALE).round() as i64,
+        (v.z * WELD_SCALE).round() as i64,
+    )
+}
+
+/// Summary topology report for a triangle soup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopologyReport {
+    /// Welded (position-unique) vertices.
+    pub vertices: usize,
+    /// Distinct undirected edges.
+    pub edges: usize,
+    /// Non-degenerate triangles.
+    pub faces: usize,
+    /// Edges incident to an odd number of faces (surface boundary — zero for
+    /// a closed surface).
+    pub boundary_edges: usize,
+    /// Connected components (by shared welded vertices).
+    pub components: usize,
+}
+
+impl TopologyReport {
+    /// Euler characteristic `V - E + F`.
+    pub fn euler_characteristic(&self) -> i64 {
+        self.vertices as i64 - self.edges as i64 + self.faces as i64
+    }
+
+    /// Whether every edge is matched (no surface boundary).
+    pub fn is_closed(&self) -> bool {
+        self.boundary_edges == 0
+    }
+}
+
+/// Union-find over dense indices.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Analyze a triangle soup: weld vertices, count edges/faces/components.
+/// Degenerate (zero-area) triangles are ignored.
+pub fn analyze(soup: &TriangleSoup) -> TopologyReport {
+    let mut vert_id: HashMap<(i64, i64, i64), u32> = HashMap::new();
+    let mut edge_count: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut faces = 0usize;
+    let mut tri_ids: Vec<[u32; 3]> = Vec::new();
+    for t in soup.triangles() {
+        if t.is_degenerate() {
+            continue;
+        }
+        faces += 1;
+        let mut ids = [0u32; 3];
+        for (k, &v) in t.v.iter().enumerate() {
+            let next = vert_id.len() as u32;
+            ids[k] = *vert_id.entry(weld_key(v)).or_insert(next);
+        }
+        for i in 0..3 {
+            let (a, b) = (ids[i], ids[(i + 1) % 3]);
+            let e = if a < b { (a, b) } else { (b, a) };
+            if a != b {
+                *edge_count.entry(e).or_insert(0) += 1;
+            }
+        }
+        tri_ids.push(ids);
+    }
+    let mut uf = UnionFind::new(vert_id.len());
+    for ids in &tri_ids {
+        uf.union(ids[0], ids[1]);
+        uf.union(ids[1], ids[2]);
+    }
+    let mut roots = std::collections::HashSet::new();
+    for v in 0..vert_id.len() as u32 {
+        let r = uf.find(v);
+        roots.insert(r);
+    }
+    TopologyReport {
+        vertices: vert_id.len(),
+        edges: edge_count.len(),
+        faces,
+        boundary_edges: edge_count.values().filter(|&&c| c % 2 == 1).count(),
+        components: roots.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc::marching_cubes;
+    use crate::mesh::Triangle;
+    use oociso_volume::field::{AnalyticField, FieldExt, SphereField, TorusField};
+    use oociso_volume::{Dims3, Volume};
+
+    fn extract(f: &impl AnalyticField, level: f32, n: usize) -> TriangleSoup {
+        let vol: Volume<f32> = f.sample(Dims3::cube(n));
+        let mut soup = TriangleSoup::new();
+        marching_cubes(&vol, level, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
+        soup
+    }
+
+    #[test]
+    fn sphere_topology() {
+        let soup = extract(&SphereField::centered(0.3, 128.0), 128.0, 24);
+        let r = analyze(&soup);
+        assert!(r.is_closed());
+        assert_eq!(r.components, 1);
+        assert_eq!(r.euler_characteristic(), 2, "{r:?}");
+    }
+
+    #[test]
+    fn torus_topology() {
+        let f = TorusField {
+            major: 0.3,
+            minor: 0.1,
+            level: 128.0,
+            slope: 400.0,
+        };
+        let soup = extract(&f, 128.0, 40);
+        let r = analyze(&soup);
+        assert!(r.is_closed());
+        assert_eq!(r.components, 1);
+        assert_eq!(r.euler_characteristic(), 0, "genus-1: {r:?}");
+    }
+
+    #[test]
+    fn two_spheres_two_components() {
+        let f = |x: f32, y: f32, z: f32| {
+            let a = SphereField {
+                center: [0.28, 0.5, 0.5],
+                radius: 0.15,
+                level: 128.0,
+                slope: 400.0,
+            };
+            let b = SphereField {
+                center: [0.72, 0.5, 0.5],
+                radius: 0.15,
+                level: 128.0,
+                slope: 400.0,
+            };
+            a.eval(x, y, z).max(b.eval(x, y, z))
+        };
+        let soup = extract(&f, 128.0, 32);
+        let r = analyze(&soup);
+        assert_eq!(r.components, 2, "{r:?}");
+        assert!(r.is_closed());
+        assert_eq!(r.euler_characteristic(), 4, "two spheres: {r:?}");
+    }
+
+    #[test]
+    fn open_surface_has_boundary() {
+        // a plane through the volume exits at the sides: boundary edges > 0
+        let f = |_x: f32, _y: f32, z: f32| z * 255.0;
+        let soup = extract(&f, 128.0, 12);
+        let r = analyze(&soup);
+        assert!(!r.is_closed());
+        assert!(r.boundary_edges > 0);
+        assert_eq!(r.components, 1);
+    }
+
+    #[test]
+    fn degenerate_triangles_ignored() {
+        let mut soup = TriangleSoup::new();
+        soup.push(Triangle {
+            v: [Vec3::ZERO, Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)],
+        });
+        let r = analyze(&soup);
+        assert_eq!(r.faces, 0);
+        assert_eq!(r.vertices, 0);
+    }
+
+    #[test]
+    fn empty_soup() {
+        let r = analyze(&TriangleSoup::new());
+        assert_eq!(r.vertices, 0);
+        assert_eq!(r.components, 0);
+        assert!(r.is_closed());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the marching-cubes core: all 256 configurations via
+//! random single-cell volumes, plus complementarity and edge-incidence
+//! invariants on random multi-cell fields.
+
+use oociso_march::{marching_cubes, marching_tetrahedra, TriangleSoup, Vec3};
+use oociso_volume::{Dims3, Volume};
+use proptest::prelude::*;
+
+fn single_cell(values: [u8; 8]) -> Volume<u8> {
+    // corner order must match tables::CORNERS
+    let mut data = vec![0u8; 8];
+    let corners = [
+        (0, 0, 0),
+        (1, 0, 0),
+        (1, 1, 0),
+        (0, 1, 0),
+        (0, 0, 1),
+        (1, 0, 1),
+        (1, 1, 1),
+        (0, 1, 1),
+    ];
+    let dims = Dims3::cube(2);
+    for (i, &(x, y, z)) in corners.iter().enumerate() {
+        data[dims.index(x, y, z)] = values[i];
+    }
+    Volume::from_vec(dims, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn single_cell_triangles_lie_on_cube_edges(values in any::<[u8; 8]>(), iso in 1u32..255) {
+        let iso = iso as f32 - 0.5; // avoid exact vertex hits
+        let vol = single_cell(values);
+        let mut soup = TriangleSoup::new();
+        marching_cubes(&vol, iso, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
+        for t in soup.triangles() {
+            for v in &t.v {
+                // every vertex lies on a cube edge: two coordinates integral
+                let frac = |x: f32| x.fract().abs() > 1e-6 && (1.0 - x.fract()).abs() > 1e-6;
+                let fractional = [frac(v.x), frac(v.y), frac(v.z)];
+                prop_assert!(fractional.iter().filter(|&&f| f).count() <= 1,
+                    "vertex {v:?} not on an edge");
+                prop_assert!((-1e-5..=1.00001).contains(&v.x));
+                prop_assert!((-1e-5..=1.00001).contains(&v.y));
+                prop_assert!((-1e-5..=1.00001).contains(&v.z));
+            }
+        }
+    }
+
+    #[test]
+    fn complementary_fields_same_crossing_points(values in any::<[u8; 8]>(), iso in 1u32..255) {
+        // Inverting the field around the isovalue flips inside/outside. The
+        // crossing points are identical; the triangulation may differ (the
+        // separate-inside-corners ambiguity rule is intentionally asymmetric
+        // under complement — both topologies are valid isosurfaces).
+        let iso_f = iso as f32 - 0.5;
+        let vol = single_cell(values);
+        let inv_values: Vec<u8> = vol.data().iter().map(|&v| 255 - v).collect();
+        let inv = Volume::from_vec(Dims3::cube(2), inv_values);
+        let mut a = TriangleSoup::new();
+        marching_cubes(&vol, iso_f, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut a);
+        let mut b = TriangleSoup::new();
+        marching_cubes(&inv, 255.0 - iso_f, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut b);
+        let points = |s: &TriangleSoup| {
+            let mut v: Vec<(i64, i64, i64)> = s
+                .triangles()
+                .iter()
+                .flat_map(|t| t.v.iter())
+                .map(|p| {
+                    let q = 1_048_576.0;
+                    ((p.x * q).round() as i64, (p.y * q).round() as i64, (p.z * q).round() as i64)
+                })
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        prop_assert_eq!(points(&a), points(&b));
+        prop_assert_eq!(a.is_empty(), b.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_fields_have_even_interior_edge_parity(seed in any::<u64>()) {
+        // Crack detection on arbitrary fields: every mesh edge whose
+        // endpoints are strictly interior to the volume must be incident to
+        // an EVEN number of triangles. A crack (one cell emitting a face
+        // segment its neighbour does not match) shows up as odd parity.
+        // (Exactly-2 is too strong: a fan diagonal may coincide with a
+        // neighbour cell's face segment, legally yielding 4.)
+        let dims = Dims3::new(9, 9, 9);
+        let vol = Volume::<u8>::generate(dims, |x, y, z| {
+            (oociso_volume::noise::splitmix64(
+                seed ^ ((x + 31 * y + 977 * z) as u64)) & 0xff) as u8
+        });
+        let mut soup = TriangleSoup::new();
+        marching_cubes(&vol, 127.5, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
+        let q = 1_048_576.0;
+        let key = |v: Vec3| {
+            ((v.x * q).round() as i64, (v.y * q).round() as i64, (v.z * q).round() as i64)
+        };
+        let hi = 8i64 * q as i64;
+        let on_boundary = |k: (i64, i64, i64)| {
+            k.0 == 0 || k.1 == 0 || k.2 == 0 || k.0 == hi || k.1 == hi || k.2 == hi
+        };
+        let mut edges = std::collections::HashMap::new();
+        for t in soup.triangles() {
+            for i in 0..3 {
+                let a = key(t.v[i]);
+                let b = key(t.v[(i + 1) % 3]);
+                let e = if a < b { (a, b) } else { (b, a) };
+                *edges.entry(e).or_insert(0u32) += 1;
+            }
+        }
+        for (e, c) in edges {
+            if on_boundary(e.0) && on_boundary(e.1) {
+                continue; // surface may legitimately end at the volume edge
+            }
+            prop_assert!(c % 2 == 0, "edge {e:?} has odd parity {c}: crack");
+        }
+    }
+
+    #[test]
+    fn mt_and_mc_agree_on_cell_activity(seed in any::<u64>()) {
+        // both extractors produce geometry in exactly the same set of cells
+        // (surface area agreement is checked elsewhere; here: emptiness)
+        let dims = Dims3::new(6, 6, 6);
+        let vol = Volume::<u8>::generate(dims, |x, y, z| {
+            (oociso_volume::noise::splitmix64(
+                seed ^ ((x + 17 * y + 389 * z) as u64)) & 0xff) as u8
+        });
+        let mut mc = TriangleSoup::new();
+        marching_cubes(&vol, 127.5, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut mc);
+        let mut mt = TriangleSoup::new();
+        marching_tetrahedra(&vol, 127.5, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut mt);
+        prop_assert_eq!(mc.is_empty(), mt.is_empty());
+        if !mc.is_empty() {
+            let ratio = mt.area() / mc.area().max(1e-9);
+            prop_assert!((0.7..1.4).contains(&ratio), "area ratio {ratio}");
+        }
+    }
+}

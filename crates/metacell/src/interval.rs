@@ -1,0 +1,92 @@
+//! Metacell value intervals.
+//!
+//! Every metacell carries the interval `(vmin, vmax)` of its scalar field.
+//! A metacell is *active* for isovalue `λ` iff `vmin ≤ λ ≤ vmax`. Intervals
+//! are stored as monotone `u32` keys (see `oociso_volume::scalar`), making the
+//! indexing structures scalar-type agnostic.
+
+/// The `(vmin, vmax)` interval of one metacell, in key space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MetacellInterval {
+    /// Metacell ID (linear index in the metacell grid).
+    pub id: u32,
+    /// Minimum scalar key over the metacell's vertices.
+    pub min_key: u32,
+    /// Maximum scalar key over the metacell's vertices.
+    pub max_key: u32,
+}
+
+impl MetacellInterval {
+    /// Construct, validating `min ≤ max`.
+    pub fn new(id: u32, min_key: u32, max_key: u32) -> Self {
+        assert!(min_key <= max_key, "interval endpoints out of order");
+        MetacellInterval {
+            id,
+            min_key,
+            max_key,
+        }
+    }
+
+    /// Whether the isovalue key stabs this interval.
+    #[inline]
+    pub fn contains(&self, iso_key: u32) -> bool {
+        self.min_key <= iso_key && iso_key <= self.max_key
+    }
+
+    /// Whether all vertices share one value (constant metacell — culled).
+    #[inline]
+    pub fn is_constant(&self) -> bool {
+        self.min_key == self.max_key
+    }
+}
+
+/// Brute-force active set: reference implementation the property tests use to
+/// validate every indexing structure.
+pub fn brute_force_active(intervals: &[MetacellInterval], iso_key: u32) -> Vec<u32> {
+    let mut ids: Vec<u32> = intervals
+        .iter()
+        .filter(|iv| iv.contains(iso_key))
+        .map(|iv| iv.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_inclusive() {
+        let iv = MetacellInterval::new(0, 10, 20);
+        assert!(iv.contains(10));
+        assert!(iv.contains(15));
+        assert!(iv.contains(20));
+        assert!(!iv.contains(9));
+        assert!(!iv.contains(21));
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!(MetacellInterval::new(1, 7, 7).is_constant());
+        assert!(!MetacellInterval::new(1, 7, 8).is_constant());
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_interval_rejected() {
+        let _ = MetacellInterval::new(0, 5, 4);
+    }
+
+    #[test]
+    fn brute_force_sorted_and_filtered() {
+        let ivs = vec![
+            MetacellInterval::new(3, 0, 10),
+            MetacellInterval::new(1, 5, 15),
+            MetacellInterval::new(2, 11, 20),
+        ];
+        assert_eq!(brute_force_active(&ivs, 7), vec![1, 3]);
+        assert_eq!(brute_force_active(&ivs, 11), vec![1, 2]);
+        assert_eq!(brute_force_active(&ivs, 25), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,200 @@
+//! On-disk metacell records.
+//!
+//! Record layout (matching section 7 of the paper):
+//!
+//! ```text
+//! [ id: u32 LE ][ vmin: S ][ vertex scalars: S × (cx·cy·cz), x fastest ]
+//! ```
+//!
+//! For the paper's parameters (9×9×9 vertices, one-byte scalars) a full record
+//! is exactly `4 + 1 + 729 = 734` bytes. The record intentionally stores
+//! `vmin` in the header: Case 2 of the query streams a brick front-to-back and
+//! stops at the first record with `vmin > λ` without touching the payload.
+//! `vmax` is *not* stored — the brick it lives in encodes it.
+
+use crate::layout::MetacellLayout;
+use oociso_volume::{ScalarValue, Volume};
+
+/// A decoded metacell record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetacellRecord<S: ScalarValue> {
+    /// Metacell ID (linear index in the metacell grid).
+    pub id: u32,
+    /// Minimum scalar over the payload (redundant with the payload; kept in
+    /// the header for streaming early-exit).
+    pub vmin: S,
+    /// Vertex scalars, x fastest, matching [`MetacellLayout::vertex_box`].
+    pub scalars: Vec<S>,
+}
+
+impl<S: ScalarValue> MetacellRecord<S> {
+    /// Cut the record for metacell `id` out of a volume.
+    pub fn from_volume(vol: &Volume<S>, layout: &MetacellLayout, id: u32) -> Self {
+        let (lo, hi) = layout.vertex_box(id);
+        let sub = vol.extract_box(lo, hi);
+        let mut vmin = sub.data()[0];
+        for &s in &sub.data()[1..] {
+            vmin = vmin.min_s(s);
+        }
+        MetacellRecord {
+            id,
+            vmin,
+            scalars: sub.into_vec(),
+        }
+    }
+
+    /// Maximum scalar over the payload.
+    pub fn vmax(&self) -> S {
+        let mut m = self.scalars[0];
+        for &s in &self.scalars[1..] {
+            m = m.max_s(s);
+        }
+        m
+    }
+
+    /// Whether every vertex holds the same value (such records are culled).
+    pub fn is_constant(&self) -> bool {
+        self.vmin.key() == self.vmax().key()
+    }
+
+    /// Encoded length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + S::BYTES + self.scalars.len() * S::BYTES
+    }
+
+    /// Serialize to the on-disk format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.encoded_len()];
+        out[..4].copy_from_slice(&self.id.to_le_bytes());
+        self.vmin.write_le(&mut out[4..4 + S::BYTES]);
+        let mut at = 4 + S::BYTES;
+        for &s in &self.scalars {
+            s.write_le(&mut out[at..at + S::BYTES]);
+            at += S::BYTES;
+        }
+        out
+    }
+
+    /// Deserialize one record; the layout determines the payload length from
+    /// the decoded ID. Returns the record and the number of bytes consumed.
+    pub fn decode(bytes: &[u8], layout: &MetacellLayout) -> (Self, usize) {
+        let id = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let vmin = S::read_le(&bytes[4..]);
+        let nverts = layout.num_vertices(id);
+        let mut scalars = Vec::with_capacity(nverts);
+        let mut at = 4 + S::BYTES;
+        for _ in 0..nverts {
+            scalars.push(S::read_le(&bytes[at..]));
+            at += S::BYTES;
+        }
+        (MetacellRecord { id, vmin, scalars }, at)
+    }
+
+    /// Peek only the header `(id, vmin)` without decoding the payload —
+    /// Case 2's streaming early-exit path.
+    pub fn peek_header(bytes: &[u8]) -> (u32, S) {
+        let id = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        (id, S::read_le(&bytes[4..]))
+    }
+
+    /// Reconstruct the metacell's local volume (for triangulation).
+    pub fn to_volume(&self, layout: &MetacellLayout) -> Volume<S> {
+        Volume::from_vec(layout.cell_dims(self.id), self.scalars.clone())
+    }
+
+    /// Reconstruct the local volume without cloning the payload.
+    pub fn into_volume(self, layout: &MetacellLayout) -> Volume<S> {
+        Volume::from_vec(layout.cell_dims(self.id), self.scalars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oociso_volume::Dims3;
+
+    fn layout_and_volume() -> (MetacellLayout, Volume<u8>) {
+        let dims = Dims3::new(17, 17, 17);
+        let vol = Volume::generate(dims, |x, y, z| (x * 3 + y * 5 + z * 7) as u8);
+        (MetacellLayout::new(dims, 9), vol)
+    }
+
+    #[test]
+    fn full_record_is_734_bytes_for_paper_params() {
+        let (layout, vol) = layout_and_volume();
+        let rec = MetacellRecord::from_volume(&vol, &layout, 0);
+        assert_eq!(rec.encoded_len(), 734);
+        assert_eq!(rec.encode().len(), 734);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let (layout, vol) = layout_and_volume();
+        for id in layout.ids() {
+            let rec = MetacellRecord::from_volume(&vol, &layout, id);
+            let bytes = rec.encode();
+            let (back, used) = MetacellRecord::<u8>::decode(&bytes, &layout);
+            assert_eq!(used, bytes.len());
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn vmin_vmax_match_payload() {
+        let (layout, vol) = layout_and_volume();
+        let rec = MetacellRecord::from_volume(&vol, &layout, 3);
+        let lo = rec.scalars.iter().copied().fold(255u8, u8::min);
+        let hi = rec.scalars.iter().copied().fold(0u8, u8::max);
+        assert_eq!(rec.vmin, lo);
+        assert_eq!(rec.vmax(), hi);
+    }
+
+    #[test]
+    fn peek_header_matches_decode() {
+        let (layout, vol) = layout_and_volume();
+        let rec = MetacellRecord::from_volume(&vol, &layout, 5);
+        let bytes = rec.encode();
+        let (id, vmin) = MetacellRecord::<u8>::peek_header(&bytes);
+        assert_eq!(id, 5);
+        assert_eq!(vmin, rec.vmin);
+    }
+
+    #[test]
+    fn constant_metacell_detected() {
+        let dims = Dims3::cube(9);
+        let vol = Volume::<u8>::filled(dims, 42);
+        let layout = MetacellLayout::new(dims, 9);
+        let rec = MetacellRecord::from_volume(&vol, &layout, 0);
+        assert!(rec.is_constant());
+        assert_eq!(rec.vmin, 42);
+        assert_eq!(rec.vmax(), 42);
+    }
+
+    #[test]
+    fn to_volume_reconstructs_geometry() {
+        let (layout, vol) = layout_and_volume();
+        let id = layout.id(1, 1, 1);
+        let rec = MetacellRecord::from_volume(&vol, &layout, id);
+        let local = rec.to_volume(&layout);
+        let ((x0, y0, z0), _) = layout.vertex_box(id);
+        for z in 0..local.dims().nz {
+            for y in 0..local.dims().ny {
+                for x in 0..local.dims().nx {
+                    assert_eq!(local.get(x, y, z), vol.get(x0 + x, y0 + y, z0 + z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u16_record_roundtrip() {
+        let dims = Dims3::new(9, 9, 9);
+        let vol = Volume::<u16>::generate(dims, |x, y, z| (x * 311 + y * 97 + z * 1000) as u16);
+        let layout = MetacellLayout::new(dims, 9);
+        let rec = MetacellRecord::from_volume(&vol, &layout, 0);
+        let bytes = rec.encode();
+        assert_eq!(bytes.len(), 4 + 2 + 729 * 2);
+        let (back, _) = MetacellRecord::<u16>::decode(&bytes, &layout);
+        assert_eq!(back, rec);
+    }
+}

@@ -1,0 +1,99 @@
+//! Camera: view + projection + viewport.
+
+use crate::math::Mat4;
+use oociso_march::{Aabb, Vec3};
+
+/// A perspective camera.
+#[derive(Clone, Copy, Debug)]
+pub struct Camera {
+    pub eye: Vec3,
+    pub target: Vec3,
+    pub up: Vec3,
+    /// Vertical field of view in radians.
+    pub fov_y: f32,
+    pub near: f32,
+    pub far: f32,
+}
+
+impl Camera {
+    /// A camera orbiting `bounds` at `distance_factor ×` its diagonal,
+    /// looking at its center — the default view the examples use.
+    pub fn orbiting(bounds: &Aabb, azimuth: f32, elevation: f32, distance_factor: f32) -> Camera {
+        let center = bounds.center();
+        let diag = bounds.extent().length().max(1e-3);
+        let d = diag * distance_factor;
+        let eye = center
+            + Vec3::new(
+                d * elevation.cos() * azimuth.cos(),
+                d * elevation.cos() * azimuth.sin(),
+                d * elevation.sin(),
+            );
+        Camera {
+            eye,
+            target: center,
+            up: Vec3::new(0.0, 0.0, 1.0),
+            fov_y: 45f32.to_radians(),
+            near: diag * 0.01,
+            far: diag * 10.0,
+        }
+    }
+
+    /// Combined view-projection matrix for an `aspect = w/h` viewport.
+    pub fn view_projection(&self, aspect: f32) -> Mat4 {
+        let proj = Mat4::perspective(self.fov_y, aspect, self.near, self.far);
+        let view = Mat4::look_at(self.eye, self.target, self.up);
+        proj.mul(&view)
+    }
+
+    /// View direction (unit).
+    pub fn forward(&self) -> Vec3 {
+        (self.target - self.eye).normalized()
+    }
+}
+
+/// Map NDC coordinates to pixel coordinates (origin top-left).
+#[inline]
+pub fn ndc_to_screen(ndc_x: f32, ndc_y: f32, width: usize, height: usize) -> (f32, f32) {
+    (
+        (ndc_x + 1.0) * 0.5 * width as f32,
+        (1.0 - ndc_y) * 0.5 * height as f32,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_bounds() -> Aabb {
+        let mut b = Aabb::empty();
+        b.grow(Vec3::ZERO);
+        b.grow(Vec3::new(1.0, 1.0, 1.0));
+        b
+    }
+
+    #[test]
+    fn orbit_looks_at_center() {
+        let c = Camera::orbiting(&unit_bounds(), 0.3, 0.4, 2.5);
+        assert!((c.target - Vec3::new(0.5, 0.5, 0.5)).length() < 1e-6);
+        let d = (c.eye - c.target).length();
+        let diag = 3.0f32.sqrt();
+        assert!((d - diag * 2.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn center_projects_to_screen_center() {
+        let c = Camera::orbiting(&unit_bounds(), 1.0, 0.5, 3.0);
+        let vp = c.view_projection(1.0);
+        let h = vp.transform(c.target);
+        let (x, y) = (h[0] / h[3], h[1] / h[3]);
+        assert!(x.abs() < 1e-4 && y.abs() < 1e-4);
+        let (sx, sy) = ndc_to_screen(x, y, 100, 100);
+        assert!((sx - 50.0).abs() < 0.01 && (sy - 50.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn screen_mapping_corners() {
+        assert_eq!(ndc_to_screen(-1.0, 1.0, 200, 100), (0.0, 0.0));
+        assert_eq!(ndc_to_screen(1.0, -1.0, 200, 100), (200.0, 100.0));
+    }
+}

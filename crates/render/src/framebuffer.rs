@@ -1,0 +1,153 @@
+//! Color + depth framebuffers.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An RGBA8 color buffer with an `f32` depth buffer (smaller = closer, NDC
+/// convention; cleared to `+∞`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Framebuffer {
+    width: usize,
+    height: usize,
+    color: Vec<[u8; 4]>,
+    depth: Vec<f32>,
+}
+
+impl Framebuffer {
+    /// A cleared framebuffer (black, infinite depth).
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0);
+        Framebuffer {
+            width,
+            height,
+            color: vec![[0, 0, 0, 0]; width * height],
+            depth: vec![f32::INFINITY; width * height],
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Reset to the cleared state.
+    pub fn clear(&mut self) {
+        self.color.fill([0, 0, 0, 0]);
+        self.depth.fill(f32::INFINITY);
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    /// Depth test + write: stores the fragment if it is closer.
+    #[inline]
+    pub fn shade(&mut self, x: usize, y: usize, depth: f32, rgba: [u8; 4]) {
+        let i = self.idx(x, y);
+        if depth < self.depth[i] {
+            self.depth[i] = depth;
+            self.color[i] = rgba;
+        }
+    }
+
+    /// Color at a pixel.
+    pub fn color_at(&self, x: usize, y: usize) -> [u8; 4] {
+        self.color[self.idx(x, y)]
+    }
+
+    /// Depth at a pixel.
+    pub fn depth_at(&self, x: usize, y: usize) -> f32 {
+        self.depth[self.idx(x, y)]
+    }
+
+    /// Raw color plane.
+    pub fn color_plane(&self) -> &[[u8; 4]] {
+        &self.color
+    }
+
+    /// Raw depth plane.
+    pub fn depth_plane(&self) -> &[f32] {
+        &self.depth
+    }
+
+    /// Mutable planes (compositor use).
+    pub(crate) fn planes_mut(&mut self) -> (&mut [[u8; 4]], &mut [f32]) {
+        (&mut self.color, &mut self.depth)
+    }
+
+    /// Number of pixels covered by at least one fragment.
+    pub fn covered_pixels(&self) -> usize {
+        self.depth.iter().filter(|d| d.is_finite()).count()
+    }
+
+    /// Bytes a sort-last exchange moves per pixel: RGBA8 + f32 depth.
+    pub const BYTES_PER_PIXEL: u64 = 8;
+
+    /// Write the color plane as a binary PPM (P6) file.
+    pub fn write_ppm(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "P6\n{} {}\n255", self.width, self.height)?;
+        for px in &self.color {
+            out.write_all(&px[..3])?;
+        }
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_buffer_is_clear() {
+        let fb = Framebuffer::new(4, 3);
+        assert_eq!(fb.width(), 4);
+        assert_eq!(fb.height(), 3);
+        assert_eq!(fb.covered_pixels(), 0);
+        assert_eq!(fb.color_at(0, 0), [0, 0, 0, 0]);
+        assert!(fb.depth_at(3, 2).is_infinite());
+    }
+
+    #[test]
+    fn depth_test_keeps_closest() {
+        let mut fb = Framebuffer::new(2, 2);
+        fb.shade(0, 0, 0.5, [10, 0, 0, 255]);
+        fb.shade(0, 0, 0.7, [20, 0, 0, 255]); // behind: rejected
+        assert_eq!(fb.color_at(0, 0), [10, 0, 0, 255]);
+        fb.shade(0, 0, 0.3, [30, 0, 0, 255]); // in front: accepted
+        assert_eq!(fb.color_at(0, 0), [30, 0, 0, 255]);
+        assert_eq!(fb.depth_at(0, 0), 0.3);
+        assert_eq!(fb.covered_pixels(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut fb = Framebuffer::new(2, 2);
+        fb.shade(1, 1, 0.1, [1, 2, 3, 255]);
+        fb.clear();
+        assert_eq!(fb.covered_pixels(), 0);
+    }
+
+    #[test]
+    fn ppm_roundtrip_header() {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.shade(0, 0, 0.5, [255, 128, 0, 255]);
+        let mut p = std::env::temp_dir();
+        p.push(format!("oociso_fb_{}.ppm", std::process::id()));
+        fb.write_ppm(&p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 3 * 2 * 3);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,32 @@
+//! Software rendering substrate: rasterizer, z-buffer, sort-last compositing.
+//!
+//! The paper's cluster renders each node's locally-generated triangles on its
+//! own GPU, reads back color+depth, and composites the framebuffers sort-last
+//! over 10 Gbps InfiniBand onto a tiled display wall (§6, Chromium/[30]).
+//! With no GPUs available here, this crate substitutes a deterministic
+//! software pipeline that preserves the architecture the evaluation depends
+//! on:
+//!
+//! * [`raster`] — barycentric triangle rasterization with z-buffer and
+//!   two-sided Lambert shading (per-node local rendering);
+//! * [`framebuffer`] — color + depth buffers with PPM export;
+//! * [`camera`] — look-at/perspective transforms;
+//! * [`composite`] — z-based sort-last merge of per-node framebuffers and the
+//!   tiled-display region shuffle;
+//! * [`net`] — the interconnect cost model (10 Gbps, per-message latency)
+//!   that prices the composite phase — the only communication in the whole
+//!   parallel algorithm.
+
+pub mod camera;
+pub mod composite;
+pub mod framebuffer;
+pub mod math;
+pub mod net;
+pub mod raster;
+
+pub use camera::Camera;
+pub use composite::{z_merge, FrameRegion, TileLayout};
+pub use framebuffer::Framebuffer;
+pub use math::Mat4;
+pub use net::InterconnectModel;
+pub use raster::{rasterize_soup, RasterStats};

@@ -1,0 +1,133 @@
+//! Minimal 4×4 matrix algebra for the camera pipeline.
+
+use oociso_march::Vec3;
+
+/// Column-major 4×4 matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat4 {
+    /// `m[col][row]`.
+    pub m: [[f32; 4]; 4],
+}
+
+impl Mat4 {
+    /// Identity matrix.
+    pub fn identity() -> Self {
+        let mut m = [[0.0; 4]; 4];
+        for (i, col) in m.iter_mut().enumerate() {
+            col[i] = 1.0;
+        }
+        Mat4 { m }
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &Mat4) -> Mat4 {
+        let mut out = [[0.0f32; 4]; 4];
+        for (c, out_col) in out.iter_mut().enumerate() {
+            for (r, out_val) in out_col.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += self.m[k][r] * rhs.m[c][k];
+                }
+                *out_val = acc;
+            }
+        }
+        Mat4 { m: out }
+    }
+
+    /// Transform a point, returning homogeneous `(x, y, z, w)`.
+    pub fn transform(&self, p: Vec3) -> [f32; 4] {
+        let mut out = [0.0f32; 4];
+        for (r, out_val) in out.iter_mut().enumerate() {
+            *out_val = self.m[0][r] * p.x + self.m[1][r] * p.y + self.m[2][r] * p.z + self.m[3][r];
+        }
+        out
+    }
+
+    /// Transform a direction (w = 0).
+    pub fn transform_dir(&self, d: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * d.x + self.m[1][0] * d.y + self.m[2][0] * d.z,
+            self.m[0][1] * d.x + self.m[1][1] * d.y + self.m[2][1] * d.z,
+            self.m[0][2] * d.x + self.m[1][2] * d.y + self.m[2][2] * d.z,
+        )
+    }
+
+    /// Right-handed look-at view matrix.
+    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3) -> Mat4 {
+        let f = (target - eye).normalized();
+        let s = f.cross(up).normalized();
+        let u = s.cross(f);
+        let mut m = Mat4::identity().m;
+        m[0][0] = s.x;
+        m[1][0] = s.y;
+        m[2][0] = s.z;
+        m[0][1] = u.x;
+        m[1][1] = u.y;
+        m[2][1] = u.z;
+        m[0][2] = -f.x;
+        m[1][2] = -f.y;
+        m[2][2] = -f.z;
+        m[3][0] = -s.dot(eye);
+        m[3][1] = -u.dot(eye);
+        m[3][2] = f.dot(eye);
+        Mat4 { m }
+    }
+
+    /// Right-handed perspective projection (depth mapped to `[-1, 1]`).
+    pub fn perspective(fov_y_rad: f32, aspect: f32, near: f32, far: f32) -> Mat4 {
+        let t = 1.0 / (fov_y_rad / 2.0).tan();
+        let mut m = [[0.0f32; 4]; 4];
+        m[0][0] = t / aspect;
+        m[1][1] = t;
+        m[2][2] = (far + near) / (near - far);
+        m[2][3] = -1.0;
+        m[3][2] = 2.0 * far * near / (near - far);
+        Mat4 { m }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        let id = Mat4::identity();
+        assert_eq!(id.transform(p), [1.0, 2.0, 3.0, 1.0]);
+        assert_eq!(id.mul(&id), id);
+    }
+
+    #[test]
+    fn look_at_centers_target() {
+        let v = Mat4::look_at(
+            Vec3::new(0.0, 0.0, 5.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        let t = v.transform(Vec3::ZERO);
+        assert!(t[0].abs() < 1e-6 && t[1].abs() < 1e-6);
+        assert!((t[2] + 5.0).abs() < 1e-5, "target at -5 in view space");
+    }
+
+    #[test]
+    fn perspective_maps_near_far() {
+        let p = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 1.0, 100.0);
+        // view-space z = -near → NDC z = -1
+        let n = p.transform(Vec3::new(0.0, 0.0, -1.0));
+        assert!((n[2] / n[3] + 1.0).abs() < 1e-5);
+        let f = p.transform(Vec3::new(0.0, 0.0, -100.0));
+        assert!((f[2] / f[3] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn transform_dir_ignores_translation() {
+        let v = Mat4::look_at(
+            Vec3::new(10.0, 20.0, 30.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        let d = v.transform_dir(Vec3::new(0.0, 0.0, 1.0));
+        assert!((d.length() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,97 @@
+//! Interconnect cost model for the compositing phase.
+//!
+//! The only communication in the whole parallel algorithm is the final
+//! framebuffer shuffle (§5.1: "no communication is required except for the
+//! final phase of compositing the frame buffers"). The paper's cluster uses
+//! 10 Gbps InfiniBand and reports the shuffle "doesn't cause a noticeable
+//! overhead". This model prices the shuffle so benches can verify that claim
+//! at our scale: `time = messages × latency + bytes / bandwidth`.
+
+use std::time::Duration;
+
+/// A simple bandwidth + per-message-latency network model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterconnectModel {
+    /// Usable bandwidth, bytes per second.
+    pub bytes_per_sec: f64,
+    /// Per-message latency.
+    pub latency: Duration,
+}
+
+impl InterconnectModel {
+    /// The paper's 10 Gbps Topspin InfiniBand (≈ 1.25 GB/s raw; ~1 GB/s
+    /// usable) with a few microseconds of RDMA latency.
+    pub fn infiniband_10g() -> Self {
+        InterconnectModel {
+            bytes_per_sec: 1.0e9,
+            latency: Duration::from_micros(5),
+        }
+    }
+
+    /// Gigabit Ethernet, for contrast experiments.
+    pub fn gige() -> Self {
+        InterconnectModel {
+            bytes_per_sec: 0.118e9,
+            latency: Duration::from_micros(50),
+        }
+    }
+
+    /// Time to deliver `messages` totalling `bytes` (serialized on one link —
+    /// a conservative upper bound for the all-to-all shuffle).
+    pub fn transfer_time(&self, messages: u64, bytes: u64) -> Duration {
+        let t = self.latency.as_secs_f64() * messages as f64 + bytes as f64 / self.bytes_per_sec;
+        Duration::from_secs_f64(t)
+    }
+
+    /// Shuffle time for a sort-last composite: `nodes × (tiles - 1)` regions
+    /// of `region_bytes` each (each node keeps its own tile's region local).
+    pub fn composite_time(&self, nodes: usize, tiles: usize, region_bytes: u64) -> Duration {
+        let messages = nodes as u64 * (tiles as u64).saturating_sub(1);
+        self.transfer_time(messages, messages * region_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shuffle_is_milliseconds() {
+        // 8 nodes, 4 tiles, 1024×1024 display → region = (1024×1024/4) px × 8 B
+        let m = InterconnectModel::infiniband_10g();
+        let region_bytes = (1024u64 * 1024 / 4) * 8;
+        let t = m.composite_time(8, 4, region_bytes);
+        // the paper: compositing "doesn't cause a noticeable overhead" —
+        // tens of milliseconds against multi-second extraction times
+        assert!(t < Duration::from_millis(100), "shuffle took {t:?}");
+        assert!(t > Duration::from_micros(100));
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let m = InterconnectModel::infiniband_10g();
+        let t = m.transfer_time(1, 1_000_000_000);
+        assert!((t.as_secs_f64() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_messages() {
+        let m = InterconnectModel::infiniband_10g();
+        let t = m.transfer_time(1000, 1000);
+        assert!(t >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn gige_slower_than_ib() {
+        let ib = InterconnectModel::infiniband_10g();
+        let ge = InterconnectModel::gige();
+        let bytes = 100_000_000;
+        assert!(ge.transfer_time(10, bytes) > ib.transfer_time(10, bytes) * 5);
+    }
+
+    #[test]
+    fn single_node_single_tile_is_free() {
+        let m = InterconnectModel::infiniband_10g();
+        assert_eq!(m.composite_time(1, 1, 1 << 20), Duration::ZERO);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the sort-last compositing algebra.
+
+use oociso_render::{z_merge, FrameRegion, Framebuffer, TileLayout};
+use proptest::prelude::*;
+
+/// Random framebuffer: a list of (x, y, depth-milli, color) fragments.
+fn fb_strategy(w: usize, h: usize) -> impl Strategy<Value = Framebuffer> {
+    prop::collection::vec(
+        (0..w, 0..h, 1u32..1000, any::<[u8; 3]>()),
+        0..40,
+    )
+    .prop_map(move |frags| {
+        let mut fb = Framebuffer::new(w, h);
+        for (x, y, dm, c) in frags {
+            fb.shade(x, y, dm as f32 / 1000.0, [c[0], c[1], c[2], 255]);
+        }
+        fb
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn z_merge_is_commutative_on_distinct_depths(
+        a in fb_strategy(8, 8),
+        b in fb_strategy(8, 8),
+    ) {
+        // depths are quantized to millis; ties can legitimately differ, so
+        // compare only pixels whose depths differ between the two buffers
+        let mut ab = a.clone();
+        z_merge(&mut ab, &b);
+        let mut ba = b.clone();
+        z_merge(&mut ba, &a);
+        for y in 0..8 {
+            for x in 0..8 {
+                if a.depth_at(x, y) != b.depth_at(x, y) {
+                    prop_assert_eq!(ab.color_at(x, y), ba.color_at(x, y));
+                    prop_assert_eq!(ab.depth_at(x, y), ba.depth_at(x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn z_merge_is_associative(
+        a in fb_strategy(6, 6),
+        b in fb_strategy(6, 6),
+        c in fb_strategy(6, 6),
+    ) {
+        let mut left = a.clone();
+        z_merge(&mut left, &b);
+        z_merge(&mut left, &c);
+        let mut bc = b.clone();
+        z_merge(&mut bc, &c);
+        let mut right = a.clone();
+        z_merge(&mut right, &bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn z_merge_idempotent(a in fb_strategy(6, 6)) {
+        let mut aa = a.clone();
+        z_merge(&mut aa, &a);
+        prop_assert_eq!(aa, a);
+    }
+
+    #[test]
+    fn tiled_composite_equals_flat_merge(
+        buffers in prop::collection::vec(fb_strategy(8, 8), 1..5),
+    ) {
+        let layout = TileLayout::new(2, 2, 8, 8);
+        let (wall, _) = layout.composite(&buffers);
+        let mut flat = Framebuffer::new(8, 8);
+        for b in &buffers {
+            z_merge(&mut flat, b);
+        }
+        // depths must agree everywhere; colors agree wherever depths are
+        // unique across buffers (ties may break differently)
+        for y in 0..8 {
+            for x in 0..8 {
+                prop_assert_eq!(wall.depth_at(x, y), flat.depth_at(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_regions_tile_the_display(fb in fb_strategy(8, 8)) {
+        let layout = TileLayout::new(2, 2, 8, 8);
+        let regions = layout.shard(&fb);
+        prop_assert_eq!(regions.len(), 4);
+        let total_px: usize = regions.iter().map(|r| r.size.0 * r.size.1).sum();
+        prop_assert_eq!(total_px, 64);
+        let total_bytes: u64 = regions.iter().map(FrameRegion::wire_bytes).sum();
+        prop_assert_eq!(total_bytes, 64 * 8);
+        // reassembling the regions reproduces the original buffer
+        let mut rebuilt = Framebuffer::new(8, 8);
+        for r in &regions {
+            r.merge_into(&mut rebuilt, (0, 0));
+        }
+        prop_assert_eq!(rebuilt, fb);
+    }
+}

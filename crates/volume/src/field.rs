@@ -1,0 +1,203 @@
+//! Analytic scalar fields used as ground truth in tests and examples.
+//!
+//! Each field maps a point of the unit cube `[0,1]³` to a scalar; sampling a
+//! field onto a [`Volume`] gives test datasets whose isosurfaces have known
+//! geometry (e.g. a sphere of known area), which the integration tests use to
+//! validate the whole extraction pipeline.
+
+use crate::grid::{Dims3, Volume};
+use crate::noise;
+use crate::scalar::ScalarValue;
+
+/// A continuous scalar field over the unit cube.
+pub trait AnalyticField: Sync {
+    /// Evaluate the field at `(x, y, z) ∈ [0,1]³`.
+    fn eval(&self, x: f32, y: f32, z: f32) -> f32;
+}
+
+impl<F: Fn(f32, f32, f32) -> f32 + Sync> AnalyticField for F {
+    fn eval(&self, x: f32, y: f32, z: f32) -> f32 {
+        self(x, y, z)
+    }
+}
+
+/// Signed distance to a sphere, remapped so the isovalue `level` sits on the
+/// sphere of radius `radius` around `center` (in unit-cube coordinates).
+///
+/// Field value = `level + slope * (radius - dist)`: larger inside, smaller
+/// outside, exactly `level` on the surface.
+#[derive(Clone, Copy, Debug)]
+pub struct SphereField {
+    pub center: [f32; 3],
+    pub radius: f32,
+    pub level: f32,
+    pub slope: f32,
+}
+
+impl SphereField {
+    /// Sphere centered in the cube with the given radius; surface at `level`.
+    pub fn centered(radius: f32, level: f32) -> Self {
+        SphereField {
+            center: [0.5, 0.5, 0.5],
+            radius,
+            level,
+            slope: 200.0,
+        }
+    }
+}
+
+impl AnalyticField for SphereField {
+    fn eval(&self, x: f32, y: f32, z: f32) -> f32 {
+        let dx = x - self.center[0];
+        let dy = y - self.center[1];
+        let dz = z - self.center[2];
+        let d = (dx * dx + dy * dy + dz * dz).sqrt();
+        self.level + self.slope * (self.radius - d)
+    }
+}
+
+/// Torus around the cube center in the `z = 0.5` plane. `major`/`minor` radii
+/// in unit-cube units; surface sits at `level`.
+#[derive(Clone, Copy, Debug)]
+pub struct TorusField {
+    pub major: f32,
+    pub minor: f32,
+    pub level: f32,
+    pub slope: f32,
+}
+
+impl AnalyticField for TorusField {
+    fn eval(&self, x: f32, y: f32, z: f32) -> f32 {
+        let (cx, cy, cz) = (x - 0.5, y - 0.5, z - 0.5);
+        let q = (cx * cx + cy * cy).sqrt() - self.major;
+        let d = (q * q + cz * cz).sqrt();
+        self.level + self.slope * (self.minor - d)
+    }
+}
+
+/// Gyroid triply-periodic surface (`cells` periods across the cube) — a dense,
+/// high-triangle-count field useful for stress tests.
+#[derive(Clone, Copy, Debug)]
+pub struct GyroidField {
+    pub cells: f32,
+    pub level: f32,
+    pub amplitude: f32,
+}
+
+impl AnalyticField for GyroidField {
+    fn eval(&self, x: f32, y: f32, z: f32) -> f32 {
+        let k = std::f32::consts::TAU * self.cells;
+        let (sx, cx) = (k * x).sin_cos();
+        let (sy, cy) = (k * y).sin_cos();
+        let (sz, cz) = (k * z).sin_cos();
+        self.level + self.amplitude * (sx * cy + sy * cz + sz * cx)
+    }
+}
+
+/// Fractal noise field (fBm), remapped to `[lo, hi]`.
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseField {
+    pub seed: u64,
+    pub frequency: f32,
+    pub octaves: u32,
+    pub lo: f32,
+    pub hi: f32,
+}
+
+impl AnalyticField for NoiseField {
+    fn eval(&self, x: f32, y: f32, z: f32) -> f32 {
+        let n = noise::fbm(
+            self.seed,
+            x * self.frequency,
+            y * self.frequency,
+            z * self.frequency,
+            self.octaves,
+        );
+        self.lo + (self.hi - self.lo) * n
+    }
+}
+
+/// Convenience sampling adapters for any [`AnalyticField`].
+pub trait FieldExt: AnalyticField + Sized {
+    /// Sample onto a grid, quantizing through [`ScalarValue::from_f32`].
+    fn sample<S: ScalarValue>(&self, dims: Dims3) -> Volume<S> {
+        let sx = 1.0 / (dims.nx.max(2) - 1) as f32;
+        let sy = 1.0 / (dims.ny.max(2) - 1) as f32;
+        let sz = 1.0 / (dims.nz.max(2) - 1) as f32;
+        Volume::generate(dims, |x, y, z| {
+            S::from_f32(self.eval(x as f32 * sx, y as f32 * sy, z as f32 * sz))
+        })
+    }
+}
+
+impl<F: AnalyticField + Sized> FieldExt for F {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_zero_on_surface() {
+        let f = SphereField::centered(0.3, 100.0);
+        let v = f.eval(0.8, 0.5, 0.5);
+        assert!((v - 100.0).abs() < 1e-3);
+        assert!(f.eval(0.5, 0.5, 0.5) > 100.0); // inside is larger
+        assert!(f.eval(0.0, 0.0, 0.0) < 100.0); // corner is outside
+    }
+
+    #[test]
+    fn torus_level_set() {
+        let f = TorusField {
+            major: 0.3,
+            minor: 0.1,
+            level: 50.0,
+            slope: 100.0,
+        };
+        // point on the torus surface: 0.5 + major + minor along x
+        let v = f.eval(0.5 + 0.4, 0.5, 0.5);
+        assert!((v - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gyroid_bounded() {
+        let f = GyroidField {
+            cells: 3.0,
+            level: 128.0,
+            amplitude: 60.0,
+        };
+        for i in 0..50 {
+            let t = i as f32 / 50.0;
+            let v = f.eval(t, 1.0 - t, 0.5 * t);
+            assert!((128.0 - 180.1..=128.0 + 180.1).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sample_quantizes() {
+        let f = SphereField::centered(0.3, 128.0);
+        let v: Volume<u8> = f.sample(Dims3::cube(16));
+        let (lo, hi) = v.min_max();
+        assert!(lo < 128 && hi > 128, "isovalue must be crossed: {lo} {hi}");
+    }
+
+    #[test]
+    fn closure_is_a_field() {
+        let f = |x: f32, _y: f32, _z: f32| x * 10.0;
+        let v: Volume<u8> = f.sample(Dims3::cube(4));
+        assert_eq!(v.get(3, 0, 0), 10);
+    }
+
+    #[test]
+    fn noise_field_in_range() {
+        let f = NoiseField {
+            seed: 5,
+            frequency: 4.0,
+            octaves: 4,
+            lo: 10.0,
+            hi: 240.0,
+        };
+        let v: Volume<u8> = f.sample(Dims3::cube(8));
+        let (lo, hi) = v.min_max();
+        assert!(lo >= 10 && hi <= 240);
+    }
+}

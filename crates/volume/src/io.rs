@@ -1,0 +1,201 @@
+//! Raw on-disk volume format with slab streaming.
+//!
+//! Out-of-core preprocessing must never materialize a full time step in
+//! memory. The raw format here is a 32-byte header followed by samples in
+//! x-fastest order; [`RawVolumeReader`] streams z-slabs of configurable
+//! height, which is exactly what the metacell builder consumes (slabs of
+//! `k` vertex layers with `1`-layer overlap).
+
+use crate::grid::{Dims3, Volume};
+use crate::scalar::ScalarValue;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"OOCISOV1";
+
+/// Write a volume to `path` in the raw format.
+pub fn write_volume<S: ScalarValue>(path: &Path, vol: &Volume<S>) -> io::Result<()> {
+    let f = File::create(path)?;
+    let mut w = BufWriter::new(f);
+    write_header::<S>(&mut w, vol.dims())?;
+    let mut buf = vec![0u8; 1 << 16];
+    let mut used = 0;
+    for &s in vol.data() {
+        if used + S::BYTES > buf.len() {
+            w.write_all(&buf[..used])?;
+            used = 0;
+        }
+        s.write_le(&mut buf[used..used + S::BYTES]);
+        used += S::BYTES;
+    }
+    w.write_all(&buf[..used])?;
+    w.flush()
+}
+
+fn write_header<S: ScalarValue>(w: &mut impl Write, dims: Dims3) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(dims.nx as u64).to_le_bytes())?;
+    w.write_all(&(dims.ny as u64).to_le_bytes())?;
+    w.write_all(&(dims.nz as u64).to_le_bytes())?;
+    w.write_all(&(S::BYTES as u32).to_le_bytes())?;
+    w.write_all(&[0u8; 4])?; // reserved
+    Ok(())
+}
+
+const HEADER_LEN: u64 = 8 + 8 * 3 + 4 + 4;
+
+/// Read an entire volume from `path` (only for small volumes/tests; streaming
+/// callers should use [`RawVolumeReader`]).
+pub fn read_volume<S: ScalarValue>(path: &Path) -> io::Result<Volume<S>> {
+    let mut r = RawVolumeReader::<S>::open(path)?;
+    let dims = r.dims();
+    let mut data = Vec::with_capacity(dims.num_vertices());
+    let mut slab_start = 0;
+    while slab_start < dims.nz {
+        let take = 64.min(dims.nz - slab_start);
+        let slab = r.read_slab(slab_start, take)?;
+        data.extend_from_slice(slab.data());
+        slab_start += take;
+    }
+    Ok(Volume::from_vec(dims, data))
+}
+
+/// Streaming reader over a raw volume file: random access to z-slabs.
+pub struct RawVolumeReader<S: ScalarValue> {
+    file: BufReader<File>,
+    dims: Dims3,
+    _marker: std::marker::PhantomData<S>,
+}
+
+impl<S: ScalarValue> RawVolumeReader<S> {
+    /// Open and validate the header (magic, sample width).
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let f = File::open(path)?;
+        let mut r = BufReader::new(f);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b8)?;
+        let nx = u64::from_le_bytes(b8) as usize;
+        r.read_exact(&mut b8)?;
+        let ny = u64::from_le_bytes(b8) as usize;
+        r.read_exact(&mut b8)?;
+        let nz = u64::from_le_bytes(b8) as usize;
+        let mut b4 = [0u8; 4];
+        r.read_exact(&mut b4)?;
+        let bytes = u32::from_le_bytes(b4) as usize;
+        r.read_exact(&mut b4)?; // reserved
+        if bytes != S::BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("sample width mismatch: file {bytes}, requested {}", S::BYTES),
+            ));
+        }
+        Ok(RawVolumeReader {
+            file: r,
+            dims: Dims3::new(nx, ny, nz),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Grid dimensions from the header.
+    pub fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    /// Read `count` z-layers starting at layer `z0` into a dense sub-volume of
+    /// dims `(nx, ny, count)`.
+    pub fn read_slab(&mut self, z0: usize, count: usize) -> io::Result<Volume<S>> {
+        assert!(z0 + count <= self.dims.nz, "slab out of range");
+        let layer = self.dims.nx * self.dims.ny;
+        let offset = HEADER_LEN + (z0 * layer * S::BYTES) as u64;
+        self.file.seek(SeekFrom::Start(offset))?;
+        let n = layer * count;
+        let mut raw = vec![0u8; n * S::BYTES];
+        self.file.read_exact(&mut raw)?;
+        let mut data = Vec::with_capacity(n);
+        for i in 0..n {
+            data.push(S::read_le(&raw[i * S::BYTES..]));
+        }
+        Ok(Volume::from_vec(
+            Dims3::new(self.dims.nx, self.dims.ny, count),
+            data,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Dims3, Volume};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("oociso_volio_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn roundtrip_u8() {
+        let v = Volume::<u8>::generate(Dims3::new(5, 4, 3), |x, y, z| (x + y * 7 + z * 31) as u8);
+        let p = tmp("u8.vol");
+        write_volume(&p, &v).unwrap();
+        let r = read_volume::<u8>(&p).unwrap();
+        assert_eq!(r.dims(), v.dims());
+        assert_eq!(r.data(), v.data());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        let v = Volume::<f32>::generate(Dims3::cube(6), |x, y, z| {
+            x as f32 * 0.5 - y as f32 + z as f32 * 2.25
+        });
+        let p = tmp("f32.vol");
+        write_volume(&p, &v).unwrap();
+        let r = read_volume::<f32>(&p).unwrap();
+        assert_eq!(r.data(), v.data());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn slab_reads_match_full_volume() {
+        let v = Volume::<u16>::generate(Dims3::new(6, 5, 9), |x, y, z| (x * y + z * 100) as u16);
+        let p = tmp("slab.vol");
+        write_volume(&p, &v).unwrap();
+        let mut r = RawVolumeReader::<u16>::open(&p).unwrap();
+        // read overlapping slabs out of order
+        for (z0, cnt) in [(4usize, 3usize), (0, 2), (7, 2), (3, 5)] {
+            let slab = r.read_slab(z0, cnt).unwrap();
+            for z in 0..cnt {
+                for y in 0..5 {
+                    for x in 0..6 {
+                        assert_eq!(slab.get(x, y, z), v.get(x, y, z0 + z));
+                    }
+                }
+            }
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn wrong_scalar_width_rejected() {
+        let v = Volume::<u8>::filled(Dims3::cube(4), 1);
+        let p = tmp("w.vol");
+        write_volume(&p, &v).unwrap();
+        assert!(RawVolumeReader::<u16>::open(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let p = tmp("bad.vol");
+        std::fs::write(&p, b"NOTAVOLUMEFILE__________________").unwrap();
+        assert!(RawVolumeReader::<u8>::open(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,35 @@
+//! Volume data model and synthetic dataset generators for `oociso`.
+//!
+//! This crate provides the *data substrate* for the out-of-core isosurface
+//! pipeline of Wang, JaJa and Varshney (IPDPS 2006):
+//!
+//! * [`Volume`] — an in-memory structured grid of scalar samples, generic over
+//!   the scalar representation ([`ScalarValue`]: `u8`, `u16`, `f32`).
+//! * [`field`] — analytic scalar fields (sphere, torus, gyroid, …) used as
+//!   ground truth in tests.
+//! * [`synthetic`] — a procedural *Richtmyer–Meshkov instability proxy*: a
+//!   time-varying mixing-layer field that stands in for the 2.1 TB LLNL
+//!   dataset used in the paper. It exercises the same code paths (one-byte
+//!   scalars, 2048:1920 aspect grid, bubble/spike structures evolving over
+//!   time steps) at laptop scale.
+//! * [`zoo`] — synthetic stand-ins for the Table 1 datasets (Bunny, MRBrain,
+//!   CTHead, Pressure, Velocity) with matching dimensions and precision.
+//! * [`io`] — raw on-disk volume format with slab-streaming reads, so the
+//!   preprocessing stage never needs the full volume in memory.
+//! * [`stats`] — histograms and distinct-endpoint statistics that drive the
+//!   index-size analysis.
+
+pub mod field;
+pub mod grid;
+pub mod io;
+pub mod noise;
+pub mod scalar;
+pub mod stats;
+pub mod synthetic;
+pub mod tetmesh;
+pub mod zoo;
+
+pub use field::{AnalyticField, FieldExt};
+pub use grid::{Dims3, Volume};
+pub use scalar::ScalarValue;
+pub use synthetic::{RmProxy, RmProxyParams};

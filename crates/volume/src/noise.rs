@@ -1,0 +1,160 @@
+//! Deterministic lattice value noise.
+//!
+//! The synthetic dataset generators need reproducible, seed-controlled,
+//! reasonably cheap 3D noise. This module implements classic fractal value
+//! noise over an integer lattice hashed with a SplitMix64-style mixer — no
+//! external noise crate, fully deterministic across platforms.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hash lattice point `(x, y, z)` under `seed` into `[0, 1)`.
+#[inline]
+fn lattice(seed: u64, x: i64, y: i64, z: i64) -> f32 {
+    let h = splitmix64(
+        seed ^ (x as u64).wrapping_mul(0x8da6_b343)
+            ^ (y as u64).wrapping_mul(0xd816_3841)
+            ^ (z as u64).wrapping_mul(0xcb1a_b31f),
+    );
+    // take the top 24 bits for an unbiased float in [0,1)
+    (h >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// Quintic smoothstep used by Perlin-style noise (C2-continuous).
+#[inline]
+fn fade(t: f32) -> f32 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// Single-octave value noise at continuous point `(x, y, z)`, output in `[0, 1)`.
+pub fn value_noise(seed: u64, x: f32, y: f32, z: f32) -> f32 {
+    let (x0, y0, z0) = (x.floor(), y.floor(), z.floor());
+    let (fx, fy, fz) = (fade(x - x0), fade(y - y0), fade(z - z0));
+    let (xi, yi, zi) = (x0 as i64, y0 as i64, z0 as i64);
+    let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
+    let mut c = [0.0f32; 8];
+    for (i, cv) in c.iter_mut().enumerate() {
+        let dx = (i & 1) as i64;
+        let dy = ((i >> 1) & 1) as i64;
+        let dz = ((i >> 2) & 1) as i64;
+        *cv = lattice(seed, xi + dx, yi + dy, zi + dz);
+    }
+    let c00 = lerp(c[0], c[1], fx);
+    let c10 = lerp(c[2], c[3], fx);
+    let c01 = lerp(c[4], c[5], fx);
+    let c11 = lerp(c[6], c[7], fx);
+    lerp(lerp(c00, c10, fy), lerp(c01, c11, fy), fz)
+}
+
+/// Fractal (fBm) value noise: `octaves` octaves with per-octave gain 0.5 and
+/// lacunarity 2.0. Output approximately in `[0, 1)`.
+pub fn fbm(seed: u64, mut x: f32, mut y: f32, mut z: f32, octaves: u32) -> f32 {
+    let mut amp = 0.5f32;
+    let mut sum = 0.0f32;
+    let mut norm = 0.0f32;
+    for o in 0..octaves {
+        sum += amp * value_noise(seed.wrapping_add(o as u64 * 0x9e37), x, y, z);
+        norm += amp;
+        amp *= 0.5;
+        x *= 2.0;
+        y *= 2.0;
+        z *= 2.0;
+    }
+    if norm > 0.0 {
+        sum / norm
+    } else {
+        0.0
+    }
+}
+
+/// Periodic 2D multi-mode perturbation: a sum of `modes` sinusoids with
+/// hash-derived wavevectors and phases. Models the "superposition of long
+/// wavelength and short wavelength disturbances" that seeds the
+/// Richtmyer–Meshkov instability. Output roughly in `[-1, 1]`.
+pub fn multimode_perturbation(seed: u64, u: f32, v: f32, modes: u32) -> f32 {
+    let mut sum = 0.0f32;
+    let mut norm = 0.0f32;
+    // Pre-mix the seed so that nearby integer seeds yield unrelated mode sets
+    // (a raw `seed ^ (base + m)` would only permute the same inputs).
+    let base = splitmix64(seed ^ 0xA5A5_5A5A_0000_1111);
+    for m in 0..modes {
+        let h = splitmix64(base.wrapping_add((m as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        // wavenumbers 1..=8 cycles across the unit square; low modes weighted more
+        let kx = 1 + (h & 7) as i32;
+        let ky = 1 + ((h >> 8) & 7) as i32;
+        let phase = ((h >> 16) & 0xffff) as f32 / 65536.0 * std::f32::consts::TAU;
+        let w = 1.0 / (kx * kx + ky * ky) as f32;
+        sum += w
+            * (std::f32::consts::TAU * (kx as f32 * u + ky as f32 * v) + phase).sin();
+        norm += w;
+    }
+    if norm > 0.0 {
+        sum / norm
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        // avalanche sanity: flipping one input bit flips many output bits
+        let d = (splitmix64(42) ^ splitmix64(43)).count_ones();
+        assert!(d > 16, "poor mixing: {d} bits differ");
+    }
+
+    #[test]
+    fn value_noise_in_unit_range() {
+        for i in 0..500 {
+            let f = i as f32 * 0.37;
+            let n = value_noise(7, f, f * 0.5, f * 0.25);
+            assert!((0.0..1.0).contains(&n), "out of range: {n}");
+        }
+    }
+
+    #[test]
+    fn value_noise_matches_lattice_at_integers() {
+        let n1 = value_noise(9, 3.0, 4.0, 5.0);
+        let n2 = value_noise(9, 3.0, 4.0, 5.0);
+        assert_eq!(n1, n2);
+        // continuity: nearby points have nearby values
+        let a = value_noise(9, 3.0, 4.0, 5.0);
+        let b = value_noise(9, 3.001, 4.0, 5.0);
+        assert!((a - b).abs() < 0.01);
+    }
+
+    #[test]
+    fn fbm_range_and_determinism() {
+        let a = fbm(11, 1.5, 2.5, 3.5, 5);
+        let b = fbm(11, 1.5, 2.5, 3.5, 5);
+        assert_eq!(a, b);
+        assert!((0.0..1.0).contains(&a));
+        assert_eq!(fbm(11, 1.0, 1.0, 1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn perturbation_bounded_and_seed_sensitive() {
+        let mut distinct = false;
+        for i in 0..100 {
+            let u = i as f32 / 100.0;
+            let p = multimode_perturbation(3, u, 0.5, 8);
+            assert!(p.abs() <= 1.0 + 1e-5);
+            if (multimode_perturbation(4, u, 0.5, 8) - p).abs() > 1e-6 {
+                distinct = true;
+            }
+        }
+        assert!(distinct, "different seeds should give different fields");
+        assert_eq!(multimode_perturbation(3, 0.3, 0.3, 0), 0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Scalar sample representations.
+//!
+//! The compact interval tree indexes metacell intervals by their endpoint
+//! *values*. To work uniformly over one-byte, two-byte and float fields, every
+//! scalar type provides a total order through an integer *key* ([`ScalarValue::key`])
+//! and byte-level encoding for on-disk metacell records.
+
+use std::fmt::Debug;
+
+/// A scalar sample type usable as a volume voxel and as an interval endpoint.
+///
+/// Implementations must provide a *monotone* injective mapping to `u32` keys:
+/// `a <= b` iff `a.key() <= b.key()`. The key space is what the indexing
+/// structures sort and split on, which makes `f32` fields (where almost every
+/// endpoint value is distinct, the `N ≈ n` regime of the paper's Table 1)
+/// behave identically to quantized fields.
+pub trait ScalarValue: Copy + PartialOrd + Debug + Send + Sync + 'static {
+    /// Number of bytes of the on-disk encoding.
+    const BYTES: usize;
+    /// Human-readable name used in reports ("u8", "u16", "f32").
+    const NAME: &'static str;
+
+    /// Monotone injective key for ordering/indexing.
+    fn key(self) -> u32;
+    /// Inverse of [`ScalarValue::key`]; `from_key(x.key()) == x` for valid samples.
+    fn from_key(key: u32) -> Self;
+    /// Encode into `buf` (must be at least `BYTES` long).
+    fn write_le(self, buf: &mut [u8]);
+    /// Decode from `buf` (must be at least `BYTES` long).
+    fn read_le(buf: &[u8]) -> Self;
+    /// Convert to `f32` for interpolation and rendering.
+    fn to_f32(self) -> f32;
+    /// Quantize an `f32` into this representation (clamping).
+    fn from_f32(v: f32) -> Self;
+
+    /// Key to use for an isosurface query at real-valued isovalue `iso`.
+    ///
+    /// For integer representations this floors: comparisons `vmin_key ≤ k`
+    /// and `vmax_key ≥ k` then select a *superset* of the truly active
+    /// metacells and never miss one (see the query-key tests).
+    fn query_key(iso: f32) -> u32 {
+        Self::from_f32(iso).key()
+    }
+
+    /// Total-order minimum of two samples (NaN-free by construction).
+    #[inline]
+    fn min_s(self, other: Self) -> Self {
+        if self.key() <= other.key() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Total-order maximum of two samples.
+    #[inline]
+    fn max_s(self, other: Self) -> Self {
+        if self.key() >= other.key() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl ScalarValue for u8 {
+    const BYTES: usize = 1;
+    const NAME: &'static str = "u8";
+
+    #[inline]
+    fn key(self) -> u32 {
+        self as u32
+    }
+    #[inline]
+    fn from_key(key: u32) -> Self {
+        key as u8
+    }
+    #[inline]
+    fn write_le(self, buf: &mut [u8]) {
+        buf[0] = self;
+    }
+    #[inline]
+    fn read_le(buf: &[u8]) -> Self {
+        buf[0]
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v.clamp(0.0, 255.0).round() as u8
+    }
+    #[inline]
+    fn query_key(iso: f32) -> u32 {
+        if iso > 255.0 {
+            // above every representable sample: no interval can be active
+            // (keys live in u32, so 256 is a valid "impossible" key)
+            256
+        } else {
+            iso.floor().max(0.0) as u32
+        }
+    }
+}
+
+impl ScalarValue for u16 {
+    const BYTES: usize = 2;
+    const NAME: &'static str = "u16";
+
+    #[inline]
+    fn key(self) -> u32 {
+        self as u32
+    }
+    #[inline]
+    fn from_key(key: u32) -> Self {
+        key as u16
+    }
+    #[inline]
+    fn write_le(self, buf: &mut [u8]) {
+        buf[..2].copy_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(buf: &[u8]) -> Self {
+        u16::from_le_bytes([buf[0], buf[1]])
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v.clamp(0.0, 65535.0).round() as u16
+    }
+    #[inline]
+    fn query_key(iso: f32) -> u32 {
+        if iso > 65535.0 {
+            65536
+        } else {
+            iso.floor().max(0.0) as u32
+        }
+    }
+}
+
+impl ScalarValue for f32 {
+    const BYTES: usize = 4;
+    const NAME: &'static str = "f32";
+
+    /// Monotone mapping of finite non-NaN floats onto `u32`: flip the sign bit
+    /// for positives, complement for negatives (the classic radix-sortable
+    /// float key). NaNs must not appear in volumes; generators never emit them.
+    #[inline]
+    fn key(self) -> u32 {
+        let bits = self.to_bits();
+        if bits & 0x8000_0000 != 0 {
+            !bits
+        } else {
+            bits | 0x8000_0000
+        }
+    }
+    #[inline]
+    fn from_key(key: u32) -> Self {
+        let bits = if key & 0x8000_0000 != 0 {
+            key & 0x7fff_ffff
+        } else {
+            !key
+        };
+        f32::from_bits(bits)
+    }
+    #[inline]
+    fn write_le(self, buf: &mut [u8]) {
+        buf[..4].copy_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(buf: &[u8]) -> Self {
+        f32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]])
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_key_roundtrip() {
+        for v in 0..=255u8 {
+            assert_eq!(u8::from_key(v.key()), v);
+        }
+    }
+
+    #[test]
+    fn u16_key_monotone() {
+        let samples = [0u16, 1, 2, 100, 1000, 40000, 65535];
+        for w in samples.windows(2) {
+            assert!(w[0].key() < w[1].key());
+            assert_eq!(u16::from_key(w[0].key()), w[0]);
+        }
+    }
+
+    #[test]
+    fn f32_key_monotone_across_sign() {
+        let samples = [-1.0e9f32, -3.5, -0.0, 0.0, 1e-20, 3.5, 1.0e9];
+        for w in samples.windows(2) {
+            assert!(
+                w[0].key() <= w[1].key(),
+                "{} vs {} keys {} {}",
+                w[0],
+                w[1],
+                w[0].key(),
+                w[1].key()
+            );
+        }
+    }
+
+    #[test]
+    fn f32_key_roundtrip() {
+        for v in [-123.5f32, -1.0, 0.0, 0.25, 7.75, 3.4e38] {
+            assert_eq!(f32::from_key(v.key()).to_bits(), v.to_bits());
+        }
+        // -0.0 and 0.0 have distinct keys but compare equal as floats.
+        assert_ne!((-0.0f32).key(), (0.0f32).key());
+    }
+
+    #[test]
+    fn min_max_s() {
+        assert_eq!(3u8.min_s(7), 3);
+        assert_eq!(3u8.max_s(7), 7);
+        assert_eq!((-2.0f32).min_s(1.0), -2.0);
+        assert_eq!((-2.0f32).max_s(1.0), 1.0);
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let mut buf = [0u8; 4];
+        200u8.write_le(&mut buf);
+        assert_eq!(u8::read_le(&buf), 200);
+        51234u16.write_le(&mut buf);
+        assert_eq!(u16::read_le(&buf), 51234);
+        (-17.25f32).write_le(&mut buf);
+        assert_eq!(f32::read_le(&buf), -17.25);
+    }
+
+    #[test]
+    fn from_f32_clamps() {
+        assert_eq!(u8::from_f32(300.0), 255);
+        assert_eq!(u8::from_f32(-5.0), 0);
+        assert_eq!(u16::from_f32(1e9), 65535);
+    }
+
+    #[test]
+    fn query_key_never_misses_active_intervals() {
+        // for any real iso and any integer interval [vmin, vmax] that is
+        // active (vmin ≤ iso ≤ vmax), the floored key must satisfy
+        // vmin_key ≤ k ≤ ... i.e. vmin_key ≤ k and vmax_key ≥ k
+        for iso10 in 0..2560 {
+            let iso = iso10 as f32 / 10.0;
+            let k = u8::query_key(iso);
+            for vmin in 0..=255u8 {
+                for vmax in [vmin, vmin.saturating_add(1), 255] {
+                    let active = (vmin as f32) <= iso && iso <= (vmax as f32);
+                    let selected = vmin.key() <= k && vmax.key() >= k;
+                    if active {
+                        assert!(selected, "iso={iso} [{vmin},{vmax}] missed");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_key_f32_exact() {
+        assert_eq!(f32::query_key(1.5), 1.5f32.key());
+        assert_eq!(f32::query_key(-3.25), (-3.25f32).key());
+    }
+
+    #[test]
+    fn query_key_out_of_range_selects_nothing() {
+        // above the representable range: the key exceeds every possible
+        // vmax key, so no interval can satisfy vmax_key >= key
+        assert!(u8::query_key(300.0) > 255u8.key());
+        assert!(u16::query_key(1e9) > 65535u16.key());
+    }
+}

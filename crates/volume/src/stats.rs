@@ -1,0 +1,158 @@
+//! Value statistics: histograms and distinct endpoint counts.
+//!
+//! The paper's index-size analysis is driven by two quantities: `N`, the
+//! number of metacell intervals, and `n`, the number of *distinct interval
+//! endpoint values*. This module computes `n`-style statistics directly from
+//! volumes and from endpoint key streams.
+
+use crate::grid::Volume;
+use crate::scalar::ScalarValue;
+
+/// Count distinct sample values in a volume (exact, via sorted keys).
+pub fn distinct_values<S: ScalarValue>(v: &Volume<S>) -> usize {
+    let mut keys: Vec<u32> = v.data().iter().map(|s| s.key()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.len()
+}
+
+/// A fixed-width histogram over scalar keys.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: u32,
+    hi: u32,
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// Histogram of `bins` equal-width buckets over the key range `[lo, hi]`.
+    pub fn new(lo: u32, hi: u32, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+        }
+    }
+
+    /// Histogram over a volume's full value range with `bins` buckets.
+    pub fn of_volume<S: ScalarValue>(v: &Volume<S>, bins: usize) -> Self {
+        let (lo, hi) = v.min_max();
+        let (lo, hi) = (lo.key(), hi.key().max(lo.key() + 1));
+        let mut h = Histogram::new(lo, hi, bins);
+        for &s in v.data() {
+            h.add(s.key());
+        }
+        h
+    }
+
+    /// Add one sample key.
+    #[inline]
+    pub fn add(&mut self, key: u32) {
+        let k = key.clamp(self.lo, self.hi);
+        let nbins = self.bins.len();
+        let idx =
+            ((k - self.lo) as u64 * nbins as u64 / (self.hi - self.lo + 1) as u64) as usize;
+        self.bins[idx.min(nbins - 1)] += 1;
+    }
+
+    /// Bucket counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Fraction of mass in the bucket containing `key`.
+    pub fn density_at(&self, key: u32) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let k = key.clamp(self.lo, self.hi);
+        let idx = ((k - self.lo) as u64 * self.bins.len() as u64 / (self.hi - self.lo + 1) as u64)
+            as usize;
+        self.bins[idx.min(self.bins.len() - 1)] as f64 / total as f64
+    }
+}
+
+/// Summary statistics for a volume used in reports.
+#[derive(Clone, Copy, Debug)]
+pub struct VolumeSummary {
+    pub num_vertices: usize,
+    pub num_cells: usize,
+    pub distinct_values: usize,
+    pub min_key: u32,
+    pub max_key: u32,
+    pub raw_bytes: usize,
+}
+
+/// Compute a [`VolumeSummary`].
+pub fn summarize<S: ScalarValue>(v: &Volume<S>) -> VolumeSummary {
+    let (lo, hi) = v.min_max();
+    VolumeSummary {
+        num_vertices: v.dims().num_vertices(),
+        num_cells: v.dims().num_cells(),
+        distinct_values: distinct_values(v),
+        min_key: lo.key(),
+        max_key: hi.key(),
+        raw_bytes: v.dims().raw_bytes::<S>(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Dims3;
+
+    #[test]
+    fn distinct_counts() {
+        let v = Volume::<u8>::generate(Dims3::cube(4), |x, _, _| (x % 3) as u8);
+        assert_eq!(distinct_values(&v), 3);
+        let c = Volume::<u8>::filled(Dims3::cube(4), 9);
+        assert_eq!(distinct_values(&c), 1);
+    }
+
+    #[test]
+    fn histogram_mass_conserved() {
+        let v = Volume::<u8>::generate(Dims3::cube(8), |x, y, z| (x * y + z) as u8);
+        let h = Histogram::of_volume(&v, 16);
+        assert_eq!(h.total(), 512);
+    }
+
+    #[test]
+    fn histogram_density() {
+        let mut h = Histogram::new(0, 99, 10);
+        for k in 0..100 {
+            h.add(k);
+        }
+        // uniform: every bucket holds 10%
+        assert!((h.density_at(5) - 0.1).abs() < 1e-9);
+        assert!((h.density_at(95) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(10, 20, 2);
+        h.add(0); // clamped into first bucket
+        h.add(100); // clamped into last bucket
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 1);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let v = Volume::<u16>::generate(Dims3::new(3, 3, 3), |x, y, z| (x + y + z) as u16);
+        let s = summarize(&v);
+        assert_eq!(s.num_vertices, 27);
+        assert_eq!(s.num_cells, 8);
+        assert_eq!(s.distinct_values, 7); // sums 0..=6
+        assert_eq!(s.min_key, 0);
+        assert_eq!(s.max_key, 6);
+        assert_eq!(s.raw_bytes, 54);
+    }
+}

@@ -1,0 +1,346 @@
+//! Unstructured tetrahedral meshes.
+//!
+//! §4 of the paper: "Our algorithm can handle both structured and
+//! unstructured grids and makes use of the metacell notion" — a metacell is
+//! just "a cluster of neighboring cells" of roughly constant byte size. This
+//! module provides the unstructured substrate: an explicit tetrahedral mesh
+//! with per-vertex scalars, a clustering into fixed-size *tet clusters* (the
+//! metacell analogue, with vertex data duplicated per cluster exactly as
+//! structured metacells duplicate their boundary layers), per-cluster
+//! `(vmin, vmax)` intervals for the compact interval tree, and a
+//! self-contained on-disk record format.
+//!
+//! Meshes can be imported from any source; [`TetMesh::from_volume`] builds
+//! one by Kuhn-tetrahedralizing a structured grid (6 tets per cell), which
+//! gives tests an unstructured mesh with a known isosurface.
+
+use crate::grid::Volume;
+use crate::scalar::ScalarValue;
+
+/// A vertex of the mesh: position and scalar value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TetVertex {
+    pub pos: [f32; 3],
+    pub value: f32,
+}
+
+/// An unstructured tetrahedral mesh with per-vertex scalars.
+#[derive(Clone, Debug, Default)]
+pub struct TetMesh {
+    vertices: Vec<TetVertex>,
+    /// Vertex indices, 4 per tetrahedron.
+    tets: Vec<[u32; 4]>,
+}
+
+impl TetMesh {
+    /// Build from explicit vertices and tetrahedra.
+    pub fn new(vertices: Vec<TetVertex>, tets: Vec<[u32; 4]>) -> Self {
+        let n = vertices.len() as u32;
+        assert!(
+            tets.iter().all(|t| t.iter().all(|&i| i < n)),
+            "tet index out of range"
+        );
+        TetMesh { vertices, tets }
+    }
+
+    /// Kuhn-tetrahedralize a structured volume: 6 tets per hexahedral cell,
+    /// consistently oriented so neighbouring cells share faces.
+    pub fn from_volume<S: ScalarValue>(vol: &Volume<S>) -> Self {
+        // The six tetrahedra around the 0-6 diagonal, in the Bourke corner
+        // numbering used throughout the workspace.
+        const CORNERS: [(usize, usize, usize); 8] = [
+            (0, 0, 0),
+            (1, 0, 0),
+            (1, 1, 0),
+            (0, 1, 0),
+            (0, 0, 1),
+            (1, 0, 1),
+            (1, 1, 1),
+            (0, 1, 1),
+        ];
+        const TETS: [[usize; 4]; 6] = [
+            [0, 5, 1, 6],
+            [0, 1, 2, 6],
+            [0, 2, 3, 6],
+            [0, 3, 7, 6],
+            [0, 7, 4, 6],
+            [0, 4, 5, 6],
+        ];
+        let dims = vol.dims();
+        let mut vertices = Vec::with_capacity(dims.num_vertices());
+        for z in 0..dims.nz {
+            for y in 0..dims.ny {
+                for x in 0..dims.nx {
+                    vertices.push(TetVertex {
+                        pos: [x as f32, y as f32, z as f32],
+                        value: vol.get(x, y, z).to_f32(),
+                    });
+                }
+            }
+        }
+        let mut tets = Vec::with_capacity(dims.num_cells() * 6);
+        for cz in 0..dims.nz.saturating_sub(1) {
+            for cy in 0..dims.ny.saturating_sub(1) {
+                for cx in 0..dims.nx.saturating_sub(1) {
+                    let corner =
+                        |i: usize| {
+                            let (dx, dy, dz) = CORNERS[i];
+                            dims.index(cx + dx, cy + dy, cz + dz) as u32
+                        };
+                    for t in &TETS {
+                        tets.push([corner(t[0]), corner(t[1]), corner(t[2]), corner(t[3])]);
+                    }
+                }
+            }
+        }
+        TetMesh { vertices, tets }
+    }
+
+    /// Number of tetrahedra.
+    pub fn num_tets(&self) -> usize {
+        self.tets.len()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Vertex accessor.
+    pub fn vertex(&self, i: u32) -> TetVertex {
+        self.vertices[i as usize]
+    }
+
+    /// Tet accessor.
+    pub fn tet(&self, i: usize) -> [u32; 4] {
+        self.tets[i]
+    }
+
+    /// Partition into clusters of at most `tets_per_cluster` consecutive
+    /// tetrahedra — the unstructured metacell analogue. Consecutive tets of
+    /// a Kuhn mesh are spatially local, so clusters behave like metacells
+    /// (tight value intervals); meshes from other sources should be
+    /// pre-sorted along a space-filling curve for the same effect.
+    pub fn clusters(&self, tets_per_cluster: usize) -> Vec<TetCluster> {
+        assert!(tets_per_cluster > 0);
+        self.tets
+            .chunks(tets_per_cluster)
+            .enumerate()
+            .map(|(id, chunk)| TetCluster::build(self, id as u32, chunk))
+            .collect()
+    }
+}
+
+/// A cluster of tetrahedra with duplicated vertex data: the unstructured
+/// metacell. Self-contained — extraction needs no access to the full mesh.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TetCluster {
+    /// Cluster id (index in the cluster sequence).
+    pub id: u32,
+    /// The cluster's own vertex array.
+    pub vertices: Vec<TetVertex>,
+    /// Tets as indices into `vertices`.
+    pub tets: Vec<[u32; 4]>,
+}
+
+impl TetCluster {
+    fn build(mesh: &TetMesh, id: u32, tets: &[[u32; 4]]) -> Self {
+        // remap global vertex ids to a dense local array
+        let mut local_of = std::collections::HashMap::new();
+        let mut vertices = Vec::new();
+        let mut out_tets = Vec::with_capacity(tets.len());
+        for tet in tets {
+            let mut local = [0u32; 4];
+            for (k, &g) in tet.iter().enumerate() {
+                let next = vertices.len() as u32;
+                let idx = *local_of.entry(g).or_insert_with(|| {
+                    vertices.push(mesh.vertex(g));
+                    next
+                });
+                local[k] = idx;
+            }
+            out_tets.push(local);
+        }
+        TetCluster {
+            id,
+            vertices,
+            tets: out_tets,
+        }
+    }
+
+    /// Scalar range over the cluster's vertices, as keys (for the interval
+    /// index). Returns `None` for an empty cluster.
+    pub fn value_interval(&self) -> Option<(u32, u32)> {
+        let mut it = self.vertices.iter().map(|v| v.value.key());
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for k in it {
+            lo = lo.min(k);
+            hi = hi.max(k);
+        }
+        Some((lo, hi))
+    }
+
+    /// Whether all vertex values are equal (cullable, like constant metacells).
+    pub fn is_constant(&self) -> bool {
+        match self.value_interval() {
+            Some((lo, hi)) => lo == hi,
+            None => true,
+        }
+    }
+
+    /// Encoded length: id (4) + vertex count (4) + tet count (4)
+    /// + vertices × 16 + tets × 16.
+    pub fn encoded_len(&self) -> usize {
+        12 + self.vertices.len() * 16 + self.tets.len() * 16
+    }
+
+    /// Serialize to the on-disk record format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&(self.vertices.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.tets.len() as u32).to_le_bytes());
+        for v in &self.vertices {
+            for c in v.pos {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+            out.extend_from_slice(&v.value.to_le_bytes());
+        }
+        for t in &self.tets {
+            for &i in t {
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+        }
+        debug_assert_eq!(out.len(), self.encoded_len());
+        out
+    }
+
+    /// Deserialize; returns the cluster and bytes consumed.
+    pub fn decode(bytes: &[u8]) -> (Self, usize) {
+        let rd32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let rdf = |at: usize| f32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let id = rd32(0);
+        let nv = rd32(4) as usize;
+        let nt = rd32(8) as usize;
+        let mut at = 12;
+        let mut vertices = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            vertices.push(TetVertex {
+                pos: [rdf(at), rdf(at + 4), rdf(at + 8)],
+                value: rdf(at + 12),
+            });
+            at += 16;
+        }
+        let mut tets = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            tets.push([rd32(at), rd32(at + 4), rd32(at + 8), rd32(at + 12)]);
+            at += 16;
+        }
+        (TetCluster { id, vertices, tets }, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Dims3;
+
+    fn small_mesh() -> TetMesh {
+        let vol = Volume::<u8>::generate(Dims3::cube(4), |x, y, z| (x * 20 + y * 5 + z) as u8);
+        TetMesh::from_volume(&vol)
+    }
+
+    #[test]
+    fn kuhn_counts() {
+        let mesh = small_mesh();
+        assert_eq!(mesh.num_vertices(), 64);
+        assert_eq!(mesh.num_tets(), 27 * 6);
+    }
+
+    #[test]
+    fn tets_have_positive_volume() {
+        let mesh = small_mesh();
+        for i in 0..mesh.num_tets() {
+            let t = mesh.tet(i);
+            let p: Vec<[f32; 3]> = t.iter().map(|&v| mesh.vertex(v).pos).collect();
+            let d = |a: [f32; 3], b: [f32; 3]| [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+            let (u, v, w) = (d(p[0], p[1]), d(p[0], p[2]), d(p[0], p[3]));
+            let det = u[0] * (v[1] * w[2] - v[2] * w[1]) - u[1] * (v[0] * w[2] - v[2] * w[0])
+                + u[2] * (v[0] * w[1] - v[1] * w[0]);
+            assert!(det.abs() > 1e-6, "degenerate tet {i}");
+        }
+        // six tets tile each unit cell: total volume equals cell count
+        let total: f32 = (0..mesh.num_tets())
+            .map(|i| {
+                let t = mesh.tet(i);
+                let p: Vec<[f32; 3]> = t.iter().map(|&v| mesh.vertex(v).pos).collect();
+                let d = |a: [f32; 3], b: [f32; 3]| [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+                let (u, v, w) = (d(p[0], p[1]), d(p[0], p[2]), d(p[0], p[3]));
+                (u[0] * (v[1] * w[2] - v[2] * w[1]) - u[1] * (v[0] * w[2] - v[2] * w[0])
+                    + u[2] * (v[0] * w[1] - v[1] * w[0]))
+                    .abs()
+                    / 6.0
+            })
+            .sum();
+        assert!((total - 27.0).abs() < 1e-3, "total volume {total}");
+    }
+
+    #[test]
+    fn clusters_cover_all_tets_once() {
+        let mesh = small_mesh();
+        let clusters = mesh.clusters(16);
+        let total: usize = clusters.iter().map(|c| c.tets.len()).sum();
+        assert_eq!(total, mesh.num_tets());
+        assert_eq!(clusters.len(), mesh.num_tets().div_ceil(16));
+        // ids sequential
+        for (i, c) in clusters.iter().enumerate() {
+            assert_eq!(c.id, i as u32);
+        }
+    }
+
+    #[test]
+    fn cluster_intervals_bound_their_vertices() {
+        let mesh = small_mesh();
+        for c in mesh.clusters(10) {
+            let (lo, hi) = c.value_interval().unwrap();
+            for v in &c.vertices {
+                assert!(v.value.key() >= lo && v.value.key() <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_record_roundtrip() {
+        let mesh = small_mesh();
+        for c in mesh.clusters(7) {
+            let bytes = c.encode();
+            assert_eq!(bytes.len(), c.encoded_len());
+            let (back, used) = TetCluster::decode(&bytes);
+            assert_eq!(used, bytes.len());
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn constant_cluster_detected() {
+        let vol = Volume::<u8>::filled(Dims3::cube(3), 99);
+        let mesh = TetMesh::from_volume(&vol);
+        for c in mesh.clusters(6) {
+            assert!(c.is_constant());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_rejected() {
+        let _ = TetMesh::new(
+            vec![TetVertex {
+                pos: [0.0; 3],
+                value: 0.0,
+            }],
+            vec![[0, 0, 0, 1]],
+        );
+    }
+}

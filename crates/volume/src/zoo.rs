@@ -1,0 +1,226 @@
+//! Synthetic stand-ins for the paper's Table 1 datasets.
+//!
+//! Table 1 of the paper compares the sizes of the standard interval tree and
+//! the compact interval tree on Bunny, MRBrain and CTHead (Stanford Volume
+//! Data Archive) plus Pressure and Velocity fields. Those exact files are
+//! external data we do not ship; instead each entry here generates a synthetic
+//! volume with the *same dimensions and scalar precision* and qualitatively
+//! similar value statistics:
+//!
+//! * CT/MR stand-ins: concentric anatomical shells + noise, producing a wide
+//!   spread of metacell intervals over a modest number of distinct endpoint
+//!   values (`n ≪ N` regime — where the compact tree wins asymptotically).
+//! * Pressure/Velocity stand-ins: smooth float fields where almost every
+//!   endpoint is distinct (`N ≈ n` regime — where the paper notes the compact
+//!   tree still wins by a constant factor).
+//!
+//! The comparison the table makes (index entries and bytes of the two
+//! structures) depends only on the interval statistics, which these proxies
+//! reproduce at the matching dimensions.
+
+use crate::field::{AnalyticField, FieldExt, NoiseField};
+use crate::grid::{Dims3, Volume};
+use crate::noise;
+use crate::scalar::ScalarValue;
+
+/// Scalar precision of a zoo dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZooPrecision {
+    U8,
+    U16,
+    F32,
+}
+
+impl ZooPrecision {
+    /// Bytes per sample.
+    pub fn bytes(self) -> usize {
+        match self {
+            ZooPrecision::U8 => 1,
+            ZooPrecision::U16 => 2,
+            ZooPrecision::F32 => 4,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ZooPrecision::U8 => "u8",
+            ZooPrecision::U16 => "u16",
+            ZooPrecision::F32 => "f32",
+        }
+    }
+}
+
+/// One Table 1 dataset entry.
+#[derive(Clone, Copy, Debug)]
+pub struct ZooEntry {
+    /// Dataset name as it appears in the paper.
+    pub name: &'static str,
+    /// Native dimensions of the original dataset.
+    pub dims: Dims3,
+    /// Scalar precision of the original dataset.
+    pub precision: ZooPrecision,
+    /// Seed for the synthetic stand-in.
+    pub seed: u64,
+}
+
+/// The Table 1 dataset list. Dimensions follow the original archives:
+/// Stanford Bunny CT 512×512×361, MRBrain 256×256×109, CTHead 256×256×113;
+/// Pressure/Velocity are float simulation fields (vis-contest style, 256³).
+pub fn table1_entries() -> Vec<ZooEntry> {
+    vec![
+        ZooEntry {
+            name: "Bunny",
+            dims: Dims3::new(512, 512, 361),
+            precision: ZooPrecision::U16,
+            seed: 0xB0_0001,
+        },
+        ZooEntry {
+            name: "MRBrain",
+            dims: Dims3::new(256, 256, 109),
+            precision: ZooPrecision::U16,
+            seed: 0xB0_0002,
+        },
+        ZooEntry {
+            name: "CTHead",
+            dims: Dims3::new(256, 256, 113),
+            precision: ZooPrecision::U16,
+            seed: 0xB0_0003,
+        },
+        ZooEntry {
+            name: "Pressure",
+            dims: Dims3::cube(256),
+            precision: ZooPrecision::F32,
+            seed: 0xB0_0004,
+        },
+        ZooEntry {
+            name: "Velocity",
+            dims: Dims3::cube(256),
+            precision: ZooPrecision::F32,
+            seed: 0xB0_0005,
+        },
+    ]
+}
+
+/// Anatomical phantom: nested ellipsoidal shells (skin / skull / brain /
+/// ventricle analogue) plus fine noise, mimicking CT/MR value statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct PhantomField {
+    pub seed: u64,
+    /// Peak scalar output (e.g. 255 for u8, ~3000 for 12-bit CT in u16).
+    pub peak: f32,
+}
+
+impl AnalyticField for PhantomField {
+    fn eval(&self, x: f32, y: f32, z: f32) -> f32 {
+        // radial coordinate of a slightly squashed head-like ellipsoid
+        let dx = (x - 0.5) / 0.42;
+        let dy = (y - 0.5) / 0.36;
+        let dz = (z - 0.5) / 0.45;
+        let r = (dx * dx + dy * dy + dz * dz).sqrt();
+        // shell profile: air outside, soft tissue, bone peak, brain interior
+        let base = if r > 1.0 {
+            0.02 // air + scanner noise floor
+        } else if r > 0.92 {
+            0.35 // skin/soft tissue
+        } else if r > 0.80 {
+            0.95 // skull (bright in CT)
+        } else if r > 0.25 {
+            0.45 // brain parenchyma
+        } else {
+            0.20 // ventricles
+        };
+        let tex = (noise::fbm(self.seed, x * 24.0, y * 24.0, z * 24.0, 3) - 0.5) * 0.08;
+        ((base + tex).max(0.0)) * self.peak
+    }
+}
+
+/// Generate the stand-in volume for a zoo entry, optionally down-scaled by an
+/// integer factor (`shrink=1` keeps native size; `shrink=4` divides each axis
+/// by 4 — useful to keep `table1` quick while preserving value statistics).
+pub fn generate_u16(entry: &ZooEntry, shrink: usize) -> Volume<u16> {
+    assert_eq!(entry.precision, ZooPrecision::U16);
+    let dims = shrink_dims(entry.dims, shrink);
+    PhantomField {
+        seed: entry.seed,
+        peak: 3500.0, // 12-bit-style CT range within u16
+    }
+    .sample(dims)
+}
+
+/// Generate a float stand-in (Pressure/Velocity style: smooth fBm field).
+pub fn generate_f32(entry: &ZooEntry, shrink: usize) -> Volume<f32> {
+    assert_eq!(entry.precision, ZooPrecision::F32);
+    let dims = shrink_dims(entry.dims, shrink);
+    NoiseField {
+        seed: entry.seed,
+        frequency: 5.0,
+        octaves: 5,
+        lo: -1.0,
+        hi: 1.0,
+    }
+    .sample(dims)
+}
+
+fn shrink_dims(d: Dims3, shrink: usize) -> Dims3 {
+    assert!(shrink >= 1);
+    Dims3::new(
+        (d.nx / shrink).max(9),
+        (d.ny / shrink).max(9),
+        (d.nz / shrink).max(9),
+    )
+}
+
+/// Fraction of samples that are "interesting" (non-background) — a sanity
+/// statistic used by tests to check the phantom is not trivially constant.
+pub fn foreground_fraction<S: ScalarValue>(v: &Volume<S>, threshold: f32) -> f64 {
+    let n = v.data().len();
+    let fg = v.data().iter().filter(|s| s.to_f32() > threshold).count();
+    fg as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_match_paper_datasets() {
+        let names: Vec<_> = table1_entries().iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            vec!["Bunny", "MRBrain", "CTHead", "Pressure", "Velocity"]
+        );
+    }
+
+    #[test]
+    fn phantom_has_structure() {
+        let e = table1_entries()[1]; // MRBrain
+        let v = generate_u16(&e, 8);
+        let (lo, hi) = v.min_max();
+        assert!(hi > lo, "phantom must be non-constant");
+        let fg = foreground_fraction(&v, 100.0);
+        assert!(fg > 0.1 && fg < 0.95, "foreground fraction {fg}");
+    }
+
+    #[test]
+    fn float_fields_mostly_distinct() {
+        let e = table1_entries()[3]; // Pressure
+        let v = generate_f32(&e, 16);
+        let mut keys: Vec<u32> = v.data().iter().map(|s| s.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        // the N≈n regime: the overwhelming majority of samples are distinct
+        assert!(
+            keys.len() * 2 > v.data().len(),
+            "expected mostly-distinct floats: {} of {}",
+            keys.len(),
+            v.data().len()
+        );
+    }
+
+    #[test]
+    fn shrink_respects_minimum() {
+        let d = shrink_dims(Dims3::new(512, 512, 361), 128);
+        assert_eq!(d, Dims3::new(9, 9, 9));
+    }
+}

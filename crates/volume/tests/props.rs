@@ -1,0 +1,86 @@
+//! Property tests for volume generation, sampling and raw I/O.
+
+use oociso_volume::io::{read_volume, write_volume, RawVolumeReader};
+use oociso_volume::{Dims3, RmProxy, ScalarValue, Volume};
+use proptest::prelude::*;
+
+fn dims_strategy() -> impl Strategy<Value = Dims3> {
+    (2usize..20, 2usize..20, 2usize..16).prop_map(|(x, y, z)| Dims3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn raw_io_roundtrip_any_dims(dims in dims_strategy(), seed in any::<u64>()) {
+        let vol = Volume::<u16>::generate(dims, |x, y, z| {
+            (oociso_volume::noise::splitmix64(seed ^ ((x * 3 + y * 101 + z * 977) as u64))
+                & 0xffff) as u16
+        });
+        let mut path = std::env::temp_dir();
+        path.push(format!("oociso_vprop_{}_{}x{}x{}.vol",
+            std::process::id(), dims.nx, dims.ny, dims.nz));
+        write_volume(&path, &vol).unwrap();
+        let back = read_volume::<u16>(&path).unwrap();
+        prop_assert_eq!(back.dims(), vol.dims());
+        prop_assert_eq!(back.data(), vol.data());
+
+        // arbitrary slab reads agree with the full volume
+        let mut r = RawVolumeReader::<u16>::open(&path).unwrap();
+        let z0 = dims.nz / 3;
+        let cnt = (dims.nz - z0).clamp(1, 4);
+        let slab = r.read_slab(z0, cnt).unwrap();
+        for z in 0..cnt {
+            for y in 0..dims.ny {
+                for x in 0..dims.nx {
+                    prop_assert_eq!(slab.get(x, y, z), vol.get(x, y, z0 + z));
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rm_proxy_deterministic_and_stratified(seed in any::<u64>(), step in 0u32..270) {
+        let dims = Dims3::new(12, 12, 11);
+        let a = RmProxy::with_seed(seed).volume(step, dims);
+        let b = RmProxy::with_seed(seed).volume(step, dims);
+        prop_assert_eq!(a.data(), b.data());
+        // bottom layer is lighter than the top layer on average
+        let layer = dims.nx * dims.ny;
+        let bottom: u64 = a.data()[..layer].iter().map(|&v| v as u64).sum();
+        let top: u64 = a.data()[a.data().len() - layer..].iter().map(|&v| v as u64).sum();
+        prop_assert!(top > bottom, "top {top} vs bottom {bottom}");
+    }
+
+    #[test]
+    fn trilinear_sampling_within_data_range(dims in dims_strategy(), seed in any::<u64>()) {
+        let vol = Volume::<u8>::generate(dims, |x, y, z| {
+            (oociso_volume::noise::splitmix64(seed ^ ((x + 7 * y + 61 * z) as u64)) & 0xff) as u8
+        });
+        let (lo, hi) = vol.min_max();
+        for i in 0..20 {
+            let t = i as f32 / 19.0;
+            let v = vol.sample_trilinear(
+                t * dims.nx as f32,
+                (1.0 - t) * dims.ny as f32,
+                t * dims.nz as f32,
+            );
+            prop_assert!(v >= lo.to_f32() - 1e-3 && v <= hi.to_f32() + 1e-3);
+        }
+    }
+
+    #[test]
+    fn min_max_agrees_with_scan(dims in dims_strategy(), seed in any::<u64>()) {
+        let vol = Volume::<f32>::generate(dims, |x, y, z| {
+            (oociso_volume::noise::splitmix64(seed ^ ((x + 13 * y + 377 * z) as u64)) % 1000) as f32
+                - 500.0
+        });
+        let (lo, hi) = vol.min_max();
+        let slo = vol.data().iter().fold(f32::INFINITY, |a, &b| a.min(b));
+        let shi = vol.data().iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        prop_assert_eq!(lo, slo);
+        prop_assert_eq!(hi, shi);
+        prop_assert!(lo.key() <= hi.key());
+    }
+}

@@ -1,0 +1,48 @@
+//! Time-varying exploration (§5.2): preprocess a series of time steps once,
+//! then scrub through time at a fixed isovalue — each step's index is already
+//! in memory, only that step's active metacells are read from disk.
+//!
+//! Run: `cargo run --release --example time_varying`
+
+use oociso::core::{PreprocessOptions, TimeVaryingDatabase};
+use oociso::volume::{Dims3, RmProxy};
+
+fn main() -> std::io::Result<()> {
+    let dims = Dims3::new(64, 64, 60);
+    let steps = 8;
+    let first = 80u32;
+    let proxy = RmProxy::with_seed(42);
+    let root = std::env::temp_dir().join("oociso-timevarying");
+
+    println!("preprocessing {steps} steps at {}x{}x{}…", dims.nx, dims.ny, dims.nz);
+    let db = TimeVaryingDatabase::preprocess_series(
+        &root,
+        steps,
+        &PreprocessOptions {
+            nodes: 2,
+            ..Default::default()
+        },
+        |s| proxy.volume(first + (s as u32) * 20, dims),
+    )?;
+    println!(
+        "total index for {} steps: {:.1} KB (stays in memory; the paper's 270-step\nfull-resolution index is 1.6 MB)\n",
+        db.num_steps(),
+        db.index_bytes() as f64 / 1024.0
+    );
+
+    let iso = 70.0;
+    println!("scrubbing isovalue {iso} through time:");
+    println!("{:>6} {:>10} {:>12} {:>10}", "step", "active MC", "triangles", "MB read");
+    for s in 0..db.num_steps() {
+        let r = db.extract(s, iso)?;
+        println!(
+            "{:>6} {:>10} {:>12} {:>10.2}",
+            first + (s as u32) * 20,
+            r.report.total_active_metacells(),
+            r.report.total_triangles(),
+            r.report.total_bytes_read() as f64 / 1e6
+        );
+    }
+    println!("\nthe instability grows: active metacells and triangles increase with time.");
+    Ok(())
+}

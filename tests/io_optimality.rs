@@ -1,0 +1,110 @@
+//! I/O behaviour of the compact-interval-tree query (§5's optimality claims),
+//! measured end-to-end through the database.
+
+use oociso::core::{IsoDatabase, PreprocessOptions};
+use oociso::exio::IoCostModel;
+use oociso::volume::{Dims3, RmProxy};
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("oociso_io_{}_{}", std::process::id(), name));
+    p
+}
+
+#[test]
+fn bytes_read_proportional_to_output() {
+    // The query must read O(T/B) blocks: bytes read stay within a small
+    // constant of the active metacells' record bytes (Case 2 streaming may
+    // overshoot by at most ~one chunk per active brick).
+    let vol = RmProxy::with_seed(3).volume(230, Dims3::new(48, 48, 45));
+    let dir = tmpdir("prop");
+    let db = IsoDatabase::preprocess(&vol, &dir, &PreprocessOptions::default()).unwrap();
+    for iso in [30.0, 90.0, 150.0, 210.0] {
+        let r = db.extract(iso).unwrap();
+        let n = &r.report.nodes[0];
+        if n.active_metacells == 0 {
+            continue;
+        }
+        let active_bytes = n.bytes_read; // record bytes of emitted metacells
+        let touched = n.io.bytes_read; // all bytes fetched from the device
+        assert!(
+            touched <= 2 * active_bytes + 64 * 1024,
+            "iso {iso}: touched {touched} vs active {active_bytes}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn io_grows_monotonically_with_surface_size() {
+    let vol = RmProxy::with_seed(3).volume(230, Dims3::new(48, 48, 45));
+    let dir = tmpdir("mono");
+    let db = IsoDatabase::preprocess(&vol, &dir, &PreprocessOptions::default()).unwrap();
+    // collect (active, touched_bytes) over the sweep; Spearman-ish check:
+    // sorting by active must sort touched within tolerance
+    let mut points: Vec<(u64, u64)> = Vec::new();
+    for iso in (10..=210).step_by(20) {
+        let r = db.extract(iso as f32).unwrap();
+        let n = &r.report.nodes[0];
+        points.push((n.active_metacells, n.io.bytes_read));
+    }
+    points.sort_unstable();
+    for w in points.windows(2) {
+        // more active metacells should never need drastically less I/O
+        assert!(
+            w[1].1 + 64 * 1024 >= w[0].1 / 2,
+            "non-monotone I/O: {points:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reads_are_mostly_sequential() {
+    // Case 1 bulk ranges + per-brick streaming: the seek count must be far
+    // below the active metacell count (the whole point of bricked layout —
+    // prior metacell schemes paid a random read per metacell).
+    let vol = RmProxy::with_seed(3).volume(230, Dims3::new(48, 48, 45));
+    let dir = tmpdir("seq");
+    let db = IsoDatabase::preprocess(&vol, &dir, &PreprocessOptions::default()).unwrap();
+    let r = db.extract(130.0).unwrap();
+    let n = &r.report.nodes[0];
+    assert!(n.active_metacells > 50, "need a meaningful surface");
+    assert!(
+        n.io.seeks * 4 < n.active_metacells,
+        "{} seeks for {} active metacells",
+        n.io.seeks,
+        n.active_metacells
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn modeled_time_matches_fifty_mbps_hand_calc() {
+    let vol = RmProxy::with_seed(3).volume(230, Dims3::new(48, 48, 45));
+    let dir = tmpdir("model");
+    let db = IsoDatabase::preprocess(&vol, &dir, &PreprocessOptions::default()).unwrap();
+    let r = db.extract(130.0).unwrap();
+    let n = &r.report.nodes[0];
+    let model = IoCostModel::paper_disk();
+    let t = model.modeled_time(&n.io).as_secs_f64();
+    let hand =
+        n.io.seeks as f64 * 0.008 + (n.io.bytes_read + n.io.skip_bytes) as f64 / 50.0e6;
+    assert!((t - hand).abs() < 1e-9, "model {t} vs hand {hand}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn out_of_range_isovalue_costs_nothing() {
+    // isovalue above every sample: the tree prunes the whole query — no
+    // metacells read, no triangles
+    let vol = RmProxy::with_seed(3).volume(230, Dims3::new(48, 48, 45));
+    let dir = tmpdir("empty");
+    let db = IsoDatabase::preprocess(&vol, &dir, &PreprocessOptions::default()).unwrap();
+    let r = db.extract(300.0).unwrap();
+    let n = &r.report.nodes[0];
+    assert_eq!(r.mesh.len(), 0);
+    assert_eq!(n.io.bytes_read, 0, "out-of-range query must read nothing");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,140 @@
+//! Rendering-path integration: sort-last compositing across simulated nodes
+//! must be pixel-equivalent to rendering everything on one node.
+
+use oociso::core::{ClusterDatabase, PreprocessOptions};
+use oociso::render::{rasterize_soup, Camera, Framebuffer, TileLayout};
+use oociso::volume::field::{AnalyticField, FieldExt, SphereField, TorusField};
+use oociso::volume::Dims3;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("oociso_rp_{}_{}", std::process::id(), name));
+    p
+}
+
+#[test]
+fn cluster_composite_equals_single_node_render() {
+    let vol = SphereField::centered(0.32, 128.0).sample::<u8>(Dims3::cube(33));
+    let dir = tmpdir("eq");
+    let db = ClusterDatabase::preprocess(
+        &vol,
+        &dir,
+        &PreprocessOptions {
+            nodes: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let probe = db.extract(128.0).unwrap();
+    let camera = Camera::orbiting(&probe.mesh.bounds(), 0.5, 0.6, 2.4);
+    let tiles = TileLayout::paper_wall(160, 160);
+    let (wall, _) = db
+        .extract_and_render(128.0, &camera, &tiles, [0.7, 0.8, 0.9])
+        .unwrap();
+
+    let mut single = Framebuffer::new(160, 160);
+    rasterize_soup(&probe.mesh, &camera, [0.7, 0.8, 0.9], &mut single);
+
+    let mut diff = 0usize;
+    for y in 0..160 {
+        for x in 0..160 {
+            if wall.color_at(x, y) != single.color_at(x, y) {
+                diff += 1;
+            }
+        }
+    }
+    // tolerate a handful of equal-depth tie-break pixels along stripe seams
+    assert!(diff < 60, "{diff} differing pixels of 25600");
+    assert!(wall.covered_pixels() > 500);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn occlusion_resolved_across_nodes() {
+    // a torus around a sphere: fragments from different nodes overlap in
+    // screen space; the composite must resolve them by depth, not by node
+    // order — verify by compositing node buffers in reverse order
+    let f = |x: f32, y: f32, z: f32| {
+        let s = SphereField::centered(0.18, 128.0);
+        let t = TorusField {
+            major: 0.33,
+            minor: 0.08,
+            level: 128.0,
+            slope: 400.0,
+        };
+        s.eval(x, y, z).max(t.eval(x, y, z))
+    };
+    let vol = f.sample::<u8>(Dims3::cube(41));
+    let dir = tmpdir("occl");
+    let db = ClusterDatabase::preprocess(
+        &vol,
+        &dir,
+        &PreprocessOptions {
+            nodes: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let e = db.extract_per_node(128.0).unwrap();
+    let camera = Camera::orbiting(&e.merged_soup().bounds(), 0.2, 0.15, 2.2);
+    let render_one = |soup| {
+        let mut fb = Framebuffer::new(128, 128);
+        rasterize_soup(soup, &camera, [1.0, 1.0, 1.0], &mut fb);
+        fb
+    };
+    let buffers: Vec<Framebuffer> = e.soups.iter().map(render_one).collect();
+    let layout = TileLayout::new(1, 1, 128, 128);
+    let (forward, _) = layout.composite(&buffers);
+    let reversed: Vec<Framebuffer> = buffers.iter().rev().cloned().collect();
+    let (backward, _) = layout.composite(&reversed);
+    let mut diff = 0;
+    for y in 0..128 {
+        for x in 0..128 {
+            if forward.color_at(x, y) != backward.color_at(x, y) {
+                diff += 1;
+            }
+        }
+    }
+    assert!(diff < 30, "composite must be order-independent: {diff} pixels");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figure4_style_render_has_structure() {
+    // an RM-proxy render like Figure 4: the image must show a real surface
+    // (covered pixels with varying shading), not an empty or flat frame
+    use oociso::volume::RmProxy;
+    let vol = RmProxy::with_seed(1).volume(250, Dims3::new(64, 64, 60));
+    let dir = tmpdir("fig4");
+    let db = ClusterDatabase::preprocess(
+        &vol,
+        &dir,
+        &PreprocessOptions {
+            nodes: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let probe = db.extract(190.0).unwrap();
+    assert!(probe.mesh.len() > 1000, "RM surface should be rich");
+    let camera = Camera::orbiting(&probe.mesh.bounds(), 0.9, 0.45, 2.0);
+    let tiles = TileLayout::paper_wall(128, 128);
+    let (img, _) = db
+        .extract_and_render(190.0, &camera, &tiles, [0.9, 0.78, 0.5])
+        .unwrap();
+    let covered = img.covered_pixels();
+    assert!(covered > 1000, "only {covered} covered pixels");
+    // shading variation: collect distinct red intensities
+    let mut reds = std::collections::HashSet::new();
+    for y in 0..128 {
+        for x in 0..128 {
+            let c = img.color_at(x, y);
+            if c[3] != 0 {
+                reds.insert(c[0]);
+            }
+        }
+    }
+    assert!(reds.len() > 10, "flat shading variation: {}", reds.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
