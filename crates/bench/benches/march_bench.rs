@@ -1,7 +1,11 @@
-//! Criterion: triangle generation — Marching Cubes vs Marching Tetrahedra.
+//! Criterion: triangle generation — the slab-sliding indexed kernel vs the
+//! naive reference Marching Cubes vs Marching Tetrahedra.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use oociso_march::{marching_cubes, marching_tetrahedra, TriangleSoup, Vec3};
+use oociso_march::{
+    marching_cubes, marching_cubes_indexed, marching_tetrahedra, IndexedMesh, SlabScratch,
+    TriangleSoup, Vec3,
+};
 use oociso_volume::field::{FieldExt, GyroidField, SphereField};
 use oociso_volume::{Dims3, Volume};
 
@@ -18,11 +22,28 @@ fn bench_extractors(c: &mut Criterion) {
     let cells = 47u64 * 47 * 47;
     group.throughput(Throughput::Elements(cells));
     for (name, vol) in [("sphere", &sphere), ("gyroid", &gyroid)] {
-        group.bench_function(format!("mc_{name}"), |b| {
+        // naive reference kernel (bounds-checked gathers, unindexed soup)
+        group.bench_function(format!("mc_naive_{name}"), |b| {
             b.iter(|| {
                 let mut soup = TriangleSoup::new();
                 marching_cubes(vol, 128.0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
                 soup
+            })
+        });
+        // slab-sliding kernel, indexed output, reused scratch
+        let mut scratch = SlabScratch::new();
+        group.bench_function(format!("mc_slab_{name}"), |b| {
+            b.iter(|| {
+                let mut mesh = IndexedMesh::new();
+                marching_cubes_indexed(
+                    vol,
+                    128.0,
+                    Vec3::ZERO,
+                    Vec3::new(1.0, 1.0, 1.0),
+                    &mut mesh,
+                    &mut scratch,
+                );
+                mesh
             })
         });
         group.bench_function(format!("mt_{name}"), |b| {
@@ -39,11 +60,32 @@ fn bench_extractors(c: &mut Criterion) {
 fn bench_metacell_unit(c: &mut Criterion) {
     // one 9×9×9 metacell — the per-record unit of the pipeline
     let cell: Volume<u8> = SphereField::centered(0.4, 128.0).sample(Dims3::cube(9));
-    c.bench_function("mc_one_metacell", |b| {
+    c.bench_function("mc_one_metacell_naive", |b| {
         b.iter(|| {
             let mut soup = TriangleSoup::new();
-            marching_cubes(&cell, 128.0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
+            marching_cubes(
+                &cell,
+                128.0,
+                Vec3::ZERO,
+                Vec3::new(1.0, 1.0, 1.0),
+                &mut soup,
+            );
             soup
+        })
+    });
+    let mut scratch = SlabScratch::new();
+    c.bench_function("mc_one_metacell_slab", |b| {
+        b.iter(|| {
+            let mut mesh = IndexedMesh::new();
+            marching_cubes_indexed(
+                &cell,
+                128.0,
+                Vec3::ZERO,
+                Vec3::new(1.0, 1.0, 1.0),
+                &mut mesh,
+                &mut scratch,
+            );
+            mesh
         })
     });
 }

@@ -10,10 +10,8 @@ fn bench_extract(c: &mut Criterion) {
     let mut group = c.benchmark_group("cluster_extract");
     group.sample_size(20);
     for &nodes in &[1usize, 2, 4] {
-        let dir = std::env::temp_dir().join(format!(
-            "oociso_qbench_{}_{nodes}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("oociso_qbench_{}_{nodes}", std::process::id()));
         let (cluster, _) = Cluster::build(
             &vol,
             &dir,
@@ -26,9 +24,11 @@ fn bench_extract(c: &mut Criterion) {
         .unwrap();
         let tris = cluster.extract(110.0).unwrap().report.total_triangles();
         group.throughput(Throughput::Elements(tris));
-        group.bench_with_input(BenchmarkId::new("extract_iso110", nodes), &cluster, |b, cl| {
-            b.iter(|| cl.extract(110.0).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("extract_iso110", nodes),
+            &cluster,
+            |b, cl| b.iter(|| cl.extract(110.0).unwrap()),
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
     group.finish();
@@ -51,15 +51,49 @@ fn bench_isovalue_sensitivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_isovalues");
     group.sample_size(20);
     for iso in [30.0f32, 110.0, 190.0] {
+        group.bench_with_input(BenchmarkId::new("extract", iso as u32), &iso, |b, &iso| {
+            b.iter(|| cluster.extract(iso).unwrap())
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    // intra-node parallel triangulation: one simulated node, scaling the
+    // worker pool — near-linear until the machine's cores are saturated
+    let dims = Dims3::new(96, 96, 90);
+    let vol = RmProxy::with_seed(7).volume(200, dims);
+    let dir = std::env::temp_dir().join(format!("oociso_qbench_w_{}", std::process::id()));
+    let (cluster, _) = Cluster::build(
+        &vol,
+        &dir,
+        1,
+        &ClusterBuildOptions {
+            metacell_k: 9,
+            mmap: true,
+        },
+    )
+    .unwrap();
+    let tris = cluster.extract(110.0).unwrap().report.total_triangles();
+    let mut group = c.benchmark_group("worker_scaling");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(tris));
+    for workers in [1usize, 2, 4, 8] {
         group.bench_with_input(
-            BenchmarkId::new("extract", iso as u32),
-            &iso,
-            |b, &iso| b.iter(|| cluster.extract(iso).unwrap()),
+            BenchmarkId::new("extract_1node", workers),
+            &workers,
+            |b, &w| b.iter(|| cluster.extract_with_workers(110.0, w).unwrap()),
         );
     }
     group.finish();
     std::fs::remove_dir_all(&dir).ok();
 }
 
-criterion_group!(benches, bench_extract, bench_isovalue_sensitivity);
+criterion_group!(
+    benches,
+    bench_extract,
+    bench_isovalue_sensitivity,
+    bench_worker_scaling
+);
 criterion_main!(benches);

@@ -24,10 +24,8 @@ fn bench_cluster_build(c: &mut Criterion) {
     for &nodes in &[1usize, 4] {
         group.bench_with_input(BenchmarkId::new("build", nodes), &nodes, |b, &n| {
             b.iter(|| {
-                let dir = std::env::temp_dir().join(format!(
-                    "oociso_sbench_{}_{n}",
-                    std::process::id()
-                ));
+                let dir =
+                    std::env::temp_dir().join(format!("oociso_sbench_{}_{n}", std::process::id()));
                 let out = Cluster::build(
                     &vol,
                     &dir,

@@ -70,7 +70,11 @@ fn main() {
     println!("\nper-query index I/O (disk blocks touched by the index itself):");
     let disk = IoCostModel::paper_disk();
     let mut io = TextTable::new(&[
-        "iso", "active", "BBIO index blocks", "BBIO index ms (sim)", "compact index blocks",
+        "iso",
+        "active",
+        "BBIO index blocks",
+        "BBIO index ms (sim)",
+        "compact index blocks",
     ]);
     for &iso in &paper_isovalues() {
         let key = iso as u32;

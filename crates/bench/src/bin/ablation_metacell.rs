@@ -8,9 +8,9 @@
 //!
 //! Run: `cargo run --release -p oociso-bench --bin ablation_metacell`
 
+use oociso_bench::data_dir;
 use oociso_bench::{bench_dims, bench_step, rm_volume, secs, TextTable};
 use oociso_cluster::{Cluster, ClusterBuildOptions, SimulatedTimeModel};
-use oociso_bench::data_dir;
 
 fn main() {
     let dims = bench_dims();
@@ -23,8 +23,15 @@ fn main() {
     );
 
     let mut table = TextTable::new(&[
-        "k", "record B", "metacells", "culled %", "stored MB", "AMC @110", "bytes read @110 (MB)",
-        "sim io @110 (s)", "triangles @110",
+        "k",
+        "record B",
+        "metacells",
+        "culled %",
+        "stored MB",
+        "AMC @110",
+        "bytes read @110 (MB)",
+        "sim io @110 (s)",
+        "triangles @110",
     ]);
     for k in [5usize, 9, 17] {
         let dir = data_dir().join(format!("ablation-k{k}"));

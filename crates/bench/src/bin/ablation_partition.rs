@@ -62,8 +62,6 @@ fn main() {
         "\nworst-case imbalance across the sweep: striping {worst_rr:.3}, staggered {worst_st:.3}, range {worst_rp:.3}"
     );
     println!("(1.0 = perfect balance; parallel completion time scales with this factor —");
-    println!(
-        "a {p}-node run under range partitioning degrades toward a {worst_rp:.2}x slowdown;"
-    );
+    println!("a {p}-node run under range partitioning degrades toward a {worst_rp:.2}x slowdown;");
     println!("staggered striping is an oociso extension removing the paper scheme's node-0 bias)");
 }

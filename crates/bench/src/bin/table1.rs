@@ -38,8 +38,16 @@ fn main() {
     println!("(synthetic stand-ins at the original datasets' dims/precision, shrink={shrink})\n");
 
     let mut table = TextTable::new(&[
-        "dataset", "dims", "type", "N (intervals)", "n (endpoints)", "std entries",
-        "std KB", "compact entries", "compact KB", "ratio",
+        "dataset",
+        "dims",
+        "type",
+        "N (intervals)",
+        "n (endpoints)",
+        "std entries",
+        "std KB",
+        "compact entries",
+        "compact KB",
+        "ratio",
     ]);
 
     for entry in zoo::table1_entries() {

@@ -18,7 +18,9 @@
 //!
 //! Run: `cargo run --release -p oociso-bench --bin table2_5`
 
-use oociso_bench::{bench_dims, bench_step, cached_cluster, paper_isovalues, secs, write_csv, TextTable};
+use oociso_bench::{
+    bench_dims, bench_step, cached_cluster, paper_isovalues, secs, write_csv, TextTable,
+};
 use oociso_cluster::{NodeReport, SimulatedTimeModel};
 use std::time::Duration;
 
@@ -79,10 +81,22 @@ fn main() {
 
     for &nodes in &[1usize, 2, 4, 8] {
         let (cluster, _) = cached_cluster(step, dims, nodes);
-        println!("== Table {} ({} node{}) ==", 2 + nodes.trailing_zeros(), nodes, if nodes > 1 { "s" } else { "" });
+        println!(
+            "== Table {} ({} node{}) ==",
+            2 + nodes.trailing_zeros(),
+            nodes,
+            if nodes > 1 { "s" } else { "" }
+        );
         let mut table = TextTable::new(&[
-            "iso", "AMC", "AMC io (sim s)", "triang (sim s)", "render (sim s)",
-            "total (sim s)", "triangles", "MTri/s (sim)", "wall (meas s)",
+            "iso",
+            "AMC",
+            "AMC io (sim s)",
+            "triang (sim s)",
+            "render (sim s)",
+            "total (sim s)",
+            "triangles",
+            "MTri/s (sim)",
+            "wall (meas s)",
         ]);
         for (i, &iso) in paper_isovalues().iter().enumerate() {
             let e = cluster.extract(iso).expect("extract");
@@ -138,8 +152,7 @@ fn main() {
                 .map(|n| node_time_scaled(&model, n, mean_bytes, mean_tris, PAPER_SCALE))
                 .max()
                 .unwrap();
-            let total_paper =
-                bottleneck + model.composite_time(nodes, TILES, DISPLAY);
+            let total_paper = bottleneck + model.composite_time(nodes, TILES, DISPLAY);
             if nodes == 1 {
                 serial_time_paper.push(total_paper.as_secs_f64());
             }
@@ -160,7 +173,11 @@ fn main() {
         println!();
     }
 
-    let f5 = write_csv("figure5_overall_time.csv", "nodes,isovalue,sim_seconds", &fig5_rows);
+    let f5 = write_csv(
+        "figure5_overall_time.csv",
+        "nodes,isovalue,sim_seconds",
+        &fig5_rows,
+    );
     let f6 = write_csv("figure6_speedup.csv", "nodes,isovalue,speedup", &fig6_rows);
     let f5p = write_csv(
         "figure5_overall_time_paperscale.csv",
@@ -174,7 +191,11 @@ fn main() {
     );
     println!("Figure 5 series written to {}", f5.display());
     println!("Figure 6 series written to {}", f6.display());
-    println!("Paper-workload-scale variants: {} and {}", f5p.display(), f6p.display());
+    println!(
+        "Paper-workload-scale variants: {} and {}",
+        f5p.display(),
+        f6p.display()
+    );
 
     println!("\nspeedup ranges at paper workload scale (counts x{PAPER_SCALE}):");
     for (p, lo, hi) in &paper_speedup_range {

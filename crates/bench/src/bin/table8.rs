@@ -67,7 +67,11 @@ fn main() {
     );
     let model = SimulatedTimeModel::paper();
     let mut table = TextTable::new(&[
-        "step", "active metacells", "triangles", "time (sim s)", "MTri/s (sim)",
+        "step",
+        "active metacells",
+        "triangles",
+        "time (sim s)",
+        "MTri/s (sim)",
     ]);
     for (i, step) in STEPS.enumerate() {
         let res = db.extract(i, ISO).expect("extract");

@@ -78,10 +78,15 @@ pub fn cached_cluster(step: u32, dims: Dims3, nodes: usize) -> (Cluster<u8>, boo
         return (c, false);
     }
     let vol = rm_volume(step, dims);
-    let (c, stats) = Cluster::build(&vol, &dir, nodes, &ClusterBuildOptions {
-        metacell_k: 9,
-        mmap: true,
-    })
+    let (c, stats) = Cluster::build(
+        &vol,
+        &dir,
+        nodes,
+        &ClusterBuildOptions {
+            metacell_k: 9,
+            mmap: true,
+        },
+    )
     .expect("cluster build");
     eprintln!(
         "[build] p={nodes}: {} metacells kept ({} culled, {:.1}% of raw size)",

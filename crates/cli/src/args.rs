@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn dims_parsing() {
         let o = opts(&["--dims", "64x64x60"]);
-        assert_eq!(o.dims("dims", Dims3::cube(8)).unwrap(), Dims3::new(64, 64, 60));
+        assert_eq!(
+            o.dims("dims", Dims3::cube(8)).unwrap(),
+            Dims3::new(64, 64, 60)
+        );
         assert_eq!(o.dims("other", Dims3::cube(8)).unwrap(), Dims3::cube(8));
     }
 

@@ -92,7 +92,10 @@ pub fn info(opts: &Options) -> Result<(), String> {
         layout.grid().nz
     );
     println!("nodes:      {}", db.nodes());
-    println!("index:      {:.1} KB total", db.index_bytes() as f64 / 1024.0);
+    println!(
+        "index:      {:.1} KB total",
+        db.index_bytes() as f64 / 1024.0
+    );
     for (i, tree) in db.cluster().trees().iter().enumerate() {
         println!(
             "  node {i}: {} tree nodes, {} brick entries, {} metacells, height {}",
@@ -131,7 +134,7 @@ pub fn extract(opts: &Options) -> Result<(), String> {
             / model.query_time(r, 4, (1024, 1024)).as_secs_f64().max(1e-9)
     );
     if opts.flag("topology") {
-        let report = oociso_march::analyze(&result.mesh);
+        let report = oociso_march::analyze_mesh(&result.mesh);
         println!(
             "topology: V={} E={} F={} components={} boundary_edges={} chi={}",
             report.vertices,
@@ -144,7 +147,11 @@ pub fn extract(opts: &Options) -> Result<(), String> {
     }
     if let Some(obj) = opts.get("obj") {
         result.mesh.write_obj(Path::new(obj)).map_err(err)?;
-        println!("exported {} triangles -> {obj}", result.mesh.len());
+        println!(
+            "exported {} triangles ({} welded vertices) -> {obj}",
+            result.mesh.len(),
+            result.mesh.num_vertices()
+        );
     }
     Ok(())
 }

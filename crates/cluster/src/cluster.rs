@@ -5,10 +5,12 @@ use crate::timing::{NodeReport, QueryReport};
 use oociso_exio::{DiskFarm, RecordStore};
 use oociso_itree::plan::execute_plan;
 use oociso_itree::{persist, CompactIntervalTree, MetacellRecordFormat};
-use oociso_march::mc::{marching_cubes, McStats};
-use oociso_march::{TriangleSoup, Vec3};
-use oociso_metacell::{scan_volume, MetacellInterval, MetacellLayout, MetacellRecord, PreprocessStats};
-use oociso_render::{rasterize_soup, Camera, Framebuffer, TileLayout};
+use oociso_march::mc::{marching_cubes_indexed, McStats, SlabScratch};
+use oociso_march::{IndexedMesh, TriangleSoup, Vec3};
+use oociso_metacell::{
+    scan_volume, MetacellInterval, MetacellLayout, MetacellRecord, PreprocessStats,
+};
+use oociso_render::{rasterize_mesh, Camera, Framebuffer, TileLayout};
 use oociso_volume::{ScalarValue, Volume};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -32,27 +34,41 @@ impl Default for ClusterBuildOptions {
     }
 }
 
-/// The result of one parallel extraction: per-node triangle soups plus the
+/// The result of one parallel extraction: per-node indexed meshes plus the
 /// per-phase report.
 #[derive(Clone, Debug)]
 pub struct ClusterExtraction {
-    /// One triangle soup per node (local geometry, already in global
-    /// coordinates).
-    pub soups: Vec<TriangleSoup>,
+    /// One indexed mesh per node (local geometry, already in global
+    /// coordinates; vertices deduplicated within each node's metacells).
+    pub meshes: Vec<IndexedMesh>,
     /// Per-node and aggregate measurements.
     pub report: QueryReport,
 }
 
 impl ClusterExtraction {
-    /// Merge all node soups into one (for single-image rendering or export).
+    /// Merge all node meshes into one soup (for export or soup-consuming
+    /// callers). Triangles are materialized straight into one pre-reserved
+    /// soup — no per-node intermediate soups, no cloning.
     pub fn merged_soup(&self) -> TriangleSoup {
-        let mut out = TriangleSoup::with_capacity(
-            self.soups.iter().map(TriangleSoup::len).sum(),
-        );
-        for s in &self.soups {
-            out.append(s.clone());
+        let total: usize = self.meshes.iter().map(IndexedMesh::len).sum();
+        let mut out = TriangleSoup::with_capacity(total);
+        for m in &self.meshes {
+            m.append_to_soup(&mut out);
         }
         out
+    }
+
+    /// Consume the extraction into the merged mesh plus the report (indices
+    /// are rebased; vertices are not re-welded across node seams). The split
+    /// return lets callers keep the report without cloning it.
+    pub fn into_merged(self) -> (IndexedMesh, QueryReport) {
+        let ClusterExtraction { meshes, report } = self;
+        let mut it = meshes.into_iter();
+        let mut out = it.next().unwrap_or_default();
+        for m in it {
+            out.merge(m);
+        }
+        (out, report)
     }
 }
 
@@ -229,7 +245,11 @@ impl<S: ScalarValue> Cluster<S> {
         if meta.scalar != S::NAME {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("scalar mismatch: dataset is {}, requested {}", meta.scalar, S::NAME),
+                format!(
+                    "scalar mismatch: dataset is {}, requested {}",
+                    meta.scalar,
+                    S::NAME
+                ),
             ));
         }
         let layout = MetacellLayout::new(meta.dims, meta.metacell_k);
@@ -268,18 +288,42 @@ impl<S: ScalarValue> Cluster<S> {
         &self.dir
     }
 
+    /// Intra-node worker count: divide the machine's cores across the
+    /// simulated nodes (at least one worker each). `OOCISO_THREADS`
+    /// overrides the core count — handy for scaling experiments.
+    fn default_workers(&self) -> usize {
+        let cores = std::env::var("OOCISO_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        (cores / self.nodes).max(1)
+    }
+
     /// Run the parallel extraction for `iso`: every node plans against its
     /// local index, streams its active metacells, and triangulates — one
-    /// thread per node, no cross-node communication.
+    /// thread per node, no cross-node communication. Within each node the
+    /// planned metacell batch is split across a scoped worker pool (cores
+    /// divided evenly among nodes), so a 1-node "cluster" still saturates
+    /// the machine.
     pub fn extract(&self, iso: f32) -> io::Result<ClusterExtraction> {
+        self.extract_with_workers(iso, self.default_workers())
+    }
+
+    /// [`Cluster::extract`] with an explicit per-node worker count.
+    pub fn extract_with_workers(&self, iso: f32, workers: usize) -> io::Result<ClusterExtraction> {
+        let workers = workers.max(1);
         let key = S::query_key(iso);
         let t_total = Instant::now();
-        let results: Vec<io::Result<(TriangleSoup, NodeReport)>> = std::thread::scope(|scope| {
+        let results: Vec<io::Result<(IndexedMesh, NodeReport)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.nodes)
                 .map(|i| {
                     let tree = &self.trees[i];
                     let store = &self.stores[i];
-                    scope.spawn(move || self.node_extract(i, tree, store, key, iso))
+                    scope.spawn(move || self.node_extract(i, tree, store, key, iso, workers))
                 })
                 .collect();
             handles
@@ -287,11 +331,11 @@ impl<S: ScalarValue> Cluster<S> {
                 .map(|h| h.join().expect("node thread panicked"))
                 .collect()
         });
-        let mut soups = Vec::with_capacity(self.nodes);
+        let mut meshes = Vec::with_capacity(self.nodes);
         let mut nodes = Vec::with_capacity(self.nodes);
         for r in results {
-            let (soup, report) = r?;
-            soups.push(soup);
+            let (mesh, report) = r?;
+            meshes.push(mesh);
             nodes.push(report);
         }
         let report = QueryReport {
@@ -301,7 +345,7 @@ impl<S: ScalarValue> Cluster<S> {
             composite_wall: Duration::ZERO,
             total_wall: t_total.elapsed(),
         };
-        Ok(ClusterExtraction { soups, report })
+        Ok(ClusterExtraction { meshes, report })
     }
 
     /// One node's extraction work (runs on the node's thread).
@@ -312,7 +356,8 @@ impl<S: ScalarValue> Cluster<S> {
         store: &RecordStore,
         key: u32,
         iso: f32,
-    ) -> io::Result<(TriangleSoup, NodeReport)> {
+        workers: usize,
+    ) -> io::Result<(IndexedMesh, NodeReport)> {
         // Phase 1: AMC retrieval — stream all active metacell records into
         // memory (the paper's metric (i)).
         let io_before = store.device().io_snapshot();
@@ -324,33 +369,48 @@ impl<S: ScalarValue> Cluster<S> {
         })?;
         let amc_retrieval = t0.elapsed();
         let io = store.device().io_snapshot().since(&io_before);
+        let bytes_read: u64 = records.iter().map(|r| r.len() as u64).sum();
 
-        // Phase 2: triangulation (metric (ii)).
+        // Phase 2: triangulation (metric (ii)) — the batch is split into
+        // contiguous per-worker chunks; each worker reuses one decode buffer
+        // and one slab scratch across all its records and appends into its
+        // own mesh. Worker meshes merge in order at the end, so the output
+        // is deterministic regardless of scheduling.
         let t1 = Instant::now();
-        let mut soup = TriangleSoup::new();
-        let mut mc = McStats::default();
-        let mut bytes_read = 0u64;
-        for rec in &records {
-            bytes_read += rec.len() as u64;
-            let (record, used) = MetacellRecord::<S>::decode(rec, &self.layout);
-            debug_assert_eq!(used, rec.len());
-            let ((x0, y0, z0), _) = self.layout.vertex_box(record.id);
-            let local = record.into_volume(&self.layout);
-            let stats = marching_cubes(
-                &local,
-                iso,
-                Vec3::new(x0 as f32, y0 as f32, z0 as f32),
-                Vec3::new(1.0, 1.0, 1.0),
-                &mut soup,
-            );
-            mc.merge(&stats);
-        }
+        let workers = workers.clamp(1, records.len().max(1));
+        // chunks(per) can yield fewer chunks than requested (e.g. 10 records
+        // across 8 workers → 5 chunks of 2); report the count actually spawned
+        let per = records.len().max(1).div_ceil(workers);
+        let workers = records.len().max(1).div_ceil(per);
+        let (mesh, mc) = if workers <= 1 {
+            self.triangulate_batch(&records, iso)
+        } else {
+            let parts: Vec<(IndexedMesh, McStats)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = records
+                    .chunks(per)
+                    .map(|chunk| scope.spawn(move || self.triangulate_batch(chunk, iso)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("extraction worker panicked"))
+                    .collect()
+            });
+            let mut mc = McStats::default();
+            let total: usize = parts.iter().map(|(m, _)| m.len()).sum();
+            let mut mesh = IndexedMesh::with_capacity(total);
+            for (part, stats) in parts {
+                mc.merge(&stats);
+                mesh.merge(part);
+            }
+            (mesh, mc)
+        };
         let triangulation = t1.elapsed();
 
         Ok((
-            soup,
+            mesh,
             NodeReport {
                 node,
+                workers,
                 active_metacells: records.len() as u64,
                 cells_visited: mc.cells_visited,
                 active_cells: mc.active_cells,
@@ -362,6 +422,33 @@ impl<S: ScalarValue> Cluster<S> {
                 io,
             },
         ))
+    }
+
+    /// Triangulate one contiguous batch of encoded records into one mesh,
+    /// reusing a single decode buffer and slab scratch across the batch.
+    fn triangulate_batch(&self, records: &[Vec<u8>], iso: f32) -> (IndexedMesh, McStats) {
+        let mut mesh = IndexedMesh::new();
+        let mut mc = McStats::default();
+        let mut scratch = SlabScratch::new();
+        let mut scalars: Vec<S> = Vec::new();
+        for rec in records {
+            let (id, _vmin, used) =
+                MetacellRecord::<S>::decode_scalars_into(rec, &self.layout, &mut scalars);
+            debug_assert_eq!(used, rec.len());
+            let ((x0, y0, z0), _) = self.layout.vertex_box(id);
+            let local = Volume::from_vec(self.layout.cell_dims(id), std::mem::take(&mut scalars));
+            let stats = marching_cubes_indexed(
+                &local,
+                iso,
+                Vec3::new(x0 as f32, y0 as f32, z0 as f32),
+                Vec3::new(1.0, 1.0, 1.0),
+                &mut mesh,
+                &mut scratch,
+            );
+            scalars = local.into_vec();
+            mc.merge(&stats);
+        }
+        (mesh, mc)
     }
 
     /// Extract, render locally on every node, and sort-last composite onto
@@ -379,13 +466,13 @@ impl<S: ScalarValue> Cluster<S> {
         // Per-node local rendering (one thread per node, own framebuffer).
         let frames: Vec<(Framebuffer, Duration)> = std::thread::scope(|scope| {
             let handles: Vec<_> = extraction
-                .soups
+                .meshes
                 .iter()
-                .map(|soup| {
+                .map(|mesh| {
                     scope.spawn(move || {
                         let mut fb = Framebuffer::new(tiles.width, tiles.height);
                         let t = Instant::now();
-                        rasterize_soup(soup, camera, base_color, &mut fb);
+                        rasterize_mesh(mesh, camera, base_color, &mut fb);
                         (fb, t.elapsed())
                     })
                 })
@@ -425,6 +512,8 @@ impl<S: ScalarValue> Cluster<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oociso_march::mc::marching_cubes;
+    use oociso_render::rasterize_soup;
     use oociso_volume::field::{FieldExt, SphereField};
     use oociso_volume::Dims3;
 
@@ -468,6 +557,62 @@ mod tests {
         );
         std::fs::remove_dir_all(&d1).ok();
         std::fs::remove_dir_all(&d4).ok();
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        let vol = test_volume();
+        let dir = tmpdir("workers");
+        let (c, _) = Cluster::build(&vol, &dir, 1, &ClusterBuildOptions::default()).unwrap();
+        let base = c.extract_with_workers(128.0, 1).unwrap();
+        assert_eq!(base.report.nodes[0].workers, 1);
+        let base_soup = base.merged_soup();
+        assert!(!base_soup.is_empty());
+        for workers in [2, 3, 8] {
+            let e = c.extract_with_workers(128.0, workers).unwrap();
+            // reported workers = chunks actually spawned, never the raw request
+            let amc = e.report.nodes[0].active_metacells as usize;
+            let expected = amc.div_ceil(amc.div_ceil(workers));
+            assert_eq!(e.report.nodes[0].workers, expected, "workers={workers}");
+            let soup = e.merged_soup();
+            assert_eq!(soup.len(), base_soup.len(), "workers={workers}");
+            // chunks preserve record order and merge in worker order, so the
+            // triangle stream is bit-identical, not just multiset-equal
+            for (a, b) in soup.triangles().iter().zip(base_soup.triangles()) {
+                assert_eq!(a, b, "workers={workers}");
+            }
+            assert_eq!(
+                e.report.total_triangles(),
+                base.report.total_triangles(),
+                "workers={workers}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn extraction_matches_reference_kernel_exactly() {
+        // cluster path (slab kernel over decoded metacell records) vs the
+        // monolithic reference kernel: identical canonical triangle multiset
+        let vol = test_volume();
+        let mut truth = TriangleSoup::new();
+        marching_cubes(
+            &vol,
+            128.0,
+            Vec3::ZERO,
+            Vec3::new(1.0, 1.0, 1.0),
+            &mut truth,
+        );
+        let dir = tmpdir("exact");
+        let (c, _) = Cluster::build(&vol, &dir, 3, &ClusterBuildOptions::default()).unwrap();
+        let e = c.extract(128.0).unwrap();
+        let canon = oociso_march::canonical_triangles;
+        assert_eq!(canon(&truth), canon(&e.merged_soup()));
+        // per-node meshes really are indexed: shared crossings deduplicated
+        for m in &e.meshes {
+            assert!(m.num_vertices() < 3 * m.len(), "no dedup in node mesh");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -114,7 +114,11 @@ mod tests {
     fn missing_fields_rejected() {
         let dir = tmpdir("bad");
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join(ClusterMeta::FILE), "format=oociso-cluster-v1\nnx=8\n").unwrap();
+        std::fs::write(
+            dir.join(ClusterMeta::FILE),
+            "format=oociso-cluster-v1\nnx=8\n",
+        )
+        .unwrap();
         assert!(ClusterMeta::load(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -10,6 +10,8 @@ use std::time::Duration;
 pub struct NodeReport {
     /// Node index.
     pub node: usize,
+    /// Intra-node triangulation workers used for this query.
+    pub workers: usize,
     /// Active metacells this node retrieved.
     pub active_metacells: u64,
     /// Unit cells scanned inside those metacells.

@@ -1,7 +1,7 @@
 //! Single-volume databases: serial and clustered.
 
 use oociso_cluster::{Cluster, ClusterBuildOptions, ClusterExtraction, QueryReport};
-use oociso_march::TriangleSoup;
+use oociso_march::IndexedMesh;
 use oociso_metacell::PreprocessStats;
 use oociso_render::{Camera, Framebuffer, TileLayout};
 use oociso_volume::{ScalarValue, Volume};
@@ -41,8 +41,10 @@ impl PreprocessOptions {
 /// The result of an extraction: the surface plus the per-phase report.
 #[derive(Clone, Debug)]
 pub struct ExtractResult {
-    /// The isosurface triangles (global coordinates, vertex units).
-    pub mesh: TriangleSoup,
+    /// The isosurface as an indexed mesh (global coordinates, vertex units;
+    /// vertices deduplicated per node). Call [`IndexedMesh::to_soup`] for an
+    /// unindexed triangle list.
+    pub mesh: IndexedMesh,
     /// Phase timings, I/O counters, per-node rows.
     pub report: QueryReport,
 }
@@ -55,11 +57,7 @@ pub struct ClusterDatabase<S: ScalarValue> {
 
 impl<S: ScalarValue> ClusterDatabase<S> {
     /// Preprocess an in-memory volume into `dir`.
-    pub fn preprocess(
-        vol: &Volume<S>,
-        dir: &Path,
-        opts: &PreprocessOptions,
-    ) -> io::Result<Self> {
+    pub fn preprocess(vol: &Volume<S>, dir: &Path, opts: &PreprocessOptions) -> io::Result<Self> {
         let (cluster, stats) = Cluster::build(vol, dir, opts.nodes, &opts.cluster_opts())?;
         Ok(ClusterDatabase {
             cluster,
@@ -94,10 +92,8 @@ impl<S: ScalarValue> ClusterDatabase<S> {
     /// merged mesh and the full report.
     pub fn extract(&self, iso: f32) -> io::Result<ExtractResult> {
         let e = self.cluster.extract(iso)?;
-        Ok(ExtractResult {
-            mesh: e.merged_soup(),
-            report: e.report,
-        })
+        let (mesh, report) = e.into_merged();
+        Ok(ExtractResult { mesh, report })
     }
 
     /// Extract without merging: per-node soups plus report (what the
@@ -114,7 +110,8 @@ impl<S: ScalarValue> ClusterDatabase<S> {
         tiles: &TileLayout,
         base_color: [f32; 3],
     ) -> io::Result<(Framebuffer, ClusterExtraction)> {
-        self.cluster.extract_and_render(iso, camera, tiles, base_color)
+        self.cluster
+            .extract_and_render(iso, camera, tiles, base_color)
     }
 
     /// Preprocessing statistics (only available right after building).
@@ -197,14 +194,11 @@ impl<S: ScalarValue> IsoDatabase<S> {
         base_color: [f32; 3],
     ) -> io::Result<(Framebuffer, ExtractResult)> {
         let tiles = TileLayout::new(1, 1, width, height);
-        let (fb, e) = self.inner.extract_and_render(iso, camera, &tiles, base_color)?;
-        Ok((
-            fb,
-            ExtractResult {
-                mesh: e.merged_soup(),
-                report: e.report,
-            },
-        ))
+        let (fb, e) = self
+            .inner
+            .extract_and_render(iso, camera, &tiles, base_color)?;
+        let (mesh, report) = e.into_merged();
+        Ok((fb, ExtractResult { mesh, report }))
     }
 
     /// Preprocessing statistics (only right after building).
@@ -246,10 +240,7 @@ mod tests {
         let db = IsoDatabase::preprocess(&vol(), &dir, &PreprocessOptions::default()).unwrap();
         let surface = db.extract(120.0).unwrap();
         assert!(surface.mesh.len() > 100);
-        assert_eq!(
-            surface.mesh.len() as u64,
-            surface.report.total_triangles()
-        );
+        assert_eq!(surface.mesh.len() as u64, surface.report.total_triangles());
         assert!(db.index_bytes() > 0);
         assert!(db.preprocess_stats().unwrap().kept_metacells > 0);
         std::fs::remove_dir_all(&dir).ok();

@@ -85,10 +85,8 @@ impl<S: ScalarValue> TimeVaryingDatabase<S> {
     /// memory".
     pub fn extract(&self, step: usize, iso: f32) -> io::Result<ExtractResult> {
         let e = self.steps[step].extract(iso)?;
-        Ok(ExtractResult {
-            mesh: e.merged_soup(),
-            report: e.report,
-        })
+        let (mesh, report) = e.into_merged();
+        Ok(ExtractResult { mesh, report })
     }
 
     /// The cluster of one step (distributions, index inspection).
@@ -167,16 +165,14 @@ mod tests {
         let proxy = RmProxy::with_seed(9);
         let dims = Dims3::new(20, 20, 19);
         let opts = PreprocessOptions::default();
-        let db1 =
-            TimeVaryingDatabase::preprocess_series(&root1, 1, &opts, |s| {
-                proxy.volume(100 + s as u32, dims)
-            })
-            .unwrap();
-        let db3 =
-            TimeVaryingDatabase::preprocess_series(&root3, 3, &opts, |s| {
-                proxy.volume(100 + s as u32, dims)
-            })
-            .unwrap();
+        let db1 = TimeVaryingDatabase::preprocess_series(&root1, 1, &opts, |s| {
+            proxy.volume(100 + s as u32, dims)
+        })
+        .unwrap();
+        let db3 = TimeVaryingDatabase::preprocess_series(&root3, 3, &opts, |s| {
+            proxy.volume(100 + s as u32, dims)
+        })
+        .unwrap();
         // ~3 similar steps → ~3× the index (within 2× slack for content drift)
         let ratio = db3.index_bytes() as f64 / db1.index_bytes() as f64;
         assert!(ratio > 1.5 && ratio < 6.0, "ratio {ratio}");

@@ -145,6 +145,9 @@ mod tests {
             bytes_read: 10_000_000,
             blocks_read: 2442,
         };
-        assert!(IoCostModel::nvme().modeled_time(&io) < IoCostModel::paper_disk().modeled_time(&io) / 50);
+        assert!(
+            IoCostModel::nvme().modeled_time(&io)
+                < IoCostModel::paper_disk().modeled_time(&io) / 50
+        );
     }
 }

@@ -111,8 +111,12 @@ impl FileDevice {
 
 impl BlockDevice for FileDevice {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
-        self.stats
-            .record_read(offset, buf.len() as u64, self.block_bytes, self.forward_window);
+        self.stats.record_read(
+            offset,
+            buf.len() as u64,
+            self.block_bytes,
+            self.forward_window,
+        );
         if offset + buf.len() as u64 > self.len {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -187,8 +191,12 @@ impl MemDevice {
 
 impl BlockDevice for MemDevice {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
-        self.stats
-            .record_read(offset, buf.len() as u64, self.block_bytes, self.forward_window);
+        self.stats.record_read(
+            offset,
+            buf.len() as u64,
+            self.block_bytes,
+            self.forward_window,
+        );
         let start = offset as usize;
         let end = start + buf.len();
         if end > self.data.len() {

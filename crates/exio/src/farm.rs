@@ -114,9 +114,7 @@ mod tests {
         let stores = farm.open_stores(false).unwrap();
         assert_eq!(stores.len(), 4);
         for (i, s) in stores.iter().enumerate() {
-            let v = s
-                .read_span(crate::Span { offset: 0, len: 16 })
-                .unwrap();
+            let v = s.read_span(crate::Span { offset: 0, len: 16 }).unwrap();
             assert!(v.iter().all(|&b| b == i as u8));
         }
         std::fs::remove_dir_all(&dir).ok();

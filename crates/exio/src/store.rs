@@ -162,10 +162,7 @@ mod tests {
     #[test]
     fn span_arithmetic() {
         let a = Span { offset: 0, len: 10 };
-        let b = Span {
-            offset: 10,
-            len: 5,
-        };
+        let b = Span { offset: 10, len: 5 };
         assert!(a.abuts(&b));
         assert_eq!(a.join(&b), Span { offset: 0, len: 15 });
         assert!(!b.abuts(&a));

@@ -96,7 +96,11 @@ impl<'a> BlockedCompactTree<'a> {
                 last_block = b;
             }
             let n = &nodes[i as usize];
-            cursor = if iso_key >= n.split_key { n.right } else { n.left };
+            cursor = if iso_key >= n.split_key {
+                n.right
+            } else {
+                n.left
+            };
         }
         count
     }

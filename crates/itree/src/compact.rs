@@ -146,8 +146,7 @@ impl CompactIntervalTree {
         intervals: &[MetacellInterval],
         sink: &mut dyn FnMut(&MetacellInterval) -> io::Result<Span>,
     ) -> io::Result<CompactIntervalTree> {
-        let mut trees =
-            Self::build_striped(intervals, 1, &mut |_stripe, iv| sink(iv))?;
+        let mut trees = Self::build_striped(intervals, 1, &mut |_stripe, iv| sink(iv))?;
         Ok(trees.pop().expect("one stripe"))
     }
 
@@ -374,15 +373,16 @@ mod tests {
         let intervals = sample_intervals();
         let (store_bytes, spans) = write_records(&intervals);
         let mut it = spans.iter();
-        let tree = CompactIntervalTree::build(&intervals, &mut |_iv| {
-            Ok(*it.next().unwrap())
-        })
-        .unwrap();
+        let tree =
+            CompactIntervalTree::build(&intervals, &mut |_iv| Ok(*it.next().unwrap())).unwrap();
         let _ = store_bytes;
         assert_eq!(tree.num_intervals(), intervals.len() as u64);
         for node in tree.nodes() {
             for w in node.entries.windows(2) {
-                assert!(w[0].vmax_key > w[1].vmax_key, "entries must be desc by vmax");
+                assert!(
+                    w[0].vmax_key > w[1].vmax_key,
+                    "entries must be desc by vmax"
+                );
                 assert!(w[0].span.abuts(&w[1].span), "node bricks contiguous");
             }
             for e in &node.entries {

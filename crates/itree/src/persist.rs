@@ -66,7 +66,10 @@ pub fn load(path: &Path) -> io::Result<CompactIntervalTree> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad index magic",
+        ));
     }
     let num_nodes = r64(&mut r)? as usize;
     let root = match r32(&mut r)? {

@@ -113,7 +113,14 @@ pub fn execute_plan(
                 stats.records_emitted += emitted as u64;
             }
             ReadAction::Prefix { entry } => {
-                execute_prefix(entry, plan.iso_key, store, format, &mut on_record, &mut stats)?;
+                execute_prefix(
+                    entry,
+                    plan.iso_key,
+                    store,
+                    format,
+                    &mut on_record,
+                    &mut stats,
+                )?;
             }
         }
     }
@@ -139,11 +146,11 @@ fn execute_prefix(
     // Refill so that at least `need` bytes are available at `at`, bounded by
     // the span end. Returns available byte count at `at`.
     let ensure = |buf: &mut Vec<u8>,
-                      buf_start: &mut u64,
-                      fetched_end: &mut u64,
-                      at: &mut usize,
-                      need: usize,
-                      stats: &mut ExecStats|
+                  buf_start: &mut u64,
+                  fetched_end: &mut u64,
+                  at: &mut usize,
+                  need: usize,
+                  stats: &mut ExecStats|
      -> io::Result<usize> {
         let have = buf.len() - *at;
         if have >= need || *fetched_end >= span.end() {
@@ -169,7 +176,14 @@ fn execute_prefix(
     };
 
     loop {
-        let have = ensure(&mut buf, &mut buf_start, &mut fetched_end, &mut at, header, stats)?;
+        let have = ensure(
+            &mut buf,
+            &mut buf_start,
+            &mut fetched_end,
+            &mut at,
+            header,
+            stats,
+        )?;
         if have == 0 {
             break; // brick exhausted
         }
@@ -180,7 +194,14 @@ fn execute_prefix(
             break; // ascending vmin: nothing further can be active
         }
         let len = format.record_len(id);
-        let have = ensure(&mut buf, &mut buf_start, &mut fetched_end, &mut at, len, stats)?;
+        let have = ensure(
+            &mut buf,
+            &mut buf_start,
+            &mut fetched_end,
+            &mut at,
+            len,
+            stats,
+        )?;
         debug_assert!(have >= len, "truncated record payload");
         on_record(id, &buf[at..at + len]);
         stats.records_emitted += 1;
@@ -274,7 +295,7 @@ pub mod testutil {
 
 #[cfg(test)]
 mod tests {
-    use super::testutil::{TestFormat, write_records};
+    use super::testutil::{write_records, TestFormat};
     use super::*;
     use oociso_metacell::interval::brute_force_active;
     use oociso_metacell::MetacellInterval;

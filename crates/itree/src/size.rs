@@ -67,8 +67,8 @@ pub fn standard_size(tree: &StandardIntervalTree, scalar_bytes: usize) -> IndexS
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oociso_metacell::MetacellInterval;
     use oociso_exio::Span;
+    use oociso_metacell::MetacellInterval;
 
     fn mk(id: u32, lo: u32, hi: u32) -> MetacellInterval {
         MetacellInterval::new(id, lo, hi)

@@ -157,7 +157,9 @@ impl StandardIntervalTree {
         fn h(nodes: &[StandardNode], at: Option<u32>) -> usize {
             match at {
                 None => 0,
-                Some(i) => 1 + h(nodes, nodes[i as usize].left).max(h(nodes, nodes[i as usize].right)),
+                Some(i) => {
+                    1 + h(nodes, nodes[i as usize].left).max(h(nodes, nodes[i as usize].right))
+                }
             }
         }
         h(&self.nodes, self.root)

@@ -72,13 +72,7 @@ impl BalanceReport {
 pub fn round_robin_partition(intervals: &[MetacellInterval], p: usize) -> Vec<usize> {
     assert!(p > 0);
     let mut order: Vec<usize> = (0..intervals.len()).collect();
-    order.sort_unstable_by_key(|&i| {
-        (
-            intervals[i].max_key,
-            intervals[i].min_key,
-            intervals[i].id,
-        )
-    });
+    order.sort_unstable_by_key(|&i| (intervals[i].max_key, intervals[i].min_key, intervals[i].id));
     let mut assignment = vec![0usize; intervals.len()];
     let mut brick_pos = 0usize;
     let mut prev_max: Option<u32> = None;
@@ -103,19 +97,10 @@ pub fn round_robin_partition(intervals: &[MetacellInterval], p: usize) -> Vec<us
 /// active bricks). Staggering the start distributes those extras round-robin,
 /// cutting the worst-case spread to roughly `#active bricks / p` while
 /// keeping the per-brick ±1 guarantee.
-pub fn staggered_round_robin_partition(
-    intervals: &[MetacellInterval],
-    p: usize,
-) -> Vec<usize> {
+pub fn staggered_round_robin_partition(intervals: &[MetacellInterval], p: usize) -> Vec<usize> {
     assert!(p > 0);
     let mut order: Vec<usize> = (0..intervals.len()).collect();
-    order.sort_unstable_by_key(|&i| {
-        (
-            intervals[i].max_key,
-            intervals[i].min_key,
-            intervals[i].id,
-        )
-    });
+    order.sort_unstable_by_key(|&i| (intervals[i].max_key, intervals[i].min_key, intervals[i].id));
     let mut assignment = vec![0usize; intervals.len()];
     let mut brick_pos = 0usize;
     let mut brick_index = 0usize;
@@ -142,7 +127,12 @@ pub fn range_partition(intervals: &[MetacellInterval], p: usize) -> Vec<usize> {
         return Vec::new();
     }
     let lo = intervals.iter().map(|iv| iv.min_key).min().unwrap();
-    let hi = intervals.iter().map(|iv| iv.max_key).max().unwrap().max(lo + 1);
+    let hi = intervals
+        .iter()
+        .map(|iv| iv.max_key)
+        .max()
+        .unwrap()
+        .max(lo + 1);
     intervals
         .iter()
         .map(|iv| {

@@ -17,7 +17,12 @@
 //!   simpler, unambiguous variant used as a cross-check and in the extraction
 //!   ablation.
 //! * [`mesh`] — minimal triangle/vector types shared with the renderer.
+//! * [`indexed`] — shared-vertex [`IndexedMesh`] output plus the slab-sliding
+//!   kernel [`mc::marching_cubes_indexed`] that emits it: the production hot
+//!   path (each sample classified once, each crossing interpolated once),
+//!   equivalence-tested against the reference [`mc::marching_cubes`].
 
+pub mod indexed;
 pub mod mc;
 pub mod mesh;
 pub mod mt;
@@ -25,7 +30,8 @@ pub mod tables;
 pub mod topology;
 pub mod unstructured;
 
-pub use mc::{marching_cubes, McStats};
-pub use mesh::{Aabb, Triangle, TriangleSoup, Vec3};
+pub use indexed::IndexedMesh;
+pub use mc::{count_active_cells, marching_cubes, marching_cubes_indexed, McStats, SlabScratch};
+pub use mesh::{canonical_triangles, Aabb, Triangle, TriangleSoup, Vec3};
 pub use mt::{march_tet, marching_tetrahedra};
-pub use topology::{analyze, TopologyReport};
+pub use topology::{analyze, analyze_mesh, TopologyReport};

@@ -223,9 +223,21 @@ impl TriangleSoup {
         b
     }
 
+    /// Reserve room for `n` more triangles.
+    pub fn reserve(&mut self, n: usize) {
+        self.tris.reserve(n);
+    }
+
     /// Absorb another soup.
     pub fn append(&mut self, mut other: TriangleSoup) {
         self.tris.append(&mut other.tris);
+    }
+
+    /// Copy all of `other`'s triangles in, without consuming it — lets
+    /// callers merge many soups with one up-front [`TriangleSoup::reserve`]
+    /// instead of cloning each part first.
+    pub fn extend_from(&mut self, other: &TriangleSoup) {
+        self.tris.extend_from_slice(&other.tris);
     }
 }
 
@@ -251,6 +263,43 @@ impl TriangleSoup {
         }
         out.flush()
     }
+}
+
+/// Quantized vertex key used by [`weld_key`]: 2^20 steps per unit, exact for
+/// grid-scale isosurface coordinates.
+pub type CanonVertex = (i64, i64, i64);
+
+/// Quantization factor behind [`weld_key`] (2^20 per unit).
+const WELD_SCALE: f32 = 1_048_576.0;
+
+/// The workspace's single vertex quantization rule: used by topology welding
+/// ([`crate::topology::analyze`]) and by [`canonical_triangles`], so "same
+/// welded vertex" and "same canonical triangle" can never diverge.
+#[inline]
+pub fn weld_key(v: Vec3) -> CanonVertex {
+    (
+        (v.x * WELD_SCALE).round() as i64,
+        (v.y * WELD_SCALE).round() as i64,
+        (v.z * WELD_SCALE).round() as i64,
+    )
+}
+
+/// Canonical triangle multiset of a soup: each triangle's vertices quantized
+/// and sorted, then the triangle list sorted. Two extractions produce the
+/// same surface iff their canonical multisets are equal — this is the
+/// comparator behind every kernel-equivalence test in the workspace.
+pub fn canonical_triangles(soup: &TriangleSoup) -> Vec<[CanonVertex; 3]> {
+    let mut out: Vec<[CanonVertex; 3]> = soup
+        .triangles()
+        .iter()
+        .map(|t| {
+            let mut ks = [weld_key(t.v[0]), weld_key(t.v[1]), weld_key(t.v[2])];
+            ks.sort_unstable();
+            ks
+        })
+        .collect();
+    out.sort_unstable();
+    out
 }
 
 impl FromIterator<Triangle> for TriangleSoup {
@@ -318,9 +367,10 @@ mod tests {
         assert_eq!(b.lo, Vec3::ZERO);
         assert_eq!(b.hi, Vec3::new(2.0, 2.0, 0.0));
         let mut s2 = TriangleSoup::new();
-        s2.append(s.clone());
+        s2.extend_from(&s); // borrow-based merge: s stays usable
         s2.append(s);
         assert_eq!(s2.len(), 2);
+        assert_eq!(s2.triangles()[0], s2.triangles()[1]);
     }
 
     #[test]

@@ -198,9 +198,21 @@ mod tests {
         let f = SphereField::centered(0.32, 100.0);
         let vol: Volume<f32> = f.sample(Dims3::cube(24));
         let mut mc_soup = TriangleSoup::new();
-        marching_cubes(&vol, 100.0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut mc_soup);
+        marching_cubes(
+            &vol,
+            100.0,
+            Vec3::ZERO,
+            Vec3::new(1.0, 1.0, 1.0),
+            &mut mc_soup,
+        );
         let mut mt_soup = TriangleSoup::new();
-        marching_tetrahedra(&vol, 100.0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut mt_soup);
+        marching_tetrahedra(
+            &vol,
+            100.0,
+            Vec3::ZERO,
+            Vec3::new(1.0, 1.0, 1.0),
+            &mut mt_soup,
+        );
         let rel = (mc_soup.area() - mt_soup.area()).abs() / mc_soup.area();
         assert!(rel < 0.03, "MC {} vs MT {}", mc_soup.area(), mt_soup.area());
         // MT refines: more triangles for the same surface
@@ -214,7 +226,11 @@ mod tests {
         let vol: Volume<f32> = f.sample(Dims3::cube(n));
         let mut soup = TriangleSoup::new();
         marching_tetrahedra(&vol, 128.0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
-        let center = Vec3::new((n - 1) as f32 / 2.0, (n - 1) as f32 / 2.0, (n - 1) as f32 / 2.0);
+        let center = Vec3::new(
+            (n - 1) as f32 / 2.0,
+            (n - 1) as f32 / 2.0,
+            (n - 1) as f32 / 2.0,
+        );
         let mut agree = 0usize;
         let mut total = 0usize;
         for t in soup.triangles() {

@@ -51,6 +51,107 @@ pub const EDGES: [(usize, usize); 12] = [
     (3, 7),
 ];
 
+/// Axis of a cube edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeAxis {
+    X,
+    Y,
+    Z,
+}
+
+/// Canonical description of one cube edge for edge-owned vertex generation:
+/// the corner pair ordered so `lo` is the global-lexicographically lower
+/// endpoint (the order [`crate::mc::marching_cubes`] interpolates in), the
+/// axis the edge runs along, and `lo`'s offset within the cell. Derived from
+/// [`EDGES`]/[`CORNERS`]; the unit tests re-derive and cross-check it.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeCanon {
+    /// Corner index of the lexicographically lower endpoint.
+    pub lo: u8,
+    /// Corner index of the higher endpoint (`lo + 1` along `axis`).
+    pub hi: u8,
+    /// Axis the edge runs along.
+    pub axis: EdgeAxis,
+    /// Cell-local offset of the lower endpoint.
+    pub base: (usize, usize, usize),
+}
+
+/// [`EdgeCanon`] for each of the 12 edges, in [`EDGES`] order.
+pub const EDGE_CANON: [EdgeCanon; 12] = [
+    EdgeCanon {
+        lo: 0,
+        hi: 1,
+        axis: EdgeAxis::X,
+        base: (0, 0, 0),
+    },
+    EdgeCanon {
+        lo: 1,
+        hi: 2,
+        axis: EdgeAxis::Y,
+        base: (1, 0, 0),
+    },
+    EdgeCanon {
+        lo: 3,
+        hi: 2,
+        axis: EdgeAxis::X,
+        base: (0, 1, 0),
+    },
+    EdgeCanon {
+        lo: 0,
+        hi: 3,
+        axis: EdgeAxis::Y,
+        base: (0, 0, 0),
+    },
+    EdgeCanon {
+        lo: 4,
+        hi: 5,
+        axis: EdgeAxis::X,
+        base: (0, 0, 1),
+    },
+    EdgeCanon {
+        lo: 5,
+        hi: 6,
+        axis: EdgeAxis::Y,
+        base: (1, 0, 1),
+    },
+    EdgeCanon {
+        lo: 7,
+        hi: 6,
+        axis: EdgeAxis::X,
+        base: (0, 1, 1),
+    },
+    EdgeCanon {
+        lo: 4,
+        hi: 7,
+        axis: EdgeAxis::Y,
+        base: (0, 0, 1),
+    },
+    EdgeCanon {
+        lo: 0,
+        hi: 4,
+        axis: EdgeAxis::Z,
+        base: (0, 0, 0),
+    },
+    EdgeCanon {
+        lo: 1,
+        hi: 5,
+        axis: EdgeAxis::Z,
+        base: (1, 0, 0),
+    },
+    EdgeCanon {
+        lo: 2,
+        hi: 6,
+        axis: EdgeAxis::Z,
+        base: (1, 1, 0),
+    },
+    EdgeCanon {
+        lo: 3,
+        hi: 7,
+        axis: EdgeAxis::Z,
+        base: (0, 1, 0),
+    },
+];
+
 /// Face corner cycles (adjacent corners around each face) with outward
 /// normals; cycles are re-oriented CCW-from-outside at table build time.
 const FACE_CYCLES: [([usize; 4], [f32; 3]); 6] = [
@@ -66,6 +167,11 @@ const FACE_CYCLES: [([usize; 4], [f32; 3]); 6] = [
 /// cube-edge indices the isosurface traces through the cell.
 pub struct McTables {
     loops: Vec<Vec<Vec<u8>>>,
+    /// Fan triangulation of `loops`, flattened to edge triples — the form the
+    /// slab kernel consumes without pointer-chasing nested `Vec`s.
+    tris: Vec<Vec<[u8; 3]>>,
+    /// Bit `e` set ⇔ edge `e` is intersected in the configuration.
+    edge_masks: [u16; 256],
 }
 
 impl McTables {
@@ -75,12 +181,22 @@ impl McTables {
         &self.loops[config as usize]
     }
 
+    /// Fan triangulation of the configuration's loops as edge-index triples,
+    /// in the exact emission order of the reference kernel.
+    #[inline]
+    pub fn fan_triangles(&self, config: u8) -> &[[u8; 3]] {
+        &self.tris[config as usize]
+    }
+
+    /// Bitmask of the edges the isosurface crosses in this configuration.
+    #[inline]
+    pub fn edge_mask(&self, config: u8) -> u16 {
+        self.edge_masks[config as usize]
+    }
+
     /// Triangle count the configuration will emit (fan triangulation).
     pub fn triangle_count(&self, config: u8) -> usize {
-        self.loops[config as usize]
-            .iter()
-            .map(|l| l.len().saturating_sub(2))
-            .sum()
+        self.tris[config as usize].len()
     }
 }
 
@@ -134,10 +250,29 @@ fn generate() -> McTables {
         .collect();
 
     let mut loops = Vec::with_capacity(256);
+    let mut tris = Vec::with_capacity(256);
+    let mut edge_masks = [0u16; 256];
     for config in 0..256u16 {
-        loops.push(loops_for(config as u8, &faces));
+        let ls = loops_for(config as u8, &faces);
+        let mut flat = Vec::new();
+        let mut mask = 0u16;
+        for l in &ls {
+            for &e in l {
+                mask |= 1 << e;
+            }
+            for w in l[1..].windows(2) {
+                flat.push([l[0], w[0], w[1]]);
+            }
+        }
+        edge_masks[config as usize] = mask;
+        tris.push(flat);
+        loops.push(ls);
     }
-    McTables { loops }
+    McTables {
+        loops,
+        tris,
+        edge_masks,
+    }
 }
 
 /// Directed segments for one configuration: `next[edge] = edge` mapping.
@@ -356,6 +491,58 @@ mod tests {
                 v
             };
             assert_eq!(mapped_a, seg_b, "config {config_a:#04x}");
+        }
+    }
+
+    #[test]
+    fn edge_canon_matches_corner_tables() {
+        for (e, c) in EDGE_CANON.iter().enumerate() {
+            let (p, q) = EDGES[e];
+            // same unordered corner pair
+            let mut want = [p, q];
+            want.sort_unstable();
+            let mut got = [c.lo as usize, c.hi as usize];
+            got.sort_unstable();
+            assert_eq!(got, want, "edge {e}");
+            // lo is the global-lexicographic (z, y, x) lower endpoint
+            let lex = |i: usize| (CORNERS[i].2, CORNERS[i].1, CORNERS[i].0);
+            assert!(lex(c.lo as usize) < lex(c.hi as usize), "edge {e}");
+            // base is lo's offset and hi is base + 1 along axis
+            assert_eq!(CORNERS[c.lo as usize], c.base, "edge {e}");
+            let (bx, by, bz) = c.base;
+            let want_hi = match c.axis {
+                EdgeAxis::X => (bx + 1, by, bz),
+                EdgeAxis::Y => (bx, by + 1, bz),
+                EdgeAxis::Z => (bx, by, bz + 1),
+            };
+            assert_eq!(CORNERS[c.hi as usize], want_hi, "edge {e}");
+        }
+    }
+
+    #[test]
+    fn fan_triangles_match_loops() {
+        let t = tables();
+        for config in 0..=255u8 {
+            let mut want: Vec<[u8; 3]> = Vec::new();
+            for l in t.loops(config) {
+                for w in l[1..].windows(2) {
+                    want.push([l[0], w[0], w[1]]);
+                }
+            }
+            assert_eq!(t.fan_triangles(config), &want[..], "config {config:#04x}");
+            assert_eq!(t.triangle_count(config), want.len());
+        }
+    }
+
+    #[test]
+    fn edge_masks_match_intersected_edges() {
+        let t = tables();
+        for config in 0..=255u8 {
+            let mut want = 0u16;
+            for e in intersected_edges(config) {
+                want |= 1 << e;
+            }
+            assert_eq!(t.edge_mask(config), want, "config {config:#04x}");
         }
     }
 

@@ -6,20 +6,9 @@
 //! (2 per sphere-like closed component). The test suites use these to check
 //! whole-pipeline watertightness.
 
-use crate::mesh::{TriangleSoup, Vec3};
+use crate::indexed::IndexedMesh;
+use crate::mesh::{weld_key, TriangleSoup};
 use std::collections::HashMap;
-
-/// Quantization factor for welding (2^20 per unit — exact for the grid-scale
-/// coordinates the extractors emit).
-const WELD_SCALE: f32 = 1_048_576.0;
-
-fn weld_key(v: Vec3) -> (i64, i64, i64) {
-    (
-        (v.x * WELD_SCALE).round() as i64,
-        (v.y * WELD_SCALE).round() as i64,
-        (v.z * WELD_SCALE).round() as i64,
-    )
-}
 
 /// Summary topology report for a triangle soup.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,18 +90,67 @@ pub fn analyze(soup: &TriangleSoup) -> TopologyReport {
         }
         tri_ids.push(ids);
     }
-    let mut uf = UnionFind::new(vert_id.len());
-    for ids in &tri_ids {
+    finish_report(vert_id.len(), &edge_count, faces, &tri_ids)
+}
+
+/// [`analyze`] for an [`IndexedMesh`] — identical report (same [`weld_key`]
+/// rule, same degenerate-triangle handling), but welding hashes each shared
+/// position once instead of every triangle corner, so no 3×-larger soup ever
+/// has to be materialized.
+pub fn analyze_mesh(mesh: &IndexedMesh) -> TopologyReport {
+    let positions = mesh.positions();
+    let keys: Vec<(i64, i64, i64)> = positions.iter().map(|&p| weld_key(p)).collect();
+    // welded id per position, assigned lazily so vertices referenced only by
+    // degenerate triangles are excluded exactly like in `analyze`
+    let mut pos_id: Vec<u32> = vec![u32::MAX; positions.len()];
+    let mut vert_id: HashMap<(i64, i64, i64), u32> = HashMap::new();
+    let mut edge_count: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut faces = 0usize;
+    let mut tri_ids: Vec<[u32; 3]> = Vec::new();
+    for (i, tri) in mesh.indices().chunks_exact(3).enumerate() {
+        if mesh.triangle(i).is_degenerate() {
+            continue;
+        }
+        faces += 1;
+        let mut ids = [0u32; 3];
+        for (k, &pi) in tri.iter().enumerate() {
+            let pi = pi as usize;
+            if pos_id[pi] == u32::MAX {
+                let next = vert_id.len() as u32;
+                pos_id[pi] = *vert_id.entry(keys[pi]).or_insert(next);
+            }
+            ids[k] = pos_id[pi];
+        }
+        for j in 0..3 {
+            let (a, b) = (ids[j], ids[(j + 1) % 3]);
+            let e = if a < b { (a, b) } else { (b, a) };
+            if a != b {
+                *edge_count.entry(e).or_insert(0) += 1;
+            }
+        }
+        tri_ids.push(ids);
+    }
+    finish_report(vert_id.len(), &edge_count, faces, &tri_ids)
+}
+
+fn finish_report(
+    vertices: usize,
+    edge_count: &HashMap<(u32, u32), u32>,
+    faces: usize,
+    tri_ids: &[[u32; 3]],
+) -> TopologyReport {
+    let mut uf = UnionFind::new(vertices);
+    for ids in tri_ids {
         uf.union(ids[0], ids[1]);
         uf.union(ids[1], ids[2]);
     }
     let mut roots = std::collections::HashSet::new();
-    for v in 0..vert_id.len() as u32 {
+    for v in 0..vertices as u32 {
         let r = uf.find(v);
         roots.insert(r);
     }
     TopologyReport {
-        vertices: vert_id.len(),
+        vertices,
         edges: edge_count.len(),
         faces,
         boundary_edges: edge_count.values().filter(|&&c| c % 2 == 1).count(),
@@ -124,7 +162,7 @@ pub fn analyze(soup: &TriangleSoup) -> TopologyReport {
 mod tests {
     use super::*;
     use crate::mc::marching_cubes;
-    use crate::mesh::Triangle;
+    use crate::mesh::{Triangle, Vec3};
     use oociso_volume::field::{AnalyticField, FieldExt, SphereField, TorusField};
     use oociso_volume::{Dims3, Volume};
 
@@ -211,5 +249,48 @@ mod tests {
         assert_eq!(r.vertices, 0);
         assert_eq!(r.components, 0);
         assert!(r.is_closed());
+    }
+
+    #[test]
+    fn analyze_mesh_matches_analyze_on_soup() {
+        use crate::mc::{marching_cubes_indexed, SlabScratch};
+
+        let f = TorusField {
+            major: 0.3,
+            minor: 0.1,
+            level: 128.0,
+            slope: 400.0,
+        };
+        let vol: Volume<f32> = f.sample(Dims3::cube(28));
+        let mut mesh = IndexedMesh::new();
+        let mut scratch = SlabScratch::new();
+        marching_cubes_indexed(
+            &vol,
+            128.0,
+            Vec3::ZERO,
+            Vec3::new(1.0, 1.0, 1.0),
+            &mut mesh,
+            &mut scratch,
+        );
+        assert!(!mesh.is_empty());
+        assert_eq!(analyze_mesh(&mesh), analyze(&mesh.to_soup()));
+    }
+
+    #[test]
+    fn analyze_mesh_welds_across_merge_seams() {
+        // two copies of the same quad merged without re-welding: analyze_mesh
+        // must fuse the duplicated positions like soup welding does
+        let mut a = IndexedMesh::new();
+        let v0 = a.push_vertex(Vec3::ZERO);
+        let v1 = a.push_vertex(Vec3::new(1.0, 0.0, 0.0));
+        let v2 = a.push_vertex(Vec3::new(0.0, 1.0, 0.0));
+        a.push_triangle(v0, v1, v2);
+        let b = a.clone();
+        a.merge(b);
+        assert_eq!(a.num_vertices(), 6);
+        let r = analyze_mesh(&a);
+        assert_eq!(r.vertices, 3);
+        assert_eq!(r.faces, 2);
+        assert_eq!(r, analyze(&a.to_soup()));
     }
 }

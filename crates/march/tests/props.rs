@@ -145,3 +145,107 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Slab kernel ⇔ reference kernel equivalence over the field zoo.
+// ---------------------------------------------------------------------------
+
+use oociso_march::{marching_cubes_indexed, IndexedMesh, SlabScratch};
+use oociso_volume::field::{FieldExt, GyroidField, NoiseField, SphereField};
+use oociso_volume::ScalarValue;
+
+use oociso_march::canonical_triangles as canon;
+
+/// One volume of the zoo, quantized to scalar type `S`.
+fn zoo_volume<S: ScalarValue>(kind: usize, seed: u64, dims: Dims3) -> Volume<S> {
+    match kind {
+        0 => SphereField::centered(0.25 + (seed % 5) as f32 * 0.04, 128.0).sample(dims),
+        1 => GyroidField {
+            cells: 2.0 + (seed % 4) as f32,
+            level: 128.0,
+            amplitude: 80.0,
+        }
+        .sample(dims),
+        _ => NoiseField {
+            seed,
+            frequency: 3.0,
+            octaves: 3,
+            lo: 0.0,
+            hi: 255.0,
+        }
+        .sample(dims),
+    }
+}
+
+/// Assert the slab kernel, the reference kernel, and the IndexedMesh → soup
+/// round-trip all agree on `vol`.
+fn assert_kernels_equivalent<S: ScalarValue>(vol: &Volume<S>, iso: f32) -> Result<(), String> {
+    let origin = Vec3::new(-4.0, 7.0, 1.0);
+    let scale = Vec3::new(1.0, 1.0, 1.0);
+    let mut reference = TriangleSoup::new();
+    let ref_stats = marching_cubes(vol, iso, origin, scale, &mut reference);
+    let mut mesh = IndexedMesh::new();
+    let mut scratch = SlabScratch::new();
+    let slab_stats = marching_cubes_indexed(vol, iso, origin, scale, &mut mesh, &mut scratch);
+    if ref_stats != slab_stats {
+        return Err(format!("stats differ: {ref_stats:?} vs {slab_stats:?}"));
+    }
+    let roundtrip = mesh.to_soup();
+    if roundtrip.len() != mesh.len() {
+        return Err("IndexedMesh::to_soup changed triangle count".into());
+    }
+    let a = canon(&reference);
+    let b = canon(&roundtrip);
+    if a != b {
+        return Err(format!(
+            "canonical triangle multisets differ: {} vs {} triangles, first diff at {:?}",
+            a.len(),
+            b.len(),
+            a.iter().zip(&b).position(|(x, y)| x != y),
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn slab_kernel_equals_reference_over_zoo(
+        kind in 0usize..3,
+        seed in any::<u64>(),
+        // odd, non-cubic dims exercise edge clamping and mask tails
+        nx in 2usize..18,
+        ny in 2usize..14,
+        nz in 2usize..12,
+        iso10 in 200u32..2300,
+    ) {
+        let dims = Dims3::new(nx | 1, ny | 1, nz | 1); // force odd
+        let iso = iso10 as f32 / 10.0;
+        let vu8: Volume<u8> = zoo_volume(kind, seed, dims);
+        prop_assert!(assert_kernels_equivalent(&vu8, iso).is_ok(),
+            "u8 {:?}", assert_kernels_equivalent(&vu8, iso));
+        let vu16: Volume<u16> = zoo_volume(kind, seed, dims);
+        prop_assert!(assert_kernels_equivalent(&vu16, iso).is_ok(),
+            "u16 {:?}", assert_kernels_equivalent(&vu16, iso));
+        let vf32: Volume<f32> = zoo_volume(kind, seed, dims);
+        prop_assert!(assert_kernels_equivalent(&vf32, iso).is_ok(),
+            "f32 {:?}", assert_kernels_equivalent(&vf32, iso));
+    }
+
+    #[test]
+    fn slab_kernel_equals_reference_on_random_u8_fields(
+        seed in any::<u64>(),
+        n in 3usize..11,
+    ) {
+        // pure per-vertex noise: maximal case-table coverage incl. ambiguous
+        // configs, many degenerate-ish crossings near the isovalue
+        let dims = Dims3::cube(n | 1);
+        let vol = Volume::<u8>::generate(dims, |x, y, z| {
+            (oociso_volume::noise::splitmix64(
+                seed ^ ((x + 131 * y + 1777 * z) as u64)) & 0xff) as u8
+        });
+        let got = assert_kernels_equivalent(&vol, 127.5);
+        prop_assert!(got.is_ok(), "{got:?}");
+    }
+}

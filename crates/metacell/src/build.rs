@@ -145,10 +145,7 @@ pub fn scan_reader<S: ScalarValue>(
         let slab = reader.read_slab(z0, z1 - z0)?;
         // The slab is a volume of dims (nx, ny, z1-z0); reuse the in-memory
         // builder on a single-metacell-layer layout shifted into slab space.
-        let slab_layout = MetacellLayout::new(
-            Dims3::new(dims.nx, dims.ny, z1 - z0),
-            k,
-        );
+        let slab_layout = MetacellLayout::new(Dims3::new(dims.nx, dims.ny, z1 - z0), k);
         debug_assert_eq!(slab_layout.grid().nx, grid.nx);
         debug_assert_eq!(slab_layout.grid().nz, 1);
         for my in 0..grid.ny {

@@ -90,6 +90,31 @@ impl<S: ScalarValue> MetacellRecord<S> {
         (MetacellRecord { id, vmin, scalars }, at)
     }
 
+    /// Decode one record's payload into a caller-owned scalar buffer
+    /// (cleared and refilled), returning `(id, vmin, bytes_consumed)`.
+    ///
+    /// This is the zero-allocation twin of [`MetacellRecord::decode`] for hot
+    /// extraction loops: a worker decodes every record of its batch into the
+    /// same buffer, hands the scalars to the kernel, and takes them back —
+    /// no per-record `Vec` ever hits the allocator.
+    pub fn decode_scalars_into(
+        bytes: &[u8],
+        layout: &MetacellLayout,
+        scalars: &mut Vec<S>,
+    ) -> (u32, S, usize) {
+        let id = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let vmin = S::read_le(&bytes[4..]);
+        let nverts = layout.num_vertices(id);
+        scalars.clear();
+        scalars.reserve(nverts);
+        let mut at = 4 + S::BYTES;
+        for _ in 0..nverts {
+            scalars.push(S::read_le(&bytes[at..]));
+            at += S::BYTES;
+        }
+        (id, vmin, at)
+    }
+
     /// Peek only the header `(id, vmin)` without decoding the payload —
     /// Case 2's streaming early-exit path.
     pub fn peek_header(bytes: &[u8]) -> (u32, S) {
@@ -147,6 +172,25 @@ mod tests {
         let hi = rec.scalars.iter().copied().fold(0u8, u8::max);
         assert_eq!(rec.vmin, lo);
         assert_eq!(rec.vmax(), hi);
+    }
+
+    #[test]
+    fn decode_scalars_into_matches_decode() {
+        let (layout, vol) = layout_and_volume();
+        let mut buf: Vec<u8> = Vec::new();
+        let mut scalars: Vec<u8> = Vec::new();
+        for id in layout.ids() {
+            let rec = MetacellRecord::from_volume(&vol, &layout, id);
+            buf = rec.encode();
+            let (did, dvmin, used) =
+                MetacellRecord::<u8>::decode_scalars_into(&buf, &layout, &mut scalars);
+            assert_eq!(did, rec.id);
+            assert_eq!(dvmin, rec.vmin);
+            assert_eq!(used, buf.len());
+            assert_eq!(scalars, rec.scalars, "id {id}");
+        }
+        // the same buffer was reused for every record
+        assert!(!buf.is_empty());
     }
 
     #[test]

@@ -190,7 +190,11 @@ mod tests {
     #[test]
     fn z_merge_keeps_nearest() {
         let mut a = fb_with(&[(0, 0, 0.5, [1, 0, 0, 255])], 2, 2);
-        let b = fb_with(&[(0, 0, 0.3, [0, 1, 0, 255]), (1, 1, 0.9, [0, 0, 1, 255])], 2, 2);
+        let b = fb_with(
+            &[(0, 0, 0.3, [0, 1, 0, 255]), (1, 1, 0.9, [0, 0, 1, 255])],
+            2,
+            2,
+        );
         z_merge(&mut a, &b);
         assert_eq!(a.color_at(0, 0), [0, 1, 0, 255]);
         assert_eq!(a.color_at(1, 1), [0, 0, 1, 255]);
@@ -198,8 +202,16 @@ mod tests {
 
     #[test]
     fn z_merge_commutative_for_distinct_depths() {
-        let a = fb_with(&[(0, 0, 0.5, [1, 0, 0, 255]), (1, 0, 0.2, [9, 9, 9, 255])], 2, 1);
-        let b = fb_with(&[(0, 0, 0.3, [0, 1, 0, 255]), (1, 0, 0.7, [7, 7, 7, 255])], 2, 1);
+        let a = fb_with(
+            &[(0, 0, 0.5, [1, 0, 0, 255]), (1, 0, 0.2, [9, 9, 9, 255])],
+            2,
+            1,
+        );
+        let b = fb_with(
+            &[(0, 0, 0.3, [0, 1, 0, 255]), (1, 0, 0.7, [7, 7, 7, 255])],
+            2,
+            1,
+        );
         let mut ab = a.clone();
         z_merge(&mut ab, &b);
         let mut ba = b.clone();

@@ -29,4 +29,4 @@ pub use composite::{z_merge, FrameRegion, TileLayout};
 pub use framebuffer::Framebuffer;
 pub use math::Mat4;
 pub use net::InterconnectModel;
-pub use raster::{rasterize_soup, RasterStats};
+pub use raster::{rasterize_mesh, rasterize_soup, RasterStats};

@@ -2,7 +2,7 @@
 
 use crate::camera::{ndc_to_screen, Camera};
 use crate::framebuffer::Framebuffer;
-use oociso_march::{Triangle, TriangleSoup, Vec3};
+use oociso_march::{IndexedMesh, Triangle, TriangleSoup, Vec3};
 
 /// Counters from a rasterization pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -27,15 +27,36 @@ pub fn rasterize_soup(
     base_color: [f32; 3],
     fb: &mut Framebuffer,
 ) -> RasterStats {
+    rasterize_triangles(soup.triangles().iter().copied(), camera, base_color, fb)
+}
+
+/// Rasterize an indexed mesh (same pipeline as [`rasterize_soup`], but
+/// triangles are materialized from the shared vertex buffer on the fly — the
+/// extraction path never has to expand to an unindexed soup just to render).
+pub fn rasterize_mesh(
+    mesh: &IndexedMesh,
+    camera: &Camera,
+    base_color: [f32; 3],
+    fb: &mut Framebuffer,
+) -> RasterStats {
+    rasterize_triangles(mesh.triangles(), camera, base_color, fb)
+}
+
+/// The shared pipeline behind both entry points: set up the view-projection
+/// and headlight once, then rasterize every triangle the iterator yields.
+fn rasterize_triangles(
+    tris: impl Iterator<Item = Triangle>,
+    camera: &Camera,
+    base_color: [f32; 3],
+    fb: &mut Framebuffer,
+) -> RasterStats {
     let aspect = fb.width() as f32 / fb.height() as f32;
     let vp = camera.view_projection(aspect);
     let light = (camera.eye - camera.target).normalized(); // headlight
-    let mut stats = RasterStats {
-        triangles_in: soup.len() as u64,
-        ..Default::default()
-    };
-    for tri in soup.triangles() {
-        stats.fragments_shaded += rasterize_one(tri, &vp, light, base_color, fb, &mut stats);
+    let mut stats = RasterStats::default();
+    for tri in tris {
+        stats.triangles_in += 1;
+        stats.fragments_shaded += rasterize_one(&tri, &vp, light, base_color, fb, &mut stats);
     }
     stats
 }
@@ -82,10 +103,18 @@ fn rasterize_one(
     ];
 
     // bounding box clamped to the viewport
-    let min_x = sx.iter().fold(f32::INFINITY, |a, &b| a.min(b)).floor().max(0.0) as usize;
+    let min_x = sx
+        .iter()
+        .fold(f32::INFINITY, |a, &b| a.min(b))
+        .floor()
+        .max(0.0) as usize;
     let max_x = (sx.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b)).ceil() as i64)
         .clamp(0, fb.width() as i64 - 1) as usize;
-    let min_y = sy.iter().fold(f32::INFINITY, |a, &b| a.min(b)).floor().max(0.0) as usize;
+    let min_y = sy
+        .iter()
+        .fold(f32::INFINITY, |a, &b| a.min(b))
+        .floor()
+        .max(0.0) as usize;
     let max_y = (sy.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b)).ceil() as i64)
         .clamp(0, fb.height() as i64 - 1) as usize;
     if min_x > max_x || min_y > max_y {
@@ -137,6 +166,17 @@ mod tests {
         s
     }
 
+    fn quad_mesh(z: f32, half: f32) -> IndexedMesh {
+        let mut m = IndexedMesh::new();
+        let a = m.push_vertex(Vec3::new(-half, -half, z));
+        let b = m.push_vertex(Vec3::new(half, -half, z));
+        let c = m.push_vertex(Vec3::new(half, half, z));
+        let d = m.push_vertex(Vec3::new(-half, half, z));
+        m.push_triangle(a, b, c);
+        m.push_triangle(a, c, d);
+        m
+    }
+
     fn front_camera() -> Camera {
         let mut b = Aabb::empty();
         b.grow(Vec3::new(-1.0, -1.0, -1.0));
@@ -154,7 +194,12 @@ mod tests {
     #[test]
     fn quad_covers_center() {
         let mut fb = Framebuffer::new(64, 64);
-        let stats = rasterize_soup(&quad_soup(0.0, 1.0), &front_camera(), [1.0, 0.0, 0.0], &mut fb);
+        let stats = rasterize_soup(
+            &quad_soup(0.0, 1.0),
+            &front_camera(),
+            [1.0, 0.0, 0.0],
+            &mut fb,
+        );
         assert_eq!(stats.triangles_in, 2);
         assert_eq!(stats.triangles_rasterized, 2);
         assert!(stats.fragments_shaded > 100);
@@ -163,6 +208,22 @@ mod tests {
         assert!(fb.depth_at(32, 32).is_finite());
         // corners of the viewport are outside the quad
         assert_eq!(fb.color_at(0, 0), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mesh_and_soup_rasterize_identically() {
+        let cam = front_camera();
+        let mut fb_soup = Framebuffer::new(64, 64);
+        let s_soup = rasterize_soup(&quad_soup(0.3, 1.1), &cam, [0.9, 0.4, 0.2], &mut fb_soup);
+        let mut fb_mesh = Framebuffer::new(64, 64);
+        let s_mesh = rasterize_mesh(&quad_mesh(0.3, 1.1), &cam, [0.9, 0.4, 0.2], &mut fb_mesh);
+        assert_eq!(s_soup, s_mesh);
+        for y in 0..64 {
+            for x in 0..64 {
+                assert_eq!(fb_soup.color_at(x, y), fb_mesh.color_at(x, y));
+                assert_eq!(fb_soup.depth_at(x, y), fb_mesh.depth_at(x, y));
+            }
+        }
     }
 
     #[test]
@@ -183,7 +244,12 @@ mod tests {
     #[test]
     fn behind_camera_rejected() {
         let mut fb = Framebuffer::new(16, 16);
-        let stats = rasterize_soup(&quad_soup(10.0, 1.0), &front_camera(), [1.0, 1.0, 1.0], &mut fb);
+        let stats = rasterize_soup(
+            &quad_soup(10.0, 1.0),
+            &front_camera(),
+            [1.0, 1.0, 1.0],
+            &mut fb,
+        );
         assert_eq!(stats.triangles_rasterized, 0);
         assert_eq!(fb.covered_pixels(), 0);
     }
@@ -192,7 +258,12 @@ mod tests {
     fn adjacent_triangles_leave_no_cracks() {
         // the shared diagonal of the quad must not produce uncovered pixels
         let mut fb = Framebuffer::new(128, 128);
-        rasterize_soup(&quad_soup(0.0, 1.2), &front_camera(), [1.0, 1.0, 1.0], &mut fb);
+        rasterize_soup(
+            &quad_soup(0.0, 1.2),
+            &front_camera(),
+            [1.0, 1.0, 1.0],
+            &mut fb,
+        );
         // the quad (half = 1.2 at distance 5, fov 60°) covers screen pixels
         // ≈ [37, 91]²; its triangle seam runs along the anti-diagonal of that
         // square. Sample well inside: every pixel must be covered.

@@ -5,17 +5,15 @@ use proptest::prelude::*;
 
 /// Random framebuffer: a list of (x, y, depth-milli, color) fragments.
 fn fb_strategy(w: usize, h: usize) -> impl Strategy<Value = Framebuffer> {
-    prop::collection::vec(
-        (0..w, 0..h, 1u32..1000, any::<[u8; 3]>()),
-        0..40,
+    prop::collection::vec((0..w, 0..h, 1u32..1000, any::<[u8; 3]>()), 0..40).prop_map(
+        move |frags| {
+            let mut fb = Framebuffer::new(w, h);
+            for (x, y, dm, c) in frags {
+                fb.shade(x, y, dm as f32 / 1000.0, [c[0], c[1], c[2], 255]);
+            }
+            fb
+        },
     )
-    .prop_map(move |frags| {
-        let mut fb = Framebuffer::new(w, h);
-        for (x, y, dm, c) in frags {
-            fb.shade(x, y, dm as f32 / 1000.0, [c[0], c[1], c[2], 255]);
-        }
-        fb
-    })
 }
 
 proptest! {

@@ -183,7 +183,11 @@ impl<S: ScalarValue> Volume<S> {
         let cx = x.clamp(0.0, (self.dims.nx - 1) as f32);
         let cy = y.clamp(0.0, (self.dims.ny - 1) as f32);
         let cz = z.clamp(0.0, (self.dims.nz - 1) as f32);
-        let (x0, y0, z0) = (cx.floor() as usize, cy.floor() as usize, cz.floor() as usize);
+        let (x0, y0, z0) = (
+            cx.floor() as usize,
+            cy.floor() as usize,
+            cz.floor() as usize,
+        );
         let x1 = (x0 + 1).min(self.dims.nx - 1);
         let y1 = (y0 + 1).min(self.dims.ny - 1);
         let z1 = (z0 + 1).min(self.dims.nz - 1);

@@ -92,7 +92,10 @@ impl<S: ScalarValue> RawVolumeReader<S> {
         if bytes != S::BYTES {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("sample width mismatch: file {bytes}, requested {}", S::BYTES),
+                format!(
+                    "sample width mismatch: file {bytes}, requested {}",
+                    S::BYTES
+                ),
             ));
         }
         Ok(RawVolumeReader {

@@ -90,8 +90,7 @@ pub fn multimode_perturbation(seed: u64, u: f32, v: f32, modes: u32) -> f32 {
         let ky = 1 + ((h >> 8) & 7) as i32;
         let phase = ((h >> 16) & 0xffff) as f32 / 65536.0 * std::f32::consts::TAU;
         let w = 1.0 / (kx * kx + ky * ky) as f32;
-        sum += w
-            * (std::f32::consts::TAU * (kx as f32 * u + ky as f32 * v) + phase).sin();
+        sum += w * (std::f32::consts::TAU * (kx as f32 * u + ky as f32 * v) + phase).sin();
         norm += w;
     }
     if norm > 0.0 {

@@ -51,8 +51,7 @@ impl Histogram {
     pub fn add(&mut self, key: u32) {
         let k = key.clamp(self.lo, self.hi);
         let nbins = self.bins.len();
-        let idx =
-            ((k - self.lo) as u64 * nbins as u64 / (self.hi - self.lo + 1) as u64) as usize;
+        let idx = ((k - self.lo) as u64 * nbins as u64 / (self.hi - self.lo + 1) as u64) as usize;
         self.bins[idx.min(nbins - 1)] += 1;
     }
 

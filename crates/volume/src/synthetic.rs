@@ -266,11 +266,9 @@ mod tests {
         assert!(lo < 30, "bottom should be light gas, lo={lo}");
         assert!(hi > 225, "top should be heavy gas, hi={hi}");
         // bottom slab mostly low, top slab mostly high
-        let bottom_mean: f64 =
-            (0..32 * 32).map(|i| v.data()[i] as f64).sum::<f64>() / 1024.0;
+        let bottom_mean: f64 = (0..32 * 32).map(|i| v.data()[i] as f64).sum::<f64>() / 1024.0;
         let n = v.data().len();
-        let top_mean: f64 =
-            (n - 32 * 32..n).map(|i| v.data()[i] as f64).sum::<f64>() / 1024.0;
+        let top_mean: f64 = (n - 32 * 32..n).map(|i| v.data()[i] as f64).sum::<f64>() / 1024.0;
         assert!(bottom_mean < 40.0, "bottom mean {bottom_mean}");
         assert!(top_mean > 215.0, "top mean {top_mean}");
     }

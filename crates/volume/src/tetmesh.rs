@@ -82,11 +82,10 @@ impl TetMesh {
         for cz in 0..dims.nz.saturating_sub(1) {
             for cy in 0..dims.ny.saturating_sub(1) {
                 for cx in 0..dims.nx.saturating_sub(1) {
-                    let corner =
-                        |i: usize| {
-                            let (dx, dy, dz) = CORNERS[i];
-                            dims.index(cx + dx, cy + dy, cz + dz) as u32
-                        };
+                    let corner = |i: usize| {
+                        let (dx, dy, dz) = CORNERS[i];
+                        dims.index(cx + dx, cy + dy, cz + dz) as u32
+                    };
                     for t in &TETS {
                         tets.push([corner(t[0]), corner(t[1]), corner(t[2]), corner(t[3])]);
                     }

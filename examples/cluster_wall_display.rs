@@ -22,7 +22,10 @@ fn main() -> std::io::Result<()> {
     };
     let (step, iso, nodes) = (250u32, 190.0f32, 4usize);
 
-    println!("generating RM proxy step {step} at {}x{}x{}…", dims.nx, dims.ny, dims.nz);
+    println!(
+        "generating RM proxy step {step} at {}x{}x{}…",
+        dims.nx, dims.ny, dims.nz
+    );
     let vol = RmProxy::with_seed(1).volume(step, dims);
     let dir = std::env::temp_dir().join("oociso-wall");
     let db = ClusterDatabase::preprocess(

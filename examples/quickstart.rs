@@ -13,7 +13,10 @@ fn main() -> std::io::Result<()> {
     //    quarter of that so the example runs in seconds.
     let dims = Dims3::new(128, 128, 120);
     let step = 250;
-    println!("generating RM proxy step {step} at {}x{}x{}…", dims.nx, dims.ny, dims.nz);
+    println!(
+        "generating RM proxy step {step} at {}x{}x{}…",
+        dims.nx, dims.ny, dims.nz
+    );
     let volume = RmProxy::with_seed(1).volume(step, dims);
 
     // 2. Preprocess into an on-disk database: 9×9×9 metacells, constant
@@ -47,6 +50,10 @@ fn main() -> std::io::Result<()> {
     let (fb, _) = db.render(iso, &camera, 800, 800, [0.85, 0.75, 0.55])?;
     let out = std::env::temp_dir().join("oociso-quickstart.ppm");
     fb.write_ppm(&out)?;
-    println!("rendered {} covered pixels -> {}", fb.covered_pixels(), out.display());
+    println!(
+        "rendered {} covered pixels -> {}",
+        fb.covered_pixels(),
+        out.display()
+    );
     Ok(())
 }

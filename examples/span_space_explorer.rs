@@ -29,30 +29,54 @@ fn main() {
         .collect();
     eps.sort_unstable();
     eps.dedup();
-    println!("distinct endpoints n = {} (one-byte field: n ≤ 256)", eps.len());
-    println!("culled constant metacells: {} ({:.0}%)", stats.culled_metacells,
-             stats.culled_fraction() * 100.0);
+    println!(
+        "distinct endpoints n = {} (one-byte field: n ≤ 256)",
+        eps.len()
+    );
+    println!(
+        "culled constant metacells: {} ({:.0}%)",
+        stats.culled_metacells,
+        stats.culled_fraction() * 100.0
+    );
 
     let mut cursor = 0u64;
     let tree = CompactIntervalTree::build(&intervals, &mut |iv| {
         let len = layout.record_len(iv.id, 1) as u64;
-        let s = oociso::exio::Span { offset: cursor, len };
+        let s = oociso::exio::Span {
+            offset: cursor,
+            len,
+        };
         cursor += len;
         Ok(s)
     })
     .expect("build");
 
     println!("\n== compact interval tree ==");
-    println!("nodes: {}, height: {}, brick entries: {}",
-             tree.num_nodes(), tree.height(), tree.num_entries());
+    println!(
+        "nodes: {}, height: {}, brick entries: {}",
+        tree.num_nodes(),
+        tree.height(),
+        tree.num_entries()
+    );
     let cs = compact_size(&tree, 1);
     let ss = standard_size(&StandardIntervalTree::build(&intervals), 1);
-    println!("compact size:  {:>8.1} KB ({} entries)", cs.kib(), cs.entries);
-    println!("standard size: {:>8.1} KB ({} entries) -> {:.1}x larger",
-             ss.kib(), ss.entries, ss.bytes as f64 / cs.bytes as f64);
+    println!(
+        "compact size:  {:>8.1} KB ({} entries)",
+        cs.kib(),
+        cs.entries
+    );
+    println!(
+        "standard size: {:>8.1} KB ({} entries) -> {:.1}x larger",
+        ss.kib(),
+        ss.entries,
+        ss.bytes as f64 / cs.bytes as f64
+    );
 
     println!("\n== query plans ==");
-    println!("{:>5} {:>7} {:>7} {:>12} {:>12}", "iso", "bulk", "prefix", "bulk MB", "max MB");
+    println!(
+        "{:>5} {:>7} {:>7} {:>12} {:>12}",
+        "iso", "bulk", "prefix", "bulk MB", "max MB"
+    );
     for iso in (10..=210).step_by(40) {
         let plan = tree.plan(iso as u32);
         let bulk = plan

@@ -14,7 +14,10 @@ fn main() -> std::io::Result<()> {
     let proxy = RmProxy::with_seed(42);
     let root = std::env::temp_dir().join("oociso-timevarying");
 
-    println!("preprocessing {steps} steps at {}x{}x{}…", dims.nx, dims.ny, dims.nz);
+    println!(
+        "preprocessing {steps} steps at {}x{}x{}…",
+        dims.nx, dims.ny, dims.nz
+    );
     let db = TimeVaryingDatabase::preprocess_series(
         &root,
         steps,
@@ -32,7 +35,10 @@ fn main() -> std::io::Result<()> {
 
     let iso = 70.0;
     println!("scrubbing isovalue {iso} through time:");
-    println!("{:>6} {:>10} {:>12} {:>10}", "step", "active MC", "triangles", "MB read");
+    println!(
+        "{:>6} {:>10} {:>12} {:>10}",
+        "step", "active MC", "triangles", "MB read"
+    );
     for s in 0..db.num_steps() {
         let r = db.extract(s, iso)?;
         println!(

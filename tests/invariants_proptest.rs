@@ -21,9 +21,7 @@ fn intervals_strategy(max_len: usize) -> impl Strategy<Value = Vec<MetacellInter
 }
 
 /// Build a compact tree plus an in-memory store with the test record format.
-fn build_with_store(
-    intervals: &[MetacellInterval],
-) -> (CompactIntervalTree, RecordStore) {
+fn build_with_store(intervals: &[MetacellInterval]) -> (CompactIntervalTree, RecordStore) {
     let mut bytes: Vec<u8> = Vec::new();
     let tree = CompactIntervalTree::build(intervals, &mut |iv| {
         let rec = TestFormat::encode(iv);

@@ -89,8 +89,7 @@ fn modeled_time_matches_fifty_mbps_hand_calc() {
     let n = &r.report.nodes[0];
     let model = IoCostModel::paper_disk();
     let t = model.modeled_time(&n.io).as_secs_f64();
-    let hand =
-        n.io.seeks as f64 * 0.008 + (n.io.bytes_read + n.io.skip_bytes) as f64 / 50.0e6;
+    let hand = n.io.seeks as f64 * 0.008 + (n.io.bytes_read + n.io.skip_bytes) as f64 / 50.0e6;
     assert!((t - hand).abs() < 1e-9, "model {t} vs hand {hand}");
     std::fs::remove_dir_all(&dir).ok();
 }

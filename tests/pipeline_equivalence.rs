@@ -20,27 +20,7 @@ fn truth(vol: &Volume<u8>, iso: f32) -> TriangleSoup {
     soup
 }
 
-fn canon(s: &TriangleSoup) -> Vec<[(i64, i64, i64); 3]> {
-    let key = |v: Vec3| {
-        let q = 1_048_576.0;
-        (
-            (v.x * q).round() as i64,
-            (v.y * q).round() as i64,
-            (v.z * q).round() as i64,
-        )
-    };
-    let mut out: Vec<[(i64, i64, i64); 3]> = s
-        .triangles()
-        .iter()
-        .map(|t| {
-            let mut ks = [key(t.v[0]), key(t.v[1]), key(t.v[2])];
-            ks.sort_unstable();
-            ks
-        })
-        .collect();
-    out.sort_unstable();
-    out
-}
+use oociso::march::canonical_triangles as canon;
 
 #[test]
 fn database_extraction_equals_direct_marching_cubes() {
@@ -70,7 +50,7 @@ fn database_extraction_equals_direct_marching_cubes() {
         let db = IsoDatabase::preprocess(vol, &dir, &PreprocessOptions::default()).unwrap();
         let got = db.extract(128.0).unwrap();
         assert_eq!(
-            canon(&got.mesh),
+            canon(&got.mesh.to_soup()),
             canon(&reference),
             "{name}: database extraction must equal direct MC"
         );
@@ -95,7 +75,7 @@ fn every_node_count_yields_identical_geometry() {
         .unwrap();
         let got = db.extract(110.0).unwrap();
         assert_eq!(
-            canon(&got.mesh),
+            canon(&got.mesh.to_soup()),
             canon(&reference),
             "p={nodes}: geometry must be independent of striping"
         );

@@ -2,7 +2,7 @@
 //! must be pixel-equivalent to rendering everything on one node.
 
 use oociso::core::{ClusterDatabase, PreprocessOptions};
-use oociso::render::{rasterize_soup, Camera, Framebuffer, TileLayout};
+use oociso::render::{rasterize_mesh, Camera, Framebuffer, TileLayout};
 use oociso::volume::field::{AnalyticField, FieldExt, SphereField, TorusField};
 use oociso::volume::Dims3;
 use std::path::PathBuf;
@@ -34,7 +34,7 @@ fn cluster_composite_equals_single_node_render() {
         .unwrap();
 
     let mut single = Framebuffer::new(160, 160);
-    rasterize_soup(&probe.mesh, &camera, [0.7, 0.8, 0.9], &mut single);
+    rasterize_mesh(&probe.mesh, &camera, [0.7, 0.8, 0.9], &mut single);
 
     let mut diff = 0usize;
     for y in 0..160 {
@@ -77,13 +77,23 @@ fn occlusion_resolved_across_nodes() {
     )
     .unwrap();
     let e = db.extract_per_node(128.0).unwrap();
-    let camera = Camera::orbiting(&e.merged_soup().bounds(), 0.2, 0.15, 2.2);
-    let render_one = |soup| {
+    let bounds = e
+        .meshes
+        .iter()
+        .filter(|m| !m.is_empty()) // an empty node's Aabb::empty() corners are ±INF
+        .map(|m| m.bounds())
+        .fold(oociso::march::Aabb::empty(), |mut acc, b| {
+            acc.grow(b.lo);
+            acc.grow(b.hi);
+            acc
+        });
+    let camera = Camera::orbiting(&bounds, 0.2, 0.15, 2.2);
+    let render_one = |mesh| {
         let mut fb = Framebuffer::new(128, 128);
-        rasterize_soup(soup, &camera, [1.0, 1.0, 1.0], &mut fb);
+        rasterize_mesh(mesh, &camera, [1.0, 1.0, 1.0], &mut fb);
         fb
     };
-    let buffers: Vec<Framebuffer> = e.soups.iter().map(render_one).collect();
+    let buffers: Vec<Framebuffer> = e.meshes.iter().map(render_one).collect();
     let layout = TileLayout::new(1, 1, 128, 128);
     let (forward, _) = layout.composite(&buffers);
     let reversed: Vec<Framebuffer> = buffers.iter().rev().cloned().collect();
@@ -96,7 +106,10 @@ fn occlusion_resolved_across_nodes() {
             }
         }
     }
-    assert!(diff < 30, "composite must be order-independent: {diff} pixels");
+    assert!(
+        diff < 30,
+        "composite must be order-independent: {diff} pixels"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -61,7 +61,12 @@ fn build_indexed_clusters(
         Ok(span)
     })
     .unwrap();
-    (tree, RecordStore::in_memory(bytes), ClusterFormat { lens }, culled)
+    (
+        tree,
+        RecordStore::in_memory(bytes),
+        ClusterFormat { lens },
+        culled,
+    )
 }
 
 #[test]
@@ -102,8 +107,7 @@ fn unstructured_query_reads_less_than_full_mesh() {
     let (tree, store, format, _) = build_indexed_clusters(&mesh, 36);
     let plan = tree.plan(f32::query_key(120.0));
     let mut records = 0u64;
-    let stats =
-        oociso::itree::execute_plan(&plan, &store, &format, |_, _| records += 1).unwrap();
+    let stats = oociso::itree::execute_plan(&plan, &store, &format, |_, _| records += 1).unwrap();
     assert!(records > 0);
     // a small sphere inside a big volume: the query must not read the store
     // wholesale

@@ -1,0 +1,284 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no registry access, so this crate implements the
+//! API shape the workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `BenchmarkId`) over a simple wall-clock harness: a warm-up
+//! pass, then `sample_size` timed samples, reporting median/min per iteration
+//! and derived throughput.
+//!
+//! Environment knobs:
+//!
+//! * `OOCISO_BENCH_SAMPLES` — override every group's sample count.
+//! * `OOCISO_BENCH_JSON`    — append one JSON object per benchmark to this
+//!   file (used to record baselines under `docs/`).
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput basis for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A `group/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times one closure; handed to bench closures as `b`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run the routine once per sample after one warm-up call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up: page in code and data
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// The harness entry point; one per `criterion_group!` run.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let default_samples = std::env::var("OOCISO_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion { default_samples }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: self.default_samples,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let samples = self.default_samples;
+        run_one(None, &id.into().id, samples, None, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var("OOCISO_BENCH_SAMPLES").is_err() {
+            self.sample_size = n.max(1);
+        }
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            &id.into().id,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{full:<44} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => (n as f64 / median.as_secs_f64(), "B/s"),
+        Throughput::Elements(n) => (n as f64 / median.as_secs_f64(), "elem/s"),
+    });
+    match rate {
+        Some((r, unit)) => println!(
+            "{full:<44} median {:>12} min {:>12}   {} {unit}",
+            fmt_dur(median),
+            fmt_dur(min),
+            fmt_rate(r),
+        ),
+        None => println!(
+            "{full:<44} median {:>12} min {:>12}",
+            fmt_dur(median),
+            fmt_dur(min),
+        ),
+    }
+    if let Ok(path) = std::env::var("OOCISO_BENCH_JSON") {
+        let (tp, unit) = rate.unwrap_or((0.0, ""));
+        let line = format!(
+            "{{\"bench\":\"{full}\",\"median_ns\":{},\"min_ns\":{},\"samples\":{},\"throughput\":{tp:.1},\"throughput_unit\":\"{unit}\"}}\n",
+            median.as_nanos(),
+            min.as_nanos(),
+            b.samples.len(),
+        );
+        if let Ok(mut fh) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = fh.write_all(line.as_bytes());
+        }
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} k", r / 1e3)
+    } else {
+        format!("{r:.1} ")
+    }
+}
+
+/// Define a group-runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups (CLI args are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes --bench (and possibly filters); this minimal
+            // harness runs everything and ignores the arguments.
+            let _args: Vec<String> = std::env::args().collect();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shimtest");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs >= 4); // warm-up + samples
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("compact", 500).id, "compact/500");
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline stand-in for [memmap2](https://crates.io/crates/memmap2).
+//!
+//! The build environment has no registry access (and no `libc` to call
+//! `mmap(2)` directly), so `Mmap` here is a read-only snapshot of the file
+//! loaded eagerly into an anonymous buffer. Callers see the same API and the
+//! same `Deref<Target = [u8]>` semantics; the difference is purely that pages
+//! are materialized up front instead of faulted in lazily. The exio device
+//! layer accounts I/O identically for both backings, so modeled costs are
+//! unaffected.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::ops::Deref;
+
+/// An immutable "memory map" of a file.
+pub struct Mmap {
+    data: Vec<u8>,
+}
+
+impl Mmap {
+    /// Snapshot `file` from start to end.
+    ///
+    /// # Safety
+    ///
+    /// Kept `unsafe` for signature compatibility with the real crate (where
+    /// the caller must guarantee the file is not truncated/mutated while
+    /// mapped). This implementation copies, so there is no actual UB hazard.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let mut f = file.try_clone()?;
+        f.seek(SeekFrom::Start(0))?;
+        let len = f.metadata()?.len() as usize;
+        let mut data = Vec::with_capacity(len);
+        f.read_to_end(&mut data)?;
+        Ok(Mmap { data })
+    }
+
+    /// Length of the mapped region in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the mapped region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn map_reflects_file_contents() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("memmap2_shim_{}.bin", std::process::id()));
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&p)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let f = File::open(&p).unwrap();
+        let m = unsafe { Mmap::map(&f).unwrap() };
+        assert_eq!(m.len(), payload.len());
+        assert_eq!(&m[..], &payload[..]);
+        assert_eq!(&m[777..790], &payload[777..790]);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no registry access, so this crate provides the
+//! small slice of rayon's API the workspace actually uses — `par_iter` with
+//! `map`/`filter_map`/`collect`, and `par_chunks_mut().enumerate().for_each` —
+//! implemented on `std::thread::scope`. Work is split into one contiguous
+//! range per worker, so `collect` preserves order exactly like rayon's
+//! indexed parallel iterators.
+
+use std::num::NonZeroUsize;
+
+/// Worker count: `available_parallelism`, overridable with
+/// `OOCISO_THREADS` (handy for benchmarking scaling curves).
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("OOCISO_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Split `len` items into at most `workers` contiguous `(start, end)` ranges.
+fn split_ranges(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = workers.clamp(1, len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut at = 0;
+    for w in 0..workers {
+        let take = base + usize::from(w < extra);
+        out.push((at, at + take));
+        at += take;
+    }
+    out
+}
+
+/// Run `f` over each range of `len` items on a scoped worker pool, collecting
+/// the per-range outputs in range order.
+fn run_ranges<R: Send>(len: usize, f: impl Fn(usize, usize) -> R + Sync) -> Vec<R> {
+    let ranges = split_ranges(len, current_num_threads());
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(|(a, b)| f(a, b)).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(a, b)| {
+                let f = &f;
+                scope.spawn(move || f(a, b))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    })
+}
+
+pub mod iter {
+    use super::run_ranges;
+
+    /// Parallel iterator over `&[T]`.
+    pub struct ParIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    /// `par_iter().map(f)` adapter.
+    pub struct ParMap<'a, T, F> {
+        slice: &'a [T],
+        f: F,
+    }
+
+    /// `par_iter().filter_map(f)` adapter.
+    pub struct ParFilterMap<'a, T, F> {
+        slice: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        pub fn map<O, F: Fn(&'a T) -> O + Sync>(self, f: F) -> ParMap<'a, T, F> {
+            ParMap {
+                slice: self.slice,
+                f,
+            }
+        }
+
+        pub fn filter_map<O, F: Fn(&'a T) -> Option<O> + Sync>(
+            self,
+            f: F,
+        ) -> ParFilterMap<'a, T, F> {
+            ParFilterMap {
+                slice: self.slice,
+                f,
+            }
+        }
+    }
+
+    impl<'a, T: Sync, O: Send, F: Fn(&'a T) -> O + Sync> ParMap<'a, T, F> {
+        pub fn collect<C: FromParts<O>>(self) -> C {
+            let parts = run_ranges(self.slice.len(), |a, b| {
+                self.slice[a..b].iter().map(&self.f).collect::<Vec<O>>()
+            });
+            C::from_parts(parts)
+        }
+    }
+
+    impl<'a, T: Sync, O: Send, F: Fn(&'a T) -> Option<O> + Sync> ParFilterMap<'a, T, F> {
+        pub fn collect<C: FromParts<O>>(self) -> C {
+            let parts = run_ranges(self.slice.len(), |a, b| {
+                self.slice[a..b]
+                    .iter()
+                    .filter_map(&self.f)
+                    .collect::<Vec<O>>()
+            });
+            C::from_parts(parts)
+        }
+    }
+
+    /// Order-preserving concatenation of per-worker outputs.
+    pub trait FromParts<O> {
+        fn from_parts(parts: Vec<Vec<O>>) -> Self;
+    }
+
+    impl<O> FromParts<O> for Vec<O> {
+        fn from_parts(parts: Vec<Vec<O>>) -> Self {
+            let total = parts.iter().map(Vec::len).sum();
+            let mut out = Vec::with_capacity(total);
+            for p in parts {
+                out.extend(p);
+            }
+            out
+        }
+    }
+
+    /// Parallel iterator over mutable chunks with their chunk index.
+    pub struct ParChunksMutEnumerate<'a, T> {
+        chunks: Vec<(usize, &'a mut [T])>,
+    }
+
+    pub struct ParChunksMut<'a, T> {
+        chunks: Vec<(usize, &'a mut [T])>,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+            ParChunksMutEnumerate {
+                chunks: self.chunks,
+            }
+        }
+
+        pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+            ParChunksMutEnumerate {
+                chunks: self.chunks,
+            }
+            .for_each(move |(_, c)| f(c));
+        }
+    }
+
+    impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+        pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+            let workers = super::current_num_threads();
+            if workers <= 1 || self.chunks.len() <= 1 {
+                for (i, c) in self.chunks {
+                    f((i, c));
+                }
+                return;
+            }
+            let groups = super::split_ranges(self.chunks.len(), workers);
+            let mut chunks = self.chunks;
+            std::thread::scope(|scope| {
+                // peel groups off the back so each worker owns its chunks
+                for &(a, b) in groups.iter().rev() {
+                    let group: Vec<(usize, &mut [T])> = chunks.drain(a..b).collect();
+                    let f = &f;
+                    scope.spawn(move || {
+                        for (i, c) in group {
+                            f((i, c));
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: 'a;
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunksMut {
+                chunks: self.chunks_mut(chunk_size).enumerate().collect(),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_collect_preserves_order() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x as u64 * 2).collect();
+        assert_eq!(doubled.len(), 10_000);
+        assert!(doubled.iter().enumerate().all(|(i, &d)| d == i as u64 * 2));
+        let odds: Vec<u32> = v
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 1).then_some(x))
+            .collect();
+        assert_eq!(odds.len(), 5_000);
+        assert!(odds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0u32; 1000];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v += i as u32 + 1;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 7) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn split_ranges_cover() {
+        let r = super::split_ranges(10, 3);
+        assert_eq!(r, vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(super::split_ranges(0, 4), vec![(0, 0)]);
+        assert_eq!(super::split_ranges(2, 8), vec![(0, 1), (1, 2)]);
+    }
+}
