@@ -2,8 +2,8 @@
 
 use crate::meta::ClusterMeta;
 use crate::timing::{NodeReport, QueryReport};
-use oociso_exio::{DiskFarm, RecordStore};
-use oociso_itree::plan::execute_plan;
+use oociso_exio::{BoundedQueue, DiskFarm, RecordStore, WriteAt};
+use oociso_itree::plan::{execute_plan, QueryPlan};
 use oociso_itree::{persist, CompactIntervalTree, MetacellRecordFormat};
 use oociso_march::mc::{marching_cubes_indexed, McStats, SlabScratch};
 use oociso_march::{IndexedMesh, TriangleSoup, Vec3};
@@ -32,6 +32,48 @@ impl Default for ClusterBuildOptions {
             mmap: false,
         }
     }
+}
+
+/// Default bound (in records) of the retrieval→triangulation queue. Sized so
+/// staging memory stays tens of records (~50 KB of u8 metacells) while giving
+/// the worker pool enough lookahead to ride out bursty bulk reads.
+pub const DEFAULT_QUEUE_RECORDS: usize = 64;
+
+/// How active-metacell records flow from retrieval (phase (i)) into
+/// triangulation (phase (ii)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExtractMode {
+    /// Stream each record into the worker pool through a bounded queue as the
+    /// plan executes: disk and cores overlap, peak staging memory is the
+    /// queue bound, and per-record granularity load-balances dense metacells
+    /// across workers. Output is bit-identical to [`ExtractMode::Batch`] via
+    /// sequence-ordered merging.
+    Streaming {
+        /// Queue bound in records (`usize::MAX` ≈ unbounded).
+        queue_records: usize,
+    },
+    /// Retrieve the whole record batch into memory, then split it into
+    /// contiguous per-worker chunks — the phase-serial reference path, kept
+    /// for equivalence tests and overlap benchmarks.
+    Batch,
+}
+
+impl Default for ExtractMode {
+    fn default() -> Self {
+        ExtractMode::Streaming {
+            queue_records: DEFAULT_QUEUE_RECORDS,
+        }
+    }
+}
+
+/// Options for one extraction query.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExtractOptions {
+    /// Per-node worker count (`None` → cores ÷ nodes, see
+    /// [`Cluster::extract`]).
+    pub workers: Option<usize>,
+    /// Record flow between the pipeline phases.
+    pub mode: ExtractMode,
 }
 
 /// The result of one parallel extraction: per-node indexed meshes plus the
@@ -89,6 +131,39 @@ pub struct Cluster<S: ScalarValue> {
 
 fn index_path(dir: &Path, node: usize) -> PathBuf {
     dir.join(format!("node{node:03}.index"))
+}
+
+/// Pass 2 of the out-of-core build: stream the volume file again, encoding
+/// each kept record and writing it at its pre-assigned `(stripe, offset)`.
+/// Generic over the write sinks so failing devices can exercise the error
+/// path; any write failure aborts the scan and surfaces as `Err`.
+fn write_records_pass<S: ScalarValue>(
+    volume_path: &Path,
+    k: usize,
+    intervals: &[MetacellInterval],
+    placement: &[(usize, u64)],
+    sinks: &[&dyn WriteAt],
+) -> io::Result<()> {
+    let mut reader = oociso_volume::io::RawVolumeReader::<S>::open(volume_path)?;
+    let mut kept_cursor = 0usize;
+    oociso_metacell::scan_reader(&mut reader, k, |built| {
+        let Some(&(stripe, offset)) = placement.get(kept_cursor) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "volume grew between preprocessing passes",
+            ));
+        };
+        debug_assert_eq!(built.interval.id, intervals[kept_cursor].id);
+        kept_cursor += 1;
+        sinks[stripe].write_all_at(&built.record.encode(), offset)
+    })?;
+    if kept_cursor != placement.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "volume shrank between preprocessing passes",
+        ));
+    }
+    Ok(())
 }
 
 impl<S: ScalarValue> Cluster<S> {
@@ -163,7 +238,6 @@ impl<S: ScalarValue> Cluster<S> {
         nodes: usize,
         opts: &ClusterBuildOptions,
     ) -> io::Result<(Self, PreprocessStats)> {
-        use std::os::unix::fs::FileExt;
         assert!(nodes > 0);
         let mut reader = oociso_volume::io::RawVolumeReader::<S>::open(volume_path)?;
         let layout = MetacellLayout::new(reader.dims(), opts.metacell_k);
@@ -172,6 +246,7 @@ impl<S: ScalarValue> Cluster<S> {
         let mut intervals: Vec<MetacellInterval> = Vec::new();
         let stats = oociso_metacell::scan_reader(&mut reader, opts.metacell_k, |built| {
             intervals.push(built.interval);
+            Ok(())
         })?;
 
         // Dry-run striped build: assign offsets, build trees.
@@ -200,18 +275,11 @@ impl<S: ScalarValue> Cluster<S> {
             })
             .collect::<io::Result<_>>()?;
 
-        // Pass 2: stream again, writing each record at its placement.
-        let mut reader = oociso_volume::io::RawVolumeReader::<S>::open(volume_path)?;
-        let mut kept_cursor = 0usize;
-        oociso_metacell::scan_reader(&mut reader, opts.metacell_k, |built| {
-            debug_assert_eq!(built.interval.id, intervals[kept_cursor].id);
-            let (stripe, offset) = placement[kept_cursor];
-            kept_cursor += 1;
-            let bytes = built.record.encode();
-            files[stripe]
-                .write_all_at(&bytes, offset)
-                .expect("record write");
-        })?;
+        // Pass 2: stream again, writing each record at its placement through
+        // the portable positioned-write abstraction. Write failures (full
+        // disk, revoked handle) surface as `Err` from the scan.
+        let sinks: Vec<&dyn WriteAt> = files.iter().map(|f| f as &dyn WriteAt).collect();
+        write_records_pass::<S>(volume_path, opts.metacell_k, &intervals, &placement, &sinks)?;
         drop(files);
 
         for (i, tree) in trees.iter().enumerate() {
@@ -306,24 +374,43 @@ impl<S: ScalarValue> Cluster<S> {
     /// Run the parallel extraction for `iso`: every node plans against its
     /// local index, streams its active metacells, and triangulates — one
     /// thread per node, no cross-node communication. Within each node the
-    /// planned metacell batch is split across a scoped worker pool (cores
-    /// divided evenly among nodes), so a 1-node "cluster" still saturates
-    /// the machine.
+    /// paper's phases (i) and (ii) pipeline: the node thread executes the
+    /// plan and streams each record through a bounded queue into a scoped
+    /// worker pool (cores divided evenly among nodes), so disk and cores
+    /// overlap and a 1-node "cluster" still saturates the machine.
     pub fn extract(&self, iso: f32) -> io::Result<ClusterExtraction> {
-        self.extract_with_workers(iso, self.default_workers())
+        self.extract_with_options(iso, &ExtractOptions::default())
     }
 
     /// [`Cluster::extract`] with an explicit per-node worker count.
     pub fn extract_with_workers(&self, iso: f32, workers: usize) -> io::Result<ClusterExtraction> {
-        let workers = workers.max(1);
-        let key = S::query_key(iso);
+        self.extract_with_options(
+            iso,
+            &ExtractOptions {
+                workers: Some(workers),
+                ..Default::default()
+            },
+        )
+    }
+
+    /// [`Cluster::extract`] with full control over workers and record flow.
+    pub fn extract_with_options(
+        &self,
+        iso: f32,
+        opts: &ExtractOptions,
+    ) -> io::Result<ClusterExtraction> {
+        let workers = opts
+            .workers
+            .unwrap_or_else(|| self.default_workers())
+            .max(1);
+        let mode = opts.mode;
         let t_total = Instant::now();
         let results: Vec<io::Result<(IndexedMesh, NodeReport)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.nodes)
                 .map(|i| {
                     let tree = &self.trees[i];
                     let store = &self.stores[i];
-                    scope.spawn(move || self.node_extract(i, tree, store, key, iso, workers))
+                    scope.spawn(move || self.node_extract(i, tree, store, iso, workers, mode))
                 })
                 .collect();
             handles
@@ -354,41 +441,208 @@ impl<S: ScalarValue> Cluster<S> {
         node: usize,
         tree: &CompactIntervalTree,
         store: &RecordStore,
-        key: u32,
+        iso: f32,
+        workers: usize,
+        mode: ExtractMode,
+    ) -> io::Result<(IndexedMesh, NodeReport)> {
+        let io_before = store.device().io_snapshot();
+        let t0 = Instant::now();
+        let plan = tree.plan(S::query_key(iso));
+        if plan.actions.is_empty() {
+            // Nothing can be active at this isovalue on this node (the tree
+            // pruned every brick): skip the pipeline entirely — no worker
+            // threads spawn, so the report states 0 workers.
+            let elapsed = t0.elapsed();
+            return Ok((
+                IndexedMesh::new(),
+                NodeReport {
+                    node,
+                    workers: 0,
+                    amc_retrieval: elapsed,
+                    extraction_wall: elapsed,
+                    io: store.device().io_snapshot().since(&io_before),
+                    ..Default::default()
+                },
+            ));
+        }
+        let (mesh, mut report) = match mode {
+            ExtractMode::Streaming { queue_records } => {
+                self.node_extract_streaming(&plan, store, iso, workers, queue_records)?
+            }
+            ExtractMode::Batch => self.node_extract_batch(&plan, store, iso, workers)?,
+        };
+        report.node = node;
+        report.io = store.device().io_snapshot().since(&io_before);
+        Ok((mesh, report))
+    }
+
+    /// The streaming pipeline: the calling (node) thread produces — executes
+    /// the plan, pushing each active record into a bounded queue as it is
+    /// decoded from disk — while `workers` consumers triangulate records as
+    /// they arrive, each reusing one decode buffer and one slab scratch.
+    /// Every record carries its emission sequence number and becomes its own
+    /// mesh part; parts merge in sequence order, so the output is
+    /// bit-identical to the batch path for any worker count or queue bound,
+    /// and per-record granularity load-balances dense metacells for free.
+    fn node_extract_streaming(
+        &self,
+        plan: &QueryPlan,
+        store: &RecordStore,
+        iso: f32,
+        workers: usize,
+        queue_records: usize,
+    ) -> io::Result<(IndexedMesh, NodeReport)> {
+        type Part = (u64, IndexedMesh, McStats);
+        /// Closes the queue when dropped. Every pipeline thread holds one, so
+        /// an unwinding producer or worker releases everyone else — workers
+        /// drain and exit, a blocked producer's push fails — instead of
+        /// leaving them parked on a queue nobody will touch again (the scope
+        /// would then never join and the panic would never propagate).
+        /// Closing twice is harmless, so normal exits need no special case.
+        struct CloseOnDrop<'a, T>(&'a BoundedQueue<T>);
+        impl<T> Drop for CloseOnDrop<'_, T> {
+            fn drop(&mut self) {
+                self.0.close();
+            }
+        }
+
+        let queue: BoundedQueue<(u64, Vec<u8>)> = BoundedQueue::new(queue_records);
+        let t_pipeline = Instant::now();
+        let (exec, amc_retrieval, outs) = std::thread::scope(|scope| {
+            let queue = &queue;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let _release_on_panic = CloseOnDrop(queue);
+                        let mut parts: Vec<Part> = Vec::new();
+                        let mut busy = Duration::ZERO;
+                        let mut scratch = SlabScratch::new();
+                        let mut scalars: Vec<S> = Vec::new();
+                        while let Some((seq, rec)) = queue.pop() {
+                            let t = Instant::now();
+                            let mut mesh = IndexedMesh::new();
+                            let mc = self.triangulate_record(
+                                &rec,
+                                iso,
+                                &mut mesh,
+                                &mut scratch,
+                                &mut scalars,
+                            );
+                            busy += t.elapsed();
+                            parts.push((seq, mesh, mc));
+                        }
+                        (parts, busy)
+                    })
+                })
+                .collect();
+
+            // Producer: phase (i) on this thread. Push can only fail once the
+            // queue is closed — after a worker died; the records it would
+            // have carried are moot, so the result is ignored.
+            let t0 = Instant::now();
+            let exec = {
+                let _close = CloseOnDrop(queue);
+                let mut seq = 0u64;
+                execute_plan(plan, store, &self.format, |_id, bytes| {
+                    let _ = queue.push((seq, bytes.to_vec()), bytes.len() as u64);
+                    seq += 1;
+                })
+                // _close drops here: the queue closes on success, on a failed
+                // plan execution, and on unwind alike, so consumers always
+                // drain and exit instead of deadlocking the scope.
+            };
+            let amc_retrieval = t0.elapsed();
+            let outs: Vec<(Vec<Part>, Duration)> = handles
+                .into_iter()
+                .map(|h| h.join().expect("extraction worker panicked"))
+                .collect();
+            (exec, amc_retrieval, outs)
+        });
+        let exec = exec?;
+
+        // Sequence-ordered merge restores the plan's emission order exactly.
+        let mut triangulation_busy = Duration::ZERO;
+        let mut parts: Vec<Part> = Vec::new();
+        for (p, busy) in outs {
+            triangulation_busy += busy;
+            parts.extend(p);
+        }
+        parts.sort_unstable_by_key(|&(seq, _, _)| seq);
+        let mut mc = McStats::default();
+        let total: usize = parts.iter().map(|(_, m, _)| m.len()).sum();
+        let mut mesh = IndexedMesh::with_capacity(total);
+        for (_, part, stats) in parts {
+            mc.merge(&stats);
+            mesh.merge(part);
+        }
+        let extraction_wall = t_pipeline.elapsed();
+        let qstats = queue.stats();
+        let waits = queue.waits();
+
+        Ok((
+            mesh,
+            NodeReport {
+                node: 0, // filled by node_extract
+                workers,
+                active_metacells: exec.records_emitted,
+                cells_visited: mc.cells_visited,
+                active_cells: mc.active_cells,
+                triangles: mc.triangles,
+                bytes_read: qstats.pushed_bytes,
+                amc_retrieval,
+                triangulation: extraction_wall,
+                extraction_wall,
+                retrieval_busy: amc_retrieval.saturating_sub(waits.push_wait),
+                triangulation_busy,
+                peak_queue_records: qstats.peak_items,
+                peak_queue_bytes: qstats.peak_bytes,
+                exec,
+                rendering: Duration::ZERO,
+                io: Default::default(), // filled by node_extract
+            },
+        ))
+    }
+
+    /// The phase-serial reference path: buffer the whole record batch, then
+    /// split it into contiguous per-worker chunks that merge in order.
+    fn node_extract_batch(
+        &self,
+        plan: &QueryPlan,
+        store: &RecordStore,
         iso: f32,
         workers: usize,
     ) -> io::Result<(IndexedMesh, NodeReport)> {
-        // Phase 1: AMC retrieval — stream all active metacell records into
-        // memory (the paper's metric (i)).
-        let io_before = store.device().io_snapshot();
-        let t0 = Instant::now();
-        let plan = tree.plan(key);
+        // Phase 1: AMC retrieval — the entire active set is staged in memory
+        // (which is what `peak_queue_*` report for this mode).
+        let t_pipeline = Instant::now();
         let mut records: Vec<Vec<u8>> = Vec::new();
-        execute_plan(&plan, store, &self.format, |_id, bytes| {
+        let exec = execute_plan(plan, store, &self.format, |_id, bytes| {
             records.push(bytes.to_vec())
         })?;
-        let amc_retrieval = t0.elapsed();
-        let io = store.device().io_snapshot().since(&io_before);
+        let amc_retrieval = t_pipeline.elapsed();
         let bytes_read: u64 = records.iter().map(|r| r.len() as u64).sum();
 
-        // Phase 2: triangulation (metric (ii)) — the batch is split into
-        // contiguous per-worker chunks; each worker reuses one decode buffer
-        // and one slab scratch across all its records and appends into its
-        // own mesh. Worker meshes merge in order at the end, so the output
-        // is deterministic regardless of scheduling.
+        // Phase 2: triangulation across contiguous chunks. chunks(per) can
+        // yield fewer chunks than requested (e.g. 10 records across 8 workers
+        // → 5 chunks of 2); report the count actually spawned.
         let t1 = Instant::now();
         let workers = workers.clamp(1, records.len().max(1));
-        // chunks(per) can yield fewer chunks than requested (e.g. 10 records
-        // across 8 workers → 5 chunks of 2); report the count actually spawned
         let per = records.len().max(1).div_ceil(workers);
         let workers = records.len().max(1).div_ceil(per);
-        let (mesh, mc) = if workers <= 1 {
-            self.triangulate_batch(&records, iso)
+        let (mesh, mc, triangulation_busy) = if workers <= 1 {
+            let (mesh, mc) = self.triangulate_batch(&records, iso);
+            (mesh, mc, t1.elapsed())
         } else {
-            let parts: Vec<(IndexedMesh, McStats)> = std::thread::scope(|scope| {
+            let parts: Vec<(IndexedMesh, McStats, Duration)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = records
                     .chunks(per)
-                    .map(|chunk| scope.spawn(move || self.triangulate_batch(chunk, iso)))
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let t = Instant::now();
+                            let (mesh, mc) = self.triangulate_batch(chunk, iso);
+                            (mesh, mc, t.elapsed())
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -396,20 +650,22 @@ impl<S: ScalarValue> Cluster<S> {
                     .collect()
             });
             let mut mc = McStats::default();
-            let total: usize = parts.iter().map(|(m, _)| m.len()).sum();
+            let mut busy = Duration::ZERO;
+            let total: usize = parts.iter().map(|(m, _, _)| m.len()).sum();
             let mut mesh = IndexedMesh::with_capacity(total);
-            for (part, stats) in parts {
+            for (part, stats, dt) in parts {
                 mc.merge(&stats);
+                busy += dt;
                 mesh.merge(part);
             }
-            (mesh, mc)
+            (mesh, mc, busy)
         };
         let triangulation = t1.elapsed();
 
         Ok((
             mesh,
             NodeReport {
-                node,
+                node: 0, // filled by node_extract
                 workers,
                 active_metacells: records.len() as u64,
                 cells_visited: mc.cells_visited,
@@ -418,10 +674,43 @@ impl<S: ScalarValue> Cluster<S> {
                 bytes_read,
                 amc_retrieval,
                 triangulation,
+                extraction_wall: t_pipeline.elapsed(),
+                retrieval_busy: amc_retrieval,
+                triangulation_busy,
+                peak_queue_records: records.len() as u64,
+                peak_queue_bytes: bytes_read,
+                exec,
                 rendering: Duration::ZERO,
-                io,
+                io: Default::default(), // filled by node_extract
             },
         ))
+    }
+
+    /// Triangulate one encoded record into `mesh`, reusing the caller's
+    /// decode buffer and slab scratch.
+    fn triangulate_record(
+        &self,
+        rec: &[u8],
+        iso: f32,
+        mesh: &mut IndexedMesh,
+        scratch: &mut SlabScratch,
+        scalars: &mut Vec<S>,
+    ) -> McStats {
+        let (id, _vmin, used) =
+            MetacellRecord::<S>::decode_scalars_into(rec, &self.layout, scalars);
+        debug_assert_eq!(used, rec.len());
+        let ((x0, y0, z0), _) = self.layout.vertex_box(id);
+        let local = Volume::from_vec(self.layout.cell_dims(id), std::mem::take(scalars));
+        let stats = marching_cubes_indexed(
+            &local,
+            iso,
+            Vec3::new(x0 as f32, y0 as f32, z0 as f32),
+            Vec3::new(1.0, 1.0, 1.0),
+            mesh,
+            scratch,
+        );
+        *scalars = local.into_vec();
+        stats
     }
 
     /// Triangulate one contiguous batch of encoded records into one mesh,
@@ -432,23 +721,18 @@ impl<S: ScalarValue> Cluster<S> {
         let mut scratch = SlabScratch::new();
         let mut scalars: Vec<S> = Vec::new();
         for rec in records {
-            let (id, _vmin, used) =
-                MetacellRecord::<S>::decode_scalars_into(rec, &self.layout, &mut scalars);
-            debug_assert_eq!(used, rec.len());
-            let ((x0, y0, z0), _) = self.layout.vertex_box(id);
-            let local = Volume::from_vec(self.layout.cell_dims(id), std::mem::take(&mut scalars));
-            let stats = marching_cubes_indexed(
-                &local,
-                iso,
-                Vec3::new(x0 as f32, y0 as f32, z0 as f32),
-                Vec3::new(1.0, 1.0, 1.0),
-                &mut mesh,
-                &mut scratch,
-            );
-            scalars = local.into_vec();
+            let stats = self.triangulate_record(rec, iso, &mut mesh, &mut scratch, &mut scalars);
             mc.merge(&stats);
         }
         (mesh, mc)
+    }
+
+    /// Swap one node's record store (I/O-modeling experiments: throttled or
+    /// instrumented devices). The replacement must serve byte-identical data
+    /// at the same offsets as the original store or queries will decode
+    /// garbage.
+    pub fn replace_store(&mut self, node: usize, store: RecordStore) {
+        self.stores[node] = store;
     }
 
     /// Extract, render locally on every node, and sort-last composite onto
@@ -559,6 +843,13 @@ mod tests {
         std::fs::remove_dir_all(&d4).ok();
     }
 
+    fn assert_same_triangle_stream(a: &TriangleSoup, b: &TriangleSoup, ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: triangle count");
+        for (x, y) in a.triangles().iter().zip(b.triangles()) {
+            assert_eq!(x, y, "{ctx}: triangle stream diverged");
+        }
+    }
+
     #[test]
     fn worker_count_does_not_change_output() {
         let vol = test_volume();
@@ -569,23 +860,129 @@ mod tests {
         let base_soup = base.merged_soup();
         assert!(!base_soup.is_empty());
         for workers in [2, 3, 8] {
+            // streaming (default mode): spawns exactly the requested pool
             let e = c.extract_with_workers(128.0, workers).unwrap();
-            // reported workers = chunks actually spawned, never the raw request
-            let amc = e.report.nodes[0].active_metacells as usize;
-            let expected = amc.div_ceil(amc.div_ceil(workers));
-            assert_eq!(e.report.nodes[0].workers, expected, "workers={workers}");
-            let soup = e.merged_soup();
-            assert_eq!(soup.len(), base_soup.len(), "workers={workers}");
-            // chunks preserve record order and merge in worker order, so the
-            // triangle stream is bit-identical, not just multiset-equal
-            for (a, b) in soup.triangles().iter().zip(base_soup.triangles()) {
-                assert_eq!(a, b, "workers={workers}");
-            }
-            assert_eq!(
-                e.report.total_triangles(),
-                base.report.total_triangles(),
-                "workers={workers}"
+            assert_eq!(e.report.nodes[0].workers, workers, "workers={workers}");
+            // per-record parts merged by sequence number → the triangle
+            // stream is bit-identical, not just multiset-equal
+            assert_same_triangle_stream(
+                &e.merged_soup(),
+                &base_soup,
+                &format!("streaming workers={workers}"),
             );
+            assert_eq!(e.report.total_triangles(), base.report.total_triangles());
+
+            // batch mode: reported workers = chunks actually spawned, never
+            // the raw request
+            let b = c
+                .extract_with_options(
+                    128.0,
+                    &ExtractOptions {
+                        workers: Some(workers),
+                        mode: ExtractMode::Batch,
+                    },
+                )
+                .unwrap();
+            let amc = b.report.nodes[0].active_metacells as usize;
+            let expected = amc.div_ceil(amc.div_ceil(workers));
+            assert_eq!(
+                b.report.nodes[0].workers, expected,
+                "batch workers={workers}"
+            );
+            assert_same_triangle_stream(
+                &b.merged_soup(),
+                &base_soup,
+                &format!("batch workers={workers}"),
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queue_bound_does_not_change_output_and_caps_memory() {
+        let vol = test_volume();
+        let dir = tmpdir("bounds");
+        let (c, _) = Cluster::build(&vol, &dir, 1, &ClusterBuildOptions::default()).unwrap();
+        let base = c
+            .extract_with_options(
+                128.0,
+                &ExtractOptions {
+                    workers: Some(1),
+                    mode: ExtractMode::Batch,
+                },
+            )
+            .unwrap();
+        let base_soup = base.merged_soup();
+        for bound in [1usize, 4, usize::MAX] {
+            for workers in [1usize, 3] {
+                let e = c
+                    .extract_with_options(
+                        128.0,
+                        &ExtractOptions {
+                            workers: Some(workers),
+                            mode: ExtractMode::Streaming {
+                                queue_records: bound,
+                            },
+                        },
+                    )
+                    .unwrap();
+                assert_same_triangle_stream(
+                    &e.merged_soup(),
+                    &base_soup,
+                    &format!("bound={bound} workers={workers}"),
+                );
+                let n = &e.report.nodes[0];
+                if bound != usize::MAX {
+                    assert!(
+                        n.peak_queue_records <= bound as u64,
+                        "bound={bound}: peak {} records",
+                        n.peak_queue_records
+                    );
+                }
+                assert!(n.peak_queue_bytes > 0);
+                assert!(n.bytes_read >= n.peak_queue_bytes);
+                assert_eq!(n.exec.records_emitted, n.active_metacells);
+                assert!(n.exec.bulk_actions + n.exec.prefix_actions > 0);
+            }
+        }
+        // the batch path reports the whole staged active set as its peak
+        assert_eq!(
+            base.report.nodes[0].peak_queue_bytes,
+            base.report.nodes[0].bytes_read
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_active_isovalue_reports_zero_workers() {
+        // test_volume's sphere field peaks at level + slope·radius = 192, so
+        // iso 250 cannot activate any metacell
+        let vol = test_volume();
+        let dir = tmpdir("empty_iso");
+        let (c, _) = Cluster::build(&vol, &dir, 2, &ClusterBuildOptions::default()).unwrap();
+        for mode in [ExtractMode::default(), ExtractMode::Batch] {
+            let e = c
+                .extract_with_options(
+                    250.0,
+                    &ExtractOptions {
+                        workers: Some(4),
+                        mode,
+                    },
+                )
+                .unwrap();
+            assert!(e.merged_soup().is_empty(), "{mode:?}");
+            assert_eq!(e.report.total_triangles(), 0);
+            assert_eq!(e.report.total_active_metacells(), 0);
+            for n in &e.report.nodes {
+                assert_eq!(n.workers, 0, "{mode:?}: empty node must spawn no pool");
+                assert_eq!(n.bytes_read, 0);
+                assert_eq!(n.io.read_calls, 0, "{mode:?}: empty plan reads nothing");
+                assert_eq!(n.peak_queue_records, 0);
+            }
+            // merged report stays usable downstream
+            let (mesh, report) = e.into_merged();
+            assert!(mesh.is_empty());
+            assert_eq!(report.total_triangles(), 0);
         }
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -613,6 +1010,173 @@ mod tests {
             assert!(m.num_vertices() < 3 * m.len(), "no dedup in node mesh");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Rebuild a node store over a throttled in-memory copy of its bricks:
+    /// reads sleep like a slow disk while the CPU stays free, exactly the
+    /// regime the streaming pipeline exists for.
+    fn throttled_store(
+        dir: &Path,
+        node: usize,
+        latency: Duration,
+        bytes_per_sec: f64,
+    ) -> RecordStore {
+        let bytes = std::fs::read(DiskFarm::new(dir, node + 1).store_path(node)).unwrap();
+        RecordStore::from_device(Box::new(oociso_exio::ThrottledDevice::new(
+            oociso_exio::MemDevice::new(bytes),
+            latency,
+            bytes_per_sec,
+        )))
+    }
+
+    #[test]
+    fn streaming_overlaps_retrieval_with_triangulation() {
+        // A dense gyroid keeps triangulation busy; the throttled device makes
+        // retrieval take real wall-clock. Phase-serially (batch mode) the two
+        // costs add; the pipeline must hide most of the shorter phase.
+        use oociso_volume::field::GyroidField;
+        let vol: Volume<u8> = GyroidField {
+            cells: 3.0,
+            level: 128.0,
+            amplitude: 70.0,
+        }
+        .sample(Dims3::cube(65));
+        let dir = tmpdir("throttle");
+        let (mut c, _) = Cluster::build(&vol, &dir, 1, &ClusterBuildOptions::default()).unwrap();
+        let plain = c.extract_with_workers(128.0, 1).unwrap();
+        let throttle = || throttled_store(&dir, 0, Duration::from_millis(2), 2_000_000.0);
+
+        c.replace_store(0, throttle());
+        let batch = c
+            .extract_with_options(
+                128.0,
+                &ExtractOptions {
+                    workers: Some(1),
+                    mode: ExtractMode::Batch,
+                },
+            )
+            .unwrap();
+
+        // Queue bound must cover one 32 KB read-chunk's burst of records
+        // (~45 u8 metacells), or the producer blocks mid-burst and the
+        // single-core overlap window shrinks to the bound.
+        c.replace_store(0, throttle()); // fresh device, fresh I/O counters
+        let streamed = c
+            .extract_with_options(
+                128.0,
+                &ExtractOptions {
+                    workers: Some(1),
+                    mode: ExtractMode::Streaming { queue_records: 64 },
+                },
+            )
+            .unwrap();
+
+        // throttling must not change the geometry
+        assert_same_triangle_stream(&streamed.merged_soup(), &plain.merged_soup(), "throttled");
+        assert_same_triangle_stream(&batch.merged_soup(), &plain.merged_soup(), "batch");
+
+        let nb = &batch.report.nodes[0];
+        let ns = &streamed.report.nodes[0];
+        let serial = nb.amc_retrieval + nb.triangulation;
+        let shorter = nb.amc_retrieval.min(nb.triangulation);
+        assert!(
+            shorter > Duration::from_millis(20),
+            "phases too short to measure overlap: retrieval {:?}, triangulation {:?}",
+            nb.amc_retrieval,
+            nb.triangulation
+        );
+        // the pipeline must beat phase-serial execution by a real margin —
+        // at least a third of the shorter phase hidden (generous to absorb
+        // scheduler noise; ideal overlap hides all of it)
+        assert!(
+            ns.extraction_wall + shorter / 3 < serial,
+            "no overlap: streamed wall {:?} vs phase-serial {:?} (retrieval {:?} + triangulation {:?})",
+            ns.extraction_wall,
+            serial,
+            nb.amc_retrieval,
+            nb.triangulation
+        );
+        assert!(
+            ns.overlap_saved() > Duration::ZERO,
+            "report must show saved wall-clock: {ns:?}"
+        );
+        assert!(ns.overlap_fraction() > 0.0);
+        // bounded staging: the queue held at most its bound, far below the
+        // batch path's whole-active-set staging
+        assert!(ns.peak_queue_records <= 64);
+        assert!(ns.peak_queue_bytes < nb.peak_queue_bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_read_failure_is_err_not_deadlock() {
+        // Truncate the store: plan execution hits EOF mid-stream. The
+        // pipeline must close the queue, reap its workers, and surface Err.
+        let vol = test_volume();
+        let dir = tmpdir("trunc");
+        let (mut c, _) = Cluster::build(&vol, &dir, 1, &ClusterBuildOptions::default()).unwrap();
+        // keep only a sliver: any planned read must run past EOF
+        let full = std::fs::read(DiskFarm::new(&dir, 1).store_path(0)).unwrap();
+        let sliver = full[..4].to_vec();
+        c.replace_store(0, RecordStore::in_memory(sliver));
+        for mode in [ExtractMode::default(), ExtractMode::Batch] {
+            let err = c
+                .extract_with_options(
+                    128.0,
+                    &ExtractOptions {
+                        workers: Some(3),
+                        mode,
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{mode:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_write_failure_surfaces_as_err() {
+        // A sink that admits a few records then reports a full disk: pass 2
+        // must abort with Err instead of panicking mid-stream.
+        struct FullDisk {
+            writes: std::cell::Cell<usize>,
+        }
+        impl oociso_exio::WriteAt for FullDisk {
+            fn write_all_at(&self, _buf: &[u8], _offset: u64) -> io::Result<()> {
+                let n = self.writes.get() + 1;
+                self.writes.set(n);
+                if n > 2 {
+                    Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+
+        let vol = test_volume();
+        let vol_path = tmpdir("fullvol.vol");
+        oociso_volume::io::write_volume(&vol_path, &vol).unwrap();
+        let layout = MetacellLayout::new(vol.dims(), 9);
+        let (built, _) = scan_volume(&vol, &layout);
+        let intervals: Vec<MetacellInterval> = built.iter().map(|b| b.interval).collect();
+        assert!(intervals.len() > 3, "need enough records to pass the fuse");
+        let placement: Vec<(usize, u64)> = intervals
+            .iter()
+            .scan(0u64, |cursor, iv| {
+                let off = *cursor;
+                *cursor += layout.record_len(iv.id, 1) as u64;
+                Some((0usize, off))
+            })
+            .collect();
+        let disk = FullDisk {
+            writes: std::cell::Cell::new(0),
+        };
+        let sinks: Vec<&dyn oociso_exio::WriteAt> = vec![&disk];
+        let err = write_records_pass::<u8>(&vol_path, 9, &intervals, &placement, &sinks)
+            .expect_err("full disk must fail the pass");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(disk.writes.get(), 3, "pass must stop at the failing write");
+        std::fs::remove_file(&vol_path).ok();
     }
 
     #[test]
@@ -710,7 +1274,11 @@ mod tests {
             assert!(n.io.read_calls > 0);
             assert!(n.cells_visited >= n.active_cells);
             assert!(n.triangles > 0);
+            assert!(n.extraction_wall > Duration::ZERO);
         }
+        let exec = e.report.total_exec();
+        assert_eq!(exec.records_emitted, e.report.total_active_metacells());
+        assert!(exec.bulk_actions + exec.prefix_actions > 0);
         assert!(e.report.total_wall > Duration::ZERO);
         std::fs::remove_dir_all(&dir).ok();
     }

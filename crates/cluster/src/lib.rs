@@ -9,7 +9,9 @@
 //! This crate reproduces that architecture with OS threads as nodes:
 //!
 //! * [`cluster::Cluster`] — build (stripe + index per node), open, and query;
-//!   each node runs in its own thread against its own store file.
+//!   each node runs in its own thread against its own store file, streaming
+//!   records through a bounded queue into its triangulation workers so the
+//!   paper's phases (i) and (ii) overlap ([`cluster::ExtractMode`]).
 //! * [`timing`] — per-node, per-phase reports: Active MetaCell (AMC) retrieval
 //!   I/O, triangulation, rendering — the three metrics of Tables 2–5.
 //! * [`model`] — the simulated-time composition: measured CPU phases combined
@@ -24,6 +26,9 @@ pub mod meta;
 pub mod model;
 pub mod timing;
 
-pub use cluster::{Cluster, ClusterBuildOptions, ClusterExtraction};
+pub use cluster::{
+    Cluster, ClusterBuildOptions, ClusterExtraction, ExtractMode, ExtractOptions,
+    DEFAULT_QUEUE_RECORDS,
+};
 pub use model::SimulatedTimeModel;
 pub use timing::{NodeReport, QueryReport};

@@ -1,16 +1,19 @@
 //! Per-phase timing reports.
 
 use oociso_exio::IoSnapshot;
+use oociso_itree::plan::ExecStats;
 use std::time::Duration;
 
 /// One node's measurements for one isosurface query — the row format of the
 /// paper's Tables 2–5 (AMC retrieval, triangulation, rendering) plus I/O
-/// counters for the modeled times.
+/// counters for the modeled times and, for the streaming pipeline, overlap
+/// metrics showing how much of phase (i) hid behind phase (ii).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NodeReport {
     /// Node index.
     pub node: usize,
-    /// Intra-node triangulation workers used for this query.
+    /// Intra-node triangulation workers actually spawned for this query
+    /// (0 when the plan was empty and the pool never started).
     pub workers: usize,
     /// Active metacells this node retrieved.
     pub active_metacells: u64,
@@ -22,10 +25,35 @@ pub struct NodeReport {
     pub triangles: u64,
     /// Bytes of metacell records read.
     pub bytes_read: u64,
-    /// Measured wall-clock time retrieving active metacells from disk.
+    /// Measured wall-clock of AMC retrieval (the paper's metric (i)): time
+    /// until the plan finished executing. Under the streaming pipeline this
+    /// includes time blocked on queue backpressure and runs concurrently with
+    /// triangulation.
     pub amc_retrieval: Duration,
-    /// Measured wall-clock time generating triangles.
+    /// Measured wall-clock of triangle generation (metric (ii)): under the
+    /// streaming pipeline, from pipeline start until the last worker mesh is
+    /// merged (overlapping `amc_retrieval`); under the batch path, the
+    /// phase-serial triangulation time.
     pub triangulation: Duration,
+    /// Measured wall-clock of the whole extraction pipeline (retrieval and
+    /// triangulation, overlapped). For the batch path this is the serial sum
+    /// of the two phases.
+    pub extraction_wall: Duration,
+    /// Producer time actually retrieving/decoding records — `amc_retrieval`
+    /// minus time blocked pushing into a full queue.
+    pub retrieval_busy: Duration,
+    /// Summed worker time spent triangulating (CPU-busy, so with `w` workers
+    /// this can exceed `extraction_wall` by up to `w×`).
+    pub triangulation_busy: Duration,
+    /// High-water mark of records queued between the phases. The batch path
+    /// reports the whole staged active set (its true high-water mark).
+    pub peak_queue_records: u64,
+    /// High-water mark of record bytes queued between the phases — the
+    /// pipeline's actual staging memory, vs. the whole active set for the
+    /// batch path.
+    pub peak_queue_bytes: u64,
+    /// Plan-execution counters (bulk/prefix actions, rejected records).
+    pub exec: ExecStats,
     /// Measured wall-clock time rasterizing locally (zero if not rendering).
     pub rendering: Duration,
     /// I/O counters for this node's reads during the query.
@@ -33,9 +61,43 @@ pub struct NodeReport {
 }
 
 impl NodeReport {
-    /// Measured total for this node.
+    /// Measured total for this node. Uses the overlapped pipeline wall when
+    /// one was recorded; otherwise (hand-built reports, older callers) falls
+    /// back to the phase-serial sum.
     pub fn wall_total(&self) -> Duration {
-        self.amc_retrieval + self.triangulation + self.rendering
+        if self.extraction_wall > Duration::ZERO {
+            self.extraction_wall + self.rendering
+        } else {
+            self.amc_retrieval + self.triangulation + self.rendering
+        }
+    }
+
+    /// Per-worker triangulation time (`triangulation_busy / workers`): the
+    /// wall-clock phase (ii) would take alone, so the overlap metrics below
+    /// measure *pipelining* and don't credit plain multi-worker parallelism
+    /// (which `triangulation_busy`, a CPU-time sum, would inflate `workers`×).
+    fn triangulation_phase(&self) -> Duration {
+        self.triangulation_busy / self.workers.max(1) as u32
+    }
+
+    /// Wall-clock the pipeline saved versus running its phases back-to-back:
+    /// `(retrieval_busy + triangulation_busy/workers) − extraction_wall`
+    /// (≈ zero when nothing overlapped, e.g. the batch path).
+    pub fn overlap_saved(&self) -> Duration {
+        (self.retrieval_busy + self.triangulation_phase()).saturating_sub(self.extraction_wall)
+    }
+
+    /// Fraction of the shorter phase hidden by the pipeline: 0 = fully
+    /// serial, 1 = completely overlapped (clamped).
+    pub fn overlap_fraction(&self) -> f64 {
+        let shorter = self
+            .retrieval_busy
+            .min(self.triangulation_phase())
+            .as_secs_f64();
+        if shorter <= 0.0 {
+            return 0.0;
+        }
+        (self.overlap_saved().as_secs_f64() / shorter).min(1.0)
     }
 }
 
@@ -97,6 +159,32 @@ impl QueryReport {
     /// Max/mean imbalance of triangles (Table 7's balance statistic).
     pub fn triangle_imbalance(&self) -> f64 {
         imbalance(self.nodes.iter().map(|n| n.triangles))
+    }
+
+    /// Largest per-node staging high-water mark: the most record bytes any
+    /// node held queued between retrieval and triangulation. For the
+    /// streaming pipeline this is the actual peak extraction memory per node
+    /// (bounded by the queue), not the whole active set.
+    pub fn max_peak_queue_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.peak_queue_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Wall-clock the pipeline saved versus phase-serial execution, summed
+    /// across nodes (see [`NodeReport::overlap_saved`]).
+    pub fn total_overlap_saved(&self) -> Duration {
+        self.nodes.iter().map(NodeReport::overlap_saved).sum()
+    }
+
+    /// Plan-execution counters summed across nodes (total bulk/prefix
+    /// actions and rejected records of the whole query).
+    pub fn total_exec(&self) -> ExecStats {
+        self.nodes
+            .iter()
+            .fold(ExecStats::default(), |acc, n| acc.merged(&n.exec))
     }
 }
 
@@ -166,5 +254,51 @@ mod tests {
         assert_eq!(r.mtris_per_sec(), 0.0);
         assert_eq!(r.bottleneck_wall(), Duration::ZERO);
         assert_eq!(r.metacell_imbalance(), 1.0);
+        assert_eq!(r.max_peak_queue_bytes(), 0);
+        assert_eq!(r.total_overlap_saved(), Duration::ZERO);
+    }
+
+    #[test]
+    fn overlap_metrics() {
+        // 100 ms retrieval + 60 ms triangulation overlapped into 110 ms wall:
+        // 50 ms hidden = 5/6 of the shorter phase.
+        let n = NodeReport {
+            amc_retrieval: Duration::from_millis(100),
+            triangulation: Duration::from_millis(110),
+            extraction_wall: Duration::from_millis(110),
+            retrieval_busy: Duration::from_millis(100),
+            triangulation_busy: Duration::from_millis(60),
+            rendering: Duration::from_millis(7),
+            ..Default::default()
+        };
+        assert_eq!(n.wall_total(), Duration::from_millis(117));
+        assert_eq!(n.overlap_saved(), Duration::from_millis(50));
+        assert!((n.overlap_fraction() - 50.0 / 60.0).abs() < 1e-9);
+
+        // fully serial: nothing hidden
+        let serial = NodeReport {
+            extraction_wall: Duration::from_millis(160),
+            retrieval_busy: Duration::from_millis(100),
+            triangulation_busy: Duration::from_millis(60),
+            ..Default::default()
+        };
+        assert_eq!(serial.overlap_saved(), Duration::ZERO);
+        assert_eq!(serial.overlap_fraction(), 0.0);
+
+        // batch path, 4 workers: triangulation_busy is a CPU-time sum (~4×
+        // the phase wall); plain parallelism must not read as overlap
+        let batch = NodeReport {
+            workers: 4,
+            extraction_wall: Duration::from_millis(160), // 100 retrieval + 60 tri wall
+            retrieval_busy: Duration::from_millis(100),
+            triangulation_busy: Duration::from_millis(220), // 4 workers ≈ 55 ms each
+            ..Default::default()
+        };
+        assert_eq!(batch.overlap_saved(), Duration::ZERO);
+        assert_eq!(batch.overlap_fraction(), 0.0);
+
+        // no extraction_wall recorded → wall_total falls back to phase sums
+        let legacy = node(0, 1, 1, (10, 20, 5));
+        assert_eq!(legacy.wall_total(), Duration::from_millis(35));
     }
 }

@@ -89,9 +89,22 @@ impl<S: ScalarValue> ClusterDatabase<S> {
     }
 
     /// Extract the isosurface at `iso` (parallel across nodes), returning the
-    /// merged mesh and the full report.
+    /// merged mesh and the full report. Each node streams records from disk
+    /// into its triangulation workers through a bounded queue, so retrieval
+    /// and triangulation overlap (see [`NodeReport`]'s overlap metrics).
     pub fn extract(&self, iso: f32) -> io::Result<ExtractResult> {
-        let e = self.cluster.extract(iso)?;
+        self.extract_with_options(iso, &oociso_cluster::ExtractOptions::default())
+    }
+
+    /// [`ClusterDatabase::extract`] with explicit worker-count and
+    /// record-flow control (streaming queue bound, or the phase-serial batch
+    /// reference path).
+    pub fn extract_with_options(
+        &self,
+        iso: f32,
+        opts: &oociso_cluster::ExtractOptions,
+    ) -> io::Result<ExtractResult> {
+        let e = self.cluster.extract_with_options(iso, opts)?;
         let (mesh, report) = e.into_merged();
         Ok(ExtractResult { mesh, report })
     }
@@ -277,6 +290,47 @@ mod tests {
         let _ = ClusterDatabase::preprocess(&v, &d, &opts).unwrap();
         assert!(IsoDatabase::<u8>::open(&d, false).is_err());
         assert!(ClusterDatabase::<u8>::open(&d, false).is_ok());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn extraction_modes_agree_and_empty_iso_is_sane() {
+        use oociso_cluster::{ExtractMode, ExtractOptions};
+        let v = vol();
+        let d = tmpdir("modes");
+        let db = ClusterDatabase::preprocess(
+            &v,
+            &d,
+            &PreprocessOptions {
+                nodes: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let streaming = db.extract(120.0).unwrap();
+        let batch = db
+            .extract_with_options(
+                120.0,
+                &ExtractOptions {
+                    workers: Some(2),
+                    mode: ExtractMode::Batch,
+                },
+            )
+            .unwrap();
+        assert_eq!(streaming.mesh.positions(), batch.mesh.positions());
+        assert_eq!(streaming.mesh.indices(), batch.mesh.indices());
+        for n in &streaming.report.nodes {
+            assert!(n.workers > 0);
+            assert_eq!(n.exec.records_emitted, n.active_metacells);
+        }
+
+        // the sphere field peaks at level + slope·radius = 180 → no surface
+        let empty = db.extract(250.0).unwrap();
+        assert!(empty.mesh.is_empty());
+        assert_eq!(empty.report.total_triangles(), 0);
+        for n in &empty.report.nodes {
+            assert_eq!(n.workers, 0, "empty extraction must not spawn workers");
+        }
         std::fs::remove_dir_all(&d).ok();
     }
 

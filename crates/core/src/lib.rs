@@ -28,5 +28,7 @@ pub mod db;
 pub mod tv;
 
 pub use db::{ClusterDatabase, ExtractResult, IsoDatabase, PreprocessOptions};
-pub use oociso_cluster::{NodeReport, QueryReport, SimulatedTimeModel};
+pub use oociso_cluster::{
+    ExtractMode, ExtractOptions, NodeReport, QueryReport, SimulatedTimeModel,
+};
 pub use tv::TimeVaryingDatabase;

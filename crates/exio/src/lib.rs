@@ -16,17 +16,29 @@
 //!   layout beneath the compact interval tree's bricks.
 //! * **Disk farms** — [`farm::DiskFarm`]: `p` independent stores standing in
 //!   for the per-node local disks of the cluster.
+//! * **Pipelining** — [`queue::BoundedQueue`]: the bounded, byte-accounted
+//!   channel the streaming extraction pipeline uses to overlap AMC retrieval
+//!   with triangulation, and [`throttle::ThrottledDevice`] to make that
+//!   overlap measurable on page-cache-speed storage.
+//! * **Positioned writes** — [`write_at::WriteAt`]: the portable write-side
+//!   abstraction beneath out-of-core preprocessing.
 
 pub mod block;
 pub mod cost;
 pub mod device;
 pub mod farm;
+pub mod queue;
 pub mod stats;
 pub mod store;
+pub mod throttle;
+pub mod write_at;
 
 pub use block::{blocks_spanned, DEFAULT_BLOCK_BYTES};
 pub use cost::IoCostModel;
 pub use device::{BlockDevice, FileDevice, MemDevice};
 pub use farm::DiskFarm;
+pub use queue::{BoundedQueue, QueueStats, QueueWaits};
 pub use stats::{IoSnapshot, IoStats};
 pub use store::{RecordStore, RecordStoreWriter, Span};
+pub use throttle::ThrottledDevice;
+pub use write_at::WriteAt;

@@ -1,0 +1,245 @@
+//! Bounded producer/consumer queue with byte accounting.
+//!
+//! The streaming extraction pipeline pushes decoded metacell records from the
+//! AMC-retrieval thread into a pool of triangulation workers. The queue is
+//! deliberately small: its bound is what caps peak memory (the out-of-core
+//! promise) and what forces disk and cores to overlap instead of letting the
+//! producer buffer the whole active set. Every push is accounted in items and
+//! bytes so reports can state the true high-water mark, and blocked time is
+//! tracked on both sides so overlap efficiency is measurable.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Accounting snapshot of a [`BoundedQueue`]'s lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items pushed over the queue's lifetime.
+    pub pushed_items: u64,
+    /// Payload bytes pushed over the queue's lifetime.
+    pub pushed_bytes: u64,
+    /// Most items ever queued at once.
+    pub peak_items: u64,
+    /// Most payload bytes ever queued at once.
+    pub peak_bytes: u64,
+}
+
+/// Wait-time totals, tracked separately from [`QueueStats`] so they can keep
+/// accumulating while consumers still hold items.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueWaits {
+    /// Total time producers spent blocked on a full queue (backpressure).
+    pub push_wait: Duration,
+    /// Total time consumers spent blocked on an empty queue, summed across
+    /// consumers (includes the final wait for close).
+    pub pop_wait: Duration,
+}
+
+struct Inner<T> {
+    items: VecDeque<(T, u64)>,
+    bytes: u64,
+    closed: bool,
+    stats: QueueStats,
+    waits: QueueWaits,
+}
+
+/// A blocking MPMC queue bounded by item count, with byte accounting.
+///
+/// Producers [`push`](BoundedQueue::push) until [`close`](BoundedQueue::close);
+/// consumers [`pop`](BoundedQueue::pop) until it returns `None` (queue drained
+/// *and* closed). Use `usize::MAX` as the capacity for an effectively
+/// unbounded queue (accounting still applies).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Queue holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                bytes: 0,
+                closed: false,
+                stats: QueueStats::default(),
+                waits: QueueWaits::default(),
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Item capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Push an item carrying `bytes` of payload, blocking while the queue is
+    /// full. Returns the item back if the queue was closed.
+    pub fn push(&self, item: T, bytes: u64) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        while inner.items.len() >= self.capacity && !inner.closed {
+            let t = Instant::now();
+            inner = self.not_full.wait(inner).expect("queue poisoned");
+            inner.waits.push_wait += t.elapsed();
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back((item, bytes));
+        inner.bytes += bytes;
+        inner.stats.pushed_items += 1;
+        inner.stats.pushed_bytes += bytes;
+        inner.stats.peak_items = inner.stats.peak_items.max(inner.items.len() as u64);
+        inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.bytes);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pop the oldest item, blocking while the queue is empty and open.
+    /// Returns `None` once the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        while inner.items.is_empty() && !inner.closed {
+            let t = Instant::now();
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+            inner.waits.pop_wait += t.elapsed();
+        }
+        match inner.items.pop_front() {
+            Some((item, bytes)) => {
+                inner.bytes -= bytes;
+                drop(inner);
+                self.not_full.notify_one();
+                Some(item)
+            }
+            None => None, // closed and drained
+        }
+    }
+
+    /// Close the queue: no further pushes succeed; consumers drain what is
+    /// left and then observe `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Lifetime accounting (push totals and high-water marks).
+    pub fn stats(&self) -> QueueStats {
+        self.inner.lock().expect("queue poisoned").stats
+    }
+
+    /// Blocked-time totals on both sides.
+    pub fn waits(&self) -> QueueWaits {
+        self.inner.lock().expect("queue poisoned").waits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn fifo_order_and_accounting() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(16);
+        for i in 0..10u32 {
+            q.push(i, (i + 1) as u64).unwrap();
+        }
+        q.close();
+        for i in 0..10u32 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        let s = q.stats();
+        assert_eq!(s.pushed_items, 10);
+        assert_eq!(s.pushed_bytes, 55);
+        assert_eq!(s.peak_items, 10);
+        assert_eq!(s.peak_bytes, 55);
+    }
+
+    #[test]
+    fn capacity_bounds_peak() {
+        let q: BoundedQueue<usize> = BoundedQueue::new(3);
+        std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            });
+            for i in 0..50 {
+                q.push(i, 8).unwrap();
+            }
+            q.close();
+            let got = consumer.join().unwrap();
+            assert_eq!(got, (0..50).collect::<Vec<_>>());
+        });
+        let s = q.stats();
+        assert!(s.peak_items <= 3, "peak {} over capacity", s.peak_items);
+        assert!(s.peak_bytes <= 24);
+        assert_eq!(s.pushed_items, 50);
+    }
+
+    #[test]
+    fn push_after_close_returns_item() {
+        let q: BoundedQueue<&str> = BoundedQueue::new(2);
+        q.close();
+        assert_eq!(q.push("late", 4), Err("late"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_unblocks_full_producer() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(1);
+        q.push(1, 1).unwrap();
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| q.push(2, 1)); // blocks: queue full
+            std::thread::sleep(Duration::from_millis(20));
+            q.close();
+            assert_eq!(h.join().unwrap(), Err(2));
+        });
+        assert!(q.waits().push_wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn multiple_consumers_partition_items() {
+        let q: BoundedQueue<u64> = BoundedQueue::new(4);
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while let Some(v) = q.pop() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for i in 1..=100u64 {
+                q.push(i, 1).unwrap();
+            }
+            q.close();
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(7, 1).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(7));
+    }
+}

@@ -37,13 +37,27 @@ impl Span {
         self.end() == next.offset
     }
 
-    /// Union of two *abutting* spans.
+    /// Union of two *abutting* spans. Panics (release builds included) if the
+    /// spans do not abut — a silent join of disjoint spans would fabricate a
+    /// byte range covering unrelated records. Callers that may legitimately
+    /// see gaps use [`Span::try_join`] and handle `None`.
     pub fn join(&self, next: &Span) -> Span {
-        debug_assert!(self.abuts(next));
+        assert!(
+            self.abuts(next),
+            "Span::join on non-abutting spans: {self:?} then {next:?}"
+        );
         Span {
             offset: self.offset,
             len: self.len + next.len,
         }
+    }
+
+    /// Union of two spans if they abut, `None` otherwise.
+    pub fn try_join(&self, next: &Span) -> Option<Span> {
+        self.abuts(next).then(|| Span {
+            offset: self.offset,
+            len: self.len + next.len,
+        })
     }
 }
 
@@ -165,8 +179,18 @@ mod tests {
         let b = Span { offset: 10, len: 5 };
         assert!(a.abuts(&b));
         assert_eq!(a.join(&b), Span { offset: 0, len: 15 });
+        assert_eq!(a.try_join(&b), Some(Span { offset: 0, len: 15 }));
         assert!(!b.abuts(&a));
+        assert_eq!(b.try_join(&a), None);
         assert_eq!(a.end(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-abutting")]
+    fn join_of_disjoint_spans_panics() {
+        let a = Span { offset: 0, len: 10 };
+        let gap = Span { offset: 12, len: 5 };
+        let _ = a.join(&gap);
     }
 
     #[test]

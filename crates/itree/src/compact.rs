@@ -242,20 +242,28 @@ impl CompactIntervalTree {
                 // Case 1: every interval here has vmin ≤ split ≤ iso, so a
                 // record is active iff its brick's vmax ≥ iso. Bricks are laid
                 // out in decreasing vmax: the active set is a contiguous
-                // prefix, read with one bulk transfer.
-                let mut bulk: Option<Span> = None;
-                let mut count = 0u32;
+                // prefix, normally read with one bulk transfer. The builder
+                // lays a node's bricks out contiguously; if an index ever
+                // carries a gap (hand-built or corrupted), the coalescer
+                // flushes and starts a new bulk action instead of joining
+                // non-abutting spans into a fabricated range.
+                let mut bulk: Option<(Span, u32)> = None;
                 for e in &node.entries {
                     if e.vmax_key < iso_key {
                         break;
                     }
-                    count += e.count;
                     bulk = Some(match bulk {
-                        None => e.span,
-                        Some(s) => s.join(&e.span),
+                        None => (e.span, e.count),
+                        Some((s, count)) => match s.try_join(&e.span) {
+                            Some(joined) => (joined, count + e.count),
+                            None => {
+                                actions.push(ReadAction::Bulk { span: s, count });
+                                (e.span, e.count)
+                            }
+                        },
                     });
                 }
-                if let Some(span) = bulk {
+                if let Some((span, count)) = bulk {
                     actions.push(ReadAction::Bulk { span, count });
                 }
                 cursor = node.right;
@@ -358,6 +366,62 @@ mod tests {
             mk(7, 0, 3),
             mk(8, 9, 9),
         ]
+    }
+
+    #[test]
+    fn plan_splits_bulk_at_non_abutting_entries() {
+        // Hand-build a tree whose node holds two bricks with a gap between
+        // their spans (a layout no healthy build produces, but a corrupt or
+        // foreign index could). The planner must emit two bulk actions rather
+        // than join the spans across the gap; execution then reads exactly the
+        // real records.
+        let rec = |id: u32, vmin: u32| TestFormat::encode(&mk(id, vmin, 50));
+        let (r0, r1) = (rec(10, 0), rec(11, 1));
+        let gap = vec![0xAAu8; 16]; // bytes no record owns
+        let mut store_bytes = r0.clone();
+        store_bytes.extend_from_slice(&gap);
+        let off1 = store_bytes.len() as u64;
+        store_bytes.extend_from_slice(&r1);
+        let e = |vmax_key, offset, len: usize| BrickEntry {
+            vmax_key,
+            min_vmin_key: 0,
+            span: Span {
+                offset,
+                len: len as u64,
+            },
+            count: 1,
+        };
+        let tree = CompactIntervalTree {
+            nodes: vec![CompactNode {
+                split_key: 5,
+                entries: vec![e(50, 0, r0.len()), e(40, off1, r1.len())],
+                left: None,
+                right: None,
+            }],
+            root: Some(0),
+            num_intervals: 2,
+            num_endpoints: 3,
+        };
+        let plan = tree.plan(10);
+        let bulks: Vec<_> = plan
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                ReadAction::Bulk { span, count } => Some((*span, *count)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            bulks.len(),
+            2,
+            "gap must split the bulk: {:?}",
+            plan.actions
+        );
+        assert_eq!(bulks[0].0.end(), r0.len() as u64);
+        assert_eq!(bulks[1].0.offset, off1);
+        let store = RecordStore::in_memory(store_bytes);
+        let ids = plan_active_ids(&plan, &store, &TestFormat).unwrap();
+        assert_eq!(ids, vec![10, 11]);
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! isovalue into a [`QueryPlan`]: a list of read actions along the root→leaf
 //! path. Execution then touches the store:
 //!
-//! * [`ReadAction::Bulk`] (Case 1) — one contiguous transfer covering a prefix
-//!   of a node's bricks; *every* record in the range is active, so the bytes
-//!   are consumed wholesale ("more effective bulk data movement").
+//! * [`ReadAction::Bulk`] (Case 1) — one contiguous range covering a prefix
+//!   of a node's bricks; *every* record in the range is active ("more
+//!   effective bulk data movement"). The range is read as one sequential run
+//!   of chunk-sized transfers with records emitted per chunk, so a span
+//!   covering a node's whole active set never stages in memory and consumers
+//!   can pipeline against the remaining transfer.
 //! * [`ReadAction::Prefix`] (Case 2) — stream a single brick from its start in
 //!   block-sized chunks, emitting records while `vmin ≤ λ`, stopping at the
 //!   first record with `vmin > λ`. Bricks whose smallest `vmin` exceeds `λ`
@@ -16,9 +19,15 @@ use crate::brick::{BrickEntry, RecordFormat};
 use oociso_exio::{RecordStore, Span};
 use std::io;
 
-/// Chunk size for Case 2 prefix streaming. Large enough to amortize per-call
-/// overhead, small enough that an early stop wastes little work.
-const PREFIX_CHUNK: u64 = 32 * 1024;
+/// Chunk size for streamed span reads (both cases). Large enough to amortize
+/// per-call overhead, small enough that records flow to the consumer while
+/// the rest of the span is still on disk — a Case 1 span can cover a node's
+/// whole active set, so records must be emitted per chunk, not per span, for
+/// peak memory to stay O(chunk) and for the extraction pipeline to overlap
+/// triangulation with the remaining transfer. Chunked reads are perfectly
+/// sequential, so the I/O model still prices the span as one seek plus
+/// full-bandwidth transfer.
+const STREAM_CHUNK: u64 = 32 * 1024;
 
 /// One I/O action of a query plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,7 +83,9 @@ impl QueryPlan {
     }
 }
 
-/// Execution counters.
+/// Execution counters. Filled in while the plan streams, so a caller's
+/// per-record callback can observe partial values mid-flight (the streaming
+/// extraction pipeline reports them alongside its overlap metrics).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Active records delivered to the callback.
@@ -83,10 +94,29 @@ pub struct ExecStats {
     pub bytes_read: u64,
     /// Records inspected but rejected (Case 2 stop records).
     pub records_rejected: u64,
+    /// Case 1 bulk transfers executed.
+    pub bulk_actions: u64,
+    /// Case 2 prefix scans executed.
+    pub prefix_actions: u64,
+}
+
+impl ExecStats {
+    /// Counter-wise sum (aggregating across plans or nodes).
+    pub fn merged(&self, other: &ExecStats) -> ExecStats {
+        ExecStats {
+            records_emitted: self.records_emitted + other.records_emitted,
+            bytes_read: self.bytes_read + other.bytes_read,
+            records_rejected: self.records_rejected + other.records_rejected,
+            bulk_actions: self.bulk_actions + other.bulk_actions,
+            prefix_actions: self.prefix_actions + other.prefix_actions,
+        }
+    }
 }
 
 /// Execute a plan against a record store, invoking `on_record(id, bytes)` for
-/// every active record (header included). Returns execution counters.
+/// every active record (header included) *as its chunk arrives* — callers can
+/// pipeline triangulation against the remaining I/O. Returns execution
+/// counters.
 pub fn execute_plan(
     plan: &QueryPlan,
     store: &RecordStore,
@@ -97,25 +127,16 @@ pub fn execute_plan(
     for action in &plan.actions {
         match action {
             ReadAction::Bulk { span, count } => {
-                let bytes = store.read_span(*span)?;
-                stats.bytes_read += span.len;
-                let mut at = 0usize;
-                let mut emitted = 0u32;
-                while at < bytes.len() {
-                    let (id, _vmin) = format.parse_header(&bytes[at..]);
-                    let len = format.record_len(id);
-                    on_record(id, &bytes[at..at + len]);
-                    emitted += 1;
-                    at += len;
-                }
-                debug_assert_eq!(at, bytes.len(), "bulk span must align to records");
+                stats.bulk_actions += 1;
+                let emitted =
+                    stream_span_records(*span, None, store, format, &mut on_record, &mut stats)?;
                 debug_assert_eq!(emitted, *count, "bulk count mismatch");
-                stats.records_emitted += emitted as u64;
             }
             ReadAction::Prefix { entry } => {
-                execute_prefix(
-                    entry,
-                    plan.iso_key,
+                stats.prefix_actions += 1;
+                stream_span_records(
+                    entry.span,
+                    Some(plan.iso_key),
                     store,
                     format,
                     &mut on_record,
@@ -127,26 +148,29 @@ pub fn execute_plan(
     Ok(stats)
 }
 
-/// Stream one brick front-to-back in chunks, stopping at `vmin > iso_key`.
-fn execute_prefix(
-    entry: &BrickEntry,
-    iso_key: u32,
+/// Stream one span front-to-back in [`STREAM_CHUNK`]-sized reads, emitting
+/// each complete record. With `stop_above = Some(iso_key)` this is Case 2's
+/// prefix scan: stop at the first record with `vmin > iso_key` (ascending
+/// vmin means nothing further can be active); with `None` it is Case 1's bulk
+/// transfer, where every record in the span is known active. Returns the
+/// emitted-record count.
+fn stream_span_records(
+    span: Span,
+    stop_above: Option<u32>,
     store: &RecordStore,
     format: &dyn RecordFormat,
     on_record: &mut impl FnMut(u32, &[u8]),
     stats: &mut ExecStats,
-) -> io::Result<()> {
-    let span = entry.span;
+) -> io::Result<u32> {
     let header = format.header_len();
-    let mut buf: Vec<u8> = Vec::with_capacity(PREFIX_CHUNK as usize);
-    let mut buf_start = span.offset; // store offset of buf[0]
+    let mut buf: Vec<u8> = Vec::with_capacity(STREAM_CHUNK as usize);
     let mut fetched_end = span.offset; // store offset just past the buffered data
     let mut at = 0usize; // cursor within buf
+    let mut emitted = 0u32;
 
     // Refill so that at least `need` bytes are available at `at`, bounded by
     // the span end. Returns available byte count at `at`.
     let ensure = |buf: &mut Vec<u8>,
-                  buf_start: &mut u64,
                   fetched_end: &mut u64,
                   at: &mut usize,
                   need: usize,
@@ -159,55 +183,49 @@ fn execute_prefix(
         // compact consumed prefix
         if *at > 0 {
             buf.drain(..*at);
-            *buf_start += *at as u64;
             *at = 0;
         }
         while buf.len() < need && *fetched_end < span.end() {
-            let take = PREFIX_CHUNK.min(span.end() - *fetched_end);
-            let chunk = store.read_span(Span {
-                offset: *fetched_end,
-                len: take,
-            })?;
+            let take = STREAM_CHUNK.min(span.end() - *fetched_end);
+            // read straight into the buffer's tail: no per-chunk allocation
+            // or second copy on the retrieval hot path
+            let old_len = buf.len();
+            buf.resize(old_len + take as usize, 0);
+            store.read_span_into(
+                Span {
+                    offset: *fetched_end,
+                    len: take,
+                },
+                &mut buf[old_len..],
+            )?;
             stats.bytes_read += take;
             *fetched_end += take;
-            buf.extend_from_slice(&chunk);
         }
         Ok(buf.len() - *at)
     };
 
     loop {
-        let have = ensure(
-            &mut buf,
-            &mut buf_start,
-            &mut fetched_end,
-            &mut at,
-            header,
-            stats,
-        )?;
+        let have = ensure(&mut buf, &mut fetched_end, &mut at, header, stats)?;
         if have == 0 {
-            break; // brick exhausted
+            break; // span exhausted
         }
         debug_assert!(have >= header, "truncated record header");
         let (id, vmin) = format.parse_header(&buf[at..]);
-        if vmin > iso_key {
-            stats.records_rejected += 1;
-            break; // ascending vmin: nothing further can be active
+        if let Some(iso_key) = stop_above {
+            if vmin > iso_key {
+                stats.records_rejected += 1;
+                break;
+            }
         }
         let len = format.record_len(id);
-        let have = ensure(
-            &mut buf,
-            &mut buf_start,
-            &mut fetched_end,
-            &mut at,
-            len,
-            stats,
-        )?;
+        let have = ensure(&mut buf, &mut fetched_end, &mut at, len, stats)?;
         debug_assert!(have >= len, "truncated record payload");
         on_record(id, &buf[at..at + len]);
         stats.records_emitted += 1;
+        emitted += 1;
         at += len;
     }
-    Ok(())
+    Ok(emitted)
 }
 
 /// Convenience: execute a plan and return the sorted active metacell IDs.

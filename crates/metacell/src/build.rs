@@ -125,10 +125,14 @@ pub fn scan_volume_par<S: ScalarValue>(
 /// Out-of-core scan over a raw volume file: z-slabs of `k` layers with one
 /// layer of overlap are streamed through `sink` one metacell at a time.
 /// Constant metacells are culled before reaching the sink. Returns stats.
+///
+/// The sink is fallible: a sink that writes records to disk (the second
+/// preprocessing pass) surfaces a full disk or closed file as `Err` from this
+/// function instead of having to panic mid-stream.
 pub fn scan_reader<S: ScalarValue>(
     reader: &mut RawVolumeReader<S>,
     k: usize,
-    mut sink: impl FnMut(BuiltMetacell<S>),
+    mut sink: impl FnMut(BuiltMetacell<S>) -> io::Result<()>,
 ) -> io::Result<PreprocessStats> {
     let dims = reader.dims();
     let layout = MetacellLayout::new(dims, k);
@@ -164,7 +168,7 @@ pub fn scan_reader<S: ScalarValue>(
                 } else {
                     stats.kept_bytes += record.encoded_len() as u64;
                     stats.kept_metacells += 1;
-                    sink(BuiltMetacell { interval, record });
+                    sink(BuiltMetacell { interval, record })?;
                 }
             }
         }
@@ -244,7 +248,11 @@ mod tests {
         write_volume(&p, &vol).unwrap();
         let mut reader = RawVolumeReader::<u8>::open(&p).unwrap();
         let mut got = Vec::new();
-        let rs = scan_reader(&mut reader, 9, |b| got.push(b)).unwrap();
+        let rs = scan_reader(&mut reader, 9, |b| {
+            got.push(b);
+            Ok(())
+        })
+        .unwrap();
         std::fs::remove_file(&p).ok();
 
         assert_eq!(es, rs);
@@ -254,6 +262,29 @@ mod tests {
             assert_eq!(a.interval, b.interval);
             assert_eq!(a.record, b.record);
         }
+    }
+
+    #[test]
+    fn scan_reader_propagates_sink_errors() {
+        let dims = Dims3::new(25, 17, 21);
+        let vol = sphere_volume(dims);
+        let mut p = std::env::temp_dir();
+        p.push(format!("oociso_build_err_{}.vol", std::process::id()));
+        write_volume(&p, &vol).unwrap();
+        let mut reader = RawVolumeReader::<u8>::open(&p).unwrap();
+        let mut calls = 0usize;
+        let err = scan_reader(&mut reader, 9, |_b| {
+            calls += 1;
+            if calls == 3 {
+                Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(calls, 3, "scan must stop at the failing sink call");
     }
 
     #[test]

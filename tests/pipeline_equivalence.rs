@@ -1,11 +1,15 @@
 //! Cross-crate integration: the out-of-core parallel pipeline must produce
 //! exactly the geometry a direct in-memory marching-cubes pass produces,
-//! for every node count.
+//! for every node count — and the streaming retrieval→triangulation
+//! pipeline must be *bit-identical* to the retained batch path for every
+//! worker count and queue bound.
 
+use oociso::cluster::{Cluster, ClusterBuildOptions, ExtractMode, ExtractOptions};
 use oociso::core::{ClusterDatabase, IsoDatabase, PreprocessOptions};
-use oociso::march::{marching_cubes, TriangleSoup, Vec3};
+use oociso::march::{marching_cubes, IndexedMesh, TriangleSoup, Vec3};
 use oociso::volume::field::{FieldExt, GyroidField, SphereField, TorusField};
 use oociso::volume::{Dims3, RmProxy, Volume};
+use proptest::prelude::*;
 use std::path::PathBuf;
 
 fn tmpdir(name: &str) -> PathBuf {
@@ -148,4 +152,81 @@ fn watertight_through_the_full_pipeline() {
     let bad = edges.values().filter(|&&c| c != 2).count();
     assert_eq!(bad, 0, "{bad} non-manifold edges of {}", edges.len());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+fn assert_meshes_bit_identical(a: &IndexedMesh, b: &IndexedMesh, ctx: &str) {
+    assert_eq!(a.positions(), b.positions(), "{ctx}: vertex stream differs");
+    assert_eq!(a.indices(), b.indices(), "{ctx}: index stream differs");
+}
+
+/// Streaming extraction (any worker count × any queue bound) must emit the
+/// byte-for-byte same mesh as the retained batch path: per-record parts merge
+/// by plan-emission sequence number, which is also the batch path's record
+/// order.
+fn check_streaming_equals_batch(name: &str, vol: &Volume<u8>, iso: f32) {
+    let dir = tmpdir(&format!("sb_{name}_{}", (iso * 10.0) as i32));
+    let (cluster, _) = Cluster::build(vol, &dir, 1, &ClusterBuildOptions::default()).unwrap();
+    let batch = cluster
+        .extract_with_options(
+            iso,
+            &ExtractOptions {
+                workers: Some(1),
+                mode: ExtractMode::Batch,
+            },
+        )
+        .unwrap();
+    let (batch_mesh, batch_report) = batch.into_merged();
+    for workers in [1usize, 2, 3, 8] {
+        for queue_records in [1usize, 4, usize::MAX] {
+            let e = cluster
+                .extract_with_options(
+                    iso,
+                    &ExtractOptions {
+                        workers: Some(workers),
+                        mode: ExtractMode::Streaming { queue_records },
+                    },
+                )
+                .unwrap();
+            let ctx = format!("{name} iso={iso} workers={workers} bound={queue_records}");
+            assert_eq!(
+                e.report.total_active_metacells(),
+                batch_report.total_active_metacells(),
+                "{ctx}"
+            );
+            let n = &e.report.nodes[0];
+            if queue_records != usize::MAX {
+                assert!(n.peak_queue_records <= queue_records as u64, "{ctx}");
+            }
+            let (mesh, _) = e.into_merged();
+            assert_meshes_bit_identical(&mesh, &batch_mesh, &ctx);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn streaming_extraction_is_bit_identical_to_batch_sphere(
+        iso in 80.0f32..180.0,
+        dim in 25usize..34,
+    ) {
+        let vol: Volume<u8> = SphereField::centered(0.33, 128.0).sample(Dims3::new(dim, dim, dim - 2));
+        check_streaming_equals_batch("sphere", &vol, iso);
+    }
+
+    #[test]
+    fn streaming_extraction_is_bit_identical_to_batch_gyroid(
+        iso in 70.0f32..190.0,
+        dim in 24usize..32,
+    ) {
+        let vol: Volume<u8> = GyroidField {
+            cells: 2.5,
+            level: 128.0,
+            amplitude: 70.0,
+        }
+        .sample(Dims3::cube(dim));
+        check_streaming_equals_batch("gyroid", &vol, iso);
+    }
 }
