@@ -17,11 +17,16 @@ USAGE:
   oociso info       --db DIR
   oociso extract    --db DIR --iso V [--obj FILE] [--topology]
   oociso render     --db DIR --iso V --out FILE.ppm [--size N] [--tiles CxR]
+  oociso serve      --db DIR [--addr 127.0.0.1:7077] [--cache-mb N] [--port-file FILE]
+  oociso query      --addr HOST:PORT --iso V [--obj FILE] [--region x0,y0,z0,x1,y1,z1]
+                    [--frame FILE.ppm] [--size N] [--tiles CxR] [--stats]
   oociso help
 
 Generate a Richtmyer-Meshkov proxy volume, preprocess it into a striped
 out-of-core database (compact interval tree index), then extract or render
-isosurfaces reading only the active metacells.
+isosurfaces reading only the active metacells. `serve` exposes a database
+over TCP (binary wire protocol, LRU result cache); `query` is the matching
+remote client.
 ";
 
 fn err(e: impl std::fmt::Display) -> String {
@@ -163,6 +168,140 @@ pub fn extract(opts: &Options) -> Result<(), String> {
             "exported {} triangles ({} welded vertices) -> {obj}",
             result.mesh.len(),
             result.mesh.num_vertices()
+        );
+    }
+    Ok(())
+}
+
+/// `oociso serve`: expose a database directory as a TCP query server.
+pub fn serve(opts: &Options) -> Result<(), String> {
+    let db_dir = opts.require("db")?;
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7077");
+    let cache_mb: u64 = opts.num("cache-mb", 256)?;
+    let db = ClusterDatabase::<u8>::open(Path::new(db_dir), true).map_err(err)?;
+    let nodes = db.nodes();
+    let server = oociso_serve::IsoServer::bind(
+        db,
+        addr,
+        oociso_serve::ServeOptions {
+            cache_bytes: cache_mb << 20,
+        },
+    )
+    .map_err(err)?;
+    // scripts pass --addr 127.0.0.1:0 and read the resolved port from here
+    if let Some(port_file) = opts.get("port-file") {
+        std::fs::write(port_file, server.addr().port().to_string()).map_err(err)?;
+    }
+    println!(
+        "serving {db_dir} ({nodes} node(s)) on {} — protocol v{}, cache {cache_mb} MiB",
+        server.addr(),
+        oociso_serve::VERSION,
+    );
+    server.park()
+}
+
+/// `oociso query`: query a running server; mirror of `extract`/`render` over
+/// the wire.
+pub fn query(opts: &Options) -> Result<(), String> {
+    let addr = opts.require("addr")?;
+    let iso: f32 = opts.num("iso", f32::NAN)?;
+    if iso.is_nan() {
+        return Err("missing required option --iso".into());
+    }
+    let region = match opts.get("region") {
+        None => None,
+        Some(spec) => {
+            let parts: Vec<f32> = spec
+                .split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse()
+                        .map_err(|_| format!("--region: bad `{spec}`"))
+                })
+                .collect::<Result<_, _>>()?;
+            if parts.len() != 6 {
+                return Err("--region: expected x0,y0,z0,x1,y1,z1".into());
+            }
+            Some(oociso_serve::Region {
+                lo: [parts[0], parts[1], parts[2]],
+                hi: [parts[3], parts[4], parts[5]],
+            })
+        }
+    };
+    let mut client = oociso_serve::Client::connect(addr).map_err(err)?;
+    let t = std::time::Instant::now();
+    let reply = client.query_mesh(iso, region).map_err(err)?;
+    println!(
+        "isovalue {iso}: {} triangles ({} welded vertices), {} active metacells, {} in {:.3}s",
+        reply.mesh.len(),
+        reply.mesh.num_vertices(),
+        reply.active_metacells,
+        if reply.cache_hit {
+            "cache hit"
+        } else {
+            "cache miss"
+        },
+        t.elapsed().as_secs_f64()
+    );
+    if let Some(obj) = opts.get("obj") {
+        reply.mesh.write_obj(Path::new(obj)).map_err(err)?;
+        println!("exported -> {obj}");
+    }
+    if let Some(frame) = opts.get("frame") {
+        let size: u32 = opts.num("size", 512)?;
+        let (cols, rows) = opts.tiles("tiles", (1, 1))?;
+        if cols == 0
+            || rows == 0
+            || !(size as usize).is_multiple_of(cols)
+            || !(size as usize).is_multiple_of(rows)
+        {
+            return Err(format!(
+                "--size {size} must divide evenly into {cols}x{rows} tiles"
+            ));
+        }
+        let f = client
+            .query_frame(
+                iso,
+                oociso_serve::FrameParams {
+                    width: size,
+                    height: size,
+                    azimuth: 0.9,
+                    elevation: 0.45,
+                    distance: 2.0,
+                    tile_cols: cols as u16,
+                    tile_rows: rows as u16,
+                },
+            )
+            .map_err(err)?;
+        f.framebuffer.write_ppm(Path::new(frame)).map_err(err)?;
+        println!(
+            "rendered frame ({} covered pixels, {}) -> {frame}",
+            f.framebuffer.covered_pixels(),
+            if f.cache_hit {
+                "cache hit"
+            } else {
+                "cache miss"
+            },
+        );
+    }
+    if opts.flag("stats") {
+        let s = client.stats().map_err(err)?;
+        println!(
+            "server: {} connection(s), {} request(s) ({} mesh, {} frame, {} error), {:.1} MB out",
+            s.connections,
+            s.requests,
+            s.mesh_requests,
+            s.frame_requests,
+            s.errors,
+            s.bytes_out as f64 / 1e6
+        );
+        println!(
+            "cache: {} hit(s) / {} miss(es), {} eviction(s), {:.1} MB resident in {} entrie(s)",
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_evictions,
+            s.cache_resident_bytes as f64 / 1e6,
+            s.cache_resident_entries
         );
     }
     Ok(())

@@ -6,6 +6,8 @@
 //! oociso info       --db rm_db
 //! oociso extract    --db rm_db --iso 190 [--obj out.obj] [--topology]
 //! oociso render     --db rm_db --iso 190 --out img.ppm [--size 1024] [--tiles 2x2]
+//! oociso serve      --db rm_db [--addr 127.0.0.1:7077] [--cache-mb 256] [--port-file p]
+//! oociso query      --addr HOST:PORT --iso 190 [--obj out.obj] [--stats]
 //! ```
 //!
 //! The `gen` subcommand writes a Richtmyer–Meshkov proxy time step as a raw
@@ -39,6 +41,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "info" => commands::info(&opts),
         "extract" => commands::extract(&opts),
         "render" => commands::render(&opts),
+        "serve" => commands::serve(&opts),
+        "query" => commands::query(&opts),
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -11,7 +11,7 @@
 use crate::mesh::{Aabb, Triangle, TriangleSoup, Vec3};
 
 /// A triangle mesh with deduplicated vertices.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct IndexedMesh {
     positions: Vec<Vec3>,
     /// Triangle corner indices into `positions`; length is a multiple of 3.
@@ -129,6 +129,49 @@ impl IndexedMesh {
         b
     }
 
+    /// Extract the sub-mesh of triangles satisfying `keep`, compacting the
+    /// vertex table to only the vertices those triangles reference (indices
+    /// are renumbered; relative triangle and vertex order is preserved, so
+    /// the same filter applied to equal meshes yields equal meshes). Used by
+    /// the query server's region-restricted responses.
+    pub fn filter_triangles(&self, mut keep: impl FnMut(&Triangle) -> bool) -> IndexedMesh {
+        let mut remap = vec![u32::MAX; self.positions.len()];
+        let mut out = IndexedMesh::new();
+        for (i, tri) in self.triangles().enumerate() {
+            if !keep(&tri) {
+                continue;
+            }
+            let base = 3 * i;
+            let mut corners = [0u32; 3];
+            for (c, corner) in corners.iter_mut().enumerate() {
+                let v = self.indices[base + c] as usize;
+                if remap[v] == u32::MAX {
+                    remap[v] = out.push_vertex(self.positions[v]);
+                }
+                *corner = remap[v];
+            }
+            out.push_triangle(corners[0], corners[1], corners[2]);
+        }
+        out
+    }
+
+    /// Triangles intersecting the axis-aligned box `[lo, hi]` (kept iff the
+    /// triangle's own bounding box overlaps it).
+    pub fn filter_region(&self, lo: Vec3, hi: Vec3) -> IndexedMesh {
+        self.filter_triangles(|t| {
+            let mut b = Aabb::empty();
+            for &v in &t.v {
+                b.grow(v);
+            }
+            b.lo.x <= hi.x
+                && b.hi.x >= lo.x
+                && b.lo.y <= hi.y
+                && b.hi.y >= lo.y
+                && b.lo.z <= hi.z
+                && b.hi.z >= lo.z
+        })
+    }
+
     /// Append every triangle to `soup` (exact soup the reference kernel
     /// would have produced, when the mesh came from the slab kernel).
     pub fn append_to_soup(&self, soup: &mut TriangleSoup) {
@@ -212,6 +255,31 @@ mod tests {
         // merged mesh materializes the same triangles as two separate quads
         let t = a.triangle(2);
         assert_eq!(t.v[0], Vec3::ZERO);
+    }
+
+    #[test]
+    fn filter_compacts_vertices_and_preserves_order() {
+        let m = quad();
+        // keep only the second triangle (a, c, d): vertex b must vanish
+        let mut first = true;
+        let kept = m.filter_triangles(|_| !std::mem::replace(&mut first, false));
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept.num_vertices(), 3, "unreferenced vertex not dropped");
+        let t = kept.triangle(0);
+        assert_eq!(t.v[0], Vec3::ZERO);
+        assert_eq!(t.v[1], Vec3::new(1.0, 1.0, 0.0));
+        assert_eq!(t.v[2], Vec3::new(0.0, 1.0, 0.0));
+        // keep-all filter is the identity (same positions, same indices)
+        let all = m.filter_triangles(|_| true);
+        assert_eq!(all.positions(), m.positions());
+        assert_eq!(all.indices(), m.indices());
+        // region covering only the lower-left corner keeps both unit-quad
+        // triangles (their bounding boxes touch it)
+        let r = m.filter_region(Vec3::ZERO, Vec3::new(0.1, 0.1, 0.0));
+        assert_eq!(r.len(), 2);
+        // a region far away keeps nothing
+        let far = m.filter_region(Vec3::new(5.0, 5.0, 5.0), Vec3::new(6.0, 6.0, 6.0));
+        assert!(far.is_empty());
     }
 
     #[test]

@@ -261,12 +261,7 @@ impl LayerMasks {
             let mut any = false;
             let mut all = true;
             for (w, chunk) in row.chunks(64).enumerate() {
-                let mut bits = 0u64;
-                for (i, s) in chunk.iter().enumerate() {
-                    if s.to_f32() < iso {
-                        bits |= 1 << i;
-                    }
-                }
+                let bits = sign_word(chunk, iso);
                 let full = if chunk.len() == 64 {
                     !0u64
                 } else {
@@ -280,6 +275,31 @@ impl LayerMasks {
             self.all[y] = all;
         }
     }
+}
+
+/// Classify up to 64 samples against `iso` into a sign word (bit `i` set iff
+/// `chunk[i] < iso`).
+///
+/// Structured for LLVM autovectorization: the classify loop writes one 0/1
+/// byte per lane into a fixed 64-byte buffer with no data-dependent branches
+/// (packed f32 compares on any SIMD target), then each 8-byte flag group is
+/// folded into its 8 result bits with one multiply — for 0/1 bytes
+/// `v × 0x0102040810204080` places byte `j` at bit `56 + j` with every
+/// cross term either below bit 56 or wrapped past bit 63, and all partial
+/// products hit distinct bits, so no carries corrupt the high byte.
+#[inline]
+fn sign_word<S: ScalarValue>(chunk: &[S], iso: f32) -> u64 {
+    debug_assert!(chunk.len() <= 64);
+    let mut flags = [0u8; 64];
+    for (f, s) in flags[..chunk.len()].iter_mut().zip(chunk) {
+        *f = (s.to_f32() < iso) as u8;
+    }
+    let mut bits = 0u64;
+    for (g, group) in flags.chunks_exact(8).enumerate() {
+        let v = u64::from_le_bytes(group.try_into().expect("chunks_exact(8)"));
+        bits |= (v.wrapping_mul(0x0102_0408_1020_4080) >> 56) << (8 * g);
+    }
+    bits
 }
 
 /// Reusable working memory for [`marching_cubes_indexed`]: the two layer

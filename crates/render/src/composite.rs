@@ -9,6 +9,8 @@
 //! [`TileLayout`] carves framebuffers into per-server regions.
 
 use crate::framebuffer::Framebuffer;
+use crate::transport::{LocalTransport, Transport};
+use std::io;
 
 /// Merge `src` into `dst`, keeping the nearer fragment per pixel.
 pub fn z_merge(dst: &mut Framebuffer, src: &Framebuffer) {
@@ -141,7 +143,25 @@ impl TileLayout {
     /// Full sort-last composite: shard every node framebuffer, route regions
     /// to their tiles, depth-merge per tile, and reassemble the final image.
     /// Returns the composited display plus total bytes moved on the wire.
+    ///
+    /// Equivalent to [`TileLayout::composite_via`] over the zero-cost
+    /// in-process [`LocalTransport`].
     pub fn composite(&self, node_buffers: &[Framebuffer]) -> (Framebuffer, u64) {
+        self.composite_via(node_buffers, &mut LocalTransport)
+            .expect("LocalTransport is infallible")
+    }
+
+    /// [`TileLayout::composite`] with the region shuffle routed through an
+    /// explicit [`Transport`]: each node's framebuffer is sharded, every
+    /// region travels through `transport.send_region` to the compositor
+    /// owning its tile, and the received copies are depth-merged. The result
+    /// is bit-identical for any lossless transport; only the transport's
+    /// accounted cost differs.
+    pub fn composite_via(
+        &self,
+        node_buffers: &[Framebuffer],
+        transport: &mut dyn Transport,
+    ) -> io::Result<(Framebuffer, u64)> {
         let (tw, th) = self.tile_size();
         let mut tiles: Vec<Framebuffer> = (0..self.num_tiles())
             .map(|_| Framebuffer::new(tw, th))
@@ -152,10 +172,12 @@ impl TileLayout {
                 // a region destined for a tile the node itself owns would not
                 // cross the network; the paper's compositing nodes are a
                 // subset of the render nodes, so charge only remote routes
-                if t != node % self.num_tiles() {
+                let local = t == node % self.num_tiles();
+                if !local {
                     wire_bytes += region.wire_bytes();
                 }
-                region.merge_into(&mut tiles[t], self.tile_origin(t));
+                let received = transport.send_region(node, t, local, region)?;
+                received.merge_into(&mut tiles[t], self.tile_origin(t));
             }
         }
         // assemble the wall image
@@ -171,7 +193,7 @@ impl TileLayout {
                 }
             }
         }
-        (out, wire_bytes)
+        Ok((out, wire_bytes))
     }
 }
 

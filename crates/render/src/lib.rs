@@ -15,7 +15,10 @@
 //!   tiled-display region shuffle;
 //! * [`net`] — the interconnect cost model (10 Gbps, per-message latency)
 //!   that prices the composite phase — the only communication in the whole
-//!   parallel algorithm.
+//!   parallel algorithm;
+//! * [`transport`] — the pluggable region-shuffle transport behind
+//!   compositing: the same composite runs over a zero-cost local hand-off,
+//!   the modeled interconnect, or a real TCP socket (`oociso-serve`).
 
 pub mod camera;
 pub mod composite;
@@ -23,6 +26,7 @@ pub mod framebuffer;
 pub mod math;
 pub mod net;
 pub mod raster;
+pub mod transport;
 
 pub use camera::Camera;
 pub use composite::{z_merge, FrameRegion, TileLayout};
@@ -30,3 +34,4 @@ pub use framebuffer::Framebuffer;
 pub use math::Mat4;
 pub use net::InterconnectModel;
 pub use raster::{rasterize_mesh, rasterize_soup, RasterStats};
+pub use transport::{LocalTransport, SimTransport, Transport};

@@ -36,6 +36,36 @@ impl InterconnectModel {
         }
     }
 
+    /// Kernel TCP over `127.0.0.1` — the link the real
+    /// `oociso_serve::TcpLoopbackTransport` actually crosses, so
+    /// simulator-vs-socket bench comparisons are apples-to-apples. The
+    /// constants are a measured round-trip on the development container
+    /// (`oociso_serve::measure_loopback` with an 8 MiB bulk probe, which
+    /// re-calibrates them live): ~3 µs one-way for a small message,
+    /// ~0.8 GB/s streaming through the full echo path.
+    pub fn loopback() -> Self {
+        InterconnectModel {
+            bytes_per_sec: 0.8e9,
+            latency: Duration::from_micros(3),
+        }
+    }
+
+    /// Build a profile from live measurements: a small-message round trip
+    /// (`latency = round_trip / 2`) and a timed bulk transfer
+    /// (`bytes_per_sec = bulk_bytes / bulk_time`, with the per-message
+    /// latency deducted first so the two constants stay independent).
+    pub fn from_measurement(round_trip: Duration, bulk_bytes: u64, bulk_time: Duration) -> Self {
+        let latency = round_trip / 2;
+        let stream = bulk_time
+            .saturating_sub(latency)
+            .as_secs_f64()
+            .max(f64::EPSILON);
+        InterconnectModel {
+            bytes_per_sec: bulk_bytes as f64 / stream,
+            latency,
+        }
+    }
+
     /// Time to deliver `messages` totalling `bytes` (serialized on one link —
     /// a conservative upper bound for the all-to-all shuffle).
     pub fn transfer_time(&self, messages: u64, bytes: u64) -> Duration {
@@ -87,6 +117,27 @@ mod tests {
         let ge = InterconnectModel::gige();
         let bytes = 100_000_000;
         assert!(ge.transfer_time(10, bytes) > ib.transfer_time(10, bytes) * 5);
+    }
+
+    #[test]
+    fn loopback_sits_between_gige_and_free() {
+        let lo = InterconnectModel::loopback();
+        let ge = InterconnectModel::gige();
+        let bytes = 50_000_000;
+        assert!(lo.transfer_time(10, bytes) < ge.transfer_time(10, bytes));
+        assert!(lo.transfer_time(1, bytes) > Duration::ZERO);
+    }
+
+    #[test]
+    fn from_measurement_recovers_constants() {
+        // 40 µs RTT → 20 µs latency; 100 MB in 50 ms (minus latency) → 2 GB/s
+        let m = InterconnectModel::from_measurement(
+            Duration::from_micros(40),
+            100_000_000,
+            Duration::from_micros(50_020),
+        );
+        assert_eq!(m.latency, Duration::from_micros(20));
+        assert!((m.bytes_per_sec - 2.0e9).abs() / 2.0e9 < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Pluggable compositing transport.
+//!
+//! The sort-last shuffle is the only communication of the whole parallel
+//! algorithm, so it is the only place a real interconnect can appear. This
+//! module abstracts *how* framebuffer regions travel from the node that
+//! rendered them to the compositor owning their display tile:
+//!
+//! * [`LocalTransport`] — zero-cost in-process hand-off (what
+//!   [`crate::TileLayout::composite`] uses);
+//! * [`SimTransport`] — hands regions over in-process but *prices* every
+//!   remote route with an [`InterconnectModel`], reproducing the paper's
+//!   modeled 10 Gbps shuffle;
+//! * `oociso_serve::TcpLoopbackTransport` — serializes every region through
+//!   a real kernel TCP socket and decodes it on the far side.
+//!
+//! Whatever the transport, the composited framebuffer must be bit-identical:
+//! transports move pixels, they never transform them. The
+//! `render_pipeline` integration tests assert exactly that across the
+//! simulated and the real-socket implementations.
+
+use crate::composite::FrameRegion;
+use crate::net::InterconnectModel;
+use std::io;
+use std::time::Duration;
+
+/// Moves framebuffer regions between nodes during the sort-last shuffle.
+///
+/// [`crate::TileLayout::composite_via`] routes every `(node, tile)` region
+/// through [`Transport::send_region`]; the transport delivers it to the
+/// compositor owning `tile` and returns the region *as observed at the
+/// receiver*. In-process transports return it unchanged; a network transport
+/// serializes it, moves the bytes, and decodes on the far side.
+pub trait Transport {
+    /// Ship `region` from node `from` to the compositor owning `tile` and
+    /// return the received copy. `local` flags a region whose destination
+    /// tile is owned by the sending node itself — in the paper's
+    /// architecture such regions never cross the wire, so transports charge
+    /// (or move) nothing for them.
+    fn send_region(
+        &mut self,
+        from: usize,
+        tile: usize,
+        local: bool,
+        region: FrameRegion,
+    ) -> io::Result<FrameRegion>;
+
+    /// Bytes moved across the (real or modeled) wire so far.
+    fn bytes_moved(&self) -> u64;
+
+    /// Cost of the moves so far: modeled time for simulators, measured
+    /// wall-clock for real transports.
+    fn cost(&self) -> Duration;
+
+    /// Short human-readable name for reports (`"local"`, `"sim"`, `"tcp"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Zero-cost in-process hand-off: regions are delivered by move, nothing is
+/// priced or serialized. [`crate::TileLayout::composite`] is exactly
+/// `composite_via` over this transport.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalTransport;
+
+impl Transport for LocalTransport {
+    fn send_region(
+        &mut self,
+        _from: usize,
+        _tile: usize,
+        _local: bool,
+        region: FrameRegion,
+    ) -> io::Result<FrameRegion> {
+        Ok(region)
+    }
+
+    fn bytes_moved(&self) -> u64 {
+        0
+    }
+
+    fn cost(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    fn name(&self) -> &'static str {
+        "local"
+    }
+}
+
+/// In-process delivery priced by an [`InterconnectModel`]: every remote
+/// region accrues one message of modeled latency plus its wire bytes at the
+/// modeled bandwidth — the simulator the benches compare against real
+/// sockets.
+#[derive(Clone, Copy, Debug)]
+pub struct SimTransport {
+    model: InterconnectModel,
+    bytes: u64,
+    modeled: Duration,
+}
+
+impl SimTransport {
+    /// Simulate the shuffle over `model`.
+    pub fn new(model: InterconnectModel) -> Self {
+        SimTransport {
+            model,
+            bytes: 0,
+            modeled: Duration::ZERO,
+        }
+    }
+
+    /// The model being simulated.
+    pub fn model(&self) -> &InterconnectModel {
+        &self.model
+    }
+}
+
+impl Transport for SimTransport {
+    fn send_region(
+        &mut self,
+        _from: usize,
+        _tile: usize,
+        local: bool,
+        region: FrameRegion,
+    ) -> io::Result<FrameRegion> {
+        if !local {
+            let bytes = region.wire_bytes();
+            self.bytes += bytes;
+            self.modeled += self.model.transfer_time(1, bytes);
+        }
+        Ok(region)
+    }
+
+    fn bytes_moved(&self) -> u64 {
+        self.bytes
+    }
+
+    fn cost(&self) -> Duration {
+        self.modeled
+    }
+
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(px: usize) -> FrameRegion {
+        FrameRegion {
+            origin: (0, 0),
+            size: (px, 1),
+            color: vec![[1, 2, 3, 4]; px],
+            depth: vec![0.5; px],
+        }
+    }
+
+    #[test]
+    fn local_transport_is_free_and_lossless() {
+        let mut t = LocalTransport;
+        let r = region(16);
+        let got = t.send_region(0, 1, false, r.clone()).unwrap();
+        assert_eq!(got, r);
+        assert_eq!(t.bytes_moved(), 0);
+        assert_eq!(t.cost(), Duration::ZERO);
+    }
+
+    #[test]
+    fn sim_transport_prices_remote_only() {
+        let mut t = SimTransport::new(InterconnectModel::infiniband_10g());
+        let r = region(100);
+        let wire = r.wire_bytes();
+        let got = t.send_region(0, 0, true, r.clone()).unwrap();
+        assert_eq!(got, r);
+        assert_eq!(t.bytes_moved(), 0, "local routes are free");
+        t.send_region(0, 1, false, r.clone()).unwrap();
+        assert_eq!(t.bytes_moved(), wire);
+        assert_eq!(
+            t.cost(),
+            InterconnectModel::infiniband_10g().transfer_time(1, wire)
+        );
+        t.send_region(1, 0, false, r).unwrap();
+        assert_eq!(t.bytes_moved(), 2 * wire);
+    }
+}

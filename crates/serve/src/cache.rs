@@ -1,0 +1,215 @@
+//! Isovalue-keyed LRU result cache.
+//!
+//! Interactive exploration hammers a handful of isovalues (slider scrubbing,
+//! repeated frames of the same surface), so the server memoizes whole
+//! extraction results keyed by the isovalue's bit pattern. The cache is
+//! **byte-budgeted**, not entry-counted: meshes vary from empty to hundreds
+//! of MB, and the budget is what bounds server memory. Region-restricted and
+//! framebuffer-mode requests are served by filtering/rasterizing the cached
+//! *full* mesh, so every request shape shares one entry per isovalue.
+//!
+//! Hit/miss/eviction counters are surfaced through
+//! [`crate::protocol::ServerReport`] the same way extraction surfaces
+//! `NodeReport` rows — observable from any client via a stats request.
+
+use oociso_march::IndexedMesh;
+use std::sync::Arc;
+
+/// One cached extraction result (shared out to concurrent readers).
+#[derive(Debug)]
+pub struct CachedSurface {
+    /// The full (unfiltered) isosurface at this isovalue.
+    pub mesh: IndexedMesh,
+    /// Active metacells the producing extraction touched (report metadata
+    /// replayed to cache-hit clients).
+    pub active_metacells: u64,
+}
+
+impl CachedSurface {
+    /// Resident bytes of this entry (vertex + index storage).
+    pub fn bytes(&self) -> u64 {
+        (std::mem::size_of_val(self.mesh.positions()) + std::mem::size_of_val(self.mesh.indices()))
+            as u64
+    }
+}
+
+/// Cache counters (monotonic except the `resident_*` gauges).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    pub resident_bytes: u64,
+    pub resident_entries: u64,
+}
+
+/// A byte-budgeted LRU map from isovalue bits to extraction results.
+///
+/// Recency is a simple ordered list (most recent last): entry counts stay
+/// small — each entry is a whole isosurface against a byte budget — so
+/// linear recency maintenance costs nothing next to one extraction.
+#[derive(Debug)]
+pub struct ResultCache {
+    budget_bytes: u64,
+    /// `(key, entry)` pairs ordered least→most recently used.
+    entries: Vec<(u32, Arc<CachedSurface>)>,
+    resident_bytes: u64,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// An empty cache that will hold at most `budget_bytes` of mesh data.
+    pub fn new(budget_bytes: u64) -> Self {
+        ResultCache {
+            budget_bytes,
+            entries: Vec::new(),
+            resident_bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Look up `iso`, refreshing its recency on a hit.
+    pub fn get(&mut self, iso: f32) -> Option<Arc<CachedSurface>> {
+        let key = iso.to_bits();
+        match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(i) => {
+                let pair = self.entries.remove(i);
+                let hit = pair.1.clone();
+                self.entries.push(pair);
+                self.stats.hits += 1;
+                self.refresh_gauges();
+                Some(hit)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) the result for `iso`, evicting least-recently-used
+    /// entries until the budget holds. An entry larger than the whole budget
+    /// is passed through uncached — callers still get their `Arc`, the cache
+    /// just declines to retain it.
+    pub fn insert(&mut self, iso: f32, surface: CachedSurface) -> Arc<CachedSurface> {
+        let key = iso.to_bits();
+        let surface = Arc::new(surface);
+        let bytes = surface.bytes();
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            // concurrent miss on the same isovalue: keep the newer result
+            let (_, old) = self.entries.remove(i);
+            self.resident_bytes -= old.bytes();
+        }
+        if bytes > self.budget_bytes {
+            self.refresh_gauges();
+            return surface;
+        }
+        self.stats.insertions += 1;
+        self.resident_bytes += bytes;
+        self.entries.push((key, surface.clone()));
+        while self.resident_bytes > self.budget_bytes {
+            let (_, evicted) = self.entries.remove(0);
+            self.resident_bytes -= evicted.bytes();
+            self.stats.evictions += 1;
+        }
+        self.refresh_gauges();
+        surface
+    }
+
+    /// Current counters (the `resident_*` gauges are kept in sync on every
+    /// mutation).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn refresh_gauges(&mut self) {
+        self.stats.resident_bytes = self.resident_bytes;
+        self.stats.resident_entries = self.entries.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oociso_march::Vec3;
+
+    /// A mesh of `tris` triangles: 3 fresh vertices each → 36 + 12 = 48
+    /// bytes per triangle.
+    fn surface(tris: usize) -> CachedSurface {
+        let mut mesh = IndexedMesh::new();
+        for i in 0..tris {
+            let a = mesh.push_vertex(Vec3::new(i as f32, 0.0, 0.0));
+            let b = mesh.push_vertex(Vec3::new(i as f32, 1.0, 0.0));
+            let c = mesh.push_vertex(Vec3::new(i as f32, 0.0, 1.0));
+            mesh.push_triangle(a, b, c);
+        }
+        CachedSurface {
+            mesh,
+            active_metacells: tris as u64,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let mut c = ResultCache::new(10_000);
+        assert!(c.get(1.0).is_none());
+        c.insert(1.0, surface(1));
+        c.insert(2.0, surface(1));
+        let hit = c.get(1.0).expect("cached");
+        assert_eq!(hit.active_metacells, 1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 2));
+        assert_eq!(s.resident_entries, 2);
+        assert_eq!(s.resident_bytes, 2 * 48);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_order() {
+        // budget fits exactly two 1-triangle meshes (48 B each)
+        let mut c = ResultCache::new(96);
+        c.insert(1.0, surface(1));
+        c.insert(2.0, surface(1));
+        // touch 1.0 so 2.0 becomes the LRU victim
+        assert!(c.get(1.0).is_some());
+        c.insert(3.0, surface(1));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(2.0).is_none(), "LRU entry should have been evicted");
+        assert!(c.get(1.0).is_some(), "recently used entry must survive");
+        assert!(c.get(3.0).is_some());
+        assert!(c.stats().resident_bytes <= 96);
+    }
+
+    #[test]
+    fn oversized_entry_passes_through_uncached() {
+        let mut c = ResultCache::new(100);
+        let arc = c.insert(5.0, surface(10)); // 480 B > 100 B budget
+        assert_eq!(arc.mesh.len(), 10, "caller still gets the surface");
+        assert_eq!(c.stats().resident_entries, 0);
+        assert_eq!(c.stats().insertions, 0);
+        assert!(c.get(5.0).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let mut c = ResultCache::new(10_000);
+        c.insert(1.0, surface(1));
+        c.insert(1.0, surface(2)); // same key, bigger mesh
+        assert_eq!(c.stats().resident_entries, 1);
+        assert_eq!(c.stats().resident_bytes, 2 * 48);
+        assert_eq!(c.get(1.0).unwrap().mesh.len(), 2);
+    }
+
+    #[test]
+    fn distinct_isovalue_bits_are_distinct_keys() {
+        let mut c = ResultCache::new(10_000);
+        c.insert(100.0, surface(1));
+        assert!(c.get(100.00001).is_none());
+        assert!(c.get(100.0).is_some());
+    }
+}

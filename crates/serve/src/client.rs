@@ -1,0 +1,174 @@
+//! Blocking client for the query server.
+
+use crate::protocol::{
+    encode_frame_raw, read_frame, write_frame, FrameIn, FrameParams, Message, Region, ServerReport,
+};
+use oociso_march::IndexedMesh;
+use oociso_render::Framebuffer;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A decoded mesh reply plus its serving metadata.
+#[derive(Clone, Debug)]
+pub struct MeshReply {
+    /// The isosurface (bit-identical to the server's in-process result).
+    pub mesh: IndexedMesh,
+    /// Whether the server answered from its result cache.
+    pub cache_hit: bool,
+    /// Active metacells of the producing extraction.
+    pub active_metacells: u64,
+}
+
+/// A decoded framebuffer reply.
+#[derive(Clone, Debug)]
+pub struct FrameReply {
+    /// The reassembled full-viewport framebuffer.
+    pub framebuffer: Framebuffer,
+    /// Whether the backing surface came from the result cache.
+    pub cache_hit: bool,
+    /// Tile regions exactly as they crossed the wire.
+    pub regions: Vec<oociso_render::FrameRegion>,
+}
+
+/// A server-reported failure, lifted out of the error frame.
+fn server_error(code: u16, detail: String) -> io::Error {
+    io::Error::other(format!("server error {code}: {detail}"))
+}
+
+fn unexpected(msg: &Message) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response type {}", msg.msg_type()),
+    )
+}
+
+/// A blocking connection to an [`crate::IsoServer`].
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// One request/response exchange.
+    fn roundtrip(&mut self, msg: &Message) -> io::Result<Message> {
+        write_frame(&mut self.stream, msg)?;
+        match read_frame(&mut self.stream)? {
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Some(FrameIn::Ok(reply)) => Ok(reply),
+            Some(FrameIn::Violation { code, detail, .. }) => Err(server_error(code, detail)),
+        }
+    }
+
+    /// Query the isosurface at `iso`, optionally restricted to a region.
+    pub fn query_mesh(&mut self, iso: f32, region: Option<Region>) -> io::Result<MeshReply> {
+        match self.roundtrip(&Message::MeshRequest { iso, region })? {
+            Message::MeshResponse {
+                cache_hit,
+                active_metacells,
+                mesh,
+            } => Ok(MeshReply {
+                mesh,
+                cache_hit,
+                active_metacells,
+            }),
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Query a rendered frame of the isosurface at `iso` and reassemble the
+    /// tiles into one framebuffer.
+    pub fn query_frame(&mut self, iso: f32, params: FrameParams) -> io::Result<FrameReply> {
+        match self.roundtrip(&Message::FrameRequest { iso, params })? {
+            Message::FrameResponse {
+                cache_hit,
+                width,
+                height,
+                regions,
+            } => {
+                let mut fb = Framebuffer::new(width as usize, height as usize);
+                for r in &regions {
+                    r.merge_into(&mut fb, (0, 0));
+                }
+                Ok(FrameReply {
+                    framebuffer: fb,
+                    cache_hit,
+                    regions,
+                })
+            }
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the server's counters.
+    pub fn stats(&mut self) -> io::Result<ServerReport> {
+        match self.roundtrip(&Message::StatsRequest)? {
+            Message::StatsResponse(report) => Ok(report),
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Round-trip a payload of `bytes` zeros through the server's echo,
+    /// returning the measured wall-clock (the calibration probe behind
+    /// [`crate::measure_loopback`]).
+    pub fn ping(&mut self, bytes: usize) -> io::Result<Duration> {
+        let payload = vec![0u8; bytes];
+        let t0 = Instant::now();
+        match self.roundtrip(&Message::Ping {
+            payload: payload.clone(),
+        })? {
+            Message::Pong { payload: echoed } => {
+                if echoed != payload {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "pong payload differs from ping",
+                    ));
+                }
+                Ok(t0.elapsed())
+            }
+            Message::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Send a frame with explicit header fields and return the server's
+    /// reply message — the hook the protocol-abuse tests (wrong magic,
+    /// future version, corrupted checksum) drive the server with. Returns
+    /// `Ok(None)` if the server hung up instead of replying.
+    pub fn roundtrip_raw(
+        &mut self,
+        magic: u32,
+        version: u16,
+        msg_type: u16,
+        payload: &[u8],
+        corrupt_checksum: bool,
+    ) -> io::Result<Option<Message>> {
+        let mut frame = encode_frame_raw(magic, version, msg_type, payload);
+        if corrupt_checksum {
+            let n = frame.len();
+            frame[n - 1] ^= 0xFF;
+        }
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        match read_frame(&mut self.stream) {
+            Ok(None) => Ok(None),
+            Ok(Some(FrameIn::Ok(reply))) => Ok(Some(reply)),
+            Ok(Some(FrameIn::Violation { code, detail, .. })) => Err(server_error(code, detail)),
+            // a reset mid-read also counts as "hung up"
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}

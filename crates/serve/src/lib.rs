@@ -1,0 +1,41 @@
+//! Network serving layer: a real TCP query server over the out-of-core
+//! isosurface database.
+//!
+//! The paper's cluster answers interactive isosurface queries with zero
+//! communication until the final composite; this crate is the step from
+//! "library reproduction" to "deployable service" — remote clients query a
+//! running server over a versioned, checksummed, length-prefixed binary
+//! protocol and receive bit-identical results to in-process extraction:
+//!
+//! * [`protocol`] — the wire format: framed messages (requests carry an
+//!   isovalue, an optional region, and mesh-vs-framebuffer mode; responses
+//!   carry an indexed mesh or tile frames), CRC-32 payload checksums,
+//!   structured errors for version/framing violations.
+//! * [`server`] — [`IsoServer`]: a multi-threaded `TcpListener` accept loop
+//!   (thread per connection) over one shared
+//!   [`oociso_core::ClusterDatabase`], serving concurrent clients through
+//!   the existing streaming extraction path.
+//! * [`cache`] — [`ResultCache`]: an isovalue-keyed, byte-budgeted LRU of
+//!   extraction results with hit/miss/eviction counters surfaced through
+//!   the stats message, `NodeReport`-style.
+//! * [`client`] — [`Client`]: the blocking client library behind the CLI's
+//!   `query` subcommand (and the serve tests).
+//! * [`transport`] — [`TcpLoopbackTransport`]: the real-socket
+//!   implementation of [`oociso_render::Transport`], plus
+//!   [`measure_loopback`] to calibrate
+//!   [`oociso_render::InterconnectModel::loopback`] live.
+//!
+//! See `docs/serve.md` for the protocol layout, cache semantics, and a
+//! deployment sketch.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod transport;
+
+pub use cache::{CacheStats, CachedSurface, ResultCache};
+pub use client::{Client, FrameReply, MeshReply};
+pub use protocol::{FrameParams, Message, Region, ServerReport, MAGIC, VERSION};
+pub use server::{IsoServer, ServeOptions};
+pub use transport::{measure_loopback, TcpLoopbackTransport};

@@ -1,0 +1,948 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message travels as one **frame**:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic       0x4F49534F ("OISO", little-endian u32)
+//! 4       2     version     protocol version (currently 1)
+//! 6       2     msg type    see the `MSG_*` constants
+//! 8       8     payload len bytes that follow the header
+//! 16      n     payload     message-specific little-endian encoding
+//! 16+n    4     checksum    CRC-32 (IEEE) of the payload bytes
+//! ```
+//!
+//! The header is fixed-size so a reader always knows how much to pull next
+//! (length-prefixed framing — no delimiters, binary-safe payloads). The
+//! version rides in *every* frame: a server can reject a client from the
+//! future with a structured [`Message::Error`] instead of misparsing it. The
+//! checksum closes the loop on torn or corrupted writes: a payload that does
+//! not hash to its trailer is rejected as [`ERR_BAD_CHECKSUM`] before any
+//! field of it is interpreted.
+//!
+//! All integers and floats are little-endian; `f32`s are moved as their IEEE
+//! bit patterns, so a mesh or framebuffer survives the wire **bit-exactly**
+//! (the round-trip property every serve test leans on).
+
+use oociso_march::{IndexedMesh, Vec3};
+use oociso_render::FrameRegion;
+use std::io::{self, Read, Write};
+
+/// Frame magic: `"OISO"` read as a little-endian u32.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"OISO");
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Fixed frame header size in bytes (magic + version + type + payload len).
+pub const HEADER_BYTES: usize = 16;
+/// Upper bound on a single frame's payload (guards readers against
+/// allocating unbounded memory for a hostile or corrupted length field).
+/// This is the *response*-side bound — meshes are legitimately huge.
+pub const MAX_PAYLOAD: u64 = 1 << 31; // 2 GiB
+
+/// Upper bound the **server** enforces on request payloads. Every
+/// legitimate request is under 100 bytes (pings aside), so a client
+/// claiming more is hostile or broken — rejected before any allocation,
+/// closing the hole where a 16-byte header could commit gigabytes.
+pub const MAX_REQUEST_PAYLOAD: u64 = 1 << 20; // 1 MiB
+
+/// Message type tags (the `msg type` header field).
+pub const MSG_MESH_REQUEST: u16 = 1;
+pub const MSG_FRAME_REQUEST: u16 = 2;
+pub const MSG_STATS_REQUEST: u16 = 3;
+pub const MSG_PING: u16 = 4;
+pub const MSG_MESH_RESPONSE: u16 = 5;
+pub const MSG_FRAME_RESPONSE: u16 = 6;
+pub const MSG_STATS_RESPONSE: u16 = 7;
+pub const MSG_ERROR: u16 = 8;
+pub const MSG_PONG: u16 = 9;
+pub const MSG_REGION: u16 = 10;
+
+/// Error codes carried by [`Message::Error`].
+pub const ERR_UNSUPPORTED_VERSION: u16 = 1;
+pub const ERR_BAD_MAGIC: u16 = 2;
+pub const ERR_BAD_CHECKSUM: u16 = 3;
+pub const ERR_MALFORMED: u16 = 4;
+pub const ERR_INTERNAL: u16 = 5;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) lookup table, built at compile
+/// time — no dependency, no runtime init.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut b = 0;
+        while b < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            b += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// An axis-aligned query region in mesh (vertex-grid) coordinates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Region {
+    pub lo: [f32; 3],
+    pub hi: [f32; 3],
+}
+
+impl Region {
+    /// Corner vectors for mesh filtering.
+    pub fn corners(&self) -> (Vec3, Vec3) {
+        (
+            Vec3::new(self.lo[0], self.lo[1], self.lo[2]),
+            Vec3::new(self.hi[0], self.hi[1], self.hi[2]),
+        )
+    }
+}
+
+/// Camera + viewport parameters of a framebuffer-mode request (the orbiting
+/// camera every example and test uses, made explicit on the wire).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrameParams {
+    pub width: u32,
+    pub height: u32,
+    pub azimuth: f32,
+    pub elevation: f32,
+    pub distance: f32,
+    /// Tile grid the response framebuffer is sharded into.
+    pub tile_cols: u16,
+    pub tile_rows: u16,
+}
+
+/// Server-side counters returned by a stats request — the serving layer's
+/// analogue of a `NodeReport` row.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Client connections accepted so far.
+    pub connections: u64,
+    /// Requests answered (all types, errors included).
+    pub requests: u64,
+    /// Mesh-mode requests answered.
+    pub mesh_requests: u64,
+    /// Framebuffer-mode requests answered.
+    pub frame_requests: u64,
+    /// Error responses sent.
+    pub errors: u64,
+    /// Response payload bytes written.
+    pub bytes_out: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses (each one ran a full extraction).
+    pub cache_misses: u64,
+    /// Entries evicted to stay under the cache's byte budget.
+    pub cache_evictions: u64,
+    /// Mesh bytes currently resident in the cache.
+    pub cache_resident_bytes: u64,
+    /// Meshes currently resident in the cache.
+    pub cache_resident_entries: u64,
+}
+
+/// One decoded protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Extract (or serve from cache) the isosurface at `iso`, optionally
+    /// restricted to triangles intersecting `region`.
+    MeshRequest { iso: f32, region: Option<Region> },
+    /// Extract, rasterize, and return the framebuffer as tile frames.
+    FrameRequest { iso: f32, params: FrameParams },
+    /// Ask for the server's counters.
+    StatsRequest,
+    /// Latency/bandwidth probe; the payload is echoed back in a `Pong`.
+    Ping { payload: Vec<u8> },
+    /// The isosurface (welded vertices + triangle indices), with serving
+    /// metadata.
+    MeshResponse {
+        cache_hit: bool,
+        active_metacells: u64,
+        mesh: IndexedMesh,
+    },
+    /// The rendered framebuffer, sharded into per-tile regions.
+    FrameResponse {
+        cache_hit: bool,
+        width: u32,
+        height: u32,
+        regions: Vec<FrameRegion>,
+    },
+    /// Server counters.
+    StatsResponse(ServerReport),
+    /// Structured failure (`ERR_*` code + human-readable detail).
+    Error { code: u16, detail: String },
+    /// Echo of a `Ping` payload.
+    Pong { payload: Vec<u8> },
+    /// One compositing frame region (the TCP transport's unit of transfer).
+    Region(FrameRegion),
+}
+
+impl Message {
+    /// The wire tag of this message.
+    pub fn msg_type(&self) -> u16 {
+        match self {
+            Message::MeshRequest { .. } => MSG_MESH_REQUEST,
+            Message::FrameRequest { .. } => MSG_FRAME_REQUEST,
+            Message::StatsRequest => MSG_STATS_REQUEST,
+            Message::Ping { .. } => MSG_PING,
+            Message::MeshResponse { .. } => MSG_MESH_RESPONSE,
+            Message::FrameResponse { .. } => MSG_FRAME_RESPONSE,
+            Message::StatsResponse(_) => MSG_STATS_RESPONSE,
+            Message::Error { .. } => MSG_ERROR,
+            Message::Pong { .. } => MSG_PONG,
+            Message::Region(_) => MSG_REGION,
+        }
+    }
+}
+
+fn malformed(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed frame: {what}"),
+    )
+}
+
+/// Little-endian payload reader with truncation checks.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Rd { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| malformed("truncated payload"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Read an element count, requiring the `elem_bytes` each element needs
+    /// at minimum to still fit in the unread payload — so a hostile count
+    /// can never drive a pre-reservation larger than the bytes actually
+    /// received.
+    fn len(&mut self, what: &str, elem_bytes: usize) -> io::Result<usize> {
+        let n = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        let need = n.checked_mul(elem_bytes.max(1) as u64);
+        if need.is_none_or(|b| b > remaining) {
+            return Err(malformed(what));
+        }
+        Ok(n as usize)
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(malformed("trailing bytes"))
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    put_u32(out, v.to_bits());
+}
+
+fn put_region(out: &mut Vec<u8>, r: &FrameRegion) {
+    put_u64(out, r.origin.0 as u64);
+    put_u64(out, r.origin.1 as u64);
+    put_u64(out, r.size.0 as u64);
+    put_u64(out, r.size.1 as u64);
+    for px in &r.color {
+        out.extend_from_slice(px);
+    }
+    for &d in &r.depth {
+        put_f32(out, d);
+    }
+}
+
+fn read_region(rd: &mut Rd) -> io::Result<FrameRegion> {
+    let origin = (rd.u64()? as usize, rd.u64()? as usize);
+    let w = rd.u64()? as usize;
+    let h = rd.u64()? as usize;
+    let n = w
+        .checked_mul(h)
+        .filter(|&n| {
+            (n as u64)
+                .checked_mul(8)
+                .is_some_and(|b| b <= rd.buf.len() as u64)
+        })
+        .ok_or_else(|| malformed("region size"))?;
+    let mut color = Vec::with_capacity(n);
+    for _ in 0..n {
+        color.push(rd.take(4)?.try_into().unwrap());
+    }
+    let mut depth = Vec::with_capacity(n);
+    for _ in 0..n {
+        depth.push(rd.f32()?);
+    }
+    Ok(FrameRegion {
+        origin,
+        size: (w, h),
+        color,
+        depth,
+    })
+}
+
+fn put_mesh_response(
+    out: &mut Vec<u8>,
+    cache_hit: bool,
+    active_metacells: u64,
+    mesh: &IndexedMesh,
+) {
+    // fixed prefix: 1 (cache_hit) + 3×8 (active/vertex/index counts)
+    out.reserve(
+        25 + std::mem::size_of_val(mesh.positions()) + std::mem::size_of_val(mesh.indices()),
+    );
+    out.push(cache_hit as u8);
+    put_u64(out, active_metacells);
+    put_u64(out, mesh.num_vertices() as u64);
+    put_u64(out, mesh.indices().len() as u64);
+    for p in mesh.positions() {
+        put_f32(out, p.x);
+        put_f32(out, p.y);
+        put_f32(out, p.z);
+    }
+    for &i in mesh.indices() {
+        put_u32(out, i);
+    }
+}
+
+/// Encode a complete `MeshResponse` frame from a **borrowed** mesh — the
+/// server's cache-hit hot path, which must not deep-clone a
+/// hundreds-of-MB cached mesh just to hand `Message` an owned copy for
+/// serialization.
+pub fn encode_mesh_response_frame(
+    cache_hit: bool,
+    active_metacells: u64,
+    mesh: &IndexedMesh,
+) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_mesh_response(&mut payload, cache_hit, active_metacells, mesh);
+    encode_frame_raw(MAGIC, VERSION, MSG_MESH_RESPONSE, &payload)
+}
+
+/// Encode a message's payload (everything between header and checksum).
+pub fn encode_payload(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        Message::MeshRequest { iso, region } => {
+            put_f32(&mut out, *iso);
+            out.push(region.is_some() as u8);
+            if let Some(r) = region {
+                for v in r.lo.iter().chain(&r.hi) {
+                    put_f32(&mut out, *v);
+                }
+            }
+        }
+        Message::FrameRequest { iso, params } => {
+            put_f32(&mut out, *iso);
+            put_u32(&mut out, params.width);
+            put_u32(&mut out, params.height);
+            put_f32(&mut out, params.azimuth);
+            put_f32(&mut out, params.elevation);
+            put_f32(&mut out, params.distance);
+            put_u16(&mut out, params.tile_cols);
+            put_u16(&mut out, params.tile_rows);
+        }
+        Message::StatsRequest => {}
+        Message::Ping { payload } | Message::Pong { payload } => {
+            out.extend_from_slice(payload);
+        }
+        Message::MeshResponse {
+            cache_hit,
+            active_metacells,
+            mesh,
+        } => put_mesh_response(&mut out, *cache_hit, *active_metacells, mesh),
+        Message::FrameResponse {
+            cache_hit,
+            width,
+            height,
+            regions,
+        } => {
+            out.push(*cache_hit as u8);
+            put_u32(&mut out, *width);
+            put_u32(&mut out, *height);
+            put_u64(&mut out, regions.len() as u64);
+            for r in regions {
+                put_region(&mut out, r);
+            }
+        }
+        Message::StatsResponse(s) => {
+            for v in [
+                s.connections,
+                s.requests,
+                s.mesh_requests,
+                s.frame_requests,
+                s.errors,
+                s.bytes_out,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions,
+                s.cache_resident_bytes,
+                s.cache_resident_entries,
+            ] {
+                put_u64(&mut out, v);
+            }
+        }
+        Message::Error { code, detail } => {
+            put_u16(&mut out, *code);
+            put_u64(&mut out, detail.len() as u64);
+            out.extend_from_slice(detail.as_bytes());
+        }
+        Message::Region(r) => put_region(&mut out, r),
+    }
+    out
+}
+
+/// Decode a payload of known `msg_type`.
+pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
+    let mut rd = Rd::new(payload);
+    let msg = match msg_type {
+        MSG_MESH_REQUEST => {
+            let iso = rd.f32()?;
+            let region = match rd.u8()? {
+                0 => None,
+                1 => Some(Region {
+                    lo: [rd.f32()?, rd.f32()?, rd.f32()?],
+                    hi: [rd.f32()?, rd.f32()?, rd.f32()?],
+                }),
+                _ => return Err(malformed("region flag")),
+            };
+            Message::MeshRequest { iso, region }
+        }
+        MSG_FRAME_REQUEST => Message::FrameRequest {
+            iso: rd.f32()?,
+            params: FrameParams {
+                width: rd.u32()?,
+                height: rd.u32()?,
+                azimuth: rd.f32()?,
+                elevation: rd.f32()?,
+                distance: rd.f32()?,
+                tile_cols: rd.u16()?,
+                tile_rows: rd.u16()?,
+            },
+        },
+        MSG_STATS_REQUEST => Message::StatsRequest,
+        MSG_PING => Message::Ping {
+            payload: rd.take(payload.len())?.to_vec(),
+        },
+        MSG_PONG => Message::Pong {
+            payload: rd.take(payload.len())?.to_vec(),
+        },
+        MSG_MESH_RESPONSE => {
+            let cache_hit = rd.u8()? != 0;
+            let active_metacells = rd.u64()?;
+            let nvert = rd.len("vertex count", 12)?;
+            let nidx = rd.len("index count", 4)?;
+            if nidx % 3 != 0 {
+                return Err(malformed("index count not a triangle multiple"));
+            }
+            let mut mesh = IndexedMesh::with_capacity(nidx / 3);
+            for _ in 0..nvert {
+                mesh.push_vertex(Vec3::new(rd.f32()?, rd.f32()?, rd.f32()?));
+            }
+            for _ in 0..nidx / 3 {
+                let (a, b, c) = (rd.u32()?, rd.u32()?, rd.u32()?);
+                if a as usize >= nvert || b as usize >= nvert || c as usize >= nvert {
+                    return Err(malformed("index out of range"));
+                }
+                mesh.push_triangle(a, b, c);
+            }
+            Message::MeshResponse {
+                cache_hit,
+                active_metacells,
+                mesh,
+            }
+        }
+        MSG_FRAME_RESPONSE => {
+            let cache_hit = rd.u8()? != 0;
+            let width = rd.u32()?;
+            let height = rd.u32()?;
+            // even an empty region carries its 32-byte origin/size header
+            let n = rd.len("region count", 32)?;
+            let mut regions = Vec::with_capacity(n);
+            for _ in 0..n {
+                regions.push(read_region(&mut rd)?);
+            }
+            Message::FrameResponse {
+                cache_hit,
+                width,
+                height,
+                regions,
+            }
+        }
+        MSG_STATS_RESPONSE => {
+            let mut v = [0u64; 11];
+            for slot in &mut v {
+                *slot = rd.u64()?;
+            }
+            Message::StatsResponse(ServerReport {
+                connections: v[0],
+                requests: v[1],
+                mesh_requests: v[2],
+                frame_requests: v[3],
+                errors: v[4],
+                bytes_out: v[5],
+                cache_hits: v[6],
+                cache_misses: v[7],
+                cache_evictions: v[8],
+                cache_resident_bytes: v[9],
+                cache_resident_entries: v[10],
+            })
+        }
+        MSG_ERROR => {
+            let code = rd.u16()?;
+            let n = rd.len("detail length", 1)?;
+            let detail = String::from_utf8(rd.take(n)?.to_vec())
+                .map_err(|_| malformed("detail not UTF-8"))?;
+            Message::Error { code, detail }
+        }
+        MSG_REGION => Message::Region(read_region(&mut rd)?),
+        other => return Err(malformed(&format!("unknown message type {other}"))),
+    };
+    rd.done()?;
+    Ok(msg)
+}
+
+/// Serialize a whole frame (header + payload + checksum) into a byte vector.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let payload = encode_payload(msg);
+    encode_frame_raw(MAGIC, VERSION, msg.msg_type(), &payload)
+}
+
+/// Serialize a frame with explicit header fields — the doctored-frame hook
+/// the protocol-abuse tests (bad magic, future version, corrupt checksum)
+/// are built on.
+pub fn encode_frame_raw(magic: u32, version: u16, msg_type: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len() + 4);
+    put_u32(&mut out, magic);
+    put_u16(&mut out, version);
+    put_u16(&mut out, msg_type);
+    put_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    put_u32(&mut out, crc32(payload));
+    out
+}
+
+/// Write one frame to `w` (single `write_all`, then flush).
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<usize> {
+    let frame = encode_frame(msg);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// What a frame read produced before payload interpretation: either a decoded
+/// message or a structured protocol violation the server answers with an
+/// `ERR_*` response.
+#[derive(Debug)]
+pub enum FrameIn {
+    /// A well-formed frame carrying `msg`.
+    Ok(Message),
+    /// The header or checksum was unacceptable; `close` means framing is
+    /// lost (wrong magic) and the connection cannot continue.
+    Violation {
+        code: u16,
+        detail: String,
+        close: bool,
+    },
+}
+
+/// Read one frame from `r`. Returns `Ok(None)` on clean EOF at a frame
+/// boundary; hard I/O errors and mid-frame truncation surface as `Err`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<FrameIn>> {
+    read_frame_limited(r, MAX_PAYLOAD)
+}
+
+/// [`read_frame`] with an explicit payload cap: the length field is checked
+/// against `min(max_payload, MAX_PAYLOAD)` **before** any payload
+/// allocation, so a reader of small messages (the server reading requests)
+/// never commits memory on a hostile header's say-so.
+pub fn read_frame_limited(r: &mut impl Read, max_payload: u64) -> io::Result<Option<FrameIn>> {
+    let mut header = [0u8; HEADER_BYTES];
+    // EOF before any header byte = peer closed between frames
+    let mut got = 0;
+    while got < HEADER_BYTES {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "torn header")),
+            n => got += n,
+        }
+    }
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    let msg_type = u16::from_le_bytes(header[6..8].try_into().unwrap());
+    let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    if magic != MAGIC {
+        // the stream cannot be re-synchronized: report and hang up
+        return Ok(Some(FrameIn::Violation {
+            code: ERR_BAD_MAGIC,
+            detail: format!("bad magic {magic:#x}"),
+            close: true,
+        }));
+    }
+    let cap = max_payload.min(MAX_PAYLOAD);
+    if len > cap {
+        // not draining `len` bytes is deliberate: the claim may be hostile
+        // and gigabytes long, so framing is abandoned and the connection
+        // closed after the error reply
+        return Ok(Some(FrameIn::Violation {
+            code: ERR_MALFORMED,
+            detail: format!("payload length {len} exceeds cap {cap}"),
+            close: true,
+        }));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)?;
+    // the version check comes after draining the frame so the connection
+    // stays framed and usable for the error reply
+    if version != VERSION {
+        return Ok(Some(FrameIn::Violation {
+            code: ERR_UNSUPPORTED_VERSION,
+            detail: format!("protocol version {version} not supported (server speaks {VERSION})"),
+            close: false,
+        }));
+    }
+    let crc = u32::from_le_bytes(crc_buf);
+    if crc != crc32(&payload) {
+        return Ok(Some(FrameIn::Violation {
+            code: ERR_BAD_CHECKSUM,
+            detail: "payload checksum mismatch".to_string(),
+            close: false,
+        }));
+    }
+    match decode_payload(msg_type, &payload) {
+        Ok(msg) => Ok(Some(FrameIn::Ok(msg))),
+        Err(e) => Ok(Some(FrameIn::Violation {
+            code: ERR_MALFORMED,
+            detail: e.to_string(),
+            close: false,
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // standard IEEE CRC-32 check values
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    fn roundtrip(msg: Message) {
+        let frame = encode_frame(&msg);
+        let mut cursor = &frame[..];
+        match read_frame(&mut cursor).unwrap().unwrap() {
+            FrameIn::Ok(got) => assert_eq!(got, msg),
+            FrameIn::Violation { detail, .. } => panic!("rejected own frame: {detail}"),
+        }
+        assert!(cursor.is_empty(), "frame not fully consumed");
+    }
+
+    fn sample_mesh() -> IndexedMesh {
+        let mut m = IndexedMesh::new();
+        let a = m.push_vertex(Vec3::new(0.25, -1.5, 3.0));
+        let b = m.push_vertex(Vec3::new(1.0, 0.0, f32::MIN_POSITIVE));
+        let c = m.push_vertex(Vec3::new(-0.0, 9.75, 2.5));
+        m.push_triangle(a, b, c);
+        m.push_triangle(c, b, a);
+        m
+    }
+
+    fn sample_region() -> FrameRegion {
+        FrameRegion {
+            origin: (3, 7),
+            size: (2, 2),
+            color: vec![[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12], [0, 0, 0, 0]],
+            depth: vec![0.5, f32::INFINITY, -1.25, 0.0],
+        }
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Message::MeshRequest {
+            iso: 127.5,
+            region: None,
+        });
+        roundtrip(Message::MeshRequest {
+            iso: -3.25,
+            region: Some(Region {
+                lo: [0.0, 1.0, 2.0],
+                hi: [3.0, 4.0, 5.0],
+            }),
+        });
+        roundtrip(Message::FrameRequest {
+            iso: 190.0,
+            params: FrameParams {
+                width: 640,
+                height: 480,
+                azimuth: 0.9,
+                elevation: 0.45,
+                distance: 2.0,
+                tile_cols: 2,
+                tile_rows: 2,
+            },
+        });
+        roundtrip(Message::StatsRequest);
+        roundtrip(Message::Ping {
+            payload: vec![0xAB; 1000],
+        });
+        roundtrip(Message::Pong { payload: vec![] });
+        roundtrip(Message::MeshResponse {
+            cache_hit: true,
+            active_metacells: 42,
+            mesh: sample_mesh(),
+        });
+        roundtrip(Message::FrameResponse {
+            cache_hit: false,
+            width: 8,
+            height: 8,
+            regions: vec![sample_region(), sample_region()],
+        });
+        roundtrip(Message::StatsResponse(ServerReport {
+            connections: 1,
+            requests: 2,
+            mesh_requests: 3,
+            frame_requests: 4,
+            errors: 5,
+            bytes_out: 6,
+            cache_hits: 7,
+            cache_misses: 8,
+            cache_evictions: 9,
+            cache_resident_bytes: 10,
+            cache_resident_entries: 11,
+        }));
+        roundtrip(Message::Error {
+            code: ERR_MALFORMED,
+            detail: "¿qué?".to_string(),
+        });
+        roundtrip(Message::Region(sample_region()));
+    }
+
+    #[test]
+    fn mesh_response_is_bit_exact() {
+        let mesh = sample_mesh();
+        let frame = encode_frame(&Message::MeshResponse {
+            cache_hit: false,
+            active_metacells: 0,
+            mesh: mesh.clone(),
+        });
+        let Some(FrameIn::Ok(Message::MeshResponse { mesh: got, .. })) =
+            read_frame(&mut &frame[..]).unwrap()
+        else {
+            panic!("decode failed");
+        };
+        // bit patterns, not approximate equality
+        for (a, b) in mesh.positions().iter().zip(got.positions()) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+        assert_eq!(mesh.indices(), got.indices());
+    }
+
+    #[test]
+    fn borrowed_mesh_encode_matches_owned_message_encode() {
+        let mesh = sample_mesh();
+        let borrowed = encode_mesh_response_frame(true, 42, &mesh);
+        let owned = encode_frame(&Message::MeshResponse {
+            cache_hit: true,
+            active_metacells: 42,
+            mesh,
+        });
+        assert_eq!(borrowed, owned, "hot path must emit identical bytes");
+    }
+
+    #[test]
+    fn limited_reader_rejects_hostile_length_before_allocating() {
+        // header claims 1 GiB (within MAX_PAYLOAD) but the reader's cap is
+        // 1 KiB: must reject from the header alone — the stream holds no
+        // payload at all, so any attempt to read/allocate it would error
+        let mut frame = encode_frame_raw(MAGIC, VERSION, MSG_PING, b"");
+        frame[8..16].copy_from_slice(&(1u64 << 30).to_le_bytes());
+        let header_only = &frame[..HEADER_BYTES];
+        match read_frame_limited(&mut &header_only[..], 1024)
+            .unwrap()
+            .unwrap()
+        {
+            FrameIn::Violation { code, close, .. } => {
+                assert_eq!(code, ERR_MALFORMED);
+                assert!(close, "framing is abandoned, not drained");
+            }
+            FrameIn::Ok(_) => panic!("hostile length accepted"),
+        }
+        // under the cap, the same reader still works
+        let ok = encode_frame(&Message::Ping {
+            payload: vec![1; 16],
+        });
+        assert!(matches!(
+            read_frame_limited(&mut &ok[..], 1024).unwrap().unwrap(),
+            FrameIn::Ok(Message::Ping { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_checksum_is_flagged() {
+        let mut frame = encode_frame(&Message::MeshRequest {
+            iso: 1.0,
+            region: None,
+        });
+        let n = frame.len();
+        frame[n - 1] ^= 0x40; // flip a checksum bit
+        match read_frame(&mut &frame[..]).unwrap().unwrap() {
+            FrameIn::Violation { code, close, .. } => {
+                assert_eq!(code, ERR_BAD_CHECKSUM);
+                assert!(!close, "checksum failure keeps the connection framed");
+            }
+            FrameIn::Ok(_) => panic!("corrupt frame accepted"),
+        }
+        // corrupt a payload byte instead: same verdict
+        let mut frame2 = encode_frame(&Message::Ping {
+            payload: vec![7; 32],
+        });
+        frame2[HEADER_BYTES + 3] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut &frame2[..]).unwrap().unwrap(),
+            FrameIn::Violation {
+                code: ERR_BAD_CHECKSUM,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_future_version_are_flagged() {
+        let payload = encode_payload(&Message::StatsRequest);
+        let bad_magic = encode_frame_raw(0xDEAD_BEEF, VERSION, MSG_STATS_REQUEST, &payload);
+        match read_frame(&mut &bad_magic[..]).unwrap().unwrap() {
+            FrameIn::Violation { code, close, .. } => {
+                assert_eq!(code, ERR_BAD_MAGIC);
+                assert!(close, "framing is lost after a magic mismatch");
+            }
+            FrameIn::Ok(_) => panic!("bad magic accepted"),
+        }
+        let future = encode_frame_raw(MAGIC, VERSION + 41, MSG_STATS_REQUEST, &payload);
+        match read_frame(&mut &future[..]).unwrap().unwrap() {
+            FrameIn::Violation { code, close, .. } => {
+                assert_eq!(code, ERR_UNSUPPORTED_VERSION);
+                assert!(!close, "version rejection is a framed, recoverable reply");
+            }
+            FrameIn::Ok(_) => panic!("future version accepted"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors_not_panics() {
+        // empty stream = clean EOF
+        assert!(read_frame(&mut &[][..]).unwrap().is_none());
+        // half a header
+        let frame = encode_frame(&Message::StatsRequest);
+        assert!(read_frame(&mut &frame[..7]).is_err());
+        // header promises more payload than the stream holds
+        assert!(read_frame(&mut &frame[..HEADER_BYTES]).is_err());
+        // unknown message type decodes to a violation, not a panic
+        let junk = encode_frame_raw(MAGIC, VERSION, 999, b"junk");
+        assert!(matches!(
+            read_frame(&mut &junk[..]).unwrap().unwrap(),
+            FrameIn::Violation {
+                code: ERR_MALFORMED,
+                ..
+            }
+        ));
+        // absurd length field is capped, not allocated
+        let mut huge = encode_frame_raw(MAGIC, VERSION, MSG_PING, b"");
+        huge[8..16].copy_from_slice(&(u64::MAX).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &huge[..]).unwrap().unwrap(),
+            FrameIn::Violation {
+                code: ERR_MALFORMED,
+                close: true,
+                ..
+            }
+        ));
+        // element counts that can't fit the received bytes are rejected
+        // before any proportional reservation happens
+        let mut hostile = vec![0u8]; // cache_hit
+        hostile.extend_from_slice(&0u64.to_le_bytes()); // active_metacells
+        hostile.extend_from_slice(&0u64.to_le_bytes()); // nvert = 0
+        hostile.extend_from_slice(&(1u64 << 31).to_le_bytes()); // nidx: 2^31
+        assert!(decode_payload(MSG_MESH_RESPONSE, &hostile).is_err());
+        // ...and a count whose byte requirement overflows u64
+        let mut overflow = vec![0u8];
+        overflow.extend_from_slice(&0u64.to_le_bytes());
+        overflow.extend_from_slice(&u64::MAX.to_le_bytes()); // nvert: 2^64-1
+        overflow.extend_from_slice(&0u64.to_le_bytes());
+        assert!(decode_payload(MSG_MESH_RESPONSE, &overflow).is_err());
+        // mesh payload with out-of-range indices is rejected
+        let mut mesh = IndexedMesh::new();
+        let v = mesh.push_vertex(Vec3::ZERO);
+        mesh.push_triangle(v, v, v);
+        let mut payload = encode_payload(&Message::MeshResponse {
+            cache_hit: false,
+            active_metacells: 0,
+            mesh,
+        });
+        let off = payload.len() - 4;
+        payload[off..].copy_from_slice(&99u32.to_le_bytes());
+        assert!(decode_payload(MSG_MESH_RESPONSE, &payload).is_err());
+    }
+}

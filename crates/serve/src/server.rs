@@ -1,0 +1,324 @@
+//! The multi-threaded TCP query server.
+//!
+//! One accept loop, one OS thread per connection (the paper's cluster serves
+//! a handful of display clients; thread-per-connection keeps the handler a
+//! plain blocking loop). Every handler shares one [`oociso_core::ClusterDatabase`]
+//! — extraction already fans out across node threads and per-node worker
+//! pools internally, so concurrent requests ride the existing streaming
+//! extraction path — plus one [`ResultCache`] behind a mutex (held only for
+//! lookup/insert, never across an extraction).
+
+use crate::cache::{CachedSurface, ResultCache};
+use crate::protocol::{
+    encode_frame, encode_mesh_response_frame, read_frame_limited, FrameIn, Message, ServerReport,
+    ERR_INTERNAL, ERR_MALFORMED, MAX_REQUEST_PAYLOAD,
+};
+use oociso_core::ClusterDatabase;
+use oociso_render::{rasterize_mesh, Camera, Framebuffer, TileLayout};
+use oociso_volume::ScalarValue;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Result-cache byte budget (default 256 MiB).
+    pub cache_bytes: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            cache_bytes: 256 << 20,
+        }
+    }
+}
+
+/// Shared state behind every connection handler.
+struct State<S: ScalarValue> {
+    db: ClusterDatabase<S>,
+    cache: Mutex<ResultCache>,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    mesh_requests: AtomicU64,
+    frame_requests: AtomicU64,
+    errors: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl<S: ScalarValue> State<S> {
+    fn report(&self) -> ServerReport {
+        let cache = self.cache.lock().expect("cache lock").stats();
+        ServerReport {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            mesh_requests: self.mesh_requests.load(Ordering::Relaxed),
+            frame_requests: self.frame_requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_resident_bytes: cache.resident_bytes,
+            cache_resident_entries: cache.resident_entries,
+        }
+    }
+
+    /// The full surface at `iso`, from cache or a fresh extraction.
+    /// Returns `(surface, cache_hit)`.
+    fn surface(&self, iso: f32) -> io::Result<(Arc<CachedSurface>, bool)> {
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(iso) {
+            return Ok((hit, true));
+        }
+        // extract outside the lock: concurrent first-queries of one isovalue
+        // may each extract (both count as misses, last insert wins), but no
+        // request ever blocks behind another's extraction
+        let result = self.db.extract(iso)?;
+        let surface = CachedSurface {
+            mesh: result.mesh,
+            active_metacells: result.report.total_active_metacells(),
+        };
+        let arc = self.cache.lock().expect("cache lock").insert(iso, surface);
+        Ok((arc, false))
+    }
+}
+
+/// A running server: the bound address plus the accept-loop handle.
+///
+/// Dropping the handle without calling [`IsoServer::stop`] leaves the accept
+/// loop running detached until the process exits (what the CLI's foreground
+/// `serve` does by parking forever).
+pub struct IsoServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_loop: Option<JoinHandle<()>>,
+    report: Arc<dyn Fn() -> ServerReport + Send + Sync>,
+}
+
+impl IsoServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `db`. Returns once the listener is bound and accepting.
+    pub fn bind<S: ScalarValue>(
+        db: ClusterDatabase<S>,
+        addr: impl ToSocketAddrs,
+        opts: ServeOptions,
+    ) -> io::Result<IsoServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // polling accept loop: nonblocking listener + short sleep lets
+        // `stop()` take effect without a wake-up connection
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(State {
+            db,
+            cache: Mutex::new(ResultCache::new(opts.cache_bytes)),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            mesh_requests: AtomicU64::new(0),
+            frame_requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+        });
+        let report_state = state.clone();
+        let loop_shutdown = shutdown.clone();
+        let accept_loop = std::thread::Builder::new()
+            .name("oociso-accept".to_string())
+            .spawn(move || accept_loop(listener, state, loop_shutdown))?;
+        Ok(IsoServer {
+            addr,
+            shutdown,
+            accept_loop: Some(accept_loop),
+            report: Arc::new(move || report_state.report()),
+        })
+    }
+
+    /// The address the server actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server counters, as a stats request would see them.
+    pub fn report(&self) -> ServerReport {
+        (self.report)()
+    }
+
+    /// Stop accepting and join the accept loop. Connections already being
+    /// served finish their current request loop on their own threads.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_loop.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block this thread forever (foreground serving).
+    pub fn park(self) -> ! {
+        loop {
+            std::thread::park();
+        }
+    }
+}
+
+fn accept_loop<S: ScalarValue>(
+    listener: TcpListener,
+    state: Arc<State<S>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.connections.fetch_add(1, Ordering::Relaxed);
+                let state = state.clone();
+                let _ = std::thread::Builder::new()
+                    .name("oociso-conn".to_string())
+                    .spawn(move || {
+                        // connection errors (peer vanished mid-frame) end the
+                        // handler; the server itself is unaffected
+                        let _ = handle_connection(stream, &state);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// A computed response: either a message still to encode, or a frame
+/// pre-encoded from borrowed data (the cache-hit path, which must not clone
+/// the cached mesh).
+enum Reply {
+    Msg(Message),
+    Encoded(Vec<u8>),
+}
+
+/// Serve one connection until EOF, a hard I/O error, or an unrecoverable
+/// protocol violation. Requests are read under [`MAX_REQUEST_PAYLOAD`]:
+/// a hostile length header is rejected before any payload allocation.
+fn handle_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    loop {
+        let frame = match read_frame_limited(&mut stream, MAX_REQUEST_PAYLOAD)? {
+            None => return Ok(()), // clean EOF between frames
+            Some(f) => f,
+        };
+        let (reply, close) = match frame {
+            FrameIn::Ok(msg) => (respond(state, msg), false),
+            FrameIn::Violation {
+                code,
+                detail,
+                close,
+            } => (Reply::Msg(Message::Error { code, detail }), close),
+        };
+        if matches!(reply, Reply::Msg(Message::Error { .. })) {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let frame_bytes = match reply {
+            Reply::Msg(msg) => encode_frame(&msg),
+            Reply::Encoded(bytes) => bytes,
+        };
+        stream.write_all(&frame_bytes)?;
+        stream.flush()?;
+        state
+            .bytes_out
+            .fetch_add(frame_bytes.len() as u64, Ordering::Relaxed);
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// Largest viewport a frame request may ask for, in pixels. A framebuffer
+/// is 8 B/px and the response roughly triples that (buffer + regions +
+/// encoded payload), so this bounds a single well-formed request's
+/// allocations to ~200 MB instead of letting a 16384² ask commit gigabytes.
+const MAX_FRAME_PIXELS: usize = 8 << 20;
+
+/// Compute the response for one well-formed request.
+fn respond<S: ScalarValue>(state: &State<S>, msg: Message) -> Reply {
+    match msg {
+        Message::MeshRequest { iso, region } => {
+            state.mesh_requests.fetch_add(1, Ordering::Relaxed);
+            match state.surface(iso) {
+                // no region: serialize straight from the shared cached mesh
+                Ok((surface, cache_hit)) => match region {
+                    None => Reply::Encoded(encode_mesh_response_frame(
+                        cache_hit,
+                        surface.active_metacells,
+                        &surface.mesh,
+                    )),
+                    Some(r) => {
+                        let (lo, hi) = r.corners();
+                        Reply::Msg(Message::MeshResponse {
+                            cache_hit,
+                            active_metacells: surface.active_metacells,
+                            mesh: surface.mesh.filter_region(lo, hi),
+                        })
+                    }
+                },
+                Err(e) => Reply::Msg(Message::Error {
+                    code: ERR_INTERNAL,
+                    detail: format!("extraction failed: {e}"),
+                }),
+            }
+        }
+        Message::FrameRequest { iso, params } => {
+            state.frame_requests.fetch_add(1, Ordering::Relaxed);
+            let (w, h) = (params.width as usize, params.height as usize);
+            let (cols, rows) = (params.tile_cols as usize, params.tile_rows as usize);
+            if w == 0
+                || h == 0
+                || w.saturating_mul(h) > MAX_FRAME_PIXELS
+                || cols == 0
+                || rows == 0
+                || w % cols != 0
+                || h % rows != 0
+            {
+                return Reply::Msg(Message::Error {
+                    code: ERR_MALFORMED,
+                    detail: format!(
+                        "bad viewport {w}x{h} in {cols}x{rows} tiles (pixel cap {MAX_FRAME_PIXELS})"
+                    ),
+                });
+            }
+            match state.surface(iso) {
+                Ok((surface, cache_hit)) => {
+                    let mut fb = Framebuffer::new(w, h);
+                    if !surface.mesh.is_empty() {
+                        let camera = Camera::orbiting(
+                            &surface.mesh.bounds(),
+                            params.azimuth,
+                            params.elevation,
+                            params.distance,
+                        );
+                        rasterize_mesh(&surface.mesh, &camera, [0.9, 0.78, 0.5], &mut fb);
+                    }
+                    let tiles = TileLayout::new(cols, rows, w, h);
+                    Reply::Msg(Message::FrameResponse {
+                        cache_hit,
+                        width: params.width,
+                        height: params.height,
+                        regions: tiles.shard(&fb),
+                    })
+                }
+                Err(e) => Reply::Msg(Message::Error {
+                    code: ERR_INTERNAL,
+                    detail: format!("extraction failed: {e}"),
+                }),
+            }
+        }
+        Message::StatsRequest => Reply::Msg(Message::StatsResponse(state.report())),
+        Message::Ping { payload } => Reply::Msg(Message::Pong { payload }),
+        // a client sending server-to-client messages is confused
+        other => Reply::Msg(Message::Error {
+            code: ERR_MALFORMED,
+            detail: format!("unexpected client message type {}", other.msg_type()),
+        }),
+    }
+}

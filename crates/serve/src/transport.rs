@@ -1,0 +1,259 @@
+//! Real-socket compositing transport and loopback calibration.
+
+use crate::protocol::{read_frame, write_frame, FrameIn, Message};
+use oociso_render::{FrameRegion, InterconnectModel, Transport};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A [`Transport`] that pushes every remote region through a real kernel TCP
+/// connection on `127.0.0.1`.
+///
+/// The sender serializes each region as a [`Message::Region`] frame and
+/// writes it to a connected socket; a receiver thread on the other end of
+/// the connection reads, checksum-verifies, and decodes the frame, then
+/// hands the received copy back for compositing. Every byte of every remote
+/// region crosses the loopback device and the full encode/decode path, so a
+/// composite through this transport proves the wire protocol preserves
+/// framebuffers bit-exactly — and its measured [`Transport::cost`] is what
+/// [`InterconnectModel::loopback`] is calibrated against.
+///
+/// Regions whose destination tile lives on the sending node skip the socket
+/// (the paper's architecture never puts those on the wire), mirroring
+/// [`oociso_render::SimTransport`]'s accounting so the two are directly
+/// comparable.
+pub struct TcpLoopbackTransport {
+    sender: TcpStream,
+    received: mpsc::Receiver<io::Result<FrameRegion>>,
+    receiver: Option<JoinHandle<()>>,
+    bytes: u64,
+    elapsed: Duration,
+}
+
+impl TcpLoopbackTransport {
+    /// Stand up the loopback pair (ephemeral port, connect, accept) and the
+    /// receiver thread.
+    pub fn new() -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let sender = TcpStream::connect(listener.local_addr()?)?;
+        sender.set_nodelay(true)?;
+        let (mut peer, _) = listener.accept()?;
+        peer.set_nodelay(true)?;
+        let (tx, rx) = mpsc::channel();
+        let receiver = std::thread::Builder::new()
+            .name("oociso-composite-rx".to_string())
+            .spawn(move || loop {
+                match read_frame(&mut peer) {
+                    Ok(None) => return, // sender hung up: shuffle over
+                    Ok(Some(FrameIn::Ok(Message::Region(region)))) => {
+                        if tx.send(Ok(region)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(Some(FrameIn::Ok(_))) | Ok(Some(FrameIn::Violation { .. })) => {
+                        let _ = tx.send(Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "unexpected frame on compositing channel",
+                        )));
+                        return;
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            })?;
+        Ok(TcpLoopbackTransport {
+            sender,
+            received: rx,
+            receiver: Some(receiver),
+            bytes: 0,
+            elapsed: Duration::ZERO,
+        })
+    }
+}
+
+impl Transport for TcpLoopbackTransport {
+    fn send_region(
+        &mut self,
+        _from: usize,
+        _tile: usize,
+        local: bool,
+        region: FrameRegion,
+    ) -> io::Result<FrameRegion> {
+        if local {
+            return Ok(region);
+        }
+        let t0 = Instant::now();
+        let frame_bytes = write_frame(&mut self.sender, &Message::Region(region))?;
+        let received = self
+            .received
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "composite receiver died"))??;
+        self.elapsed += t0.elapsed();
+        self.bytes += frame_bytes as u64;
+        Ok(received)
+    }
+
+    fn bytes_moved(&self) -> u64 {
+        self.bytes
+    }
+
+    fn cost(&self) -> Duration {
+        self.elapsed
+    }
+
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+impl Drop for TcpLoopbackTransport {
+    fn drop(&mut self) {
+        let _ = self.sender.shutdown(std::net::Shutdown::Both);
+        if let Some(h) = self.receiver.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Measure the real TCP loopback and build an [`InterconnectModel`] from it,
+/// so simulator runs can be priced with the same constants the real
+/// transport pays (the `loopback()` profile's live recalibration).
+///
+/// Two probes over one raw echo connection:
+/// 1. **latency** — median round-trip of 32 one-byte echoes, halved;
+/// 2. **bandwidth** — one bulk transfer (default 8 MiB) echoed back,
+///    `2 × bytes / wall` since the payload crosses the link twice.
+pub fn measure_loopback(bulk_bytes: usize) -> io::Result<InterconnectModel> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let mut client = TcpStream::connect(listener.local_addr()?)?;
+    client.set_nodelay(true)?;
+    let (mut peer, _) = listener.accept()?;
+    peer.set_nodelay(true)?;
+    // echo thread: bounce every byte straight back
+    let echo = std::thread::spawn(move || {
+        let mut buf = [0u8; 64 << 10];
+        loop {
+            match peer.read(&mut buf) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => {
+                    if peer.write_all(&buf[..n]).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    });
+
+    // probe 1: small-message round trips
+    let mut rtts = Vec::with_capacity(32);
+    let mut byte = [0u8; 1];
+    for i in 0..32u8 {
+        let t0 = Instant::now();
+        client.write_all(&[i])?;
+        client.read_exact(&mut byte)?;
+        rtts.push(t0.elapsed());
+    }
+    rtts.sort_unstable();
+    let round_trip = rtts[rtts.len() / 2];
+
+    // probe 2: bulk echo (writer thread keeps the pipe full while this
+    // thread drains the echo, so the measurement is streaming, not ping-pong)
+    let bulk = vec![0x5Au8; bulk_bytes.max(1)];
+    let mut writer = client.try_clone()?;
+    let t0 = Instant::now();
+    let w = std::thread::spawn(move || writer.write_all(&bulk).and_then(|()| writer.flush()));
+    let mut drain = vec![0u8; 64 << 10];
+    let mut seen = 0usize;
+    while seen < bulk_bytes.max(1) {
+        let n = client.read(&mut drain)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "echo ended early",
+            ));
+        }
+        seen += n;
+    }
+    let bulk_time = t0.elapsed();
+    w.join()
+        .map_err(|_| io::Error::other("bulk writer panicked"))??;
+    drop(client);
+    let _ = echo.join();
+
+    // the payload crossed the loopback twice (out and back)
+    Ok(InterconnectModel::from_measurement(
+        round_trip,
+        2 * bulk_bytes.max(1) as u64,
+        bulk_time,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_survive_the_socket_bit_exactly() {
+        let mut t = TcpLoopbackTransport::new().unwrap();
+        let region = FrameRegion {
+            origin: (5, 9),
+            size: (3, 2),
+            color: vec![[255, 0, 127, 1]; 6],
+            depth: vec![0.125, f32::INFINITY, -0.5, 1.0, 0.75, 2.5],
+        };
+        let got = t.send_region(0, 1, false, region.clone()).unwrap();
+        assert_eq!(got, region);
+        assert!(
+            t.bytes_moved() > region.wire_bytes(),
+            "framing overhead counts"
+        );
+        assert!(t.cost() > Duration::ZERO);
+        // local regions skip the wire
+        let moved_before = t.bytes_moved();
+        let local = t.send_region(1, 1, true, region.clone()).unwrap();
+        assert_eq!(local, region);
+        assert_eq!(
+            t.bytes_moved(),
+            moved_before,
+            "local route must not move bytes"
+        );
+    }
+
+    #[test]
+    fn loopback_calibration_is_sane() {
+        let m = measure_loopback(1 << 20).unwrap();
+        assert!(m.latency > Duration::ZERO);
+        assert!(
+            m.latency < Duration::from_millis(50),
+            "loopback RTT {:?}",
+            m.latency
+        );
+        // any loopback should stream far faster than spinning rust
+        assert!(
+            m.bytes_per_sec > 50e6,
+            "loopback bandwidth {:.0} B/s",
+            m.bytes_per_sec
+        );
+    }
+}
+
+#[cfg(test)]
+mod calib_print {
+    /// Diagnostic, not an assertion: run with
+    /// `cargo test -p oociso-serve print_measured_loopback -- --ignored --nocapture`
+    /// to re-measure the constants behind `InterconnectModel::loopback()` on
+    /// the current machine.
+    #[test]
+    #[ignore]
+    fn print_measured_loopback() {
+        let m = super::measure_loopback(8 << 20).unwrap();
+        println!(
+            "measured loopback: latency {:?}, {:.3e} B/s",
+            m.latency, m.bytes_per_sec
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! End-to-end serving tests: concurrent clients against one live TCP server
+//! must observe responses bit-identical to direct library calls, the result
+//! cache must be visibly doing its job, and protocol abuse must produce
+//! structured errors without wedging the server.
+
+use oociso_core::{ClusterDatabase, PreprocessOptions};
+use oociso_march::IndexedMesh;
+use oociso_serve::protocol::{
+    encode_payload, ERR_BAD_CHECKSUM, ERR_MALFORMED, ERR_UNSUPPORTED_VERSION, MSG_MESH_REQUEST,
+    MSG_MESH_RESPONSE,
+};
+use oociso_serve::{Client, FrameParams, IsoServer, Message, Region, ServeOptions};
+use oociso_volume::field::{FieldExt, SphereField};
+use oociso_volume::{Dims3, Volume};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("oociso_serve_{}_{}", std::process::id(), name));
+    p
+}
+
+fn test_volume() -> Volume<u8> {
+    SphereField::centered(0.32, 128.0).sample(Dims3::cube(29))
+}
+
+/// A 2-node database + a bound server over it + a second direct-access
+/// database on the same directory for ground truth.
+fn serve_fixture(name: &str, cache_bytes: u64) -> (PathBuf, IsoServer, ClusterDatabase<u8>) {
+    let dir = tmpdir(name);
+    let vol = test_volume();
+    let opts = PreprocessOptions {
+        nodes: 2,
+        ..Default::default()
+    };
+    let served = ClusterDatabase::preprocess(&vol, &dir, &opts).unwrap();
+    let direct = ClusterDatabase::<u8>::open(&dir, false).unwrap();
+    let server = IsoServer::bind(served, ("127.0.0.1", 0), ServeOptions { cache_bytes }).unwrap();
+    (dir, server, direct)
+}
+
+fn assert_same_mesh(a: &IndexedMesh, b: &IndexedMesh, ctx: &str) {
+    assert_eq!(
+        a.positions().len(),
+        b.positions().len(),
+        "{ctx}: vertex count"
+    );
+    for (i, (x, y)) in a.positions().iter().zip(b.positions()).enumerate() {
+        assert_eq!(x.x.to_bits(), y.x.to_bits(), "{ctx}: vertex {i}.x");
+        assert_eq!(x.y.to_bits(), y.y.to_bits(), "{ctx}: vertex {i}.y");
+        assert_eq!(x.z.to_bits(), y.z.to_bits(), "{ctx}: vertex {i}.z");
+    }
+    assert_eq!(a.indices(), b.indices(), "{ctx}: indices");
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_results_and_cache_hits() {
+    let (dir, server, direct) = serve_fixture("concurrent", 256 << 20);
+    let addr = server.addr();
+    let isovalues = [90.0f32, 120.0, 150.0];
+
+    // ground truth once per isovalue, via direct library calls
+    let truth: HashMap<u32, IndexedMesh> = isovalues
+        .iter()
+        .map(|&iso| (iso.to_bits(), direct.extract(iso).unwrap().mesh))
+        .collect();
+
+    // warm pass: one sequential client populates the cache (all misses)
+    {
+        let mut warm = Client::connect(addr).unwrap();
+        for &iso in &isovalues {
+            let reply = warm.query_mesh(iso, None).unwrap();
+            assert!(!reply.cache_hit, "first query of {iso} cannot hit");
+            assert_same_mesh(&reply.mesh, &truth[&iso.to_bits()], "warm");
+        }
+        let s = warm.stats().unwrap();
+        assert_eq!(s.cache_misses, isovalues.len() as u64);
+        assert_eq!(s.cache_resident_entries, isovalues.len() as u64);
+    }
+
+    // storm pass: N threads × mixed isovalues, all concurrent, all hits
+    let threads = 6;
+    let per_thread = 4;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let truth = &truth;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for q in 0..per_thread {
+                    let iso = isovalues[(t + q) % isovalues.len()];
+                    let reply = client.query_mesh(iso, None).unwrap();
+                    assert!(reply.cache_hit, "warmed isovalue {iso} must hit");
+                    assert!(reply.active_metacells > 0);
+                    assert_same_mesh(
+                        &reply.mesh,
+                        &truth[&iso.to_bits()],
+                        &format!("thread {t} query {q} iso {iso}"),
+                    );
+                }
+            });
+        }
+    });
+
+    let report = server.report();
+    assert_eq!(report.connections, 1 + threads as u64);
+    assert_eq!(
+        report.cache_hits,
+        (threads * per_thread) as u64,
+        "every storm query must be a cache hit: {report:?}"
+    );
+    assert_eq!(report.cache_misses, isovalues.len() as u64);
+    assert_eq!(
+        report.mesh_requests,
+        (isovalues.len() + threads * per_thread) as u64
+    );
+    assert_eq!(report.errors, 0);
+    assert!(report.bytes_out > 0);
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn region_and_frame_requests_match_direct_calls() {
+    let (dir, server, direct) = serve_fixture("modes", 256 << 20);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let iso = 120.0f32;
+    let full = direct.extract(iso).unwrap().mesh;
+
+    // region-restricted mesh = the same public filter applied locally
+    let region = Region {
+        lo: [0.0, 0.0, 0.0],
+        hi: [14.0, 14.0, 14.0],
+    };
+    let (lo, hi) = region.corners();
+    let expected = full.filter_region(lo, hi);
+    let reply = client.query_mesh(iso, Some(region)).unwrap();
+    assert!(
+        !reply.mesh.is_empty(),
+        "test region should catch some surface"
+    );
+    assert!(
+        reply.mesh.len() < full.len(),
+        "region should truly restrict"
+    );
+    assert_same_mesh(&reply.mesh, &expected, "region");
+
+    // frame mode = rasterizing the same mesh locally, pixel for pixel
+    let params = FrameParams {
+        width: 96,
+        height: 96,
+        azimuth: 0.7,
+        elevation: 0.4,
+        distance: 2.5,
+        tile_cols: 2,
+        tile_rows: 2,
+    };
+    let frame = client.query_frame(iso, params).unwrap();
+    assert!(frame.cache_hit, "mesh query warmed this isovalue");
+    let mut local = oociso_render::Framebuffer::new(96, 96);
+    let camera = oociso_render::Camera::orbiting(&full.bounds(), 0.7, 0.4, 2.5);
+    oociso_render::rasterize_mesh(&full, &camera, [0.9, 0.78, 0.5], &mut local);
+    assert_eq!(
+        frame.framebuffer, local,
+        "remote frame differs from local raster"
+    );
+    assert_eq!(frame.regions.len(), 4);
+    assert!(frame.framebuffer.covered_pixels() > 100);
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_and_wrong_version_requests_get_structured_errors() {
+    let (dir, server, _direct) = serve_fixture("abuse", 256 << 20);
+    let addr = server.addr();
+    let good_payload = encode_payload(&Message::MeshRequest {
+        iso: 120.0,
+        region: None,
+    });
+
+    // future protocol version → ERR_UNSUPPORTED_VERSION, connection survives
+    let mut client = Client::connect(addr).unwrap();
+    match client
+        .roundtrip_raw(
+            oociso_serve::MAGIC,
+            oociso_serve::VERSION + 7,
+            MSG_MESH_REQUEST,
+            &good_payload,
+            false,
+        )
+        .unwrap()
+    {
+        Some(Message::Error { code, detail }) => {
+            assert_eq!(code, ERR_UNSUPPORTED_VERSION, "{detail}");
+        }
+        other => panic!("expected version error, got {other:?}"),
+    }
+    // ...and a well-formed request on the same connection still works
+    let reply = client.query_mesh(120.0, None).unwrap();
+    assert!(!reply.mesh.is_empty());
+
+    // corrupted checksum → ERR_BAD_CHECKSUM
+    match client
+        .roundtrip_raw(
+            oociso_serve::MAGIC,
+            oociso_serve::VERSION,
+            MSG_MESH_REQUEST,
+            &good_payload,
+            true,
+        )
+        .unwrap()
+    {
+        Some(Message::Error { code, .. }) => assert_eq!(code, ERR_BAD_CHECKSUM),
+        other => panic!("expected checksum error, got {other:?}"),
+    }
+
+    // truncated request body → ERR_MALFORMED
+    match client
+        .roundtrip_raw(
+            oociso_serve::MAGIC,
+            oociso_serve::VERSION,
+            MSG_MESH_REQUEST,
+            &good_payload[..2],
+            false,
+        )
+        .unwrap()
+    {
+        Some(Message::Error { code, .. }) => assert_eq!(code, ERR_MALFORMED),
+        other => panic!("expected malformed error, got {other:?}"),
+    }
+
+    // a client sending a server-to-server message type → ERR_MALFORMED
+    match client
+        .roundtrip_raw(
+            oociso_serve::MAGIC,
+            oociso_serve::VERSION,
+            MSG_MESH_RESPONSE,
+            &encode_payload(&Message::MeshResponse {
+                cache_hit: false,
+                active_metacells: 0,
+                mesh: IndexedMesh::new(),
+            }),
+            false,
+        )
+        .unwrap()
+    {
+        Some(Message::Error { code, .. }) => assert_eq!(code, ERR_MALFORMED),
+        other => panic!("expected malformed error, got {other:?}"),
+    }
+
+    // wrong magic: the server replies (if it can) and hangs up
+    let mut bad_magic = Client::connect(addr).unwrap();
+    match bad_magic.roundtrip_raw(
+        0x0BAD_CAFE,
+        oociso_serve::VERSION,
+        MSG_MESH_REQUEST,
+        &good_payload,
+        false,
+    ) {
+        Ok(Some(Message::Error { code, .. })) => {
+            assert_eq!(code, oociso_serve::protocol::ERR_BAD_MAGIC)
+        }
+        Ok(Some(other)) => panic!("expected error frame, got {other:?}"),
+        Ok(None) | Err(_) => {} // hung up before/while replying: acceptable
+    }
+
+    // a request claiming a payload over the server's request cap is
+    // rejected before any allocation (the header alone cannot commit
+    // memory), and that connection is closed
+    let mut hostile = Client::connect(addr).unwrap();
+    let big = vec![0u8; (oociso_serve::protocol::MAX_REQUEST_PAYLOAD + 1) as usize];
+    match hostile.roundtrip_raw(
+        oociso_serve::MAGIC,
+        oociso_serve::VERSION,
+        oociso_serve::protocol::MSG_PING,
+        &big,
+        false,
+    ) {
+        Ok(Some(Message::Error { code, detail })) => {
+            assert_eq!(code, ERR_MALFORMED, "{detail}");
+            assert!(detail.contains("exceeds cap"), "{detail}");
+        }
+        Ok(Some(other)) => panic!("oversized request accepted: {other:?}"),
+        Ok(None) | Err(_) => {} // hung up mid-write: also acceptable
+    }
+
+    // a well-formed frame request demanding a multi-gigabyte viewport is
+    // refused by the pixel cap
+    let mut greedy = Client::connect(addr).unwrap();
+    let err = greedy
+        .query_frame(
+            120.0,
+            FrameParams {
+                width: 16_384,
+                height: 16_384,
+                azimuth: 0.0,
+                elevation: 0.0,
+                distance: 2.0,
+                tile_cols: 1,
+                tile_rows: 1,
+            },
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("pixel cap"), "{err}");
+
+    // the server is still healthy for new connections after all the abuse
+    let mut fresh = Client::connect(addr).unwrap();
+    assert!(!fresh.query_mesh(120.0, None).unwrap().mesh.is_empty());
+    let s = fresh.stats().unwrap();
+    assert!(s.errors >= 4, "abuse must be counted: {s:?}");
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_eviction_under_tiny_budget_still_serves_correct_meshes() {
+    // a budget big enough for roughly one mesh: every new isovalue evicts,
+    // correctness must be unaffected
+    let (dir, server, direct) = serve_fixture("evict", 40 << 10);
+    let mut client = Client::connect(server.addr()).unwrap();
+    for &iso in &[90.0f32, 120.0, 150.0, 90.0] {
+        let reply = client.query_mesh(iso, None).unwrap();
+        let truth = direct.extract(iso).unwrap().mesh;
+        assert_same_mesh(&reply.mesh, &truth, &format!("iso {iso}"));
+    }
+    let s = client.stats().unwrap();
+    assert!(
+        s.cache_evictions > 0 || s.cache_resident_entries <= 1,
+        "tiny budget must constrain the cache: {s:?}"
+    );
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ping_echoes_and_measures() {
+    let (dir, server, _direct) = serve_fixture("ping", 1 << 20);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let rtt = client.ping(1024).unwrap();
+    assert!(rtt > std::time::Duration::ZERO);
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}

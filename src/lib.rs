@@ -22,6 +22,8 @@
 //!   local index + local framebuffer), phase timings.
 //! * [`core`] — the public API: [`core::IsoDatabase`],
 //!   [`core::TimeVaryingDatabase`], [`core::ClusterDatabase`].
+//! * [`serve`] — TCP query server (versioned wire protocol, LRU result
+//!   cache), blocking client, and the real-socket compositing transport.
 //!
 //! ## Quickstart
 //!
@@ -43,4 +45,5 @@ pub use oociso_itree as itree;
 pub use oociso_march as march;
 pub use oociso_metacell as metacell;
 pub use oociso_render as render;
+pub use oociso_serve as serve;
 pub use oociso_volume as volume;

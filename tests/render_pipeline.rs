@@ -2,7 +2,10 @@
 //! must be pixel-equivalent to rendering everything on one node.
 
 use oociso::core::{ClusterDatabase, PreprocessOptions};
-use oociso::render::{rasterize_mesh, Camera, Framebuffer, TileLayout};
+use oociso::render::{
+    rasterize_mesh, Camera, Framebuffer, InterconnectModel, SimTransport, TileLayout, Transport,
+};
+use oociso::serve::TcpLoopbackTransport;
 use oociso::volume::field::{AnalyticField, FieldExt, SphereField, TorusField};
 use oociso::volume::Dims3;
 use std::path::PathBuf;
@@ -47,6 +50,86 @@ fn cluster_composite_equals_single_node_render() {
     // tolerate a handful of equal-depth tie-break pixels along stripe seams
     assert!(diff < 60, "{diff} differing pixels of 25600");
     assert!(wall.covered_pixels() > 500);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn composite_bit_identical_across_simulated_and_tcp_transports() {
+    // the acceptance test for the pluggable compositing transport: the same
+    // scene composited through the modeled interconnect (in-process) and
+    // through real TCP loopback sockets (every remote region serialized,
+    // checksummed, and decoded on the far side) must produce byte-identical
+    // framebuffers — transports move pixels, they never transform them
+    let vol = SphereField::centered(0.32, 128.0).sample::<u8>(Dims3::cube(33));
+    let dir = tmpdir("transports");
+    let db = ClusterDatabase::preprocess(
+        &vol,
+        &dir,
+        &PreprocessOptions {
+            nodes: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let probe = db.extract(128.0).unwrap();
+    let camera = Camera::orbiting(&probe.mesh.bounds(), 0.5, 0.6, 2.4);
+    let tiles = TileLayout::paper_wall(96, 96);
+
+    // per-node render once, composite the same buffers three ways
+    let e = db.extract_per_node(128.0).unwrap();
+    let buffers: Vec<Framebuffer> = e
+        .meshes
+        .iter()
+        .map(|mesh| {
+            let mut fb = Framebuffer::new(96, 96);
+            rasterize_mesh(mesh, &camera, [0.7, 0.8, 0.9], &mut fb);
+            fb
+        })
+        .collect();
+
+    let (reference, wire_ref) = tiles.composite(&buffers);
+    let mut sim = SimTransport::new(InterconnectModel::loopback());
+    let (via_sim, wire_sim) = tiles.composite_via(&buffers, &mut sim).unwrap();
+    let mut tcp = TcpLoopbackTransport::new().unwrap();
+    let (via_tcp, wire_tcp) = tiles.composite_via(&buffers, &mut tcp).unwrap();
+
+    assert_eq!(via_sim, reference, "simulated transport changed pixels");
+    assert_eq!(via_tcp, reference, "TCP transport changed pixels");
+    assert!(
+        reference.covered_pixels() > 300,
+        "scene too empty to prove much"
+    );
+
+    // identical accounting of what crossed the wire
+    assert_eq!(wire_ref, wire_sim);
+    assert_eq!(wire_ref, wire_tcp);
+    assert_eq!(sim.bytes_moved(), wire_ref);
+    assert!(
+        tcp.bytes_moved() > wire_ref,
+        "TCP moves the regions plus framing overhead"
+    );
+    // the simulator modeled a cost; the socket measured one
+    assert!(sim.cost() > std::time::Duration::ZERO);
+    assert!(tcp.cost() > std::time::Duration::ZERO);
+
+    // the full pipeline entrypoint routes through the same trait
+    let (wall_sim, _) = db
+        .extract_and_render_via(
+            128.0,
+            &camera,
+            &tiles,
+            [0.7, 0.8, 0.9],
+            &mut SimTransport::new(InterconnectModel::infiniband_10g()),
+        )
+        .unwrap();
+    let mut tcp2 = TcpLoopbackTransport::new().unwrap();
+    let (wall_tcp, _) = db
+        .extract_and_render_via(128.0, &camera, &tiles, [0.7, 0.8, 0.9], &mut tcp2)
+        .unwrap();
+    assert_eq!(
+        wall_sim, wall_tcp,
+        "end-to-end walls differ across transports"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
