@@ -140,6 +140,7 @@ fn bench_pipeline_overlap(c: &mut Criterion) {
                             &ExtractOptions {
                                 workers: Some(1),
                                 mode,
+                                ..Default::default()
                             },
                         )
                         .unwrap()

@@ -15,7 +15,7 @@ USAGE:
   oociso gen        --out FILE [--dims NXxNYxNZ] [--step N] [--seed N]
   oociso preprocess --volume FILE --db DIR [--nodes N] [--metacell K]
   oociso info       --db DIR
-  oociso extract    --db DIR --iso V [--obj FILE] [--topology]
+  oociso extract    --db DIR --iso V [--obj FILE] [--topology] [--no-weld]
   oociso render     --db DIR --iso V --out FILE.ppm [--size N] [--tiles CxR]
   oociso serve      --db DIR [--addr 127.0.0.1:7077] [--cache-mb N] [--port-file FILE]
   oociso query      --addr HOST:PORT --iso V [--obj FILE] [--region x0,y0,z0,x1,y1,z1]
@@ -121,7 +121,18 @@ pub fn extract(opts: &Options) -> Result<(), String> {
         return Err("missing required option --iso".into());
     }
     let db = ClusterDatabase::<u8>::open(Path::new(db_dir), true).map_err(err)?;
-    let result = db.extract(iso).map_err(err)?;
+    // welding is the default: the exported/analyzed mesh is watertight across
+    // metacell and node seams; --no-weld keeps the raw per-metacell merge
+    let weld = !opts.flag("no-weld");
+    let result = db
+        .extract_with_options(
+            iso,
+            &oociso_cluster::ExtractOptions {
+                weld,
+                ..Default::default()
+            },
+        )
+        .map_err(err)?;
     let r = &result.report;
     println!(
         "isovalue {iso}: {} active metacells, {} triangles, {:.1} MB read, wall {:.3}s",
@@ -142,6 +153,17 @@ pub fn extract(opts: &Options) -> Result<(), String> {
         r.total_overlap_saved().as_secs_f64() * 1e3,
         max_overlap * 100.0
     );
+    if weld {
+        let w = r.total_weld();
+        println!(
+            "weld: {} seam vertices merged, {} seam edges closed, {} collapsed triangles dropped in {:.1} ms ({:.1}% of extraction wall)",
+            w.vertices_merged(),
+            w.seam_edges_closed(),
+            w.degenerate_dropped,
+            r.total_weld_wall().as_secs_f64() * 1e3,
+            100.0 * r.total_weld_wall().as_secs_f64() / r.total_wall.as_secs_f64().max(1e-9)
+        );
+    }
     let model = SimulatedTimeModel::paper();
     println!(
         "simulated on the paper's hardware: {:.3}s ({:.2} MTri/s)",
@@ -153,13 +175,21 @@ pub fn extract(opts: &Options) -> Result<(), String> {
     if opts.flag("topology") {
         let report = oociso_march::analyze_mesh(&result.mesh);
         println!(
-            "topology: V={} E={} F={} components={} boundary_edges={} chi={}",
+            "topology: V={} E={} F={} components={} boundary_edges={} non_manifold_edges={} chi={} ({})",
             report.vertices,
             report.edges,
             report.faces,
             report.components,
             report.boundary_edges,
-            report.euler_characteristic()
+            report.non_manifold_edges,
+            report.euler_characteristic(),
+            if report.is_closed_manifold() {
+                "closed manifold"
+            } else if report.is_closed() {
+                "closed"
+            } else {
+                "open"
+            }
         );
     }
     if let Some(obj) = opts.get("obj") {

@@ -6,7 +6,7 @@ use oociso_exio::{BoundedQueue, DiskFarm, RecordStore, WriteAt};
 use oociso_itree::plan::{execute_plan, QueryPlan};
 use oociso_itree::{persist, CompactIntervalTree, MetacellRecordFormat};
 use oociso_march::mc::{marching_cubes_indexed, McStats, SlabScratch};
-use oociso_march::{IndexedMesh, TriangleSoup, Vec3};
+use oociso_march::{IndexedMesh, MeshWelder, TriangleSoup, Vec3};
 use oociso_metacell::{
     scan_volume, MetacellInterval, MetacellLayout, MetacellRecord, PreprocessStats,
 };
@@ -67,13 +67,30 @@ impl Default for ExtractMode {
 }
 
 /// Options for one extraction query.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct ExtractOptions {
     /// Per-node worker count (`None` → cores ÷ nodes, see
     /// [`Cluster::extract`]).
     pub workers: Option<usize>,
     /// Record flow between the pipeline phases.
     pub mode: ExtractMode,
+    /// Weld vertices across metacell seams in each node mesh, and across
+    /// node seams in [`ClusterExtraction::into_merged`] (default) — the
+    /// merged surface is watertight wherever the isosurface is closed.
+    /// `false` keeps the legacy blind concatenation (duplicated seam
+    /// vertices, boundary edges along every metacell face), which the
+    /// topology test suites use as the open-seam reference.
+    pub weld: bool,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions {
+            workers: None,
+            mode: ExtractMode::default(),
+            weld: true,
+        }
+    }
 }
 
 /// The result of one parallel extraction: per-node indexed meshes plus the
@@ -81,10 +98,16 @@ pub struct ExtractOptions {
 #[derive(Clone, Debug)]
 pub struct ClusterExtraction {
     /// One indexed mesh per node (local geometry, already in global
-    /// coordinates; vertices deduplicated within each node's metacells).
+    /// coordinates). With welding (the default) each node mesh is fully
+    /// welded — one vertex per distinct quantized position across all of the
+    /// node's metacells; otherwise vertices are deduplicated only within
+    /// each metacell.
     pub meshes: Vec<IndexedMesh>,
     /// Per-node and aggregate measurements.
     pub report: QueryReport,
+    /// Whether [`ClusterExtraction::into_merged`] welds node seams (set from
+    /// [`ExtractOptions::weld`]).
+    pub weld: bool,
 }
 
 impl ClusterExtraction {
@@ -100,16 +123,42 @@ impl ClusterExtraction {
         out
     }
 
-    /// Consume the extraction into the merged mesh plus the report (indices
-    /// are rebased; vertices are not re-welded across node seams). The split
-    /// return lets callers keep the report without cloning it.
+    /// Consume the extraction into the merged mesh plus the report. With
+    /// welding enabled (the default), node meshes join through one
+    /// deterministic [`MeshWelder`] so vertices fuse across node seams and
+    /// the full-database mesh is watertight wherever the surface is closed;
+    /// the merge stage's [`WeldStats`] land in [`QueryReport::merge_weld`].
+    /// Without welding, indices are rebased and seam vertices stay
+    /// duplicated. The split return lets callers keep the report without
+    /// cloning it.
     pub fn into_merged(self) -> (IndexedMesh, QueryReport) {
-        let ClusterExtraction { meshes, report } = self;
-        let mut it = meshes.into_iter();
-        let mut out = it.next().unwrap_or_default();
-        for m in it {
-            out.merge(m);
+        let ClusterExtraction {
+            meshes,
+            mut report,
+            weld,
+        } = self;
+        if !weld || meshes.len() <= 1 {
+            // single welded node: already seam-free, skip the re-join pass
+            let mut it = meshes.into_iter();
+            let mut out = it.next().unwrap_or_default();
+            for m in it {
+                out.merge(m);
+            }
+            return (out, report);
         }
+        let t = Instant::now();
+        let total: usize = meshes.iter().map(IndexedMesh::len).sum();
+        let mut out = IndexedMesh::with_capacity(total);
+        let mut welder = MeshWelder::new();
+        for m in &meshes {
+            out.merge_welded(m, &mut welder);
+        }
+        report.merge_weld = welder.finish(&out);
+        report.merge_weld_wall = t.elapsed();
+        // the merge weld is part of producing this result: fold it into the
+        // end-to-end wall so downstream ratios (e.g. weld cost vs total)
+        // compare like with like
+        report.total_wall += report.merge_weld_wall;
         (out, report)
     }
 }
@@ -404,13 +453,14 @@ impl<S: ScalarValue> Cluster<S> {
             .unwrap_or_else(|| self.default_workers())
             .max(1);
         let mode = opts.mode;
+        let weld = opts.weld;
         let t_total = Instant::now();
         let results: Vec<io::Result<(IndexedMesh, NodeReport)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.nodes)
                 .map(|i| {
                     let tree = &self.trees[i];
                     let store = &self.stores[i];
-                    scope.spawn(move || self.node_extract(i, tree, store, iso, workers, mode))
+                    scope.spawn(move || self.node_extract(i, tree, store, iso, workers, mode, weld))
                 })
                 .collect();
             handles
@@ -431,11 +481,17 @@ impl<S: ScalarValue> Cluster<S> {
             composite_wire_bytes: 0,
             composite_wall: Duration::ZERO,
             total_wall: t_total.elapsed(),
+            ..Default::default()
         };
-        Ok(ClusterExtraction { meshes, report })
+        Ok(ClusterExtraction {
+            meshes,
+            report,
+            weld,
+        })
     }
 
     /// One node's extraction work (runs on the node's thread).
+    #[allow(clippy::too_many_arguments)]
     fn node_extract(
         &self,
         node: usize,
@@ -444,6 +500,7 @@ impl<S: ScalarValue> Cluster<S> {
         iso: f32,
         workers: usize,
         mode: ExtractMode,
+        weld: bool,
     ) -> io::Result<(IndexedMesh, NodeReport)> {
         let io_before = store.device().io_snapshot();
         let t0 = Instant::now();
@@ -465,12 +522,23 @@ impl<S: ScalarValue> Cluster<S> {
                 },
             ));
         }
-        let (mesh, mut report) = match mode {
+        let (mut mesh, mut report) = match mode {
             ExtractMode::Streaming { queue_records } => {
                 self.node_extract_streaming(&plan, store, iso, workers, queue_records)?
             }
             ExtractMode::Batch => self.node_extract_batch(&plan, store, iso, workers)?,
         };
+        if weld {
+            // One deterministic re-weld of the merged node mesh. Both modes
+            // produce bit-identical pre-weld meshes, so welding here (rather
+            // than inside each mode's merge loop) keeps them bit-identical
+            // after welding too, for any worker count or queue bound.
+            let t = Instant::now();
+            let (welded, stats) = mesh.welded();
+            mesh = welded;
+            report.weld = stats;
+            report.weld_wall = t.elapsed();
+        }
         report.node = node;
         report.io = store.device().io_snapshot().since(&io_before);
         Ok((mesh, report))
@@ -599,6 +667,7 @@ impl<S: ScalarValue> Cluster<S> {
                 exec,
                 rendering: Duration::ZERO,
                 io: Default::default(), // filled by node_extract
+                ..Default::default()    // weld counters filled by node_extract
             },
         ))
     }
@@ -682,6 +751,7 @@ impl<S: ScalarValue> Cluster<S> {
                 exec,
                 rendering: Duration::ZERO,
                 io: Default::default(), // filled by node_extract
+                ..Default::default()    // weld counters filled by node_extract
             },
         ))
     }
@@ -899,6 +969,7 @@ mod tests {
                     &ExtractOptions {
                         workers: Some(workers),
                         mode: ExtractMode::Batch,
+                        ..Default::default()
                     },
                 )
                 .unwrap();
@@ -928,6 +999,7 @@ mod tests {
                 &ExtractOptions {
                     workers: Some(1),
                     mode: ExtractMode::Batch,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -942,6 +1014,7 @@ mod tests {
                             mode: ExtractMode::Streaming {
                                 queue_records: bound,
                             },
+                            ..Default::default()
                         },
                     )
                     .unwrap();
@@ -986,6 +1059,7 @@ mod tests {
                     &ExtractOptions {
                         workers: Some(4),
                         mode,
+                        ..Default::default()
                     },
                 )
                 .unwrap();
@@ -1022,8 +1096,15 @@ mod tests {
         let dir = tmpdir("exact");
         let (c, _) = Cluster::build(&vol, &dir, 3, &ClusterBuildOptions::default()).unwrap();
         let e = c.extract(128.0).unwrap();
-        let canon = oociso_march::canonical_triangles;
-        assert_eq!(canon(&truth), canon(&e.merged_soup()));
+        // the integer isovalue on u8 samples puts some crossings exactly on
+        // cell corners; those triangles collapse under quantization and the
+        // node welds drop them, so the extracted multiset must equal truth
+        // minus exactly the collapsed triangles
+        let (kept, collapsed) =
+            oociso_march::split_collapsed(oociso_march::canonical_triangles(&truth));
+        assert!(collapsed > 0, "iso 128 should collapse corner crossings");
+        assert_eq!(e.report.total_weld().degenerate_dropped, collapsed as u64);
+        assert_eq!(kept, oociso_march::canonical_triangles(&e.merged_soup()));
         // per-node meshes really are indexed: shared crossings deduplicated
         for m in &e.meshes {
             assert!(m.num_vertices() < 3 * m.len(), "no dedup in node mesh");
@@ -1072,6 +1153,7 @@ mod tests {
                 &ExtractOptions {
                     workers: Some(1),
                     mode: ExtractMode::Batch,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -1086,6 +1168,7 @@ mod tests {
                 &ExtractOptions {
                     workers: Some(1),
                     mode: ExtractMode::Streaming { queue_records: 64 },
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -1145,6 +1228,7 @@ mod tests {
                     &ExtractOptions {
                         workers: Some(3),
                         mode,
+                        ..Default::default()
                     },
                 )
                 .unwrap_err();

@@ -2,6 +2,7 @@
 
 use oociso_exio::IoSnapshot;
 use oociso_itree::plan::ExecStats;
+use oociso_march::WeldStats;
 use std::time::Duration;
 
 /// One node's measurements for one isosurface query — the row format of the
@@ -54,6 +55,11 @@ pub struct NodeReport {
     pub peak_queue_bytes: u64,
     /// Plan-execution counters (bulk/prefix actions, rejected records).
     pub exec: ExecStats,
+    /// Metacell-seam weld counters for this node's mesh (zeroed when the
+    /// query ran with [`crate::ExtractOptions::weld`] off).
+    pub weld: WeldStats,
+    /// Measured wall-clock of the node's seam weld (zero when welding off).
+    pub weld_wall: Duration,
     /// Measured wall-clock time rasterizing locally (zero if not rendering).
     pub rendering: Duration,
     /// I/O counters for this node's reads during the query.
@@ -66,9 +72,9 @@ impl NodeReport {
     /// back to the phase-serial sum.
     pub fn wall_total(&self) -> Duration {
         if self.extraction_wall > Duration::ZERO {
-            self.extraction_wall + self.rendering
+            self.extraction_wall + self.weld_wall + self.rendering
         } else {
-            self.amc_retrieval + self.triangulation + self.rendering
+            self.amc_retrieval + self.triangulation + self.weld_wall + self.rendering
         }
     }
 
@@ -108,11 +114,19 @@ pub struct QueryReport {
     pub isovalue: f32,
     /// Per-node rows.
     pub nodes: Vec<NodeReport>,
+    /// Weld counters of the cross-node merge stage
+    /// ([`oociso_march::MeshWelder`] run by `ClusterExtraction::into_merged`;
+    /// zeroed until that merge happens, or when welding is off / the cluster
+    /// has a single node).
+    pub merge_weld: WeldStats,
+    /// Measured wall-clock of the cross-node merge weld.
+    pub merge_weld_wall: Duration,
     /// Bytes the sort-last shuffle moved (0 until rendering runs).
     pub composite_wire_bytes: u64,
     /// Measured wall-clock of the composite step.
     pub composite_wall: Duration,
-    /// Measured end-to-end wall clock (threads + composite).
+    /// Measured end-to-end wall clock (threads + composite, plus the
+    /// cross-node merge weld once `into_merged` has run).
     pub total_wall: Duration,
 }
 
@@ -186,6 +200,21 @@ impl QueryReport {
             .iter()
             .fold(ExecStats::default(), |acc, n| acc.merged(&n.exec))
     }
+
+    /// Weld counters summed over every stage of the query: each node's
+    /// metacell-seam weld plus the cross-node merge weld. The sums of
+    /// `vertices_merged()`/`degenerate_dropped` are exact totals; the
+    /// boundary gauges are stage sums, not a single mesh's count.
+    pub fn total_weld(&self) -> WeldStats {
+        self.nodes
+            .iter()
+            .fold(self.merge_weld, |acc, n| acc.merged(&n.weld))
+    }
+
+    /// Wall-clock spent welding, across nodes and the merge stage.
+    pub fn total_weld_wall(&self) -> Duration {
+        self.merge_weld_wall + self.nodes.iter().map(|n| n.weld_wall).sum::<Duration>()
+    }
 }
 
 fn imbalance(counts: impl Iterator<Item = u64>) -> f64 {
@@ -228,6 +257,7 @@ mod tests {
             composite_wire_bytes: 1024,
             composite_wall: Duration::from_millis(2),
             total_wall: Duration::from_millis(40),
+            ..Default::default()
         };
         assert_eq!(r.total_active_metacells(), 210);
         assert_eq!(r.total_triangles(), 10_500);

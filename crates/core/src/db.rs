@@ -41,9 +41,12 @@ impl PreprocessOptions {
 /// The result of an extraction: the surface plus the per-phase report.
 #[derive(Clone, Debug)]
 pub struct ExtractResult {
-    /// The isosurface as an indexed mesh (global coordinates, vertex units;
-    /// vertices deduplicated per node). Call [`IndexedMesh::to_soup`] for an
-    /// unindexed triangle list.
+    /// The isosurface as an indexed mesh (global coordinates, vertex units).
+    /// By default vertices are **welded across metacell and node seams**, so
+    /// wherever the isosurface is closed the mesh is watertight
+    /// (`oociso_march::topology::analyze_mesh` reports zero boundary edges);
+    /// pass `ExtractOptions { weld: false, .. }` for the legacy per-metacell
+    /// dedup. Call [`IndexedMesh::to_soup`] for an unindexed triangle list.
     pub mesh: IndexedMesh,
     /// Phase timings, I/O counters, per-node rows.
     pub report: QueryReport,
@@ -268,7 +271,12 @@ mod tests {
         let db = IsoDatabase::preprocess(&vol(), &dir, &PreprocessOptions::default()).unwrap();
         let surface = db.extract(120.0).unwrap();
         assert!(surface.mesh.len() > 100);
-        assert_eq!(surface.mesh.len() as u64, surface.report.total_triangles());
+        // the kernel's triangle count covers welded-away collapses too (the
+        // integer isovalue can land crossings exactly on lattice corners)
+        assert_eq!(
+            surface.mesh.len() as u64 + surface.report.total_weld().degenerate_dropped,
+            surface.report.total_triangles()
+        );
         assert!(db.index_bytes() > 0);
         assert!(db.preprocess_stats().unwrap().kept_metacells > 0);
         std::fs::remove_dir_all(&dir).ok();
@@ -329,6 +337,7 @@ mod tests {
                 &ExtractOptions {
                     workers: Some(2),
                     mode: ExtractMode::Batch,
+                    ..Default::default()
                 },
             )
             .unwrap();

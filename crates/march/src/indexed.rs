@@ -8,7 +8,8 @@
 //! [`IndexedMesh::to_soup`] is the thin conversion kept for existing
 //! soup-consuming callers.
 
-use crate::mesh::{Aabb, Triangle, TriangleSoup, Vec3};
+use crate::mesh::{weld_key, Aabb, CanonVertex, Triangle, TriangleSoup, Vec3};
+use crate::weld::{MeshWelder, WeldStats};
 
 /// A triangle mesh with deduplicated vertices.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -108,11 +109,56 @@ impl IndexedMesh {
 
     /// Absorb `other`, rebasing its indices past this mesh's vertices.
     /// Vertices are **not** re-welded across the seam — merge is O(other).
+    /// Use [`IndexedMesh::merge_welded`] when the seam must close.
     pub fn merge(&mut self, other: IndexedMesh) {
         let base = self.positions.len() as u32;
         self.positions.extend(other.positions);
         self.indices
             .extend(other.indices.into_iter().map(|i| i + base));
+    }
+
+    /// Absorb `other` through `welder`, fusing vertices that quantize to the
+    /// same [`crate::mesh::weld_key`] with vertices already welded into this
+    /// mesh. The welder must have produced every prior triangle of `self`
+    /// (start from an empty mesh and a fresh [`MeshWelder`]); triangles the
+    /// weld collapses are dropped and counted, not emitted.
+    pub fn merge_welded(&mut self, other: &IndexedMesh, welder: &mut MeshWelder) {
+        welder.append(self, other);
+    }
+
+    /// Re-weld this mesh from scratch: fuse all quantized-duplicate vertices
+    /// and drop exactly-degenerate (collapsed) triangles. Deterministic —
+    /// first occurrence in triangle-stream order keeps its position — so
+    /// equal meshes always weld to equal meshes.
+    pub fn welded(&self) -> (IndexedMesh, WeldStats) {
+        let mut out = IndexedMesh::with_capacity(self.len());
+        let mut welder = MeshWelder::new();
+        welder.append(&mut out, self);
+        let stats = welder.finish(&out);
+        (out, stats)
+    }
+
+    /// Canonical triangle multiset of this mesh — same quantization and
+    /// ordering rule as [`crate::mesh::canonical_triangles`], without
+    /// materializing a soup. Two meshes describe the same surface iff their
+    /// canonical multisets are equal.
+    pub fn canonical_triangles(&self) -> Vec<[CanonVertex; 3]> {
+        let keys: Vec<CanonVertex> = self.positions.iter().map(|&p| weld_key(p)).collect();
+        let mut out: Vec<[CanonVertex; 3]> = self
+            .indices
+            .chunks_exact(3)
+            .map(|tri| {
+                let mut ks = [
+                    keys[tri[0] as usize],
+                    keys[tri[1] as usize],
+                    keys[tri[2] as usize],
+                ];
+                ks.sort_unstable();
+                ks
+            })
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Total surface area.

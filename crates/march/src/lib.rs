@@ -21,6 +21,10 @@
 //!   kernel [`mc::marching_cubes_indexed`] that emits it: the production hot
 //!   path (each sample classified once, each crossing interpolated once),
 //!   equivalence-tested against the reference [`mc::marching_cubes`].
+//! * [`weld`] — the deterministic hash join ([`MeshWelder`]) that fuses
+//!   duplicated seam vertices when independently extracted sub-meshes
+//!   (metacells, cluster nodes) merge, making the result watertight;
+//!   [`topology`] verifies it (boundary/non-manifold edge counts).
 
 pub mod indexed;
 pub mod mc;
@@ -29,9 +33,11 @@ pub mod mt;
 pub mod tables;
 pub mod topology;
 pub mod unstructured;
+pub mod weld;
 
 pub use indexed::IndexedMesh;
 pub use mc::{count_active_cells, marching_cubes, marching_cubes_indexed, McStats, SlabScratch};
-pub use mesh::{canonical_triangles, Aabb, Triangle, TriangleSoup, Vec3};
+pub use mesh::{canonical_triangles, split_collapsed, Aabb, Triangle, TriangleSoup, Vec3};
 pub use mt::{march_tet, marching_tetrahedra};
-pub use topology::{analyze, analyze_mesh, TopologyReport};
+pub use topology::{analyze, analyze_mesh, analyze_mesh_connectivity, TopologyReport};
+pub use weld::{MeshWelder, WeldStats};

@@ -302,6 +302,22 @@ pub fn canonical_triangles(soup: &TriangleSoup) -> Vec<[CanonVertex; 3]> {
     out
 }
 
+/// Partition a canonical multiset into `(kept, collapsed)`: `collapsed`
+/// counts the triangles whose quantized corners are not all distinct (keys
+/// are sorted, so duplicates are adjacent). This is, by construction, the
+/// set the welder ([`crate::weld::MeshWelder`]) drops — equivalence tests
+/// compare a welded extraction against `kept` and its drop counter against
+/// `collapsed` instead of re-deriving the predicate.
+pub fn split_collapsed(canon: Vec<[CanonVertex; 3]>) -> (Vec<[CanonVertex; 3]>, usize) {
+    let total = canon.len();
+    let kept: Vec<[CanonVertex; 3]> = canon
+        .into_iter()
+        .filter(|ks| ks[0] != ks[1] && ks[1] != ks[2])
+        .collect();
+    let collapsed = total - kept.len();
+    (kept, collapsed)
+}
+
 impl FromIterator<Triangle> for TriangleSoup {
     fn from_iter<I: IntoIterator<Item = Triangle>>(iter: I) -> Self {
         TriangleSoup {

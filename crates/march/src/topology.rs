@@ -22,6 +22,9 @@ pub struct TopologyReport {
     /// Edges incident to an odd number of faces (surface boundary — zero for
     /// a closed surface).
     pub boundary_edges: usize,
+    /// Edges incident to more than two faces (pinched/self-touching surface —
+    /// zero for a manifold mesh).
+    pub non_manifold_edges: usize,
     /// Connected components (by shared welded vertices).
     pub components: usize,
 }
@@ -35,6 +38,13 @@ impl TopologyReport {
     /// Whether every edge is matched (no surface boundary).
     pub fn is_closed(&self) -> bool {
         self.boundary_edges == 0
+    }
+
+    /// Whether the surface is a closed 2-manifold: every edge has exactly
+    /// two incident faces. The invariant the welded extraction path must
+    /// uphold for closed isosurfaces.
+    pub fn is_closed_manifold(&self) -> bool {
+        self.boundary_edges == 0 && self.non_manifold_edges == 0
     }
 }
 
@@ -93,20 +103,19 @@ pub fn analyze(soup: &TriangleSoup) -> TopologyReport {
     finish_report(vert_id.len(), &edge_count, faces, &tri_ids)
 }
 
-/// [`analyze`] for an [`IndexedMesh`] — identical report (same [`weld_key`]
-/// rule, same degenerate-triangle handling), but welding hashes each shared
-/// position once instead of every triangle corner, so no 3×-larger soup ever
-/// has to be materialized.
-pub fn analyze_mesh(mesh: &IndexedMesh) -> TopologyReport {
-    let positions = mesh.positions();
-    let keys: Vec<(i64, i64, i64)> = positions.iter().map(|&p| weld_key(p)).collect();
-    // welded id per position, assigned lazily so vertices referenced only by
-    // degenerate triangles are excluded exactly like in `analyze`
-    let mut pos_id: Vec<u32> = vec![u32::MAX; positions.len()];
-    let mut vert_id: HashMap<(i64, i64, i64), u32> = HashMap::new();
+/// Shared core of the two mesh analyzers: walk non-degenerate triangles,
+/// map each corner to a dense id through `resolve` (which assigns ids
+/// lazily, so vertices that are unreferenced — or referenced only by
+/// degenerate triangles — never count), and tally edges. `resolve` hands
+/// out sequential ids from 0, so the vertex count is the largest id + 1.
+fn analyze_mesh_resolved(
+    mesh: &IndexedMesh,
+    resolve: &mut dyn FnMut(usize) -> u32,
+) -> TopologyReport {
     let mut edge_count: HashMap<(u32, u32), u32> = HashMap::new();
     let mut faces = 0usize;
     let mut tri_ids: Vec<[u32; 3]> = Vec::new();
+    let mut num_ids = 0u32;
     for (i, tri) in mesh.indices().chunks_exact(3).enumerate() {
         if mesh.triangle(i).is_degenerate() {
             continue;
@@ -114,12 +123,9 @@ pub fn analyze_mesh(mesh: &IndexedMesh) -> TopologyReport {
         faces += 1;
         let mut ids = [0u32; 3];
         for (k, &pi) in tri.iter().enumerate() {
-            let pi = pi as usize;
-            if pos_id[pi] == u32::MAX {
-                let next = vert_id.len() as u32;
-                pos_id[pi] = *vert_id.entry(keys[pi]).or_insert(next);
-            }
-            ids[k] = pos_id[pi];
+            let id = resolve(pi as usize);
+            num_ids = num_ids.max(id + 1);
+            ids[k] = id;
         }
         for j in 0..3 {
             let (a, b) = (ids[j], ids[(j + 1) % 3]);
@@ -130,7 +136,43 @@ pub fn analyze_mesh(mesh: &IndexedMesh) -> TopologyReport {
         }
         tri_ids.push(ids);
     }
-    finish_report(vert_id.len(), &edge_count, faces, &tri_ids)
+    finish_report(num_ids as usize, &edge_count, faces, &tri_ids)
+}
+
+/// [`analyze`] for an [`IndexedMesh`] — identical report (same [`weld_key`]
+/// rule, same degenerate-triangle handling), but welding hashes each shared
+/// position once instead of every triangle corner, so no 3×-larger soup ever
+/// has to be materialized.
+pub fn analyze_mesh(mesh: &IndexedMesh) -> TopologyReport {
+    let keys: Vec<(i64, i64, i64)> = mesh.positions().iter().map(|&p| weld_key(p)).collect();
+    let mut pos_id: Vec<u32> = vec![u32::MAX; keys.len()];
+    let mut vert_id: HashMap<(i64, i64, i64), u32> = HashMap::new();
+    analyze_mesh_resolved(mesh, &mut |pi| {
+        if pos_id[pi] == u32::MAX {
+            let next = vert_id.len() as u32;
+            pos_id[pi] = *vert_id.entry(keys[pi]).or_insert(next);
+        }
+        pos_id[pi]
+    })
+}
+
+/// Analyze an [`IndexedMesh`] by its **raw index connectivity** — no
+/// position welding at all. This is the mesh as downstream index-based
+/// algorithms (decimation, LOD, GPU upload) see it: a surface merged from
+/// unwelded sub-meshes reports a boundary along every seam here even though
+/// [`analyze_mesh`] (which welds by quantized position) calls it closed.
+/// The welded extraction path's guarantee is precisely that this report and
+/// [`analyze_mesh`]'s agree.
+pub fn analyze_mesh_connectivity(mesh: &IndexedMesh) -> TopologyReport {
+    let mut pos_id: Vec<u32> = vec![u32::MAX; mesh.num_vertices()];
+    let mut next = 0u32;
+    analyze_mesh_resolved(mesh, &mut |pi| {
+        if pos_id[pi] == u32::MAX {
+            pos_id[pi] = next;
+            next += 1;
+        }
+        pos_id[pi]
+    })
 }
 
 fn finish_report(
@@ -154,6 +196,7 @@ fn finish_report(
         edges: edge_count.len(),
         faces,
         boundary_edges: edge_count.values().filter(|&&c| c % 2 == 1).count(),
+        non_manifold_edges: edge_count.values().filter(|&&c| c > 2).count(),
         components: roots.len(),
     }
 }
@@ -274,6 +317,69 @@ mod tests {
         );
         assert!(!mesh.is_empty());
         assert_eq!(analyze_mesh(&mesh), analyze(&mesh.to_soup()));
+    }
+
+    #[test]
+    fn duplicated_vertex_seam_counts_boundary_edges_correctly() {
+        // Two triangles sharing an edge, built the way `IndexedMesh::merge`
+        // concatenates sub-meshes: the shared edge's endpoints are duplicated
+        // vertex entries. Edge counting must run on *welded* ids, or the
+        // shared edge reads as two boundary half-edges and the quad's true
+        // boundary is overcounted.
+        let mut quad = IndexedMesh::new();
+        let a = quad.push_vertex(Vec3::ZERO);
+        let b = quad.push_vertex(Vec3::new(1.0, 0.0, 0.0));
+        let c = quad.push_vertex(Vec3::new(0.0, 1.0, 0.0));
+        quad.push_triangle(a, b, c);
+        // second triangle duplicates b and c instead of referencing them
+        let b2 = quad.push_vertex(Vec3::new(1.0, 0.0, 0.0));
+        let c2 = quad.push_vertex(Vec3::new(0.0, 1.0, 0.0));
+        let d = quad.push_vertex(Vec3::new(1.0, 1.0, 0.0));
+        quad.push_triangle(b2, d, c2);
+
+        let r = analyze_mesh(&quad);
+        assert_eq!(r.vertices, 4, "duplicated endpoints must fuse");
+        assert_eq!(r.faces, 2);
+        assert_eq!(r.edges, 5);
+        assert_eq!(r.boundary_edges, 4, "only the quad outline is boundary");
+        assert_eq!(r.non_manifold_edges, 0);
+        assert!(!r.is_closed());
+        assert_eq!(r, analyze(&quad.to_soup()));
+
+        // raw index connectivity sees what welding has not yet repaired: two
+        // disconnected triangles, the seam edge duplicated into two boundary
+        // halves
+        let c = analyze_mesh_connectivity(&quad);
+        assert_eq!(c.vertices, 6);
+        assert_eq!(c.components, 2);
+        assert_eq!(c.boundary_edges, 6);
+
+        // welding the seam changes the storage, never the welded topology
+        // report — and afterwards the connectivity view agrees with it
+        let (welded, stats) = quad.welded();
+        assert_eq!(welded.num_vertices(), 4);
+        assert_eq!(stats.vertices_merged(), 2);
+        // one seam edge = two open sides closed
+        assert_eq!(stats.seam_edges_closed(), 2);
+        assert_eq!(analyze_mesh(&welded), r);
+        assert_eq!(analyze_mesh_connectivity(&welded), r);
+    }
+
+    #[test]
+    fn three_fan_triangles_make_a_non_manifold_edge() {
+        let mut m = IndexedMesh::new();
+        let a = m.push_vertex(Vec3::ZERO);
+        let b = m.push_vertex(Vec3::new(0.0, 0.0, 1.0));
+        for i in 0..3 {
+            let t = i as f32 * 2.0;
+            let wing = m.push_vertex(Vec3::new((1.0 + t).cos(), (1.0 + t).sin(), 0.5));
+            m.push_triangle(a, b, wing);
+        }
+        let r = analyze_mesh(&m);
+        assert_eq!(r.faces, 3);
+        assert_eq!(r.non_manifold_edges, 1, "the shared spine edge");
+        assert!(!r.is_closed_manifold());
+        assert_eq!(r.boundary_edges, 7, "spine (3 faces = odd) + 6 wing edges");
     }
 
     #[test]

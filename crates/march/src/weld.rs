@@ -1,0 +1,363 @@
+//! Seam welding: fuse duplicated vertices across sub-mesh boundaries.
+//!
+//! The out-of-core pipeline triangulates every metacell (and every cluster
+//! node) independently, so a merged [`IndexedMesh`] carries one copy of each
+//! boundary crossing **per side of the seam** and the surface is watertight
+//! only per metacell. [`MeshWelder`] is the deterministic hash join that
+//! repairs this: vertices are keyed by [`weld_key`] — the workspace's single
+//! quantization rule, shared with [`crate::topology`] and
+//! [`crate::mesh::canonical_triangles`] — and every key keeps its **first
+//! occurrence in triangle-stream order** as the representative. Because the
+//! join depends only on the concatenated triangle stream, welding the same
+//! stream split into any sequence of parts (per record, per worker chunk,
+//! per node) produces byte-identical output, which is what keeps the
+//! streaming and batch extraction paths bit-equal after welding.
+//!
+//! Quantized welding can collapse a triangle whose crossings coincide (an
+//! isosurface passing exactly through a cell corner emits several crossings
+//! at the same lattice point): such exactly-degenerate triangles are dropped
+//! and counted rather than emitted as zero-area slivers.
+
+use crate::indexed::IndexedMesh;
+use crate::mesh::{weld_key, CanonVertex};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash (the multiply-rotate hash rustc itself uses for interning): the
+/// weld join hashes a few small fixed-size keys per triangle, where the
+/// default SipHash's DoS resistance costs several times the whole join —
+/// these keys are derived from mesh geometry, not attacker-controlled input.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// Counters describing one weld pass (or, summed, several).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WeldStats {
+    /// Vertices across all appended input parts.
+    pub input_vertices: u64,
+    /// Distinct welded vertices emitted.
+    pub output_vertices: u64,
+    /// Triangles across all appended input parts.
+    pub input_triangles: u64,
+    /// Triangles dropped because welding collapsed two or more of their
+    /// corners onto the same quantized vertex (exactly zero area).
+    pub degenerate_dropped: u64,
+    /// Boundary edges (odd face count) of the *input* under per-part vertex
+    /// identity — every metacell/node seam edge counts here.
+    pub boundary_edges_before: u64,
+    /// Boundary edges of the welded output. Zero for a closed surface.
+    pub boundary_edges_after: u64,
+}
+
+impl WeldStats {
+    /// Vertices eliminated by the weld.
+    pub fn vertices_merged(&self) -> u64 {
+        self.input_vertices.saturating_sub(self.output_vertices)
+    }
+
+    /// Seam edges the weld closed: boundary edges of the input that are
+    /// interior edges of the output. Counted per open side, so a typical
+    /// two-sided seam edge (one copy in each adjacent sub-mesh) contributes
+    /// 2 — the number of open edges eliminated, not of distinct seams.
+    pub fn seam_edges_closed(&self) -> u64 {
+        self.boundary_edges_before
+            .saturating_sub(self.boundary_edges_after)
+    }
+
+    /// Component-wise sum — aggregate counters over several weld stages
+    /// (per-node welds plus the cross-node merge weld). The summed boundary
+    /// gauges describe the stages' inputs/outputs added together, not any
+    /// single mesh.
+    pub fn merged(&self, other: &WeldStats) -> WeldStats {
+        WeldStats {
+            input_vertices: self.input_vertices + other.input_vertices,
+            output_vertices: self.output_vertices + other.output_vertices,
+            input_triangles: self.input_triangles + other.input_triangles,
+            degenerate_dropped: self.degenerate_dropped + other.degenerate_dropped,
+            boundary_edges_before: self.boundary_edges_before + other.boundary_edges_before,
+            boundary_edges_after: self.boundary_edges_after + other.boundary_edges_after,
+        }
+    }
+}
+
+/// Boundary edges (odd face multiplicity) of an indexed triangle stream,
+/// under plain vertex-index identity. Self-edges (`a == b`) are skipped.
+///
+/// Linear-time bucket counting instead of a hash or sort over the whole edge
+/// list: edges bucket by their smaller endpoint (CSR-style count → prefix
+/// sum → scatter), then each bucket — a handful of entries for any real
+/// mesh — is sorted in place to count odd runs. This is what keeps seam
+/// accounting from dominating the weld itself on big meshes.
+fn boundary_edge_count(indices: &[u32], num_vertices: usize) -> u64 {
+    if indices.is_empty() {
+        return 0;
+    }
+    // pass 1: bucket sizes by smaller endpoint
+    let mut starts = vec![0u32; num_vertices + 1];
+    let each_edge = |f: &mut dyn FnMut(u32, u32)| {
+        for tri in indices.chunks_exact(3) {
+            for i in 0..3 {
+                let (a, b) = (tri[i], tri[(i + 1) % 3]);
+                if a != b {
+                    if a < b {
+                        f(a, b)
+                    } else {
+                        f(b, a)
+                    }
+                }
+            }
+        }
+    };
+    each_edge(&mut |lo, _hi| starts[lo as usize + 1] += 1);
+    for i in 0..num_vertices {
+        starts[i + 1] += starts[i];
+    }
+    // pass 2: scatter the larger endpoints into their buckets
+    let total = starts[num_vertices] as usize;
+    let mut others = vec![0u32; total];
+    let mut cursor = starts.clone();
+    each_edge(&mut |lo, hi| {
+        let c = &mut cursor[lo as usize];
+        others[*c as usize] = hi;
+        *c += 1;
+    });
+    // pass 3: per-bucket odd-multiplicity runs
+    let mut odd = 0u64;
+    for v in 0..num_vertices {
+        let bucket = &mut others[starts[v] as usize..starts[v + 1] as usize];
+        bucket.sort_unstable();
+        let mut i = 0usize;
+        while i < bucket.len() {
+            let mut j = i + 1;
+            while j < bucket.len() && bucket[j] == bucket[i] {
+                j += 1;
+            }
+            odd += ((j - i) % 2 == 1) as u64;
+            i = j;
+        }
+    }
+    odd
+}
+
+/// The deterministic hash-join welder behind [`IndexedMesh::merge_welded`].
+///
+/// One welder serves one output mesh: create it alongside an (empty) output,
+/// [`MeshWelder::append`] every part in order, then [`MeshWelder::finish`]
+/// for the stats. Vertices the input never references from a kept triangle
+/// are not copied to the output, so a welded mesh has no orphan vertices.
+#[derive(Debug, Default)]
+pub struct MeshWelder {
+    /// Quantized position → output vertex index (first occurrence wins).
+    ids: HashMap<CanonVertex, u32, FxBuild>,
+    input_vertices: u64,
+    input_triangles: u64,
+    degenerate_dropped: u64,
+    /// Input boundary edges, accumulated per part at `append` (parts share
+    /// no identity vertices, so part-local counts sum exactly).
+    boundary_edges_before: u64,
+}
+
+impl MeshWelder {
+    /// A fresh welder for a new output mesh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Weld `part`'s triangles onto `out`. Triangles keep their stream
+    /// order; each quantized position is materialized in `out` at its first
+    /// kept-triangle use; triangles whose corners collapse are dropped.
+    pub fn append(&mut self, out: &mut IndexedMesh, part: &IndexedMesh) {
+        let positions = part.positions();
+        let keys: Vec<CanonVertex> = positions.iter().map(|&p| weld_key(p)).collect();
+        // per-part memo of resolved output ids: each part vertex pays for at
+        // most one global hash lookup however many triangles reference it
+        let mut local: Vec<u32> = vec![u32::MAX; positions.len()];
+        // most part vertices are first occurrences (isosurface seams touch a
+        // minority of vertices), so size for all of them up front instead of
+        // paying log₂ growth rehashes of an ever-larger table
+        self.ids.reserve(positions.len());
+        self.input_vertices += positions.len() as u64;
+        self.boundary_edges_before += boundary_edge_count(part.indices(), positions.len());
+        for tri in part.indices().chunks_exact(3) {
+            self.input_triangles += 1;
+            let (a, b, c) = (tri[0] as usize, tri[1] as usize, tri[2] as usize);
+            if keys[a] == keys[b] || keys[b] == keys[c] || keys[c] == keys[a] {
+                self.degenerate_dropped += 1;
+                continue;
+            }
+            let mut ids = [0u32; 3];
+            for (slot, &v) in ids.iter_mut().zip([a, b, c].iter()) {
+                *slot = if local[v] != u32::MAX {
+                    local[v]
+                } else {
+                    let id = *self
+                        .ids
+                        .entry(keys[v])
+                        .or_insert_with(|| out.push_vertex(positions[v]));
+                    local[v] = id;
+                    id
+                };
+            }
+            out.push_triangle(ids[0], ids[1], ids[2]);
+        }
+    }
+
+    /// Finish the join and report its counters. `out` must be the output
+    /// mesh this welder's appends produced (its edges are what the
+    /// `boundary_edges_after` gauge counts).
+    pub fn finish(self, out: &IndexedMesh) -> WeldStats {
+        WeldStats {
+            input_vertices: self.input_vertices,
+            output_vertices: self.ids.len() as u64,
+            input_triangles: self.input_triangles,
+            degenerate_dropped: self.degenerate_dropped,
+            boundary_edges_before: self.boundary_edges_before,
+            boundary_edges_after: boundary_edge_count(out.indices(), out.num_vertices()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Vec3;
+    use crate::topology::analyze_mesh;
+
+    /// One unit right triangle with fresh vertices at `z`.
+    fn tri(m: &mut IndexedMesh, z: f32) {
+        let a = m.push_vertex(Vec3::new(0.0, 0.0, z));
+        let b = m.push_vertex(Vec3::new(1.0, 0.0, z));
+        let c = m.push_vertex(Vec3::new(0.0, 1.0, z));
+        m.push_triangle(a, b, c);
+    }
+
+    #[test]
+    fn welds_duplicate_vertices_across_parts() {
+        let mut a = IndexedMesh::new();
+        tri(&mut a, 0.0);
+        let mut b = IndexedMesh::new();
+        // shares the (0,0,0)-(1,0,0) edge with `a` via duplicated vertices
+        let p = b.push_vertex(Vec3::new(0.0, 0.0, 0.0));
+        let q = b.push_vertex(Vec3::new(1.0, 0.0, 0.0));
+        let r = b.push_vertex(Vec3::new(1.0, -1.0, 0.0));
+        b.push_triangle(p, r, q);
+
+        let mut out = IndexedMesh::new();
+        let mut w = MeshWelder::new();
+        w.append(&mut out, &a);
+        w.append(&mut out, &b);
+        let stats = w.finish(&out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.num_vertices(), 4, "shared edge endpoints fused");
+        assert_eq!(stats.input_vertices, 6);
+        assert_eq!(stats.output_vertices, 4);
+        assert_eq!(stats.vertices_merged(), 2);
+        assert_eq!(stats.degenerate_dropped, 0);
+        // each lone triangle has 3 boundary edges; the weld closes the seam
+        assert_eq!(stats.boundary_edges_before, 6);
+        assert_eq!(stats.boundary_edges_after, 4);
+        assert_eq!(stats.seam_edges_closed(), 2);
+    }
+
+    #[test]
+    fn split_points_do_not_change_the_join() {
+        // welding [a, b] part-by-part ≡ welding their blind concatenation:
+        // the join only sees the triangle stream
+        let mut a = IndexedMesh::new();
+        tri(&mut a, 0.0);
+        tri(&mut a, 0.0);
+        let mut b = IndexedMesh::new();
+        tri(&mut b, 0.0);
+        tri(&mut b, 1.0);
+
+        let mut parts = IndexedMesh::new();
+        let mut w1 = MeshWelder::new();
+        w1.append(&mut parts, &a);
+        w1.append(&mut parts, &b);
+
+        let mut concat = a.clone();
+        concat.merge(b);
+        let (whole, whole_stats) = concat.welded();
+        assert_eq!(parts, whole);
+        assert_eq!(w1.finish(&parts), whole_stats);
+    }
+
+    #[test]
+    fn collapsed_triangles_are_dropped_not_emitted() {
+        let mut m = IndexedMesh::new();
+        tri(&mut m, 0.0);
+        // a triangle whose corners quantize to one point: must vanish, and
+        // its (otherwise unreferenced) vertices must not leak into the output
+        let s = m.push_vertex(Vec3::new(5.0, 5.0, 5.0));
+        let t = m.push_vertex(Vec3::new(5.0, 5.0, 5.0));
+        let u = m.push_vertex(Vec3::new(5.0, 5.0 + 1e-8, 5.0));
+        m.push_triangle(s, t, u);
+        let (out, stats) = m.welded();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.num_vertices(), 3, "no orphan vertices");
+        assert_eq!(stats.degenerate_dropped, 1);
+        assert_eq!(stats.input_triangles, 2);
+        let r = analyze_mesh(&out);
+        assert_eq!(r.vertices, out.num_vertices());
+        assert_eq!(r.faces, out.len());
+    }
+
+    #[test]
+    fn welding_an_already_welded_mesh_is_identity() {
+        let mut m = IndexedMesh::new();
+        let a = m.push_vertex(Vec3::new(0.0, 0.0, 0.0));
+        let b = m.push_vertex(Vec3::new(1.0, 0.0, 0.0));
+        let c = m.push_vertex(Vec3::new(0.0, 1.0, 0.0));
+        let d = m.push_vertex(Vec3::new(1.0, 1.0, 0.0));
+        m.push_triangle(a, b, c);
+        m.push_triangle(b, d, c);
+        let (out, stats) = m.welded();
+        assert_eq!(out, m);
+        assert_eq!(stats.vertices_merged(), 0);
+        assert_eq!(stats.degenerate_dropped, 0);
+        assert_eq!(stats.boundary_edges_before, stats.boundary_edges_after);
+    }
+
+    #[test]
+    fn empty_mesh_welds_to_empty() {
+        let (out, stats) = IndexedMesh::new().welded();
+        assert!(out.is_empty());
+        assert_eq!(stats, WeldStats::default());
+    }
+}

@@ -345,3 +345,39 @@ fn ping_echoes_and_measures() {
     server.stop();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn welded_mesh_roundtrips_bit_exact_and_cache_serves_identical_bytes() {
+    // Extraction welds seams by default, so the mesh a client receives must
+    // be watertight, bit-identical to the in-process welded extraction, and
+    // — because the cache stores the welded result — every later cache hit
+    // must hand back the very same bytes.
+    let (dir, server, direct) = serve_fixture("welded", 256 << 20);
+    let addr = server.addr();
+    // half-integer isovalue: crossings stay off the u8 lattice, the sphere
+    // is closed, and quantized welding collapses nothing
+    let iso = 127.5f32;
+    let truth = direct.extract(iso).unwrap().mesh;
+    assert!(!truth.is_empty());
+
+    let mut client = Client::connect(addr).unwrap();
+    let first = client.query_mesh(iso, None).unwrap();
+    assert!(!first.cache_hit, "first query cannot hit");
+    assert_same_mesh(&first.mesh, &truth, "served vs in-process weld");
+
+    let topo = oociso_march::analyze_mesh(&first.mesh);
+    assert!(topo.is_closed_manifold(), "{topo:?}");
+    assert_eq!(topo.components, 1);
+    assert_eq!(topo.euler_characteristic(), 2, "{topo:?}");
+    assert_eq!(
+        topo.vertices,
+        first.mesh.num_vertices(),
+        "no duplicate seam vertices survive the weld"
+    );
+
+    let second = client.query_mesh(iso, None).unwrap();
+    assert!(second.cache_hit, "second identical query must hit");
+    assert_same_mesh(&second.mesh, &first.mesh, "cache hit bytes");
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -25,6 +25,7 @@ fn truth(vol: &Volume<u8>, iso: f32) -> TriangleSoup {
 }
 
 use oociso::march::canonical_triangles as canon;
+use oociso::march::split_collapsed;
 
 #[test]
 fn database_extraction_equals_direct_marching_cubes() {
@@ -53,10 +54,19 @@ fn database_extraction_equals_direct_marching_cubes() {
         let dir = tmpdir(&format!("eq_{name}"));
         let db = IsoDatabase::preprocess(vol, &dir, &PreprocessOptions::default()).unwrap();
         let got = db.extract(128.0).unwrap();
+        // the integer isovalue lands some crossings exactly on cell corners
+        // of the u8 lattice; the weld drops those collapsed triangles and
+        // must account for every one of them
+        let (kept, collapsed) = split_collapsed(canon(&reference));
         assert_eq!(
             canon(&got.mesh.to_soup()),
-            canon(&reference),
-            "{name}: database extraction must equal direct MC"
+            kept,
+            "{name}: database extraction must equal direct MC minus collapses"
+        );
+        assert_eq!(
+            got.report.total_weld().degenerate_dropped,
+            collapsed as u64,
+            "{name}: every dropped triangle accounted"
         );
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -65,7 +75,7 @@ fn database_extraction_equals_direct_marching_cubes() {
 #[test]
 fn every_node_count_yields_identical_geometry() {
     let vol = RmProxy::with_seed(23).volume(210, Dims3::new(40, 40, 38));
-    let reference = truth(&vol, 110.0);
+    let (reference, collapsed) = split_collapsed(canon(&truth(&vol, 110.0)));
     for nodes in [1usize, 2, 3, 4, 8] {
         let dir = tmpdir(&format!("p{nodes}"));
         let db = ClusterDatabase::preprocess(
@@ -80,8 +90,13 @@ fn every_node_count_yields_identical_geometry() {
         let got = db.extract(110.0).unwrap();
         assert_eq!(
             canon(&got.mesh.to_soup()),
-            canon(&reference),
+            reference,
             "p={nodes}: geometry must be independent of striping"
+        );
+        assert_eq!(
+            got.report.total_weld().degenerate_dropped,
+            collapsed as u64,
+            "p={nodes}: collapse count must be independent of striping"
         );
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -102,9 +117,13 @@ fn extraction_sweep_is_superset_free() {
     let db = IsoDatabase::preprocess(&vol, &dir, &PreprocessOptions::default()).unwrap();
     for iso in (40..=215).step_by(25) {
         let iso = iso as f32;
+        let got = db.extract(iso).unwrap();
+        // welded triangle count + the triangles the weld collapsed (integer
+        // isovalues can land crossings on lattice corners) = the reference
+        // kernel's count, exactly
         assert_eq!(
-            db.extract(iso).unwrap().mesh.len(),
-            truth(&vol, iso).len(),
+            got.mesh.len() as u64 + got.report.total_weld().degenerate_dropped,
+            truth(&vol, iso).len() as u64,
             "iso {iso}"
         );
     }
@@ -172,6 +191,7 @@ fn check_streaming_equals_batch(name: &str, vol: &Volume<u8>, iso: f32) {
             &ExtractOptions {
                 workers: Some(1),
                 mode: ExtractMode::Batch,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -184,6 +204,7 @@ fn check_streaming_equals_batch(name: &str, vol: &Volume<u8>, iso: f32) {
                     &ExtractOptions {
                         workers: Some(workers),
                         mode: ExtractMode::Streaming { queue_records },
+                        ..Default::default()
                     },
                 )
                 .unwrap();

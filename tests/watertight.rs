@@ -1,0 +1,443 @@
+//! Watertightness and weld invariants of the out-of-core pipeline.
+//!
+//! The decomposition extracts every metacell (and every cluster node)
+//! independently; welding is what turns that pile of sub-meshes back into
+//! one watertight surface. These tests pin the properties that make welding
+//! trustworthy:
+//!
+//! * **closure** — for closed synthetic fields the welded full-database mesh
+//!   has zero boundary edges, zero non-manifold edges, and the ground-truth
+//!   Euler characteristic, across extraction modes × worker counts ×
+//!   metacell sizes × node counts (while the unwelded merge is provably
+//!   open along every seam);
+//! * **topology-only** — welding never moves geometry: the canonical
+//!   triangle multiset is identical to the unwelded merge (minus exactly
+//!   the counted collapsed triangles when the isosurface passes through
+//!   cell corners).
+
+use oociso::cluster::{Cluster, ClusterBuildOptions, ExtractMode, ExtractOptions};
+use oociso::core::{ClusterDatabase, PreprocessOptions};
+use oociso::march::{
+    analyze, analyze_mesh, analyze_mesh_connectivity, marching_cubes, TriangleSoup, Vec3,
+};
+use oociso::volume::field::{AnalyticField, FieldExt, GyroidField, SphereField, TorusField};
+use oociso::volume::{Dims3, Volume};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("oociso_wt_{}_{}", std::process::id(), name));
+    p
+}
+
+fn truth(vol: &Volume<u8>, iso: f32) -> TriangleSoup {
+    let mut soup = TriangleSoup::new();
+    marching_cubes(vol, iso, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
+    soup
+}
+
+fn extract_with(
+    cluster: &Cluster<u8>,
+    iso: f32,
+    workers: usize,
+    mode: ExtractMode,
+    weld: bool,
+) -> (oociso::march::IndexedMesh, oociso::cluster::QueryReport) {
+    cluster
+        .extract_with_options(
+            iso,
+            &ExtractOptions {
+                workers: Some(workers),
+                mode,
+                weld,
+            },
+        )
+        .unwrap()
+        .into_merged()
+}
+
+/// A gyroid clipped inside a ball so its isosurface closes strictly inside
+/// the volume (the raw gyroid exits through every volume face).
+#[derive(Clone, Copy)]
+struct ClippedGyroid {
+    gyroid: GyroidField,
+    clip: SphereField,
+}
+
+impl ClippedGyroid {
+    fn new() -> Self {
+        ClippedGyroid {
+            gyroid: GyroidField {
+                cells: 2.0,
+                level: 128.0,
+                amplitude: 80.0,
+            },
+            clip: SphereField {
+                center: [0.5, 0.5, 0.5],
+                radius: 0.36,
+                level: 128.0,
+                slope: 600.0,
+            },
+        }
+    }
+}
+
+impl AnalyticField for ClippedGyroid {
+    fn eval(&self, x: f32, y: f32, z: f32) -> f32 {
+        self.gyroid.eval(x, y, z).min(self.clip.eval(x, y, z))
+    }
+}
+
+/// The property behind the suite: for a closed field, every (mode × workers
+/// × metacell size) combination of the welded out-of-core extraction yields
+/// the exact topology of a direct in-memory marching-cubes pass — closed,
+/// manifold, same Euler characteristic — on a 3-node cluster whose striping
+/// puts node seams everywhere.
+fn check_watertight_everywhere(name: &str, vol: &Volume<u8>, iso: f32, expect_components: usize) {
+    let reference = analyze(&truth(vol, iso));
+    assert!(
+        reference.is_closed(),
+        "{name}: ground truth must be closed, got {reference:?}"
+    );
+    assert_eq!(reference.components, expect_components, "{name}");
+    for metacell_k in [5usize, 9] {
+        let dir = tmpdir(&format!("prop_{name}_{metacell_k}_{}", (iso * 10.0) as i64));
+        let (cluster, _) = Cluster::build(
+            vol,
+            &dir,
+            3,
+            &ClusterBuildOptions {
+                metacell_k,
+                mmap: false,
+            },
+        )
+        .unwrap();
+        for mode in [ExtractMode::default(), ExtractMode::Batch] {
+            for workers in [1usize, 2, 8] {
+                let ctx = format!("{name} iso={iso} k={metacell_k} {mode:?} workers={workers}");
+                let (mesh, report) = extract_with(&cluster, iso, workers, mode, true);
+                // the strong form of watertight: closed by *raw index
+                // connectivity*, not just after analysis-time welding
+                let topo = analyze_mesh_connectivity(&mesh);
+                assert!(topo.is_closed(), "{ctx}: boundary edges: {topo:?}");
+                // non-manifold pinches only where the quantized field truly
+                // self-touches — i.e. exactly where direct MC has them too
+                assert_eq!(topo, reference, "{ctx}: topology must match direct MC");
+                assert_eq!(analyze_mesh(&mesh), reference, "{ctx}");
+                assert_eq!(
+                    topo.euler_characteristic(),
+                    reference.euler_characteristic(),
+                    "{ctx}"
+                );
+                // the welded mesh carries no duplicate or orphan vertices
+                assert_eq!(topo.vertices, mesh.num_vertices(), "{ctx}");
+                // off-lattice isovalue: nothing may collapse
+                assert_eq!(report.total_weld().degenerate_dropped, 0, "{ctx}");
+                assert!(
+                    report.total_weld().vertices_merged() > 0,
+                    "{ctx}: seams must exist for the weld to close"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn welded_sphere_is_watertight_across_modes_workers_and_metacell_sizes(
+        dim in 24usize..31,
+        iso_step in 110u32..150,
+    ) {
+        // half-integer isovalues keep crossings off the u8 lattice
+        let iso = iso_step as f32 + 0.5;
+        let vol: Volume<u8> = SphereField::centered(0.3, 128.0).sample(Dims3::new(dim, dim, dim - 1));
+        check_watertight_everywhere("sphere", &vol, iso, 1);
+    }
+
+    #[test]
+    fn welded_clipped_gyroid_is_watertight_across_modes_workers_and_metacell_sizes(
+        dim in 26usize..33,
+        iso_step in 123u32..134,
+    ) {
+        let iso = iso_step as f32 + 0.5;
+        let vol: Volume<u8> = ClippedGyroid::new().sample(Dims3::cube(dim));
+        let reference = analyze(&truth(&vol, iso));
+        // the clipped gyroid's genus (and component count) depends on dim and
+        // iso; take the component count from ground truth and let
+        // check_watertight_everywhere verify the full report matches
+        check_watertight_everywhere("clipped_gyroid", &vol, iso, reference.components);
+    }
+}
+
+/// The acceptance invariant, pinned as a plain test: a welded multi-node
+/// sphere extraction is closed where the unwelded merge of the very same
+/// extraction is open along every metacell/node seam — and the two meshes
+/// are the same surface (identical canonical triangle multisets).
+#[test]
+fn welding_closes_node_seams_that_unwelded_merge_leaves_open() {
+    let vol: Volume<u8> = SphereField::centered(0.3, 128.0).sample(Dims3::cube(33));
+    let dir = tmpdir("accept");
+    let db = ClusterDatabase::preprocess(
+        &vol,
+        &dir,
+        &PreprocessOptions {
+            nodes: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let iso = 128.5f32;
+    let welded = db.extract(iso).unwrap();
+    let unwelded = db
+        .extract_with_options(
+            iso,
+            &ExtractOptions {
+                weld: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+    let wt = analyze_mesh(&welded.mesh);
+    assert!(wt.is_closed(), "welded sphere must be closed: {wt:?}");
+    assert_eq!(wt.non_manifold_edges, 0);
+    assert_eq!(wt.components, 1);
+    assert_eq!(wt.euler_characteristic(), 2, "{wt:?}");
+    // closed by raw index connectivity too — the property decimation needs
+    assert_eq!(analyze_mesh_connectivity(&welded.mesh), wt);
+
+    // the unwelded path duplicates every seam vertex: its index connectivity
+    // is open along every metacell/node seam and shatters into pieces …
+    let open = analyze_mesh_connectivity(&unwelded.mesh);
+    assert!(
+        !open.is_closed() && open.boundary_edges > 0,
+        "unwelded merge must be open along metacell seams: {open:?}"
+    );
+    assert!(open.components > 1, "{open:?}");
+    assert!(
+        welded.mesh.num_vertices() < unwelded.mesh.num_vertices(),
+        "weld must shrink the vertex table: {} vs {}",
+        welded.mesh.num_vertices(),
+        unwelded.mesh.num_vertices()
+    );
+    // … while `analyze_mesh` (which welds internally) agrees the *surface*
+    // is the same: the unwelded mesh is open only by representation
+    assert_eq!(analyze_mesh(&unwelded.mesh), wt);
+
+    // welding is topology-only: same canonical triangle multiset
+    assert_eq!(
+        welded.mesh.canonical_triangles(),
+        unwelded.mesh.canonical_triangles()
+    );
+    assert_eq!(welded.report.total_weld().degenerate_dropped, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Welding never moves geometry for any zoo field — closed or open, smooth
+/// or noisy: welded vs unwelded extraction of the same database produce the
+/// identical canonical triangle multiset, and the analyzed topology (which
+/// is weld-agnostic by construction) is unchanged.
+#[test]
+fn welding_is_topology_only_across_the_field_zoo() {
+    let fields: Vec<(&str, Volume<u8>)> = vec![
+        (
+            "sphere",
+            SphereField::centered(0.31, 128.0).sample(Dims3::new(30, 28, 26)),
+        ),
+        (
+            "torus",
+            TorusField {
+                major: 0.3,
+                minor: 0.12,
+                level: 128.0,
+                slope: 300.0,
+            }
+            .sample(Dims3::new(31, 31, 23)),
+        ),
+        (
+            "gyroid",
+            GyroidField {
+                cells: 2.5,
+                level: 128.0,
+                amplitude: 70.0,
+            }
+            .sample(Dims3::cube(28)),
+        ),
+        (
+            "noise",
+            oociso::volume::field::NoiseField {
+                seed: 9,
+                frequency: 4.0,
+                octaves: 3,
+                lo: 40.0,
+                hi: 215.0,
+            }
+            .sample(Dims3::cube(26)),
+        ),
+    ];
+    for (name, vol) in &fields {
+        let dir = tmpdir(&format!("zoo_{name}"));
+        let db = ClusterDatabase::preprocess(
+            vol,
+            &dir,
+            &PreprocessOptions {
+                nodes: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for iso in [96.5f32, 128.5, 160.5] {
+            let welded = db.extract(iso).unwrap();
+            let unwelded = db
+                .extract_with_options(
+                    iso,
+                    &ExtractOptions {
+                        weld: false,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            let ctx = format!("{name} iso={iso}");
+            assert_eq!(
+                welded.mesh.canonical_triangles(),
+                unwelded.mesh.canonical_triangles(),
+                "{ctx}: weld moved geometry"
+            );
+            assert_eq!(welded.report.total_weld().degenerate_dropped, 0, "{ctx}");
+            assert_eq!(
+                analyze_mesh(&welded.mesh),
+                analyze_mesh(&unwelded.mesh),
+                "{ctx}: weld changed topology"
+            );
+            assert!(
+                welded.mesh.is_empty()
+                    || welded.mesh.num_vertices() <= unwelded.mesh.num_vertices(),
+                "{ctx}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// An isosurface passing exactly through cell corners makes several edge
+/// crossings coincide: the weld must drop those exactly-degenerate triangles
+/// (counting them), keep everything else, and still deliver a closed clean
+/// mesh. A single sample spiked to the isovalue surrounded by zeros is the
+/// worst case — every one of its triangles collapses to a point.
+#[test]
+fn corner_crossings_collapse_and_are_dropped_with_a_counter() {
+    let dims = Dims3::cube(19);
+    // spike at (3,3,3) exactly at the isovalue; a solid ball elsewhere keeps
+    // the surface non-empty, closed, and crossing mid-edge (255→0 at t≈0.5)
+    let vol: Volume<u8> = Volume::generate(dims, |x, y, z| {
+        if (x, y, z) == (3, 3, 3) {
+            128
+        } else {
+            let (dx, dy, dz) = (x as f32 - 12.0, y as f32 - 12.0, z as f32 - 12.0);
+            if (dx * dx + dy * dy + dz * dz).sqrt() < 4.3 {
+                255
+            } else {
+                0
+            }
+        }
+    });
+    let iso = 128.0f32;
+    let reference = truth(&vol, iso);
+
+    let dir = tmpdir("spike");
+    let db = ClusterDatabase::preprocess(
+        &vol,
+        &dir,
+        &PreprocessOptions {
+            nodes: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let welded = db.extract(iso).unwrap();
+    let unwelded = db
+        .extract_with_options(
+            iso,
+            &ExtractOptions {
+                weld: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+    // the 8 cells around the spike each emit one point-collapsed triangle
+    let dropped = welded.report.total_weld().degenerate_dropped;
+    assert_eq!(dropped, 8, "{:?}", welded.report.total_weld());
+    assert_eq!(
+        welded.mesh.len() as u64 + dropped,
+        unwelded.mesh.len() as u64
+    );
+    assert_eq!(unwelded.mesh.len(), reference.len());
+
+    // the kept multiset is exactly the reference minus its collapsed entries
+    let (kept, collapsed) =
+        oociso::march::split_collapsed(oociso::march::canonical_triangles(&reference));
+    assert_eq!(collapsed as u64, dropped);
+    assert_eq!(welded.mesh.canonical_triangles(), kept);
+
+    // no zero-area junk or orphan vertices survive in the welded mesh: the
+    // ball is a clean closed component and the spike leaves no trace
+    let topo = analyze_mesh_connectivity(&welded.mesh);
+    assert_eq!(topo, analyze_mesh(&welded.mesh));
+    assert!(topo.is_closed_manifold(), "{topo:?}");
+    assert_eq!(topo.components, 1);
+    assert_eq!(topo.euler_characteristic(), 2, "{topo:?}");
+    assert_eq!(topo.vertices, welded.mesh.num_vertices());
+    for tri in welded.mesh.indices().chunks_exact(3) {
+        assert!(
+            tri[0] != tri[1] && tri[1] != tri[2] && tri[0] != tri[2],
+            "collapsed triangle survived the weld"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Weld cost probe for docs/perf.md — run manually:
+/// `cargo test --release --test watertight -- --ignored print_weld_cost --nocapture`
+#[test]
+#[ignore]
+fn print_weld_cost() {
+    let vol: Volume<u8> = GyroidField {
+        cells: 3.0,
+        level: 128.0,
+        amplitude: 70.0,
+    }
+    .sample(Dims3::cube(65));
+    let dir = tmpdir("weldcost");
+    let db = ClusterDatabase::preprocess(
+        &vol,
+        &dir,
+        &PreprocessOptions {
+            nodes: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for _ in 0..5 {
+        let e = db.extract(128.5).unwrap();
+        let r = &e.report;
+        let w = r.total_weld();
+        println!(
+            "65^3 gyroid: {} tris, extraction wall {:.3} ms, weld wall {:.3} ms ({:.2}%), \
+             merged {} of {} vertices, closed {} seam edges",
+            r.total_triangles(),
+            r.nodes[0].extraction_wall.as_secs_f64() * 1e3,
+            r.total_weld_wall().as_secs_f64() * 1e3,
+            100.0 * r.total_weld_wall().as_secs_f64()
+                / r.nodes[0].extraction_wall.as_secs_f64().max(1e-9),
+            w.vertices_merged(),
+            w.input_vertices,
+            w.seam_edges_closed(),
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
