@@ -152,11 +152,42 @@ fn bench_pipeline_overlap(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+fn bench_decimate(c: &mut Criterion) {
+    // quadric edge-collapse over the welded gyroid surfaces the LOD pyramid
+    // simplifies in production: throughput is input vertices retired per
+    // second (collapse loop + output compaction, heap included)
+    use oociso_volume::field::{FieldExt, GyroidField};
+    let mut group = c.benchmark_group("decimate");
+    group.sample_size(10);
+    for dim in [48usize, 65] {
+        let vol: oociso_volume::Volume<u8> = GyroidField {
+            cells: 3.0,
+            level: 128.0,
+            amplitude: 70.0,
+        }
+        .sample(Dims3::cube(dim));
+        let dir = std::env::temp_dir().join(format!("oociso_qbench_d{dim}_{}", std::process::id()));
+        let (cluster, _) = Cluster::build(&vol, &dir, 1, &ClusterBuildOptions::default()).unwrap();
+        let (mesh, _) = cluster.extract(128.5).unwrap().into_merged();
+        std::fs::remove_dir_all(&dir).ok();
+        group.throughput(criterion::Throughput::Elements(mesh.num_vertices() as u64));
+        for ratio in [0.25f64, 0.06] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("gyroid{dim}"), format!("r{ratio}")),
+                &ratio,
+                |b, &ratio| b.iter(|| oociso_march::decimate_to_ratio(&mesh, ratio)),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_extract,
     bench_isovalue_sensitivity,
     bench_worker_scaling,
-    bench_pipeline_overlap
+    bench_pipeline_overlap,
+    bench_decimate
 );
 criterion_main!(benches);

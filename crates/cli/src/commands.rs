@@ -12,38 +12,59 @@ pub const USAGE: &str = "\
 oociso — out-of-core isosurface extraction and rendering
 
 USAGE:
-  oociso gen        --out FILE [--dims NXxNYxNZ] [--step N] [--seed N]
+  oociso gen        --out FILE [--dims NXxNYxNZ] [--step N] [--seed N] [--field rm|ball]
   oociso preprocess --volume FILE --db DIR [--nodes N] [--metacell K]
   oociso info       --db DIR
   oociso extract    --db DIR --iso V [--obj FILE] [--topology] [--no-weld]
+                    [--decimate RATIO]
   oociso render     --db DIR --iso V --out FILE.ppm [--size N] [--tiles CxR]
   oociso serve      --db DIR [--addr 127.0.0.1:7077] [--cache-mb N] [--port-file FILE]
-  oociso query      --addr HOST:PORT --iso V [--obj FILE] [--region x0,y0,z0,x1,y1,z1]
+                    [--lods R1,R2|none]
+  oociso query      --addr HOST:PORT --iso V [--lod N] [--obj FILE]
+                    [--region x0,y0,z0,x1,y1,z1]
                     [--frame FILE.ppm] [--size N] [--tiles CxR] [--stats]
   oociso help
 
 Generate a Richtmyer-Meshkov proxy volume, preprocess it into a striped
 out-of-core database (compact interval tree index), then extract or render
-isosurfaces reading only the active metacells. `serve` exposes a database
-over TCP (binary wire protocol, LRU result cache); `query` is the matching
-remote client.
+isosurfaces reading only the active metacells. `extract --decimate 0.25`
+quadric-simplifies the welded mesh to 25% of its vertices; `serve` exposes
+a database over TCP (binary wire protocol, LRU result cache, LOD pyramid —
+default levels 100%/25%/6%); `query --lod N` fetches pyramid level N.
 ";
 
 fn err(e: impl std::fmt::Display) -> String {
     e.to_string()
 }
 
-/// `oociso gen`: write an RM proxy time step as a raw volume file.
+/// `oociso gen`: write a synthetic volume file — the RM proxy time step
+/// (default), or `--field ball`, a centered sphere whose isosurfaces close
+/// strictly inside the volume (the closed-manifold fixture the decimation
+/// smoke tests need).
 pub fn gen(opts: &Options) -> Result<(), String> {
     let out = opts.require("out")?;
     let dims = opts.dims("dims", Dims3::new(256, 256, 240))?;
     let step: u32 = opts.num("step", 250)?;
     let seed: u64 = opts.num("seed", 0x524D_2006)?;
-    eprintln!(
-        "generating RM proxy step {step} at {}x{}x{} (seed {seed:#x})…",
-        dims.nx, dims.ny, dims.nz
-    );
-    let vol = RmProxy::with_seed(seed).volume(step, dims);
+    let field = opts.get("field").unwrap_or("rm");
+    let vol = match field {
+        "rm" => {
+            eprintln!(
+                "generating RM proxy step {step} at {}x{}x{} (seed {seed:#x})…",
+                dims.nx, dims.ny, dims.nz
+            );
+            RmProxy::with_seed(seed).volume(step, dims)
+        }
+        "ball" => {
+            use oociso_volume::field::{FieldExt, SphereField};
+            eprintln!(
+                "generating centered ball at {}x{}x{}…",
+                dims.nx, dims.ny, dims.nz
+            );
+            SphereField::centered(0.34, 128.0).sample(dims)
+        }
+        other => return Err(format!("--field: unknown field `{other}` (rm | ball)")),
+    };
     write_volume(Path::new(out), &vol).map_err(err)?;
     println!(
         "wrote {} ({:.1} MB raw)",
@@ -172,8 +193,38 @@ pub fn extract(opts: &Options) -> Result<(), String> {
             / 1e6
             / model.query_time(r, 4, (1024, 1024)).as_secs_f64().max(1e-9)
     );
+    // --decimate R: quadric edge-collapse simplify the welded mesh; the
+    // OBJ export and topology report below then describe the decimated mesh
+    let mut mesh = result.mesh;
+    if let Some(ratio) = opts.get("decimate") {
+        let ratio: f64 = ratio
+            .parse()
+            .map_err(|_| format!("--decimate: cannot parse `{ratio}`"))?;
+        if !(0.0..=1.0).contains(&ratio) {
+            return Err(format!("--decimate: ratio {ratio} outside [0, 1]"));
+        }
+        let t = std::time::Instant::now();
+        let (decimated, stats) = oociso_march::decimate_to_ratio(&mesh, ratio);
+        println!(
+            "decimate {ratio}: {} -> {} vertices ({} -> {} triangles), {} collapses, max error {:.3e} (world {:.4}), {:.1} ms{}",
+            stats.input_vertices,
+            stats.output_vertices,
+            stats.input_triangles,
+            stats.output_triangles,
+            stats.collapses,
+            stats.max_error,
+            stats.world_error(),
+            t.elapsed().as_secs_f64() * 1e3,
+            if stats.reached_target {
+                ""
+            } else {
+                " (stopped early: no legal collapse left)"
+            }
+        );
+        mesh = decimated;
+    }
     if opts.flag("topology") {
-        let report = oociso_march::analyze_mesh(&result.mesh);
+        let report = oociso_march::analyze_mesh(&mesh);
         println!(
             "topology: V={} E={} F={} components={} boundary_edges={} non_manifold_edges={} chi={} ({})",
             report.vertices,
@@ -193,11 +244,11 @@ pub fn extract(opts: &Options) -> Result<(), String> {
         );
     }
     if let Some(obj) = opts.get("obj") {
-        result.mesh.write_obj(Path::new(obj)).map_err(err)?;
+        mesh.write_obj(Path::new(obj)).map_err(err)?;
         println!(
             "exported {} triangles ({} welded vertices) -> {obj}",
-            result.mesh.len(),
-            result.mesh.num_vertices()
+            mesh.len(),
+            mesh.num_vertices()
         );
     }
     Ok(())
@@ -208,6 +259,21 @@ pub fn serve(opts: &Options) -> Result<(), String> {
     let db_dir = opts.require("db")?;
     let addr = opts.get("addr").unwrap_or("127.0.0.1:7077");
     let cache_mb: u64 = opts.num("cache-mb", 256)?;
+    // LOD pyramid levels: the library's serving default pyramid (100%/25%/6%);
+    // `--lods none` keeps the server full-resolution-only
+    let lod_ratios: Vec<f64> = match opts.get("lods") {
+        None => oociso_cluster::LodSpec::pyramid().ratios,
+        Some("none") | Some("off") => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse()
+                    .map_err(|_| format!("--lods: bad ratio `{p}` in `{list}`"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let levels = 1 + lod_ratios.len();
     let db = ClusterDatabase::<u8>::open(Path::new(db_dir), true).map_err(err)?;
     let nodes = db.nodes();
     let server = oociso_serve::IsoServer::bind(
@@ -215,6 +281,8 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         addr,
         oociso_serve::ServeOptions {
             cache_bytes: cache_mb << 20,
+            lod_ratios,
+            ..Default::default()
         },
     )
     .map_err(err)?;
@@ -223,7 +291,7 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         std::fs::write(port_file, server.addr().port().to_string()).map_err(err)?;
     }
     println!(
-        "serving {db_dir} ({nodes} node(s)) on {} — protocol v{}, cache {cache_mb} MiB",
+        "serving {db_dir} ({nodes} node(s)) on {} — protocol v{}, cache {cache_mb} MiB, {levels} LOD level(s)",
         server.addr(),
         oociso_serve::VERSION,
     );
@@ -258,11 +326,12 @@ pub fn query(opts: &Options) -> Result<(), String> {
             })
         }
     };
+    let lod: u16 = opts.num("lod", 0)?;
     let mut client = oociso_serve::Client::connect(addr).map_err(err)?;
     let t = std::time::Instant::now();
-    let reply = client.query_mesh(iso, region).map_err(err)?;
+    let reply = client.query_mesh_lod(iso, region, lod).map_err(err)?;
     println!(
-        "isovalue {iso}: {} triangles ({} welded vertices), {} active metacells, {} in {:.3}s",
+        "isovalue {iso} (lod {lod}): {} triangles ({} welded vertices), {} active metacells, {} in {:.3}s",
         reply.mesh.len(),
         reply.mesh.num_vertices(),
         reply.active_metacells,
@@ -333,6 +402,17 @@ pub fn query(opts: &Options) -> Result<(), String> {
             s.cache_resident_bytes as f64 / 1e6,
             s.cache_resident_entries
         );
+        let per_level: Vec<String> = s
+            .lod_hits
+            .iter()
+            .zip(&s.lod_misses)
+            .enumerate()
+            .filter(|(_, (&h, &m))| h + m > 0)
+            .map(|(i, (h, m))| format!("L{i} {h}/{m}"))
+            .collect();
+        if !per_level.is_empty() {
+            println!("cache per lod (hits/misses): {}", per_level.join(", "));
+        }
     }
     Ok(())
 }

@@ -6,7 +6,7 @@ use oociso_exio::{BoundedQueue, DiskFarm, RecordStore, WriteAt};
 use oociso_itree::plan::{execute_plan, QueryPlan};
 use oociso_itree::{persist, CompactIntervalTree, MetacellRecordFormat};
 use oociso_march::mc::{marching_cubes_indexed, McStats, SlabScratch};
-use oociso_march::{IndexedMesh, MeshWelder, TriangleSoup, Vec3};
+use oociso_march::{IndexedMesh, LodChain, MeshWelder, TriangleSoup, Vec3};
 use oociso_metacell::{
     scan_volume, MetacellInterval, MetacellLayout, MetacellRecord, PreprocessStats,
 };
@@ -66,8 +66,37 @@ impl Default for ExtractMode {
     }
 }
 
+/// LOD pyramid request: vertex-count targets of the extra levels, each a
+/// fraction of the full-resolution vertex count, strictly decreasing (the
+/// serving default is 25 % and 6 %). Empty = no decimation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LodSpec {
+    /// Per-level vertex ratios, e.g. `[0.25, 0.06]` for a 100 %/25 %/6 %
+    /// pyramid.
+    pub ratios: Vec<f64>,
+}
+
+impl LodSpec {
+    /// No extra levels (full resolution only).
+    pub fn none() -> LodSpec {
+        LodSpec::default()
+    }
+
+    /// The serving default: 100 % / 25 % / 6 %.
+    pub fn pyramid() -> LodSpec {
+        LodSpec {
+            ratios: vec![0.25, 0.06],
+        }
+    }
+
+    /// Total level count including the implicit full-resolution level 0.
+    pub fn levels(&self) -> usize {
+        1 + self.ratios.len()
+    }
+}
+
 /// Options for one extraction query.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExtractOptions {
     /// Per-node worker count (`None` → cores ÷ nodes, see
     /// [`Cluster::extract`]).
@@ -81,6 +110,10 @@ pub struct ExtractOptions {
     /// vertices, boundary edges along every metacell face), which the
     /// topology test suites use as the open-seam reference.
     pub weld: bool,
+    /// LOD pyramid to build from the merged welded mesh — consumed by
+    /// [`ClusterExtraction::into_lod_chain`]; empty (the default) skips
+    /// decimation entirely.
+    pub lods: LodSpec,
 }
 
 impl Default for ExtractOptions {
@@ -89,6 +122,7 @@ impl Default for ExtractOptions {
             workers: None,
             mode: ExtractMode::default(),
             weld: true,
+            lods: LodSpec::none(),
         }
     }
 }
@@ -108,6 +142,9 @@ pub struct ClusterExtraction {
     /// Whether [`ClusterExtraction::into_merged`] welds node seams (set from
     /// [`ExtractOptions::weld`]).
     pub weld: bool,
+    /// LOD pyramid [`ClusterExtraction::into_lod_chain`] will build from the
+    /// merged mesh (set from [`ExtractOptions::lods`]).
+    pub lods: LodSpec,
 }
 
 impl ClusterExtraction {
@@ -136,6 +173,7 @@ impl ClusterExtraction {
             meshes,
             mut report,
             weld,
+            lods: _,
         } = self;
         if !weld || meshes.len() <= 1 {
             // single welded node: already seam-free, skip the re-join pass
@@ -160,6 +198,36 @@ impl ClusterExtraction {
         // compare like with like
         report.total_wall += report.merge_weld_wall;
         (out, report)
+    }
+
+    /// Consume the extraction into the full LOD pyramid plus the report:
+    /// merge (welding node seams as [`ClusterExtraction::into_merged`]
+    /// does), then build one decimated level per ratio of the requested
+    /// [`LodSpec`] — **post-weld**, so every level simplifies the watertight
+    /// global mesh rather than per-node fragments. Per-level
+    /// [`oociso_march::DecimateStats`] land in [`QueryReport::lod_levels`]
+    /// and the decimation wall in [`QueryReport::lod_wall`]. An empty spec
+    /// yields a 1-level chain (full resolution only).
+    pub fn into_lod_chain(self) -> (LodChain, QueryReport) {
+        let ratios = self.lods.ratios.clone();
+        let (mesh, mut report) = self.into_merged();
+        let t = Instant::now();
+        let chain = LodChain::build(mesh, &ratios);
+        report.lod_wall = t.elapsed();
+        report.lod_levels = chain
+            .levels()
+            .iter()
+            .map(|l| crate::timing::LodReport {
+                target_ratio: l.target_ratio,
+                vertices: l.mesh.num_vertices() as u64,
+                triangles: l.mesh.len() as u64,
+                max_error: l.stats.max_error,
+                world_error: l.cumulative_error.sqrt(),
+                collapses: l.stats.collapses,
+            })
+            .collect();
+        report.total_wall += report.lod_wall;
+        (chain, report)
     }
 }
 
@@ -487,6 +555,7 @@ impl<S: ScalarValue> Cluster<S> {
             meshes,
             report,
             weld,
+            lods: opts.lods.clone(),
         })
     }
 

@@ -107,6 +107,26 @@ impl NodeReport {
     }
 }
 
+/// One LOD pyramid level's row in a [`QueryReport`] — the decimation
+/// analogue of a `NodeReport`: what the level cost and what survived.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LodReport {
+    /// Requested vertex fraction of the full-resolution mesh (level 0 = 1).
+    pub target_ratio: f64,
+    /// Surviving vertices.
+    pub vertices: u64,
+    /// Surviving triangles.
+    pub triangles: u64,
+    /// Largest quadric error of any collapse applied building this level
+    /// (squared world-space distance; 0 for level 0).
+    pub max_error: f64,
+    /// Accumulated world-space error gauge versus full resolution
+    /// (`LodChain::world_error`).
+    pub world_error: f64,
+    /// Edge collapses applied for this level.
+    pub collapses: u64,
+}
+
 /// A whole-cluster query report.
 #[derive(Clone, Debug, Default)]
 pub struct QueryReport {
@@ -121,6 +141,11 @@ pub struct QueryReport {
     pub merge_weld: WeldStats,
     /// Measured wall-clock of the cross-node merge weld.
     pub merge_weld_wall: Duration,
+    /// Per-level rows of the LOD pyramid (`ClusterExtraction::into_lod_chain`;
+    /// empty until that runs, or when no LODs were requested).
+    pub lod_levels: Vec<LodReport>,
+    /// Measured wall-clock building the LOD pyramid.
+    pub lod_wall: Duration,
     /// Bytes the sort-last shuffle moved (0 until rendering runs).
     pub composite_wire_bytes: u64,
     /// Measured wall-clock of the composite step.

@@ -118,6 +118,25 @@ impl<S: ScalarValue> ClusterDatabase<S> {
         self.cluster.extract(iso)
     }
 
+    /// Extract the isosurface at `iso` and build the LOD pyramid described
+    /// by `lods` from the merged **welded** mesh: level 0 is the full
+    /// watertight surface, each further level is quadric edge-collapse
+    /// decimated to its vertex ratio. Per-level stats ride in
+    /// [`QueryReport::lod_levels`]. This is what the query server caches
+    /// and serves per level.
+    pub fn extract_lods(
+        &self,
+        iso: f32,
+        lods: &oociso_cluster::LodSpec,
+    ) -> io::Result<(oociso_march::LodChain, QueryReport)> {
+        let opts = oociso_cluster::ExtractOptions {
+            lods: lods.clone(),
+            ..Default::default()
+        };
+        let e = self.cluster.extract_with_options(iso, &opts)?;
+        Ok(e.into_lod_chain())
+    }
+
     /// Full pipeline: extract, render per node, sort-last composite.
     pub fn extract_and_render(
         &self,

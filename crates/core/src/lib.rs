@@ -29,6 +29,7 @@ pub mod tv;
 
 pub use db::{ClusterDatabase, ExtractResult, IsoDatabase, PreprocessOptions};
 pub use oociso_cluster::{
-    ExtractMode, ExtractOptions, NodeReport, QueryReport, SimulatedTimeModel,
+    ExtractMode, ExtractOptions, LodReport, LodSpec, NodeReport, QueryReport, SimulatedTimeModel,
 };
+pub use oociso_march::LodChain;
 pub use tv::TimeVaryingDatabase;

@@ -1,0 +1,986 @@
+//! Quadric edge-collapse decimation and LOD pyramids.
+//!
+//! The welded extraction path hands downstream consumers an [`IndexedMesh`]
+//! with true shared-vertex connectivity — exactly what edge-collapse
+//! simplification needs. [`decimate`] is the Garland–Heckbert quadric error
+//! metric: every vertex accumulates the squared-distance quadric of its
+//! incident face planes, every interior edge becomes a collapse candidate
+//! priced at the quadric error of its optimal merged position, and a priority
+//! heap retires the cheapest collapses until a vertex target or an error
+//! bound is reached.
+//!
+//! Simplification for a *serving* pipeline has two extra obligations the
+//! textbook algorithm does not:
+//!
+//! * **Topology safety** — a collapse is rejected unless it provably
+//!   preserves the surface: boundary (and non-manifold-spine) vertices are
+//!   pinned outright, the link condition rules out collapses that would
+//!   pinch the surface into a non-manifold edge, and a normal-flip check
+//!   rejects collapses that would fold a surviving face through itself.
+//!   A closed manifold input therefore stays a closed manifold with the same
+//!   Euler characteristic, and an open mesh never loses (or moves) a
+//!   boundary vertex.
+//! * **Determinism** — results must be byte-identical across runs and across
+//!   the cluster's worker counts, or LOD levels could not be cached,
+//!   diffed, or served bit-exactly. The heap orders candidates by
+//!   `(error, edge)` under `f64::total_cmp`, every fallback scan breaks ties
+//!   by fixed evaluation order, and the output is compacted in first-use
+//!   order — the same rule [`IndexedMesh::filter_triangles`] uses — so equal
+//!   inputs always decimate to equal outputs.
+//!
+//! [`LodChain`] stacks decimation into a pyramid (e.g. 100 % / 25 % / 6 %):
+//! each level is decimated from the previous one, and the accumulated
+//! quadric error of a level is exposed as a world-space length
+//! ([`LodChain::world_error`]) so renderers can pick the coarsest level
+//! whose projected screen-space error stays under a pixel tolerance.
+
+use crate::indexed::IndexedMesh;
+use crate::mesh::Vec3;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A symmetric 4×4 error quadric: `error(v) = vᵀ Q v` with `v = (x, y, z, 1)`
+/// is the sum of squared distances from `v` to the accumulated planes.
+/// Stored as the 10 unique coefficients, in `f64` — collapse errors are tiny
+/// differences of large products and `f32` accumulation visibly misorders
+/// the heap.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Quadric {
+    a00: f64,
+    a01: f64,
+    a02: f64,
+    a03: f64,
+    a11: f64,
+    a12: f64,
+    a13: f64,
+    a22: f64,
+    a23: f64,
+    a33: f64,
+}
+
+impl Quadric {
+    /// The quadric of one plane `n·p + d = 0` (`n` unit length): squared
+    /// point-plane distance as a quadratic form.
+    pub fn from_plane(n: [f64; 3], d: f64) -> Quadric {
+        Quadric {
+            a00: n[0] * n[0],
+            a01: n[0] * n[1],
+            a02: n[0] * n[2],
+            a03: n[0] * d,
+            a11: n[1] * n[1],
+            a12: n[1] * n[2],
+            a13: n[1] * d,
+            a22: n[2] * n[2],
+            a23: n[2] * d,
+            a33: d * d,
+        }
+    }
+
+    /// Accumulate another quadric.
+    pub fn add(&mut self, o: &Quadric) {
+        self.a00 += o.a00;
+        self.a01 += o.a01;
+        self.a02 += o.a02;
+        self.a03 += o.a03;
+        self.a11 += o.a11;
+        self.a12 += o.a12;
+        self.a13 += o.a13;
+        self.a22 += o.a22;
+        self.a23 += o.a23;
+        self.a33 += o.a33;
+    }
+
+    /// Sum of two quadrics.
+    pub fn sum(&self, o: &Quadric) -> Quadric {
+        let mut q = *self;
+        q.add(o);
+        q
+    }
+
+    /// `vᵀ Q v` — the accumulated squared plane distance at `p`. Clamped at
+    /// zero: the exact form is non-negative, but cancellation can dip a few
+    /// ulps below.
+    pub fn error(&self, p: [f64; 3]) -> f64 {
+        let (x, y, z) = (p[0], p[1], p[2]);
+        let e = self.a00 * x * x
+            + self.a11 * y * y
+            + self.a22 * z * z
+            + 2.0 * (self.a01 * x * y + self.a02 * x * z + self.a12 * y * z)
+            + 2.0 * (self.a03 * x + self.a13 * y + self.a23 * z)
+            + self.a33;
+        e.max(0.0)
+    }
+
+    /// The position minimizing [`Quadric::error`], if the 3×3 system is
+    /// well-conditioned. `None` when the quadric is (near-)singular — all
+    /// accumulated planes parallel or collinear, where the minimizer is a
+    /// line or plane of points and any particular solution would be
+    /// numerically arbitrary; callers fall back to candidate points.
+    pub fn optimal_point(&self) -> Option<[f64; 3]> {
+        // Solve A x = -b with A the upper-left 3×3 block, b = (a03,a13,a23).
+        let a = [
+            [self.a00, self.a01, self.a02],
+            [self.a01, self.a11, self.a12],
+            [self.a02, self.a12, self.a22],
+        ];
+        let det = a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1])
+            - a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0])
+            + a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+        // scale-aware singularity threshold: |det| relative to the cube of
+        // the largest coefficient magnitude
+        let scale = a
+            .iter()
+            .flatten()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(1e-30);
+        if det.abs() <= 1e-9 * scale * scale * scale {
+            return None;
+        }
+        let b = [-self.a03, -self.a13, -self.a23];
+        // Cramer's rule — deterministic, no pivot-order ambiguity.
+        let det_x = b[0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1])
+            - a[0][1] * (b[1] * a[2][2] - a[1][2] * b[2])
+            + a[0][2] * (b[1] * a[2][1] - a[1][1] * b[2]);
+        let det_y = a[0][0] * (b[1] * a[2][2] - a[1][2] * b[2])
+            - b[0] * (a[1][0] * a[2][2] - a[1][2] * a[2][0])
+            + a[0][2] * (a[1][0] * b[2] - b[1] * a[2][0]);
+        let det_z = a[0][0] * (a[1][1] * b[2] - b[1] * a[2][1])
+            - a[0][1] * (a[1][0] * b[2] - b[1] * a[2][0])
+            + b[0] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+        Some([det_x / det, det_y / det, det_z / det])
+    }
+}
+
+/// Stopping rules for one decimation pass.
+#[derive(Clone, Copy, Debug)]
+pub struct DecimateOptions {
+    /// Stop once the surviving vertex count reaches this target
+    /// (0 = no vertex target).
+    pub target_vertices: usize,
+    /// Reject any collapse whose quadric error exceeds this bound
+    /// (`f64::INFINITY` = no bound).
+    pub max_error: f64,
+}
+
+impl Default for DecimateOptions {
+    fn default() -> Self {
+        DecimateOptions {
+            target_vertices: 0,
+            max_error: f64::INFINITY,
+        }
+    }
+}
+
+/// Counters describing one decimation pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DecimateStats {
+    /// Vertices / triangles of the input mesh.
+    pub input_vertices: u64,
+    /// Triangles of the input mesh.
+    pub input_triangles: u64,
+    /// Vertices of the decimated mesh.
+    pub output_vertices: u64,
+    /// Triangles of the decimated mesh.
+    pub output_triangles: u64,
+    /// Edge collapses applied.
+    pub collapses: u64,
+    /// Candidates rejected by the link (manifoldness) condition.
+    pub rejected_link: u64,
+    /// Candidates rejected because a surviving face would flip or collapse.
+    pub rejected_flip: u64,
+    /// Candidates rejected by [`DecimateOptions::max_error`].
+    pub rejected_error: u64,
+    /// Vertices pinned because they lie on a boundary or non-manifold edge
+    /// (never collapsed, never moved).
+    pub pinned_vertices: u64,
+    /// Largest quadric error of any applied collapse (a squared world-space
+    /// distance; `sqrt` of it is the pass's world-error gauge).
+    pub max_error: f64,
+    /// True when the pass stopped at [`DecimateOptions::target_vertices`];
+    /// false when the candidate heap ran dry first (every remaining collapse
+    /// rejected by a guard or the error bound).
+    pub reached_target: bool,
+}
+
+impl DecimateStats {
+    /// Surviving fraction of the input vertex count.
+    pub fn vertex_ratio(&self) -> f64 {
+        if self.input_vertices == 0 {
+            return 1.0;
+        }
+        self.output_vertices as f64 / self.input_vertices as f64
+    }
+
+    /// World-space length of the worst applied collapse (`√max_error`).
+    pub fn world_error(&self) -> f64 {
+        self.max_error.sqrt()
+    }
+}
+
+/// A heap candidate: collapse edge `(a, b)` to `pos` at `error`. Min-ordered
+/// by `(error, a, b)` under total float order, so two runs over the same
+/// mesh always retire collapses in the same sequence.
+struct Candidate {
+    error: f64,
+    a: u32,
+    b: u32,
+    pos: Vec3,
+    /// Version stamps of both endpoints at push time; a mismatch at pop time
+    /// means the neighborhood changed and the entry is stale.
+    va: u32,
+    vb: u32,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse for cheapest-first
+        other
+            .error
+            .total_cmp(&self.error)
+            .then_with(|| other.a.cmp(&self.a))
+            .then_with(|| other.b.cmp(&self.b))
+    }
+}
+
+fn v3(p: Vec3) -> [f64; 3] {
+    [p.x as f64, p.y as f64, p.z as f64]
+}
+
+/// The in-progress decimation state over index-stable working arrays.
+struct Decimator {
+    positions: Vec<Vec3>,
+    quadrics: Vec<Quadric>,
+    /// Working faces (corner indices); dead faces are tombstoned in `alive`.
+    faces: Vec<[u32; 3]>,
+    alive: Vec<bool>,
+    /// Per-vertex incident alive-face lists (may briefly hold dead ids;
+    /// filtered on read).
+    vertex_faces: Vec<Vec<u32>>,
+    /// Boundary/non-manifold vertices — pinned.
+    pinned: Vec<bool>,
+    /// Bumped whenever a vertex's position/quadric/neighborhood changes.
+    versions: Vec<u32>,
+    heap: BinaryHeap<Candidate>,
+    alive_vertices: usize,
+    stats: DecimateStats,
+    opts: DecimateOptions,
+}
+
+impl Decimator {
+    fn new(mesh: &IndexedMesh, opts: DecimateOptions) -> Decimator {
+        let nv = mesh.num_vertices();
+        let positions: Vec<Vec3> = mesh.positions().to_vec();
+        let faces: Vec<[u32; 3]> = mesh
+            .indices()
+            .chunks_exact(3)
+            .map(|t| [t[0], t[1], t[2]])
+            .collect();
+
+        let mut quadrics = vec![Quadric::default(); nv];
+        let mut vertex_faces: Vec<Vec<u32>> = vec![Vec::new(); nv];
+        for (fi, f) in faces.iter().enumerate() {
+            let (p0, p1, p2) = (
+                v3(positions[f[0] as usize]),
+                v3(positions[f[1] as usize]),
+                v3(positions[f[2] as usize]),
+            );
+            let e1 = [p1[0] - p0[0], p1[1] - p0[1], p1[2] - p0[2]];
+            let e2 = [p2[0] - p0[0], p2[1] - p0[1], p2[2] - p0[2]];
+            let n = [
+                e1[1] * e2[2] - e1[2] * e2[1],
+                e1[2] * e2[0] - e1[0] * e2[2],
+                e1[0] * e2[1] - e1[1] * e2[0],
+            ];
+            let len = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+            for &c in f {
+                vertex_faces[c as usize].push(fi as u32);
+            }
+            if len <= 1e-20 {
+                continue; // degenerate face contributes no plane
+            }
+            let n = [n[0] / len, n[1] / len, n[2] / len];
+            let d = -(n[0] * p0[0] + n[1] * p0[1] + n[2] * p0[2]);
+            let q = Quadric::from_plane(n, d);
+            for &c in f {
+                quadrics[c as usize].add(&q);
+            }
+        }
+
+        // Edge face-multiplicity: anything but exactly 2 incident faces pins
+        // both endpoints (surface boundary, or a non-manifold spine the
+        // decimator must not make worse). Count over sorted undirected edges.
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(faces.len() * 3);
+        for f in &faces {
+            for i in 0..3 {
+                let (a, b) = (f[i], f[(i + 1) % 3]);
+                if a != b {
+                    edges.push(if a < b { (a, b) } else { (b, a) });
+                }
+            }
+        }
+        edges.sort_unstable();
+        let mut pinned = vec![false; nv];
+        let mut uniq_edges: Vec<(u32, u32)> = Vec::new();
+        let mut i = 0;
+        while i < edges.len() {
+            let mut j = i + 1;
+            while j < edges.len() && edges[j] == edges[i] {
+                j += 1;
+            }
+            if j - i != 2 {
+                pinned[edges[i].0 as usize] = true;
+                pinned[edges[i].1 as usize] = true;
+            }
+            uniq_edges.push(edges[i]);
+            i = j;
+        }
+        let pinned_count = pinned.iter().filter(|&&p| p).count() as u64;
+
+        // A vertex is alive iff some face references it; orphans never
+        // counted (they are dropped by output compaction regardless).
+        let alive_vertices = vertex_faces.iter().filter(|l| !l.is_empty()).count();
+
+        let mut dec = Decimator {
+            positions,
+            quadrics,
+            alive: vec![true; faces.len()],
+            faces,
+            vertex_faces,
+            pinned,
+            versions: vec![0; nv],
+            heap: BinaryHeap::new(),
+            alive_vertices,
+            stats: DecimateStats {
+                input_vertices: mesh.num_vertices() as u64,
+                input_triangles: mesh.len() as u64,
+                pinned_vertices: pinned_count,
+                ..Default::default()
+            },
+            opts,
+        };
+        for (a, b) in uniq_edges {
+            dec.push_candidate(a, b);
+        }
+        dec
+    }
+
+    /// Price edge `(a, b)` and push it (skipped when an endpoint is pinned —
+    /// boundary edges are never collapse candidates at all).
+    fn push_candidate(&mut self, a: u32, b: u32) {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        if self.pinned[a as usize] || self.pinned[b as usize] {
+            return;
+        }
+        let q = self.quadrics[a as usize].sum(&self.quadrics[b as usize]);
+        let (pa, pb) = (self.positions[a as usize], self.positions[b as usize]);
+        // optimal point, else the best of midpoint/endpoints — evaluated in
+        // fixed order with strict improvement, so ties resolve identically
+        // on every run
+        let (pos, error) = match q.optimal_point() {
+            Some(p) => (Vec3::new(p[0] as f32, p[1] as f32, p[2] as f32), {
+                // re-evaluate at the f32-rounded position actually stored,
+                // so the priced error is the error the mesh will realize
+                q.error([p[0] as f32 as f64, p[1] as f32 as f64, p[2] as f32 as f64])
+            }),
+            None => {
+                let mid = (pa + pb) * 0.5;
+                let mut best = (mid, q.error(v3(mid)));
+                for cand in [pa, pb] {
+                    let e = q.error(v3(cand));
+                    if e < best.1 {
+                        best = (cand, e);
+                    }
+                }
+                best
+            }
+        };
+        self.heap.push(Candidate {
+            error,
+            a,
+            b,
+            pos,
+            va: self.versions[a as usize],
+            vb: self.versions[b as usize],
+        });
+    }
+
+    /// Drop `v`'s dead incident faces in place (cheap once compacted).
+    fn compact_faces(&mut self, v: u32) {
+        let list = &mut self.vertex_faces[v as usize];
+        list.retain(|&f| self.alive[f as usize]);
+    }
+
+    /// Alive faces incident to `v`, compacting the tombstones away.
+    fn alive_faces(&mut self, v: u32) -> Vec<u32> {
+        self.compact_faces(v);
+        self.vertex_faces[v as usize].clone()
+    }
+
+    /// The link condition plus geometric guards for collapsing `(a, b)` to
+    /// `pos`. Returns `None` when legal, or the rejection counter to bump.
+    fn check_collapse(&mut self, a: u32, b: u32, pos: Vec3) -> Option<Rejection> {
+        self.compact_faces(a);
+        self.compact_faces(b);
+        // compacted lists borrow immutably for the whole guard section —
+        // the hot path allocates only the small shared/neighbor scratch
+        let fa = &self.vertex_faces[a as usize];
+        let fb = &self.vertex_faces[b as usize];
+        // faces sharing the edge (they die with the collapse)
+        let shared: Vec<u32> = fa.iter().copied().filter(|f| fb.contains(f)).collect();
+        // an interior manifold edge has exactly two incident faces
+        if shared.len() != 2 {
+            return Some(Rejection::Link);
+        }
+        // link condition: the vertices adjacent to both endpoints must be
+        // exactly the two opposite corners of the shared faces, or the
+        // collapse pinches the surface into a non-manifold edge
+        let mut opposite: Vec<u32> = Vec::with_capacity(2);
+        for &f in &shared {
+            for &c in &self.faces[f as usize] {
+                if c != a && c != b {
+                    opposite.push(c);
+                }
+            }
+        }
+        opposite.sort_unstable();
+        let mut common = self.common_neighbors(fa, fb, a, b);
+        common.sort_unstable();
+        common.dedup();
+        if common != opposite {
+            return Some(Rejection::Link);
+        }
+        // normal-flip / degeneration guard over every surviving face
+        for (v, faces) in [(a, fa), (b, fb)] {
+            for &f in faces {
+                if shared.contains(&f) {
+                    continue;
+                }
+                let tri = self.faces[f as usize];
+                let before = self.face_normal(tri, None);
+                let after = self.face_normal(tri, Some((v, pos)));
+                // reject folds and (near-)degenerate results; the dot is on
+                // unnormalized normals so a shrinking face also has to keep
+                // its orientation decisively
+                let cross = after.1;
+                if cross <= 1e-20 || before.0.dot(after.0) <= 0.0 {
+                    return Some(Rejection::Flip);
+                }
+            }
+        }
+        None
+    }
+
+    /// Vertices adjacent to both `a` and `b` (via any alive face), excluding
+    /// the endpoints themselves.
+    fn common_neighbors(&self, fa: &[u32], fb: &[u32], a: u32, b: u32) -> Vec<u32> {
+        let mut na: Vec<u32> = fa
+            .iter()
+            .flat_map(|&f| self.faces[f as usize])
+            .filter(|&c| c != a && c != b)
+            .collect();
+        na.sort_unstable();
+        na.dedup();
+        let mut nb: Vec<u32> = fb
+            .iter()
+            .flat_map(|&f| self.faces[f as usize])
+            .filter(|&c| c != a && c != b)
+            .collect();
+        nb.sort_unstable();
+        nb.dedup();
+        na.retain(|v| nb.binary_search(v).is_ok());
+        na
+    }
+
+    /// Unnormalized face normal (and its squared length) with `override_`
+    /// optionally substituting one corner's position.
+    fn face_normal(&self, tri: [u32; 3], override_: Option<(u32, Vec3)>) -> (Vec3, f64) {
+        let p = |c: u32| -> Vec3 {
+            match override_ {
+                Some((v, pos)) if v == c => pos,
+                _ => self.positions[c as usize],
+            }
+        };
+        let (p0, p1, p2) = (p(tri[0]), p(tri[1]), p(tri[2]));
+        let n = (p1 - p0).cross(p2 - p0);
+        let len2 =
+            (n.x as f64) * (n.x as f64) + (n.y as f64) * (n.y as f64) + (n.z as f64) * (n.z as f64);
+        (n, len2)
+    }
+
+    /// Apply the collapse `(a, b) → pos`: `b` merges into `a`.
+    ///
+    /// Re-pricing is **lazy**: only the endpoints' versions bump (their
+    /// quadric/position changed — the only inputs to a candidate's priced
+    /// error) and only edges incident to the kept vertex re-enter the heap.
+    /// Ring edges not touching `a` keep their still-correct prices, and any
+    /// legality change in their neighborhood is caught by the pop-time
+    /// guards (or recovered by a reseed round — see [`Decimator::run`]).
+    /// Eagerly re-pricing the whole one-ring costs ~20× more heap traffic
+    /// for identical output quality.
+    fn apply_collapse(&mut self, a: u32, b: u32, pos: Vec3) {
+        let fa = self.alive_faces(a);
+        let fb = self.alive_faces(b);
+        let shared: Vec<u32> = fa.iter().copied().filter(|f| fb.contains(f)).collect();
+        for &f in &shared {
+            self.alive[f as usize] = false;
+        }
+        // rewrite b's surviving faces to reference a
+        for &f in &fb {
+            if shared.contains(&f) {
+                continue;
+            }
+            for c in self.faces[f as usize].iter_mut() {
+                if *c == b {
+                    *c = a;
+                }
+            }
+            self.vertex_faces[a as usize].push(f);
+        }
+        self.vertex_faces[b as usize].clear();
+        self.positions[a as usize] = pos;
+        let qb = self.quadrics[b as usize];
+        self.quadrics[a as usize].add(&qb);
+        self.alive_vertices -= 1;
+        self.versions[a as usize] += 1;
+        self.versions[b as usize] += 1;
+
+        // re-price the edges incident to the kept vertex
+        let fa = self.alive_faces(a);
+        let mut repush: Vec<(u32, u32)> = Vec::with_capacity(2 * fa.len());
+        for &f in &fa {
+            let tri = self.faces[f as usize];
+            for i in 0..3 {
+                let (x, y) = (tri[i], tri[(i + 1) % 3]);
+                if (x == a || y == a) && x != y {
+                    repush.push(if x < y { (x, y) } else { (y, x) });
+                }
+            }
+        }
+        repush.sort_unstable();
+        repush.dedup();
+        for (x, y) in repush {
+            self.push_candidate(x, y);
+        }
+    }
+
+    /// Drain the heap until the target is reached, the error bound stops
+    /// progress, or the heap runs dry. Returns `(collapses, error_stop)`.
+    fn drain_heap(&mut self, target: usize) -> (u64, bool) {
+        let mut applied = 0u64;
+        loop {
+            if target > 0 && self.alive_vertices <= target {
+                self.stats.reached_target = true;
+                return (applied, false);
+            }
+            let Some(c) = self.heap.pop() else {
+                return (applied, false);
+            };
+            let (a, b) = (c.a as usize, c.b as usize);
+            if self.versions[a] != c.va || self.versions[b] != c.vb {
+                continue; // stale
+            }
+            if c.error > self.opts.max_error {
+                // the heap is min-ordered: every remaining candidate at the
+                // current versions is at least this expensive
+                self.stats.rejected_error += 1;
+                return (applied, true);
+            }
+            match self.check_collapse(c.a, c.b, c.pos) {
+                Some(Rejection::Link) => {
+                    self.stats.rejected_link += 1;
+                    continue;
+                }
+                Some(Rejection::Flip) => {
+                    self.stats.rejected_flip += 1;
+                    continue;
+                }
+                None => {}
+            }
+            self.apply_collapse(c.a, c.b, c.pos);
+            applied += 1;
+            self.stats.collapses += 1;
+            self.stats.max_error = self.stats.max_error.max(c.error);
+        }
+    }
+
+    /// Rebuild the candidate heap from every alive edge — recovers
+    /// candidates that were rejected (and dropped) earlier but became legal
+    /// after nearby collapses. Deterministic: seeded in sorted edge order.
+    fn reseed(&mut self) {
+        self.heap.clear();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (fi, f) in self.faces.iter().enumerate() {
+            if !self.alive[fi] {
+                continue;
+            }
+            for i in 0..3 {
+                let (x, y) = (f[i], f[(i + 1) % 3]);
+                if x != y {
+                    edges.push(if x < y { (x, y) } else { (y, x) });
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        for (x, y) in edges {
+            self.push_candidate(x, y);
+        }
+    }
+
+    fn run(mut self) -> (IndexedMesh, DecimateStats) {
+        let target = self.opts.target_vertices;
+        loop {
+            let (applied, error_stop) = self.drain_heap(target);
+            if self.stats.reached_target || error_stop {
+                break;
+            }
+            if applied == 0 {
+                break; // a whole round found nothing legal: truly done
+            }
+            // lazy re-pricing may have dropped candidates that are legal
+            // now; reseed and keep going until a round makes no progress
+            self.reseed();
+        }
+
+        // Compact the surviving faces into a fresh mesh, remapping vertices
+        // in first-use order (deterministic; orphans drop out).
+        let mut remap = vec![u32::MAX; self.positions.len()];
+        let mut out = IndexedMesh::with_capacity(self.alive.iter().filter(|&&a| a).count());
+        for (fi, f) in self.faces.iter().enumerate() {
+            if !self.alive[fi] {
+                continue;
+            }
+            let mut corners = [0u32; 3];
+            for (slot, &c) in corners.iter_mut().zip(f.iter()) {
+                if remap[c as usize] == u32::MAX {
+                    remap[c as usize] = out.push_vertex(self.positions[c as usize]);
+                }
+                *slot = remap[c as usize];
+            }
+            out.push_triangle(corners[0], corners[1], corners[2]);
+        }
+        self.stats.output_vertices = out.num_vertices() as u64;
+        self.stats.output_triangles = out.len() as u64;
+        (out, self.stats)
+    }
+}
+
+enum Rejection {
+    Link,
+    Flip,
+}
+
+/// Decimate `mesh` under `opts`. Deterministic: equal meshes (and options)
+/// always yield byte-identical outputs.
+pub fn decimate(mesh: &IndexedMesh, opts: &DecimateOptions) -> (IndexedMesh, DecimateStats) {
+    if mesh.is_empty() {
+        return (
+            IndexedMesh::new(),
+            DecimateStats {
+                input_vertices: mesh.num_vertices() as u64,
+                reached_target: opts.target_vertices >= mesh.num_vertices(),
+                ..Default::default()
+            },
+        );
+    }
+    Decimator::new(mesh, *opts).run()
+}
+
+/// Decimate until at most `ratio ×` the input vertices survive (clamped to
+/// `[0, 1]`; guards may stop earlier — see [`DecimateStats::reached_target`]).
+pub fn decimate_to_ratio(mesh: &IndexedMesh, ratio: f64) -> (IndexedMesh, DecimateStats) {
+    let ratio = ratio.clamp(0.0, 1.0);
+    let target = (mesh.num_vertices() as f64 * ratio).ceil() as usize;
+    decimate(
+        mesh,
+        &DecimateOptions {
+            target_vertices: target,
+            max_error: f64::INFINITY,
+        },
+    )
+}
+
+/// Decimate as far as possible without any collapse exceeding `max_error`
+/// (a squared world-space distance).
+pub fn decimate_to_error(mesh: &IndexedMesh, max_error: f64) -> (IndexedMesh, DecimateStats) {
+    decimate(
+        mesh,
+        &DecimateOptions {
+            target_vertices: 0,
+            max_error,
+        },
+    )
+}
+
+/// One level of a LOD pyramid.
+#[derive(Clone, Debug)]
+pub struct LodLevel {
+    /// The vertex-count target this level was built for, as a fraction of
+    /// the level-0 mesh (level 0 itself is 1.0).
+    pub target_ratio: f64,
+    /// The level's mesh (level 0 is the full-resolution input).
+    pub mesh: IndexedMesh,
+    /// Decimation counters for this level (default for level 0).
+    pub stats: DecimateStats,
+    /// Accumulated squared quadric error versus the full-resolution mesh
+    /// (sum of the per-level `max_error`s along the chain; 0 for level 0).
+    pub cumulative_error: f64,
+}
+
+/// A pyramid of progressively decimated meshes, level 0 being full
+/// resolution. Built once post-weld, served per level.
+#[derive(Clone, Debug, Default)]
+pub struct LodChain {
+    levels: Vec<LodLevel>,
+}
+
+impl LodChain {
+    /// Build a chain from `base` with one extra level per entry of `ratios`
+    /// (each a fraction of the **base** vertex count; must be strictly
+    /// decreasing and in `(0, 1)`). Each level is decimated from the
+    /// previous one, so the pyramid costs one pass per level over
+    /// ever-smaller meshes.
+    pub fn build(base: IndexedMesh, ratios: &[f64]) -> LodChain {
+        let base_vertices = base.num_vertices();
+        let mut levels = vec![LodLevel {
+            target_ratio: 1.0,
+            mesh: base,
+            stats: DecimateStats::default(),
+            cumulative_error: 0.0,
+        }];
+        let mut prev_ratio = 1.0;
+        for &ratio in ratios {
+            assert!(
+                ratio > 0.0 && ratio < prev_ratio,
+                "LOD ratios must be strictly decreasing in (0, 1): {ratios:?}"
+            );
+            prev_ratio = ratio;
+            let target = (base_vertices as f64 * ratio).ceil() as usize;
+            let prev = levels.last().expect("level 0 exists");
+            let (mesh, stats) = decimate(
+                &prev.mesh,
+                &DecimateOptions {
+                    target_vertices: target,
+                    max_error: f64::INFINITY,
+                },
+            );
+            let cumulative_error = prev.cumulative_error + stats.max_error;
+            levels.push(LodLevel {
+                target_ratio: ratio,
+                mesh,
+                stats,
+                cumulative_error,
+            });
+        }
+        LodChain { levels }
+    }
+
+    /// Wrap an already-built level list (level 0 first). Used when levels
+    /// cross process boundaries (the serving cache).
+    pub fn from_levels(levels: Vec<LodLevel>) -> LodChain {
+        LodChain { levels }
+    }
+
+    /// Number of levels (≥ 1 for any built chain; 0 only for `default()`).
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the chain holds no levels.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Level `i` (0 = full resolution).
+    pub fn level(&self, i: usize) -> Option<&LodLevel> {
+        self.levels.get(i)
+    }
+
+    /// All levels, finest first.
+    pub fn levels(&self) -> &[LodLevel] {
+        &self.levels
+    }
+
+    /// The full-resolution mesh.
+    pub fn full(&self) -> &IndexedMesh {
+        &self.levels[0].mesh
+    }
+
+    /// World-space error gauge of level `i`: `√cumulative_error` — the
+    /// length renderers project to screen space for LOD selection.
+    pub fn world_error(&self, i: usize) -> f64 {
+        self.levels
+            .get(i)
+            .map_or(f64::INFINITY, |l| l.cumulative_error.sqrt())
+    }
+
+    /// World-space error gauges of every level, finest first.
+    pub fn world_errors(&self) -> Vec<f64> {
+        (0..self.levels.len())
+            .map(|i| self.world_error(i))
+            .collect()
+    }
+
+    /// Consume the chain into its levels.
+    pub fn into_levels(self) -> Vec<LodLevel> {
+        self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc::{marching_cubes_indexed, SlabScratch};
+    use crate::topology::{analyze_mesh_connectivity, TopologyReport};
+    use oociso_volume::field::{FieldExt, SphereField};
+    use oociso_volume::{Dims3, Volume};
+
+    fn sphere_mesh(n: usize) -> IndexedMesh {
+        let vol: Volume<f32> = SphereField::centered(0.33, 128.0).sample(Dims3::cube(n));
+        let mut mesh = IndexedMesh::new();
+        let mut scratch = SlabScratch::new();
+        marching_cubes_indexed(
+            &vol,
+            128.5,
+            Vec3::ZERO,
+            Vec3::new(1.0, 1.0, 1.0),
+            &mut mesh,
+            &mut scratch,
+        );
+        let (welded, _) = mesh.welded();
+        welded
+    }
+
+    fn topo(mesh: &IndexedMesh) -> TopologyReport {
+        analyze_mesh_connectivity(mesh)
+    }
+
+    #[test]
+    fn quadric_plane_distance() {
+        // plane z = 2: n = (0,0,1), d = -2
+        let q = Quadric::from_plane([0.0, 0.0, 1.0], -2.0);
+        assert!(q.error([5.0, -3.0, 2.0]) < 1e-12);
+        assert!((q.error([0.0, 0.0, 5.0]) - 9.0).abs() < 1e-9);
+        // sum of three orthogonal planes through (1,2,3) has that minimizer
+        let mut q = Quadric::from_plane([1.0, 0.0, 0.0], -1.0);
+        q.add(&Quadric::from_plane([0.0, 1.0, 0.0], -2.0));
+        q.add(&Quadric::from_plane([0.0, 0.0, 1.0], -3.0));
+        let p = q.optimal_point().expect("well-conditioned");
+        assert!((p[0] - 1.0).abs() < 1e-9);
+        assert!((p[1] - 2.0).abs() < 1e-9);
+        assert!((p[2] - 3.0).abs() < 1e-9);
+        assert!(q.error(p) < 1e-12);
+    }
+
+    #[test]
+    fn singular_quadric_has_no_optimal_point() {
+        // all planes parallel: minimizer is a whole plane
+        let mut q = Quadric::from_plane([0.0, 0.0, 1.0], 0.0);
+        q.add(&Quadric::from_plane([0.0, 0.0, 1.0], -1.0));
+        assert!(q.optimal_point().is_none());
+    }
+
+    #[test]
+    fn sphere_decimates_to_target_preserving_topology() {
+        let mesh = sphere_mesh(20);
+        let before = topo(&mesh);
+        assert!(before.is_closed_manifold());
+        assert_eq!(before.euler_characteristic(), 2);
+
+        let (out, stats) = decimate_to_ratio(&mesh, 0.25);
+        assert!(stats.reached_target, "{stats:?}");
+        let target = (mesh.num_vertices() as f64 * 0.25).ceil() as usize;
+        assert!(out.num_vertices() <= target, "{stats:?}");
+        assert!(stats.collapses > 0);
+        let after = topo(&out);
+        assert!(after.is_closed_manifold(), "{after:?}");
+        assert_eq!(after.euler_characteristic(), 2, "{after:?}");
+        assert_eq!(after.components, 1);
+        assert_eq!(stats.output_vertices, out.num_vertices() as u64);
+        assert_eq!(stats.output_triangles, out.len() as u64);
+        // Euler bookkeeping: each manifold collapse removes 1 vertex, 2 faces
+        assert_eq!(
+            stats.input_triangles - stats.output_triangles,
+            2 * stats.collapses
+        );
+    }
+
+    #[test]
+    fn decimation_is_deterministic() {
+        let mesh = sphere_mesh(16);
+        let (a, sa) = decimate_to_ratio(&mesh, 0.3);
+        let (b, sb) = decimate_to_ratio(&mesh, 0.3);
+        assert_eq!(a, b, "repeated runs must be bit-identical");
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn error_bound_mode_respects_the_bound() {
+        let mesh = sphere_mesh(16);
+        let (out, stats) = decimate_to_error(&mesh, 1e-4);
+        assert!(stats.max_error <= 1e-4, "{stats:?}");
+        assert!(out.num_vertices() < mesh.num_vertices());
+        assert!(topo(&out).is_closed_manifold());
+        // zero budget: nothing may collapse
+        let (same, zstats) = decimate_to_error(&mesh, 0.0);
+        // (collapses of error exactly 0.0 are allowed — coplanar regions)
+        assert!(zstats.max_error <= 0.0);
+        assert!(same.num_vertices() <= mesh.num_vertices());
+    }
+
+    #[test]
+    fn empty_and_tiny_meshes_are_handled() {
+        let (out, stats) = decimate_to_ratio(&IndexedMesh::new(), 0.1);
+        assert!(out.is_empty());
+        assert_eq!(stats.collapses, 0);
+
+        // single triangle: all 3 edges are boundary → fully pinned
+        let mut tri = IndexedMesh::new();
+        let a = tri.push_vertex(Vec3::ZERO);
+        let b = tri.push_vertex(Vec3::new(1.0, 0.0, 0.0));
+        let c = tri.push_vertex(Vec3::new(0.0, 1.0, 0.0));
+        tri.push_triangle(a, b, c);
+        let (out, stats) = decimate_to_ratio(&tri, 0.0);
+        assert_eq!(out.positions(), tri.positions());
+        assert_eq!(out.indices(), tri.indices());
+        assert_eq!(stats.collapses, 0);
+        assert_eq!(stats.pinned_vertices, 3);
+        assert!(!stats.reached_target);
+    }
+
+    #[test]
+    fn lod_chain_builds_decreasing_levels() {
+        let mesh = sphere_mesh(20);
+        let nv = mesh.num_vertices();
+        let chain = LodChain::build(mesh, &[0.25, 0.06]);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.level(0).unwrap().mesh.num_vertices(), nv);
+        assert_eq!(chain.world_error(0), 0.0);
+        let v1 = chain.level(1).unwrap().mesh.num_vertices();
+        let v2 = chain.level(2).unwrap().mesh.num_vertices();
+        assert!(v1 < nv && v2 < v1, "{nv} -> {v1} -> {v2}");
+        assert!(v1 <= (nv as f64 * 0.25).ceil() as usize);
+        assert!(chain.world_error(2) >= chain.world_error(1));
+        assert!(chain.world_error(3).is_infinite(), "out of range");
+        for level in chain.levels() {
+            assert!(topo(&level.mesh).is_closed_manifold());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decreasing")]
+    fn lod_chain_rejects_non_decreasing_ratios() {
+        LodChain::build(sphere_mesh(10), &[0.5, 0.5]);
+    }
+}

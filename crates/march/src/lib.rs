@@ -25,7 +25,12 @@
 //!   duplicated seam vertices when independently extracted sub-meshes
 //!   (metacells, cluster nodes) merge, making the result watertight;
 //!   [`topology`] verifies it (boundary/non-manifold edge counts).
+//! * [`decimate`] — quadric edge-collapse simplification over the welded
+//!   [`IndexedMesh`] with topology guards (boundary pinning, link
+//!   condition, normal-flip rejection) and deterministic tie-breaking, plus
+//!   the [`LodChain`] pyramid the serving layer exposes per level.
 
+pub mod decimate;
 pub mod indexed;
 pub mod mc;
 pub mod mesh;
@@ -35,6 +40,10 @@ pub mod topology;
 pub mod unstructured;
 pub mod weld;
 
+pub use decimate::{
+    decimate, decimate_to_error, decimate_to_ratio, DecimateOptions, DecimateStats, LodChain,
+    LodLevel, Quadric,
+};
 pub use indexed::IndexedMesh;
 pub use mc::{count_active_cells, marching_cubes, marching_cubes_indexed, McStats, SlabScratch};
 pub use mesh::{canonical_triangles, split_collapsed, Aabb, Triangle, TriangleSoup, Vec3};

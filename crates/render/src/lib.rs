@@ -23,6 +23,7 @@
 pub mod camera;
 pub mod composite;
 pub mod framebuffer;
+pub mod lod;
 pub mod math;
 pub mod net;
 pub mod raster;
@@ -31,6 +32,7 @@ pub mod transport;
 pub use camera::Camera;
 pub use composite::{z_merge, FrameRegion, TileLayout};
 pub use framebuffer::Framebuffer;
+pub use lod::{screen_space_error, select_tile_levels};
 pub use math::Mat4;
 pub use net::InterconnectModel;
 pub use raster::{rasterize_mesh, rasterize_soup, RasterStats};

@@ -1,0 +1,225 @@
+//! Screen-space-error LOD selection for the tiled display wall.
+//!
+//! A decimated level carries a world-space error gauge (the accumulated
+//! quadric error of its collapses, as a length — `LodChain::world_error` in
+//! `oociso-march`). Whether that error is *visible* depends on the camera:
+//! projected onto the screen it spans `error · focal_px / distance` pixels.
+//! [`select_tile_levels`] applies that test per display tile, so a wall
+//! server renders distant (or surface-free) tiles from a coarse level while
+//! tiles the surface fills at close range stay at full resolution — the
+//! LOD analogue of sort-last compositing's "only ship what the tile shows".
+//!
+//! Selection is deterministic and purely geometric: same camera, bounds,
+//! and error ladder → same levels, on every node of the cluster.
+
+use crate::camera::{ndc_to_screen, Camera};
+use crate::composite::TileLayout;
+use oociso_march::{Aabb, Vec3};
+
+/// Pixels a world-space length `world_error` spans when viewed from
+/// `distance` through a `fov_y` lens rendered at `viewport_height_px`.
+/// Monotonic in the error and inversely proportional to distance — the
+/// classic geometric-error projection used for LOD ladders.
+pub fn screen_space_error(
+    world_error: f32,
+    distance: f32,
+    viewport_height_px: f32,
+    fov_y: f32,
+) -> f32 {
+    if world_error <= 0.0 {
+        return 0.0;
+    }
+    let world_per_screen = 2.0 * distance.max(1e-6) * (fov_y * 0.5).tan();
+    world_error * viewport_height_px / world_per_screen
+}
+
+/// The nearest point of `bounds` to `p` (clamp per axis), i.e. the
+/// conservative closest approach of the surface to the camera.
+fn closest_point(bounds: &Aabb, p: Vec3) -> Vec3 {
+    Vec3::new(
+        p.x.clamp(bounds.lo.x, bounds.hi.x),
+        p.y.clamp(bounds.lo.y, bounds.hi.y),
+        p.z.clamp(bounds.lo.z, bounds.hi.z),
+    )
+}
+
+/// Pick one LOD level per display tile: the **coarsest** level whose
+/// projected screen-space error stays at or under `tolerance_px`, judged at
+/// the mesh's closest approach to the camera (conservative — the worst-case
+/// pixel of the tile). Tiles whose pixel rectangle the mesh's projected
+/// bounds never touch show no surface at all and take the coarsest level
+/// outright.
+///
+/// `world_errors` is the error ladder, finest first; `world_errors[0]`
+/// should be 0 (full resolution), which keeps every tile selectable even at
+/// `tolerance_px = 0`. Returns one level index per tile of `tiles`.
+pub fn select_tile_levels(
+    tiles: &TileLayout,
+    camera: &Camera,
+    bounds: &Aabb,
+    world_errors: &[f64],
+    tolerance_px: f32,
+) -> Vec<usize> {
+    let levels = world_errors.len();
+    if levels <= 1 {
+        return vec![0; tiles.num_tiles()];
+    }
+    let coarsest = levels - 1;
+    if bounds.lo.x > bounds.hi.x {
+        // empty mesh: nothing visible anywhere
+        return vec![coarsest; tiles.num_tiles()];
+    }
+
+    // conservative viewing distance: the closest the surface can get
+    let distance = (closest_point(bounds, camera.eye) - camera.eye)
+        .length()
+        .max(camera.near);
+
+    // project the 8 bbox corners to a screen-pixel AABB; a corner behind
+    // the near plane makes the projection unbounded → treat the mesh as
+    // covering every tile (conservative)
+    let vp = camera.view_projection(tiles.width as f32 / tiles.height as f32);
+    let mut min_px = (f32::INFINITY, f32::INFINITY);
+    let mut max_px = (f32::NEG_INFINITY, f32::NEG_INFINITY);
+    let mut covers_all = false;
+    for i in 0..8 {
+        let corner = Vec3::new(
+            if i & 1 == 0 { bounds.lo.x } else { bounds.hi.x },
+            if i & 2 == 0 { bounds.lo.y } else { bounds.hi.y },
+            if i & 4 == 0 { bounds.lo.z } else { bounds.hi.z },
+        );
+        let h = vp.transform(corner);
+        if h[3] <= 0.0 {
+            covers_all = true;
+            break;
+        }
+        let (sx, sy) = ndc_to_screen(h[0] / h[3], h[1] / h[3], tiles.width, tiles.height);
+        min_px.0 = min_px.0.min(sx);
+        min_px.1 = min_px.1.min(sy);
+        max_px.0 = max_px.0.max(sx);
+        max_px.1 = max_px.1.max(sy);
+    }
+
+    // the visible-tile level: coarsest whose projected error fits the budget
+    let visible_level = (0..levels)
+        .rev()
+        .find(|&i| {
+            screen_space_error(
+                world_errors[i] as f32,
+                distance,
+                tiles.height as f32,
+                camera.fov_y,
+            ) <= tolerance_px
+        })
+        .unwrap_or(0);
+
+    let (tw, th) = tiles.tile_size();
+    (0..tiles.num_tiles())
+        .map(|t| {
+            if covers_all {
+                return visible_level;
+            }
+            let (ox, oy) = tiles.tile_origin(t);
+            let (x0, y0) = (ox as f32, oy as f32);
+            let (x1, y1) = ((ox + tw) as f32, (oy + th) as f32);
+            let hit = min_px.0 <= x1 && max_px.0 >= x0 && min_px.1 <= y1 && max_px.1 >= y0;
+            if hit {
+                visible_level
+            } else {
+                coarsest
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_bounds() -> Aabb {
+        let mut b = Aabb::empty();
+        b.grow(Vec3::ZERO);
+        b.grow(Vec3::new(1.0, 1.0, 1.0));
+        b
+    }
+
+    #[test]
+    fn projection_shrinks_with_distance() {
+        let fov = 45f32.to_radians();
+        let near = screen_space_error(0.1, 2.0, 512.0, fov);
+        let far = screen_space_error(0.1, 4.0, 512.0, fov);
+        assert!(near > far);
+        assert!(
+            (near / far - 2.0).abs() < 1e-4,
+            "inverse-linear in distance"
+        );
+        assert_eq!(screen_space_error(0.0, 2.0, 512.0, fov), 0.0);
+    }
+
+    #[test]
+    fn zero_tolerance_selects_full_resolution() {
+        let tiles = TileLayout::paper_wall(128, 128);
+        let camera = Camera::orbiting(&unit_bounds(), 0.4, 0.3, 2.5);
+        let errors = [0.0, 0.05, 0.2];
+        let picks = select_tile_levels(&tiles, &camera, &unit_bounds(), &errors, 0.0);
+        assert_eq!(picks.len(), 4);
+        // tiles showing the surface must stay at level 0; the box orbits
+        // centered, so at least one tile shows it
+        assert!(picks.contains(&0), "{picks:?}");
+    }
+
+    #[test]
+    fn generous_tolerance_selects_coarsest_everywhere() {
+        let tiles = TileLayout::paper_wall(128, 128);
+        let camera = Camera::orbiting(&unit_bounds(), 0.4, 0.3, 2.5);
+        let errors = [0.0, 0.05, 0.2];
+        let picks = select_tile_levels(&tiles, &camera, &unit_bounds(), &errors, 1e6);
+        assert_eq!(picks, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn surface_free_tiles_take_the_coarsest_level() {
+        // a tiny box pushed into one screen corner: tiles it never projects
+        // into must pick the coarsest level even under a strict tolerance
+        let mut small = Aabb::empty();
+        small.grow(Vec3::new(0.0, 0.0, 0.0));
+        small.grow(Vec3::new(0.05, 0.05, 0.05));
+        let mut camera = Camera::orbiting(&small, 0.0, 0.0, 8.0);
+        // look past the box so it lands off-center
+        camera.target = Vec3::new(0.2, 0.2, 0.0);
+        let tiles = TileLayout::paper_wall(256, 256);
+        let errors = [0.0, 0.01, 0.08];
+        let picks = select_tile_levels(&tiles, &camera, &small, &errors, 0.0);
+        assert!(picks.contains(&2), "empty tiles must coarsen: {picks:?}");
+        assert!(picks.contains(&0), "covered tile must stay fine: {picks:?}");
+    }
+
+    #[test]
+    fn farther_cameras_coarsen() {
+        let tiles = TileLayout::new(1, 1, 128, 128);
+        let bounds = unit_bounds();
+        let errors = [0.0, 0.004, 0.02];
+        // tolerance of 1.5 px: close camera needs detail, far one does not
+        let near_cam = Camera::orbiting(&bounds, 0.4, 0.3, 1.2);
+        let close = select_tile_levels(&tiles, &near_cam, &bounds, &errors, 1.5);
+        let far_cam = Camera::orbiting(&bounds, 0.4, 0.3, 60.0);
+        let far = select_tile_levels(&tiles, &far_cam, &bounds, &errors, 1.5);
+        assert!(far[0] >= close[0], "close {close:?} vs far {far:?}");
+        assert_eq!(far[0], 2, "at 60 diagonals everything fits the budget");
+    }
+
+    #[test]
+    fn single_level_ladder_is_always_level_zero() {
+        let tiles = TileLayout::paper_wall(64, 64);
+        let camera = Camera::orbiting(&unit_bounds(), 0.1, 0.1, 2.0);
+        assert_eq!(
+            select_tile_levels(&tiles, &camera, &unit_bounds(), &[0.0], 0.0),
+            vec![0; 4]
+        );
+        // empty ladder degrades to level 0 too
+        assert_eq!(
+            select_tile_levels(&tiles, &camera, &unit_bounds(), &[], 0.0),
+            vec![0; 4]
+        );
+    }
+}

@@ -1,28 +1,37 @@
-//! Isovalue-keyed LRU result cache.
+//! Isovalue- and LOD-level-keyed LRU result cache.
 //!
 //! Interactive exploration hammers a handful of isovalues (slider scrubbing,
-//! repeated frames of the same surface), so the server memoizes whole
-//! extraction results keyed by the isovalue's bit pattern. The cache is
-//! **byte-budgeted**, not entry-counted: meshes vary from empty to hundreds
-//! of MB, and the budget is what bounds server memory. Region-restricted and
-//! framebuffer-mode requests are served by filtering/rasterizing the cached
-//! *full* mesh, so every request shape shares one entry per isovalue.
+//! repeated frames of the same surface), so the server memoizes extraction
+//! results keyed by `(isovalue bit pattern, LOD level)`. Every level of a
+//! pyramid is its own entry — a coarse level is a few percent of the full
+//! mesh, so it can stay resident long after its full-resolution sibling was
+//! evicted. The cache is **byte-budgeted**, not entry-counted: meshes vary
+//! from empty to hundreds of MB, and the budget is what bounds server
+//! memory. Region-restricted and framebuffer-mode requests are served by
+//! filtering/rasterizing cached meshes, so every request shape shares the
+//! per-level entries.
 //!
-//! Hit/miss/eviction counters are surfaced through
-//! [`crate::protocol::ServerReport`] the same way extraction surfaces
-//! `NodeReport` rows — observable from any client via a stats request.
+//! Hit/miss/eviction counters — aggregate *and* per level — are surfaced
+//! through [`crate::protocol::ServerReport`] the same way extraction
+//! surfaces `NodeReport` rows — observable from any client via a stats
+//! request.
 
+use crate::protocol::MAX_LOD_LEVELS;
 use oociso_march::IndexedMesh;
 use std::sync::Arc;
 
 /// One cached extraction result (shared out to concurrent readers).
 #[derive(Debug)]
 pub struct CachedSurface {
-    /// The full (unfiltered) isosurface at this isovalue.
+    /// The (unfiltered) isosurface at this isovalue and LOD level.
     pub mesh: IndexedMesh,
     /// Active metacells the producing extraction touched (report metadata
     /// replayed to cache-hit clients).
     pub active_metacells: u64,
+    /// World-space error gauge of this LOD level versus full resolution
+    /// (`LodChain::world_error`; 0 for level 0) — what screen-space LOD
+    /// selection projects.
+    pub world_error: f64,
 }
 
 impl CachedSurface {
@@ -42,20 +51,31 @@ pub struct CacheStats {
     pub evictions: u64,
     pub resident_bytes: u64,
     pub resident_entries: u64,
+    /// Hits per LOD level (level 0 first); sums to `hits`.
+    pub lod_hits: [u64; MAX_LOD_LEVELS],
+    /// Misses per LOD level; sums to `misses`.
+    pub lod_misses: [u64; MAX_LOD_LEVELS],
 }
 
-/// A byte-budgeted LRU map from isovalue bits to extraction results.
+/// A byte-budgeted LRU map from `(isovalue bits, LOD level)` to extraction
+/// results.
 ///
 /// Recency is a simple ordered list (most recent last): entry counts stay
-/// small — each entry is a whole isosurface against a byte budget — so
-/// linear recency maintenance costs nothing next to one extraction.
+/// small — each entry is a whole isosurface level against a byte budget —
+/// so linear recency maintenance costs nothing next to one extraction.
 #[derive(Debug)]
 pub struct ResultCache {
     budget_bytes: u64,
     /// `(key, entry)` pairs ordered least→most recently used.
-    entries: Vec<(u32, Arc<CachedSurface>)>,
+    entries: Vec<((u32, u16), Arc<CachedSurface>)>,
     resident_bytes: u64,
     stats: CacheStats,
+}
+
+/// Clamp a level index into the fixed per-level counter arrays (levels past
+/// the last slot share it; servers cap pyramids at `MAX_LOD_LEVELS` anyway).
+fn level_slot(lod: u16) -> usize {
+    (lod as usize).min(MAX_LOD_LEVELS - 1)
 }
 
 impl ResultCache {
@@ -74,31 +94,68 @@ impl ResultCache {
         self.budget_bytes
     }
 
-    /// Look up `iso`, refreshing its recency on a hit.
-    pub fn get(&mut self, iso: f32) -> Option<Arc<CachedSurface>> {
-        let key = iso.to_bits();
+    /// Look up level `lod` of `iso`, refreshing its recency on a hit.
+    pub fn get(&mut self, iso: f32, lod: u16) -> Option<Arc<CachedSurface>> {
+        let key = (iso.to_bits(), lod);
         match self.entries.iter().position(|(k, _)| *k == key) {
             Some(i) => {
                 let pair = self.entries.remove(i);
                 let hit = pair.1.clone();
                 self.entries.push(pair);
                 self.stats.hits += 1;
+                self.stats.lod_hits[level_slot(lod)] += 1;
                 self.refresh_gauges();
                 Some(hit)
             }
             None => {
                 self.stats.misses += 1;
+                self.stats.lod_misses[level_slot(lod)] += 1;
                 None
             }
         }
     }
 
-    /// Insert (or replace) the result for `iso`, evicting least-recently-used
-    /// entries until the budget holds. An entry larger than the whole budget
-    /// is passed through uncached — callers still get their `Arc`, the cache
-    /// just declines to retain it.
-    pub fn insert(&mut self, iso: f32, surface: CachedSurface) -> Arc<CachedSurface> {
-        let key = iso.to_bits();
+    /// Peek without touching recency or counters — the frame path uses this
+    /// for the levels it *also* needs beyond the one the request was
+    /// accounted against.
+    pub fn peek(&self, iso: f32, lod: u16) -> Option<Arc<CachedSurface>> {
+        let key = (iso.to_bits(), lod);
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, e)| e.clone())
+    }
+
+    /// Count a lookup outcome against `lod` without probing entries — for
+    /// the frame path, whose one accounted lookup is decided only after
+    /// peeking the whole pyramid (a pyramid with any level missing is one
+    /// miss, not a hit on the levels that happened to be resident).
+    pub fn account(&mut self, lod: u16, hit: bool) {
+        if hit {
+            self.stats.hits += 1;
+            self.stats.lod_hits[level_slot(lod)] += 1;
+        } else {
+            self.stats.misses += 1;
+            self.stats.lod_misses[level_slot(lod)] += 1;
+        }
+    }
+
+    /// Refresh an entry's recency (most recently used) without touching any
+    /// counter. No-op when absent.
+    pub fn touch(&mut self, iso: f32, lod: u16) {
+        let key = (iso.to_bits(), lod);
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            let pair = self.entries.remove(i);
+            self.entries.push(pair);
+        }
+    }
+
+    /// Insert (or replace) the result for level `lod` of `iso`, evicting
+    /// least-recently-used entries until the budget holds. An entry larger
+    /// than the whole budget is passed through uncached — callers still get
+    /// their `Arc`, the cache just declines to retain it.
+    pub fn insert(&mut self, iso: f32, lod: u16, surface: CachedSurface) -> Arc<CachedSurface> {
+        let key = (iso.to_bits(), lod);
         let surface = Arc::new(surface);
         let bytes = surface.bytes();
         if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
@@ -152,16 +209,17 @@ mod tests {
         CachedSurface {
             mesh,
             active_metacells: tris as u64,
+            world_error: 0.0,
         }
     }
 
     #[test]
     fn hit_miss_and_recency() {
         let mut c = ResultCache::new(10_000);
-        assert!(c.get(1.0).is_none());
-        c.insert(1.0, surface(1));
-        c.insert(2.0, surface(1));
-        let hit = c.get(1.0).expect("cached");
+        assert!(c.get(1.0, 0).is_none());
+        c.insert(1.0, 0, surface(1));
+        c.insert(2.0, 0, surface(1));
+        let hit = c.get(1.0, 0).expect("cached");
         assert_eq!(hit.active_metacells, 1);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 2));
@@ -173,43 +231,98 @@ mod tests {
     fn byte_budget_evicts_lru_order() {
         // budget fits exactly two 1-triangle meshes (48 B each)
         let mut c = ResultCache::new(96);
-        c.insert(1.0, surface(1));
-        c.insert(2.0, surface(1));
+        c.insert(1.0, 0, surface(1));
+        c.insert(2.0, 0, surface(1));
         // touch 1.0 so 2.0 becomes the LRU victim
-        assert!(c.get(1.0).is_some());
-        c.insert(3.0, surface(1));
+        assert!(c.get(1.0, 0).is_some());
+        c.insert(3.0, 0, surface(1));
         assert_eq!(c.stats().evictions, 1);
-        assert!(c.get(2.0).is_none(), "LRU entry should have been evicted");
-        assert!(c.get(1.0).is_some(), "recently used entry must survive");
-        assert!(c.get(3.0).is_some());
+        assert!(
+            c.get(2.0, 0).is_none(),
+            "LRU entry should have been evicted"
+        );
+        assert!(c.get(1.0, 0).is_some(), "recently used entry must survive");
+        assert!(c.get(3.0, 0).is_some());
         assert!(c.stats().resident_bytes <= 96);
     }
 
     #[test]
     fn oversized_entry_passes_through_uncached() {
         let mut c = ResultCache::new(100);
-        let arc = c.insert(5.0, surface(10)); // 480 B > 100 B budget
+        let arc = c.insert(5.0, 0, surface(10)); // 480 B > 100 B budget
         assert_eq!(arc.mesh.len(), 10, "caller still gets the surface");
         assert_eq!(c.stats().resident_entries, 0);
         assert_eq!(c.stats().insertions, 0);
-        assert!(c.get(5.0).is_none());
+        assert!(c.get(5.0, 0).is_none());
     }
 
     #[test]
     fn reinsert_replaces_without_leaking_bytes() {
         let mut c = ResultCache::new(10_000);
-        c.insert(1.0, surface(1));
-        c.insert(1.0, surface(2)); // same key, bigger mesh
+        c.insert(1.0, 0, surface(1));
+        c.insert(1.0, 0, surface(2)); // same key, bigger mesh
         assert_eq!(c.stats().resident_entries, 1);
         assert_eq!(c.stats().resident_bytes, 2 * 48);
-        assert_eq!(c.get(1.0).unwrap().mesh.len(), 2);
+        assert_eq!(c.get(1.0, 0).unwrap().mesh.len(), 2);
     }
 
     #[test]
     fn distinct_isovalue_bits_are_distinct_keys() {
         let mut c = ResultCache::new(10_000);
-        c.insert(100.0, surface(1));
-        assert!(c.get(100.00001).is_none());
-        assert!(c.get(100.0).is_some());
+        c.insert(100.0, 0, surface(1));
+        assert!(c.get(100.00001, 0).is_none());
+        assert!(c.get(100.0, 0).is_some());
+    }
+
+    #[test]
+    fn lod_levels_are_distinct_keys_with_exact_per_level_counters() {
+        let mut c = ResultCache::new(10_000);
+        c.insert(1.0, 0, surface(4));
+        c.insert(1.0, 1, surface(2));
+        // level 2 was never inserted: a miss on it must not shadow level 1
+        assert!(c.get(1.0, 2).is_none());
+        assert_eq!(c.get(1.0, 1).unwrap().mesh.len(), 2);
+        assert_eq!(c.get(1.0, 0).unwrap().mesh.len(), 4);
+        let s = c.stats();
+        assert_eq!(s.lod_hits, [1, 1, 0, 0]);
+        assert_eq!(s.lod_misses, [0, 0, 1, 0]);
+        assert_eq!(s.hits, s.lod_hits.iter().sum::<u64>());
+        assert_eq!(s.misses, s.lod_misses.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn account_and_touch_decompose_a_lookup() {
+        let mut c = ResultCache::new(96);
+        c.insert(1.0, 0, surface(1));
+        c.insert(2.0, 0, surface(1));
+        // account books counters without probing entries
+        c.account(0, true);
+        c.account(2, false);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.lod_hits, [1, 0, 0, 0]);
+        assert_eq!(s.lod_misses, [0, 0, 1, 0]);
+        // touch refreshes recency without counters: 1.0 becomes MRU, so the
+        // next eviction takes 2.0
+        c.touch(1.0, 0);
+        c.insert(3.0, 0, surface(1));
+        assert!(c.peek(1.0, 0).is_some(), "touched entry must survive");
+        assert!(c.peek(2.0, 0).is_none(), "untouched entry evicted");
+        assert_eq!(c.stats().hits, 1, "touch books nothing");
+    }
+
+    #[test]
+    fn peek_does_not_touch_counters_or_recency() {
+        let mut c = ResultCache::new(96);
+        c.insert(1.0, 0, surface(1));
+        c.insert(2.0, 0, surface(1));
+        let before = c.stats();
+        assert!(c.peek(1.0, 0).is_some());
+        assert!(c.peek(9.0, 0).is_none());
+        assert_eq!(c.stats(), before, "peek is invisible to accounting");
+        // peeking 1.0 must not have refreshed it: inserting a third entry
+        // still evicts 1.0 as the least recently *used*
+        c.insert(3.0, 0, surface(1));
+        assert!(c.peek(1.0, 0).is_none(), "peek must not refresh recency");
     }
 }

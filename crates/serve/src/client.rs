@@ -64,14 +64,27 @@ impl Client {
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
             )),
-            Some(FrameIn::Ok(reply)) => Ok(reply),
+            Some(FrameIn::Ok { msg: reply, .. }) => Ok(reply),
             Some(FrameIn::Violation { code, detail, .. }) => Err(server_error(code, detail)),
         }
     }
 
-    /// Query the isosurface at `iso`, optionally restricted to a region.
+    /// Query the isosurface at `iso`, optionally restricted to a region
+    /// (full resolution — LOD level 0).
     pub fn query_mesh(&mut self, iso: f32, region: Option<Region>) -> io::Result<MeshReply> {
-        match self.roundtrip(&Message::MeshRequest { iso, region })? {
+        self.query_mesh_lod(iso, region, 0)
+    }
+
+    /// Query LOD pyramid level `lod` of the isosurface at `iso` (0 = full
+    /// resolution), optionally restricted to a region. Levels the server
+    /// does not have come back as a structured `ERR_BAD_LOD` error.
+    pub fn query_mesh_lod(
+        &mut self,
+        iso: f32,
+        region: Option<Region>,
+        lod: u16,
+    ) -> io::Result<MeshReply> {
+        match self.roundtrip(&Message::MeshRequest { iso, region, lod })? {
             Message::MeshResponse {
                 cache_hit,
                 active_metacells,
@@ -164,7 +177,7 @@ impl Client {
         self.stream.flush()?;
         match read_frame(&mut self.stream) {
             Ok(None) => Ok(None),
-            Ok(Some(FrameIn::Ok(reply))) => Ok(Some(reply)),
+            Ok(Some(FrameIn::Ok { msg: reply, .. })) => Ok(Some(reply)),
             Ok(Some(FrameIn::Violation { code, detail, .. })) => Err(server_error(code, detail)),
             // a reset mid-read also counts as "hung up"
             Err(e) if e.kind() == io::ErrorKind::ConnectionReset => Ok(None),

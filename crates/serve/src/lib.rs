@@ -36,6 +36,9 @@ pub mod transport;
 
 pub use cache::{CacheStats, CachedSurface, ResultCache};
 pub use client::{Client, FrameReply, MeshReply};
-pub use protocol::{FrameParams, Message, Region, ServerReport, MAGIC, VERSION};
+pub use protocol::{
+    FrameParams, Message, Region, ServerReport, ERR_BAD_LOD, MAGIC, MAX_LOD_LEVELS, MIN_VERSION,
+    VERSION,
+};
 pub use server::{IsoServer, ServeOptions};
 pub use transport::{measure_loopback, TcpLoopbackTransport};

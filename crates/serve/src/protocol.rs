@@ -30,8 +30,18 @@ use std::io::{self, Read, Write};
 
 /// Frame magic: `"OISO"` read as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"OISO");
-/// Current protocol version.
-pub const VERSION: u16 = 1;
+/// Current protocol version. Version 2 added the optional trailing `lod`
+/// field to mesh requests and the per-level cache counters to stats
+/// responses; readers accept any version in
+/// [`MIN_VERSION`]`..=`[`VERSION`], and a server answers each frame at the
+/// version the client spoke — a v1 client simply never asks for (and never
+/// hears about) LOD levels, so it gets level 0, exactly as before.
+pub const VERSION: u16 = 2;
+/// Oldest protocol version still accepted on the wire.
+pub const MIN_VERSION: u16 = 1;
+/// Most LOD pyramid levels the protocol (and the per-level stats counters)
+/// can address, level 0 included.
+pub const MAX_LOD_LEVELS: usize = 4;
 /// Fixed frame header size in bytes (magic + version + type + payload len).
 pub const HEADER_BYTES: usize = 16;
 /// Upper bound on a single frame's payload (guards readers against
@@ -63,6 +73,9 @@ pub const ERR_BAD_MAGIC: u16 = 2;
 pub const ERR_BAD_CHECKSUM: u16 = 3;
 pub const ERR_MALFORMED: u16 = 4;
 pub const ERR_INTERNAL: u16 = 5;
+/// The requested LOD level does not exist on this server (the reply's
+/// detail names the server's level count; the connection stays usable).
+pub const ERR_BAD_LOD: u16 = 6;
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) lookup table, built at compile
 /// time — no dependency, no runtime init.
@@ -152,14 +165,25 @@ pub struct ServerReport {
     pub cache_resident_bytes: u64,
     /// Meshes currently resident in the cache.
     pub cache_resident_entries: u64,
+    /// Cache hits per LOD level (level 0 first; levels beyond the server's
+    /// pyramid stay 0). Sums to `cache_hits`.
+    pub lod_hits: [u64; MAX_LOD_LEVELS],
+    /// Cache misses per LOD level. Sums to `cache_misses`.
+    pub lod_misses: [u64; MAX_LOD_LEVELS],
 }
 
 /// One decoded protocol message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Message {
     /// Extract (or serve from cache) the isosurface at `iso`, optionally
-    /// restricted to triangles intersecting `region`.
-    MeshRequest { iso: f32, region: Option<Region> },
+    /// restricted to triangles intersecting `region`, at LOD pyramid level
+    /// `lod` (0 = full resolution — the only level v1 clients, whose
+    /// requests carry no `lod` field, can address).
+    MeshRequest {
+        iso: f32,
+        region: Option<Region>,
+        lod: u16,
+    },
     /// Extract, rasterize, and return the framebuffer as tile frames.
     FrameRequest { iso: f32, params: FrameParams },
     /// Ask for the server's counters.
@@ -271,6 +295,12 @@ impl<'a> Rd<'a> {
         Ok(n as usize)
     }
 
+    /// Unread bytes left in the payload — how optional trailing fields
+    /// (added by later protocol versions) detect their presence.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn done(&self) -> io::Result<()> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -364,22 +394,58 @@ fn put_mesh_response(
 /// Encode a complete `MeshResponse` frame from a **borrowed** mesh — the
 /// server's cache-hit hot path, which must not deep-clone a
 /// hundreds-of-MB cached mesh just to hand `Message` an owned copy for
-/// serialization.
+/// serialization. `version` stamps the frame header so the reply speaks the
+/// client's dialect (the mesh payload layout is identical in v1 and v2).
 pub fn encode_mesh_response_frame(
     cache_hit: bool,
     active_metacells: u64,
     mesh: &IndexedMesh,
+    version: u16,
 ) -> Vec<u8> {
     let mut payload = Vec::new();
     put_mesh_response(&mut payload, cache_hit, active_metacells, mesh);
-    encode_frame_raw(MAGIC, VERSION, MSG_MESH_RESPONSE, &payload)
+    encode_frame_raw(MAGIC, version, MSG_MESH_RESPONSE, &payload)
+}
+
+/// Serialize a [`ServerReport`] at the given protocol version: v1 payloads
+/// carry only the 11 base counters (what v1 clients can parse), v2 appends
+/// the per-LOD-level hit/miss arrays.
+fn put_server_report(out: &mut Vec<u8>, s: &ServerReport, version: u16) {
+    for v in [
+        s.connections,
+        s.requests,
+        s.mesh_requests,
+        s.frame_requests,
+        s.errors,
+        s.bytes_out,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
+        s.cache_resident_bytes,
+        s.cache_resident_entries,
+    ] {
+        put_u64(out, v);
+    }
+    if version >= 2 {
+        for v in s.lod_hits.iter().chain(&s.lod_misses) {
+            put_u64(out, *v);
+        }
+    }
+}
+
+/// Encode a complete `StatsResponse` frame at the client's protocol
+/// `version` — v1 clients get the payload layout they can parse.
+pub fn encode_stats_response_frame(report: &ServerReport, version: u16) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_server_report(&mut payload, report, version);
+    encode_frame_raw(MAGIC, version, MSG_STATS_RESPONSE, &payload)
 }
 
 /// Encode a message's payload (everything between header and checksum).
 pub fn encode_payload(msg: &Message) -> Vec<u8> {
     let mut out = Vec::new();
     match msg {
-        Message::MeshRequest { iso, region } => {
+        Message::MeshRequest { iso, region, lod } => {
             put_f32(&mut out, *iso);
             out.push(region.is_some() as u8);
             if let Some(r) = region {
@@ -387,6 +453,8 @@ pub fn encode_payload(msg: &Message) -> Vec<u8> {
                     put_f32(&mut out, *v);
                 }
             }
+            // v2 trailing field; v1 payloads simply end here (decoded as 0)
+            put_u16(&mut out, *lod);
         }
         Message::FrameRequest { iso, params } => {
             put_f32(&mut out, *iso);
@@ -421,23 +489,7 @@ pub fn encode_payload(msg: &Message) -> Vec<u8> {
                 put_region(&mut out, r);
             }
         }
-        Message::StatsResponse(s) => {
-            for v in [
-                s.connections,
-                s.requests,
-                s.mesh_requests,
-                s.frame_requests,
-                s.errors,
-                s.bytes_out,
-                s.cache_hits,
-                s.cache_misses,
-                s.cache_evictions,
-                s.cache_resident_bytes,
-                s.cache_resident_entries,
-            ] {
-                put_u64(&mut out, v);
-            }
-        }
+        Message::StatsResponse(s) => put_server_report(&mut out, s, VERSION),
         Message::Error { code, detail } => {
             put_u16(&mut out, *code);
             put_u64(&mut out, detail.len() as u64);
@@ -462,7 +514,9 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
                 }),
                 _ => return Err(malformed("region flag")),
             };
-            Message::MeshRequest { iso, region }
+            // v1 requests end here; absent lod means full resolution
+            let lod = if rd.remaining() > 0 { rd.u16()? } else { 0 };
+            Message::MeshRequest { iso, region, lod }
         }
         MSG_FRAME_REQUEST => Message::FrameRequest {
             iso: rd.f32()?,
@@ -530,6 +584,14 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
             for slot in &mut v {
                 *slot = rd.u64()?;
             }
+            // v2 appends the per-level arrays; a v1 payload ends here
+            let mut lod_hits = [0u64; MAX_LOD_LEVELS];
+            let mut lod_misses = [0u64; MAX_LOD_LEVELS];
+            if rd.remaining() > 0 {
+                for slot in lod_hits.iter_mut().chain(&mut lod_misses) {
+                    *slot = rd.u64()?;
+                }
+            }
             Message::StatsResponse(ServerReport {
                 connections: v[0],
                 requests: v[1],
@@ -542,6 +604,8 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
                 cache_evictions: v[8],
                 cache_resident_bytes: v[9],
                 cache_resident_entries: v[10],
+                lod_hits,
+                lod_misses,
             })
         }
         MSG_ERROR => {
@@ -560,8 +624,16 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
 
 /// Serialize a whole frame (header + payload + checksum) into a byte vector.
 pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    encode_frame_at(VERSION, msg)
+}
+
+/// [`encode_frame`] with an explicit header version — how the server stamps
+/// each reply with the version its client spoke. (Payload layouts are
+/// version-independent here; the one version-dependent payload, stats, has
+/// its own dedicated encoder.)
+pub fn encode_frame_at(version: u16, msg: &Message) -> Vec<u8> {
     let payload = encode_payload(msg);
-    encode_frame_raw(MAGIC, VERSION, msg.msg_type(), &payload)
+    encode_frame_raw(MAGIC, version, msg.msg_type(), &payload)
 }
 
 /// Serialize a frame with explicit header fields — the doctored-frame hook
@@ -591,14 +663,20 @@ pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<usize> {
 /// `ERR_*` response.
 #[derive(Debug)]
 pub enum FrameIn {
-    /// A well-formed frame carrying `msg`.
-    Ok(Message),
+    /// A well-formed frame carrying `msg`, spoken at protocol `version`
+    /// (any accepted version in [`MIN_VERSION`]`..=`[`VERSION`]) — the
+    /// version a server echoes in its reply so older clients can parse it.
+    Ok { msg: Message, version: u16 },
     /// The header or checksum was unacceptable; `close` means framing is
-    /// lost (wrong magic) and the connection cannot continue.
+    /// lost (wrong magic) and the connection cannot continue. `version` is
+    /// the dialect to *reply* in: the frame's own version when it parsed to
+    /// a supported one, [`VERSION`] otherwise — so a v1 client's corrupted
+    /// frame still gets an error reply it can decode.
     Violation {
         code: u16,
         detail: String,
         close: bool,
+        version: u16,
     },
 }
 
@@ -627,12 +705,19 @@ pub fn read_frame_limited(r: &mut impl Read, max_payload: u64) -> io::Result<Opt
     let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
     let msg_type = u16::from_le_bytes(header[6..8].try_into().unwrap());
     let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    // the dialect violations are replied in: the client's own, when sane
+    let reply_version = if (MIN_VERSION..=VERSION).contains(&version) {
+        version
+    } else {
+        VERSION
+    };
     if magic != MAGIC {
         // the stream cannot be re-synchronized: report and hang up
         return Ok(Some(FrameIn::Violation {
             code: ERR_BAD_MAGIC,
             detail: format!("bad magic {magic:#x}"),
             close: true,
+            version: reply_version,
         }));
     }
     let cap = max_payload.min(MAX_PAYLOAD);
@@ -644,6 +729,7 @@ pub fn read_frame_limited(r: &mut impl Read, max_payload: u64) -> io::Result<Opt
             code: ERR_MALFORMED,
             detail: format!("payload length {len} exceeds cap {cap}"),
             close: true,
+            version: reply_version,
         }));
     }
     let mut payload = vec![0u8; len as usize];
@@ -651,12 +737,16 @@ pub fn read_frame_limited(r: &mut impl Read, max_payload: u64) -> io::Result<Opt
     let mut crc_buf = [0u8; 4];
     r.read_exact(&mut crc_buf)?;
     // the version check comes after draining the frame so the connection
-    // stays framed and usable for the error reply
-    if version != VERSION {
+    // stays framed and usable for the error reply; anything in the
+    // supported window (v1 clients included) is decoded
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Ok(Some(FrameIn::Violation {
             code: ERR_UNSUPPORTED_VERSION,
-            detail: format!("protocol version {version} not supported (server speaks {VERSION})"),
+            detail: format!(
+                "protocol version {version} not supported (server speaks {MIN_VERSION}..={VERSION})"
+            ),
             close: false,
+            version: reply_version,
         }));
     }
     let crc = u32::from_le_bytes(crc_buf);
@@ -665,14 +755,16 @@ pub fn read_frame_limited(r: &mut impl Read, max_payload: u64) -> io::Result<Opt
             code: ERR_BAD_CHECKSUM,
             detail: "payload checksum mismatch".to_string(),
             close: false,
+            version: reply_version,
         }));
     }
     match decode_payload(msg_type, &payload) {
-        Ok(msg) => Ok(Some(FrameIn::Ok(msg))),
+        Ok(msg) => Ok(Some(FrameIn::Ok { msg, version })),
         Err(e) => Ok(Some(FrameIn::Violation {
             code: ERR_MALFORMED,
             detail: e.to_string(),
             close: false,
+            version: reply_version,
         })),
     }
 }
@@ -692,7 +784,10 @@ mod tests {
         let frame = encode_frame(&msg);
         let mut cursor = &frame[..];
         match read_frame(&mut cursor).unwrap().unwrap() {
-            FrameIn::Ok(got) => assert_eq!(got, msg),
+            FrameIn::Ok { msg: got, version } => {
+                assert_eq!(got, msg);
+                assert_eq!(version, VERSION);
+            }
             FrameIn::Violation { detail, .. } => panic!("rejected own frame: {detail}"),
         }
         assert!(cursor.is_empty(), "frame not fully consumed");
@@ -722,6 +817,7 @@ mod tests {
         roundtrip(Message::MeshRequest {
             iso: 127.5,
             region: None,
+            lod: 0,
         });
         roundtrip(Message::MeshRequest {
             iso: -3.25,
@@ -729,6 +825,7 @@ mod tests {
                 lo: [0.0, 1.0, 2.0],
                 hi: [3.0, 4.0, 5.0],
             }),
+            lod: 2,
         });
         roundtrip(Message::FrameRequest {
             iso: 190.0,
@@ -770,6 +867,8 @@ mod tests {
             cache_evictions: 9,
             cache_resident_bytes: 10,
             cache_resident_entries: 11,
+            lod_hits: [4, 2, 1, 0],
+            lod_misses: [1, 1, 1, 0],
         }));
         roundtrip(Message::Error {
             code: ERR_MALFORMED,
@@ -786,8 +885,10 @@ mod tests {
             active_metacells: 0,
             mesh: mesh.clone(),
         });
-        let Some(FrameIn::Ok(Message::MeshResponse { mesh: got, .. })) =
-            read_frame(&mut &frame[..]).unwrap()
+        let Some(FrameIn::Ok {
+            msg: Message::MeshResponse { mesh: got, .. },
+            ..
+        }) = read_frame(&mut &frame[..]).unwrap()
         else {
             panic!("decode failed");
         };
@@ -803,7 +904,7 @@ mod tests {
     #[test]
     fn borrowed_mesh_encode_matches_owned_message_encode() {
         let mesh = sample_mesh();
-        let borrowed = encode_mesh_response_frame(true, 42, &mesh);
+        let borrowed = encode_mesh_response_frame(true, 42, &mesh, VERSION);
         let owned = encode_frame(&Message::MeshResponse {
             cache_hit: true,
             active_metacells: 42,
@@ -828,7 +929,7 @@ mod tests {
                 assert_eq!(code, ERR_MALFORMED);
                 assert!(close, "framing is abandoned, not drained");
             }
-            FrameIn::Ok(_) => panic!("hostile length accepted"),
+            FrameIn::Ok { .. } => panic!("hostile length accepted"),
         }
         // under the cap, the same reader still works
         let ok = encode_frame(&Message::Ping {
@@ -836,8 +937,37 @@ mod tests {
         });
         assert!(matches!(
             read_frame_limited(&mut &ok[..], 1024).unwrap().unwrap(),
-            FrameIn::Ok(Message::Ping { .. })
+            FrameIn::Ok {
+                msg: Message::Ping { .. },
+                ..
+            }
         ));
+    }
+
+    #[test]
+    fn violations_carry_the_client_dialect_for_the_reply() {
+        // a corrupt v1 frame must be answered in v1, not the server's
+        // current version — the reader reports which dialect to reply in
+        let payload = encode_payload(&Message::StatsRequest);
+        let mut v1 = encode_frame_raw(MAGIC, 1, MSG_STATS_REQUEST, &payload);
+        let n = v1.len();
+        v1[n - 1] ^= 0x01;
+        match read_frame(&mut &v1[..]).unwrap().unwrap() {
+            FrameIn::Violation { code, version, .. } => {
+                assert_eq!(code, ERR_BAD_CHECKSUM);
+                assert_eq!(version, 1, "reply must speak the client's v1");
+            }
+            FrameIn::Ok { .. } => panic!("corrupt frame accepted"),
+        }
+        // an insane header version falls back to the server's own dialect
+        let future = encode_frame_raw(MAGIC, 999, MSG_STATS_REQUEST, &payload);
+        match read_frame(&mut &future[..]).unwrap().unwrap() {
+            FrameIn::Violation { code, version, .. } => {
+                assert_eq!(code, ERR_UNSUPPORTED_VERSION);
+                assert_eq!(version, VERSION);
+            }
+            FrameIn::Ok { .. } => panic!("future version accepted"),
+        }
     }
 
     #[test]
@@ -845,6 +975,7 @@ mod tests {
         let mut frame = encode_frame(&Message::MeshRequest {
             iso: 1.0,
             region: None,
+            lod: 0,
         });
         let n = frame.len();
         frame[n - 1] ^= 0x40; // flip a checksum bit
@@ -853,7 +984,7 @@ mod tests {
                 assert_eq!(code, ERR_BAD_CHECKSUM);
                 assert!(!close, "checksum failure keeps the connection framed");
             }
-            FrameIn::Ok(_) => panic!("corrupt frame accepted"),
+            FrameIn::Ok { .. } => panic!("corrupt frame accepted"),
         }
         // corrupt a payload byte instead: same verdict
         let mut frame2 = encode_frame(&Message::Ping {
@@ -878,7 +1009,7 @@ mod tests {
                 assert_eq!(code, ERR_BAD_MAGIC);
                 assert!(close, "framing is lost after a magic mismatch");
             }
-            FrameIn::Ok(_) => panic!("bad magic accepted"),
+            FrameIn::Ok { .. } => panic!("bad magic accepted"),
         }
         let future = encode_frame_raw(MAGIC, VERSION + 41, MSG_STATS_REQUEST, &payload);
         match read_frame(&mut &future[..]).unwrap().unwrap() {
@@ -886,7 +1017,7 @@ mod tests {
                 assert_eq!(code, ERR_UNSUPPORTED_VERSION);
                 assert!(!close, "version rejection is a framed, recoverable reply");
             }
-            FrameIn::Ok(_) => panic!("future version accepted"),
+            FrameIn::Ok { .. } => panic!("future version accepted"),
         }
     }
 

@@ -7,14 +7,22 @@
 //! pools internally, so concurrent requests ride the existing streaming
 //! extraction path — plus one [`ResultCache`] behind a mutex (held only for
 //! lookup/insert, never across an extraction).
+//!
+//! With [`ServeOptions::lod_ratios`] configured the server builds the LOD
+//! pyramid once per cache-missed isovalue (post-weld, via
+//! `ClusterDatabase::extract_lods`), caches every level separately, serves
+//! mesh requests at their requested `lod`, and picks per-tile levels for
+//! frame requests by projected screen-space error.
 
 use crate::cache::{CachedSurface, ResultCache};
 use crate::protocol::{
-    encode_frame, encode_mesh_response_frame, read_frame_limited, FrameIn, Message, ServerReport,
-    ERR_INTERNAL, ERR_MALFORMED, MAX_REQUEST_PAYLOAD,
+    encode_frame_at, encode_mesh_response_frame, encode_stats_response_frame, read_frame_limited,
+    FrameIn, Message, ServerReport, ERR_BAD_LOD, ERR_INTERNAL, ERR_MALFORMED, MAX_LOD_LEVELS,
+    MAX_REQUEST_PAYLOAD,
 };
+use oociso_cluster::LodSpec;
 use oociso_core::ClusterDatabase;
-use oociso_render::{rasterize_mesh, Camera, Framebuffer, TileLayout};
+use oociso_render::{rasterize_mesh, select_tile_levels, Camera, Framebuffer, TileLayout};
 use oociso_volume::ScalarValue;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -24,16 +32,26 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Server tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Result-cache byte budget (default 256 MiB).
     pub cache_bytes: u64,
+    /// Extra LOD pyramid levels to build and serve, as vertex-count ratios
+    /// of the full mesh (strictly decreasing, at most
+    /// [`MAX_LOD_LEVELS`]` - 1` entries). Empty (the default) serves level 0
+    /// only, exactly like a v1 server.
+    pub lod_ratios: Vec<f64>,
+    /// Screen-space error budget (pixels) for per-tile LOD selection in
+    /// frame mode. Only meaningful with `lod_ratios` set.
+    pub lod_tolerance_px: f32,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
         ServeOptions {
             cache_bytes: 256 << 20,
+            lod_ratios: Vec::new(),
+            lod_tolerance_px: 1.0,
         }
     }
 }
@@ -41,6 +59,8 @@ impl Default for ServeOptions {
 /// Shared state behind every connection handler.
 struct State<S: ScalarValue> {
     db: ClusterDatabase<S>,
+    lods: LodSpec,
+    lod_tolerance_px: f32,
     cache: Mutex<ResultCache>,
     connections: AtomicU64,
     requests: AtomicU64,
@@ -51,6 +71,11 @@ struct State<S: ScalarValue> {
 }
 
 impl<S: ScalarValue> State<S> {
+    /// Total levels served (1 = full resolution only).
+    fn levels(&self) -> u16 {
+        self.lods.levels() as u16
+    }
+
     fn report(&self) -> ServerReport {
         let cache = self.cache.lock().expect("cache lock").stats();
         ServerReport {
@@ -65,25 +90,136 @@ impl<S: ScalarValue> State<S> {
             cache_evictions: cache.evictions,
             cache_resident_bytes: cache.resident_bytes,
             cache_resident_entries: cache.resident_entries,
+            lod_hits: cache.lod_hits,
+            lod_misses: cache.lod_misses,
         }
     }
 
-    /// The full surface at `iso`, from cache or a fresh extraction.
+    /// Extract the full pyramid for `iso` and insert every level, returning
+    /// the levels in order. Runs outside the cache lock.
+    fn extract_and_insert(&self, iso: f32) -> io::Result<Vec<Arc<CachedSurface>>> {
+        let (chain, report) = self.db.extract_lods(iso, &self.lods)?;
+        let active_metacells = report.total_active_metacells();
+        let mut cache = self.cache.lock().expect("cache lock");
+        Ok(chain
+            .into_levels()
+            .into_iter()
+            .enumerate()
+            .map(|(i, level)| {
+                cache.insert(
+                    iso,
+                    i as u16,
+                    CachedSurface {
+                        mesh: level.mesh,
+                        active_metacells,
+                        world_error: level.cumulative_error.sqrt(),
+                    },
+                )
+            })
+            .collect())
+    }
+
+    /// Re-decimate the pyramid from an already-resident full-resolution
+    /// mesh (deterministic, so byte-identical to the original levels) and
+    /// insert the rebuilt coarse levels — the no-disk path when only they
+    /// were evicted. Decimates **by reference** from the resident entry
+    /// (same ladder `LodChain::build` walks: each level from the previous,
+    /// targets as fractions of level 0), so the full mesh is never cloned
+    /// and its cache entry is reused as level 0 untouched.
+    fn rebuild_from_full(&self, iso: f32, full: Arc<CachedSurface>) -> Vec<Arc<CachedSurface>> {
+        let base_vertices = full.mesh.num_vertices();
+        let mut coarse: Vec<(oociso_march::IndexedMesh, f64)> = Vec::new();
+        let mut cumulative = 0.0;
+        for &ratio in &self.lods.ratios {
+            let prev = coarse.last().map_or(&full.mesh, |(m, _)| m);
+            let (mesh, stats) = oociso_march::decimate(
+                prev,
+                &oociso_march::DecimateOptions {
+                    target_vertices: (base_vertices as f64 * ratio).ceil() as usize,
+                    max_error: f64::INFINITY,
+                },
+            );
+            cumulative += stats.max_error;
+            coarse.push((mesh, cumulative));
+        }
+        let mut cache = self.cache.lock().expect("cache lock");
+        cache.touch(iso, 0);
+        let mut levels = vec![full.clone()];
+        for (i, (mesh, cumulative_error)) in coarse.into_iter().enumerate() {
+            levels.push(cache.insert(
+                iso,
+                (i + 1) as u16,
+                CachedSurface {
+                    mesh,
+                    active_metacells: full.active_metacells,
+                    world_error: cumulative_error.sqrt(),
+                },
+            ));
+        }
+        levels
+    }
+
+    /// Produce the whole pyramid for a missed request: from the resident
+    /// full mesh when possible, from a fresh extraction otherwise. Runs
+    /// outside the cache lock (concurrent first-queries of one isovalue may
+    /// each extract — both count as misses, last insert wins — but no
+    /// request ever blocks behind another's extraction).
+    fn pyramid_for(&self, iso: f32) -> io::Result<Vec<Arc<CachedSurface>>> {
+        let resident_full = self.cache.lock().expect("cache lock").peek(iso, 0);
+        match resident_full {
+            Some(full) => Ok(self.rebuild_from_full(iso, full)),
+            None => self.extract_and_insert(iso),
+        }
+    }
+
+    /// Level `lod` of the surface at `iso`, from cache or a fresh
+    /// extraction. Exactly one cache lookup is accounted (against `lod`).
     /// Returns `(surface, cache_hit)`.
-    fn surface(&self, iso: f32) -> io::Result<(Arc<CachedSurface>, bool)> {
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(iso) {
+    fn surface(&self, iso: f32, lod: u16) -> io::Result<(Arc<CachedSurface>, bool)> {
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(iso, lod) {
             return Ok((hit, true));
         }
-        // extract outside the lock: concurrent first-queries of one isovalue
-        // may each extract (both count as misses, last insert wins), but no
-        // request ever blocks behind another's extraction
-        let result = self.db.extract(iso)?;
-        let surface = CachedSurface {
-            mesh: result.mesh,
-            active_metacells: result.report.total_active_metacells(),
+        let levels = self.pyramid_for(iso)?;
+        Ok((levels[lod as usize].clone(), false))
+    }
+
+    /// Every pyramid level at `iso` for the frame path. The request is
+    /// accounted as exactly one lookup against level 0 (what a v1 frame
+    /// request cost): a hit only when the *whole* pyramid is resident, a
+    /// miss otherwise — the levels are peeked first, so a partially
+    /// evicted pyramid never books a hit for a request that still has to
+    /// rebuild. When level 0 survived but a coarser level was evicted, the
+    /// pyramid is re-decimated from the resident full mesh — deterministic,
+    /// so byte-identical to the original levels — without touching disk.
+    fn all_levels(&self, iso: f32) -> io::Result<(Vec<Arc<CachedSurface>>, bool)> {
+        let want = self.levels() as usize;
+        let resident_full = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            let mut levels = Vec::with_capacity(want);
+            for lod in 0..want {
+                match cache.peek(iso, lod as u16) {
+                    Some(l) => levels.push(l),
+                    None => break,
+                }
+            }
+            if levels.len() == want {
+                cache.account(0, true);
+                // the request used every level: refresh them all, or the
+                // coarse levels a frame-heavy workload relies on would
+                // decay to LRU victims despite being hot
+                for lod in 0..want {
+                    cache.touch(iso, lod as u16);
+                }
+                return Ok((levels, true));
+            }
+            cache.account(0, false);
+            levels.into_iter().next() // level 0, if it was resident
         };
-        let arc = self.cache.lock().expect("cache lock").insert(iso, surface);
-        Ok((arc, false))
+        let levels = match resident_full {
+            Some(full) => self.rebuild_from_full(iso, full),
+            None => self.extract_and_insert(iso)?,
+        };
+        Ok((levels, false))
     }
 }
 
@@ -107,6 +243,32 @@ impl IsoServer {
         addr: impl ToSocketAddrs,
         opts: ServeOptions,
     ) -> io::Result<IsoServer> {
+        if opts.lod_ratios.len() >= MAX_LOD_LEVELS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "at most {} LOD ratios (got {})",
+                    MAX_LOD_LEVELS - 1,
+                    opts.lod_ratios.len()
+                ),
+            ));
+        }
+        // reject malformed ladders here, not as a per-request panic deep in
+        // LodChain::build: each ratio must be finite, in (0, 1), and
+        // strictly decreasing
+        let mut prev = 1.0f64;
+        for &r in &opts.lod_ratios {
+            if !r.is_finite() || r <= 0.0 || r >= prev {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "LOD ratios must be finite, in (0, 1), strictly decreasing: {:?}",
+                        opts.lod_ratios
+                    ),
+                ));
+            }
+            prev = r;
+        }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // polling accept loop: nonblocking listener + short sleep lets
@@ -115,6 +277,10 @@ impl IsoServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let state = Arc::new(State {
             db,
+            lods: LodSpec {
+                ratios: opts.lod_ratios.clone(),
+            },
+            lod_tolerance_px: opts.lod_tolerance_px,
             cache: Mutex::new(ResultCache::new(opts.cache_bytes)),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
@@ -191,7 +357,7 @@ fn accept_loop<S: ScalarValue>(
 
 /// A computed response: either a message still to encode, or a frame
 /// pre-encoded from borrowed data (the cache-hit path, which must not clone
-/// the cached mesh).
+/// the cached mesh; stats, whose payload layout is version-dependent).
 enum Reply {
     Msg(Message),
     Encoded(Vec<u8>),
@@ -200,6 +366,8 @@ enum Reply {
 /// Serve one connection until EOF, a hard I/O error, or an unrecoverable
 /// protocol violation. Requests are read under [`MAX_REQUEST_PAYLOAD`]:
 /// a hostile length header is rejected before any payload allocation.
+/// Every reply frame is stamped with the protocol version the request
+/// spoke, so v1 clients keep parsing a v2 server's answers.
 fn handle_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) -> io::Result<()> {
     stream.set_nodelay(true)?;
     loop {
@@ -207,20 +375,21 @@ fn handle_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) ->
             None => return Ok(()), // clean EOF between frames
             Some(f) => f,
         };
-        let (reply, close) = match frame {
-            FrameIn::Ok(msg) => (respond(state, msg), false),
+        let (reply, version, close) = match frame {
+            FrameIn::Ok { msg, version } => (respond(state, msg, version), version, false),
             FrameIn::Violation {
                 code,
                 detail,
                 close,
-            } => (Reply::Msg(Message::Error { code, detail }), close),
+                version,
+            } => (Reply::Msg(Message::Error { code, detail }), version, close),
         };
         if matches!(reply, Reply::Msg(Message::Error { .. })) {
             state.errors.fetch_add(1, Ordering::Relaxed);
         }
         state.requests.fetch_add(1, Ordering::Relaxed);
         let frame_bytes = match reply {
-            Reply::Msg(msg) => encode_frame(&msg),
+            Reply::Msg(msg) => encode_frame_at(version, &msg),
             Reply::Encoded(bytes) => bytes,
         };
         stream.write_all(&frame_bytes)?;
@@ -240,18 +409,28 @@ fn handle_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) ->
 /// allocations to ~200 MB instead of letting a 16384² ask commit gigabytes.
 const MAX_FRAME_PIXELS: usize = 8 << 20;
 
-/// Compute the response for one well-formed request.
-fn respond<S: ScalarValue>(state: &State<S>, msg: Message) -> Reply {
+/// Compute the response for one well-formed request spoken at `version`.
+fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Reply {
     match msg {
-        Message::MeshRequest { iso, region } => {
+        Message::MeshRequest { iso, region, lod } => {
             state.mesh_requests.fetch_add(1, Ordering::Relaxed);
-            match state.surface(iso) {
+            if lod >= state.levels() {
+                return Reply::Msg(Message::Error {
+                    code: ERR_BAD_LOD,
+                    detail: format!(
+                        "lod {lod} out of range: server has {} level(s)",
+                        state.levels()
+                    ),
+                });
+            }
+            match state.surface(iso, lod) {
                 // no region: serialize straight from the shared cached mesh
                 Ok((surface, cache_hit)) => match region {
                     None => Reply::Encoded(encode_mesh_response_frame(
                         cache_hit,
                         surface.active_metacells,
                         &surface.mesh,
+                        version,
                     )),
                     Some(r) => {
                         let (lo, hi) = r.corners();
@@ -287,24 +466,60 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message) -> Reply {
                     ),
                 });
             }
-            match state.surface(iso) {
-                Ok((surface, cache_hit)) => {
-                    let mut fb = Framebuffer::new(w, h);
-                    if !surface.mesh.is_empty() {
+            match state.all_levels(iso) {
+                Ok((levels, cache_hit)) => {
+                    let tiles = TileLayout::new(cols, rows, w, h);
+                    let full = &levels[0].mesh;
+                    let mut regions = Vec::with_capacity(tiles.num_tiles());
+                    if full.is_empty() {
+                        let fb = Framebuffer::new(w, h);
+                        regions = tiles.shard(&fb);
+                    } else {
+                        let bounds = full.bounds();
                         let camera = Camera::orbiting(
-                            &surface.mesh.bounds(),
+                            &bounds,
                             params.azimuth,
                             params.elevation,
                             params.distance,
                         );
-                        rasterize_mesh(&surface.mesh, &camera, [0.9, 0.78, 0.5], &mut fb);
+                        // one LOD level per tile by projected error; each
+                        // selected level rasterizes its full framebuffer
+                        // once, tiles then cut their region from their
+                        // level's buffer
+                        let errors: Vec<f64> = levels.iter().map(|l| l.world_error).collect();
+                        let picks = select_tile_levels(
+                            &tiles,
+                            &camera,
+                            &bounds,
+                            &errors,
+                            state.lod_tolerance_px,
+                        );
+                        let mut buffers: Vec<Option<Framebuffer>> = Vec::new();
+                        buffers.resize_with(levels.len(), || None);
+                        for (t, &level) in picks.iter().enumerate() {
+                            if buffers[level].is_none() {
+                                let mut fb = Framebuffer::new(w, h);
+                                rasterize_mesh(
+                                    &levels[level].mesh,
+                                    &camera,
+                                    [0.9, 0.78, 0.5],
+                                    &mut fb,
+                                );
+                                buffers[level] = Some(fb);
+                            }
+                            let fb = buffers[level].as_ref().expect("just rasterized");
+                            regions.push(oociso_render::FrameRegion::extract(
+                                fb,
+                                tiles.tile_origin(t),
+                                tiles.tile_size(),
+                            ));
+                        }
                     }
-                    let tiles = TileLayout::new(cols, rows, w, h);
                     Reply::Msg(Message::FrameResponse {
                         cache_hit,
                         width: params.width,
                         height: params.height,
-                        regions: tiles.shard(&fb),
+                        regions,
                     })
                 }
                 Err(e) => Reply::Msg(Message::Error {
@@ -313,7 +528,11 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message) -> Reply {
                 }),
             }
         }
-        Message::StatsRequest => Reply::Msg(Message::StatsResponse(state.report())),
+        Message::StatsRequest => {
+            // stats payloads are version-dependent (v2 appends the per-level
+            // arrays), so encode directly at the client's version
+            Reply::Encoded(encode_stats_response_frame(&state.report(), version))
+        }
         Message::Ping { payload } => Reply::Msg(Message::Pong { payload }),
         // a client sending server-to-client messages is confused
         other => Reply::Msg(Message::Error {

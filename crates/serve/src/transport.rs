@@ -47,12 +47,15 @@ impl TcpLoopbackTransport {
             .spawn(move || loop {
                 match read_frame(&mut peer) {
                     Ok(None) => return, // sender hung up: shuffle over
-                    Ok(Some(FrameIn::Ok(Message::Region(region)))) => {
+                    Ok(Some(FrameIn::Ok {
+                        msg: Message::Region(region),
+                        ..
+                    })) => {
                         if tx.send(Ok(region)).is_err() {
                             return;
                         }
                     }
-                    Ok(Some(FrameIn::Ok(_))) | Ok(Some(FrameIn::Violation { .. })) => {
+                    Ok(Some(FrameIn::Ok { .. })) | Ok(Some(FrameIn::Violation { .. })) => {
                         let _ = tx.send(Err(io::Error::new(
                             io::ErrorKind::InvalidData,
                             "unexpected frame on compositing channel",

@@ -3,13 +3,14 @@
 //! cache must be visibly doing its job, and protocol abuse must produce
 //! structured errors without wedging the server.
 
+use oociso_cluster::LodSpec;
 use oociso_core::{ClusterDatabase, PreprocessOptions};
 use oociso_march::IndexedMesh;
 use oociso_serve::protocol::{
     encode_payload, ERR_BAD_CHECKSUM, ERR_MALFORMED, ERR_UNSUPPORTED_VERSION, MSG_MESH_REQUEST,
-    MSG_MESH_RESPONSE,
+    MSG_MESH_RESPONSE, MSG_STATS_REQUEST,
 };
-use oociso_serve::{Client, FrameParams, IsoServer, Message, Region, ServeOptions};
+use oociso_serve::{Client, FrameParams, IsoServer, Message, Region, ServeOptions, ERR_BAD_LOD};
 use oociso_volume::field::{FieldExt, SphereField};
 use oociso_volume::{Dims3, Volume};
 use std::collections::HashMap;
@@ -36,7 +37,37 @@ fn serve_fixture(name: &str, cache_bytes: u64) -> (PathBuf, IsoServer, ClusterDa
     };
     let served = ClusterDatabase::preprocess(&vol, &dir, &opts).unwrap();
     let direct = ClusterDatabase::<u8>::open(&dir, false).unwrap();
-    let server = IsoServer::bind(served, ("127.0.0.1", 0), ServeOptions { cache_bytes }).unwrap();
+    let server = IsoServer::bind(
+        served,
+        ("127.0.0.1", 0),
+        ServeOptions {
+            cache_bytes,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (dir, server, direct)
+}
+
+/// Like [`serve_fixture`] but with the 100%/25%/6% LOD pyramid enabled.
+fn lod_fixture(name: &str) -> (PathBuf, IsoServer, ClusterDatabase<u8>) {
+    let dir = tmpdir(name);
+    let vol = test_volume();
+    let opts = PreprocessOptions {
+        nodes: 2,
+        ..Default::default()
+    };
+    let served = ClusterDatabase::preprocess(&vol, &dir, &opts).unwrap();
+    let direct = ClusterDatabase::<u8>::open(&dir, false).unwrap();
+    let server = IsoServer::bind(
+        served,
+        ("127.0.0.1", 0),
+        ServeOptions {
+            lod_ratios: vec![0.25, 0.06],
+            ..Default::default()
+        },
+    )
+    .unwrap();
     (dir, server, direct)
 }
 
@@ -179,6 +210,7 @@ fn malformed_and_wrong_version_requests_get_structured_errors() {
     let good_payload = encode_payload(&Message::MeshRequest {
         iso: 120.0,
         region: None,
+        lod: 0,
     });
 
     // future protocol version → ERR_UNSUPPORTED_VERSION, connection survives
@@ -230,6 +262,28 @@ fn malformed_and_wrong_version_requests_get_structured_errors() {
     {
         Some(Message::Error { code, .. }) => assert_eq!(code, ERR_MALFORMED),
         other => panic!("expected malformed error, got {other:?}"),
+    }
+
+    // the v2 lod field is a trailing u16: a request with a torn half-field
+    // (or junk beyond it) must come back ERR_MALFORMED, not be misread
+    for extra in [1usize, 3] {
+        let mut torn = good_payload.clone();
+        torn.extend(std::iter::repeat_n(0xEEu8, extra));
+        match client
+            .roundtrip_raw(
+                oociso_serve::MAGIC,
+                oociso_serve::VERSION,
+                MSG_MESH_REQUEST,
+                &torn,
+                false,
+            )
+            .unwrap()
+        {
+            Some(Message::Error { code, .. }) => {
+                assert_eq!(code, ERR_MALFORMED, "{extra} trailing bytes")
+            }
+            other => panic!("expected malformed error for torn lod, got {other:?}"),
+        }
     }
 
     // a client sending a server-to-server message type → ERR_MALFORMED
@@ -332,6 +386,208 @@ fn cache_eviction_under_tiny_budget_still_serves_correct_meshes() {
         s.cache_evictions > 0 || s.cache_resident_entries <= 1,
         "tiny budget must constrain the cache: {s:?}"
     );
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lod_pyramid_roundtrips_bit_exact_with_exact_per_level_accounting() {
+    let (dir, server, direct) = lod_fixture("lod");
+    let addr = server.addr();
+    let iso = 127.5f32;
+
+    // ground truth: the same post-weld pyramid the server builds
+    let (chain, _report) = direct.extract_lods(iso, &LodSpec::pyramid()).unwrap();
+    assert_eq!(chain.len(), 3);
+
+    let mut client = Client::connect(addr).unwrap();
+    // query level 1 first: its miss extracts the pyramid and caches every
+    // level, so levels 0 and 2 are hits afterwards
+    let l1 = client.query_mesh_lod(iso, None, 1).unwrap();
+    assert!(!l1.cache_hit, "first query of the isovalue cannot hit");
+    let l0 = client.query_mesh_lod(iso, None, 0).unwrap();
+    assert!(l0.cache_hit, "level 0 was cached by the pyramid build");
+    let l2 = client.query_mesh_lod(iso, None, 2).unwrap();
+    assert!(l2.cache_hit);
+    let l1_again = client.query_mesh_lod(iso, None, 1).unwrap();
+    assert!(l1_again.cache_hit);
+
+    // every level crosses the wire bit-exactly
+    for (lod, reply) in [(0u16, &l0), (1, &l1), (2, &l2)] {
+        let want = &chain.level(lod as usize).unwrap().mesh;
+        assert_same_mesh(&reply.mesh, want, &format!("lod {lod}"));
+    }
+    assert_same_mesh(&l1_again.mesh, &l1.mesh, "cache hit bytes");
+
+    // the pyramid really decimates: budgets respected, topology intact
+    let v0 = l0.mesh.num_vertices();
+    assert!(l1.mesh.num_vertices() <= (v0 as f64 * 0.25).ceil() as usize);
+    assert!(l2.mesh.num_vertices() <= (v0 as f64 * 0.06).ceil() as usize);
+    for (lod, reply) in [(0u16, &l0), (1, &l1), (2, &l2)] {
+        let topo = oociso_march::analyze_mesh_connectivity(&reply.mesh);
+        assert!(topo.is_closed_manifold(), "lod {lod}: {topo:?}");
+        assert_eq!(topo.euler_characteristic(), 2, "lod {lod}");
+    }
+
+    // out-of-range levels: structured ERR_BAD_LOD, connection survives
+    for bad in [3u16, 9] {
+        let err = client.query_mesh_lod(iso, None, bad).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains(&format!("server error {ERR_BAD_LOD}")),
+            "lod {bad}: {err}"
+        );
+    }
+    let still = client.query_mesh_lod(iso, None, 2).unwrap();
+    assert!(still.cache_hit, "connection must survive bad-lod errors");
+
+    // exact per-level accounting: 1 miss (level 1), then hits 0/2/1/2
+    let s = client.stats().unwrap();
+    assert_eq!(s.lod_misses, [0, 1, 0, 0], "{s:?}");
+    assert_eq!(s.lod_hits, [1, 1, 2, 0], "{s:?}");
+    assert_eq!(s.cache_hits, s.lod_hits.iter().sum::<u64>());
+    assert_eq!(s.cache_misses, s.lod_misses.iter().sum::<u64>());
+    assert_eq!(s.errors, 2, "the two bad-lod requests: {s:?}");
+    assert_eq!(s.cache_resident_entries, 3, "one entry per level");
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_lod_ladders_are_rejected_at_bind_not_per_request() {
+    let dir = tmpdir("badlods");
+    let vol = test_volume();
+    let opts = PreprocessOptions {
+        nodes: 1,
+        ..Default::default()
+    };
+    for ratios in [
+        vec![0.5, 0.6],             // not decreasing
+        vec![1.5],                  // out of range
+        vec![f64::NAN],             // not finite
+        vec![0.0],                  // zero
+        vec![0.5, 0.25, 0.1, 0.05], // too many levels
+    ] {
+        let db = ClusterDatabase::preprocess(&vol, &dir, &opts).unwrap();
+        match IsoServer::bind(
+            db,
+            ("127.0.0.1", 0),
+            ServeOptions {
+                lod_ratios: ratios.clone(),
+                ..Default::default()
+            },
+        ) {
+            Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{ratios:?}"),
+            Ok(server) => {
+                server.stop();
+                panic!("{ratios:?} must be rejected at bind");
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v1_clients_still_get_full_resolution() {
+    // a v1 client's mesh request has no lod field and its frames say
+    // version 1: the server must decode it as level 0, reply with frames
+    // stamped v1, and keep the v1 stats payload layout parseable
+    let (dir, server, direct) = lod_fixture("v1compat");
+    let iso = 120.0f32;
+    let truth = direct.extract(iso).unwrap().mesh;
+
+    // hand-built v1 MeshRequest payload: f32 iso + region flag 0, no lod
+    let mut v1_payload = Vec::new();
+    v1_payload.extend_from_slice(&iso.to_bits().to_le_bytes());
+    v1_payload.push(0);
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client
+        .roundtrip_raw(oociso_serve::MAGIC, 1, MSG_MESH_REQUEST, &v1_payload, false)
+        .unwrap()
+    {
+        Some(Message::MeshResponse { mesh, .. }) => {
+            assert_same_mesh(&mesh, &truth, "v1 request must get LOD 0");
+        }
+        other => panic!("expected a mesh response, got {other:?}"),
+    }
+
+    // v1 stats: the reply must parse (11-counter layout) with the per-level
+    // arrays absent → zeroed, while aggregates are live
+    match client
+        .roundtrip_raw(oociso_serve::MAGIC, 1, MSG_STATS_REQUEST, &[], false)
+        .unwrap()
+    {
+        Some(Message::StatsResponse(s)) => {
+            assert!(s.cache_misses > 0, "{s:?}");
+            assert_eq!(s.lod_hits, [0; 4], "v1 payload carries no lod arrays");
+            assert_eq!(s.lod_misses, [0; 4]);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // ...whereas the v2 view of the same counters has the per-level rows
+    let s2 = client.stats().unwrap();
+    assert_eq!(s2.lod_misses[0], 1, "{s2:?}");
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn frame_requests_select_lods_by_screen_space_error() {
+    // with the pyramid enabled, a frame request rasterizes each tile from
+    // the level its projected error budget allows — reproduce the server's
+    // choice client-side from the same public selection function and the
+    // cached per-level meshes
+    let (dir, server, direct) = lod_fixture("lodframe");
+    let iso = 127.5f32;
+    let (chain, _) = direct.extract_lods(iso, &LodSpec::pyramid()).unwrap();
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let params = FrameParams {
+        width: 96,
+        height: 96,
+        azimuth: 0.7,
+        elevation: 0.4,
+        distance: 2.5,
+        tile_cols: 2,
+        tile_rows: 2,
+    };
+    let frame = client.query_frame(iso, params).unwrap();
+
+    // expectation: same camera, same selection, same rasterization
+    let bounds = chain.full().bounds();
+    let camera = oociso_render::Camera::orbiting(&bounds, 0.7, 0.4, 2.5);
+    let tiles = oociso_render::TileLayout::new(2, 2, 96, 96);
+    let picks = oociso_render::select_tile_levels(
+        &tiles,
+        &camera,
+        &bounds,
+        &chain.world_errors(),
+        1.0, // ServeOptions::default().lod_tolerance_px
+    );
+    let mut expected = Vec::new();
+    for (t, &level) in picks.iter().enumerate() {
+        let mut fb = oociso_render::Framebuffer::new(96, 96);
+        oociso_render::rasterize_mesh(
+            &chain.level(level).unwrap().mesh,
+            &camera,
+            [0.9, 0.78, 0.5],
+            &mut fb,
+        );
+        expected.push(oociso_render::FrameRegion::extract(
+            &fb,
+            tiles.tile_origin(t),
+            tiles.tile_size(),
+        ));
+    }
+    assert_eq!(
+        frame.regions, expected,
+        "served tiles must match the public per-tile LOD selection"
+    );
+
     server.stop();
     std::fs::remove_dir_all(&dir).ok();
 }

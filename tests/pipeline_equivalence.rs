@@ -4,25 +4,14 @@
 //! pipeline must be *bit-identical* to the retained batch path for every
 //! worker count and queue bound.
 
+mod common;
+
+use common::{tmpdir, truth};
 use oociso::cluster::{Cluster, ClusterBuildOptions, ExtractMode, ExtractOptions};
 use oociso::core::{ClusterDatabase, IsoDatabase, PreprocessOptions};
-use oociso::march::{marching_cubes, IndexedMesh, TriangleSoup, Vec3};
-use oociso::volume::field::{FieldExt, GyroidField, SphereField, TorusField};
+use oociso::march::{IndexedMesh, Vec3};
 use oociso::volume::{Dims3, RmProxy, Volume};
 use proptest::prelude::*;
-use std::path::PathBuf;
-
-fn tmpdir(name: &str) -> PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("oociso_it_{}_{}", std::process::id(), name));
-    p
-}
-
-fn truth(vol: &Volume<u8>, iso: f32) -> TriangleSoup {
-    let mut soup = TriangleSoup::new();
-    marching_cubes(vol, iso, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
-    soup
-}
 
 use oociso::march::canonical_triangles as canon;
 use oociso::march::split_collapsed;
@@ -30,20 +19,8 @@ use oociso::march::split_collapsed;
 #[test]
 fn database_extraction_equals_direct_marching_cubes() {
     let fields: Vec<(&str, Volume<u8>)> = vec![
-        (
-            "sphere",
-            SphereField::centered(0.31, 128.0).sample(Dims3::new(30, 28, 26)),
-        ),
-        (
-            "torus",
-            TorusField {
-                major: 0.3,
-                minor: 0.12,
-                level: 128.0,
-                slope: 300.0,
-            }
-            .sample(Dims3::new(33, 33, 21)),
-        ),
+        ("sphere", common::sphere_vol(Dims3::new(30, 28, 26))),
+        ("torus", common::torus_vol(Dims3::new(33, 33, 21))),
         (
             "rm",
             RmProxy::with_seed(11).volume(180, Dims3::new(32, 32, 30)),
@@ -107,12 +84,7 @@ fn extraction_sweep_is_superset_free() {
     // across a dense isovalue sweep, triangle counts from the database match
     // direct MC exactly (retrieving a superset of metacells must not create
     // spurious geometry)
-    let vol = GyroidField {
-        cells: 2.5,
-        level: 128.0,
-        amplitude: 70.0,
-    }
-    .sample::<u8>(Dims3::cube(28));
+    let vol = common::gyroid_vol(Dims3::cube(28));
     let dir = tmpdir("sweep");
     let db = IsoDatabase::preprocess(&vol, &dir, &PreprocessOptions::default()).unwrap();
     for iso in (40..=215).step_by(25) {
@@ -138,7 +110,7 @@ fn watertight_through_the_full_pipeline() {
     // integer isovalues put crossings exactly on shared grid vertices, whose
     // zero-area triangles confuse naive edge counting (geometry is still
     // crack-free; the canon-equality tests above cover that case).
-    let vol: Volume<u8> = SphereField::centered(0.3, 128.0).sample(Dims3::cube(33));
+    let vol: Volume<u8> = common::sphere_vol_r(0.3, Dims3::cube(33));
     let dir = tmpdir("watertight");
     let db = ClusterDatabase::preprocess(
         &vol,
@@ -233,7 +205,7 @@ proptest! {
         iso in 80.0f32..180.0,
         dim in 25usize..34,
     ) {
-        let vol: Volume<u8> = SphereField::centered(0.33, 128.0).sample(Dims3::new(dim, dim, dim - 2));
+        let vol: Volume<u8> = common::sphere_vol_r(0.33, Dims3::new(dim, dim, dim - 2));
         check_streaming_equals_batch("sphere", &vol, iso);
     }
 
@@ -242,12 +214,7 @@ proptest! {
         iso in 70.0f32..190.0,
         dim in 24usize..32,
     ) {
-        let vol: Volume<u8> = GyroidField {
-            cells: 2.5,
-            level: 128.0,
-            amplitude: 70.0,
-        }
-        .sample(Dims3::cube(dim));
+        let vol: Volume<u8> = common::gyroid_vol(Dims3::cube(dim));
         check_streaming_equals_batch("gyroid", &vol, iso);
     }
 }

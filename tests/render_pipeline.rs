@@ -8,13 +8,10 @@ use oociso::render::{
 use oociso::serve::TcpLoopbackTransport;
 use oociso::volume::field::{AnalyticField, FieldExt, SphereField, TorusField};
 use oociso::volume::Dims3;
-use std::path::PathBuf;
 
-fn tmpdir(name: &str) -> PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("oociso_rp_{}_{}", std::process::id(), name));
-    p
-}
+mod common;
+
+use common::tmpdir;
 
 #[test]
 fn cluster_composite_equals_single_node_render() {

@@ -15,27 +15,15 @@
 //!   the counted collapsed triangles when the isosurface passes through
 //!   cell corners).
 
+mod common;
+
+use common::{tmpdir, truth};
 use oociso::cluster::{Cluster, ClusterBuildOptions, ExtractMode, ExtractOptions};
 use oociso::core::{ClusterDatabase, PreprocessOptions};
-use oociso::march::{
-    analyze, analyze_mesh, analyze_mesh_connectivity, marching_cubes, TriangleSoup, Vec3,
-};
-use oociso::volume::field::{AnalyticField, FieldExt, GyroidField, SphereField, TorusField};
+use oociso::march::{analyze, analyze_mesh, analyze_mesh_connectivity, IndexedMesh};
+use oociso::volume::field::{FieldExt, GyroidField, SphereField};
 use oociso::volume::{Dims3, Volume};
 use proptest::prelude::*;
-use std::path::PathBuf;
-
-fn tmpdir(name: &str) -> PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("oociso_wt_{}_{}", std::process::id(), name));
-    p
-}
-
-fn truth(vol: &Volume<u8>, iso: f32) -> TriangleSoup {
-    let mut soup = TriangleSoup::new();
-    marching_cubes(vol, iso, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), &mut soup);
-    soup
-}
 
 fn extract_with(
     cluster: &Cluster<u8>,
@@ -51,49 +39,21 @@ fn extract_with(
                 workers: Some(workers),
                 mode,
                 weld,
+                ..Default::default()
             },
         )
         .unwrap()
         .into_merged()
 }
 
-/// A gyroid clipped inside a ball so its isosurface closes strictly inside
-/// the volume (the raw gyroid exits through every volume face).
-#[derive(Clone, Copy)]
-struct ClippedGyroid {
-    gyroid: GyroidField,
-    clip: SphereField,
-}
-
-impl ClippedGyroid {
-    fn new() -> Self {
-        ClippedGyroid {
-            gyroid: GyroidField {
-                cells: 2.0,
-                level: 128.0,
-                amplitude: 80.0,
-            },
-            clip: SphereField {
-                center: [0.5, 0.5, 0.5],
-                radius: 0.36,
-                level: 128.0,
-                slope: 600.0,
-            },
-        }
-    }
-}
-
-impl AnalyticField for ClippedGyroid {
-    fn eval(&self, x: f32, y: f32, z: f32) -> f32 {
-        self.gyroid.eval(x, y, z).min(self.clip.eval(x, y, z))
-    }
-}
-
 /// The property behind the suite: for a closed field, every (mode × workers
 /// × metacell size) combination of the welded out-of-core extraction yields
 /// the exact topology of a direct in-memory marching-cubes pass — closed,
 /// manifold, same Euler characteristic — on a 3-node cluster whose striping
-/// puts node seams everywhere.
+/// puts node seams everywhere. The same matrix also covers LOD determinism:
+/// quadric decimation of each combination's welded mesh must be
+/// byte-identical within a metacell size (the meshes themselves are), and
+/// must stay closed-manifold with the reference Euler characteristic.
 fn check_watertight_everywhere(name: &str, vol: &Volume<u8>, iso: f32, expect_components: usize) {
     let reference = analyze(&truth(vol, iso));
     assert!(
@@ -113,6 +73,9 @@ fn check_watertight_everywhere(name: &str, vol: &Volume<u8>, iso: f32, expect_co
             },
         )
         .unwrap();
+        // decimation baseline for this metacell size (triangle stream order
+        // differs across k, so bit-identity is asserted within each k)
+        let mut decimated_baseline: Option<IndexedMesh> = None;
         for mode in [ExtractMode::default(), ExtractMode::Batch] {
             for workers in [1usize, 2, 8] {
                 let ctx = format!("{name} iso={iso} k={metacell_k} {mode:?} workers={workers}");
@@ -138,6 +101,38 @@ fn check_watertight_everywhere(name: &str, vol: &Volume<u8>, iso: f32, expect_co
                     report.total_weld().vertices_merged() > 0,
                     "{ctx}: seams must exist for the weld to close"
                 );
+
+                // LOD determinism rides the same matrix: decimation is a
+                // pure function of the welded mesh, so every mode/worker
+                // combination must decimate to the same bytes and keep the
+                // closed-manifold topology class
+                let (decimated, dstats) = oociso::march::decimate_to_ratio(&mesh, 0.25);
+                let dtopo = analyze_mesh_connectivity(&decimated);
+                assert!(dtopo.is_closed(), "{ctx}: decimated: {dtopo:?}");
+                // where the quantized field genuinely self-touches the
+                // reference already has a non-manifold pinch; decimation
+                // pins it — the count must carry over exactly, never grow
+                assert_eq!(
+                    dtopo.non_manifold_edges, reference.non_manifold_edges,
+                    "{ctx}: decimated: {dtopo:?}"
+                );
+                assert_eq!(
+                    dtopo.euler_characteristic(),
+                    reference.euler_characteristic(),
+                    "{ctx}: decimation changed the Euler characteristic"
+                );
+                assert_eq!(dtopo.components, reference.components, "{ctx}");
+                assert!(
+                    dstats.output_vertices < dstats.input_vertices,
+                    "{ctx}: {dstats:?}"
+                );
+                match &decimated_baseline {
+                    None => decimated_baseline = Some(decimated),
+                    Some(base) => assert_eq!(
+                        &decimated, base,
+                        "{ctx}: decimated mesh must be bit-identical across modes/workers"
+                    ),
+                }
             }
         }
         std::fs::remove_dir_all(&dir).ok();
@@ -164,7 +159,7 @@ proptest! {
         iso_step in 123u32..134,
     ) {
         let iso = iso_step as f32 + 0.5;
-        let vol: Volume<u8> = ClippedGyroid::new().sample(Dims3::cube(dim));
+        let vol: Volume<u8> = common::clipped_gyroid_vol(Dims3::cube(dim));
         let reference = analyze(&truth(&vol, iso));
         // the clipped gyroid's genus (and component count) depends on dim and
         // iso; take the component count from ground truth and let
@@ -243,43 +238,7 @@ fn welding_closes_node_seams_that_unwelded_merge_leaves_open() {
 /// is weld-agnostic by construction) is unchanged.
 #[test]
 fn welding_is_topology_only_across_the_field_zoo() {
-    let fields: Vec<(&str, Volume<u8>)> = vec![
-        (
-            "sphere",
-            SphereField::centered(0.31, 128.0).sample(Dims3::new(30, 28, 26)),
-        ),
-        (
-            "torus",
-            TorusField {
-                major: 0.3,
-                minor: 0.12,
-                level: 128.0,
-                slope: 300.0,
-            }
-            .sample(Dims3::new(31, 31, 23)),
-        ),
-        (
-            "gyroid",
-            GyroidField {
-                cells: 2.5,
-                level: 128.0,
-                amplitude: 70.0,
-            }
-            .sample(Dims3::cube(28)),
-        ),
-        (
-            "noise",
-            oociso::volume::field::NoiseField {
-                seed: 9,
-                frequency: 4.0,
-                octaves: 3,
-                lo: 40.0,
-                hi: 215.0,
-            }
-            .sample(Dims3::cube(26)),
-        ),
-    ];
-    for (name, vol) in &fields {
+    for (name, vol) in &common::zoo() {
         let dir = tmpdir(&format!("zoo_{name}"));
         let db = ClusterDatabase::preprocess(
             vol,
