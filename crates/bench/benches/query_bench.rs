@@ -182,12 +182,75 @@ fn bench_decimate(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_admission_storm(c: &mut Criterion) {
+    // an 8-client miss storm against a live TCP server: unbounded admission
+    // vs 2 extraction slots with busy-retrying clients. The 1-byte cache
+    // budget makes every mesh oversized for the cache, so all 24 queries per
+    // iteration pay a full uncached extraction and the slots are genuinely
+    // contended. Admission bounds peak memory/CPU (never more than 2
+    // extractions in flight) at the cost of retry round-trips — this group
+    // prices that trade
+    use oociso_core::{ClusterDatabase, PreprocessOptions};
+    use oociso_serve::{Client, ClientOptions, IsoServer, ServeOptions};
+    let dims = Dims3::new(48, 48, 44);
+    let vol = RmProxy::with_seed(7).volume(200, dims);
+    let dir = std::env::temp_dir().join(format!("oociso_qbench_storm_{}", std::process::id()));
+    ClusterDatabase::preprocess(&vol, &dir, &PreprocessOptions::default()).unwrap();
+    let isovalues = [90.0f32, 110.0, 130.0];
+    let clients = 8usize;
+    let mut group = c.benchmark_group("admission_storm");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((clients * isovalues.len()) as u64));
+    for (name, slots) in [("admit_all", None), ("slots2", Some(2u32))] {
+        let db = ClusterDatabase::<u8>::open(&dir, true).unwrap();
+        let server = IsoServer::bind(
+            db,
+            ("127.0.0.1", 0),
+            ServeOptions {
+                cache_bytes: 1,
+                extraction_slots: slots,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        group.bench_function(BenchmarkId::new("storm_8x3", name), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for t in 0..clients {
+                        scope.spawn(move || {
+                            let mut client = Client::connect_with(
+                                addr,
+                                ClientOptions {
+                                    retries: 256,
+                                    backoff: Duration::from_millis(2),
+                                    backoff_max: Duration::from_millis(40),
+                                    jitter_seed: 0xBEEF ^ t as u64,
+                                    ..Default::default()
+                                },
+                            )
+                            .unwrap();
+                            for &iso in &isovalues {
+                                client.query_mesh(iso, None).unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        server.stop();
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 criterion_group!(
     benches,
     bench_extract,
     bench_isovalue_sensitivity,
     bench_worker_scaling,
     bench_pipeline_overlap,
-    bench_decimate
+    bench_decimate,
+    bench_admission_storm
 );
 criterion_main!(benches);

@@ -57,6 +57,17 @@ impl Options {
         }
     }
 
+    /// Optional parsed numeric option without a default — `None` when absent.
+    pub fn opt_num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.map.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse `{v}`")),
+        }
+    }
+
     /// Dimensions option `NXxNYxNZ`.
     pub fn dims(&self, key: &str, default: Dims3) -> Result<Dims3, String> {
         match self.map.get(key) {
@@ -107,6 +118,9 @@ mod tests {
         assert!(o.flag("topology"));
         assert_eq!(o.num::<f32>("iso", 0.0).unwrap(), 190.0);
         assert_eq!(o.num::<usize>("nodes", 4).unwrap(), 4);
+        assert_eq!(o.opt_num::<f32>("iso").unwrap(), Some(190.0));
+        assert_eq!(o.opt_num::<u32>("slots").unwrap(), None);
+        assert!(o.opt_num::<u32>("db").is_err());
     }
 
     #[test]

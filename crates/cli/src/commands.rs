@@ -19,10 +19,12 @@ USAGE:
                     [--decimate RATIO]
   oociso render     --db DIR --iso V --out FILE.ppm [--size N] [--tiles CxR]
   oociso serve      --db DIR [--addr 127.0.0.1:7077] [--cache-mb N] [--port-file FILE]
-                    [--lods R1,R2|none]
-  oociso query      --addr HOST:PORT --iso V [--lod N] [--obj FILE]
+                    [--lods R1,R2|none] [--slots N] [--max-conns N] [--degrade]
+                    [--read-timeout-ms N] [--idle-timeout-ms N]
+  oociso query      --addr HOST:PORT (--iso V | --stats) [--lod N] [--obj FILE]
                     [--region x0,y0,z0,x1,y1,z1]
                     [--frame FILE.ppm] [--size N] [--tiles CxR] [--stats]
+                    [--timeout MS] [--retries N]
   oociso help
 
 Generate a Richtmyer-Meshkov proxy volume, preprocess it into a striped
@@ -31,6 +33,10 @@ isosurfaces reading only the active metacells. `extract --decimate 0.25`
 quadric-simplifies the welded mesh to 25% of its vertices; `serve` exposes
 a database over TCP (binary wire protocol, LRU result cache, LOD pyramid —
 default levels 100%/25%/6%); `query --lod N` fetches pyramid level N.
+`serve --slots N` bounds concurrent extractions (overflow answers ERR_BUSY
+with a retry hint; add `--degrade` to fall back to a cached coarser LOD);
+`query --timeout MS --retries N` retries busy/torn requests with jittered
+exponential backoff.
 ";
 
 fn err(e: impl std::fmt::Display) -> String {
@@ -274,18 +280,26 @@ pub fn serve(opts: &Options) -> Result<(), String> {
             .collect::<Result<_, _>>()?,
     };
     let levels = 1 + lod_ratios.len();
+    let extraction_slots: Option<u32> = opts.opt_num("slots")?;
+    let max_connections: Option<u32> = opts.opt_num("max-conns")?;
+    let degrade = opts.flag("degrade");
+    let mut serve_opts = oociso_serve::ServeOptions {
+        cache_bytes: cache_mb << 20,
+        lod_ratios,
+        extraction_slots,
+        max_connections,
+        degrade,
+        ..Default::default()
+    };
+    if let Some(ms) = opts.opt_num::<u64>("read-timeout-ms")? {
+        serve_opts.read_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = opts.opt_num::<u64>("idle-timeout-ms")? {
+        serve_opts.idle_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
     let db = ClusterDatabase::<u8>::open(Path::new(db_dir), true).map_err(err)?;
     let nodes = db.nodes();
-    let server = oociso_serve::IsoServer::bind(
-        db,
-        addr,
-        oociso_serve::ServeOptions {
-            cache_bytes: cache_mb << 20,
-            lod_ratios,
-            ..Default::default()
-        },
-    )
-    .map_err(err)?;
+    let server = oociso_serve::IsoServer::bind(db, addr, serve_opts).map_err(err)?;
     // scripts pass --addr 127.0.0.1:0 and read the resolved port from here
     if let Some(port_file) = opts.get("port-file") {
         std::fs::write(port_file, server.addr().port().to_string()).map_err(err)?;
@@ -295,6 +309,14 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         server.addr(),
         oociso_serve::VERSION,
     );
+    if extraction_slots.is_some() || max_connections.is_some() || degrade {
+        println!(
+            "admission: {} extraction slot(s), {} connection cap, degraded fallback {}",
+            extraction_slots.map_or("unbounded".into(), |n| n.to_string()),
+            max_connections.map_or("none".into(), |n| n.to_string()),
+            if degrade { "on" } else { "off" }
+        );
+    }
     server.park()
 }
 
@@ -302,9 +324,11 @@ pub fn serve(opts: &Options) -> Result<(), String> {
 /// the wire.
 pub fn query(opts: &Options) -> Result<(), String> {
     let addr = opts.require("addr")?;
-    let iso: f32 = opts.num("iso", f32::NAN)?;
-    if iso.is_nan() {
-        return Err("missing required option --iso".into());
+    // --stats alone is a health probe (a drained or zero-slot replica still
+    // answers it); everything else needs an isovalue
+    let iso: Option<f32> = opts.opt_num("iso")?;
+    if iso.is_none() && !opts.flag("stats") {
+        return Err("missing required option --iso (or pass --stats alone to probe)".into());
     }
     let region = match opts.get("region") {
         None => None,
@@ -327,11 +351,37 @@ pub fn query(opts: &Options) -> Result<(), String> {
         }
     };
     let lod: u16 = opts.num("lod", 0)?;
-    let mut client = oociso_serve::Client::connect(addr).map_err(err)?;
+    // --timeout MS bounds each request round-trip (0 = wait forever);
+    // --retries N re-attempts busy replies and torn connections with
+    // jittered exponential backoff honoring the server's retry hint
+    let mut copts = oociso_serve::ClientOptions {
+        retries: opts.num("retries", 0)?,
+        ..Default::default()
+    };
+    if let Some(ms) = opts.opt_num::<u64>("timeout")? {
+        copts.request_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    let mut client = oociso_serve::Client::connect_with(addr, copts).map_err(err)?;
+    if let Some(iso) = iso {
+        query_iso(opts, &mut client, iso, region, lod)?;
+    }
+    if opts.flag("stats") {
+        print_stats(&mut client)?;
+    }
+    Ok(())
+}
+
+fn query_iso(
+    opts: &Options,
+    client: &mut oociso_serve::Client,
+    iso: f32,
+    region: Option<oociso_serve::Region>,
+    lod: u16,
+) -> Result<(), String> {
     let t = std::time::Instant::now();
     let reply = client.query_mesh_lod(iso, region, lod).map_err(err)?;
     println!(
-        "isovalue {iso} (lod {lod}): {} triangles ({} welded vertices), {} active metacells, {} in {:.3}s",
+        "isovalue {iso} (lod {lod}): {} triangles ({} welded vertices), {} active metacells, {} in {:.3}s{}",
         reply.mesh.len(),
         reply.mesh.num_vertices(),
         reply.active_metacells,
@@ -340,7 +390,12 @@ pub fn query(opts: &Options) -> Result<(), String> {
         } else {
             "cache miss"
         },
-        t.elapsed().as_secs_f64()
+        t.elapsed().as_secs_f64(),
+        if reply.degraded {
+            format!(" [degraded: served lod {}]", reply.served_lod)
+        } else {
+            String::new()
+        }
     );
     if let Some(obj) = opts.get("obj") {
         reply.mesh.write_obj(Path::new(obj)).map_err(err)?;
@@ -383,37 +438,43 @@ pub fn query(opts: &Options) -> Result<(), String> {
             },
         );
     }
-    if opts.flag("stats") {
-        let s = client.stats().map_err(err)?;
-        println!(
-            "server: {} connection(s), {} request(s) ({} mesh, {} frame, {} error), {:.1} MB out",
-            s.connections,
-            s.requests,
-            s.mesh_requests,
-            s.frame_requests,
-            s.errors,
-            s.bytes_out as f64 / 1e6
-        );
-        println!(
-            "cache: {} hit(s) / {} miss(es), {} eviction(s), {:.1} MB resident in {} entrie(s)",
-            s.cache_hits,
-            s.cache_misses,
-            s.cache_evictions,
-            s.cache_resident_bytes as f64 / 1e6,
-            s.cache_resident_entries
-        );
-        let per_level: Vec<String> = s
-            .lod_hits
-            .iter()
-            .zip(&s.lod_misses)
-            .enumerate()
-            .filter(|(_, (&h, &m))| h + m > 0)
-            .map(|(i, (h, m))| format!("L{i} {h}/{m}"))
-            .collect();
-        if !per_level.is_empty() {
-            println!("cache per lod (hits/misses): {}", per_level.join(", "));
-        }
+    Ok(())
+}
+
+fn print_stats(client: &mut oociso_serve::Client) -> Result<(), String> {
+    let s = client.stats().map_err(err)?;
+    println!(
+        "server: {} connection(s), {} request(s) ({} mesh, {} frame, {} error), {:.1} MB out",
+        s.connections,
+        s.requests,
+        s.mesh_requests,
+        s.frame_requests,
+        s.errors,
+        s.bytes_out as f64 / 1e6
+    );
+    println!(
+        "cache: {} hit(s) / {} miss(es), {} eviction(s), {:.1} MB resident in {} entrie(s)",
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
+        s.cache_resident_bytes as f64 / 1e6,
+        s.cache_resident_entries
+    );
+    let per_level: Vec<String> = s
+        .lod_hits
+        .iter()
+        .zip(&s.lod_misses)
+        .enumerate()
+        .filter(|(_, (&h, &m))| h + m > 0)
+        .map(|(i, (h, m))| format!("L{i} {h}/{m}"))
+        .collect();
+    if !per_level.is_empty() {
+        println!("cache per lod (hits/misses): {}", per_level.join(", "));
     }
+    println!(
+        "overload: shed={} degraded={} timed_out={} drained={} accept_backoffs={} active_conns={}",
+        s.shed, s.degraded, s.timed_out, s.drained, s.accept_backoffs, s.active_connections
+    );
     Ok(())
 }
 

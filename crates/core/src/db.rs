@@ -179,6 +179,12 @@ impl<S: ScalarValue> ClusterDatabase<S> {
         self.cluster.nodes()
     }
 
+    /// Swap node `node`'s brick store — how tests and benchmarks interpose
+    /// a throttled or fault-injecting device on the read path.
+    pub fn replace_store(&mut self, node: usize, store: oociso_exio::RecordStore) {
+        self.cluster.replace_store(node, store);
+    }
+
     /// Total index size in bytes across all nodes (paper-style entry
     /// encoding; the RM single-step index is ~6 KB).
     pub fn index_bytes(&self) -> u64 {

@@ -1,0 +1,269 @@
+//! Deterministic fault injection on the read path.
+//!
+//! Out-of-core serving must survive the disk failing mid-extraction — but a
+//! robustness claim is only testable if the failure can be produced on
+//! demand and **reproducibly**. [`FaultyDevice`] wraps any [`BlockDevice`]
+//! and injects errors and delays by a seeded, per-read-index schedule: the
+//! decision for read *i* is a pure function of `(seed, i)`, so a given
+//! seed always produces the same fault pattern regardless of timing (and
+//! regardless of thread interleaving, as long as the read *count* reaching
+//! the device is fixed — each node's plan executes its reads sequentially
+//! on one thread, which is why the chaos suite pins its fixtures to one
+//! node). A deterministic index window ([`FaultPlan::fail_reads`])
+//! additionally scripts exact "first K reads fail, then the disk heals"
+//! scenarios without probability at all.
+//!
+//! Transport-level faults live in `oociso_serve::chaos`; see
+//! `docs/robustness.md` for the full injection matrix.
+
+use crate::device::BlockDevice;
+use crate::stats::IoStats;
+use std::io;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The fault schedule of a [`FaultyDevice`].
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed of the per-read decision hash. Same seed, same schedule.
+    pub seed: u64,
+    /// Probability a read fails with an injected I/O error.
+    pub error_rate: f64,
+    /// Probability a read is delayed by `delay` before proceeding.
+    pub delay_rate: f64,
+    /// The injected delay.
+    pub delay: Duration,
+    /// Read indices (0-based, in arrival order) that **always** fail —
+    /// deterministic scripting independent of the probabilistic rates.
+    /// `Some(0..k)` means "the first k reads fail, then the disk heals".
+    pub fail_reads: Option<Range<u64>>,
+    /// Cap on total injected errors (`u64::MAX` = unlimited). With
+    /// `error_rate: 1.0` this scripts "exactly the next N reads fail".
+    pub max_errors: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0x0BAD_D15C,
+            error_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::ZERO,
+            fail_reads: None,
+            max_errors: u64::MAX,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A schedule where exactly the first `k` reads fail, after which the
+    /// device is healthy — the "transient disk fault" script.
+    pub fn fail_first(k: u64) -> Self {
+        FaultPlan {
+            fail_reads: Some(0..k),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// splitmix64: a tiny, high-quality mixer — the per-read decision is
+/// `mix(seed, index, salt)`, a pure function, never shared mutable state.
+fn mix(seed: u64, index: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A draw in `[0, 1)` for read `index` under `salt`.
+fn draw(seed: u64, index: u64, salt: u64) -> f64 {
+    (mix(seed, index, salt) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A [`BlockDevice`] that injects scheduled faults on reads, delegating
+/// everything else (data, accounting) to the wrapped device.
+pub struct FaultyDevice<D: BlockDevice> {
+    inner: D,
+    plan: FaultPlan,
+    reads: AtomicU64,
+    injected_errors: AtomicU64,
+    injected_delays: AtomicU64,
+}
+
+impl<D: BlockDevice> FaultyDevice<D> {
+    pub fn new(inner: D, plan: FaultPlan) -> Self {
+        assert!((0.0..=1.0).contains(&plan.error_rate));
+        assert!((0.0..=1.0).contains(&plan.delay_rate));
+        FaultyDevice {
+            inner,
+            plan,
+            reads: AtomicU64::new(0),
+            injected_errors: AtomicU64::new(0),
+            injected_delays: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Reads that reached this wrapper (failed ones included).
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::SeqCst)
+    }
+
+    /// Errors injected so far.
+    pub fn injected_errors(&self) -> u64 {
+        self.injected_errors.load(Ordering::SeqCst)
+    }
+
+    /// Delays injected so far.
+    pub fn injected_delays(&self) -> u64 {
+        self.injected_delays.load(Ordering::SeqCst)
+    }
+
+    /// Whether read `index` is scheduled to fail (ignoring `max_errors`).
+    fn scheduled_to_fail(&self, index: u64) -> bool {
+        if self
+            .plan
+            .fail_reads
+            .as_ref()
+            .is_some_and(|w| w.contains(&index))
+        {
+            return true;
+        }
+        self.plan.error_rate > 0.0 && draw(self.plan.seed, index, 1) < self.plan.error_rate
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let index = self.reads.fetch_add(1, Ordering::SeqCst);
+        if self.plan.delay_rate > 0.0 && draw(self.plan.seed, index, 2) < self.plan.delay_rate {
+            self.injected_delays.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(self.plan.delay);
+        }
+        if self.scheduled_to_fail(index) {
+            // the cap is claimed atomically so concurrent readers can never
+            // inject more than max_errors in total
+            let claimed = self
+                .injected_errors
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n < self.plan.max_errors).then_some(n + 1)
+                })
+                .is_ok();
+            if claimed {
+                return Err(io::Error::other(format!(
+                    "injected fault at read #{index} (offset {offset}, {} bytes)",
+                    buf.len()
+                )));
+            }
+        }
+        self.inner.read_at(offset, buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+
+    fn block_bytes(&self) -> u64 {
+        self.inner.block_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+
+    fn device(plan: FaultPlan) -> FaultyDevice<MemDevice> {
+        FaultyDevice::new(
+            MemDevice::new((0..=255u8).cycle().take(4096).collect()),
+            plan,
+        )
+    }
+
+    /// The observed pass/fail schedule of the first `n` reads.
+    fn schedule(d: &FaultyDevice<MemDevice>, n: usize) -> Vec<bool> {
+        (0..n)
+            .map(|i| {
+                let mut buf = [0u8; 16];
+                d.read_at((i as u64 * 16) % 4096, &mut buf).is_ok()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_different() {
+        let plan = FaultPlan {
+            seed: 42,
+            error_rate: 0.3,
+            ..FaultPlan::default()
+        };
+        let a = schedule(&device(plan.clone()), 256);
+        let b = schedule(&device(plan.clone()), 256);
+        assert_eq!(a, b, "a seed fully determines the fault schedule");
+        let c = schedule(&device(FaultPlan { seed: 43, ..plan }), 256);
+        assert_ne!(a, c, "a different seed gives a different schedule");
+        let failures = a.iter().filter(|ok| !**ok).count();
+        assert!(
+            (30..=120).contains(&failures),
+            "error_rate 0.3 over 256 reads injected {failures} failures"
+        );
+    }
+
+    #[test]
+    fn fail_first_window_fails_exactly_then_heals() {
+        let d = device(FaultPlan::fail_first(5));
+        let s = schedule(&d, 20);
+        assert_eq!(s[..5], [false; 5], "first 5 reads fail");
+        assert!(s[5..].iter().all(|ok| *ok), "the disk heals after");
+        assert_eq!(d.injected_errors(), 5);
+        assert_eq!(d.reads(), 20);
+    }
+
+    #[test]
+    fn max_errors_caps_injection() {
+        let d = device(FaultPlan {
+            error_rate: 1.0,
+            max_errors: 3,
+            ..FaultPlan::default()
+        });
+        let s = schedule(&d, 10);
+        assert_eq!(s[..3], [false; 3]);
+        assert!(s[3..].iter().all(|ok| *ok));
+        assert_eq!(d.injected_errors(), 3);
+    }
+
+    #[test]
+    fn delays_are_injected_and_counted_and_data_is_untouched() {
+        let d = device(FaultPlan {
+            delay_rate: 1.0,
+            delay: Duration::from_millis(5),
+            ..FaultPlan::default()
+        });
+        let t0 = std::time::Instant::now();
+        let mut buf = [0u8; 8];
+        d.read_at(8, &mut buf).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert_eq!(d.injected_delays(), 1);
+        assert_eq!(buf, [8, 9, 10, 11, 12, 13, 14, 15], "data flows untouched");
+    }
+
+    #[test]
+    fn injected_errors_do_not_poison_the_device() {
+        let d = device(FaultPlan::fail_first(1));
+        let mut buf = [0u8; 4];
+        assert!(d.read_at(0, &mut buf).is_err());
+        d.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [0, 1, 2, 3]);
+    }
+}

@@ -20,6 +20,9 @@
 //!   channel the streaming extraction pipeline uses to overlap AMC retrieval
 //!   with triangulation, and [`throttle::ThrottledDevice`] to make that
 //!   overlap measurable on page-cache-speed storage.
+//! * **Fault injection** — [`faulty::FaultyDevice`]: deterministic seeded
+//!   error/delay schedules on the read path, the disk half of the chaos
+//!   test harness.
 //! * **Positioned writes** — [`write_at::WriteAt`]: the portable write-side
 //!   abstraction beneath out-of-core preprocessing.
 
@@ -27,6 +30,7 @@ pub mod block;
 pub mod cost;
 pub mod device;
 pub mod farm;
+pub mod faulty;
 pub mod queue;
 pub mod stats;
 pub mod store;
@@ -37,6 +41,7 @@ pub use block::{blocks_spanned, DEFAULT_BLOCK_BYTES};
 pub use cost::IoCostModel;
 pub use device::{BlockDevice, FileDevice, MemDevice};
 pub use farm::DiskFarm;
+pub use faulty::{FaultPlan, FaultyDevice};
 pub use queue::{BoundedQueue, QueueStats, QueueWaits};
 pub use stats::{IoSnapshot, IoStats};
 pub use store::{RecordStore, RecordStoreWriter, Span};

@@ -140,6 +140,25 @@ impl ResultCache {
         }
     }
 
+    /// The finest **resident** level coarser than `lod` for `iso`, probing
+    /// `lod + 1..levels` in order — the graceful-degradation fallback. The
+    /// levels skipped over are peeked invisibly; the level returned is
+    /// booked as a regular hit (it *was* served) and refreshed in recency.
+    pub fn coarser(
+        &mut self,
+        iso: f32,
+        lod: u16,
+        levels: u16,
+    ) -> Option<(u16, Arc<CachedSurface>)> {
+        for l in lod + 1..levels {
+            if self.peek(iso, l).is_some() {
+                let hit = self.get(iso, l).expect("peeked entry vanished");
+                return Some((l, hit));
+            }
+        }
+        None
+    }
+
     /// Refresh an entry's recency (most recently used) without touching any
     /// counter. No-op when absent.
     pub fn touch(&mut self, iso: f32, lod: u16) {
@@ -309,6 +328,27 @@ mod tests {
         assert!(c.peek(1.0, 0).is_some(), "touched entry must survive");
         assert!(c.peek(2.0, 0).is_none(), "untouched entry evicted");
         assert_eq!(c.stats().hits, 1, "touch books nothing");
+    }
+
+    #[test]
+    fn coarser_finds_the_finest_resident_fallback() {
+        let mut c = ResultCache::new(10_000);
+        // levels 0 and 1 absent, 2 and 3 resident
+        c.insert(1.0, 2, surface(2));
+        c.insert(1.0, 3, surface(1));
+        let (level, hit) = c.coarser(1.0, 0, 4).expect("level 2 is resident");
+        assert_eq!(level, 2, "finest resident coarser level wins");
+        assert_eq!(hit.mesh.len(), 2);
+        // exactly one hit booked — the level served — and none for the
+        // levels probed past
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 0));
+        assert_eq!(s.lod_hits, [0, 0, 1, 0]);
+        // nothing coarser than the coarsest resident level
+        assert!(c.coarser(1.0, 3, 4).is_none());
+        // nothing resident at all for another isovalue
+        assert!(c.coarser(2.0, 0, 4).is_none());
+        assert_eq!(c.stats().misses, 0, "failed probes book nothing");
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Fault injection for the transport: a byte-level chaos wrapper and a
+//! TCP proxy that applies scripted faults per connection.
+//!
+//! The robustness claims of the serving layer ("the retrying client
+//! converges through a flaky network", "a mid-frame disconnect never
+//! corrupts a result") are only testable if flakiness can be produced on
+//! demand, deterministically. Two pieces:
+//!
+//! * [`ChaosStream`] wraps any `Read` and applies one [`ConnFault`] to the
+//!   byte stream — truncate after N bytes (a mid-frame disconnect when N
+//!   lands inside a frame), or stall for a fixed pause at byte N (a
+//!   deadline trigger).
+//! * [`ChaosProxy`] listens on an ephemeral port, forwards each accepted
+//!   connection to a real upstream server, and applies a scripted fault to
+//!   the **response** stream of connection *i* — the *i*-th entry of its
+//!   plan (connections beyond the plan run clean). A sequential client
+//!   (the retrying [`crate::Client`] redials one connection at a time)
+//!   therefore sees an exactly reproducible fault schedule.
+//!
+//! The faults here are transport-level; disk-level faults live in
+//! `oociso_exio::FaultyDevice`. See `docs/robustness.md` for the matrix.
+
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One scripted fault applied to a proxied connection's response stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Forward everything untouched.
+    Clean,
+    /// Forward only the first `after_bytes` response bytes, then sever the
+    /// connection — a mid-frame disconnect when the cut lands inside a
+    /// frame (response headers are 16 bytes, so almost any small value
+    /// does).
+    TruncateResponse { after_bytes: u64 },
+    /// Pause the response stream once for `pause` after `after_bytes` have
+    /// been forwarded, then continue normally — long enough a pause trips
+    /// the client's read deadline.
+    Stall { after_bytes: u64, pause: Duration },
+    /// Accept the connection and immediately drop it without forwarding
+    /// anything — the client's write may land in a buffer, but the read
+    /// sees an EOF/reset.
+    Refuse,
+}
+
+/// A `Read` adapter applying one [`ConnFault`] to the bytes flowing
+/// through it. Truncation surfaces as a clean EOF (`Ok(0)`) so the driver
+/// can sever the underlying socket; a stall is a one-shot blocking sleep.
+pub struct ChaosStream<R> {
+    inner: R,
+    fault: ConnFault,
+    forwarded: u64,
+    stalled: bool,
+}
+
+impl<R> ChaosStream<R> {
+    pub fn new(inner: R, fault: ConnFault) -> Self {
+        ChaosStream {
+            inner,
+            fault,
+            forwarded: 0,
+            stalled: false,
+        }
+    }
+
+    /// Bytes passed through so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl<R: Read> Read for ChaosStream<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let cap = match self.fault {
+            ConnFault::Clean => buf.len() as u64,
+            ConnFault::Refuse => return Ok(0),
+            ConnFault::TruncateResponse { after_bytes } => {
+                after_bytes.saturating_sub(self.forwarded)
+            }
+            ConnFault::Stall { after_bytes, pause } => {
+                if !self.stalled && self.forwarded >= after_bytes {
+                    self.stalled = true;
+                    std::thread::sleep(pause);
+                }
+                buf.len() as u64
+            }
+        };
+        if cap == 0 {
+            return Ok(0); // truncation point reached: EOF
+        }
+        let want = (cap.min(buf.len() as u64)) as usize;
+        let n = self.inner.read(&mut buf[..want])?;
+        self.forwarded += n as u64;
+        Ok(n)
+    }
+}
+
+/// A TCP fault-injection proxy in front of a real server.
+///
+/// Connection *i* (in accept order) gets `plan[i]`; connections past the
+/// end of the plan run [`ConnFault::Clean`]. Requests always flow through
+/// untouched — the faults model a flaky server/network as seen by the
+/// client, which is where retry logic lives.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accepted: Arc<AtomicU64>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Bind an ephemeral local port and start proxying to `upstream` under
+    /// `plan`.
+    pub fn start(upstream: SocketAddr, plan: Vec<ConnFault>) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let loop_shutdown = shutdown.clone();
+        let loop_accepted = accepted.clone();
+        let accept_loop = std::thread::Builder::new()
+            .name("oociso-chaos".to_string())
+            .spawn(move || {
+                while !loop_shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            let idx = loop_accepted.fetch_add(1, Ordering::SeqCst) as usize;
+                            let fault = plan.get(idx).cloned().unwrap_or(ConnFault::Clean);
+                            if fault == ConnFault::Refuse {
+                                let _ = client.shutdown(Shutdown::Both);
+                                continue;
+                            }
+                            // connection setup errors just drop the client —
+                            // from its side that is one more fault to retry
+                            let _ = pipe_connection(client, upstream, fault);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::park_timeout(Duration::from_millis(2));
+                        }
+                        Err(_) => std::thread::park_timeout(Duration::from_millis(10)),
+                    }
+                }
+            })?;
+        Ok(ChaosProxy {
+            addr,
+            shutdown,
+            accepted,
+            accept_loop: Some(accept_loop),
+        })
+    }
+
+    /// The proxy's listening address (what clients dial).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far — how a test asserts exactly how many
+    /// attempts a client needed to converge.
+    pub fn connections(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting. Connections already being piped run to completion
+    /// on their own threads.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_loop.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Wire one proxied connection: requests copied to the upstream untouched,
+/// responses copied back through a [`ChaosStream`]. When the response pipe
+/// ends (fault-truncated or upstream EOF), both sockets are severed so the
+/// client observes a hard disconnect, not a half-open stall.
+fn pipe_connection(client: TcpStream, upstream: SocketAddr, fault: ConnFault) -> io::Result<()> {
+    let server = TcpStream::connect(upstream)?;
+    let mut client_r = client.try_clone()?;
+    let mut server_w = server.try_clone()?;
+    let client_w = client;
+    let server_r = server;
+    std::thread::Builder::new()
+        .name("oociso-chaos-up".to_string())
+        .spawn(move || {
+            let _ = io::copy(&mut client_r, &mut server_w);
+            let _ = server_w.shutdown(Shutdown::Write);
+        })?;
+    std::thread::Builder::new()
+        .name("oociso-chaos-down".to_string())
+        .spawn(move || {
+            let mut faulty = ChaosStream::new(server_r, fault);
+            let mut client_w = client_w;
+            let _ = io::copy(&mut faulty, &mut client_w);
+            let _ = client_w.shutdown(Shutdown::Both);
+            let _ = faulty.inner.shutdown(Shutdown::Both);
+        })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_stream_truncates_at_the_exact_byte() {
+        let data = (0u8..200).collect::<Vec<_>>();
+        let mut s = ChaosStream::new(&data[..], ConnFault::TruncateResponse { after_bytes: 37 });
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        assert_eq!(out, &data[..37], "exactly the first 37 bytes pass");
+        assert_eq!(s.forwarded(), 37);
+    }
+
+    #[test]
+    fn chaos_stream_clean_is_transparent() {
+        let data = vec![9u8; 4096];
+        let mut s = ChaosStream::new(&data[..], ConnFault::Clean);
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn chaos_stream_stall_pauses_once_then_continues() {
+        let data = vec![1u8; 64];
+        let pause = Duration::from_millis(30);
+        let mut s = ChaosStream::new(
+            &data[..],
+            ConnFault::Stall {
+                after_bytes: 10,
+                pause,
+            },
+        );
+        let mut out = Vec::new();
+        let t0 = std::time::Instant::now();
+        s.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data, "a stall delays, it does not drop bytes");
+        assert!(t0.elapsed() >= pause, "the pause actually happened");
+    }
+}

@@ -1,12 +1,34 @@
-//! Blocking client for the query server.
+//! Blocking client for the query server, with per-request deadlines and
+//! structured retry.
+//!
+//! The pre-v3 client trusted the server completely: a stalled peer hung
+//! `query_mesh` forever, and any hiccup was the caller's problem.
+//! [`ClientOptions`] makes the failure policy explicit:
+//!
+//! * **Deadlines** — socket read/write timeouts bound every request;
+//!   expiry surfaces as [`io::ErrorKind::TimedOut`].
+//! * **Overload** — a structured `ERR_BUSY` reply is retried with jittered
+//!   exponential backoff, honoring the server's `retry_after_ms` hint.
+//!   The jitter is seeded and deterministic per client, so tests replay
+//!   exactly.
+//! * **Torn connections** — resets, EOFs, and timeouts mid-exchange are
+//!   retried by reconnecting, but **only for idempotent requests** (every
+//!   current request type is a read; a future mutating message must opt
+//!   out via [`idempotent`]) — a retry can duplicate a request, and only
+//!   idempotence makes that safe.
+//!
+//! Server-reported failures carry their protocol error code as a typed
+//! [`ServerError`] inside the `io::Error`, so callers can tell an honest
+//! `ERR_BUSY` from a malformed request without string matching.
 
 use crate::protocol::{
     encode_frame_raw, read_frame, write_frame, FrameIn, FrameParams, Message, Region, ServerReport,
+    ERR_BUSY,
 };
 use oociso_march::IndexedMesh;
 use oociso_render::Framebuffer;
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// A decoded mesh reply plus its serving metadata.
@@ -18,6 +40,12 @@ pub struct MeshReply {
     pub cache_hit: bool,
     /// Active metacells of the producing extraction.
     pub active_metacells: u64,
+    /// The LOD level the server actually served (equals the requested
+    /// level unless `degraded`; always 0 from pre-v3 servers).
+    pub served_lod: u16,
+    /// True when the server satisfied the request from a cached coarser
+    /// level under overload instead of shedding it.
+    pub degraded: bool,
 }
 
 /// A decoded framebuffer reply.
@@ -31,9 +59,42 @@ pub struct FrameReply {
     pub regions: Vec<oociso_render::FrameRegion>,
 }
 
-/// A server-reported failure, lifted out of the error frame.
-fn server_error(code: u16, detail: String) -> io::Error {
-    io::Error::other(format!("server error {code}: {detail}"))
+/// A failure the server reported in a structured error frame, preserved
+/// with its protocol code (and, for `ERR_BUSY`, the retry hint) so callers
+/// can dispatch on it: `err.get_ref()` downcasts to `ServerError`, or use
+/// [`ServerError::from_io`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    /// The `ERR_*` protocol code.
+    pub code: u16,
+    /// Human-readable detail from the server.
+    pub detail: String,
+    /// The server's retry-after hint, when it sent one (`ERR_BUSY` on v3).
+    pub retry_after_ms: Option<u32>,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server error {}: {}", self.code, self.detail)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl ServerError {
+    /// The typed server error inside `e`, if that is what `e` carries.
+    pub fn from_io(e: &io::Error) -> Option<&ServerError> {
+        e.get_ref().and_then(|inner| inner.downcast_ref())
+    }
+}
+
+/// Lift a server error frame into an `io::Error` carrying the typed code.
+fn server_error(code: u16, detail: String, retry_after_ms: Option<u32>) -> io::Error {
+    io::Error::other(ServerError {
+        code,
+        detail,
+        retry_after_ms,
+    })
 }
 
 fn unexpected(msg: &Message) -> io::Error {
@@ -43,29 +104,193 @@ fn unexpected(msg: &Message) -> io::Error {
     )
 }
 
+/// Can this request be safely sent twice? A torn connection leaves the
+/// client unsure whether the server processed the request, so reconnect-
+/// and-retry may duplicate it — only allowed when duplication is harmless.
+/// Every current request is a pure read; anything else (including all
+/// server-to-client types, which a client never retries anyway) is not.
+fn idempotent(msg: &Message) -> bool {
+    matches!(
+        msg,
+        Message::MeshRequest { .. }
+            | Message::FrameRequest { .. }
+            | Message::StatsRequest
+            | Message::Ping { .. }
+    )
+}
+
+/// Did this error tear the connection (or leave it in an unknowable
+/// mid-frame state)? These are the reconnect-and-retry errors.
+fn torn(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::WriteZero
+            | io::ErrorKind::TimedOut
+    )
+}
+
+/// Socket-timeout expiry surfaces as `WouldBlock` on Unix; normalize to
+/// `TimedOut` so callers see one deadline error kind.
+fn map_timeout(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::WouldBlock {
+        io::Error::new(io::ErrorKind::TimedOut, e)
+    } else {
+        e
+    }
+}
+
+/// Client failure policy: deadlines and retry/backoff tuning.
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// Socket read/write deadline per request attempt; expiry surfaces as
+    /// [`io::ErrorKind::TimedOut`]. `None` waits forever (the pre-v3
+    /// behavior). Default 30 s.
+    pub request_timeout: Option<Duration>,
+    /// Extra attempts after the first, spent on `ERR_BUSY` replies and —
+    /// for idempotent requests — torn connections. Default 0: fail fast,
+    /// exactly like the pre-v3 client.
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles each retry. Default
+    /// 50 ms.
+    pub backoff: Duration,
+    /// Ceiling on the exponential backoff (a server `retry_after_ms` hint
+    /// may still exceed it — the server knows better). Default 2 s.
+    pub backoff_max: Duration,
+    /// Seed for the deterministic backoff jitter. Two clients with
+    /// different seeds desynchronize their retry storms; one seed always
+    /// replays the same schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            request_timeout: Some(Duration::from_secs(30)),
+            retries: 0,
+            backoff: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            jitter_seed: 0x5EED_CAFE,
+        }
+    }
+}
+
 /// A blocking connection to an [`crate::IsoServer`].
 pub struct Client {
     stream: TcpStream,
+    /// The peer actually connected to — what reconnect dials.
+    peer: SocketAddr,
+    opts: ClientOptions,
+    /// xorshift64* jitter state (seeded, deterministic).
+    rng: u64,
 }
 
 impl Client {
-    /// Connect to `addr`.
+    /// Connect to `addr` with the default (fail-fast, 30 s deadline)
+    /// options.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Client::connect_with(addr, ClientOptions::default())
     }
 
-    /// One request/response exchange.
-    fn roundtrip(&mut self, msg: &Message) -> io::Result<Message> {
-        write_frame(&mut self.stream, msg)?;
-        match read_frame(&mut self.stream)? {
+    /// Connect to `addr` with an explicit failure policy.
+    pub fn connect_with(addr: impl ToSocketAddrs, opts: ClientOptions) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr()?;
+        let rng = opts.jitter_seed | 1; // xorshift must not start at 0
+        let client = Client {
+            stream,
+            peer,
+            opts,
+            rng,
+        };
+        client.configure_stream()?;
+        Ok(client)
+    }
+
+    fn configure_stream(&self) -> io::Result<()> {
+        self.stream.set_nodelay(true)?;
+        self.stream.set_read_timeout(self.opts.request_timeout)?;
+        self.stream.set_write_timeout(self.opts.request_timeout)?;
+        Ok(())
+    }
+
+    /// Tear down and redial the same peer (used after a torn connection).
+    fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = TcpStream::connect(self.peer)?;
+        self.configure_stream()
+    }
+
+    /// Next jitter draw in `[0, 1)` (xorshift64*, deterministic).
+    fn jitter(&mut self) -> f64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        (self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Backoff before retry number `attempt` (0-based): exponential from
+    /// `opts.backoff`, capped at `opts.backoff_max`, floored by the
+    /// server's hint when present, then equal-jittered into
+    /// `[base/2, base)` so synchronized clients spread out.
+    fn backoff_delay(&mut self, attempt: u32, hint_ms: Option<u32>) -> Duration {
+        let exp = self
+            .opts
+            .backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.opts.backoff_max);
+        let base = exp.max(Duration::from_millis(u64::from(hint_ms.unwrap_or(0))));
+        base / 2 + Duration::from_secs_f64(base.as_secs_f64() / 2.0 * self.jitter())
+    }
+
+    /// One raw request/response exchange, no retry.
+    fn exchange(&mut self, msg: &Message) -> io::Result<Message> {
+        write_frame(&mut self.stream, msg).map_err(map_timeout)?;
+        match read_frame(&mut self.stream).map_err(map_timeout)? {
             None => Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
             )),
             Some(FrameIn::Ok { msg: reply, .. }) => Ok(reply),
-            Some(FrameIn::Violation { code, detail, .. }) => Err(server_error(code, detail)),
+            Some(FrameIn::Violation { code, detail, .. }) => Err(server_error(code, detail, None)),
+        }
+    }
+
+    /// One request/response exchange under the retry policy: `ERR_BUSY`
+    /// replies back off (honoring the server's hint) and retry; torn
+    /// connections reconnect and retry, idempotent requests only. Non-busy
+    /// error frames are returned as `Ok(Message::Error { .. })` for the
+    /// caller to interpret — they are answers, not transport failures.
+    fn roundtrip(&mut self, msg: &Message) -> io::Result<Message> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.exchange(msg);
+            let retries_left = attempt < self.opts.retries;
+            match outcome {
+                Ok(Message::Error {
+                    code: ERR_BUSY,
+                    detail,
+                    retry_after_ms,
+                }) => {
+                    if !retries_left {
+                        return Err(server_error(ERR_BUSY, detail, retry_after_ms));
+                    }
+                    let delay = self.backoff_delay(attempt, retry_after_ms);
+                    std::thread::sleep(delay);
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) if torn(&e) && idempotent(msg) && retries_left => {
+                    // the old stream may hold half a frame: always redial.
+                    // A failed redial burns this attempt and is retried on
+                    // the next one (the server may still be restarting).
+                    std::thread::sleep(self.backoff_delay(attempt, None));
+                    let _ = self.reconnect();
+                }
+                Err(e) => return Err(e),
+            }
+            attempt += 1;
         }
     }
 
@@ -88,13 +313,21 @@ impl Client {
             Message::MeshResponse {
                 cache_hit,
                 active_metacells,
+                served_lod,
+                degraded,
                 mesh,
             } => Ok(MeshReply {
                 mesh,
                 cache_hit,
                 active_metacells,
+                served_lod,
+                degraded,
             }),
-            Message::Error { code, detail } => Err(server_error(code, detail)),
+            Message::Error {
+                code,
+                detail,
+                retry_after_ms,
+            } => Err(server_error(code, detail, retry_after_ms)),
             other => Err(unexpected(&other)),
         }
     }
@@ -119,7 +352,11 @@ impl Client {
                     regions,
                 })
             }
-            Message::Error { code, detail } => Err(server_error(code, detail)),
+            Message::Error {
+                code,
+                detail,
+                retry_after_ms,
+            } => Err(server_error(code, detail, retry_after_ms)),
             other => Err(unexpected(&other)),
         }
     }
@@ -128,7 +365,11 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<ServerReport> {
         match self.roundtrip(&Message::StatsRequest)? {
             Message::StatsResponse(report) => Ok(report),
-            Message::Error { code, detail } => Err(server_error(code, detail)),
+            Message::Error {
+                code,
+                detail,
+                retry_after_ms,
+            } => Err(server_error(code, detail, retry_after_ms)),
             other => Err(unexpected(&other)),
         }
     }
@@ -151,7 +392,11 @@ impl Client {
                 }
                 Ok(t0.elapsed())
             }
-            Message::Error { code, detail } => Err(server_error(code, detail)),
+            Message::Error {
+                code,
+                detail,
+                retry_after_ms,
+            } => Err(server_error(code, detail, retry_after_ms)),
             other => Err(unexpected(&other)),
         }
     }
@@ -159,7 +404,7 @@ impl Client {
     /// Send a frame with explicit header fields and return the server's
     /// reply message — the hook the protocol-abuse tests (wrong magic,
     /// future version, corrupted checksum) drive the server with. Returns
-    /// `Ok(None)` if the server hung up instead of replying.
+    /// `Ok(None)` if the server hung up instead of replying. Never retried.
     pub fn roundtrip_raw(
         &mut self,
         magic: u32,
@@ -178,10 +423,12 @@ impl Client {
         match read_frame(&mut self.stream) {
             Ok(None) => Ok(None),
             Ok(Some(FrameIn::Ok { msg: reply, .. })) => Ok(Some(reply)),
-            Ok(Some(FrameIn::Violation { code, detail, .. })) => Err(server_error(code, detail)),
+            Ok(Some(FrameIn::Violation { code, detail, .. })) => {
+                Err(server_error(code, detail, None))
+            }
             // a reset mid-read also counts as "hung up"
             Err(e) if e.kind() == io::ErrorKind::ConnectionReset => Ok(None),
-            Err(e) => Err(e),
+            Err(e) => Err(map_timeout(e)),
         }
     }
 }

@@ -24,21 +24,26 @@
 //!   implementation of [`oociso_render::Transport`], plus
 //!   [`measure_loopback`] to calibrate
 //!   [`oociso_render::InterconnectModel::loopback`] live.
+//! * [`chaos`] — [`ChaosProxy`]/[`ChaosStream`]: scripted transport faults
+//!   (truncation, stalls, refused connections) for the chaos test harness.
 //!
-//! See `docs/serve.md` for the protocol layout, cache semantics, and a
-//! deployment sketch.
+//! See `docs/serve.md` for the protocol layout, cache semantics, and
+//! overload/failure behavior, and `docs/robustness.md` for the fault
+//! injection matrix.
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
 pub use cache::{CacheStats, CachedSurface, ResultCache};
-pub use client::{Client, FrameReply, MeshReply};
+pub use chaos::{ChaosProxy, ChaosStream, ConnFault};
+pub use client::{Client, ClientOptions, FrameReply, MeshReply, ServerError};
 pub use protocol::{
-    FrameParams, Message, Region, ServerReport, ERR_BAD_LOD, MAGIC, MAX_LOD_LEVELS, MIN_VERSION,
-    VERSION,
+    FrameParams, Message, Region, ServerReport, ERR_BAD_LOD, ERR_BUSY, MAGIC, MAX_LOD_LEVELS,
+    MIN_VERSION, VERSION,
 };
 pub use server::{IsoServer, ServeOptions};
 pub use transport::{measure_loopback, TcpLoopbackTransport};

@@ -32,11 +32,16 @@ use std::io::{self, Read, Write};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"OISO");
 /// Current protocol version. Version 2 added the optional trailing `lod`
 /// field to mesh requests and the per-level cache counters to stats
-/// responses; readers accept any version in
+/// responses. Version 3 added the overload vocabulary: a trailing
+/// retry-after-millis hint on error frames (how [`ERR_BUSY`] tells clients
+/// when to come back), trailing `served_lod`/`degraded` fields on mesh
+/// responses (how a degraded coarser-LOD answer is flagged), and the
+/// robustness counters on stats responses. Readers accept any version in
 /// [`MIN_VERSION`]`..=`[`VERSION`], and a server answers each frame at the
 /// version the client spoke — a v1 client simply never asks for (and never
-/// hears about) LOD levels, so it gets level 0, exactly as before.
-pub const VERSION: u16 = 2;
+/// hears about) LOD levels, so it gets level 0, exactly as before, and a
+/// v2 client never sees the v3 trailing fields.
+pub const VERSION: u16 = 3;
 /// Oldest protocol version still accepted on the wire.
 pub const MIN_VERSION: u16 = 1;
 /// Most LOD pyramid levels the protocol (and the per-level stats counters)
@@ -76,6 +81,12 @@ pub const ERR_INTERNAL: u16 = 5;
 /// The requested LOD level does not exist on this server (the reply's
 /// detail names the server's level count; the connection stays usable).
 pub const ERR_BAD_LOD: u16 = 6;
+/// The server is at capacity and shed this request instead of queueing it
+/// behind an unbounded backlog. The reply is honest overload, not failure:
+/// the request was never started, so retrying is always safe, and v3 error
+/// frames carry a `retry_after_ms` hint for when. The connection stays
+/// usable.
+pub const ERR_BUSY: u16 = 7;
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) lookup table, built at compile
 /// time — no dependency, no runtime init.
@@ -170,6 +181,22 @@ pub struct ServerReport {
     pub lod_hits: [u64; MAX_LOD_LEVELS],
     /// Cache misses per LOD level. Sums to `cache_misses`.
     pub lod_misses: [u64; MAX_LOD_LEVELS],
+    /// Requests answered with [`ERR_BUSY`] by admission control (no
+    /// extraction slot / connection cap reached). **v3.**
+    pub shed: u64,
+    /// Mesh requests satisfied from a cached coarser LOD level instead of
+    /// being shed (graceful-degradation mode). **v3.**
+    pub degraded: u64,
+    /// Connections closed by a read/write deadline (slowloris defense) or
+    /// the idle timeout. **v3.**
+    pub timed_out: u64,
+    /// Requests that completed during a graceful drain. **v3.**
+    pub drained: u64,
+    /// Accept-loop backoffs taken on fd exhaustion (`EMFILE`/`ENFILE`).
+    /// **v3.**
+    pub accept_backoffs: u64,
+    /// Connections currently being served (a gauge, not a counter). **v3.**
+    pub active_connections: u64,
 }
 
 /// One decoded protocol message.
@@ -195,6 +222,14 @@ pub enum Message {
     MeshResponse {
         cache_hit: bool,
         active_metacells: u64,
+        /// The LOD level actually served — equal to the requested level
+        /// unless `degraded`. **v3** trailing field: absent on the wire for
+        /// v1/v2 speakers, decoded as 0.
+        served_lod: u16,
+        /// True when admission control satisfied this request from a cached
+        /// coarser level than requested instead of shedding it. **v3**
+        /// trailing field (absent = false).
+        degraded: bool,
         mesh: IndexedMesh,
     },
     /// The rendered framebuffer, sharded into per-tile regions.
@@ -207,7 +242,15 @@ pub enum Message {
     /// Server counters.
     StatsResponse(ServerReport),
     /// Structured failure (`ERR_*` code + human-readable detail).
-    Error { code: u16, detail: String },
+    Error {
+        code: u16,
+        detail: String,
+        /// For [`ERR_BUSY`]: how long the client should wait before
+        /// retrying, in milliseconds. **v3** trailing field — v1/v2 error
+        /// frames never carry it (the hint rides in the detail text
+        /// instead), and it decodes as `None` when absent.
+        retry_after_ms: Option<u32>,
+    },
     /// Echo of a `Ping` payload.
     Pong { payload: Vec<u8> },
     /// One compositing frame region (the TCP transport's unit of transfer).
@@ -367,15 +410,19 @@ fn read_region(rd: &mut Rd) -> io::Result<FrameRegion> {
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn put_mesh_response(
     out: &mut Vec<u8>,
     cache_hit: bool,
     active_metacells: u64,
+    served_lod: u16,
+    degraded: bool,
     mesh: &IndexedMesh,
+    version: u16,
 ) {
     // fixed prefix: 1 (cache_hit) + 3×8 (active/vertex/index counts)
     out.reserve(
-        25 + std::mem::size_of_val(mesh.positions()) + std::mem::size_of_val(mesh.indices()),
+        28 + std::mem::size_of_val(mesh.positions()) + std::mem::size_of_val(mesh.indices()),
     );
     out.push(cache_hit as u8);
     put_u64(out, active_metacells);
@@ -389,27 +436,44 @@ fn put_mesh_response(
     for &i in mesh.indices() {
         put_u32(out, i);
     }
+    // v3 trailing fields; older dialects end at the indices (decoded as
+    // served_lod 0 / not degraded — pre-v3 servers could not degrade)
+    if version >= 3 {
+        put_u16(out, served_lod);
+        out.push(degraded as u8);
+    }
 }
 
 /// Encode a complete `MeshResponse` frame from a **borrowed** mesh — the
 /// server's cache-hit hot path, which must not deep-clone a
 /// hundreds-of-MB cached mesh just to hand `Message` an owned copy for
 /// serialization. `version` stamps the frame header so the reply speaks the
-/// client's dialect (the mesh payload layout is identical in v1 and v2).
+/// client's dialect, and gates the v3 trailing `served_lod`/`degraded`
+/// fields (the rest of the mesh payload layout is version-independent).
 pub fn encode_mesh_response_frame(
     cache_hit: bool,
     active_metacells: u64,
+    served_lod: u16,
+    degraded: bool,
     mesh: &IndexedMesh,
     version: u16,
 ) -> Vec<u8> {
     let mut payload = Vec::new();
-    put_mesh_response(&mut payload, cache_hit, active_metacells, mesh);
+    put_mesh_response(
+        &mut payload,
+        cache_hit,
+        active_metacells,
+        served_lod,
+        degraded,
+        mesh,
+        version,
+    );
     encode_frame_raw(MAGIC, version, MSG_MESH_RESPONSE, &payload)
 }
 
 /// Serialize a [`ServerReport`] at the given protocol version: v1 payloads
 /// carry only the 11 base counters (what v1 clients can parse), v2 appends
-/// the per-LOD-level hit/miss arrays.
+/// the per-LOD-level hit/miss arrays, v3 appends the robustness counters.
 fn put_server_report(out: &mut Vec<u8>, s: &ServerReport, version: u16) {
     for v in [
         s.connections,
@@ -431,6 +495,18 @@ fn put_server_report(out: &mut Vec<u8>, s: &ServerReport, version: u16) {
             put_u64(out, *v);
         }
     }
+    if version >= 3 {
+        for v in [
+            s.shed,
+            s.degraded,
+            s.timed_out,
+            s.drained,
+            s.accept_backoffs,
+            s.active_connections,
+        ] {
+            put_u64(out, v);
+        }
+    }
 }
 
 /// Encode a complete `StatsResponse` frame at the client's protocol
@@ -441,8 +517,18 @@ pub fn encode_stats_response_frame(report: &ServerReport, version: u16) -> Vec<u
     encode_frame_raw(MAGIC, version, MSG_STATS_RESPONSE, &payload)
 }
 
-/// Encode a message's payload (everything between header and checksum).
+/// Encode a message's payload (everything between header and checksum) at
+/// the current protocol [`VERSION`].
 pub fn encode_payload(msg: &Message) -> Vec<u8> {
+    encode_payload_at(VERSION, msg)
+}
+
+/// [`encode_payload`] at an explicit protocol version: the v3 trailing
+/// fields (mesh-response `served_lod`/`degraded`, error `retry_after_ms`,
+/// stats robustness counters) are emitted only for v3 speakers, so a reply
+/// stamped with an older client's version also *encodes* in that client's
+/// layout.
+pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
     let mut out = Vec::new();
     match msg {
         Message::MeshRequest { iso, region, lod } => {
@@ -473,8 +559,18 @@ pub fn encode_payload(msg: &Message) -> Vec<u8> {
         Message::MeshResponse {
             cache_hit,
             active_metacells,
+            served_lod,
+            degraded,
             mesh,
-        } => put_mesh_response(&mut out, *cache_hit, *active_metacells, mesh),
+        } => put_mesh_response(
+            &mut out,
+            *cache_hit,
+            *active_metacells,
+            *served_lod,
+            *degraded,
+            mesh,
+            version,
+        ),
         Message::FrameResponse {
             cache_hit,
             width,
@@ -489,11 +585,20 @@ pub fn encode_payload(msg: &Message) -> Vec<u8> {
                 put_region(&mut out, r);
             }
         }
-        Message::StatsResponse(s) => put_server_report(&mut out, s, VERSION),
-        Message::Error { code, detail } => {
+        Message::StatsResponse(s) => put_server_report(&mut out, s, version),
+        Message::Error {
+            code,
+            detail,
+            retry_after_ms,
+        } => {
             put_u16(&mut out, *code);
             put_u64(&mut out, detail.len() as u64);
             out.extend_from_slice(detail.as_bytes());
+            if version >= 3 {
+                if let Some(ms) = retry_after_ms {
+                    put_u32(&mut out, *ms);
+                }
+            }
         }
         Message::Region(r) => put_region(&mut out, r),
     }
@@ -556,9 +661,18 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
                 }
                 mesh.push_triangle(a, b, c);
             }
+            // v3 appends served_lod + degraded; older payloads end at the
+            // indices (a pre-v3 server always served the requested level)
+            let (served_lod, degraded) = if rd.remaining() > 0 {
+                (rd.u16()?, rd.u8()? != 0)
+            } else {
+                (0, false)
+            };
             Message::MeshResponse {
                 cache_hit,
                 active_metacells,
+                served_lod,
+                degraded,
                 mesh,
             }
         }
@@ -592,6 +706,13 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
                     *slot = rd.u64()?;
                 }
             }
+            // v3 appends the robustness counters; a v2 payload ends above
+            let mut robust = [0u64; 6];
+            if rd.remaining() > 0 {
+                for slot in &mut robust {
+                    *slot = rd.u64()?;
+                }
+            }
             Message::StatsResponse(ServerReport {
                 connections: v[0],
                 requests: v[1],
@@ -606,6 +727,12 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
                 cache_resident_entries: v[10],
                 lod_hits,
                 lod_misses,
+                shed: robust[0],
+                degraded: robust[1],
+                timed_out: robust[2],
+                drained: robust[3],
+                accept_backoffs: robust[4],
+                active_connections: robust[5],
             })
         }
         MSG_ERROR => {
@@ -613,7 +740,17 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
             let n = rd.len("detail length", 1)?;
             let detail = String::from_utf8(rd.take(n)?.to_vec())
                 .map_err(|_| malformed("detail not UTF-8"))?;
-            Message::Error { code, detail }
+            // v3 may append a retry-after hint (ERR_BUSY); absent = none
+            let retry_after_ms = if rd.remaining() >= 4 {
+                Some(rd.u32()?)
+            } else {
+                None
+            };
+            Message::Error {
+                code,
+                detail,
+                retry_after_ms,
+            }
         }
         MSG_REGION => Message::Region(read_region(&mut rd)?),
         other => return Err(malformed(&format!("unknown message type {other}"))),
@@ -628,11 +765,10 @@ pub fn encode_frame(msg: &Message) -> Vec<u8> {
 }
 
 /// [`encode_frame`] with an explicit header version — how the server stamps
-/// each reply with the version its client spoke. (Payload layouts are
-/// version-independent here; the one version-dependent payload, stats, has
-/// its own dedicated encoder.)
+/// each reply with the version its client spoke. The payload is encoded at
+/// the same version, so the v3 trailing fields never reach a pre-v3 reader.
 pub fn encode_frame_at(version: u16, msg: &Message) -> Vec<u8> {
-    let payload = encode_payload(msg);
+    let payload = encode_payload_at(version, msg);
     encode_frame_raw(MAGIC, version, msg.msg_type(), &payload)
 }
 
@@ -847,6 +983,15 @@ mod tests {
         roundtrip(Message::MeshResponse {
             cache_hit: true,
             active_metacells: 42,
+            served_lod: 0,
+            degraded: false,
+            mesh: sample_mesh(),
+        });
+        roundtrip(Message::MeshResponse {
+            cache_hit: true,
+            active_metacells: 42,
+            served_lod: 2,
+            degraded: true,
             mesh: sample_mesh(),
         });
         roundtrip(Message::FrameResponse {
@@ -869,10 +1014,22 @@ mod tests {
             cache_resident_entries: 11,
             lod_hits: [4, 2, 1, 0],
             lod_misses: [1, 1, 1, 0],
+            shed: 12,
+            degraded: 13,
+            timed_out: 14,
+            drained: 15,
+            accept_backoffs: 16,
+            active_connections: 17,
         }));
         roundtrip(Message::Error {
             code: ERR_MALFORMED,
             detail: "¿qué?".to_string(),
+            retry_after_ms: None,
+        });
+        roundtrip(Message::Error {
+            code: ERR_BUSY,
+            detail: "server busy".to_string(),
+            retry_after_ms: Some(75),
         });
         roundtrip(Message::Region(sample_region()));
     }
@@ -883,6 +1040,8 @@ mod tests {
         let frame = encode_frame(&Message::MeshResponse {
             cache_hit: false,
             active_metacells: 0,
+            served_lod: 0,
+            degraded: false,
             mesh: mesh.clone(),
         });
         let Some(FrameIn::Ok {
@@ -904,13 +1063,82 @@ mod tests {
     #[test]
     fn borrowed_mesh_encode_matches_owned_message_encode() {
         let mesh = sample_mesh();
-        let borrowed = encode_mesh_response_frame(true, 42, &mesh, VERSION);
-        let owned = encode_frame(&Message::MeshResponse {
+        for version in MIN_VERSION..=VERSION {
+            let borrowed = encode_mesh_response_frame(true, 42, 1, true, &mesh, version);
+            let owned = encode_frame_at(
+                version,
+                &Message::MeshResponse {
+                    cache_hit: true,
+                    active_metacells: 42,
+                    served_lod: 1,
+                    degraded: true,
+                    mesh: mesh.clone(),
+                },
+            );
+            assert_eq!(
+                borrowed, owned,
+                "hot path must emit identical bytes at v{version}"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_trailing_fields_never_reach_older_dialects() {
+        // a reply encoded for a v2 speaker must not carry the v3 fields...
+        let busy = Message::Error {
+            code: ERR_BUSY,
+            detail: "busy".to_string(),
+            retry_after_ms: Some(120),
+        };
+        let v2 = encode_payload_at(2, &busy);
+        let v3 = encode_payload_at(3, &busy);
+        assert_eq!(v3.len(), v2.len() + 4, "hint is a 4-byte v3 trailer");
+        // ...and the v2 payload decodes with the hint absent, v3 with it
+        match decode_payload(MSG_ERROR, &v2).unwrap() {
+            Message::Error { retry_after_ms, .. } => assert_eq!(retry_after_ms, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        match decode_payload(MSG_ERROR, &v3).unwrap() {
+            Message::Error { retry_after_ms, .. } => assert_eq!(retry_after_ms, Some(120)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // same story for the mesh-response served_lod/degraded trailer
+        let resp = Message::MeshResponse {
             cache_hit: true,
-            active_metacells: 42,
-            mesh,
-        });
-        assert_eq!(borrowed, owned, "hot path must emit identical bytes");
+            active_metacells: 7,
+            served_lod: 2,
+            degraded: true,
+            mesh: sample_mesh(),
+        };
+        let v2 = encode_payload_at(2, &resp);
+        assert_eq!(encode_payload_at(3, &resp).len(), v2.len() + 3);
+        match decode_payload(MSG_MESH_RESPONSE, &v2).unwrap() {
+            Message::MeshResponse {
+                served_lod,
+                degraded,
+                ..
+            } => {
+                assert_eq!(served_lod, 0, "absent trailer decodes as level 0");
+                assert!(!degraded, "absent trailer decodes as not degraded");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // and the stats robustness counters
+        let mut report = ServerReport {
+            shed: 3,
+            degraded: 2,
+            ..ServerReport::default()
+        };
+        let mut v2_out = Vec::new();
+        put_server_report(&mut v2_out, &report, 2);
+        match decode_payload(MSG_STATS_RESPONSE, &v2_out).unwrap() {
+            Message::StatsResponse(got) => {
+                report.shed = 0;
+                report.degraded = 0;
+                assert_eq!(got, report, "v2 layout zeroes the v3 counters");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -1070,10 +1298,13 @@ mod tests {
         let mut payload = encode_payload(&Message::MeshResponse {
             cache_hit: false,
             active_metacells: 0,
+            served_lod: 0,
+            degraded: false,
             mesh,
         });
-        let off = payload.len() - 4;
-        payload[off..].copy_from_slice(&99u32.to_le_bytes());
+        // the last index sits just before the 3-byte v3 trailer
+        let off = payload.len() - 3 - 4;
+        payload[off..off + 4].copy_from_slice(&99u32.to_le_bytes());
         assert!(decode_payload(MSG_MESH_RESPONSE, &payload).is_err());
     }
 }

@@ -13,23 +13,43 @@
 //! `ClusterDatabase::extract_lods`), caches every level separately, serves
 //! mesh requests at their requested `lod`, and picks per-tile levels for
 //! frame requests by projected screen-space error.
+//!
+//! ## Overload and failure behavior
+//!
+//! The server never queues a request behind an unbounded backlog. Admission
+//! control is explicit: cache misses (the expensive path — a disk-backed
+//! extraction or a re-decimation) must win one of
+//! [`ServeOptions::extraction_slots`]; a miss that can't is answered with a
+//! structured [`ERR_BUSY`] carrying a retry-after hint derived from recent
+//! miss cost — or, with [`ServeOptions::degrade`] set, satisfied from a
+//! cached **coarser** LOD level and flagged `degraded` in the response.
+//! Connections beyond [`ServeOptions::max_connections`] get one `ERR_BUSY`
+//! reply and a clean close. Cache hits are always served: they cost
+//! microseconds and shedding them would gain nothing.
+//!
+//! Per-connection read/write deadlines bound slow or stalled peers
+//! (slowloris defense), and [`IsoServer::drain`] gives `stop()` a graceful
+//! phase: stop accepting, let in-flight requests finish under a deadline,
+//! then close. Every shed/degraded/timed-out/drained event is counted in
+//! [`ServerReport`]. See `docs/serve.md` ("Overload & failure semantics")
+//! and `docs/robustness.md`.
 
 use crate::cache::{CachedSurface, ResultCache};
 use crate::protocol::{
     encode_frame_at, encode_mesh_response_frame, encode_stats_response_frame, read_frame_limited,
-    FrameIn, Message, ServerReport, ERR_BAD_LOD, ERR_INTERNAL, ERR_MALFORMED, MAX_LOD_LEVELS,
-    MAX_REQUEST_PAYLOAD,
+    FrameIn, Message, ServerReport, ERR_BAD_LOD, ERR_BUSY, ERR_INTERNAL, ERR_MALFORMED,
+    MAX_LOD_LEVELS, MAX_REQUEST_PAYLOAD,
 };
 use oociso_cluster::LodSpec;
 use oociso_core::ClusterDatabase;
 use oociso_render::{rasterize_mesh, select_tile_levels, Camera, Framebuffer, TileLayout};
 use oociso_volume::ScalarValue;
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -44,6 +64,31 @@ pub struct ServeOptions {
     /// Screen-space error budget (pixels) for per-tile LOD selection in
     /// frame mode. Only meaningful with `lod_ratios` set.
     pub lod_tolerance_px: f32,
+    /// Concurrent cache-miss extractions admitted at once (`Some(0)` sheds
+    /// every miss — useful for tests and read-only replicas; `None`, the
+    /// default, admits all). Cache hits are never gated: they cost
+    /// microseconds and hold no slot.
+    pub extraction_slots: Option<u32>,
+    /// Concurrently served connections admitted at once. A connection over
+    /// the cap is answered with one structured [`ERR_BUSY`] and closed —
+    /// never silently dropped. `None` (the default) admits all.
+    pub max_connections: Option<u32>,
+    /// Graceful degradation: a mesh request that misses the cache but can't
+    /// win an extraction slot is served from the finest *cached coarser*
+    /// LOD level of the same isovalue — flagged `degraded` with the
+    /// `served_lod` it actually got — instead of being shed. Off by
+    /// default.
+    pub degrade: bool,
+    /// Mid-frame socket read deadline: a peer that starts a frame and then
+    /// stalls (slowloris) is disconnected and counted `timed_out`. Default
+    /// 30 s; `None` waits forever (the pre-v3 behavior).
+    pub read_timeout: Option<Duration>,
+    /// Socket write deadline for responses (a reader that stops draining a
+    /// multi-hundred-MB mesh can't pin a handler forever). Default 30 s.
+    pub write_timeout: Option<Duration>,
+    /// Close connections that sit idle *between* frames longer than this
+    /// (counted `timed_out`). `None` (the default) keeps them forever.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -52,8 +97,28 @@ impl Default for ServeOptions {
             cache_bytes: 256 << 20,
             lod_ratios: Vec::new(),
             lod_tolerance_px: 1.0,
+            extraction_slots: None,
+            max_connections: None,
+            degrade: false,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            idle_timeout: None,
         }
     }
+}
+
+/// Shared shutdown/drain flags and the live-connection gauge — what
+/// [`IsoServer::drain`] coordinates with the accept loop and every handler.
+struct Control {
+    /// Hard stop: accept loop exits, handlers close at the next frame
+    /// boundary or poll tick.
+    shutdown: AtomicBool,
+    /// Graceful phase: accept loop exits, handlers finish the request they
+    /// are on (replies counted `drained`) and close at the frame boundary.
+    draining: AtomicBool,
+    /// Connections currently inside a handler (the admission-cap gauge and
+    /// what drain waits on).
+    live: AtomicU64,
 }
 
 /// Shared state behind every connection handler.
@@ -62,12 +127,68 @@ struct State<S: ScalarValue> {
     lods: LodSpec,
     lod_tolerance_px: f32,
     cache: Mutex<ResultCache>,
+    ctl: Arc<Control>,
+    extraction_slots: Option<u32>,
+    max_connections: Option<u32>,
+    degrade: bool,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    idle_timeout: Option<Duration>,
     connections: AtomicU64,
     requests: AtomicU64,
     mesh_requests: AtomicU64,
     frame_requests: AtomicU64,
     errors: AtomicU64,
     bytes_out: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicU64,
+    timed_out: AtomicU64,
+    drained: AtomicU64,
+    accept_backoffs: AtomicU64,
+    /// Extractions/rebuilds currently holding a slot.
+    inflight_miss: AtomicU64,
+    /// Smoothed wall-clock of recent cache-miss work, in ms — the source of
+    /// the `ERR_BUSY` retry-after hint.
+    miss_cost_ms: AtomicU64,
+}
+
+/// RAII extraction-slot lease: decrements the in-flight gauge on drop, so a
+/// panicking or erroring extraction can never leak its slot.
+struct SlotGuard<'a, S: ScalarValue> {
+    state: &'a State<S>,
+    counted: bool,
+}
+
+impl<S: ScalarValue> Drop for SlotGuard<'_, S> {
+    fn drop(&mut self) {
+        if self.counted {
+            self.state.inflight_miss.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// What admission control decided for one mesh request.
+enum MeshOutcome {
+    Serve {
+        surface: Arc<CachedSurface>,
+        cache_hit: bool,
+        served_lod: u16,
+        degraded: bool,
+    },
+    Busy {
+        retry_after_ms: u32,
+    },
+}
+
+/// What admission control decided for one frame request.
+enum FrameOutcome {
+    Serve {
+        levels: Vec<Arc<CachedSurface>>,
+        cache_hit: bool,
+    },
+    Busy {
+        retry_after_ms: u32,
+    },
 }
 
 impl<S: ScalarValue> State<S> {
@@ -92,13 +213,59 @@ impl<S: ScalarValue> State<S> {
             cache_resident_entries: cache.resident_entries,
             lod_hits: cache.lod_hits,
             lod_misses: cache.lod_misses,
+            shed: self.shed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+            accept_backoffs: self.accept_backoffs.load(Ordering::Relaxed),
+            active_connections: self.ctl.live.load(Ordering::Relaxed),
         }
+    }
+
+    /// Try to win one cache-miss slot. `None` means at capacity (the caller
+    /// sheds or degrades); the returned guard releases the slot on drop.
+    fn try_slot(&self) -> Option<SlotGuard<'_, S>> {
+        match self.extraction_slots {
+            None => Some(SlotGuard {
+                state: self,
+                counted: false,
+            }),
+            Some(max) => self
+                .inflight_miss
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n < max as u64).then_some(n + 1)
+                })
+                .ok()
+                .map(|_| SlotGuard {
+                    state: self,
+                    counted: true,
+                }),
+        }
+    }
+
+    /// Fold one observed cache-miss wall-clock into the smoothed cost the
+    /// retry-after hint is derived from.
+    fn note_miss_cost(&self, wall: Duration) {
+        let ms = wall.as_millis().min(u64::MAX as u128) as u64;
+        let old = self.miss_cost_ms.load(Ordering::Relaxed);
+        let smoothed = if old == 0 { ms } else { (3 * old + ms) / 4 };
+        self.miss_cost_ms.store(smoothed.max(1), Ordering::Relaxed);
+    }
+
+    /// The retry-after hint for a shed request: the smoothed cost of recent
+    /// miss work, clamped to a sane window — before any miss completed, a
+    /// conservative floor.
+    fn retry_hint_ms(&self) -> u32 {
+        let cost = self.miss_cost_ms.load(Ordering::Relaxed);
+        cost.clamp(25, 10_000) as u32
     }
 
     /// Extract the full pyramid for `iso` and insert every level, returning
     /// the levels in order. Runs outside the cache lock.
     fn extract_and_insert(&self, iso: f32) -> io::Result<Vec<Arc<CachedSurface>>> {
+        let t0 = Instant::now();
         let (chain, report) = self.db.extract_lods(iso, &self.lods)?;
+        self.note_miss_cost(t0.elapsed());
         let active_metacells = report.total_active_metacells();
         let mut cache = self.cache.lock().expect("cache lock");
         Ok(chain
@@ -127,6 +294,7 @@ impl<S: ScalarValue> State<S> {
     /// targets as fractions of level 0), so the full mesh is never cloned
     /// and its cache entry is reused as level 0 untouched.
     fn rebuild_from_full(&self, iso: f32, full: Arc<CachedSurface>) -> Vec<Arc<CachedSurface>> {
+        let t0 = Instant::now();
         let base_vertices = full.mesh.num_vertices();
         let mut coarse: Vec<(oociso_march::IndexedMesh, f64)> = Vec::new();
         let mut cumulative = 0.0;
@@ -142,6 +310,7 @@ impl<S: ScalarValue> State<S> {
             cumulative += stats.max_error;
             coarse.push((mesh, cumulative));
         }
+        self.note_miss_cost(t0.elapsed());
         let mut cache = self.cache.lock().expect("cache lock");
         cache.touch(iso, 0);
         let mut levels = vec![full.clone()];
@@ -172,26 +341,68 @@ impl<S: ScalarValue> State<S> {
         }
     }
 
-    /// Level `lod` of the surface at `iso`, from cache or a fresh
-    /// extraction. Exactly one cache lookup is accounted (against `lod`).
-    /// Returns `(surface, cache_hit)`.
-    fn surface(&self, iso: f32, lod: u16) -> io::Result<(Arc<CachedSurface>, bool)> {
+    /// Level `lod` of the surface at `iso`, under admission control. A
+    /// cache hit is always served (one accounted lookup against `lod`,
+    /// exactly as before). A miss must win an extraction slot; at capacity
+    /// the request degrades to the finest cached coarser level (when
+    /// [`ServeOptions::degrade`] is set and one is resident — booked as a
+    /// hit on the level actually served) or is shed with a retry hint.
+    fn surface(&self, iso: f32, lod: u16) -> io::Result<MeshOutcome> {
         if let Some(hit) = self.cache.lock().expect("cache lock").get(iso, lod) {
-            return Ok((hit, true));
+            return Ok(MeshOutcome::Serve {
+                surface: hit,
+                cache_hit: true,
+                served_lod: lod,
+                degraded: false,
+            });
         }
-        let levels = self.pyramid_for(iso)?;
-        Ok((levels[lod as usize].clone(), false))
+        match self.try_slot() {
+            Some(slot) => {
+                let levels = self.pyramid_for(iso)?;
+                drop(slot);
+                Ok(MeshOutcome::Serve {
+                    surface: levels[lod as usize].clone(),
+                    cache_hit: false,
+                    served_lod: lod,
+                    degraded: false,
+                })
+            }
+            None => {
+                if self.degrade {
+                    let coarser =
+                        self.cache
+                            .lock()
+                            .expect("cache lock")
+                            .coarser(iso, lod, self.levels());
+                    if let Some((level, surface)) = coarser {
+                        self.degraded.fetch_add(1, Ordering::Relaxed);
+                        return Ok(MeshOutcome::Serve {
+                            surface,
+                            cache_hit: true,
+                            served_lod: level,
+                            degraded: true,
+                        });
+                    }
+                }
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Ok(MeshOutcome::Busy {
+                    retry_after_ms: self.retry_hint_ms(),
+                })
+            }
+        }
     }
 
-    /// Every pyramid level at `iso` for the frame path. The request is
-    /// accounted as exactly one lookup against level 0 (what a v1 frame
-    /// request cost): a hit only when the *whole* pyramid is resident, a
-    /// miss otherwise — the levels are peeked first, so a partially
-    /// evicted pyramid never books a hit for a request that still has to
-    /// rebuild. When level 0 survived but a coarser level was evicted, the
-    /// pyramid is re-decimated from the resident full mesh — deterministic,
-    /// so byte-identical to the original levels — without touching disk.
-    fn all_levels(&self, iso: f32) -> io::Result<(Vec<Arc<CachedSurface>>, bool)> {
+    /// Every pyramid level at `iso` for the frame path, under admission
+    /// control. The request is accounted as exactly one lookup against
+    /// level 0 (what a v1 frame request cost): a hit only when the *whole*
+    /// pyramid is resident, a miss otherwise — the levels are peeked first,
+    /// so a partially evicted pyramid never books a hit for a request that
+    /// still has to rebuild. When level 0 survived but a coarser level was
+    /// evicted, the pyramid is re-decimated from the resident full mesh —
+    /// deterministic, so byte-identical to the original levels — without
+    /// touching disk. A miss that can't win a slot is shed (frames have no
+    /// degraded form: per-tile LOD selection needs the whole pyramid).
+    fn all_levels(&self, iso: f32) -> io::Result<FrameOutcome> {
         let want = self.levels() as usize;
         let resident_full = {
             let mut cache = self.cache.lock().expect("cache lock");
@@ -210,16 +421,29 @@ impl<S: ScalarValue> State<S> {
                 for lod in 0..want {
                     cache.touch(iso, lod as u16);
                 }
-                return Ok((levels, true));
+                return Ok(FrameOutcome::Serve {
+                    levels,
+                    cache_hit: true,
+                });
             }
             cache.account(0, false);
             levels.into_iter().next() // level 0, if it was resident
+        };
+        let Some(slot) = self.try_slot() else {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Ok(FrameOutcome::Busy {
+                retry_after_ms: self.retry_hint_ms(),
+            });
         };
         let levels = match resident_full {
             Some(full) => self.rebuild_from_full(iso, full),
             None => self.extract_and_insert(iso)?,
         };
-        Ok((levels, false))
+        drop(slot);
+        Ok(FrameOutcome::Serve {
+            levels,
+            cache_hit: false,
+        })
     }
 }
 
@@ -230,7 +454,7 @@ impl<S: ScalarValue> State<S> {
 /// `serve` does by parking forever).
 pub struct IsoServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    ctl: Arc<Control>,
     accept_loop: Option<JoinHandle<()>>,
     report: Arc<dyn Fn() -> ServerReport + Send + Sync>,
 }
@@ -274,7 +498,11 @@ impl IsoServer {
         // polling accept loop: nonblocking listener + short sleep lets
         // `stop()` take effect without a wake-up connection
         listener.set_nonblocking(true)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let ctl = Arc::new(Control {
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            live: AtomicU64::new(0),
+        });
         let state = Arc::new(State {
             db,
             lods: LodSpec {
@@ -282,21 +510,34 @@ impl IsoServer {
             },
             lod_tolerance_px: opts.lod_tolerance_px,
             cache: Mutex::new(ResultCache::new(opts.cache_bytes)),
+            ctl: ctl.clone(),
+            extraction_slots: opts.extraction_slots,
+            max_connections: opts.max_connections,
+            degrade: opts.degrade,
+            read_timeout: opts.read_timeout,
+            write_timeout: opts.write_timeout,
+            idle_timeout: opts.idle_timeout,
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             mesh_requests: AtomicU64::new(0),
             frame_requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            accept_backoffs: AtomicU64::new(0),
+            inflight_miss: AtomicU64::new(0),
+            miss_cost_ms: AtomicU64::new(0),
         });
         let report_state = state.clone();
-        let loop_shutdown = shutdown.clone();
         let accept_loop = std::thread::Builder::new()
             .name("oociso-accept".to_string())
-            .spawn(move || accept_loop(listener, state, loop_shutdown))?;
+            .spawn(move || accept_loop(listener, state))?;
         Ok(IsoServer {
             addr,
-            shutdown,
+            ctl,
             accept_loop: Some(accept_loop),
             report: Arc::new(move || report_state.report()),
         })
@@ -312,13 +553,26 @@ impl IsoServer {
         (self.report)()
     }
 
-    /// Stop accepting and join the accept loop. Connections already being
-    /// served finish their current request loop on their own threads.
-    pub fn stop(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+    /// Gracefully stop: [`IsoServer::drain`] with a 5-second deadline.
+    pub fn stop(self) -> ServerReport {
+        self.drain(Duration::from_secs(5))
+    }
+
+    /// Graceful drain: stop accepting, let every in-flight request finish
+    /// (replies completed during the drain are counted `drained`), then
+    /// hard-close whatever is left when `deadline` expires and join the
+    /// accept loop. Returns the final counters.
+    pub fn drain(mut self, deadline: Duration) -> ServerReport {
+        self.ctl.draining.store(true, Ordering::SeqCst);
+        let t0 = Instant::now();
+        while self.ctl.live.load(Ordering::SeqCst) > 0 && t0.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.ctl.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept_loop.take() {
             let _ = h.join();
         }
+        (self.report)()
     }
 
     /// Block this thread forever (foreground serving).
@@ -329,30 +583,106 @@ impl IsoServer {
     }
 }
 
-fn accept_loop<S: ScalarValue>(
-    listener: TcpListener,
-    state: Arc<State<S>>,
-    shutdown: Arc<AtomicBool>,
-) {
-    while !shutdown.load(Ordering::SeqCst) {
+/// `EMFILE`/`ENFILE`: the process or system is out of file descriptors.
+/// Accepting will keep failing until something closes, so the loop must back
+/// off instead of spinning at full speed burning the log and the CPU.
+fn fd_exhausted(e: &io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(23) | Some(24)) // ENFILE | EMFILE
+}
+
+fn accept_loop<S: ScalarValue>(listener: TcpListener, state: Arc<State<S>>) {
+    let ctl = state.ctl.clone();
+    let mut fd_starved = false;
+    while !ctl.shutdown.load(Ordering::SeqCst) && !ctl.draining.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                fd_starved = false;
                 state.connections.fetch_add(1, Ordering::Relaxed);
+                let over = state
+                    .max_connections
+                    .is_some_and(|cap| ctl.live.load(Ordering::SeqCst) >= cap as u64);
+                if over {
+                    // over the cap: a short-lived handler answers one
+                    // ERR_BUSY (at whatever version the client speaks) and
+                    // closes — honest shedding, not a silent drop. It does
+                    // not count toward `live`, so shed handlers can never
+                    // starve real ones.
+                    let state = state.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("oociso-shed".to_string())
+                        .spawn(move || {
+                            let _ = shed_connection(stream, &state);
+                        });
+                    continue;
+                }
+                ctl.live.fetch_add(1, Ordering::SeqCst);
                 let state = state.clone();
-                let _ = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name("oociso-conn".to_string())
                     .spawn(move || {
                         // connection errors (peer vanished mid-frame) end the
                         // handler; the server itself is unaffected
                         let _ = handle_connection(stream, &state);
+                        state.ctl.live.fetch_sub(1, Ordering::SeqCst);
                     });
+                if spawned.is_err() {
+                    // thread exhaustion: the connection is dropped, but the
+                    // gauge must not leak or the cap wedges shut
+                    ctl.live.fetch_sub(1, Ordering::SeqCst);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
+                std::thread::park_timeout(Duration::from_millis(2));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) if fd_exhausted(&e) => {
+                state.accept_backoffs.fetch_add(1, Ordering::Relaxed);
+                if !fd_starved {
+                    fd_starved = true;
+                    eprintln!("oociso-serve: accept failed ({e}); backing off until fds free up");
+                }
+                std::thread::park_timeout(Duration::from_millis(100));
+            }
+            Err(_) => std::thread::park_timeout(Duration::from_millis(10)),
         }
     }
+}
+
+/// Answer one over-capacity connection: read its first frame (under the
+/// request cap and a short deadline — a shed slot must not be holdable
+/// open), reply `ERR_BUSY` in the client's own dialect, close.
+fn shed_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let deadline = Some(
+        state
+            .read_timeout
+            .unwrap_or(Duration::from_secs(2))
+            .min(Duration::from_secs(2)),
+    );
+    stream.set_read_timeout(deadline)?;
+    stream.set_write_timeout(deadline)?;
+    let version = match read_frame_limited(&mut stream, MAX_REQUEST_PAYLOAD)? {
+        None => return Ok(()),
+        Some(FrameIn::Ok { version, .. }) => version,
+        Some(FrameIn::Violation { version, .. }) => version,
+    };
+    state.shed.fetch_add(1, Ordering::Relaxed);
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    state.errors.fetch_add(1, Ordering::Relaxed);
+    let hint = state.retry_hint_ms();
+    let frame = encode_frame_at(
+        version,
+        &Message::Error {
+            code: ERR_BUSY,
+            detail: format!("connection limit reached; retry in {hint} ms"),
+            retry_after_ms: Some(hint),
+        },
+    );
+    stream.write_all(&frame)?;
+    stream.flush()?;
+    state
+        .bytes_out
+        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+    Ok(())
 }
 
 /// A computed response: either a message still to encode, or a frame
@@ -363,17 +693,113 @@ enum Reply {
     Encoded(Vec<u8>),
 }
 
-/// Serve one connection until EOF, a hard I/O error, or an unrecoverable
-/// protocol violation. Requests are read under [`MAX_REQUEST_PAYLOAD`]:
-/// a hostile length header is rejected before any payload allocation.
-/// Every reply frame is stamped with the protocol version the request
-/// spoke, so v1 clients keep parsing a v2 server's answers.
+/// Granularity at which a parked handler re-checks the drain/shutdown flags
+/// and its idle budget while waiting for the next frame.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Why the frame-boundary wait ended without a frame.
+enum Boundary {
+    /// The first byte of a new frame arrived.
+    Frame(u8),
+    /// Clean close: peer EOF, drain/shutdown, or idle timeout (the latter
+    /// already counted).
+    Close,
+}
+
+/// `SO_RCVTIMEO`/`SO_SNDTIMEO` expiry surfaces as `WouldBlock` on Unix and
+/// `TimedOut` on Windows; treat both as the deadline firing.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Park at a frame boundary until the next request's first byte arrives,
+/// polling in [`POLL_TICK`] slices so drain/shutdown take effect promptly
+/// and idle time is metered. Returns the byte so the frame reader can
+/// prepend it.
+fn wait_for_frame<S: ScalarValue>(
+    stream: &mut TcpStream,
+    state: &State<S>,
+) -> io::Result<Boundary> {
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    let parked = Instant::now();
+    let mut byte = [0u8; 1];
+    loop {
+        if state.ctl.shutdown.load(Ordering::SeqCst) || state.ctl.draining.load(Ordering::SeqCst) {
+            return Ok(Boundary::Close);
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return Ok(Boundary::Close),
+            Ok(_) => return Ok(Boundary::Frame(byte[0])),
+            Err(e) if is_timeout(&e) => {
+                if let Some(idle) = state.idle_timeout {
+                    if parked.elapsed() >= idle {
+                        state.timed_out.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Boundary::Close);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A reader that replays the frame's first byte (consumed by the boundary
+/// poll) before handing through to the socket.
+struct Prefixed<'a> {
+    first: Option<u8>,
+    inner: &'a mut TcpStream,
+}
+
+impl Read for Prefixed<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(b) = self.first.take() {
+            if buf.is_empty() {
+                self.first = Some(b);
+                return Ok(0);
+            }
+            buf[0] = b;
+            return Ok(1);
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// Serve one connection until EOF, a deadline, a drain, a hard I/O error,
+/// or an unrecoverable protocol violation. Requests are read under
+/// [`MAX_REQUEST_PAYLOAD`]: a hostile length header is rejected before any
+/// payload allocation. Every reply frame is stamped with the protocol
+/// version the request spoke, so older clients keep parsing a v3 server's
+/// answers.
 fn handle_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    stream.set_write_timeout(state.write_timeout)?;
     loop {
-        let frame = match read_frame_limited(&mut stream, MAX_REQUEST_PAYLOAD)? {
-            None => return Ok(()), // clean EOF between frames
-            Some(f) => f,
+        // between frames: poll so drain/shutdown/idle are honored...
+        let first = match wait_for_frame(&mut stream, state)? {
+            Boundary::Close => return Ok(()),
+            Boundary::Frame(b) => b,
+        };
+        // ...inside a frame: the full read deadline applies — a peer that
+        // stalls mid-frame (slowloris) is cut, not waited on forever
+        stream.set_read_timeout(state.read_timeout)?;
+        let mut reader = Prefixed {
+            first: Some(first),
+            inner: &mut stream,
+        };
+        let frame = match read_frame_limited(&mut reader, MAX_REQUEST_PAYLOAD) {
+            Ok(None) => return Ok(()), // EOF exactly at the boundary byte
+            Ok(Some(f)) => f,
+            Err(e) if is_timeout(&e) => {
+                state.timed_out.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            // peer vanished mid-frame: close without ceremony
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
         };
         let (reply, version, close) = match frame {
             FrameIn::Ok { msg, version } => (respond(state, msg, version), version, false),
@@ -382,7 +808,15 @@ fn handle_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) ->
                 detail,
                 close,
                 version,
-            } => (Reply::Msg(Message::Error { code, detail }), version, close),
+            } => (
+                Reply::Msg(Message::Error {
+                    code,
+                    detail,
+                    retry_after_ms: None,
+                }),
+                version,
+                close,
+            ),
         };
         if matches!(reply, Reply::Msg(Message::Error { .. })) {
             state.errors.fetch_add(1, Ordering::Relaxed);
@@ -392,11 +826,22 @@ fn handle_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) ->
             Reply::Msg(msg) => encode_frame_at(version, &msg),
             Reply::Encoded(bytes) => bytes,
         };
-        stream.write_all(&frame_bytes)?;
-        stream.flush()?;
+        match stream.write_all(&frame_bytes).and_then(|_| stream.flush()) {
+            Ok(()) => {}
+            Err(e) if is_timeout(&e) => {
+                // the peer stopped draining its response: cut it
+                state.timed_out.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
         state
             .bytes_out
             .fetch_add(frame_bytes.len() as u64, Ordering::Relaxed);
+        if state.ctl.draining.load(Ordering::SeqCst) {
+            // this reply completed during the graceful drain
+            state.drained.fetch_add(1, Ordering::Relaxed);
+        }
         if close {
             return Ok(());
         }
@@ -408,6 +853,16 @@ fn handle_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) ->
 /// encoded payload), so this bounds a single well-formed request's
 /// allocations to ~200 MB instead of letting a 16384² ask commit gigabytes.
 const MAX_FRAME_PIXELS: usize = 8 << 20;
+
+/// The structured overload reply (v3 clients additionally get the hint as a
+/// typed field; for older dialects it survives in the detail text).
+fn busy_reply(context: &str, retry_after_ms: u32) -> Message {
+    Message::Error {
+        code: ERR_BUSY,
+        detail: format!("{context}; retry in {retry_after_ms} ms"),
+        retry_after_ms: Some(retry_after_ms),
+    }
+}
 
 /// Compute the response for one well-formed request spoken at `version`.
 fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Reply {
@@ -421,14 +876,22 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                         "lod {lod} out of range: server has {} level(s)",
                         state.levels()
                     ),
+                    retry_after_ms: None,
                 });
             }
             match state.surface(iso, lod) {
                 // no region: serialize straight from the shared cached mesh
-                Ok((surface, cache_hit)) => match region {
+                Ok(MeshOutcome::Serve {
+                    surface,
+                    cache_hit,
+                    served_lod,
+                    degraded,
+                }) => match region {
                     None => Reply::Encoded(encode_mesh_response_frame(
                         cache_hit,
                         surface.active_metacells,
+                        served_lod,
+                        degraded,
                         &surface.mesh,
                         version,
                     )),
@@ -437,13 +900,19 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                         Reply::Msg(Message::MeshResponse {
                             cache_hit,
                             active_metacells: surface.active_metacells,
+                            served_lod,
+                            degraded,
                             mesh: surface.mesh.filter_region(lo, hi),
                         })
                     }
                 },
+                Ok(MeshOutcome::Busy { retry_after_ms }) => {
+                    Reply::Msg(busy_reply("extraction slots exhausted", retry_after_ms))
+                }
                 Err(e) => Reply::Msg(Message::Error {
                     code: ERR_INTERNAL,
                     detail: format!("extraction failed: {e}"),
+                    retry_after_ms: None,
                 }),
             }
         }
@@ -464,10 +933,11 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                     detail: format!(
                         "bad viewport {w}x{h} in {cols}x{rows} tiles (pixel cap {MAX_FRAME_PIXELS})"
                     ),
+                    retry_after_ms: None,
                 });
             }
             match state.all_levels(iso) {
-                Ok((levels, cache_hit)) => {
+                Ok(FrameOutcome::Serve { levels, cache_hit }) => {
                     let tiles = TileLayout::new(cols, rows, w, h);
                     let full = &levels[0].mesh;
                     let mut regions = Vec::with_capacity(tiles.num_tiles());
@@ -522,15 +992,20 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                         regions,
                     })
                 }
+                Ok(FrameOutcome::Busy { retry_after_ms }) => {
+                    Reply::Msg(busy_reply("extraction slots exhausted", retry_after_ms))
+                }
                 Err(e) => Reply::Msg(Message::Error {
                     code: ERR_INTERNAL,
                     detail: format!("extraction failed: {e}"),
+                    retry_after_ms: None,
                 }),
             }
         }
         Message::StatsRequest => {
             // stats payloads are version-dependent (v2 appends the per-level
-            // arrays), so encode directly at the client's version
+            // arrays, v3 the robustness counters), so encode directly at the
+            // client's version
             Reply::Encoded(encode_stats_response_frame(&state.report(), version))
         }
         Message::Ping { payload } => Reply::Msg(Message::Pong { payload }),
@@ -538,6 +1013,7 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
         other => Reply::Msg(Message::Error {
             code: ERR_MALFORMED,
             detail: format!("unexpected client message type {}", other.msg_type()),
+            retry_after_ms: None,
         }),
     }
 }

@@ -225,7 +225,7 @@ fn malformed_and_wrong_version_requests_get_structured_errors() {
         )
         .unwrap()
     {
-        Some(Message::Error { code, detail }) => {
+        Some(Message::Error { code, detail, .. }) => {
             assert_eq!(code, ERR_UNSUPPORTED_VERSION, "{detail}");
         }
         other => panic!("expected version error, got {other:?}"),
@@ -295,6 +295,8 @@ fn malformed_and_wrong_version_requests_get_structured_errors() {
             &encode_payload(&Message::MeshResponse {
                 cache_hit: false,
                 active_metacells: 0,
+                served_lod: 0,
+                degraded: false,
                 mesh: IndexedMesh::new(),
             }),
             false,
@@ -333,7 +335,7 @@ fn malformed_and_wrong_version_requests_get_structured_errors() {
         &big,
         false,
     ) {
-        Ok(Some(Message::Error { code, detail })) => {
+        Ok(Some(Message::Error { code, detail, .. })) => {
             assert_eq!(code, ERR_MALFORMED, "{detail}");
             assert!(detail.contains("exceeds cap"), "{detail}");
         }
