@@ -1,10 +1,10 @@
 //! Criterion: triangle generation — the slab-sliding indexed kernel vs the
-//! naive reference Marching Cubes vs Marching Tetrahedra.
+//! naive reference Marching Cubes vs Marching Tetrahedra vs SurfaceNets.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use oociso_march::{
-    marching_cubes, marching_cubes_indexed, marching_tetrahedra, IndexedMesh, SlabScratch,
-    TriangleSoup, Vec3,
+    marching_cubes, marching_cubes_indexed, marching_tetrahedra, surface_nets, IndexedMesh,
+    SlabScratch, TriangleSoup, Vec3, SN_SMOOTH_PASSES,
 };
 use oociso_volume::field::{FieldExt, GyroidField, SphereField};
 use oociso_volume::{Dims3, Volume};
@@ -53,6 +53,50 @@ fn bench_extractors(c: &mut Criterion) {
                 soup
             })
         });
+        // SurfaceNets: one vertex per active cell, quads on crossing edges,
+        // smoothing passes included (the same path the pipeline runs)
+        group.bench_function(format!("sn_{name}"), |b| {
+            b.iter(|| {
+                let mut mesh = IndexedMesh::new();
+                surface_nets(
+                    vol,
+                    128.0,
+                    Vec3::ZERO,
+                    Vec3::new(1.0, 1.0, 1.0),
+                    SN_SMOOTH_PASSES,
+                    &mut mesh,
+                );
+                mesh
+            })
+        });
+        // primitive budgets for the matrix in docs/BENCH_march.json: SN
+        // matches MC's triangle count but halves the primitive count (quads)
+        let mut mc_mesh = IndexedMesh::new();
+        marching_cubes_indexed(
+            vol,
+            128.0,
+            Vec3::ZERO,
+            Vec3::new(1.0, 1.0, 1.0),
+            &mut mc_mesh,
+            &mut SlabScratch::new(),
+        );
+        let mut sn_mesh = IndexedMesh::new();
+        surface_nets(
+            vol,
+            128.0,
+            Vec3::ZERO,
+            Vec3::new(1.0, 1.0, 1.0),
+            SN_SMOOTH_PASSES,
+            &mut sn_mesh,
+        );
+        eprintln!(
+            "[counts] {name}: mc {} tris / {} verts, sn {} tris ({} quads) / {} verts",
+            mc_mesh.len(),
+            mc_mesh.num_vertices(),
+            sn_mesh.len(),
+            sn_mesh.len() / 2,
+            sn_mesh.num_vertices()
+        );
     }
     group.finish();
 }

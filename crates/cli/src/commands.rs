@@ -15,13 +15,15 @@ USAGE:
   oociso gen        --out FILE [--dims NXxNYxNZ] [--step N] [--seed N] [--field rm|ball]
   oociso preprocess --volume FILE --db DIR [--nodes N] [--metacell K]
   oociso info       --db DIR
-  oociso extract    --db DIR --iso V [--obj FILE] [--topology] [--no-weld]
-                    [--decimate RATIO]
+  oociso extract    --db DIR --iso V [--backend mc|surfacenets] [--obj FILE]
+                    [--topology] [--no-weld] [--decimate RATIO]
   oociso render     --db DIR --iso V --out FILE.ppm [--size N] [--tiles CxR]
   oociso serve      --db DIR [--addr 127.0.0.1:7077] [--cache-mb N] [--port-file FILE]
-                    [--lods R1,R2|none] [--slots N] [--max-conns N] [--degrade]
+                    [--backend mc|surfacenets] [--lods R1,R2|none] [--slots N]
+                    [--max-conns N] [--degrade]
                     [--read-timeout-ms N] [--idle-timeout-ms N]
-  oociso query      --addr HOST:PORT (--iso V | --stats) [--lod N] [--obj FILE]
+  oociso query      --addr HOST:PORT (--iso V | --stats) [--lod N]
+                    [--backend mc|surfacenets] [--obj FILE]
                     [--region x0,y0,z0,x1,y1,z1]
                     [--frame FILE.ppm] [--size N] [--tiles CxR] [--stats]
                     [--timeout MS] [--retries N]
@@ -36,11 +38,23 @@ default levels 100%/25%/6%); `query --lod N` fetches pyramid level N.
 `serve --slots N` bounds concurrent extractions (overflow answers ERR_BUSY
 with a retry hint; add `--degrade` to fall back to a cached coarser LOD);
 `query --timeout MS --retries N` retries busy/torn requests with jittered
-exponential backoff.
+exponential backoff. `--backend` selects the extraction kernel — `mc`
+(Marching Cubes, the default) or `surfacenets` (`sn`): same triangle budget,
+half the primitives, globally vertex-unique; `serve --backend` sets the
+default served to clients that name none, while `query --backend` pins one
+explicitly (per-backend cache slots never alias).
 ";
 
 fn err(e: impl std::fmt::Display) -> String {
     e.to_string()
+}
+
+/// `--backend mc|surfacenets` (default MC, matching the library default).
+fn backend_opt(opts: &Options) -> Result<oociso_march::Backend, String> {
+    match opts.get("backend") {
+        None => Ok(oociso_march::Backend::Mc),
+        Some(s) => s.parse().map_err(|e| format!("--backend: {e}")),
+    }
 }
 
 /// `oociso gen`: write a synthetic volume file — the RM proxy time step
@@ -150,19 +164,22 @@ pub fn extract(opts: &Options) -> Result<(), String> {
     let db = ClusterDatabase::<u8>::open(Path::new(db_dir), true).map_err(err)?;
     // welding is the default: the exported/analyzed mesh is watertight across
     // metacell and node seams; --no-weld keeps the raw per-metacell merge
+    // (SurfaceNets never welds: its vertices are globally unique by cell)
     let weld = !opts.flag("no-weld");
+    let backend = backend_opt(opts)?;
     let result = db
         .extract_with_options(
             iso,
             &oociso_cluster::ExtractOptions {
                 weld,
+                backend,
                 ..Default::default()
             },
         )
         .map_err(err)?;
     let r = &result.report;
     println!(
-        "isovalue {iso}: {} active metacells, {} triangles, {:.1} MB read, wall {:.3}s",
+        "isovalue {iso} ({backend}): {} active metacells, {} triangles, {:.1} MB read, wall {:.3}s",
         r.total_active_metacells(),
         r.total_triangles(),
         r.total_bytes_read() as f64 / 1e6,
@@ -180,7 +197,7 @@ pub fn extract(opts: &Options) -> Result<(), String> {
         r.total_overlap_saved().as_secs_f64() * 1e3,
         max_overlap * 100.0
     );
-    if weld {
+    if weld && backend == oociso_march::Backend::Mc {
         let w = r.total_weld();
         println!(
             "weld: {} seam vertices merged, {} seam edges closed, {} collapsed triangles dropped in {:.1} ms ({:.1}% of extraction wall)",
@@ -283,12 +300,14 @@ pub fn serve(opts: &Options) -> Result<(), String> {
     let extraction_slots: Option<u32> = opts.opt_num("slots")?;
     let max_connections: Option<u32> = opts.opt_num("max-conns")?;
     let degrade = opts.flag("degrade");
+    let backend = backend_opt(opts)?;
     let mut serve_opts = oociso_serve::ServeOptions {
         cache_bytes: cache_mb << 20,
         lod_ratios,
         extraction_slots,
         max_connections,
         degrade,
+        backend,
         ..Default::default()
     };
     if let Some(ms) = opts.opt_num::<u64>("read-timeout-ms")? {
@@ -305,7 +324,7 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         std::fs::write(port_file, server.addr().port().to_string()).map_err(err)?;
     }
     println!(
-        "serving {db_dir} ({nodes} node(s)) on {} — protocol v{}, cache {cache_mb} MiB, {levels} LOD level(s)",
+        "serving {db_dir} ({nodes} node(s)) on {} — protocol v{}, cache {cache_mb} MiB, {levels} LOD level(s), default backend {backend}",
         server.addr(),
         oociso_serve::VERSION,
     );
@@ -379,9 +398,23 @@ fn query_iso(
     lod: u16,
 ) -> Result<(), String> {
     let t = std::time::Instant::now();
-    let reply = client.query_mesh_lod(iso, region, lod).map_err(err)?;
+    // --backend names an extraction kernel explicitly; without it the
+    // request carries no selector and the server's default answers
+    let reply = match opts.get("backend") {
+        None => client.query_mesh_lod(iso, region, lod).map_err(err)?,
+        Some(s) => {
+            let backend = s
+                .parse::<oociso_march::Backend>()
+                .map_err(|e| format!("--backend: {e}"))?;
+            client
+                .query_mesh_backend(iso, region, lod, backend)
+                .map_err(err)?
+        }
+    };
+    let served = oociso_march::Backend::from_id(reply.backend)
+        .map_or_else(|| format!("backend {}", reply.backend), |b| b.to_string());
     println!(
-        "isovalue {iso} (lod {lod}): {} triangles ({} welded vertices), {} active metacells, {} in {:.3}s{}",
+        "isovalue {iso} (lod {lod}, {served}): {} triangles ({} vertices), {} active metacells, {} in {:.3}s{}",
         reply.mesh.len(),
         reply.mesh.num_vertices(),
         reply.active_metacells,
@@ -470,6 +503,24 @@ fn print_stats(client: &mut oociso_serve::Client) -> Result<(), String> {
         .collect();
     if !per_level.is_empty() {
         println!("cache per lod (hits/misses): {}", per_level.join(", "));
+    }
+    let per_backend: Vec<String> = s
+        .backend_hits
+        .iter()
+        .zip(&s.backend_misses)
+        .enumerate()
+        .filter(|(_, (&h, &m))| h + m > 0)
+        .map(|(i, (h, m))| {
+            let name = oociso_march::Backend::from_id(i as u8)
+                .map_or_else(|| i.to_string(), |b| b.to_string());
+            format!("{name} {h}/{m}")
+        })
+        .collect();
+    if !per_backend.is_empty() {
+        println!(
+            "cache per backend (hits/misses): {}",
+            per_backend.join(", ")
+        );
     }
     println!(
         "overload: shed={} degraded={} timed_out={} drained={} accept_backoffs={} active_conns={}",

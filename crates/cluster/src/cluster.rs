@@ -5,8 +5,13 @@ use crate::timing::{NodeReport, QueryReport};
 use oociso_exio::{BoundedQueue, DiskFarm, RecordStore, WriteAt};
 use oociso_itree::plan::{execute_plan, QueryPlan};
 use oociso_itree::{persist, CompactIntervalTree, MetacellRecordFormat};
-use oociso_march::mc::{marching_cubes_indexed, McStats, SlabScratch};
-use oociso_march::{IndexedMesh, LodChain, MeshWelder, TriangleSoup, Vec3};
+use oociso_march::mc::McStats;
+use oociso_march::weld::WeldStats;
+use oociso_march::{
+    smooth_surface_nets, stitch_seams, Backend, BackendScratch, BlockDomain, BlockOutput,
+    ExtractionBackend, IndexedMesh, LodChain, MeshWelder, SeamQuad, TriangleSoup, Vec3,
+    SN_SMOOTH_PASSES,
+};
 use oociso_metacell::{
     scan_volume, MetacellInterval, MetacellLayout, MetacellRecord, PreprocessStats,
 };
@@ -114,6 +119,12 @@ pub struct ExtractOptions {
     /// [`ClusterExtraction::into_lod_chain`]; empty (the default) skips
     /// decimation entirely.
     pub lods: LodSpec,
+    /// Extraction kernel. [`Backend::Mc`] (default) triangulates per cell
+    /// and welds seams; [`Backend::SurfaceNets`] emits one vertex per active
+    /// cell with deferred seam quads stitched during
+    /// [`ClusterExtraction::into_merged`] — vertices are globally unique by
+    /// construction, so [`ExtractOptions::weld`] does not apply to it.
+    pub backend: Backend,
 }
 
 impl Default for ExtractOptions {
@@ -123,6 +134,7 @@ impl Default for ExtractOptions {
             mode: ExtractMode::default(),
             weld: true,
             lods: LodSpec::none(),
+            backend: Backend::Mc,
         }
     }
 }
@@ -137,20 +149,33 @@ pub struct ClusterExtraction {
     /// node's metacells; otherwise vertices are deduplicated only within
     /// each metacell.
     pub meshes: Vec<IndexedMesh>,
+    /// Per-node vertex→cell tables for the SurfaceNets backend (parallel to
+    /// each node mesh's vertices; empty for MC). The cell key is the global
+    /// identity of the vertex — what the seam stitch joins on.
+    pub cells: Vec<Vec<u64>>,
+    /// Per-node deferred seam quads for the SurfaceNets backend (empty for
+    /// MC) — resolved by [`ClusterExtraction::into_merged`].
+    pub seams: Vec<Vec<SeamQuad>>,
     /// Per-node and aggregate measurements.
     pub report: QueryReport,
     /// Whether [`ClusterExtraction::into_merged`] welds node seams (set from
-    /// [`ExtractOptions::weld`]).
+    /// [`ExtractOptions::weld`]; MC only).
     pub weld: bool,
     /// LOD pyramid [`ClusterExtraction::into_lod_chain`] will build from the
     /// merged mesh (set from [`ExtractOptions::lods`]).
     pub lods: LodSpec,
+    /// The kernel that produced this extraction.
+    pub backend: Backend,
 }
 
 impl ClusterExtraction {
     /// Merge all node meshes into one soup (for export or soup-consuming
     /// callers). Triangles are materialized straight into one pre-reserved
     /// soup — no per-node intermediate soups, no cloning.
+    ///
+    /// For the SurfaceNets backend the soup holds only the node-local
+    /// geometry — the deferred seam quads between nodes (and the smoothing
+    /// passes) only materialize in [`ClusterExtraction::into_merged`].
     pub fn merged_soup(&self) -> TriangleSoup {
         let total: usize = self.meshes.iter().map(IndexedMesh::len).sum();
         let mut out = TriangleSoup::with_capacity(total);
@@ -171,10 +196,40 @@ impl ClusterExtraction {
     pub fn into_merged(self) -> (IndexedMesh, QueryReport) {
         let ClusterExtraction {
             meshes,
+            cells,
+            seams,
             mut report,
             weld,
             lods: _,
+            backend,
         } = self;
+        if backend == Backend::SurfaceNets {
+            // SurfaceNets merge: concatenate node meshes (vertices are
+            // globally unique by cell ownership — nothing to weld), resolve
+            // the deferred seam quads against the concatenated vertex→cell
+            // table, then run the bounded smoothing passes over the stitched
+            // surface so smoothing reaches across node seams.
+            let t = Instant::now();
+            let total: usize = meshes.iter().map(IndexedMesh::len).sum();
+            let mut out = IndexedMesh::with_capacity(total);
+            let mut all_cells: Vec<u64> = Vec::with_capacity(cells.iter().map(Vec::len).sum());
+            for (m, c) in meshes.into_iter().zip(cells) {
+                out.merge(m);
+                all_cells.extend(c);
+            }
+            let mut all_seams: Vec<SeamQuad> = seams.into_iter().flatten().collect();
+            report.stitch_triangles = stitch_seams(&mut out, &all_cells, &mut all_seams);
+            smooth_surface_nets(
+                &mut out,
+                &all_cells,
+                Vec3::ZERO,
+                Vec3::new(1.0, 1.0, 1.0),
+                SN_SMOOTH_PASSES,
+            );
+            report.merge_weld_wall = t.elapsed();
+            report.total_wall += report.merge_weld_wall;
+            return (out, report);
+        }
         if !weld || meshes.len() <= 1 {
             // single welded node: already seam-free, skip the re-join pass
             let mut it = meshes.into_iter();
@@ -522,13 +577,16 @@ impl<S: ScalarValue> Cluster<S> {
             .max(1);
         let mode = opts.mode;
         let weld = opts.weld;
+        let backend = opts.backend;
         let t_total = Instant::now();
-        let results: Vec<io::Result<(IndexedMesh, NodeReport)>> = std::thread::scope(|scope| {
+        let results: Vec<io::Result<(BlockOutput, NodeReport)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.nodes)
                 .map(|i| {
                     let tree = &self.trees[i];
                     let store = &self.stores[i];
-                    scope.spawn(move || self.node_extract(i, tree, store, iso, workers, mode, weld))
+                    scope.spawn(move || {
+                        self.node_extract(i, tree, store, iso, workers, mode, weld, backend)
+                    })
                 })
                 .collect();
             handles
@@ -537,10 +595,14 @@ impl<S: ScalarValue> Cluster<S> {
                 .collect()
         });
         let mut meshes = Vec::with_capacity(self.nodes);
+        let mut cells = Vec::with_capacity(self.nodes);
+        let mut seams = Vec::with_capacity(self.nodes);
         let mut nodes = Vec::with_capacity(self.nodes);
         for r in results {
-            let (mesh, report) = r?;
-            meshes.push(mesh);
+            let (out, report) = r?;
+            meshes.push(out.mesh);
+            cells.push(out.cells);
+            seams.push(out.seams);
             nodes.push(report);
         }
         let report = QueryReport {
@@ -553,9 +615,12 @@ impl<S: ScalarValue> Cluster<S> {
         };
         Ok(ClusterExtraction {
             meshes,
+            cells,
+            seams,
             report,
             weld,
             lods: opts.lods.clone(),
+            backend,
         })
     }
 
@@ -570,7 +635,8 @@ impl<S: ScalarValue> Cluster<S> {
         workers: usize,
         mode: ExtractMode,
         weld: bool,
-    ) -> io::Result<(IndexedMesh, NodeReport)> {
+        backend: Backend,
+    ) -> io::Result<(BlockOutput, NodeReport)> {
         let io_before = store.device().io_snapshot();
         let t0 = Instant::now();
         let plan = tree.plan(S::query_key(iso));
@@ -580,7 +646,7 @@ impl<S: ScalarValue> Cluster<S> {
             // threads spawn, so the report states 0 workers.
             let elapsed = t0.elapsed();
             return Ok((
-                IndexedMesh::new(),
+                BlockOutput::default(),
                 NodeReport {
                     node,
                     workers: 0,
@@ -591,26 +657,57 @@ impl<S: ScalarValue> Cluster<S> {
                 },
             ));
         }
-        let (mut mesh, mut report) = match mode {
-            ExtractMode::Streaming { queue_records } => {
-                self.node_extract_streaming(&plan, store, iso, workers, queue_records)?
+        // Welding fuses duplicated MC seam vertices; SurfaceNets vertices
+        // are globally unique by cell ownership, so there is nothing to weld.
+        let weld = weld && backend == Backend::Mc;
+        let (out, mut report) = match mode {
+            ExtractMode::Streaming { queue_records } => self.node_extract_streaming(
+                &plan,
+                store,
+                iso,
+                workers,
+                queue_records,
+                weld,
+                backend,
+            )?,
+            ExtractMode::Batch => {
+                self.node_extract_batch(&plan, store, iso, workers, weld, backend)?
             }
-            ExtractMode::Batch => self.node_extract_batch(&plan, store, iso, workers)?,
         };
-        if weld {
-            // One deterministic re-weld of the merged node mesh. Both modes
-            // produce bit-identical pre-weld meshes, so welding here (rather
-            // than inside each mode's merge loop) keeps them bit-identical
-            // after welding too, for any worker count or queue bound.
-            let t = Instant::now();
-            let (welded, stats) = mesh.welded();
-            mesh = welded;
-            report.weld = stats;
-            report.weld_wall = t.elapsed();
-        }
         report.node = node;
         report.io = store.device().io_snapshot().since(&io_before);
-        Ok((mesh, report))
+        Ok((out, report))
+    }
+
+    /// Fold the per-record (or per-chunk) parts into one node output, in
+    /// sequence order. With welding, each part joins through one
+    /// deterministic [`MeshWelder`] as it merges — by the welder's split
+    /// invariance this is byte-identical to concatenating everything first
+    /// and re-welding the whole node mesh, without that full-mesh pass. The
+    /// merge loop's wall lands in `weld_wall` when welding ran.
+    fn merge_parts(
+        parts: Vec<(BlockOutput, McStats)>,
+        weld: bool,
+    ) -> (BlockOutput, McStats, WeldStats, Duration) {
+        let t = Instant::now();
+        let mut mc = McStats::default();
+        let total: usize = parts.iter().map(|(o, _)| o.mesh.len()).sum();
+        let mut out = BlockOutput::with_capacity(total);
+        let mut welder = weld.then(MeshWelder::new);
+        for (part, stats) in parts {
+            mc.merge(&stats);
+            match &mut welder {
+                Some(w) => out.mesh.merge_welded(&part.mesh, w),
+                None => out.mesh.merge(part.mesh),
+            }
+            out.cells.extend(part.cells);
+            out.seams.extend(part.seams);
+        }
+        let (weld_stats, weld_wall) = match welder {
+            Some(w) => (w.finish(&out.mesh), t.elapsed()),
+            None => (WeldStats::default(), Duration::ZERO),
+        };
+        (out, mc, weld_stats, weld_wall)
     }
 
     /// The streaming pipeline: the calling (node) thread produces — executes
@@ -621,6 +718,7 @@ impl<S: ScalarValue> Cluster<S> {
     /// mesh part; parts merge in sequence order, so the output is
     /// bit-identical to the batch path for any worker count or queue bound,
     /// and per-record granularity load-balances dense metacells for free.
+    #[allow(clippy::too_many_arguments)]
     fn node_extract_streaming(
         &self,
         plan: &QueryPlan,
@@ -628,8 +726,10 @@ impl<S: ScalarValue> Cluster<S> {
         iso: f32,
         workers: usize,
         queue_records: usize,
-    ) -> io::Result<(IndexedMesh, NodeReport)> {
-        type Part = (u64, IndexedMesh, McStats);
+        weld: bool,
+        backend: Backend,
+    ) -> io::Result<(BlockOutput, NodeReport)> {
+        type Part = (u64, BlockOutput, McStats);
         /// Closes the queue when dropped. Every pipeline thread holds one, so
         /// an unwinding producer or worker releases everyone else — workers
         /// drain and exit, a blocked producer's push fails — instead of
@@ -643,7 +743,17 @@ impl<S: ScalarValue> Cluster<S> {
             }
         }
 
-        let queue: BoundedQueue<(u64, Vec<u8>)> = BoundedQueue::new(queue_records);
+        // Admission is weighted by the planner's per-record cell count, so
+        // the bound caps queued *work*: `queue_records` is interpreted as a
+        // budget of that many full metacells' worth of cells — a few dense
+        // (full) records fill it while many clamped edge slivers share it.
+        let full_cells = {
+            let span = (self.layout.k() - 1) as u64;
+            span * span * span
+        };
+        let queue: BoundedQueue<(u64, Vec<u8>)> =
+            BoundedQueue::weighted((queue_records as u64).saturating_mul(full_cells));
+        let backend_impl = backend.instance::<S>();
         let t_pipeline = Instant::now();
         let (exec, amc_retrieval, outs) = std::thread::scope(|scope| {
             let queue = &queue;
@@ -653,20 +763,21 @@ impl<S: ScalarValue> Cluster<S> {
                         let _release_on_panic = CloseOnDrop(queue);
                         let mut parts: Vec<Part> = Vec::new();
                         let mut busy = Duration::ZERO;
-                        let mut scratch = SlabScratch::new();
+                        let mut scratch = BackendScratch::new();
                         let mut scalars: Vec<S> = Vec::new();
                         while let Some((seq, rec)) = queue.pop() {
                             let t = Instant::now();
-                            let mut mesh = IndexedMesh::new();
+                            let mut out = BlockOutput::default();
                             let mc = self.triangulate_record(
+                                backend_impl,
                                 &rec,
                                 iso,
-                                &mut mesh,
+                                &mut out,
                                 &mut scratch,
                                 &mut scalars,
                             );
                             busy += t.elapsed();
-                            parts.push((seq, mesh, mc));
+                            parts.push((seq, out, mc));
                         }
                         (parts, busy)
                     })
@@ -680,8 +791,9 @@ impl<S: ScalarValue> Cluster<S> {
             let exec = {
                 let _close = CloseOnDrop(queue);
                 let mut seq = 0u64;
-                execute_plan(plan, store, &self.format, |_id, bytes| {
-                    let _ = queue.push((seq, bytes.to_vec()), bytes.len() as u64);
+                execute_plan(plan, store, &self.format, |id, bytes| {
+                    let work = self.layout.num_cells(id) as u64;
+                    let _ = queue.push((seq, bytes.to_vec()), bytes.len() as u64, work);
                     seq += 1;
                 })
                 // _close drops here: the queue closes on success, on a failed
@@ -705,19 +817,17 @@ impl<S: ScalarValue> Cluster<S> {
             parts.extend(p);
         }
         parts.sort_unstable_by_key(|&(seq, _, _)| seq);
-        let mut mc = McStats::default();
-        let total: usize = parts.iter().map(|(_, m, _)| m.len()).sum();
-        let mut mesh = IndexedMesh::with_capacity(total);
-        for (_, part, stats) in parts {
-            mc.merge(&stats);
-            mesh.merge(part);
-        }
-        let extraction_wall = t_pipeline.elapsed();
+        let parts: Vec<(BlockOutput, McStats)> =
+            parts.into_iter().map(|(_, o, mc)| (o, mc)).collect();
+        let (out, mc, weld_stats, weld_wall) = Self::merge_parts(parts, weld);
+        // weld_wall is reported separately (and summed back in wall_total),
+        // so keep it out of the pipeline wall
+        let extraction_wall = t_pipeline.elapsed().saturating_sub(weld_wall);
         let qstats = queue.stats();
         let waits = queue.waits();
 
         Ok((
-            mesh,
+            out,
             NodeReport {
                 node: 0, // filled by node_extract
                 workers,
@@ -733,10 +843,12 @@ impl<S: ScalarValue> Cluster<S> {
                 triangulation_busy,
                 peak_queue_records: qstats.peak_items,
                 peak_queue_bytes: qstats.peak_bytes,
+                peak_queue_work: qstats.peak_weight,
                 exec,
+                weld: weld_stats,
+                weld_wall,
                 rendering: Duration::ZERO,
                 io: Default::default(), // filled by node_extract
-                ..Default::default()    // weld counters filled by node_extract
             },
         ))
     }
@@ -749,16 +861,21 @@ impl<S: ScalarValue> Cluster<S> {
         store: &RecordStore,
         iso: f32,
         workers: usize,
-    ) -> io::Result<(IndexedMesh, NodeReport)> {
+        weld: bool,
+        backend: Backend,
+    ) -> io::Result<(BlockOutput, NodeReport)> {
         // Phase 1: AMC retrieval — the entire active set is staged in memory
         // (which is what `peak_queue_*` report for this mode).
         let t_pipeline = Instant::now();
         let mut records: Vec<Vec<u8>> = Vec::new();
-        let exec = execute_plan(plan, store, &self.format, |_id, bytes| {
+        let mut staged_cells = 0u64;
+        let exec = execute_plan(plan, store, &self.format, |id, bytes| {
+            staged_cells += self.layout.num_cells(id) as u64;
             records.push(bytes.to_vec())
         })?;
         let amc_retrieval = t_pipeline.elapsed();
         let bytes_read: u64 = records.iter().map(|r| r.len() as u64).sum();
+        let backend_impl = backend.instance::<S>();
 
         // Phase 2: triangulation across contiguous chunks. chunks(per) can
         // yield fewer chunks than requested (e.g. 10 records across 8 workers
@@ -767,18 +884,18 @@ impl<S: ScalarValue> Cluster<S> {
         let workers = workers.clamp(1, records.len().max(1));
         let per = records.len().max(1).div_ceil(workers);
         let workers = records.len().max(1).div_ceil(per);
-        let (mesh, mc, triangulation_busy) = if workers <= 1 {
-            let (mesh, mc) = self.triangulate_batch(&records, iso);
-            (mesh, mc, t1.elapsed())
+        let (parts, triangulation_busy) = if workers <= 1 {
+            let part = self.triangulate_batch(backend_impl, &records, iso);
+            (vec![part], t1.elapsed())
         } else {
-            let parts: Vec<(IndexedMesh, McStats, Duration)> = std::thread::scope(|scope| {
+            let parts: Vec<(BlockOutput, McStats, Duration)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = records
                     .chunks(per)
                     .map(|chunk| {
                         scope.spawn(move || {
                             let t = Instant::now();
-                            let (mesh, mc) = self.triangulate_batch(chunk, iso);
-                            (mesh, mc, t.elapsed())
+                            let (out, mc) = self.triangulate_batch(backend_impl, chunk, iso);
+                            (out, mc, t.elapsed())
                         })
                     })
                     .collect();
@@ -787,21 +904,14 @@ impl<S: ScalarValue> Cluster<S> {
                     .map(|h| h.join().expect("extraction worker panicked"))
                     .collect()
             });
-            let mut mc = McStats::default();
-            let mut busy = Duration::ZERO;
-            let total: usize = parts.iter().map(|(m, _, _)| m.len()).sum();
-            let mut mesh = IndexedMesh::with_capacity(total);
-            for (part, stats, dt) in parts {
-                mc.merge(&stats);
-                busy += dt;
-                mesh.merge(part);
-            }
-            (mesh, mc, busy)
+            let busy = parts.iter().map(|&(_, _, dt)| dt).sum();
+            (parts.into_iter().map(|(o, mc, _)| (o, mc)).collect(), busy)
         };
-        let triangulation = t1.elapsed();
+        let (out, mc, weld_stats, weld_wall) = Self::merge_parts(parts, weld);
+        let triangulation = t1.elapsed().saturating_sub(weld_wall);
 
         Ok((
-            mesh,
+            out,
             NodeReport {
                 node: 0, // filled by node_extract
                 workers,
@@ -812,58 +922,65 @@ impl<S: ScalarValue> Cluster<S> {
                 bytes_read,
                 amc_retrieval,
                 triangulation,
-                extraction_wall: t_pipeline.elapsed(),
+                extraction_wall: t_pipeline.elapsed().saturating_sub(weld_wall),
                 retrieval_busy: amc_retrieval,
                 triangulation_busy,
                 peak_queue_records: records.len() as u64,
                 peak_queue_bytes: bytes_read,
+                peak_queue_work: staged_cells,
                 exec,
+                weld: weld_stats,
+                weld_wall,
                 rendering: Duration::ZERO,
                 io: Default::default(), // filled by node_extract
-                ..Default::default()    // weld counters filled by node_extract
             },
         ))
     }
 
-    /// Triangulate one encoded record into `mesh`, reusing the caller's
-    /// decode buffer and slab scratch.
+    /// Extract one encoded record into `out` through the chosen backend,
+    /// reusing the caller's decode buffer and kernel scratch.
     fn triangulate_record(
         &self,
+        backend: &dyn ExtractionBackend<S>,
         rec: &[u8],
         iso: f32,
-        mesh: &mut IndexedMesh,
-        scratch: &mut SlabScratch,
+        out: &mut BlockOutput,
+        scratch: &mut BackendScratch,
         scalars: &mut Vec<S>,
     ) -> McStats {
         let (id, _vmin, used) =
             MetacellRecord::<S>::decode_scalars_into(rec, &self.layout, scalars);
         debug_assert_eq!(used, rec.len());
-        let ((x0, y0, z0), _) = self.layout.vertex_box(id);
+        let (origin, _) = self.layout.vertex_box(id);
         let local = Volume::from_vec(self.layout.cell_dims(id), std::mem::take(scalars));
-        let stats = marching_cubes_indexed(
-            &local,
-            iso,
-            Vec3::new(x0 as f32, y0 as f32, z0 as f32),
-            Vec3::new(1.0, 1.0, 1.0),
-            mesh,
-            scratch,
-        );
+        let domain = BlockDomain {
+            origin,
+            volume_dims: self.layout.volume_dims(),
+        };
+        let stats = backend.extract_block(&local, iso, &domain, out, scratch);
         *scalars = local.into_vec();
         stats
     }
 
-    /// Triangulate one contiguous batch of encoded records into one mesh,
-    /// reusing a single decode buffer and slab scratch across the batch.
-    fn triangulate_batch(&self, records: &[Vec<u8>], iso: f32) -> (IndexedMesh, McStats) {
-        let mut mesh = IndexedMesh::new();
+    /// Extract one contiguous batch of encoded records into one accumulated
+    /// block output, reusing a single decode buffer and scratch across the
+    /// batch.
+    fn triangulate_batch(
+        &self,
+        backend: &dyn ExtractionBackend<S>,
+        records: &[Vec<u8>],
+        iso: f32,
+    ) -> (BlockOutput, McStats) {
+        let mut out = BlockOutput::default();
         let mut mc = McStats::default();
-        let mut scratch = SlabScratch::new();
+        let mut scratch = BackendScratch::new();
         let mut scalars: Vec<S> = Vec::new();
         for rec in records {
-            let stats = self.triangulate_record(rec, iso, &mut mesh, &mut scratch, &mut scalars);
+            let stats =
+                self.triangulate_record(backend, rec, iso, &mut out, &mut scratch, &mut scalars);
             mc.merge(&stats);
         }
-        (mesh, mc)
+        (out, mc)
     }
 
     /// Swap one node's record store (I/O-modeling experiments: throttled or

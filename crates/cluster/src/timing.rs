@@ -53,6 +53,10 @@ pub struct NodeReport {
     /// pipeline's actual staging memory, vs. the whole active set for the
     /// batch path.
     pub peak_queue_bytes: u64,
+    /// High-water mark of queued *work* (planner cell estimates) between the
+    /// phases — what the weighted queue admission actually bounds. The batch
+    /// path reports the whole staged active set's cell count.
+    pub peak_queue_work: u64,
     /// Plan-execution counters (bulk/prefix actions, rejected records).
     pub exec: ExecStats,
     /// Metacell-seam weld counters for this node's mesh (zeroed when the
@@ -139,8 +143,13 @@ pub struct QueryReport {
     /// zeroed until that merge happens, or when welding is off / the cluster
     /// has a single node).
     pub merge_weld: WeldStats,
-    /// Measured wall-clock of the cross-node merge weld.
+    /// Measured wall-clock of the cross-node merge stage (the merge weld
+    /// for MC; the seam stitch + smoothing for SurfaceNets).
     pub merge_weld_wall: Duration,
+    /// Triangles appended by the SurfaceNets seam stitch during
+    /// `ClusterExtraction::into_merged` (0 for MC, and until that merge
+    /// runs). Counted into [`QueryReport::total_triangles`].
+    pub stitch_triangles: u64,
     /// Per-level rows of the LOD pyramid (`ClusterExtraction::into_lod_chain`;
     /// empty until that runs, or when no LODs were requested).
     pub lod_levels: Vec<LodReport>,
@@ -161,9 +170,10 @@ impl QueryReport {
         self.nodes.iter().map(|n| n.active_metacells).sum()
     }
 
-    /// Total triangles across nodes.
+    /// Total triangles across nodes (plus the SurfaceNets seam stitch, once
+    /// the merge stage has run).
     pub fn total_triangles(&self) -> u64 {
-        self.nodes.iter().map(|n| n.triangles).sum()
+        self.nodes.iter().map(|n| n.triangles).sum::<u64>() + self.stitch_triangles
     }
 
     /// Total bytes read across nodes.

@@ -129,8 +129,22 @@ impl<S: ScalarValue> ClusterDatabase<S> {
         iso: f32,
         lods: &oociso_cluster::LodSpec,
     ) -> io::Result<(oociso_march::LodChain, QueryReport)> {
+        self.extract_lods_with(iso, lods, oociso_march::Backend::Mc)
+    }
+
+    /// [`ClusterDatabase::extract_lods`] with an explicit extraction
+    /// [`Backend`](oociso_march::Backend). SurfaceNets pyramids build from
+    /// the seam-stitched, smoothed mesh (already vertex-unique by cell
+    /// ownership, so no weld pass runs first).
+    pub fn extract_lods_with(
+        &self,
+        iso: f32,
+        lods: &oociso_cluster::LodSpec,
+        backend: oociso_march::Backend,
+    ) -> io::Result<(oociso_march::LodChain, QueryReport)> {
         let opts = oociso_cluster::ExtractOptions {
             lods: lods.clone(),
+            backend,
             ..Default::default()
         };
         let e = self.cluster.extract_with_options(iso, &opts)?;

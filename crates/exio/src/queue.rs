@@ -1,12 +1,24 @@
-//! Bounded producer/consumer queue with byte accounting.
+//! Bounded producer/consumer queue with byte and work accounting.
 //!
 //! The streaming extraction pipeline pushes decoded metacell records from the
 //! AMC-retrieval thread into a pool of triangulation workers. The queue is
 //! deliberately small: its bound is what caps peak memory (the out-of-core
 //! promise) and what forces disk and cores to overlap instead of letting the
-//! producer buffer the whole active set. Every push is accounted in items and
-//! bytes so reports can state the true high-water mark, and blocked time is
-//! tracked on both sides so overlap efficiency is measurable.
+//! producer buffer the whole active set. Every push is accounted in items,
+//! bytes, and caller-supplied *weight* so reports can state the true
+//! high-water mark, and blocked time is tracked on both sides so overlap
+//! efficiency is measurable.
+//!
+//! Two bounding modes:
+//!
+//! * [`BoundedQueue::new`] — classic item-count bound: at most `capacity`
+//!   items queued, whatever their weight.
+//! * [`BoundedQueue::weighted`] — admission by total queued weight: a push
+//!   blocks while the queue's weight budget is spent, except that one item is
+//!   always admitted into an empty queue (so an item heavier than the whole
+//!   budget still flows instead of deadlocking). The pipeline weights records
+//!   by their planner cell estimate, so the bound caps queued *work* — a few
+//!   dense metacells fill the budget that many sparse ones would share.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -19,10 +31,14 @@ pub struct QueueStats {
     pub pushed_items: u64,
     /// Payload bytes pushed over the queue's lifetime.
     pub pushed_bytes: u64,
+    /// Work weight pushed over the queue's lifetime.
+    pub pushed_weight: u64,
     /// Most items ever queued at once.
     pub peak_items: u64,
     /// Most payload bytes ever queued at once.
     pub peak_bytes: u64,
+    /// Most work weight ever queued at once.
+    pub peak_weight: u64,
 }
 
 /// Wait-time totals, tracked separately from [`QueueStats`] so they can keep
@@ -37,14 +53,16 @@ pub struct QueueWaits {
 }
 
 struct Inner<T> {
-    items: VecDeque<(T, u64)>,
+    items: VecDeque<(T, u64, u64)>,
     bytes: u64,
+    weight: u64,
     closed: bool,
     stats: QueueStats,
     waits: QueueWaits,
 }
 
-/// A blocking MPMC queue bounded by item count, with byte accounting.
+/// A blocking MPMC queue bounded by item count or queued weight, with byte
+/// and weight accounting.
 ///
 /// Producers [`push`](BoundedQueue::push) until [`close`](BoundedQueue::close);
 /// consumers [`pop`](BoundedQueue::pop) until it returns `None` (queue drained
@@ -55,15 +73,16 @@ pub struct BoundedQueue<T> {
     not_full: Condvar,
     not_empty: Condvar,
     capacity: usize,
+    max_weight: Option<u64>,
 }
 
 impl<T> BoundedQueue<T> {
-    /// Queue holding at most `capacity` items (at least 1).
-    pub fn new(capacity: usize) -> Self {
+    fn with_bounds(capacity: usize, max_weight: Option<u64>) -> Self {
         BoundedQueue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
                 bytes: 0,
+                weight: 0,
                 closed: false,
                 stats: QueueStats::default(),
                 waits: QueueWaits::default(),
@@ -71,19 +90,51 @@ impl<T> BoundedQueue<T> {
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
+            max_weight,
         }
     }
 
-    /// Item capacity.
+    /// Queue holding at most `capacity` items (at least 1), regardless of
+    /// their weight.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_bounds(capacity, None)
+    }
+
+    /// Queue bounded by total queued *weight* instead of item count: a push
+    /// blocks while admitting its item would take the queued weight past
+    /// `max_weight` (at least 1) — unless the queue is empty, in which case
+    /// the item is admitted regardless, so one over-budget item can never
+    /// deadlock the pipeline.
+    pub fn weighted(max_weight: u64) -> Self {
+        Self::with_bounds(usize::MAX, Some(max_weight.max(1)))
+    }
+
+    /// Item capacity (`usize::MAX` for weight-bounded queues).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Push an item carrying `bytes` of payload, blocking while the queue is
-    /// full. Returns the item back if the queue was closed.
-    pub fn push(&self, item: T, bytes: u64) -> Result<(), T> {
+    /// Weight budget, when weight-bounded.
+    pub fn max_weight(&self) -> Option<u64> {
+        self.max_weight
+    }
+
+    /// Push an item carrying `bytes` of payload and `weight` units of work,
+    /// blocking while the queue is full (by item count, or by weight for
+    /// [`weighted`](BoundedQueue::weighted) queues). Returns the item back if
+    /// the queue was closed.
+    pub fn push(&self, item: T, bytes: u64, weight: u64) -> Result<(), T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
-        while inner.items.len() >= self.capacity && !inner.closed {
+        let full = |inner: &Inner<T>| {
+            inner.items.len() >= self.capacity
+                || match self.max_weight {
+                    Some(max) => {
+                        !inner.items.is_empty() && inner.weight.saturating_add(weight) > max
+                    }
+                    None => false,
+                }
+        };
+        while full(&inner) && !inner.closed {
             let t = Instant::now();
             inner = self.not_full.wait(inner).expect("queue poisoned");
             inner.waits.push_wait += t.elapsed();
@@ -91,12 +142,15 @@ impl<T> BoundedQueue<T> {
         if inner.closed {
             return Err(item);
         }
-        inner.items.push_back((item, bytes));
+        inner.items.push_back((item, bytes, weight));
         inner.bytes += bytes;
+        inner.weight += weight;
         inner.stats.pushed_items += 1;
         inner.stats.pushed_bytes += bytes;
+        inner.stats.pushed_weight += weight;
         inner.stats.peak_items = inner.stats.peak_items.max(inner.items.len() as u64);
         inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.bytes);
+        inner.stats.peak_weight = inner.stats.peak_weight.max(inner.weight);
         drop(inner);
         self.not_empty.notify_one();
         Ok(())
@@ -112,8 +166,9 @@ impl<T> BoundedQueue<T> {
             inner.waits.pop_wait += t.elapsed();
         }
         match inner.items.pop_front() {
-            Some((item, bytes)) => {
+            Some((item, bytes, weight)) => {
                 inner.bytes -= bytes;
+                inner.weight -= weight;
                 drop(inner);
                 self.not_full.notify_one();
                 Some(item)
@@ -152,7 +207,7 @@ mod tests {
     fn fifo_order_and_accounting() {
         let q: BoundedQueue<u32> = BoundedQueue::new(16);
         for i in 0..10u32 {
-            q.push(i, (i + 1) as u64).unwrap();
+            q.push(i, (i + 1) as u64, (i + 2) as u64).unwrap();
         }
         q.close();
         for i in 0..10u32 {
@@ -162,8 +217,10 @@ mod tests {
         let s = q.stats();
         assert_eq!(s.pushed_items, 10);
         assert_eq!(s.pushed_bytes, 55);
+        assert_eq!(s.pushed_weight, 65);
         assert_eq!(s.peak_items, 10);
         assert_eq!(s.peak_bytes, 55);
+        assert_eq!(s.peak_weight, 65);
     }
 
     #[test]
@@ -178,7 +235,7 @@ mod tests {
                 got
             });
             for i in 0..50 {
-                q.push(i, 8).unwrap();
+                q.push(i, 8, 1).unwrap();
             }
             q.close();
             let got = consumer.join().unwrap();
@@ -191,19 +248,80 @@ mod tests {
     }
 
     #[test]
+    fn weight_bounds_peak_not_item_count() {
+        let q: BoundedQueue<usize> = BoundedQueue::weighted(100);
+        std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            });
+            // light items: many fit at once (item count is unbounded) …
+            for i in 0..40 {
+                q.push(i, 8, 10).unwrap();
+            }
+            // … heavy items: the same budget admits only one at a time
+            for i in 40..50 {
+                q.push(i, 8, 90).unwrap();
+            }
+            q.close();
+            let got = consumer.join().unwrap();
+            assert_eq!(got, (0..50).collect::<Vec<_>>());
+        });
+        let s = q.stats();
+        assert!(
+            s.peak_weight <= 100,
+            "peak weight {} over budget",
+            s.peak_weight
+        );
+        assert!(s.peak_items <= 10, "light items not bounded by weight");
+        assert_eq!(s.pushed_weight, 40 * 10 + 10 * 90);
+    }
+
+    #[test]
+    fn over_budget_item_admitted_when_empty() {
+        // an item heavier than the whole budget must flow, not deadlock
+        let q: BoundedQueue<u8> = BoundedQueue::weighted(10);
+        q.push(1, 0, 1000).unwrap();
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| q.push(2, 0, 1000)); // blocks: budget spent
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(q.pop(), Some(1)); // empties the queue, unblocks push
+            assert_eq!(q.pop(), Some(2));
+            h.join().unwrap().unwrap();
+        });
+        q.close();
+        assert_eq!(q.stats().peak_items, 1);
+        assert!(q.waits().push_wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_weight_items_do_not_block() {
+        let q: BoundedQueue<u32> = BoundedQueue::weighted(5);
+        for i in 0..100 {
+            q.push(i, 0, 0).unwrap();
+        }
+        q.close();
+        assert_eq!(q.stats().peak_items, 100);
+        assert_eq!(q.stats().peak_weight, 0);
+    }
+
+    #[test]
     fn push_after_close_returns_item() {
         let q: BoundedQueue<&str> = BoundedQueue::new(2);
         q.close();
-        assert_eq!(q.push("late", 4), Err("late"));
+        assert_eq!(q.push("late", 4, 1), Err("late"));
         assert_eq!(q.pop(), None);
     }
 
     #[test]
     fn close_unblocks_full_producer() {
         let q: BoundedQueue<u8> = BoundedQueue::new(1);
-        q.push(1, 1).unwrap();
+        q.push(1, 1, 1).unwrap();
         std::thread::scope(|scope| {
-            let h = scope.spawn(|| q.push(2, 1)); // blocks: queue full
+            let h = scope.spawn(|| q.push(2, 1, 1)); // blocks: queue full
             std::thread::sleep(Duration::from_millis(20));
             q.close();
             assert_eq!(h.join().unwrap(), Err(2));
@@ -226,7 +344,7 @@ mod tests {
                 });
             }
             for i in 1..=100u64 {
-                q.push(i, 1).unwrap();
+                q.push(i, 1, 1).unwrap();
             }
             q.close();
         });
@@ -238,7 +356,7 @@ mod tests {
     fn zero_capacity_clamped_to_one() {
         let q: BoundedQueue<u8> = BoundedQueue::new(0);
         assert_eq!(q.capacity(), 1);
-        q.push(7, 1).unwrap();
+        q.push(7, 1, 1).unwrap();
         q.close();
         assert_eq!(q.pop(), Some(7));
     }

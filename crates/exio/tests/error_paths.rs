@@ -40,7 +40,7 @@ fn producer_error_midstream_unblocks_consumers() {
             for i in 0..64u64 {
                 let mut buf = vec![0u8; 32];
                 device.read_at(i * 32, &mut buf)?;
-                if queue.push(buf, 32).is_err() {
+                if queue.push(buf, 32, 1).is_err() {
                     break;
                 }
             }
@@ -70,9 +70,9 @@ fn producer_error_midstream_unblocks_consumers() {
 #[test]
 fn consumer_side_close_unblocks_full_producer() {
     let queue: BoundedQueue<u32> = BoundedQueue::new(1);
-    queue.push(0, 4).unwrap();
+    queue.push(0, 4, 1).unwrap();
     std::thread::scope(|scope| {
-        let blocked = scope.spawn(|| queue.push(1, 4));
+        let blocked = scope.spawn(|| queue.push(1, 4, 1));
         // let the producer actually block on the full queue first
         std::thread::sleep(Duration::from_millis(20));
         queue.close();

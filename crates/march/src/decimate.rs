@@ -257,6 +257,24 @@ fn v3(p: Vec3) -> [f64; 3] {
     [p.x as f64, p.y as f64, p.z as f64]
 }
 
+/// Reusable per-pop scratch: every buffer the collapse guards and the
+/// apply step need, allocated once and recycled across heap pops. After the
+/// first few collapses warm the capacities, the hot loop allocates nothing.
+#[derive(Default)]
+struct Scratch {
+    /// Faces sharing the candidate edge (die with the collapse).
+    shared: Vec<u32>,
+    /// Opposite corners of the shared faces (link-condition right-hand side).
+    opposite: Vec<u32>,
+    /// Vertices adjacent to endpoint `a` / endpoint `b`.
+    na: Vec<u32>,
+    nb: Vec<u32>,
+    /// Snapshot of `b`'s surviving incident faces during the merge.
+    fb: Vec<u32>,
+    /// Edges incident to the kept vertex, re-priced after a collapse.
+    repush: Vec<(u32, u32)>,
+}
+
 /// The in-progress decimation state over index-stable working arrays.
 struct Decimator {
     positions: Vec<Vec3>,
@@ -275,6 +293,7 @@ struct Decimator {
     alive_vertices: usize,
     stats: DecimateStats,
     opts: DecimateOptions,
+    scratch: Scratch,
 }
 
 impl Decimator {
@@ -368,6 +387,7 @@ impl Decimator {
                 ..Default::default()
             },
             opts,
+            scratch: Scratch::default(),
         };
         for (a, b) in uniq_edges {
             dec.push_candidate(a, b);
@@ -421,49 +441,50 @@ impl Decimator {
         list.retain(|&f| self.alive[f as usize]);
     }
 
-    /// Alive faces incident to `v`, compacting the tombstones away.
-    fn alive_faces(&mut self, v: u32) -> Vec<u32> {
-        self.compact_faces(v);
-        self.vertex_faces[v as usize].clone()
-    }
-
     /// The link condition plus geometric guards for collapsing `(a, b)` to
     /// `pos`. Returns `None` when legal, or the rejection counter to bump.
+    /// Allocation-free on the hot path: every buffer lives in [`Scratch`].
     fn check_collapse(&mut self, a: u32, b: u32, pos: Vec3) -> Option<Rejection> {
         self.compact_faces(a);
         self.compact_faces(b);
-        // compacted lists borrow immutably for the whole guard section —
-        // the hot path allocates only the small shared/neighbor scratch
+        let mut s = std::mem::take(&mut self.scratch);
+        let result = self.check_collapse_with(a, b, pos, &mut s);
+        self.scratch = s;
+        result
+    }
+
+    fn check_collapse_with(&self, a: u32, b: u32, pos: Vec3, s: &mut Scratch) -> Option<Rejection> {
+        // compacted lists borrow immutably for the whole guard section
         let fa = &self.vertex_faces[a as usize];
         let fb = &self.vertex_faces[b as usize];
         // faces sharing the edge (they die with the collapse)
-        let shared: Vec<u32> = fa.iter().copied().filter(|f| fb.contains(f)).collect();
+        s.shared.clear();
+        s.shared
+            .extend(fa.iter().copied().filter(|f| fb.contains(f)));
         // an interior manifold edge has exactly two incident faces
-        if shared.len() != 2 {
+        if s.shared.len() != 2 {
             return Some(Rejection::Link);
         }
         // link condition: the vertices adjacent to both endpoints must be
         // exactly the two opposite corners of the shared faces, or the
         // collapse pinches the surface into a non-manifold edge
-        let mut opposite: Vec<u32> = Vec::with_capacity(2);
-        for &f in &shared {
+        s.opposite.clear();
+        for &f in &s.shared {
             for &c in &self.faces[f as usize] {
                 if c != a && c != b {
-                    opposite.push(c);
+                    s.opposite.push(c);
                 }
             }
         }
-        opposite.sort_unstable();
-        let mut common = self.common_neighbors(fa, fb, a, b);
-        common.sort_unstable();
-        common.dedup();
-        if common != opposite {
+        s.opposite.sort_unstable();
+        self.common_neighbors_into(fa, fb, a, b, s);
+        if s.na != s.opposite {
             return Some(Rejection::Link);
         }
         // normal-flip / degeneration guard over every surviving face
         for (v, faces) in [(a, fa), (b, fb)] {
             for &f in faces {
-                if shared.contains(&f) {
+                if s.shared.contains(&f) {
                     continue;
                 }
                 let tri = self.faces[f as usize];
@@ -482,24 +503,26 @@ impl Decimator {
     }
 
     /// Vertices adjacent to both `a` and `b` (via any alive face), excluding
-    /// the endpoints themselves.
-    fn common_neighbors(&self, fa: &[u32], fb: &[u32], a: u32, b: u32) -> Vec<u32> {
-        let mut na: Vec<u32> = fa
-            .iter()
-            .flat_map(|&f| self.faces[f as usize])
-            .filter(|&c| c != a && c != b)
-            .collect();
-        na.sort_unstable();
-        na.dedup();
-        let mut nb: Vec<u32> = fb
-            .iter()
-            .flat_map(|&f| self.faces[f as usize])
-            .filter(|&c| c != a && c != b)
-            .collect();
-        nb.sort_unstable();
-        nb.dedup();
-        na.retain(|v| nb.binary_search(v).is_ok());
-        na
+    /// the endpoints themselves. The sorted, deduped result lands in `s.na`.
+    fn common_neighbors_into(&self, fa: &[u32], fb: &[u32], a: u32, b: u32, s: &mut Scratch) {
+        s.na.clear();
+        s.na.extend(
+            fa.iter()
+                .flat_map(|&f| self.faces[f as usize])
+                .filter(|&c| c != a && c != b),
+        );
+        s.na.sort_unstable();
+        s.na.dedup();
+        s.nb.clear();
+        s.nb.extend(
+            fb.iter()
+                .flat_map(|&f| self.faces[f as usize])
+                .filter(|&c| c != a && c != b),
+        );
+        s.nb.sort_unstable();
+        s.nb.dedup();
+        let nb = &s.nb;
+        s.na.retain(|v| nb.binary_search(v).is_ok());
     }
 
     /// Unnormalized face normal (and its squared length) with `override_`
@@ -529,15 +552,24 @@ impl Decimator {
     /// Eagerly re-pricing the whole one-ring costs ~20× more heap traffic
     /// for identical output quality.
     fn apply_collapse(&mut self, a: u32, b: u32, pos: Vec3) {
-        let fa = self.alive_faces(a);
-        let fb = self.alive_faces(b);
-        let shared: Vec<u32> = fa.iter().copied().filter(|f| fb.contains(f)).collect();
-        for &f in &shared {
+        self.compact_faces(a);
+        self.compact_faces(b);
+        let mut s = std::mem::take(&mut self.scratch);
+        {
+            let fa = &self.vertex_faces[a as usize];
+            let fb = &self.vertex_faces[b as usize];
+            s.shared.clear();
+            s.shared
+                .extend(fa.iter().copied().filter(|f| fb.contains(f)));
+            s.fb.clear();
+            s.fb.extend_from_slice(fb);
+        }
+        for &f in &s.shared {
             self.alive[f as usize] = false;
         }
         // rewrite b's surviving faces to reference a
-        for &f in &fb {
-            if shared.contains(&f) {
+        for &f in &s.fb {
+            if s.shared.contains(&f) {
                 continue;
             }
             for c in self.faces[f as usize].iter_mut() {
@@ -556,22 +588,24 @@ impl Decimator {
         self.versions[b as usize] += 1;
 
         // re-price the edges incident to the kept vertex
-        let fa = self.alive_faces(a);
-        let mut repush: Vec<(u32, u32)> = Vec::with_capacity(2 * fa.len());
-        for &f in &fa {
+        self.compact_faces(a);
+        s.repush.clear();
+        for &f in &self.vertex_faces[a as usize] {
             let tri = self.faces[f as usize];
             for i in 0..3 {
                 let (x, y) = (tri[i], tri[(i + 1) % 3]);
                 if (x == a || y == a) && x != y {
-                    repush.push(if x < y { (x, y) } else { (y, x) });
+                    s.repush.push(if x < y { (x, y) } else { (y, x) });
                 }
             }
         }
-        repush.sort_unstable();
-        repush.dedup();
-        for (x, y) in repush {
+        s.repush.sort_unstable();
+        s.repush.dedup();
+        for i in 0..s.repush.len() {
+            let (x, y) = s.repush[i];
             self.push_candidate(x, y);
         }
+        self.scratch = s;
     }
 
     /// Drain the heap until the target is reached, the error bound stops

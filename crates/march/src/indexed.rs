@@ -58,6 +58,13 @@ impl IndexedMesh {
         &self.positions
     }
 
+    /// Mutable vertex positions — for in-place deformation (e.g. the
+    /// SurfaceNets smoothing passes) that never changes connectivity.
+    #[inline]
+    pub fn positions_mut(&mut self) -> &mut [Vec3] {
+        &mut self.positions
+    }
+
     /// Triangle corner indices (3 per triangle).
     #[inline]
     pub fn indices(&self) -> &[u32] {

@@ -29,17 +29,30 @@
 //!   [`IndexedMesh`] with topology guards (boundary pinning, link
 //!   condition, normal-flip rejection) and deterministic tie-breaking, plus
 //!   the [`LodChain`] pyramid the serving layer exposes per level.
+//! * [`backend`] — the [`ExtractionBackend`] trait that makes the kernel
+//!   pluggable: both the slab MC kernel and SurfaceNets implement the same
+//!   block contract, so the out-of-core pipeline extracts with either.
+//! * [`surface_nets`] — high-performance SurfaceNets (arXiv:2401.14906):
+//!   one vertex per active cell, one quad per crossing edge (≈ half of MC's
+//!   primitive count), bounded smoothing, and deferred seam quads so the
+//!   distributed extraction stitches to the exact whole-volume surface.
 
+pub mod backend;
 pub mod decimate;
 pub mod indexed;
 pub mod mc;
 pub mod mesh;
 pub mod mt;
+pub mod surface_nets;
 pub mod tables;
 pub mod topology;
 pub mod unstructured;
 pub mod weld;
 
+pub use backend::{
+    pack_cell, unpack_cell, Backend, BackendScratch, BlockDomain, BlockOutput, ExtractionBackend,
+    SeamQuad,
+};
 pub use decimate::{
     decimate, decimate_to_error, decimate_to_ratio, DecimateOptions, DecimateStats, LodChain,
     LodLevel, Quadric,
@@ -48,5 +61,8 @@ pub use indexed::IndexedMesh;
 pub use mc::{count_active_cells, marching_cubes, marching_cubes_indexed, McStats, SlabScratch};
 pub use mesh::{canonical_triangles, split_collapsed, Aabb, Triangle, TriangleSoup, Vec3};
 pub use mt::{march_tet, marching_tetrahedra};
+pub use surface_nets::{
+    smooth_surface_nets, stitch_seams, surface_nets, SnScratch, SN_SMOOTH_PASSES,
+};
 pub use topology::{analyze, analyze_mesh, analyze_mesh_connectivity, TopologyReport};
 pub use weld::{MeshWelder, WeldStats};

@@ -134,7 +134,7 @@ fn cell_config<S: ScalarValue>(
 /// integer-valued origins (metacell corners) the endpoint positions are
 /// exact, so adjacent metacells compute bit-identical crossing points.
 #[inline]
-fn interp_crossing(
+pub(crate) fn interp_crossing(
     ga: (usize, usize, usize),
     gb: (usize, usize, usize),
     va: f32,
@@ -165,7 +165,7 @@ fn interp_crossing(
 /// with corners canonicalized to lexicographic (z, y, x) order so both cells
 /// sharing the edge compute bit-identical points.
 #[inline]
-fn interp_edge(
+pub(crate) fn interp_edge(
     e: usize,
     cell: (usize, usize, usize),
     corner_vals: &[f32; 8],

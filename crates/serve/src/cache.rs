@@ -1,22 +1,24 @@
-//! Isovalue- and LOD-level-keyed LRU result cache.
+//! Isovalue-, backend-, and LOD-level-keyed LRU result cache.
 //!
 //! Interactive exploration hammers a handful of isovalues (slider scrubbing,
 //! repeated frames of the same surface), so the server memoizes extraction
-//! results keyed by `(isovalue bit pattern, LOD level)`. Every level of a
-//! pyramid is its own entry — a coarse level is a few percent of the full
-//! mesh, so it can stay resident long after its full-resolution sibling was
-//! evicted. The cache is **byte-budgeted**, not entry-counted: meshes vary
-//! from empty to hundreds of MB, and the budget is what bounds server
-//! memory. Region-restricted and framebuffer-mode requests are served by
-//! filtering/rasterizing cached meshes, so every request shape shares the
-//! per-level entries.
+//! results keyed by `(isovalue bit pattern, extraction backend, LOD level)`.
+//! Every level of a pyramid is its own entry — a coarse level is a few
+//! percent of the full mesh, so it can stay resident long after its
+//! full-resolution sibling was evicted — and the two extraction backends
+//! (MC, SurfaceNets) produce different geometry for the same isovalue, so
+//! their entries never alias. The cache is **byte-budgeted**, not
+//! entry-counted: meshes vary from empty to hundreds of MB, and the budget
+//! is what bounds server memory. Region-restricted and framebuffer-mode
+//! requests are served by filtering/rasterizing cached meshes, so every
+//! request shape shares the per-level entries.
 //!
-//! Hit/miss/eviction counters — aggregate *and* per level — are surfaced
-//! through [`crate::protocol::ServerReport`] the same way extraction
-//! surfaces `NodeReport` rows — observable from any client via a stats
-//! request.
+//! Hit/miss/eviction counters — aggregate, per level, *and* per backend —
+//! are surfaced through [`crate::protocol::ServerReport`] the same way
+//! extraction surfaces `NodeReport` rows — observable from any client via a
+//! stats request.
 
-use crate::protocol::MAX_LOD_LEVELS;
+use crate::protocol::{MAX_LOD_LEVELS, NUM_BACKENDS};
 use oociso_march::IndexedMesh;
 use std::sync::Arc;
 
@@ -55,10 +57,14 @@ pub struct CacheStats {
     pub lod_hits: [u64; MAX_LOD_LEVELS],
     /// Misses per LOD level; sums to `misses`.
     pub lod_misses: [u64; MAX_LOD_LEVELS],
+    /// Hits per extraction backend (indexed by backend id); sums to `hits`.
+    pub backend_hits: [u64; NUM_BACKENDS],
+    /// Misses per extraction backend; sums to `misses`.
+    pub backend_misses: [u64; NUM_BACKENDS],
 }
 
-/// A byte-budgeted LRU map from `(isovalue bits, LOD level)` to extraction
-/// results.
+/// A byte-budgeted LRU map from `(isovalue bits, backend id, LOD level)` to
+/// extraction results.
 ///
 /// Recency is a simple ordered list (most recent last): entry counts stay
 /// small — each entry is a whole isosurface level against a byte budget —
@@ -67,7 +73,7 @@ pub struct CacheStats {
 pub struct ResultCache {
     budget_bytes: u64,
     /// `(key, entry)` pairs ordered least→most recently used.
-    entries: Vec<((u32, u16), Arc<CachedSurface>)>,
+    entries: Vec<((u32, u8, u16), Arc<CachedSurface>)>,
     resident_bytes: u64,
     stats: CacheStats,
 }
@@ -76,6 +82,12 @@ pub struct ResultCache {
 /// the last slot share it; servers cap pyramids at `MAX_LOD_LEVELS` anyway).
 fn level_slot(lod: u16) -> usize {
     (lod as usize).min(MAX_LOD_LEVELS - 1)
+}
+
+/// Clamp a backend id into the fixed per-backend counter arrays (unknown
+/// ids never reach the cache — the server rejects them first).
+fn backend_slot(backend: u8) -> usize {
+    (backend as usize).min(NUM_BACKENDS - 1)
 }
 
 impl ResultCache {
@@ -94,9 +106,10 @@ impl ResultCache {
         self.budget_bytes
     }
 
-    /// Look up level `lod` of `iso`, refreshing its recency on a hit.
-    pub fn get(&mut self, iso: f32, lod: u16) -> Option<Arc<CachedSurface>> {
-        let key = (iso.to_bits(), lod);
+    /// Look up level `lod` of `iso` under `backend`, refreshing its recency
+    /// on a hit.
+    pub fn get(&mut self, iso: f32, backend: u8, lod: u16) -> Option<Arc<CachedSurface>> {
+        let key = (iso.to_bits(), backend, lod);
         match self.entries.iter().position(|(k, _)| *k == key) {
             Some(i) => {
                 let pair = self.entries.remove(i);
@@ -104,12 +117,14 @@ impl ResultCache {
                 self.entries.push(pair);
                 self.stats.hits += 1;
                 self.stats.lod_hits[level_slot(lod)] += 1;
+                self.stats.backend_hits[backend_slot(backend)] += 1;
                 self.refresh_gauges();
                 Some(hit)
             }
             None => {
                 self.stats.misses += 1;
                 self.stats.lod_misses[level_slot(lod)] += 1;
+                self.stats.backend_misses[backend_slot(backend)] += 1;
                 None
             }
         }
@@ -118,41 +133,46 @@ impl ResultCache {
     /// Peek without touching recency or counters — the frame path uses this
     /// for the levels it *also* needs beyond the one the request was
     /// accounted against.
-    pub fn peek(&self, iso: f32, lod: u16) -> Option<Arc<CachedSurface>> {
-        let key = (iso.to_bits(), lod);
+    pub fn peek(&self, iso: f32, backend: u8, lod: u16) -> Option<Arc<CachedSurface>> {
+        let key = (iso.to_bits(), backend, lod);
         self.entries
             .iter()
             .find(|(k, _)| *k == key)
             .map(|(_, e)| e.clone())
     }
 
-    /// Count a lookup outcome against `lod` without probing entries — for
-    /// the frame path, whose one accounted lookup is decided only after
-    /// peeking the whole pyramid (a pyramid with any level missing is one
-    /// miss, not a hit on the levels that happened to be resident).
-    pub fn account(&mut self, lod: u16, hit: bool) {
+    /// Count a lookup outcome against `backend`/`lod` without probing
+    /// entries — for the frame path, whose one accounted lookup is decided
+    /// only after peeking the whole pyramid (a pyramid with any level
+    /// missing is one miss, not a hit on the levels that happened to be
+    /// resident).
+    pub fn account(&mut self, backend: u8, lod: u16, hit: bool) {
         if hit {
             self.stats.hits += 1;
             self.stats.lod_hits[level_slot(lod)] += 1;
+            self.stats.backend_hits[backend_slot(backend)] += 1;
         } else {
             self.stats.misses += 1;
             self.stats.lod_misses[level_slot(lod)] += 1;
+            self.stats.backend_misses[backend_slot(backend)] += 1;
         }
     }
 
-    /// The finest **resident** level coarser than `lod` for `iso`, probing
-    /// `lod + 1..levels` in order — the graceful-degradation fallback. The
-    /// levels skipped over are peeked invisibly; the level returned is
-    /// booked as a regular hit (it *was* served) and refreshed in recency.
+    /// The finest **resident** level coarser than `lod` for `iso` under
+    /// `backend`, probing `lod + 1..levels` in order — the
+    /// graceful-degradation fallback. The levels skipped over are peeked
+    /// invisibly; the level returned is booked as a regular hit (it *was*
+    /// served) and refreshed in recency.
     pub fn coarser(
         &mut self,
         iso: f32,
+        backend: u8,
         lod: u16,
         levels: u16,
     ) -> Option<(u16, Arc<CachedSurface>)> {
         for l in lod + 1..levels {
-            if self.peek(iso, l).is_some() {
-                let hit = self.get(iso, l).expect("peeked entry vanished");
+            if self.peek(iso, backend, l).is_some() {
+                let hit = self.get(iso, backend, l).expect("peeked entry vanished");
                 return Some((l, hit));
             }
         }
@@ -161,20 +181,27 @@ impl ResultCache {
 
     /// Refresh an entry's recency (most recently used) without touching any
     /// counter. No-op when absent.
-    pub fn touch(&mut self, iso: f32, lod: u16) {
-        let key = (iso.to_bits(), lod);
+    pub fn touch(&mut self, iso: f32, backend: u8, lod: u16) {
+        let key = (iso.to_bits(), backend, lod);
         if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
             let pair = self.entries.remove(i);
             self.entries.push(pair);
         }
     }
 
-    /// Insert (or replace) the result for level `lod` of `iso`, evicting
-    /// least-recently-used entries until the budget holds. An entry larger
-    /// than the whole budget is passed through uncached — callers still get
-    /// their `Arc`, the cache just declines to retain it.
-    pub fn insert(&mut self, iso: f32, lod: u16, surface: CachedSurface) -> Arc<CachedSurface> {
-        let key = (iso.to_bits(), lod);
+    /// Insert (or replace) the result for level `lod` of `iso` under
+    /// `backend`, evicting least-recently-used entries until the budget
+    /// holds. An entry larger than the whole budget is passed through
+    /// uncached — callers still get their `Arc`, the cache just declines to
+    /// retain it.
+    pub fn insert(
+        &mut self,
+        iso: f32,
+        backend: u8,
+        lod: u16,
+        surface: CachedSurface,
+    ) -> Arc<CachedSurface> {
+        let key = (iso.to_bits(), backend, lod);
         let surface = Arc::new(surface);
         let bytes = surface.bytes();
         if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
@@ -235,10 +262,10 @@ mod tests {
     #[test]
     fn hit_miss_and_recency() {
         let mut c = ResultCache::new(10_000);
-        assert!(c.get(1.0, 0).is_none());
-        c.insert(1.0, 0, surface(1));
-        c.insert(2.0, 0, surface(1));
-        let hit = c.get(1.0, 0).expect("cached");
+        assert!(c.get(1.0, 0, 0).is_none());
+        c.insert(1.0, 0, 0, surface(1));
+        c.insert(2.0, 0, 0, surface(1));
+        let hit = c.get(1.0, 0, 0).expect("cached");
         assert_eq!(hit.active_metacells, 1);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 2));
@@ -250,58 +277,61 @@ mod tests {
     fn byte_budget_evicts_lru_order() {
         // budget fits exactly two 1-triangle meshes (48 B each)
         let mut c = ResultCache::new(96);
-        c.insert(1.0, 0, surface(1));
-        c.insert(2.0, 0, surface(1));
+        c.insert(1.0, 0, 0, surface(1));
+        c.insert(2.0, 0, 0, surface(1));
         // touch 1.0 so 2.0 becomes the LRU victim
-        assert!(c.get(1.0, 0).is_some());
-        c.insert(3.0, 0, surface(1));
+        assert!(c.get(1.0, 0, 0).is_some());
+        c.insert(3.0, 0, 0, surface(1));
         assert_eq!(c.stats().evictions, 1);
         assert!(
-            c.get(2.0, 0).is_none(),
+            c.get(2.0, 0, 0).is_none(),
             "LRU entry should have been evicted"
         );
-        assert!(c.get(1.0, 0).is_some(), "recently used entry must survive");
-        assert!(c.get(3.0, 0).is_some());
+        assert!(
+            c.get(1.0, 0, 0).is_some(),
+            "recently used entry must survive"
+        );
+        assert!(c.get(3.0, 0, 0).is_some());
         assert!(c.stats().resident_bytes <= 96);
     }
 
     #[test]
     fn oversized_entry_passes_through_uncached() {
         let mut c = ResultCache::new(100);
-        let arc = c.insert(5.0, 0, surface(10)); // 480 B > 100 B budget
+        let arc = c.insert(5.0, 0, 0, surface(10)); // 480 B > 100 B budget
         assert_eq!(arc.mesh.len(), 10, "caller still gets the surface");
         assert_eq!(c.stats().resident_entries, 0);
         assert_eq!(c.stats().insertions, 0);
-        assert!(c.get(5.0, 0).is_none());
+        assert!(c.get(5.0, 0, 0).is_none());
     }
 
     #[test]
     fn reinsert_replaces_without_leaking_bytes() {
         let mut c = ResultCache::new(10_000);
-        c.insert(1.0, 0, surface(1));
-        c.insert(1.0, 0, surface(2)); // same key, bigger mesh
+        c.insert(1.0, 0, 0, surface(1));
+        c.insert(1.0, 0, 0, surface(2)); // same key, bigger mesh
         assert_eq!(c.stats().resident_entries, 1);
         assert_eq!(c.stats().resident_bytes, 2 * 48);
-        assert_eq!(c.get(1.0, 0).unwrap().mesh.len(), 2);
+        assert_eq!(c.get(1.0, 0, 0).unwrap().mesh.len(), 2);
     }
 
     #[test]
     fn distinct_isovalue_bits_are_distinct_keys() {
         let mut c = ResultCache::new(10_000);
-        c.insert(100.0, 0, surface(1));
-        assert!(c.get(100.00001, 0).is_none());
-        assert!(c.get(100.0, 0).is_some());
+        c.insert(100.0, 0, 0, surface(1));
+        assert!(c.get(100.00001, 0, 0).is_none());
+        assert!(c.get(100.0, 0, 0).is_some());
     }
 
     #[test]
     fn lod_levels_are_distinct_keys_with_exact_per_level_counters() {
         let mut c = ResultCache::new(10_000);
-        c.insert(1.0, 0, surface(4));
-        c.insert(1.0, 1, surface(2));
+        c.insert(1.0, 0, 0, surface(4));
+        c.insert(1.0, 0, 1, surface(2));
         // level 2 was never inserted: a miss on it must not shadow level 1
-        assert!(c.get(1.0, 2).is_none());
-        assert_eq!(c.get(1.0, 1).unwrap().mesh.len(), 2);
-        assert_eq!(c.get(1.0, 0).unwrap().mesh.len(), 4);
+        assert!(c.get(1.0, 0, 2).is_none());
+        assert_eq!(c.get(1.0, 0, 1).unwrap().mesh.len(), 2);
+        assert_eq!(c.get(1.0, 0, 0).unwrap().mesh.len(), 4);
         let s = c.stats();
         assert_eq!(s.lod_hits, [1, 1, 0, 0]);
         assert_eq!(s.lod_misses, [0, 0, 1, 0]);
@@ -312,21 +342,21 @@ mod tests {
     #[test]
     fn account_and_touch_decompose_a_lookup() {
         let mut c = ResultCache::new(96);
-        c.insert(1.0, 0, surface(1));
-        c.insert(2.0, 0, surface(1));
+        c.insert(1.0, 0, 0, surface(1));
+        c.insert(2.0, 0, 0, surface(1));
         // account books counters without probing entries
-        c.account(0, true);
-        c.account(2, false);
+        c.account(0, 0, true);
+        c.account(0, 2, false);
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
         assert_eq!(s.lod_hits, [1, 0, 0, 0]);
         assert_eq!(s.lod_misses, [0, 0, 1, 0]);
         // touch refreshes recency without counters: 1.0 becomes MRU, so the
         // next eviction takes 2.0
-        c.touch(1.0, 0);
-        c.insert(3.0, 0, surface(1));
-        assert!(c.peek(1.0, 0).is_some(), "touched entry must survive");
-        assert!(c.peek(2.0, 0).is_none(), "untouched entry evicted");
+        c.touch(1.0, 0, 0);
+        c.insert(3.0, 0, 0, surface(1));
+        assert!(c.peek(1.0, 0, 0).is_some(), "touched entry must survive");
+        assert!(c.peek(2.0, 0, 0).is_none(), "untouched entry evicted");
         assert_eq!(c.stats().hits, 1, "touch books nothing");
     }
 
@@ -334,9 +364,9 @@ mod tests {
     fn coarser_finds_the_finest_resident_fallback() {
         let mut c = ResultCache::new(10_000);
         // levels 0 and 1 absent, 2 and 3 resident
-        c.insert(1.0, 2, surface(2));
-        c.insert(1.0, 3, surface(1));
-        let (level, hit) = c.coarser(1.0, 0, 4).expect("level 2 is resident");
+        c.insert(1.0, 0, 2, surface(2));
+        c.insert(1.0, 0, 3, surface(1));
+        let (level, hit) = c.coarser(1.0, 0, 0, 4).expect("level 2 is resident");
         assert_eq!(level, 2, "finest resident coarser level wins");
         assert_eq!(hit.mesh.len(), 2);
         // exactly one hit booked — the level served — and none for the
@@ -345,24 +375,47 @@ mod tests {
         assert_eq!((s.hits, s.misses), (1, 0));
         assert_eq!(s.lod_hits, [0, 0, 1, 0]);
         // nothing coarser than the coarsest resident level
-        assert!(c.coarser(1.0, 3, 4).is_none());
+        assert!(c.coarser(1.0, 0, 3, 4).is_none());
         // nothing resident at all for another isovalue
-        assert!(c.coarser(2.0, 0, 4).is_none());
+        assert!(c.coarser(2.0, 0, 0, 4).is_none());
         assert_eq!(c.stats().misses, 0, "failed probes book nothing");
     }
 
     #[test]
     fn peek_does_not_touch_counters_or_recency() {
         let mut c = ResultCache::new(96);
-        c.insert(1.0, 0, surface(1));
-        c.insert(2.0, 0, surface(1));
+        c.insert(1.0, 0, 0, surface(1));
+        c.insert(2.0, 0, 0, surface(1));
         let before = c.stats();
-        assert!(c.peek(1.0, 0).is_some());
-        assert!(c.peek(9.0, 0).is_none());
+        assert!(c.peek(1.0, 0, 0).is_some());
+        assert!(c.peek(9.0, 0, 0).is_none());
         assert_eq!(c.stats(), before, "peek is invisible to accounting");
         // peeking 1.0 must not have refreshed it: inserting a third entry
         // still evicts 1.0 as the least recently *used*
-        c.insert(3.0, 0, surface(1));
-        assert!(c.peek(1.0, 0).is_none(), "peek must not refresh recency");
+        c.insert(3.0, 0, 0, surface(1));
+        assert!(c.peek(1.0, 0, 0).is_none(), "peek must not refresh recency");
+    }
+
+    #[test]
+    fn backends_are_distinct_keys_with_exact_per_backend_counters() {
+        let mut c = ResultCache::new(10_000);
+        c.insert(1.0, 0, 0, surface(4));
+        c.insert(1.0, 1, 0, surface(2));
+        // the same (iso, lod) under the other backend must never alias
+        assert_eq!(c.get(1.0, 0, 0).unwrap().mesh.len(), 4);
+        assert_eq!(c.get(1.0, 1, 0).unwrap().mesh.len(), 2);
+        assert!(c.get(2.0, 1, 0).is_none());
+        let s = c.stats();
+        assert_eq!(s.backend_hits, [1, 1]);
+        assert_eq!(s.backend_misses, [0, 1]);
+        assert_eq!(s.hits, s.backend_hits.iter().sum::<u64>());
+        assert_eq!(s.misses, s.backend_misses.iter().sum::<u64>());
+        // degradation fallback under one backend ignores the other's levels
+        c.insert(3.0, 0, 2, surface(1));
+        assert!(
+            c.coarser(3.0, 1, 0, 4).is_none(),
+            "MC's coarse level must not degrade a SurfaceNets request"
+        );
+        assert!(c.coarser(3.0, 0, 0, 4).is_some());
     }
 }

@@ -25,7 +25,7 @@ use crate::protocol::{
     encode_frame_raw, read_frame, write_frame, FrameIn, FrameParams, Message, Region, ServerReport,
     ERR_BUSY,
 };
-use oociso_march::IndexedMesh;
+use oociso_march::{Backend, IndexedMesh};
 use oociso_render::Framebuffer;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -46,6 +46,9 @@ pub struct MeshReply {
     /// True when the server satisfied the request from a cached coarser
     /// level under overload instead of shedding it.
     pub degraded: bool,
+    /// The extraction backend id that produced the mesh
+    /// (`oociso_march::Backend::from_id`; always 0/MC from pre-v4 servers).
+    pub backend: u8,
 }
 
 /// A decoded framebuffer reply.
@@ -302,19 +305,48 @@ impl Client {
 
     /// Query LOD pyramid level `lod` of the isosurface at `iso` (0 = full
     /// resolution), optionally restricted to a region. Levels the server
-    /// does not have come back as a structured `ERR_BAD_LOD` error.
+    /// does not have come back as a structured `ERR_BAD_LOD` error. The
+    /// server extracts with its default backend.
     pub fn query_mesh_lod(
         &mut self,
         iso: f32,
         region: Option<Region>,
         lod: u16,
     ) -> io::Result<MeshReply> {
-        match self.roundtrip(&Message::MeshRequest { iso, region, lod })? {
+        self.query(Message::MeshRequest {
+            iso,
+            region,
+            lod,
+            backend: None,
+        })
+    }
+
+    /// [`Client::query_mesh_lod`] with an explicit extraction backend
+    /// (protocol v4). A backend the server does not know comes back as a
+    /// structured `ERR_BAD_BACKEND` error.
+    pub fn query_mesh_backend(
+        &mut self,
+        iso: f32,
+        region: Option<Region>,
+        lod: u16,
+        backend: Backend,
+    ) -> io::Result<MeshReply> {
+        self.query(Message::MeshRequest {
+            iso,
+            region,
+            lod,
+            backend: Some(backend.id()),
+        })
+    }
+
+    fn query(&mut self, request: Message) -> io::Result<MeshReply> {
+        match self.roundtrip(&request)? {
             Message::MeshResponse {
                 cache_hit,
                 active_metacells,
                 served_lod,
                 degraded,
+                backend,
                 mesh,
             } => Ok(MeshReply {
                 mesh,
@@ -322,6 +354,7 @@ impl Client {
                 active_metacells,
                 served_lod,
                 degraded,
+                backend,
             }),
             Message::Error {
                 code,

@@ -42,8 +42,8 @@ pub use cache::{CacheStats, CachedSurface, ResultCache};
 pub use chaos::{ChaosProxy, ChaosStream, ConnFault};
 pub use client::{Client, ClientOptions, FrameReply, MeshReply, ServerError};
 pub use protocol::{
-    FrameParams, Message, Region, ServerReport, ERR_BAD_LOD, ERR_BUSY, MAGIC, MAX_LOD_LEVELS,
-    MIN_VERSION, VERSION,
+    FrameParams, Message, Region, ServerReport, ERR_BAD_BACKEND, ERR_BAD_LOD, ERR_BUSY, MAGIC,
+    MAX_LOD_LEVELS, MIN_VERSION, NUM_BACKENDS, VERSION,
 };
 pub use server::{IsoServer, ServeOptions};
 pub use transport::{measure_loopback, TcpLoopbackTransport};

@@ -36,12 +36,16 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"OISO");
 /// retry-after-millis hint on error frames (how [`ERR_BUSY`] tells clients
 /// when to come back), trailing `served_lod`/`degraded` fields on mesh
 /// responses (how a degraded coarser-LOD answer is flagged), and the
-/// robustness counters on stats responses. Readers accept any version in
-/// [`MIN_VERSION`]`..=`[`VERSION`], and a server answers each frame at the
-/// version the client spoke — a v1 client simply never asks for (and never
-/// hears about) LOD levels, so it gets level 0, exactly as before, and a
-/// v2 client never sees the v3 trailing fields.
-pub const VERSION: u16 = 3;
+/// robustness counters on stats responses. Version 4 added extraction-backend
+/// selection: a trailing backend id on mesh requests (absent = the server's
+/// default backend), a trailing served-backend id on mesh responses, the
+/// per-backend counters on stats responses, and [`ERR_BAD_BACKEND`]. Readers
+/// accept any version in [`MIN_VERSION`]`..=`[`VERSION`], and a server
+/// answers each frame at the version the client spoke — a v1 client simply
+/// never asks for (and never hears about) LOD levels, so it gets level 0,
+/// exactly as before, a v2 client never sees the v3 trailing fields, and a
+/// pre-v4 client always gets the server's default backend.
+pub const VERSION: u16 = 4;
 /// Oldest protocol version still accepted on the wire.
 pub const MIN_VERSION: u16 = 1;
 /// Most LOD pyramid levels the protocol (and the per-level stats counters)
@@ -87,6 +91,13 @@ pub const ERR_BAD_LOD: u16 = 6;
 /// frames carry a `retry_after_ms` hint for when. The connection stays
 /// usable.
 pub const ERR_BUSY: u16 = 7;
+/// The requested extraction backend id is not one this server knows (the
+/// reply's detail lists the known ids; the connection stays usable). **v4.**
+pub const ERR_BAD_BACKEND: u16 = 8;
+
+/// Number of extraction backends the per-backend stats counters can address
+/// (matches `oociso_march::Backend::ALL`).
+pub const NUM_BACKENDS: usize = 2;
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) lookup table, built at compile
 /// time — no dependency, no runtime init.
@@ -197,6 +208,11 @@ pub struct ServerReport {
     pub accept_backoffs: u64,
     /// Connections currently being served (a gauge, not a counter). **v3.**
     pub active_connections: u64,
+    /// Cache hits per extraction backend, indexed by backend id (0 = MC,
+    /// 1 = SurfaceNets). Sums to `cache_hits`. **v4.**
+    pub backend_hits: [u64; NUM_BACKENDS],
+    /// Cache misses per extraction backend. Sums to `cache_misses`. **v4.**
+    pub backend_misses: [u64; NUM_BACKENDS],
 }
 
 /// One decoded protocol message.
@@ -210,6 +226,13 @@ pub enum Message {
         iso: f32,
         region: Option<Region>,
         lod: u16,
+        /// Extraction backend id (`oociso_march::Backend::id`), or `None`
+        /// for the server's default. **v4** trailing field: pre-v4 requests
+        /// carry no backend byte and decode as `None`, so older clients
+        /// always get the server default. The id travels raw so an unknown
+        /// value reaches the server, which answers [`ERR_BAD_BACKEND`]
+        /// (mirroring how an out-of-range `lod` draws [`ERR_BAD_LOD`]).
+        backend: Option<u8>,
     },
     /// Extract, rasterize, and return the framebuffer as tile frames.
     FrameRequest { iso: f32, params: FrameParams },
@@ -230,6 +253,10 @@ pub enum Message {
         /// coarser level than requested instead of shedding it. **v3**
         /// trailing field (absent = false).
         degraded: bool,
+        /// Extraction backend id that produced this mesh. **v4** trailing
+        /// field: absent on the wire for pre-v4 speakers, decoded as 0
+        /// (MC — the only backend pre-v4 servers had).
+        backend: u8,
         mesh: IndexedMesh,
     },
     /// The rendered framebuffer, sharded into per-tile regions.
@@ -417,6 +444,7 @@ fn put_mesh_response(
     active_metacells: u64,
     served_lod: u16,
     degraded: bool,
+    backend: u8,
     mesh: &IndexedMesh,
     version: u16,
 ) {
@@ -442,6 +470,11 @@ fn put_mesh_response(
         put_u16(out, served_lod);
         out.push(degraded as u8);
     }
+    // v4 trailing field: which extraction backend produced the mesh
+    // (pre-v4 servers only had MC, so absent decodes as id 0)
+    if version >= 4 {
+        out.push(backend);
+    }
 }
 
 /// Encode a complete `MeshResponse` frame from a **borrowed** mesh — the
@@ -450,11 +483,13 @@ fn put_mesh_response(
 /// serialization. `version` stamps the frame header so the reply speaks the
 /// client's dialect, and gates the v3 trailing `served_lod`/`degraded`
 /// fields (the rest of the mesh payload layout is version-independent).
+#[allow(clippy::too_many_arguments)]
 pub fn encode_mesh_response_frame(
     cache_hit: bool,
     active_metacells: u64,
     served_lod: u16,
     degraded: bool,
+    backend: u8,
     mesh: &IndexedMesh,
     version: u16,
 ) -> Vec<u8> {
@@ -465,6 +500,7 @@ pub fn encode_mesh_response_frame(
         active_metacells,
         served_lod,
         degraded,
+        backend,
         mesh,
         version,
     );
@@ -507,6 +543,11 @@ fn put_server_report(out: &mut Vec<u8>, s: &ServerReport, version: u16) {
             put_u64(out, v);
         }
     }
+    if version >= 4 {
+        for v in s.backend_hits.iter().chain(&s.backend_misses) {
+            put_u64(out, *v);
+        }
+    }
 }
 
 /// Encode a complete `StatsResponse` frame at the client's protocol
@@ -531,7 +572,12 @@ pub fn encode_payload(msg: &Message) -> Vec<u8> {
 pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
     let mut out = Vec::new();
     match msg {
-        Message::MeshRequest { iso, region, lod } => {
+        Message::MeshRequest {
+            iso,
+            region,
+            lod,
+            backend,
+        } => {
             put_f32(&mut out, *iso);
             out.push(region.is_some() as u8);
             if let Some(r) = region {
@@ -541,6 +587,12 @@ pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
             }
             // v2 trailing field; v1 payloads simply end here (decoded as 0)
             put_u16(&mut out, *lod);
+            // v4 trailing field; absent = the server's default backend
+            if version >= 4 {
+                if let Some(b) = backend {
+                    out.push(*b);
+                }
+            }
         }
         Message::FrameRequest { iso, params } => {
             put_f32(&mut out, *iso);
@@ -561,6 +613,7 @@ pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
             active_metacells,
             served_lod,
             degraded,
+            backend,
             mesh,
         } => put_mesh_response(
             &mut out,
@@ -568,6 +621,7 @@ pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
             *active_metacells,
             *served_lod,
             *degraded,
+            *backend,
             mesh,
             version,
         ),
@@ -621,7 +675,18 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
             };
             // v1 requests end here; absent lod means full resolution
             let lod = if rd.remaining() > 0 { rd.u16()? } else { 0 };
-            Message::MeshRequest { iso, region, lod }
+            // v4 may append a backend id; absent = server default
+            let backend = if rd.remaining() > 0 {
+                Some(rd.u8()?)
+            } else {
+                None
+            };
+            Message::MeshRequest {
+                iso,
+                region,
+                lod,
+                backend,
+            }
         }
         MSG_FRAME_REQUEST => Message::FrameRequest {
             iso: rd.f32()?,
@@ -668,11 +733,14 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
             } else {
                 (0, false)
             };
+            // v4 appends the served backend id (pre-v4 servers: MC = 0)
+            let backend = if rd.remaining() > 0 { rd.u8()? } else { 0 };
             Message::MeshResponse {
                 cache_hit,
                 active_metacells,
                 served_lod,
                 degraded,
+                backend,
                 mesh,
             }
         }
@@ -713,6 +781,14 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
                     *slot = rd.u64()?;
                 }
             }
+            // v4 appends the per-backend hit/miss arrays
+            let mut backend_hits = [0u64; NUM_BACKENDS];
+            let mut backend_misses = [0u64; NUM_BACKENDS];
+            if rd.remaining() > 0 {
+                for slot in backend_hits.iter_mut().chain(&mut backend_misses) {
+                    *slot = rd.u64()?;
+                }
+            }
             Message::StatsResponse(ServerReport {
                 connections: v[0],
                 requests: v[1],
@@ -733,6 +809,8 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
                 drained: robust[3],
                 accept_backoffs: robust[4],
                 active_connections: robust[5],
+                backend_hits,
+                backend_misses,
             })
         }
         MSG_ERROR => {
@@ -797,6 +875,10 @@ pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<usize> {
 /// What a frame read produced before payload interpretation: either a decoded
 /// message or a structured protocol violation the server answers with an
 /// `ERR_*` response.
+// `Ok` carries a whole `Message` (inline stats arrays dominate its size);
+// one `FrameIn` exists per in-flight frame read, never in bulk, so the
+// size skew is irrelevant and boxing would just add a hop.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum FrameIn {
     /// A well-formed frame carrying `msg`, spoken at protocol `version`
@@ -954,6 +1036,7 @@ mod tests {
             iso: 127.5,
             region: None,
             lod: 0,
+            backend: None,
         });
         roundtrip(Message::MeshRequest {
             iso: -3.25,
@@ -962,6 +1045,7 @@ mod tests {
                 hi: [3.0, 4.0, 5.0],
             }),
             lod: 2,
+            backend: Some(1),
         });
         roundtrip(Message::FrameRequest {
             iso: 190.0,
@@ -985,6 +1069,7 @@ mod tests {
             active_metacells: 42,
             served_lod: 0,
             degraded: false,
+            backend: 0,
             mesh: sample_mesh(),
         });
         roundtrip(Message::MeshResponse {
@@ -992,6 +1077,7 @@ mod tests {
             active_metacells: 42,
             served_lod: 2,
             degraded: true,
+            backend: 1,
             mesh: sample_mesh(),
         });
         roundtrip(Message::FrameResponse {
@@ -1020,6 +1106,8 @@ mod tests {
             drained: 15,
             accept_backoffs: 16,
             active_connections: 17,
+            backend_hits: [5, 2],
+            backend_misses: [6, 2],
         }));
         roundtrip(Message::Error {
             code: ERR_MALFORMED,
@@ -1042,6 +1130,7 @@ mod tests {
             active_metacells: 0,
             served_lod: 0,
             degraded: false,
+            backend: 0,
             mesh: mesh.clone(),
         });
         let Some(FrameIn::Ok {
@@ -1064,7 +1153,7 @@ mod tests {
     fn borrowed_mesh_encode_matches_owned_message_encode() {
         let mesh = sample_mesh();
         for version in MIN_VERSION..=VERSION {
-            let borrowed = encode_mesh_response_frame(true, 42, 1, true, &mesh, version);
+            let borrowed = encode_mesh_response_frame(true, 42, 1, true, 1, &mesh, version);
             let owned = encode_frame_at(
                 version,
                 &Message::MeshResponse {
@@ -1072,6 +1161,7 @@ mod tests {
                     active_metacells: 42,
                     served_lod: 1,
                     degraded: true,
+                    backend: 1,
                     mesh: mesh.clone(),
                 },
             );
@@ -1108,6 +1198,7 @@ mod tests {
             active_metacells: 7,
             served_lod: 2,
             degraded: true,
+            backend: 0,
             mesh: sample_mesh(),
         };
         let v2 = encode_payload_at(2, &resp);
@@ -1136,6 +1227,63 @@ mod tests {
                 report.shed = 0;
                 report.degraded = 0;
                 assert_eq!(got, report, "v2 layout zeroes the v3 counters");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v4_backend_fields_never_reach_older_dialects() {
+        // the request's backend selector is a 1-byte v4 trailer
+        let req = Message::MeshRequest {
+            iso: 1.5,
+            region: None,
+            lod: 1,
+            backend: Some(1),
+        };
+        let v3 = encode_payload_at(3, &req);
+        let v4 = encode_payload_at(4, &req);
+        assert_eq!(v4.len(), v3.len() + 1, "backend id is a 1-byte v4 trailer");
+        match decode_payload(MSG_MESH_REQUEST, &v3).unwrap() {
+            Message::MeshRequest { backend, .. } => {
+                assert_eq!(backend, None, "absent selector = server default")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match decode_payload(MSG_MESH_REQUEST, &v4).unwrap() {
+            Message::MeshRequest { backend, .. } => assert_eq!(backend, Some(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // the response's served-backend id likewise
+        let resp = Message::MeshResponse {
+            cache_hit: false,
+            active_metacells: 3,
+            served_lod: 0,
+            degraded: false,
+            backend: 1,
+            mesh: sample_mesh(),
+        };
+        let v3 = encode_payload_at(3, &resp);
+        assert_eq!(encode_payload_at(4, &resp).len(), v3.len() + 1);
+        match decode_payload(MSG_MESH_RESPONSE, &v3).unwrap() {
+            Message::MeshResponse { backend, .. } => {
+                assert_eq!(backend, 0, "absent trailer decodes as MC")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // and the per-backend stats arrays
+        let mut report = ServerReport {
+            backend_hits: [3, 1],
+            backend_misses: [0, 2],
+            ..ServerReport::default()
+        };
+        let mut v3_out = Vec::new();
+        put_server_report(&mut v3_out, &report, 3);
+        match decode_payload(MSG_STATS_RESPONSE, &v3_out).unwrap() {
+            Message::StatsResponse(got) => {
+                report.backend_hits = [0; NUM_BACKENDS];
+                report.backend_misses = [0; NUM_BACKENDS];
+                assert_eq!(got, report, "v3 layout zeroes the v4 counters");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1204,6 +1352,7 @@ mod tests {
             iso: 1.0,
             region: None,
             lod: 0,
+            backend: None,
         });
         let n = frame.len();
         frame[n - 1] ^= 0x40; // flip a checksum bit
@@ -1300,10 +1449,12 @@ mod tests {
             active_metacells: 0,
             served_lod: 0,
             degraded: false,
+            backend: 0,
             mesh,
         });
-        // the last index sits just before the 3-byte v3 trailer
-        let off = payload.len() - 3 - 4;
+        // the last index sits just before the 4-byte v3+v4 trailer
+        // (served_lod u16 + degraded u8 + backend u8)
+        let off = payload.len() - 4 - 4;
         payload[off..off + 4].copy_from_slice(&99u32.to_le_bytes());
         assert!(decode_payload(MSG_MESH_RESPONSE, &payload).is_err());
     }

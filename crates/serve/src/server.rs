@@ -37,11 +37,12 @@
 use crate::cache::{CachedSurface, ResultCache};
 use crate::protocol::{
     encode_frame_at, encode_mesh_response_frame, encode_stats_response_frame, read_frame_limited,
-    FrameIn, Message, ServerReport, ERR_BAD_LOD, ERR_BUSY, ERR_INTERNAL, ERR_MALFORMED,
-    MAX_LOD_LEVELS, MAX_REQUEST_PAYLOAD,
+    FrameIn, Message, ServerReport, ERR_BAD_BACKEND, ERR_BAD_LOD, ERR_BUSY, ERR_INTERNAL,
+    ERR_MALFORMED, MAX_LOD_LEVELS, MAX_REQUEST_PAYLOAD,
 };
 use oociso_cluster::LodSpec;
 use oociso_core::ClusterDatabase;
+use oociso_march::Backend;
 use oociso_render::{rasterize_mesh, select_tile_levels, Camera, Framebuffer, TileLayout};
 use oociso_volume::ScalarValue;
 use std::io::{self, Read, Write};
@@ -89,6 +90,13 @@ pub struct ServeOptions {
     /// Close connections that sit idle *between* frames longer than this
     /// (counted `timed_out`). `None` (the default) keeps them forever.
     pub idle_timeout: Option<Duration>,
+    /// Extraction backend for requests that carry no selector — every
+    /// pre-v4 request, and v4 mesh requests with the selector omitted.
+    /// Frame requests always use this backend (they have no wire selector).
+    /// v4 mesh requests may override it per request; each backend's results
+    /// cache under its own keys, so mixed workloads never collide. Default
+    /// [`Backend::Mc`].
+    pub backend: Backend,
 }
 
 impl Default for ServeOptions {
@@ -103,6 +111,7 @@ impl Default for ServeOptions {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             idle_timeout: None,
+            backend: Backend::Mc,
         }
     }
 }
@@ -131,6 +140,7 @@ struct State<S: ScalarValue> {
     extraction_slots: Option<u32>,
     max_connections: Option<u32>,
     degrade: bool,
+    default_backend: Backend,
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
     idle_timeout: Option<Duration>,
@@ -219,6 +229,8 @@ impl<S: ScalarValue> State<S> {
             drained: self.drained.load(Ordering::Relaxed),
             accept_backoffs: self.accept_backoffs.load(Ordering::Relaxed),
             active_connections: self.ctl.live.load(Ordering::Relaxed),
+            backend_hits: cache.backend_hits,
+            backend_misses: cache.backend_misses,
         }
     }
 
@@ -260,11 +272,15 @@ impl<S: ScalarValue> State<S> {
         cost.clamp(25, 10_000) as u32
     }
 
-    /// Extract the full pyramid for `iso` and insert every level, returning
-    /// the levels in order. Runs outside the cache lock.
-    fn extract_and_insert(&self, iso: f32) -> io::Result<Vec<Arc<CachedSurface>>> {
+    /// Extract the full pyramid for `iso` with `backend` and insert every
+    /// level, returning the levels in order. Runs outside the cache lock.
+    fn extract_and_insert(
+        &self,
+        iso: f32,
+        backend: Backend,
+    ) -> io::Result<Vec<Arc<CachedSurface>>> {
         let t0 = Instant::now();
-        let (chain, report) = self.db.extract_lods(iso, &self.lods)?;
+        let (chain, report) = self.db.extract_lods_with(iso, &self.lods, backend)?;
         self.note_miss_cost(t0.elapsed());
         let active_metacells = report.total_active_metacells();
         let mut cache = self.cache.lock().expect("cache lock");
@@ -275,6 +291,7 @@ impl<S: ScalarValue> State<S> {
             .map(|(i, level)| {
                 cache.insert(
                     iso,
+                    backend.id(),
                     i as u16,
                     CachedSurface {
                         mesh: level.mesh,
@@ -293,7 +310,12 @@ impl<S: ScalarValue> State<S> {
     /// (same ladder `LodChain::build` walks: each level from the previous,
     /// targets as fractions of level 0), so the full mesh is never cloned
     /// and its cache entry is reused as level 0 untouched.
-    fn rebuild_from_full(&self, iso: f32, full: Arc<CachedSurface>) -> Vec<Arc<CachedSurface>> {
+    fn rebuild_from_full(
+        &self,
+        iso: f32,
+        backend: Backend,
+        full: Arc<CachedSurface>,
+    ) -> Vec<Arc<CachedSurface>> {
         let t0 = Instant::now();
         let base_vertices = full.mesh.num_vertices();
         let mut coarse: Vec<(oociso_march::IndexedMesh, f64)> = Vec::new();
@@ -312,11 +334,12 @@ impl<S: ScalarValue> State<S> {
         }
         self.note_miss_cost(t0.elapsed());
         let mut cache = self.cache.lock().expect("cache lock");
-        cache.touch(iso, 0);
+        cache.touch(iso, backend.id(), 0);
         let mut levels = vec![full.clone()];
         for (i, (mesh, cumulative_error)) in coarse.into_iter().enumerate() {
             levels.push(cache.insert(
                 iso,
+                backend.id(),
                 (i + 1) as u16,
                 CachedSurface {
                     mesh,
@@ -333,11 +356,15 @@ impl<S: ScalarValue> State<S> {
     /// outside the cache lock (concurrent first-queries of one isovalue may
     /// each extract — both count as misses, last insert wins — but no
     /// request ever blocks behind another's extraction).
-    fn pyramid_for(&self, iso: f32) -> io::Result<Vec<Arc<CachedSurface>>> {
-        let resident_full = self.cache.lock().expect("cache lock").peek(iso, 0);
+    fn pyramid_for(&self, iso: f32, backend: Backend) -> io::Result<Vec<Arc<CachedSurface>>> {
+        let resident_full = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .peek(iso, backend.id(), 0);
         match resident_full {
-            Some(full) => Ok(self.rebuild_from_full(iso, full)),
-            None => self.extract_and_insert(iso),
+            Some(full) => Ok(self.rebuild_from_full(iso, backend, full)),
+            None => self.extract_and_insert(iso, backend),
         }
     }
 
@@ -347,8 +374,13 @@ impl<S: ScalarValue> State<S> {
     /// the request degrades to the finest cached coarser level (when
     /// [`ServeOptions::degrade`] is set and one is resident — booked as a
     /// hit on the level actually served) or is shed with a retry hint.
-    fn surface(&self, iso: f32, lod: u16) -> io::Result<MeshOutcome> {
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(iso, lod) {
+    fn surface(&self, iso: f32, backend: Backend, lod: u16) -> io::Result<MeshOutcome> {
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .get(iso, backend.id(), lod)
+        {
             return Ok(MeshOutcome::Serve {
                 surface: hit,
                 cache_hit: true,
@@ -358,7 +390,7 @@ impl<S: ScalarValue> State<S> {
         }
         match self.try_slot() {
             Some(slot) => {
-                let levels = self.pyramid_for(iso)?;
+                let levels = self.pyramid_for(iso, backend)?;
                 drop(slot);
                 Ok(MeshOutcome::Serve {
                     surface: levels[lod as usize].clone(),
@@ -369,11 +401,12 @@ impl<S: ScalarValue> State<S> {
             }
             None => {
                 if self.degrade {
-                    let coarser =
-                        self.cache
-                            .lock()
-                            .expect("cache lock")
-                            .coarser(iso, lod, self.levels());
+                    let coarser = self.cache.lock().expect("cache lock").coarser(
+                        iso,
+                        backend.id(),
+                        lod,
+                        self.levels(),
+                    );
                     if let Some((level, surface)) = coarser {
                         self.degraded.fetch_add(1, Ordering::Relaxed);
                         return Ok(MeshOutcome::Serve {
@@ -404,29 +437,32 @@ impl<S: ScalarValue> State<S> {
     /// degraded form: per-tile LOD selection needs the whole pyramid).
     fn all_levels(&self, iso: f32) -> io::Result<FrameOutcome> {
         let want = self.levels() as usize;
+        // frame requests carry no backend selector: they render the server's
+        // default backend's pyramid
+        let backend = self.default_backend;
         let resident_full = {
             let mut cache = self.cache.lock().expect("cache lock");
             let mut levels = Vec::with_capacity(want);
             for lod in 0..want {
-                match cache.peek(iso, lod as u16) {
+                match cache.peek(iso, backend.id(), lod as u16) {
                     Some(l) => levels.push(l),
                     None => break,
                 }
             }
             if levels.len() == want {
-                cache.account(0, true);
+                cache.account(backend.id(), 0, true);
                 // the request used every level: refresh them all, or the
                 // coarse levels a frame-heavy workload relies on would
                 // decay to LRU victims despite being hot
                 for lod in 0..want {
-                    cache.touch(iso, lod as u16);
+                    cache.touch(iso, backend.id(), lod as u16);
                 }
                 return Ok(FrameOutcome::Serve {
                     levels,
                     cache_hit: true,
                 });
             }
-            cache.account(0, false);
+            cache.account(backend.id(), 0, false);
             levels.into_iter().next() // level 0, if it was resident
         };
         let Some(slot) = self.try_slot() else {
@@ -436,8 +472,8 @@ impl<S: ScalarValue> State<S> {
             });
         };
         let levels = match resident_full {
-            Some(full) => self.rebuild_from_full(iso, full),
-            None => self.extract_and_insert(iso)?,
+            Some(full) => self.rebuild_from_full(iso, backend, full),
+            None => self.extract_and_insert(iso, backend)?,
         };
         drop(slot);
         Ok(FrameOutcome::Serve {
@@ -514,6 +550,7 @@ impl IsoServer {
             extraction_slots: opts.extraction_slots,
             max_connections: opts.max_connections,
             degrade: opts.degrade,
+            default_backend: opts.backend,
             read_timeout: opts.read_timeout,
             write_timeout: opts.write_timeout,
             idle_timeout: opts.idle_timeout,
@@ -688,6 +725,9 @@ fn shed_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) -> i
 /// A computed response: either a message still to encode, or a frame
 /// pre-encoded from borrowed data (the cache-hit path, which must not clone
 /// the cached mesh; stats, whose payload layout is version-dependent).
+// one transient `Reply` per handled request — the `Message` variant's
+// inline size never accumulates, so boxing would only add indirection
+#[allow(clippy::large_enum_variant)]
 enum Reply {
     Msg(Message),
     Encoded(Vec<u8>),
@@ -867,7 +907,12 @@ fn busy_reply(context: &str, retry_after_ms: u32) -> Message {
 /// Compute the response for one well-formed request spoken at `version`.
 fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Reply {
     match msg {
-        Message::MeshRequest { iso, region, lod } => {
+        Message::MeshRequest {
+            iso,
+            region,
+            lod,
+            backend,
+        } => {
             state.mesh_requests.fetch_add(1, Ordering::Relaxed);
             if lod >= state.levels() {
                 return Reply::Msg(Message::Error {
@@ -879,7 +924,29 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                     retry_after_ms: None,
                 });
             }
-            match state.surface(iso, lod) {
+            // absent selector (every pre-v4 request) = the server default;
+            // an unknown id is rejected structurally, connection kept
+            let backend = match backend {
+                None => state.default_backend,
+                Some(id) => match Backend::from_id(id) {
+                    Some(b) => b,
+                    None => {
+                        return Reply::Msg(Message::Error {
+                            code: ERR_BAD_BACKEND,
+                            detail: format!(
+                                "unknown backend id {id}: server knows {}",
+                                Backend::ALL
+                                    .iter()
+                                    .map(|b| format!("{} ({})", b.id(), b.name()))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ),
+                            retry_after_ms: None,
+                        })
+                    }
+                },
+            };
+            match state.surface(iso, backend, lod) {
                 // no region: serialize straight from the shared cached mesh
                 Ok(MeshOutcome::Serve {
                     surface,
@@ -892,6 +959,7 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                         surface.active_metacells,
                         served_lod,
                         degraded,
+                        backend.id(),
                         &surface.mesh,
                         version,
                     )),
@@ -902,6 +970,7 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                             active_metacells: surface.active_metacells,
                             served_lod,
                             degraded,
+                            backend: backend.id(),
                             mesh: surface.mesh.filter_region(lo, hi),
                         })
                     }

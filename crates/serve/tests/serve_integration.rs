@@ -3,14 +3,16 @@
 //! cache must be visibly doing its job, and protocol abuse must produce
 //! structured errors without wedging the server.
 
-use oociso_cluster::LodSpec;
+use oociso_cluster::{ExtractOptions, LodSpec};
 use oociso_core::{ClusterDatabase, PreprocessOptions};
-use oociso_march::IndexedMesh;
+use oociso_march::{Backend, IndexedMesh};
 use oociso_serve::protocol::{
     encode_payload, ERR_BAD_CHECKSUM, ERR_MALFORMED, ERR_UNSUPPORTED_VERSION, MSG_MESH_REQUEST,
     MSG_MESH_RESPONSE, MSG_STATS_REQUEST,
 };
-use oociso_serve::{Client, FrameParams, IsoServer, Message, Region, ServeOptions, ERR_BAD_LOD};
+use oociso_serve::{
+    Client, FrameParams, IsoServer, Message, Region, ServeOptions, ERR_BAD_BACKEND, ERR_BAD_LOD,
+};
 use oociso_volume::field::{FieldExt, SphereField};
 use oociso_volume::{Dims3, Volume};
 use std::collections::HashMap;
@@ -211,6 +213,7 @@ fn malformed_and_wrong_version_requests_get_structured_errors() {
         iso: 120.0,
         region: None,
         lod: 0,
+        backend: None,
     });
 
     // future protocol version → ERR_UNSUPPORTED_VERSION, connection survives
@@ -264,9 +267,10 @@ fn malformed_and_wrong_version_requests_get_structured_errors() {
         other => panic!("expected malformed error, got {other:?}"),
     }
 
-    // the v2 lod field is a trailing u16: a request with a torn half-field
-    // (or junk beyond it) must come back ERR_MALFORMED, not be misread
-    for extra in [1usize, 3] {
+    // one byte past the v2 lod field is the v4 backend selector: an unknown
+    // id must draw the structured ERR_BAD_BACKEND, while junk beyond the
+    // selector is still ERR_MALFORMED — a torn field is never misread
+    for (extra, want) in [(1usize, ERR_BAD_BACKEND), (3, ERR_MALFORMED)] {
         let mut torn = good_payload.clone();
         torn.extend(std::iter::repeat_n(0xEEu8, extra));
         match client
@@ -280,9 +284,9 @@ fn malformed_and_wrong_version_requests_get_structured_errors() {
             .unwrap()
         {
             Some(Message::Error { code, .. }) => {
-                assert_eq!(code, ERR_MALFORMED, "{extra} trailing bytes")
+                assert_eq!(code, want, "{extra} trailing bytes")
             }
-            other => panic!("expected malformed error for torn lod, got {other:?}"),
+            other => panic!("expected error for torn request, got {other:?}"),
         }
     }
 
@@ -297,6 +301,7 @@ fn malformed_and_wrong_version_requests_get_structured_errors() {
                 active_metacells: 0,
                 served_lod: 0,
                 degraded: false,
+                backend: 0,
                 mesh: IndexedMesh::new(),
             }),
             false,
@@ -636,6 +641,166 @@ fn welded_mesh_roundtrips_bit_exact_and_cache_serves_identical_bytes() {
     let second = client.query_mesh(iso, None).unwrap();
     assert!(second.cache_hit, "second identical query must hit");
     assert_same_mesh(&second.mesh, &first.mesh, "cache hit bytes");
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Ground-truth SurfaceNets extraction via the library, for comparing
+/// against served responses.
+fn sn_truth(direct: &ClusterDatabase<u8>, iso: f32) -> IndexedMesh {
+    direct
+        .extract_with_options(
+            iso,
+            &ExtractOptions {
+                backend: Backend::SurfaceNets,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .mesh
+}
+
+#[test]
+fn backend_selection_round_trips_with_isolated_cache_slots() {
+    let (dir, server, direct) = serve_fixture("backend", 256 << 20);
+    let addr = server.addr();
+    // half-integer isovalue keeps crossings off the u8 lattice for both
+    // backends
+    let iso = 127.5f32;
+
+    let mc_truth = direct.extract(iso).unwrap().mesh;
+    let sn_truth = sn_truth(&direct, iso);
+    assert!(!mc_truth.is_empty() && !sn_truth.is_empty());
+
+    let mut client = Client::connect(addr).unwrap();
+
+    // a selector-less request gets the server default (MC) and says so
+    let mc = client.query_mesh(iso, None).unwrap();
+    assert!(!mc.cache_hit);
+    assert_eq!(mc.backend, Backend::Mc.id());
+    assert_same_mesh(&mc.mesh, &mc_truth, "default backend");
+
+    // the same isovalue under SurfaceNets lives in a different cache slot:
+    // it must miss, produce the SN surface, and stamp the SN id
+    let sn = client
+        .query_mesh_backend(iso, None, 0, Backend::SurfaceNets)
+        .unwrap();
+    assert!(!sn.cache_hit, "per-backend slots must not alias");
+    assert_eq!(sn.backend, Backend::SurfaceNets.id());
+    assert_same_mesh(&sn.mesh, &sn_truth, "surfacenets");
+    let same_geometry = mc.mesh.num_vertices() == sn.mesh.num_vertices()
+        && mc
+            .mesh
+            .positions()
+            .iter()
+            .zip(sn.mesh.positions())
+            .all(|(a, b)| a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits());
+    assert!(
+        !same_geometry,
+        "the two backends must produce distinct surfaces"
+    );
+
+    // repeats hit, each from its own slot, bytes unchanged
+    let mc2 = client
+        .query_mesh_backend(iso, None, 0, Backend::Mc)
+        .unwrap();
+    assert!(mc2.cache_hit);
+    assert_same_mesh(&mc2.mesh, &mc.mesh, "mc cache hit");
+    let sn2 = client
+        .query_mesh_backend(iso, None, 0, Backend::SurfaceNets)
+        .unwrap();
+    assert!(sn2.cache_hit);
+    assert_same_mesh(&sn2.mesh, &sn.mesh, "sn cache hit");
+
+    // exact per-backend accounting: one miss + one hit each
+    let s = client.stats().unwrap();
+    assert_eq!(s.backend_misses, [1, 1], "{s:?}");
+    assert_eq!(s.backend_hits, [1, 1], "{s:?}");
+
+    // an unknown backend id draws the structured error naming the known
+    // ids, and the connection survives
+    let bad = encode_payload(&Message::MeshRequest {
+        iso,
+        region: None,
+        lod: 0,
+        backend: Some(9),
+    });
+    match client
+        .roundtrip_raw(
+            oociso_serve::MAGIC,
+            oociso_serve::VERSION,
+            MSG_MESH_REQUEST,
+            &bad,
+            false,
+        )
+        .unwrap()
+    {
+        Some(Message::Error { code, detail, .. }) => {
+            assert_eq!(code, ERR_BAD_BACKEND, "{detail}");
+            assert!(detail.contains("surfacenets"), "{detail}");
+        }
+        other => panic!("expected backend error, got {other:?}"),
+    }
+    assert!(client.query_mesh(iso, None).unwrap().cache_hit);
+
+    // a v3-dialect request (no selector byte on the wire) gets the default
+    // backend — old clients keep receiving exactly what they always got
+    let mut v3_payload = Vec::new();
+    v3_payload.extend_from_slice(&iso.to_bits().to_le_bytes());
+    v3_payload.push(0); // no region
+    v3_payload.extend_from_slice(&0u16.to_le_bytes()); // lod 0
+    match client
+        .roundtrip_raw(oociso_serve::MAGIC, 3, MSG_MESH_REQUEST, &v3_payload, false)
+        .unwrap()
+    {
+        Some(Message::MeshResponse { mesh, backend, .. }) => {
+            assert_eq!(backend, 0, "a v3 reply carries no backend byte");
+            assert_same_mesh(&mesh, &mc_truth, "v3 client");
+        }
+        other => panic!("expected mesh response, got {other:?}"),
+    }
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn server_default_backend_applies_to_selector_less_requests() {
+    // a server configured with SurfaceNets as its default serves SN to
+    // every client that names no backend — including pre-v4 dialects —
+    // while an explicit MC request still reaches the MC slot
+    let dir = tmpdir("sndefault");
+    let vol = test_volume();
+    let opts = PreprocessOptions {
+        nodes: 2,
+        ..Default::default()
+    };
+    let served = ClusterDatabase::preprocess(&vol, &dir, &opts).unwrap();
+    let direct = ClusterDatabase::<u8>::open(&dir, false).unwrap();
+    let server = IsoServer::bind(
+        served,
+        ("127.0.0.1", 0),
+        ServeOptions {
+            backend: Backend::SurfaceNets,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let iso = 127.5f32;
+    let truth = sn_truth(&direct, iso);
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reply = client.query_mesh(iso, None).unwrap();
+    assert_eq!(reply.backend, Backend::SurfaceNets.id());
+    assert_same_mesh(&reply.mesh, &truth, "sn default");
+
+    let mc = client
+        .query_mesh_backend(iso, None, 0, Backend::Mc)
+        .unwrap();
+    assert!(!mc.cache_hit, "MC slot starts cold on an SN-default server");
+    assert_eq!(mc.backend, Backend::Mc.id());
+    assert_same_mesh(&mc.mesh, &direct.extract(iso).unwrap().mesh, "explicit mc");
+
     server.stop();
     std::fs::remove_dir_all(&dir).ok();
 }

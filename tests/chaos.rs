@@ -439,6 +439,7 @@ fn busy_replies_back_off_and_then_succeed() {
                     active_metacells: 7,
                     served_lod: 0,
                     degraded: false,
+                    backend: 0,
                     mesh: IndexedMesh::new(),
                 }
             };

@@ -9,7 +9,7 @@ mod common;
 use common::{tmpdir, truth};
 use oociso::cluster::{Cluster, ClusterBuildOptions, ExtractMode, ExtractOptions};
 use oociso::core::{ClusterDatabase, IsoDatabase, PreprocessOptions};
-use oociso::march::{IndexedMesh, Vec3};
+use oociso::march::{Backend, IndexedMesh, Vec3};
 use oociso::volume::{Dims3, RmProxy, Volume};
 use proptest::prelude::*;
 
@@ -151,45 +151,118 @@ fn assert_meshes_bit_identical(a: &IndexedMesh, b: &IndexedMesh, ctx: &str) {
 }
 
 /// Streaming extraction (any worker count × any queue bound) must emit the
-/// byte-for-byte same mesh as the retained batch path: per-record parts merge
-/// by plan-emission sequence number, which is also the batch path's record
-/// order.
+/// byte-for-byte same mesh as the retained batch path, for **every**
+/// extraction backend: per-record parts merge by plan-emission sequence
+/// number, which is also the batch path's record order, and the SurfaceNets
+/// seam stitch + smoothing run over that same deterministic merge.
 fn check_streaming_equals_batch(name: &str, vol: &Volume<u8>, iso: f32) {
     let dir = tmpdir(&format!("sb_{name}_{}", (iso * 10.0) as i32));
     let (cluster, _) = Cluster::build(vol, &dir, 1, &ClusterBuildOptions::default()).unwrap();
-    let batch = cluster
-        .extract_with_options(
-            iso,
-            &ExtractOptions {
-                workers: Some(1),
-                mode: ExtractMode::Batch,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-    let (batch_mesh, batch_report) = batch.into_merged();
-    for workers in [1usize, 2, 3, 8] {
-        for queue_records in [1usize, 4, usize::MAX] {
+    for backend in Backend::ALL {
+        let batch = cluster
+            .extract_with_options(
+                iso,
+                &ExtractOptions {
+                    workers: Some(1),
+                    mode: ExtractMode::Batch,
+                    backend,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let (batch_mesh, batch_report) = batch.into_merged();
+        for workers in [1usize, 2, 3, 8] {
+            for queue_records in [1usize, 4, usize::MAX] {
+                let e = cluster
+                    .extract_with_options(
+                        iso,
+                        &ExtractOptions {
+                            workers: Some(workers),
+                            mode: ExtractMode::Streaming { queue_records },
+                            backend,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                let ctx =
+                    format!("{name} iso={iso} {backend} workers={workers} bound={queue_records}");
+                assert_eq!(
+                    e.report.total_active_metacells(),
+                    batch_report.total_active_metacells(),
+                    "{ctx}"
+                );
+                let n = &e.report.nodes[0];
+                if queue_records != usize::MAX {
+                    // admission is weighted by planner cell estimates: the bound
+                    // caps queued *work* at `queue_records` full metacells' worth
+                    // of cells (default k = 9 → 8³ per full record), so clamped
+                    // edge records may exceed the bound in record count but never
+                    // in cells
+                    assert!(
+                        n.peak_queue_work <= queue_records as u64 * 512,
+                        "{ctx}: peak work {} cells",
+                        n.peak_queue_work
+                    );
+                }
+                let (mesh, _) = e.into_merged();
+                assert_meshes_bit_identical(&mesh, &batch_mesh, &ctx);
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Weighted-admission regression on a dense tiling: 33³ splits into 9³-vertex
+/// metacells exactly (4 × 8 cells per axis), so every record carries the full
+/// 8³ = 512-cell weight and the gyroid keeps essentially all of them active.
+/// The tightest bounds must still cap queued work at `bound × 512` cells —
+/// admission cannot over-admit full-weight records the way it deliberately
+/// over-admits clamped edge records — and the stream must stay bit-identical
+/// to batch under both backends.
+#[test]
+fn weighted_admission_caps_queued_work_on_dense_metacells() {
+    let vol: Volume<u8> = common::gyroid_vol(Dims3::cube(33));
+    let iso = 127.5f32;
+    let dir = tmpdir("dense_admission");
+    let (cluster, _) = Cluster::build(&vol, &dir, 1, &ClusterBuildOptions::default()).unwrap();
+    for backend in Backend::ALL {
+        let (batch_mesh, _) = cluster
+            .extract_with_options(
+                iso,
+                &ExtractOptions {
+                    workers: Some(1),
+                    mode: ExtractMode::Batch,
+                    backend,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .into_merged();
+        for queue_records in [1usize, 2] {
             let e = cluster
                 .extract_with_options(
                     iso,
                     &ExtractOptions {
-                        workers: Some(workers),
+                        workers: Some(4),
                         mode: ExtractMode::Streaming { queue_records },
+                        backend,
                         ..Default::default()
                     },
                 )
                 .unwrap();
-            let ctx = format!("{name} iso={iso} workers={workers} bound={queue_records}");
-            assert_eq!(
-                e.report.total_active_metacells(),
-                batch_report.total_active_metacells(),
-                "{ctx}"
-            );
+            let ctx = format!("{backend} bound={queue_records}");
             let n = &e.report.nodes[0];
-            if queue_records != usize::MAX {
-                assert!(n.peak_queue_records <= queue_records as u64, "{ctx}");
-            }
+            assert!(
+                n.peak_queue_work <= queue_records as u64 * 512,
+                "{ctx}: peak work {} cells exceeds the weighted bound",
+                n.peak_queue_work
+            );
+            assert!(
+                n.peak_queue_work >= 512,
+                "{ctx}: at least one full record must have been admitted \
+                 (admit-at-least-one prevents deadlock), got {}",
+                n.peak_queue_work
+            );
             let (mesh, _) = e.into_merged();
             assert_meshes_bit_identical(&mesh, &batch_mesh, &ctx);
         }

@@ -20,7 +20,7 @@ mod common;
 use common::{tmpdir, truth};
 use oociso::cluster::{Cluster, ClusterBuildOptions, ExtractMode, ExtractOptions};
 use oociso::core::{ClusterDatabase, PreprocessOptions};
-use oociso::march::{analyze, analyze_mesh, analyze_mesh_connectivity, IndexedMesh};
+use oociso::march::{analyze, analyze_mesh, analyze_mesh_connectivity, Backend, IndexedMesh};
 use oociso::volume::field::{FieldExt, GyroidField, SphereField};
 use oociso::volume::{Dims3, Volume};
 use proptest::prelude::*;
@@ -54,13 +54,23 @@ fn extract_with(
 /// quadric decimation of each combination's welded mesh must be
 /// byte-identical within a metacell size (the meshes themselves are), and
 /// must stay closed-manifold with the reference Euler characteristic.
-fn check_watertight_everywhere(name: &str, vol: &Volume<u8>, iso: f32, expect_components: usize) {
+fn check_watertight_everywhere(
+    name: &str,
+    vol: &Volume<u8>,
+    iso: f32,
+    expect_components: usize,
+    sn_matches_reference: bool,
+) {
     let reference = analyze(&truth(vol, iso));
     assert!(
         reference.is_closed(),
         "{name}: ground truth must be closed, got {reference:?}"
     );
     assert_eq!(reference.components, expect_components, "{name}");
+    // SurfaceNets topology is decomposition-invariant: the pre-smoothing
+    // surface is bit-identical across metacell sizes, so the analyzed
+    // report must agree between k = 5 and k = 9
+    let mut sn_topo_across_k = None;
     for metacell_k in [5usize, 9] {
         let dir = tmpdir(&format!("prop_{name}_{metacell_k}_{}", (iso * 10.0) as i64));
         let (cluster, _) = Cluster::build(
@@ -135,6 +145,62 @@ fn check_watertight_everywhere(name: &str, vol: &Volume<u8>, iso: f32, expect_co
                 }
             }
         }
+
+        // SurfaceNets rides the same matrix: no welding (its vertices are
+        // globally unique by cell ownership), bit-identical within a
+        // decomposition, and closed with the reference's topology class
+        let mut sn_baseline: Option<IndexedMesh> = None;
+        for mode in [ExtractMode::default(), ExtractMode::Batch] {
+            for workers in [1usize, 2, 8] {
+                let ctx = format!("{name} sn iso={iso} k={metacell_k} {mode:?} workers={workers}");
+                let (mesh, _report) = cluster
+                    .extract_with_options(
+                        iso,
+                        &ExtractOptions {
+                            workers: Some(workers),
+                            mode,
+                            backend: Backend::SurfaceNets,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                    .into_merged();
+                let topo = analyze_mesh_connectivity(&mesh);
+                assert!(topo.is_closed(), "{ctx}: boundary edges: {topo:?}");
+                // no duplicate or orphan vertices — without any weld pass
+                assert_eq!(topo.vertices, mesh.num_vertices(), "{ctx}");
+                // topology-class equivalence with slab MC: on a
+                // well-resolved manifold surface the two discretizations of
+                // the same level set must agree on components and genus.
+                // Thin features (tunnels ~1 cell wide, as on the clipped
+                // gyroid at these dims) are a genuine discretization
+                // difference — SN's one-vertex-per-cell can merge or close
+                // them — so callers opt out there and rely on the closure,
+                // bit-identity, and cross-k invariants instead
+                if sn_matches_reference && reference.non_manifold_edges == 0 {
+                    assert_eq!(topo.components, reference.components, "{ctx}");
+                    assert_eq!(
+                        topo.euler_characteristic(),
+                        reference.euler_characteristic(),
+                        "{ctx}"
+                    );
+                }
+                match &sn_baseline {
+                    None => sn_baseline = Some(mesh),
+                    Some(base) => assert_eq!(
+                        &mesh, base,
+                        "{ctx}: SurfaceNets must be bit-identical across modes/workers"
+                    ),
+                }
+                match &sn_topo_across_k {
+                    None => sn_topo_across_k = Some(topo),
+                    Some(base) => assert_eq!(
+                        &topo, base,
+                        "{ctx}: SurfaceNets topology must not depend on metacell size"
+                    ),
+                }
+            }
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }
@@ -150,7 +216,7 @@ proptest! {
         // half-integer isovalues keep crossings off the u8 lattice
         let iso = iso_step as f32 + 0.5;
         let vol: Volume<u8> = SphereField::centered(0.3, 128.0).sample(Dims3::new(dim, dim, dim - 1));
-        check_watertight_everywhere("sphere", &vol, iso, 1);
+        check_watertight_everywhere("sphere", &vol, iso, 1, true);
     }
 
     #[test]
@@ -164,7 +230,7 @@ proptest! {
         // the clipped gyroid's genus (and component count) depends on dim and
         // iso; take the component count from ground truth and let
         // check_watertight_everywhere verify the full report matches
-        check_watertight_everywhere("clipped_gyroid", &vol, iso, reference.components);
+        check_watertight_everywhere("clipped_gyroid", &vol, iso, reference.components, false);
     }
 }
 
