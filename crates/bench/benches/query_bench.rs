@@ -244,6 +244,48 @@ fn bench_admission_storm(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+fn bench_metrics_overhead(c: &mut Criterion) {
+    // the observability tax on the served hot path: a single-client warm
+    // storm where every query is a cache hit, so per-request cost is
+    // framing + cache lookup + the instrumentation itself (counter bumps,
+    // histogram records, span events on a detached trace). Run once as
+    // compiled normally and once with `--features oociso-obs/no-obs` (which
+    // compiles every recording path into a no-op); the two runs land under
+    // different criterion ids, and the instrumented/baseline delta is the
+    // overhead — the guard is that it stays under 2%.
+    use oociso_core::{ClusterDatabase, PreprocessOptions};
+    use oociso_serve::{Client, IsoServer, ServeOptions};
+    let dims = Dims3::new(48, 48, 44);
+    let vol = RmProxy::with_seed(7).volume(200, dims);
+    let dir = std::env::temp_dir().join(format!("oociso_qbench_obs_{}", std::process::id()));
+    ClusterDatabase::preprocess(&vol, &dir, &PreprocessOptions::default()).unwrap();
+    let db = ClusterDatabase::<u8>::open(&dir, true).unwrap();
+    let server = IsoServer::bind(db, ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let isovalues = [90.0f32, 110.0, 130.0];
+    for &iso in &isovalues {
+        assert!(!client.query_mesh(iso, None).unwrap().cache_hit); // warm it
+    }
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(isovalues.len() as u64));
+    let label = if oociso_obs::RECORDING {
+        "instrumented"
+    } else {
+        "no_obs"
+    };
+    group.bench_function(BenchmarkId::new("warm_storm", label), |b| {
+        b.iter(|| {
+            for &iso in &isovalues {
+                assert!(client.query_mesh(iso, None).unwrap().cache_hit);
+            }
+        })
+    });
+    group.finish();
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 criterion_group!(
     benches,
     bench_extract,
@@ -251,6 +293,7 @@ criterion_group!(
     bench_worker_scaling,
     bench_pipeline_overlap,
     bench_decimate,
-    bench_admission_storm
+    bench_admission_storm,
+    bench_metrics_overhead
 );
 criterion_main!(benches);

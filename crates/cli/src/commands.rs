@@ -22,11 +22,13 @@ USAGE:
                     [--backend mc|surfacenets] [--lods R1,R2|none] [--slots N]
                     [--max-conns N] [--degrade]
                     [--read-timeout-ms N] [--idle-timeout-ms N]
+                    [--slow-ms N] [--trace-buffer N]
   oociso query      --addr HOST:PORT (--iso V | --stats) [--lod N]
                     [--backend mc|surfacenets] [--obj FILE]
                     [--region x0,y0,z0,x1,y1,z1]
                     [--frame FILE.ppm] [--size N] [--tiles CxR] [--stats]
-                    [--timeout MS] [--retries N]
+                    [--timeout MS] [--retries N] [--trace [ID]]
+  oociso stats      --addr HOST:PORT [--metrics]
   oociso help
 
 Generate a Richtmyer-Meshkov proxy volume, preprocess it into a striped
@@ -42,7 +44,13 @@ exponential backoff. `--backend` selects the extraction kernel — `mc`
 (Marching Cubes, the default) or `surfacenets` (`sn`): same triangle budget,
 half the primitives, globally vertex-unique; `serve --backend` sets the
 default served to clients that name none, while `query --backend` pins one
-explicitly (per-backend cache slots never alias).
+explicitly (per-backend cache slots never alias). `query --trace` stamps
+the request with a trace id and prints the server-side span tree (cache →
+admission → extraction phases → encode); `stats` prints the server
+counters, and `stats --metrics` dumps the raw Prometheus-style exposition
+(counters, gauges, latency histograms). `serve --slow-ms N` logs and
+retains a trace for any request slower than N ms; `--trace-buffer N` sizes
+the journal `query --trace` reads from.
 ";
 
 fn err(e: impl std::fmt::Display) -> String {
@@ -316,6 +324,10 @@ pub fn serve(opts: &Options) -> Result<(), String> {
     if let Some(ms) = opts.opt_num::<u64>("idle-timeout-ms")? {
         serve_opts.idle_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
     }
+    // observability knobs: slow-query threshold (0 disables) and how many
+    // finished request traces `query --trace` can fetch back
+    serve_opts.slow_ms = opts.num("slow-ms", serve_opts.slow_ms)?;
+    serve_opts.trace_buffer = opts.num("trace-buffer", serve_opts.trace_buffer)?;
     let db = ClusterDatabase::<u8>::open(Path::new(db_dir), true).map_err(err)?;
     let nodes = db.nodes();
     let server = oociso_serve::IsoServer::bind(db, addr, serve_opts).map_err(err)?;
@@ -398,17 +410,40 @@ fn query_iso(
     lod: u16,
 ) -> Result<(), String> {
     let t = std::time::Instant::now();
+    // --trace stamps the request with a trace id (an explicit `--trace ID`,
+    // or one derived from the pid) so the server retains its span tree
+    let trace_id = match opts.get("trace") {
+        Some(v) => {
+            let id: u64 = v
+                .parse()
+                .map_err(|_| format!("--trace: cannot parse `{v}`"))?;
+            if id == 0 {
+                return Err("--trace: id 0 means untraced; pick a nonzero id".into());
+            }
+            id
+        }
+        None if opts.flag("trace") => (u64::from(std::process::id()) << 16) | 0x7ACE,
+        None => 0,
+    };
     // --backend names an extraction kernel explicitly; without it the
     // request carries no selector and the server's default answers
-    let reply = match opts.get("backend") {
-        None => client.query_mesh_lod(iso, region, lod).map_err(err)?,
-        Some(s) => {
-            let backend = s
-                .parse::<oociso_march::Backend>()
-                .map_err(|e| format!("--backend: {e}"))?;
-            client
-                .query_mesh_backend(iso, region, lod, backend)
-                .map_err(err)?
+    let backend = match opts.get("backend") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<oociso_march::Backend>()
+                .map_err(|e| format!("--backend: {e}"))?,
+        ),
+    };
+    let reply = if trace_id != 0 {
+        client
+            .query_mesh_traced(iso, region, lod, backend, trace_id)
+            .map_err(err)?
+    } else {
+        match backend {
+            None => client.query_mesh_lod(iso, region, lod).map_err(err)?,
+            Some(b) => client
+                .query_mesh_backend(iso, region, lod, b)
+                .map_err(err)?,
         }
     };
     let served = oociso_march::Backend::from_id(reply.backend)
@@ -430,6 +465,24 @@ fn query_iso(
             String::new()
         }
     );
+    if trace_id != 0 {
+        let t = client.trace(trace_id).map_err(err)?;
+        if t.found {
+            println!(
+                "trace {:#x} ({:.3} ms server-side{}):",
+                t.id,
+                t.total_us as f64 / 1e3,
+                if t.dropped > 0 {
+                    format!(", {} events dropped", t.dropped)
+                } else {
+                    String::new()
+                }
+            );
+            print!("{}", oociso_serve::render_trace_events(&t.events));
+        } else {
+            println!("trace {trace_id:#x}: not retained by the server");
+        }
+    }
     if let Some(obj) = opts.get("obj") {
         reply.mesh.write_obj(Path::new(obj)).map_err(err)?;
         println!("exported -> {obj}");
@@ -472,6 +525,18 @@ fn query_iso(
         );
     }
     Ok(())
+}
+
+/// `oociso stats`: print a running server's counters; `--metrics` dumps the
+/// raw Prometheus-style exposition instead (counters, gauges, histograms).
+pub fn stats(opts: &Options) -> Result<(), String> {
+    let addr = opts.require("addr")?;
+    let mut client = oociso_serve::Client::connect(addr).map_err(err)?;
+    if opts.flag("metrics") {
+        print!("{}", client.metrics().map_err(err)?);
+        return Ok(());
+    }
+    print_stats(&mut client)
 }
 
 fn print_stats(client: &mut oociso_serve::Client) -> Result<(), String> {

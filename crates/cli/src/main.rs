@@ -43,6 +43,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "render" => commands::render(&opts),
         "serve" => commands::serve(&opts),
         "query" => commands::query(&opts),
+        "stats" => commands::stats(&opts),
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -15,6 +15,7 @@ use oociso_march::{
 use oociso_metacell::{
     scan_volume, MetacellInterval, MetacellLayout, MetacellRecord, PreprocessStats,
 };
+use oociso_obs::{Span, Trace};
 use oociso_render::{rasterize_mesh, Camera, Framebuffer, LocalTransport, TileLayout, Transport};
 use oociso_volume::{ScalarValue, Volume};
 use std::io;
@@ -125,6 +126,15 @@ pub struct ExtractOptions {
     /// [`ClusterExtraction::into_merged`] — vertices are globally unique by
     /// construction, so [`ExtractOptions::weld`] does not apply to it.
     pub backend: Backend,
+    /// Request trace the extraction records its phase spans into
+    /// (`extract` → per-node `node` → `pipeline` with `execute_plan`,
+    /// `queue_wait`, `triangulate`, `weld`; the merge/LOD stages add
+    /// `merge_weld`/`stitch`, `lod`, and per-level `decimate` spans). The
+    /// report's `Duration` fields are set from these spans' measured values,
+    /// so trace and report always agree exactly. Defaults to a detached
+    /// trace, which bounds the cost for untraced callers at the trace's
+    /// event cap; served queries pass the wire-identified request trace.
+    pub trace: Trace,
 }
 
 impl Default for ExtractOptions {
@@ -135,6 +145,7 @@ impl Default for ExtractOptions {
             weld: true,
             lods: LodSpec::none(),
             backend: Backend::Mc,
+            trace: Trace::detached(),
         }
     }
 }
@@ -166,6 +177,10 @@ pub struct ClusterExtraction {
     pub lods: LodSpec,
     /// The kernel that produced this extraction.
     pub backend: Backend,
+    /// The request trace the extraction recorded into (from
+    /// [`ExtractOptions::trace`]); the merge and LOD stages append their
+    /// spans here too.
+    pub trace: Trace,
 }
 
 impl ClusterExtraction {
@@ -202,6 +217,7 @@ impl ClusterExtraction {
             weld,
             lods: _,
             backend,
+            trace,
         } = self;
         if backend == Backend::SurfaceNets {
             // SurfaceNets merge: concatenate node meshes (vertices are
@@ -209,7 +225,7 @@ impl ClusterExtraction {
             // the deferred seam quads against the concatenated vertex→cell
             // table, then run the bounded smoothing passes over the stitched
             // surface so smoothing reaches across node seams.
-            let t = Instant::now();
+            let sp = trace.span("stitch");
             let total: usize = meshes.iter().map(IndexedMesh::len).sum();
             let mut out = IndexedMesh::with_capacity(total);
             let mut all_cells: Vec<u64> = Vec::with_capacity(cells.iter().map(Vec::len).sum());
@@ -226,7 +242,7 @@ impl ClusterExtraction {
                 Vec3::new(1.0, 1.0, 1.0),
                 SN_SMOOTH_PASSES,
             );
-            report.merge_weld_wall = t.elapsed();
+            report.merge_weld_wall = sp.finish();
             report.total_wall += report.merge_weld_wall;
             return (out, report);
         }
@@ -239,7 +255,7 @@ impl ClusterExtraction {
             }
             return (out, report);
         }
-        let t = Instant::now();
+        let sp = trace.span("merge_weld");
         let total: usize = meshes.iter().map(IndexedMesh::len).sum();
         let mut out = IndexedMesh::with_capacity(total);
         let mut welder = MeshWelder::new();
@@ -247,7 +263,7 @@ impl ClusterExtraction {
             out.merge_welded(m, &mut welder);
         }
         report.merge_weld = welder.finish(&out);
-        report.merge_weld_wall = t.elapsed();
+        report.merge_weld_wall = sp.finish();
         // the merge weld is part of producing this result: fold it into the
         // end-to-end wall so downstream ratios (e.g. weld cost vs total)
         // compare like with like
@@ -265,10 +281,17 @@ impl ClusterExtraction {
     /// yields a 1-level chain (full resolution only).
     pub fn into_lod_chain(self) -> (LodChain, QueryReport) {
         let ratios = self.lods.ratios.clone();
+        let trace = self.trace.clone();
         let (mesh, mut report) = self.into_merged();
-        let t = Instant::now();
-        let chain = LodChain::build(mesh, &ratios);
-        report.lod_wall = t.elapsed();
+        let sp = trace.span("lod");
+        let chain = LodChain::build_observed(mesh, &ratios, |level, wall, stats| {
+            sp.annotate(
+                "decimate",
+                wall,
+                &[("level", level as u64), ("collapses", stats.collapses)],
+            );
+        });
+        report.lod_wall = sp.finish();
         report.lod_levels = chain
             .levels()
             .iter()
@@ -578,14 +601,18 @@ impl<S: ScalarValue> Cluster<S> {
         let mode = opts.mode;
         let weld = opts.weld;
         let backend = opts.backend;
-        let t_total = Instant::now();
+        let mut sp_extract = opts.trace.span("extract");
+        sp_extract.field("iso_millis", (iso as f64 * 1e3) as u64);
+        sp_extract.field("nodes", self.nodes as u64);
         let results: Vec<io::Result<(BlockOutput, NodeReport)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.nodes)
                 .map(|i| {
                     let tree = &self.trees[i];
                     let store = &self.stores[i];
+                    let mut nspan = sp_extract.child("node");
+                    nspan.field("node", i as u64);
                     scope.spawn(move || {
-                        self.node_extract(i, tree, store, iso, workers, mode, weld, backend)
+                        self.node_extract(i, tree, store, iso, workers, mode, weld, backend, nspan)
                     })
                 })
                 .collect();
@@ -610,7 +637,7 @@ impl<S: ScalarValue> Cluster<S> {
             nodes,
             composite_wire_bytes: 0,
             composite_wall: Duration::ZERO,
-            total_wall: t_total.elapsed(),
+            total_wall: sp_extract.finish(),
             ..Default::default()
         };
         Ok(ClusterExtraction {
@@ -621,6 +648,7 @@ impl<S: ScalarValue> Cluster<S> {
             weld,
             lods: opts.lods.clone(),
             backend,
+            trace: opts.trace.clone(),
         })
     }
 
@@ -636,7 +664,9 @@ impl<S: ScalarValue> Cluster<S> {
         mode: ExtractMode,
         weld: bool,
         backend: Backend,
+        span: Span,
     ) -> io::Result<(BlockOutput, NodeReport)> {
+        let mut span = span;
         let io_before = store.device().io_snapshot();
         let t0 = Instant::now();
         let plan = tree.plan(S::query_key(iso));
@@ -645,6 +675,7 @@ impl<S: ScalarValue> Cluster<S> {
             // pruned every brick): skip the pipeline entirely — no worker
             // threads spawn, so the report states 0 workers.
             let elapsed = t0.elapsed();
+            span.annotate("execute_plan", elapsed, &[]);
             return Ok((
                 BlockOutput::default(),
                 NodeReport {
@@ -669,13 +700,16 @@ impl<S: ScalarValue> Cluster<S> {
                 queue_records,
                 weld,
                 backend,
+                &span,
             )?,
             ExtractMode::Batch => {
-                self.node_extract_batch(&plan, store, iso, workers, weld, backend)?
+                self.node_extract_batch(&plan, store, iso, workers, weld, backend, &span)?
             }
         };
         report.node = node;
         report.io = store.device().io_snapshot().since(&io_before);
+        span.field("active_metacells", report.active_metacells);
+        span.field("triangles", report.triangles);
         Ok((out, report))
     }
 
@@ -728,6 +762,7 @@ impl<S: ScalarValue> Cluster<S> {
         queue_records: usize,
         weld: bool,
         backend: Backend,
+        span: &Span,
     ) -> io::Result<(BlockOutput, NodeReport)> {
         type Part = (u64, BlockOutput, McStats);
         /// Closes the queue when dropped. Every pipeline thread holds one, so
@@ -754,7 +789,7 @@ impl<S: ScalarValue> Cluster<S> {
         let queue: BoundedQueue<(u64, Vec<u8>)> =
             BoundedQueue::weighted((queue_records as u64).saturating_mul(full_cells));
         let backend_impl = backend.instance::<S>();
-        let t_pipeline = Instant::now();
+        let sp_pipe = span.child("pipeline");
         let (exec, amc_retrieval, outs) = std::thread::scope(|scope| {
             let queue = &queue;
             let handles: Vec<_> = (0..workers)
@@ -787,7 +822,7 @@ impl<S: ScalarValue> Cluster<S> {
             // Producer: phase (i) on this thread. Push can only fail once the
             // queue is closed — after a worker died; the records it would
             // have carried are moot, so the result is ignored.
-            let t0 = Instant::now();
+            let sp_exec = sp_pipe.child("execute_plan");
             let exec = {
                 let _close = CloseOnDrop(queue);
                 let mut seq = 0u64;
@@ -800,7 +835,7 @@ impl<S: ScalarValue> Cluster<S> {
                 // plan execution, and on unwind alike, so consumers always
                 // drain and exit instead of deadlocking the scope.
             };
-            let amc_retrieval = t0.elapsed();
+            let amc_retrieval = sp_exec.finish();
             let outs: Vec<(Vec<Part>, Duration)> = handles
                 .into_iter()
                 .map(|h| h.join().expect("extraction worker panicked"))
@@ -812,7 +847,8 @@ impl<S: ScalarValue> Cluster<S> {
         // Sequence-ordered merge restores the plan's emission order exactly.
         let mut triangulation_busy = Duration::ZERO;
         let mut parts: Vec<Part> = Vec::new();
-        for (p, busy) in outs {
+        for (w, (p, busy)) in outs.into_iter().enumerate() {
+            sp_pipe.annotate("triangulate", busy, &[("worker", w as u64)]);
             triangulation_busy += busy;
             parts.extend(p);
         }
@@ -820,11 +856,19 @@ impl<S: ScalarValue> Cluster<S> {
         let parts: Vec<(BlockOutput, McStats)> =
             parts.into_iter().map(|(_, o, mc)| (o, mc)).collect();
         let (out, mc, weld_stats, weld_wall) = Self::merge_parts(parts, weld);
-        // weld_wall is reported separately (and summed back in wall_total),
-        // so keep it out of the pipeline wall
-        let extraction_wall = t_pipeline.elapsed().saturating_sub(weld_wall);
         let qstats = queue.stats();
         let waits = queue.waits();
+        sp_pipe.annotate(
+            "queue_wait",
+            waits.push_wait,
+            &[("pop_wait_us", waits.pop_wait.as_micros() as u64)],
+        );
+        if weld {
+            sp_pipe.annotate("weld", weld_wall, &[]);
+        }
+        // weld_wall is reported separately (and summed back in wall_total),
+        // so keep it out of the pipeline wall
+        let extraction_wall = sp_pipe.finish().saturating_sub(weld_wall);
 
         Ok((
             out,
@@ -855,6 +899,7 @@ impl<S: ScalarValue> Cluster<S> {
 
     /// The phase-serial reference path: buffer the whole record batch, then
     /// split it into contiguous per-worker chunks that merge in order.
+    #[allow(clippy::too_many_arguments)]
     fn node_extract_batch(
         &self,
         plan: &QueryPlan,
@@ -863,17 +908,19 @@ impl<S: ScalarValue> Cluster<S> {
         workers: usize,
         weld: bool,
         backend: Backend,
+        span: &Span,
     ) -> io::Result<(BlockOutput, NodeReport)> {
         // Phase 1: AMC retrieval — the entire active set is staged in memory
         // (which is what `peak_queue_*` report for this mode).
-        let t_pipeline = Instant::now();
+        let sp_pipe = span.child("pipeline");
+        let sp_exec = sp_pipe.child("execute_plan");
         let mut records: Vec<Vec<u8>> = Vec::new();
         let mut staged_cells = 0u64;
         let exec = execute_plan(plan, store, &self.format, |id, bytes| {
             staged_cells += self.layout.num_cells(id) as u64;
             records.push(bytes.to_vec())
         })?;
-        let amc_retrieval = t_pipeline.elapsed();
+        let amc_retrieval = sp_exec.finish();
         let bytes_read: u64 = records.iter().map(|r| r.len() as u64).sum();
         let backend_impl = backend.instance::<S>();
 
@@ -886,7 +933,9 @@ impl<S: ScalarValue> Cluster<S> {
         let workers = records.len().max(1).div_ceil(per);
         let (parts, triangulation_busy) = if workers <= 1 {
             let part = self.triangulate_batch(backend_impl, &records, iso);
-            (vec![part], t1.elapsed())
+            let busy = t1.elapsed();
+            sp_pipe.annotate("triangulate", busy, &[("worker", 0)]);
+            (vec![part], busy)
         } else {
             let parts: Vec<(BlockOutput, McStats, Duration)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = records
@@ -905,10 +954,17 @@ impl<S: ScalarValue> Cluster<S> {
                     .collect()
             });
             let busy = parts.iter().map(|&(_, _, dt)| dt).sum();
+            for (w, (_, _, dt)) in parts.iter().enumerate() {
+                sp_pipe.annotate("triangulate", *dt, &[("worker", w as u64)]);
+            }
             (parts.into_iter().map(|(o, mc, _)| (o, mc)).collect(), busy)
         };
         let (out, mc, weld_stats, weld_wall) = Self::merge_parts(parts, weld);
         let triangulation = t1.elapsed().saturating_sub(weld_wall);
+        if weld {
+            sp_pipe.annotate("weld", weld_wall, &[]);
+        }
+        let extraction_wall = sp_pipe.finish().saturating_sub(weld_wall);
 
         Ok((
             out,
@@ -922,7 +978,7 @@ impl<S: ScalarValue> Cluster<S> {
                 bytes_read,
                 amc_retrieval,
                 triangulation,
-                extraction_wall: t_pipeline.elapsed().saturating_sub(weld_wall),
+                extraction_wall,
                 retrieval_busy: amc_retrieval,
                 triangulation_busy,
                 peak_queue_records: records.len() as u64,
@@ -1569,6 +1625,71 @@ mod tests {
         assert_eq!(exec.records_emitted, e.report.total_active_metacells());
         assert!(exec.bulk_actions + exec.prefix_actions > 0);
         assert!(e.report.total_wall > Duration::ZERO);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_durations_equal_trace_span_sums() {
+        // Satellite of the observability layer: the report's Duration fields
+        // are *derived views* of the trace's spans — set from the same
+        // measured values — so the sums must match exactly, not
+        // approximately.
+        let vol = test_volume();
+        let dir = tmpdir("trace_equiv");
+        let (c, _) = Cluster::build(&vol, &dir, 2, &ClusterBuildOptions::default()).unwrap();
+        for mode in [ExtractMode::default(), ExtractMode::Batch] {
+            let trace = Trace::new(42, 4096);
+            let e = c
+                .extract_with_options(
+                    128.0,
+                    &ExtractOptions {
+                        workers: Some(2),
+                        mode,
+                        lods: LodSpec::pyramid(),
+                        trace: trace.clone(),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            let nodes = e.report.nodes.clone();
+            assert!(
+                nodes.iter().all(|n| n.active_metacells > 0),
+                "equivalence needs every node active"
+            );
+            let sum = |f: fn(&NodeReport) -> Duration| nodes.iter().map(f).sum::<Duration>();
+            assert_eq!(
+                trace.sum("execute_plan"),
+                sum(|n| n.amc_retrieval),
+                "{mode:?}"
+            );
+            assert_eq!(
+                trace.sum("triangulate"),
+                sum(|n| n.triangulation_busy),
+                "{mode:?}"
+            );
+            assert_eq!(trace.sum("weld"), sum(|n| n.weld_wall), "{mode:?}");
+            // extraction_wall is the pipeline span minus the weld it covers
+            assert_eq!(
+                trace.sum("pipeline"),
+                sum(|n| n.extraction_wall + n.weld_wall),
+                "{mode:?}"
+            );
+            assert_eq!(trace.sum("extract"), e.report.total_wall, "{mode:?}");
+
+            let (_chain, report) = e.into_lod_chain();
+            assert_eq!(trace.sum("merge_weld"), report.merge_weld_wall, "{mode:?}");
+            assert_eq!(trace.sum("lod"), report.lod_wall, "{mode:?}");
+            assert_eq!(
+                report.total_wall,
+                trace.sum("extract") + trace.sum("merge_weld") + trace.sum("lod"),
+                "{mode:?}"
+            );
+            let tree = trace.render_tree();
+            assert!(tree.starts_with("extract "), "unexpected tree:\n{tree}");
+            assert!(tree.contains("execute_plan"));
+            assert!(tree.contains("queue_wait") || mode == ExtractMode::Batch);
+            assert!(tree.contains("decimate"));
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -147,7 +147,20 @@ impl<S: ScalarValue> ClusterDatabase<S> {
             backend,
             ..Default::default()
         };
-        let e = self.cluster.extract_with_options(iso, &opts)?;
+        self.extract_lods_opts(iso, &opts)
+    }
+
+    /// [`ClusterDatabase::extract_lods_with`] under full extraction options
+    /// — how the query server threads its per-request trace (and any other
+    /// extraction tuning) into the pipeline. The extraction's span tree
+    /// (`extract`/`node`/`pipeline`/... plus the `merge_weld`/`stitch` and
+    /// `lod` roots) lands in `opts.trace`.
+    pub fn extract_lods_opts(
+        &self,
+        iso: f32,
+        opts: &oociso_cluster::ExtractOptions,
+    ) -> io::Result<(oociso_march::LodChain, QueryReport)> {
+        let e = self.cluster.extract_with_options(iso, opts)?;
         Ok(e.into_lod_chain())
     }
 

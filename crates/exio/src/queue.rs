@@ -20,6 +20,7 @@
 //!   by their planner cell estimate, so the bound caps queued *work* — a few
 //!   dense metacells fill the budget that many sparse ones would share.
 
+use oociso_obs::Histogram;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -74,6 +75,10 @@ pub struct BoundedQueue<T> {
     not_empty: Condvar,
     capacity: usize,
     max_weight: Option<u64>,
+    // process-wide wait histograms, resolved once per queue so the blocked
+    // paths record lock-free
+    push_wait_us: Histogram,
+    pop_wait_us: Histogram,
 }
 
 impl<T> BoundedQueue<T> {
@@ -91,6 +96,8 @@ impl<T> BoundedQueue<T> {
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
             max_weight,
+            push_wait_us: oociso_obs::global().histogram("queue_push_wait_us"),
+            pop_wait_us: oociso_obs::global().histogram("queue_pop_wait_us"),
         }
     }
 
@@ -137,7 +144,9 @@ impl<T> BoundedQueue<T> {
         while full(&inner) && !inner.closed {
             let t = Instant::now();
             inner = self.not_full.wait(inner).expect("queue poisoned");
-            inner.waits.push_wait += t.elapsed();
+            let waited = t.elapsed();
+            inner.waits.push_wait += waited;
+            self.push_wait_us.record_duration(waited);
         }
         if inner.closed {
             return Err(item);
@@ -163,7 +172,9 @@ impl<T> BoundedQueue<T> {
         while inner.items.is_empty() && !inner.closed {
             let t = Instant::now();
             inner = self.not_empty.wait(inner).expect("queue poisoned");
-            inner.waits.pop_wait += t.elapsed();
+            let waited = t.elapsed();
+            inner.waits.pop_wait += waited;
+            self.pop_wait_us.record_duration(waited);
         }
         match inner.items.pop_front() {
             Some((item, bytes, weight)) => {
@@ -350,6 +361,30 @@ mod tests {
         });
         assert_eq!(count.load(Ordering::Relaxed), 100);
         assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn blocked_waits_feed_global_histograms() {
+        let before = oociso_obs::global()
+            .histogram("queue_push_wait_us")
+            .snapshot()
+            .count;
+        let q: BoundedQueue<u8> = BoundedQueue::new(1);
+        q.push(1, 1, 1).unwrap();
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| q.push(2, 1, 1)); // blocks: queue full
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(q.pop(), Some(1));
+            h.join().unwrap().unwrap();
+        });
+        let after = oociso_obs::global()
+            .histogram("queue_push_wait_us")
+            .snapshot()
+            .count;
+        assert!(
+            after > before,
+            "blocked push should record a wait sample ({before} -> {after})"
+        );
     }
 
     #[test]

@@ -786,6 +786,20 @@ impl LodChain {
     /// previous one, so the pyramid costs one pass per level over
     /// ever-smaller meshes.
     pub fn build(base: IndexedMesh, ratios: &[f64]) -> LodChain {
+        Self::build_observed(base, ratios, |_, _, _| {})
+    }
+
+    /// [`LodChain::build`] with a per-level observer: after each decimated
+    /// level is built, `observe(level, wall, stats)` is called with the
+    /// level's index (1 = first decimated level), its measured decimation
+    /// wall-clock, and its counters. Request tracing attributes pyramid cost
+    /// per level through this hook without this crate knowing about any
+    /// tracing substrate.
+    pub fn build_observed(
+        base: IndexedMesh,
+        ratios: &[f64],
+        mut observe: impl FnMut(usize, std::time::Duration, &DecimateStats),
+    ) -> LodChain {
         let base_vertices = base.num_vertices();
         let mut levels = vec![LodLevel {
             target_ratio: 1.0,
@@ -794,7 +808,7 @@ impl LodChain {
             cumulative_error: 0.0,
         }];
         let mut prev_ratio = 1.0;
-        for &ratio in ratios {
+        for (i, &ratio) in ratios.iter().enumerate() {
             assert!(
                 ratio > 0.0 && ratio < prev_ratio,
                 "LOD ratios must be strictly decreasing in (0, 1): {ratios:?}"
@@ -802,6 +816,7 @@ impl LodChain {
             prev_ratio = ratio;
             let target = (base_vertices as f64 * ratio).ceil() as usize;
             let prev = levels.last().expect("level 0 exists");
+            let t = std::time::Instant::now();
             let (mesh, stats) = decimate(
                 &prev.mesh,
                 &DecimateOptions {
@@ -809,6 +824,7 @@ impl LodChain {
                     max_error: f64::INFINITY,
                 },
             );
+            observe(i + 1, t.elapsed(), &stats);
             let cumulative_error = prev.cumulative_error + stats.max_error;
             levels.push(LodLevel {
                 target_ratio: ratio,
@@ -1016,5 +1032,24 @@ mod tests {
     #[should_panic(expected = "strictly decreasing")]
     fn lod_chain_rejects_non_decreasing_ratios() {
         LodChain::build(sphere_mesh(10), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn build_observed_reports_each_decimated_level() {
+        let mut seen: Vec<(usize, u64)> = Vec::new();
+        let chain = LodChain::build_observed(sphere_mesh(20), &[0.25, 0.06], |i, wall, stats| {
+            assert!(wall > std::time::Duration::ZERO);
+            seen.push((i, stats.collapses));
+        });
+        assert_eq!(seen.len(), 2, "one observation per decimated level");
+        assert_eq!(seen[0].0, 1);
+        assert_eq!(seen[1].0, 2);
+        for (i, collapses) in &seen {
+            assert_eq!(
+                *collapses,
+                chain.level(*i).unwrap().stats.collapses,
+                "observer stats must match the built level"
+            );
+        }
     }
 }

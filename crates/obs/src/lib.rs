@@ -1,0 +1,42 @@
+//! Observability substrate for the out-of-core isosurface system.
+//!
+//! The paper's claims are throughput and latency numbers; this crate is how
+//! the grown system measures its own. Three pieces, shared by every layer
+//! from the bounded queue up to the TCP server:
+//!
+//! * [`registry`] — a lock-light metrics registry: named [`Counter`] /
+//!   [`Gauge`] / [`Histogram`] handles backed by relaxed atomics, with
+//!   log-spaced fixed-bucket histograms ([`hist`]) supporting exact merge,
+//!   p50/p90/p99/max readout, snapshot iteration, and Prometheus text
+//!   exposition ([`Registry::render`]).
+//! * [`trace`] — structured request tracing: RAII [`Span`]s recorded into a
+//!   bounded per-request [`Trace`] of `(name, start, dur, fields)` events,
+//!   plus the [`TraceJournal`] ring behind the server's recent-trace and
+//!   slow-query logs.
+//! * [`log`] — structured operational events ([`LogEvent`]) through a
+//!   pluggable [`LogSink`] (stderr in production, [`CaptureSink`] in tests).
+//!
+//! Compiling with the `no-obs` feature turns every *recording* path into a
+//! no-op while keeping measured return values (span durations) exact — the
+//! `metrics_overhead` bench group uses it as the uninstrumented baseline.
+//!
+//! Metric names, span names, and exposition format are cataloged in
+//! `docs/observability.md`.
+
+pub mod hist;
+pub mod log;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{bucket_index, bucket_lower, bucket_upper, HistSnapshot, Histogram, NUM_BUCKETS};
+pub use log::{CaptureSink, Level, LogEvent, LogSink, Logger, StderrSink};
+pub use registry::{global, Counter, Gauge, MetricValue, Registry};
+pub use trace::{
+    render_events, FinishedTrace, Span, SpanEvent, Trace, TraceJournal, DEFAULT_TRACE_EVENTS,
+    NO_PARENT,
+};
+
+/// Whether this build records observability data (`false` under the
+/// `no-obs` feature). Benchmarks use it to label instrumented vs baseline
+/// runs of the same binary.
+pub const RECORDING: bool = !cfg!(feature = "no-obs");

@@ -1,0 +1,215 @@
+//! Structured log events.
+//!
+//! The serve layer used to `eprintln!` its operational warnings (accept
+//! backoff, drain progress), which made them both invisible to tests and
+//! unparseable in production. A [`LogEvent`] is a level + target + message +
+//! structured fields; a [`LogSink`] consumes them. [`StderrSink`] keeps the
+//! old behavior (one formatted line per event), [`CaptureSink`] retains
+//! events in memory so tests can assert on exactly what was emitted.
+
+use std::sync::{Arc, Mutex};
+
+/// Event severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Debug,
+    Info,
+    Warn,
+    Error,
+}
+
+impl Level {
+    /// Lowercase name, as rendered by [`StderrSink`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// One structured log event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEvent {
+    pub level: Level,
+    /// The emitting subsystem (e.g. `"serve"`).
+    pub target: &'static str,
+    /// Stable event name (what tests match on), e.g. `"accept_backoff"`.
+    pub name: &'static str,
+    /// Human-readable context.
+    pub message: String,
+    /// Structured key/value context.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl LogEvent {
+    /// Render as one line: `level target name: message k=v ...`.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "{} {} {}: {}",
+            self.level.as_str(),
+            self.target,
+            self.name,
+            self.message
+        );
+        for (k, v) in &self.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line
+    }
+}
+
+/// A consumer of log events. Implementations must be cheap and non-blocking
+/// enough to call from request threads.
+pub trait LogSink: Send + Sync {
+    fn log(&self, event: LogEvent);
+}
+
+/// Formats each event as one line on stderr (the production default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrSink;
+
+impl LogSink for StderrSink {
+    fn log(&self, event: LogEvent) {
+        eprintln!("{}", event.render());
+    }
+}
+
+/// Retains every event in memory — the test sink.
+#[derive(Debug, Default)]
+pub struct CaptureSink {
+    events: Mutex<Vec<LogEvent>>,
+}
+
+impl CaptureSink {
+    pub fn new() -> CaptureSink {
+        CaptureSink::default()
+    }
+
+    /// Copy out everything captured so far.
+    pub fn events(&self) -> Vec<LogEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Captured events with the given name.
+    pub fn named(&self, name: &str) -> Vec<LogEvent> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.name == name)
+            .collect()
+    }
+
+    /// Count of captured events at `level`.
+    pub fn count_at(&self, level: Level) -> usize {
+        self.events().iter().filter(|e| e.level == level).count()
+    }
+}
+
+impl LogSink for CaptureSink {
+    fn log(&self, event: LogEvent) {
+        self.events.lock().unwrap().push(event);
+    }
+}
+
+/// A cloneable handle to a sink, with level helpers. `Debug` prints only the
+/// handle identity, so it can ride inside `derive(Debug)` option structs.
+#[derive(Clone)]
+pub struct Logger(Arc<dyn LogSink>);
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Logger(..)")
+    }
+}
+
+impl Default for Logger {
+    fn default() -> Self {
+        Logger::stderr()
+    }
+}
+
+impl Logger {
+    /// Wrap any sink.
+    pub fn new(sink: Arc<dyn LogSink>) -> Logger {
+        Logger(sink)
+    }
+
+    /// The production default: formatted lines on stderr.
+    pub fn stderr() -> Logger {
+        Logger(Arc::new(StderrSink))
+    }
+
+    /// Emit an event.
+    pub fn log(
+        &self,
+        level: Level,
+        target: &'static str,
+        name: &'static str,
+        message: impl Into<String>,
+        fields: &[(&'static str, String)],
+    ) {
+        self.0.log(LogEvent {
+            level,
+            target,
+            name,
+            message: message.into(),
+            fields: fields.to_vec(),
+        });
+    }
+
+    /// Emit at [`Level::Info`].
+    pub fn info(
+        &self,
+        target: &'static str,
+        name: &'static str,
+        message: impl Into<String>,
+        fields: &[(&'static str, String)],
+    ) {
+        self.log(Level::Info, target, name, message, fields);
+    }
+
+    /// Emit at [`Level::Warn`].
+    pub fn warn(
+        &self,
+        target: &'static str,
+        name: &'static str,
+        message: impl Into<String>,
+        fields: &[(&'static str, String)],
+    ) {
+        self.log(Level::Warn, target, name, message, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_sink_retains_structured_events() {
+        let sink = Arc::new(CaptureSink::new());
+        let log = Logger::new(sink.clone());
+        log.warn(
+            "serve",
+            "accept_backoff",
+            "accept failed; backing off until fds free up",
+            &[("error", "EMFILE".to_string())],
+        );
+        log.info("serve", "drain", "draining", &[]);
+        assert_eq!(sink.count_at(Level::Warn), 1);
+        assert_eq!(sink.named("accept_backoff").len(), 1);
+        let e = &sink.events()[0];
+        assert_eq!(e.level, Level::Warn);
+        assert_eq!(e.fields, vec![("error", "EMFILE".to_string())]);
+        assert!(e.render().starts_with("warn serve accept_backoff:"));
+        assert!(e.render().ends_with("error=EMFILE"));
+    }
+
+    #[test]
+    fn levels_order() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+}

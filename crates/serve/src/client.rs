@@ -23,7 +23,7 @@
 
 use crate::protocol::{
     encode_frame_raw, read_frame, write_frame, FrameIn, FrameParams, Message, Region, ServerReport,
-    ERR_BUSY,
+    TraceEvent, ERR_BUSY,
 };
 use oociso_march::{Backend, IndexedMesh};
 use oociso_render::Framebuffer;
@@ -49,6 +49,10 @@ pub struct MeshReply {
     /// The extraction backend id that produced the mesh
     /// (`oociso_march::Backend::from_id`; always 0/MC from pre-v4 servers).
     pub backend: u8,
+    /// Echo of the trace id this request carried (0 = untraced, and always
+    /// 0 from pre-v5 servers). A nonzero echo can be handed to
+    /// [`Client::trace`] to pull the request's span tree.
+    pub trace_id: u64,
 }
 
 /// A decoded framebuffer reply.
@@ -60,6 +64,23 @@ pub struct FrameReply {
     pub cache_hit: bool,
     /// Tile regions exactly as they crossed the wire.
     pub regions: Vec<oociso_render::FrameRegion>,
+    /// Echo of the trace id this request carried (0 = untraced).
+    pub trace_id: u64,
+}
+
+/// A finished request trace fetched from the server's journal.
+#[derive(Clone, Debug)]
+pub struct TraceReply {
+    /// Whether the journal still held the requested trace.
+    pub found: bool,
+    /// The trace's id (the one the request carried on the wire).
+    pub id: u64,
+    /// Total request wall time in microseconds.
+    pub total_us: u64,
+    /// Span events that overflowed the trace's bounded buffer.
+    pub dropped: u64,
+    /// The recorded span events.
+    pub events: Vec<TraceEvent>,
 }
 
 /// A failure the server reported in a structured error frame, preserved
@@ -119,6 +140,8 @@ fn idempotent(msg: &Message) -> bool {
             | Message::FrameRequest { .. }
             | Message::StatsRequest
             | Message::Ping { .. }
+            | Message::MetricsRequest
+            | Message::TraceRequest { .. }
     )
 }
 
@@ -318,6 +341,7 @@ impl Client {
             region,
             lod,
             backend: None,
+            trace_id: 0,
         })
     }
 
@@ -336,6 +360,28 @@ impl Client {
             region,
             lod,
             backend: Some(backend.id()),
+            trace_id: 0,
+        })
+    }
+
+    /// [`Client::query_mesh_lod`] with a client-supplied trace id (protocol
+    /// v5). The server records the request's span tree under `trace_id` in
+    /// its trace journal and echoes the id on the reply; fetch the tree
+    /// afterwards with [`Client::trace`]. Id 0 means untraced.
+    pub fn query_mesh_traced(
+        &mut self,
+        iso: f32,
+        region: Option<Region>,
+        lod: u16,
+        backend: Option<Backend>,
+        trace_id: u64,
+    ) -> io::Result<MeshReply> {
+        self.query(Message::MeshRequest {
+            iso,
+            region,
+            lod,
+            backend: backend.map(|b| b.id()),
+            trace_id,
         })
     }
 
@@ -347,6 +393,7 @@ impl Client {
                 served_lod,
                 degraded,
                 backend,
+                trace_id,
                 mesh,
             } => Ok(MeshReply {
                 mesh,
@@ -355,6 +402,7 @@ impl Client {
                 served_lod,
                 degraded,
                 backend,
+                trace_id,
             }),
             Message::Error {
                 code,
@@ -368,12 +416,17 @@ impl Client {
     /// Query a rendered frame of the isosurface at `iso` and reassemble the
     /// tiles into one framebuffer.
     pub fn query_frame(&mut self, iso: f32, params: FrameParams) -> io::Result<FrameReply> {
-        match self.roundtrip(&Message::FrameRequest { iso, params })? {
+        match self.roundtrip(&Message::FrameRequest {
+            iso,
+            params,
+            trace_id: 0,
+        })? {
             Message::FrameResponse {
                 cache_hit,
                 width,
                 height,
                 regions,
+                trace_id,
             } => {
                 let mut fb = Framebuffer::new(width as usize, height as usize);
                 for r in &regions {
@@ -383,6 +436,7 @@ impl Client {
                     framebuffer: fb,
                     cache_hit,
                     regions,
+                    trace_id,
                 })
             }
             Message::Error {
@@ -398,6 +452,47 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<ServerReport> {
         match self.roundtrip(&Message::StatsRequest)? {
             Message::StatsResponse(report) => Ok(report),
+            Message::Error {
+                code,
+                detail,
+                retry_after_ms,
+            } => Err(server_error(code, detail, retry_after_ms)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the server's metrics registry exposition (Prometheus text
+    /// format, protocol v5).
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.roundtrip(&Message::MetricsRequest)? {
+            Message::MetricsResponse { text } => Ok(text),
+            Message::Error {
+                code,
+                detail,
+                retry_after_ms,
+            } => Err(server_error(code, detail, retry_after_ms)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch a finished request trace from the server's journal (protocol
+    /// v5). Id 0 asks for the most recent trace; `found` is false when the
+    /// journal no longer holds the id.
+    pub fn trace(&mut self, id: u64) -> io::Result<TraceReply> {
+        match self.roundtrip(&Message::TraceRequest { id })? {
+            Message::TraceResponse {
+                found,
+                id,
+                total_us,
+                dropped,
+                events,
+            } => Ok(TraceReply {
+                found,
+                id,
+                total_us,
+                dropped,
+                events,
+            }),
             Message::Error {
                 code,
                 detail,

@@ -27,6 +27,14 @@
 //! * [`chaos`] — [`ChaosProxy`]/[`ChaosStream`]: scripted transport faults
 //!   (truncation, stalls, refused connections) for the chaos test harness.
 //!
+//! Every server additionally owns an observability surface (`oociso-obs`):
+//! a per-server metrics registry with latency histograms exposed as
+//! Prometheus text via a metrics request, structured warn/info log events
+//! instead of raw stderr writes, and per-request span traces — a v5 client
+//! may stamp requests with a trace id, which the server echoes on the reply
+//! and uses to retain the request's span tree for retrieval over the wire.
+//! See `docs/observability.md` for the metric catalog and span naming.
+//!
 //! See `docs/serve.md` for the protocol layout, cache semantics, and
 //! overload/failure behavior, and `docs/robustness.md` for the fault
 //! injection matrix.
@@ -40,10 +48,10 @@ pub mod transport;
 
 pub use cache::{CacheStats, CachedSurface, ResultCache};
 pub use chaos::{ChaosProxy, ChaosStream, ConnFault};
-pub use client::{Client, ClientOptions, FrameReply, MeshReply, ServerError};
+pub use client::{Client, ClientOptions, FrameReply, MeshReply, ServerError, TraceReply};
 pub use protocol::{
-    FrameParams, Message, Region, ServerReport, ERR_BAD_BACKEND, ERR_BAD_LOD, ERR_BUSY, MAGIC,
-    MAX_LOD_LEVELS, MIN_VERSION, NUM_BACKENDS, VERSION,
+    render_trace_events, FrameParams, Message, Region, ServerReport, TraceEvent, ERR_BAD_BACKEND,
+    ERR_BAD_LOD, ERR_BUSY, MAGIC, MAX_LOD_LEVELS, MIN_VERSION, NUM_BACKENDS, VERSION,
 };
 pub use server::{IsoServer, ServeOptions};
 pub use transport::{measure_loopback, TcpLoopbackTransport};

@@ -39,13 +39,22 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"OISO");
 /// robustness counters on stats responses. Version 4 added extraction-backend
 /// selection: a trailing backend id on mesh requests (absent = the server's
 /// default backend), a trailing served-backend id on mesh responses, the
-/// per-backend counters on stats responses, and [`ERR_BAD_BACKEND`]. Readers
-/// accept any version in [`MIN_VERSION`]`..=`[`VERSION`], and a server
-/// answers each frame at the version the client spoke — a v1 client simply
-/// never asks for (and never hears about) LOD levels, so it gets level 0,
-/// exactly as before, a v2 client never sees the v3 trailing fields, and a
-/// pre-v4 client always gets the server's default backend.
-pub const VERSION: u16 = 4;
+/// per-backend counters on stats responses, and [`ERR_BAD_BACKEND`]. Version
+/// 5 added wire-propagated request tracing and the observability messages: a
+/// trailing client-supplied trace id on mesh and frame requests (echoed on
+/// the matching responses), the [`MSG_METRICS_REQUEST`] /
+/// [`MSG_METRICS_RESPONSE`] pair carrying the server's metrics exposition
+/// text, and the [`MSG_TRACE_REQUEST`] / [`MSG_TRACE_RESPONSE`] pair
+/// returning a finished request trace's span events. At v5 the mesh-request
+/// backend byte is always present ([`BACKEND_DEFAULT`] = server default), so
+/// the 8-byte trace id that follows is unambiguous by length. Readers accept
+/// any version in [`MIN_VERSION`]`..=`[`VERSION`], and a server answers each
+/// frame at the version the client spoke — a v1 client simply never asks for
+/// (and never hears about) LOD levels, so it gets level 0, exactly as
+/// before, a v2 client never sees the v3 trailing fields, a pre-v4 client
+/// always gets the server's default backend, and a pre-v5 client is served
+/// bit-identically, untraced.
+pub const VERSION: u16 = 5;
 /// Oldest protocol version still accepted on the wire.
 pub const MIN_VERSION: u16 = 1;
 /// Most LOD pyramid levels the protocol (and the per-level stats counters)
@@ -75,6 +84,15 @@ pub const MSG_STATS_RESPONSE: u16 = 7;
 pub const MSG_ERROR: u16 = 8;
 pub const MSG_PONG: u16 = 9;
 pub const MSG_REGION: u16 = 10;
+/// Ask the server for its metrics registry exposition. **v5.**
+pub const MSG_METRICS_REQUEST: u16 = 11;
+/// Metrics exposition text (UTF-8, Prometheus text format). **v5.**
+pub const MSG_METRICS_RESPONSE: u16 = 12;
+/// Ask the server for a finished request trace by id (0 = most recent).
+/// **v5.**
+pub const MSG_TRACE_REQUEST: u16 = 13;
+/// A finished request trace's span events. **v5.**
+pub const MSG_TRACE_RESPONSE: u16 = 14;
 
 /// Error codes carried by [`Message::Error`].
 pub const ERR_UNSUPPORTED_VERSION: u16 = 1;
@@ -98,6 +116,15 @@ pub const ERR_BAD_BACKEND: u16 = 8;
 /// Number of extraction backends the per-backend stats counters can address
 /// (matches `oociso_march::Backend::ALL`).
 pub const NUM_BACKENDS: usize = 2;
+
+/// The mesh-request backend byte a v5 encoder writes when the client wants
+/// the server's default backend. Pre-v5 encoders express "default" by
+/// omitting the byte entirely; v5 must always write one so the trailing
+/// trace id stays unambiguous by length. The value is outside every real
+/// backend id, so a v4 client that somehow sends `0xFF` raw still draws
+/// [`ERR_BAD_BACKEND`]-equivalent treatment (it decodes as "default" only
+/// when followed by a trace id, i.e. only in a v5-shaped request).
+pub const BACKEND_DEFAULT: u8 = 0xFF;
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) lookup table, built at compile
 /// time — no dependency, no runtime init.
@@ -233,9 +260,18 @@ pub enum Message {
         /// value reaches the server, which answers [`ERR_BAD_BACKEND`]
         /// (mirroring how an out-of-range `lod` draws [`ERR_BAD_LOD`]).
         backend: Option<u8>,
+        /// Client-supplied trace id, echoed on the response and used to key
+        /// the server's trace journal. **v5** trailing field: pre-v5
+        /// requests carry no id and decode as 0 (= untraced).
+        trace_id: u64,
     },
     /// Extract, rasterize, and return the framebuffer as tile frames.
-    FrameRequest { iso: f32, params: FrameParams },
+    FrameRequest {
+        iso: f32,
+        params: FrameParams,
+        /// Client-supplied trace id. **v5** trailing field (absent = 0).
+        trace_id: u64,
+    },
     /// Ask for the server's counters.
     StatsRequest,
     /// Latency/bandwidth probe; the payload is echoed back in a `Pong`.
@@ -257,6 +293,9 @@ pub enum Message {
         /// field: absent on the wire for pre-v4 speakers, decoded as 0
         /// (MC — the only backend pre-v4 servers had).
         backend: u8,
+        /// Echo of the request's trace id. **v5** trailing field (absent =
+        /// 0 — pre-v5 responses are bit-identical to v4).
+        trace_id: u64,
         mesh: IndexedMesh,
     },
     /// The rendered framebuffer, sharded into per-tile regions.
@@ -265,6 +304,8 @@ pub enum Message {
         width: u32,
         height: u32,
         regions: Vec<FrameRegion>,
+        /// Echo of the request's trace id. **v5** trailing field (absent = 0).
+        trace_id: u64,
     },
     /// Server counters.
     StatsResponse(ServerReport),
@@ -282,6 +323,82 @@ pub enum Message {
     Pong { payload: Vec<u8> },
     /// One compositing frame region (the TCP transport's unit of transfer).
     Region(FrameRegion),
+    /// Ask the server for its metrics registry exposition. **v5.**
+    MetricsRequest,
+    /// The server's metrics exposition (Prometheus text format). **v5.**
+    MetricsResponse { text: String },
+    /// Ask for a finished request trace by id (0 = most recent). **v5.**
+    TraceRequest { id: u64 },
+    /// A finished request trace: its span events, total wall time, and how
+    /// many events overflowed the trace's bounded buffer. `found` is false
+    /// (and everything else zero/empty) when the journal no longer holds the
+    /// requested id. **v5.**
+    TraceResponse {
+        found: bool,
+        id: u64,
+        total_us: u64,
+        dropped: u64,
+        events: Vec<TraceEvent>,
+    },
+}
+
+/// One span event inside a [`Message::TraceResponse`] — the wire twin of
+/// `oociso_obs::SpanEvent`, with owned strings so it survives decoding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Span id, unique within the trace.
+    pub id: u32,
+    /// Parent span id, or `u32::MAX` for a root span.
+    pub parent: u32,
+    /// Span name (e.g. `request`, `extract`, `cache`).
+    pub name: String,
+    /// Start offset from the trace origin, in microseconds.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Structured key/value annotations.
+    pub fields: Vec<(String, u64)>,
+}
+
+/// Render a decoded trace's events as the same indented tree
+/// `oociso_obs::Trace::render_tree` produces server-side: one line per span,
+/// children indented two spaces under their parent, siblings ordered by
+/// (start, id).
+pub fn render_trace_events(events: &[TraceEvent]) -> String {
+    let mut by_parent: Vec<(u32, usize)> = events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.parent, i))
+        .collect();
+    by_parent.sort_by_key(|&(parent, i)| (parent, events[i].start_us, events[i].id));
+    let mut out = String::new();
+    fn emit(
+        events: &[TraceEvent],
+        by_parent: &[(u32, usize)],
+        parent: u32,
+        depth: usize,
+        out: &mut String,
+    ) {
+        let lo = by_parent.partition_point(|&(p, _)| p < parent);
+        for &(p, i) in &by_parent[lo..] {
+            if p != parent {
+                break;
+            }
+            let e = &events[i];
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(&e.name);
+            out.push_str(&format!(" {:.3}ms", e.dur_us as f64 / 1e3));
+            for (k, v) in &e.fields {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+            emit(events, by_parent, e.id, depth + 1, out);
+        }
+    }
+    emit(events, &by_parent, u32::MAX, 0, &mut out);
+    out
 }
 
 impl Message {
@@ -298,6 +415,10 @@ impl Message {
             Message::Error { .. } => MSG_ERROR,
             Message::Pong { .. } => MSG_PONG,
             Message::Region(_) => MSG_REGION,
+            Message::MetricsRequest => MSG_METRICS_REQUEST,
+            Message::MetricsResponse { .. } => MSG_METRICS_RESPONSE,
+            Message::TraceRequest { .. } => MSG_TRACE_REQUEST,
+            Message::TraceResponse { .. } => MSG_TRACE_RESPONSE,
         }
     }
 }
@@ -445,6 +566,7 @@ fn put_mesh_response(
     served_lod: u16,
     degraded: bool,
     backend: u8,
+    trace_id: u64,
     mesh: &IndexedMesh,
     version: u16,
 ) {
@@ -475,6 +597,10 @@ fn put_mesh_response(
     if version >= 4 {
         out.push(backend);
     }
+    // v5 trailing field: echo of the request's trace id (0 = untraced)
+    if version >= 5 {
+        put_u64(out, trace_id);
+    }
 }
 
 /// Encode a complete `MeshResponse` frame from a **borrowed** mesh — the
@@ -490,6 +616,7 @@ pub fn encode_mesh_response_frame(
     served_lod: u16,
     degraded: bool,
     backend: u8,
+    trace_id: u64,
     mesh: &IndexedMesh,
     version: u16,
 ) -> Vec<u8> {
@@ -501,6 +628,7 @@ pub fn encode_mesh_response_frame(
         served_lod,
         degraded,
         backend,
+        trace_id,
         mesh,
         version,
     );
@@ -577,6 +705,7 @@ pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
             region,
             lod,
             backend,
+            trace_id,
         } => {
             put_f32(&mut out, *iso);
             out.push(region.is_some() as u8);
@@ -587,14 +716,23 @@ pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
             }
             // v2 trailing field; v1 payloads simply end here (decoded as 0)
             put_u16(&mut out, *lod);
-            // v4 trailing field; absent = the server's default backend
-            if version >= 4 {
+            if version >= 5 {
+                // v5 always writes the backend byte (BACKEND_DEFAULT = let
+                // the server pick) so the trace id after it is unambiguous
+                out.push(backend.unwrap_or(BACKEND_DEFAULT));
+                put_u64(&mut out, *trace_id);
+            } else if version >= 4 {
+                // v4 trailing field; absent = the server's default backend
                 if let Some(b) = backend {
                     out.push(*b);
                 }
             }
         }
-        Message::FrameRequest { iso, params } => {
+        Message::FrameRequest {
+            iso,
+            params,
+            trace_id,
+        } => {
             put_f32(&mut out, *iso);
             put_u32(&mut out, params.width);
             put_u32(&mut out, params.height);
@@ -603,6 +741,10 @@ pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
             put_f32(&mut out, params.distance);
             put_u16(&mut out, params.tile_cols);
             put_u16(&mut out, params.tile_rows);
+            // v5 trailing field (absent = untraced)
+            if version >= 5 {
+                put_u64(&mut out, *trace_id);
+            }
         }
         Message::StatsRequest => {}
         Message::Ping { payload } | Message::Pong { payload } => {
@@ -614,6 +756,7 @@ pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
             served_lod,
             degraded,
             backend,
+            trace_id,
             mesh,
         } => put_mesh_response(
             &mut out,
@@ -622,6 +765,7 @@ pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
             *served_lod,
             *degraded,
             *backend,
+            *trace_id,
             mesh,
             version,
         ),
@@ -630,6 +774,7 @@ pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
             width,
             height,
             regions,
+            trace_id,
         } => {
             out.push(*cache_hit as u8);
             put_u32(&mut out, *width);
@@ -637,6 +782,10 @@ pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
             put_u64(&mut out, regions.len() as u64);
             for r in regions {
                 put_region(&mut out, r);
+            }
+            // v5 trailing field (absent = untraced)
+            if version >= 5 {
+                put_u64(&mut out, *trace_id);
             }
         }
         Message::StatsResponse(s) => put_server_report(&mut out, s, version),
@@ -655,6 +804,40 @@ pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
             }
         }
         Message::Region(r) => put_region(&mut out, r),
+        Message::MetricsRequest => {}
+        Message::MetricsResponse { text } => {
+            out.extend_from_slice(text.as_bytes());
+        }
+        Message::TraceRequest { id } => {
+            put_u64(&mut out, *id);
+        }
+        Message::TraceResponse {
+            found,
+            id,
+            total_us,
+            dropped,
+            events,
+        } => {
+            out.push(*found as u8);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, *total_us);
+            put_u64(&mut out, *dropped);
+            put_u64(&mut out, events.len() as u64);
+            for e in events {
+                put_u32(&mut out, e.id);
+                put_u32(&mut out, e.parent);
+                put_u16(&mut out, e.name.len() as u16);
+                out.extend_from_slice(e.name.as_bytes());
+                put_u64(&mut out, e.start_us);
+                put_u64(&mut out, e.dur_us);
+                put_u16(&mut out, e.fields.len() as u16);
+                for (k, v) in &e.fields {
+                    put_u16(&mut out, k.len() as u16);
+                    out.extend_from_slice(k.as_bytes());
+                    put_u64(&mut out, *v);
+                }
+            }
+        }
     }
     out
 }
@@ -675,22 +858,29 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
             };
             // v1 requests end here; absent lod means full resolution
             let lod = if rd.remaining() > 0 { rd.u16()? } else { 0 };
-            // v4 may append a backend id; absent = server default
-            let backend = if rd.remaining() > 0 {
-                Some(rd.u8()?)
-            } else {
-                None
+            // trailing fields, disambiguated by length: a lone byte is the
+            // v4 backend id; a v5 request always carries backend byte (with
+            // BACKEND_DEFAULT standing in for "server default") + trace id
+            let (backend, trace_id) = match rd.remaining() {
+                0 => (None, 0),
+                1 => (Some(rd.u8()?), 0),
+                _ => {
+                    let b = rd.u8()?;
+                    let t = rd.u64()?;
+                    (if b == BACKEND_DEFAULT { None } else { Some(b) }, t)
+                }
             };
             Message::MeshRequest {
                 iso,
                 region,
                 lod,
                 backend,
+                trace_id,
             }
         }
-        MSG_FRAME_REQUEST => Message::FrameRequest {
-            iso: rd.f32()?,
-            params: FrameParams {
+        MSG_FRAME_REQUEST => {
+            let iso = rd.f32()?;
+            let params = FrameParams {
                 width: rd.u32()?,
                 height: rd.u32()?,
                 azimuth: rd.f32()?,
@@ -698,8 +888,15 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
                 distance: rd.f32()?,
                 tile_cols: rd.u16()?,
                 tile_rows: rd.u16()?,
-            },
-        },
+            };
+            // v5 appends the trace id; absent = untraced
+            let trace_id = if rd.remaining() > 0 { rd.u64()? } else { 0 };
+            Message::FrameRequest {
+                iso,
+                params,
+                trace_id,
+            }
+        }
         MSG_STATS_REQUEST => Message::StatsRequest,
         MSG_PING => Message::Ping {
             payload: rd.take(payload.len())?.to_vec(),
@@ -735,12 +932,15 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
             };
             // v4 appends the served backend id (pre-v4 servers: MC = 0)
             let backend = if rd.remaining() > 0 { rd.u8()? } else { 0 };
+            // v5 appends the echoed trace id (absent = untraced)
+            let trace_id = if rd.remaining() > 0 { rd.u64()? } else { 0 };
             Message::MeshResponse {
                 cache_hit,
                 active_metacells,
                 served_lod,
                 degraded,
                 backend,
+                trace_id,
                 mesh,
             }
         }
@@ -754,11 +954,14 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
             for _ in 0..n {
                 regions.push(read_region(&mut rd)?);
             }
+            // v5 appends the echoed trace id (absent = untraced)
+            let trace_id = if rd.remaining() > 0 { rd.u64()? } else { 0 };
             Message::FrameResponse {
                 cache_hit,
                 width,
                 height,
                 regions,
+                trace_id,
             }
         }
         MSG_STATS_RESPONSE => {
@@ -831,6 +1034,56 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
             }
         }
         MSG_REGION => Message::Region(read_region(&mut rd)?),
+        MSG_METRICS_REQUEST => Message::MetricsRequest,
+        MSG_METRICS_RESPONSE => Message::MetricsResponse {
+            text: String::from_utf8(rd.take(payload.len())?.to_vec())
+                .map_err(|_| malformed("metrics text not UTF-8"))?,
+        },
+        MSG_TRACE_REQUEST => Message::TraceRequest { id: rd.u64()? },
+        MSG_TRACE_RESPONSE => {
+            let found = rd.u8()? != 0;
+            let id = rd.u64()?;
+            let total_us = rd.u64()?;
+            let dropped = rd.u64()?;
+            // minimal event: ids + empty name + times + zero fields
+            let n = rd.len("trace event count", 28)?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                let eid = rd.u32()?;
+                let parent = rd.u32()?;
+                let name_len = rd.u16()? as usize;
+                let name = String::from_utf8(rd.take(name_len)?.to_vec())
+                    .map_err(|_| malformed("span name not UTF-8"))?;
+                let start_us = rd.u64()?;
+                let dur_us = rd.u64()?;
+                let nfields = rd.u16()? as usize;
+                if nfields * 10 > rd.remaining() {
+                    return Err(malformed("trace field count"));
+                }
+                let mut fields = Vec::with_capacity(nfields);
+                for _ in 0..nfields {
+                    let klen = rd.u16()? as usize;
+                    let key = String::from_utf8(rd.take(klen)?.to_vec())
+                        .map_err(|_| malformed("field key not UTF-8"))?;
+                    fields.push((key, rd.u64()?));
+                }
+                events.push(TraceEvent {
+                    id: eid,
+                    parent,
+                    name,
+                    start_us,
+                    dur_us,
+                    fields,
+                });
+            }
+            Message::TraceResponse {
+                found,
+                id,
+                total_us,
+                dropped,
+                events,
+            }
+        }
         other => return Err(malformed(&format!("unknown message type {other}"))),
     };
     rd.done()?;
@@ -1037,6 +1290,7 @@ mod tests {
             region: None,
             lod: 0,
             backend: None,
+            trace_id: 0,
         });
         roundtrip(Message::MeshRequest {
             iso: -3.25,
@@ -1046,6 +1300,7 @@ mod tests {
             }),
             lod: 2,
             backend: Some(1),
+            trace_id: 0xDEAD_BEEF_0042_1337,
         });
         roundtrip(Message::FrameRequest {
             iso: 190.0,
@@ -1058,6 +1313,7 @@ mod tests {
                 tile_cols: 2,
                 tile_rows: 2,
             },
+            trace_id: 77,
         });
         roundtrip(Message::StatsRequest);
         roundtrip(Message::Ping {
@@ -1070,6 +1326,7 @@ mod tests {
             served_lod: 0,
             degraded: false,
             backend: 0,
+            trace_id: 0,
             mesh: sample_mesh(),
         });
         roundtrip(Message::MeshResponse {
@@ -1078,6 +1335,7 @@ mod tests {
             served_lod: 2,
             degraded: true,
             backend: 1,
+            trace_id: u64::MAX,
             mesh: sample_mesh(),
         });
         roundtrip(Message::FrameResponse {
@@ -1085,6 +1343,7 @@ mod tests {
             width: 8,
             height: 8,
             regions: vec![sample_region(), sample_region()],
+            trace_id: 9,
         });
         roundtrip(Message::StatsResponse(ServerReport {
             connections: 1,
@@ -1120,6 +1379,43 @@ mod tests {
             retry_after_ms: Some(75),
         });
         roundtrip(Message::Region(sample_region()));
+        roundtrip(Message::MetricsRequest);
+        roundtrip(Message::MetricsResponse {
+            text: "# TYPE requests_total counter\nrequests_total 3\n".to_string(),
+        });
+        roundtrip(Message::TraceRequest { id: 0 });
+        roundtrip(Message::TraceRequest { id: u64::MAX });
+        roundtrip(Message::TraceResponse {
+            found: false,
+            id: 0,
+            total_us: 0,
+            dropped: 0,
+            events: vec![],
+        });
+        roundtrip(Message::TraceResponse {
+            found: true,
+            id: 42,
+            total_us: 1500,
+            dropped: 2,
+            events: vec![
+                TraceEvent {
+                    id: 0,
+                    parent: u32::MAX,
+                    name: "request".to_string(),
+                    start_us: 0,
+                    dur_us: 1500,
+                    fields: vec![("iso_millis".to_string(), 127_500)],
+                },
+                TraceEvent {
+                    id: 1,
+                    parent: 0,
+                    name: "extract".to_string(),
+                    start_us: 10,
+                    dur_us: 1400,
+                    fields: vec![("nodes".to_string(), 4), ("triangles".to_string(), 99)],
+                },
+            ],
+        });
     }
 
     #[test]
@@ -1131,6 +1427,7 @@ mod tests {
             served_lod: 0,
             degraded: false,
             backend: 0,
+            trace_id: 0,
             mesh: mesh.clone(),
         });
         let Some(FrameIn::Ok {
@@ -1153,7 +1450,7 @@ mod tests {
     fn borrowed_mesh_encode_matches_owned_message_encode() {
         let mesh = sample_mesh();
         for version in MIN_VERSION..=VERSION {
-            let borrowed = encode_mesh_response_frame(true, 42, 1, true, 1, &mesh, version);
+            let borrowed = encode_mesh_response_frame(true, 42, 1, true, 1, 77, &mesh, version);
             let owned = encode_frame_at(
                 version,
                 &Message::MeshResponse {
@@ -1162,6 +1459,7 @@ mod tests {
                     served_lod: 1,
                     degraded: true,
                     backend: 1,
+                    trace_id: 77,
                     mesh: mesh.clone(),
                 },
             );
@@ -1199,6 +1497,7 @@ mod tests {
             served_lod: 2,
             degraded: true,
             backend: 0,
+            trace_id: 0,
             mesh: sample_mesh(),
         };
         let v2 = encode_payload_at(2, &resp);
@@ -1240,6 +1539,7 @@ mod tests {
             region: None,
             lod: 1,
             backend: Some(1),
+            trace_id: 0,
         };
         let v3 = encode_payload_at(3, &req);
         let v4 = encode_payload_at(4, &req);
@@ -1261,6 +1561,7 @@ mod tests {
             served_lod: 0,
             degraded: false,
             backend: 1,
+            trace_id: 0,
             mesh: sample_mesh(),
         };
         let v3 = encode_payload_at(3, &resp);
@@ -1287,6 +1588,158 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn v5_trace_fields_never_reach_older_dialects() {
+        // the request's trace id rides behind an always-present backend
+        // byte at v5; a v4 encoding of the same message carries neither
+        let req = Message::MeshRequest {
+            iso: 1.5,
+            region: None,
+            lod: 1,
+            backend: None,
+            trace_id: 0xABCD,
+        };
+        let v4 = encode_payload_at(4, &req);
+        let v5 = encode_payload_at(5, &req);
+        assert_eq!(
+            v5.len(),
+            v4.len() + 9,
+            "v5 trailer is backend byte + 8-byte trace id"
+        );
+        match decode_payload(MSG_MESH_REQUEST, &v4).unwrap() {
+            Message::MeshRequest {
+                backend, trace_id, ..
+            } => {
+                assert_eq!(backend, None);
+                assert_eq!(trace_id, 0, "absent trailer decodes as untraced");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match decode_payload(MSG_MESH_REQUEST, &v5).unwrap() {
+            Message::MeshRequest {
+                backend, trace_id, ..
+            } => {
+                assert_eq!(backend, None, "BACKEND_DEFAULT decodes as server default");
+                assert_eq!(trace_id, 0xABCD);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // an explicit backend survives alongside the trace id at v5
+        let req = Message::MeshRequest {
+            iso: 1.5,
+            region: None,
+            lod: 1,
+            backend: Some(1),
+            trace_id: 7,
+        };
+        match decode_payload(MSG_MESH_REQUEST, &encode_payload_at(5, &req)).unwrap() {
+            Message::MeshRequest {
+                backend, trace_id, ..
+            } => {
+                assert_eq!(backend, Some(1));
+                assert_eq!(trace_id, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // a v4 backend-only trailer (one lone byte) still decodes as v4
+        let v4_with_backend = encode_payload_at(4, &req);
+        match decode_payload(MSG_MESH_REQUEST, &v4_with_backend).unwrap() {
+            Message::MeshRequest {
+                backend, trace_id, ..
+            } => {
+                assert_eq!(backend, Some(1));
+                assert_eq!(trace_id, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // frame requests: the id is a plain 8-byte v5 trailer
+        let freq = Message::FrameRequest {
+            iso: 2.0,
+            params: FrameParams {
+                width: 64,
+                height: 64,
+                azimuth: 0.0,
+                elevation: 0.0,
+                distance: 2.0,
+                tile_cols: 1,
+                tile_rows: 1,
+            },
+            trace_id: 99,
+        };
+        let v4 = encode_payload_at(4, &freq);
+        assert_eq!(encode_payload_at(5, &freq).len(), v4.len() + 8);
+        match decode_payload(MSG_FRAME_REQUEST, &v4).unwrap() {
+            Message::FrameRequest { trace_id, .. } => assert_eq!(trace_id, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // responses: the echoed id is a v5 trailer on mesh + frame replies
+        let resp = Message::MeshResponse {
+            cache_hit: true,
+            active_metacells: 7,
+            served_lod: 0,
+            degraded: false,
+            backend: 0,
+            trace_id: 0xABCD,
+            mesh: sample_mesh(),
+        };
+        let v4 = encode_payload_at(4, &resp);
+        assert_eq!(encode_payload_at(5, &resp).len(), v4.len() + 8);
+        match decode_payload(MSG_MESH_RESPONSE, &v4).unwrap() {
+            Message::MeshResponse { trace_id, .. } => {
+                assert_eq!(trace_id, 0, "pre-v5 replies stay bit-identical")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let fresp = Message::FrameResponse {
+            cache_hit: false,
+            width: 4,
+            height: 4,
+            regions: vec![],
+            trace_id: 3,
+        };
+        let v4 = encode_payload_at(4, &fresp);
+        assert_eq!(encode_payload_at(5, &fresp).len(), v4.len() + 8);
+        match decode_payload(MSG_FRAME_RESPONSE, &v4).unwrap() {
+            Message::FrameResponse { trace_id, .. } => assert_eq!(trace_id, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_tree_renders_from_wire_events() {
+        let events = vec![
+            TraceEvent {
+                id: 0,
+                parent: u32::MAX,
+                name: "request".to_string(),
+                start_us: 0,
+                dur_us: 2000,
+                fields: vec![],
+            },
+            TraceEvent {
+                id: 1,
+                parent: 0,
+                name: "cache".to_string(),
+                start_us: 5,
+                dur_us: 10,
+                fields: vec![("hit".to_string(), 0)],
+            },
+            TraceEvent {
+                id: 2,
+                parent: 0,
+                name: "extract".to_string(),
+                start_us: 20,
+                dur_us: 1900,
+                fields: vec![],
+            },
+        ];
+        let tree = render_trace_events(&events);
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines[0], "request 2.000ms");
+        assert_eq!(lines[1], "  cache 0.010ms hit=0");
+        assert_eq!(lines[2], "  extract 1.900ms");
     }
 
     #[test]
@@ -1353,6 +1806,7 @@ mod tests {
             region: None,
             lod: 0,
             backend: None,
+            trace_id: 0,
         });
         let n = frame.len();
         frame[n - 1] ^= 0x40; // flip a checksum bit
@@ -1450,11 +1904,12 @@ mod tests {
             served_lod: 0,
             degraded: false,
             backend: 0,
+            trace_id: 0,
             mesh,
         });
-        // the last index sits just before the 4-byte v3+v4 trailer
-        // (served_lod u16 + degraded u8 + backend u8)
-        let off = payload.len() - 4 - 4;
+        // the last index sits just before the 12-byte v3+v4+v5 trailer
+        // (served_lod u16 + degraded u8 + backend u8 + trace id u64)
+        let off = payload.len() - 12 - 4;
         payload[off..off + 4].copy_from_slice(&99u32.to_le_bytes());
         assert!(decode_payload(MSG_MESH_RESPONSE, &payload).is_err());
     }

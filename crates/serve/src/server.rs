@@ -37,12 +37,15 @@
 use crate::cache::{CachedSurface, ResultCache};
 use crate::protocol::{
     encode_frame_at, encode_mesh_response_frame, encode_stats_response_frame, read_frame_limited,
-    FrameIn, Message, ServerReport, ERR_BAD_BACKEND, ERR_BAD_LOD, ERR_BUSY, ERR_INTERNAL,
-    ERR_MALFORMED, MAX_LOD_LEVELS, MAX_REQUEST_PAYLOAD,
+    FrameIn, Message, ServerReport, TraceEvent, ERR_BAD_BACKEND, ERR_BAD_LOD, ERR_BUSY,
+    ERR_INTERNAL, ERR_MALFORMED, MAX_LOD_LEVELS, MAX_REQUEST_PAYLOAD,
 };
 use oociso_cluster::LodSpec;
 use oociso_core::ClusterDatabase;
 use oociso_march::Backend;
+use oociso_obs::{
+    Counter, Histogram, Logger, Registry, Span, Trace, TraceJournal, DEFAULT_TRACE_EVENTS,
+};
 use oociso_render::{rasterize_mesh, select_tile_levels, Camera, Framebuffer, TileLayout};
 use oociso_volume::ScalarValue;
 use std::io::{self, Read, Write};
@@ -97,6 +100,18 @@ pub struct ServeOptions {
     /// cache under its own keys, so mixed workloads never collide. Default
     /// [`Backend::Mc`].
     pub backend: Backend,
+    /// Slow-query threshold in milliseconds: a request whose end-to-end
+    /// wall time reaches it is logged as a `slow_query` warning and its
+    /// trace retained in the slow journal (even when the client sent no
+    /// trace id). 0 disables. Default 1000.
+    pub slow_ms: u64,
+    /// How many finished request traces the trace journal retains for
+    /// [`Message::TraceRequest`] lookups. Default 64.
+    pub trace_buffer: usize,
+    /// Structured log sink for operational events (`accept_backoff`,
+    /// `slow_query`, `drain_timeout`). Default logs to stderr; tests
+    /// install an `oociso_obs::CaptureSink` to assert on events.
+    pub logger: Logger,
 }
 
 impl Default for ServeOptions {
@@ -112,6 +127,9 @@ impl Default for ServeOptions {
             write_timeout: Some(Duration::from_secs(30)),
             idle_timeout: None,
             backend: Backend::Mc,
+            slow_ms: 1000,
+            trace_buffer: 64,
+            logger: Logger::stderr(),
         }
     }
 }
@@ -130,6 +148,43 @@ struct Control {
     live: AtomicU64,
 }
 
+/// The server's reporting counters, all living in its [`Registry`] (each
+/// server owns its own registry so parallel test servers never alias). The
+/// handles are resolved once at bind so the hot path never takes the
+/// registry lock. [`ServerReport`] reads the same handles — the metrics
+/// exposition and the stats response can never disagree.
+struct Counters {
+    connections: Counter,
+    requests: Counter,
+    mesh_requests: Counter,
+    frame_requests: Counter,
+    errors: Counter,
+    bytes_out: Counter,
+    shed: Counter,
+    degraded: Counter,
+    timed_out: Counter,
+    drained: Counter,
+    accept_backoffs: Counter,
+}
+
+impl Counters {
+    fn resolve(reg: &Registry) -> Counters {
+        Counters {
+            connections: reg.counter("connections_total"),
+            requests: reg.counter("requests_total"),
+            mesh_requests: reg.counter("mesh_requests_total"),
+            frame_requests: reg.counter("frame_requests_total"),
+            errors: reg.counter("errors_total"),
+            bytes_out: reg.counter("bytes_out_total"),
+            shed: reg.counter("shed_total"),
+            degraded: reg.counter("degraded_total"),
+            timed_out: reg.counter("timed_out_total"),
+            drained: reg.counter("drained_total"),
+            accept_backoffs: reg.counter("accept_backoffs_total"),
+        }
+    }
+}
+
 /// Shared state behind every connection handler.
 struct State<S: ScalarValue> {
     db: ClusterDatabase<S>,
@@ -144,17 +199,24 @@ struct State<S: ScalarValue> {
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
     idle_timeout: Option<Duration>,
-    connections: AtomicU64,
-    requests: AtomicU64,
-    mesh_requests: AtomicU64,
-    frame_requests: AtomicU64,
-    errors: AtomicU64,
-    bytes_out: AtomicU64,
-    shed: AtomicU64,
-    degraded: AtomicU64,
-    timed_out: AtomicU64,
-    drained: AtomicU64,
-    accept_backoffs: AtomicU64,
+    /// Per-server metrics registry (counters below plus the latency and
+    /// extraction-phase histograms; rendered by [`Message::MetricsRequest`]).
+    metrics: Registry,
+    c: Counters,
+    /// End-to-end request wall time, decode to written reply, in µs.
+    request_latency_us: Histogram,
+    /// Cache-miss extraction wall time (full pyramid build), in µs.
+    extract_latency_us: Histogram,
+    /// No-disk pyramid re-decimation wall time, in µs.
+    rebuild_latency_us: Histogram,
+    /// Structured operational log.
+    logger: Logger,
+    /// Finished traces of wire-traced requests (trace id != 0).
+    recent: TraceJournal,
+    /// Finished traces of slow requests, traced or not.
+    slow: TraceJournal,
+    /// Slow-query threshold (ms); 0 disables.
+    slow_ms: u64,
     /// Extractions/rebuilds currently holding a slot.
     inflight_miss: AtomicU64,
     /// Smoothed wall-clock of recent cache-miss work, in ms — the source of
@@ -210,12 +272,12 @@ impl<S: ScalarValue> State<S> {
     fn report(&self) -> ServerReport {
         let cache = self.cache.lock().expect("cache lock").stats();
         ServerReport {
-            connections: self.connections.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            mesh_requests: self.mesh_requests.load(Ordering::Relaxed),
-            frame_requests: self.frame_requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            connections: self.c.connections.get(),
+            requests: self.c.requests.get(),
+            mesh_requests: self.c.mesh_requests.get(),
+            frame_requests: self.c.frame_requests.get(),
+            errors: self.c.errors.get(),
+            bytes_out: self.c.bytes_out.get(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
@@ -223,14 +285,83 @@ impl<S: ScalarValue> State<S> {
             cache_resident_entries: cache.resident_entries,
             lod_hits: cache.lod_hits,
             lod_misses: cache.lod_misses,
-            shed: self.shed.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
-            timed_out: self.timed_out.load(Ordering::Relaxed),
-            drained: self.drained.load(Ordering::Relaxed),
-            accept_backoffs: self.accept_backoffs.load(Ordering::Relaxed),
+            shed: self.c.shed.get(),
+            degraded: self.c.degraded.get(),
+            timed_out: self.c.timed_out.get(),
+            drained: self.c.drained.get(),
+            accept_backoffs: self.c.accept_backoffs.get(),
             active_connections: self.ctl.live.load(Ordering::Relaxed),
             backend_hits: cache.backend_hits,
             backend_misses: cache.backend_misses,
+        }
+    }
+
+    /// Render the full metrics exposition: the server's own registry (the
+    /// gauges freshened first), the cache counters (owned by [`ResultCache`],
+    /// so exposed from its stats rather than double-counted), and the
+    /// process-global registry (queue-wait histograms recorded by the I/O
+    /// layer, which has no handle on this server).
+    fn metrics_text(&self) -> String {
+        self.metrics
+            .gauge("active_connections")
+            .set(self.ctl.live.load(Ordering::Relaxed) as i64);
+        self.metrics
+            .gauge("inflight_miss")
+            .set(self.inflight_miss.load(Ordering::Relaxed) as i64);
+        let cache = self.cache.lock().expect("cache lock").stats();
+        let mut out = self.metrics.render();
+        for (name, v) in [
+            ("cache_hits_total", cache.hits),
+            ("cache_misses_total", cache.misses),
+            ("cache_evictions_total", cache.evictions),
+        ] {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in [
+            ("cache_resident_bytes", cache.resident_bytes),
+            ("cache_resident_entries", cache.resident_entries),
+        ] {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        out.push_str(&oociso_obs::global().render());
+        out
+    }
+
+    /// Build the trace-request reply: id 0 = the most recent wire-traced
+    /// request, otherwise the id is looked up in the recent journal first,
+    /// then among retained slow queries.
+    fn trace_reply(&self, id: u64) -> Message {
+        let found = if id == 0 {
+            self.recent.latest()
+        } else {
+            self.recent.find(id).or_else(|| self.slow.find(id))
+        };
+        match found {
+            Some(ft) => Message::TraceResponse {
+                found: true,
+                id: ft.id,
+                total_us: ft.total.as_micros().min(u64::MAX as u128) as u64,
+                dropped: ft.dropped,
+                events: ft
+                    .events
+                    .iter()
+                    .map(|e| TraceEvent {
+                        id: e.id,
+                        parent: e.parent,
+                        name: e.name.to_string(),
+                        start_us: e.start.as_micros().min(u64::MAX as u128) as u64,
+                        dur_us: e.dur.as_micros().min(u64::MAX as u128) as u64,
+                        fields: e.fields.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+                    })
+                    .collect(),
+            },
+            None => Message::TraceResponse {
+                found: false,
+                id,
+                total_us: 0,
+                dropped: 0,
+                events: Vec::new(),
+            },
         }
     }
 
@@ -272,16 +403,49 @@ impl<S: ScalarValue> State<S> {
         cost.clamp(25, 10_000) as u32
     }
 
+    /// Feed the extraction-phase histograms from the span durations the
+    /// pipeline just recorded into `trace` — one registry-lock resolve per
+    /// phase, on the miss path only (misses cost milliseconds-to-seconds;
+    /// the lock costs nanoseconds).
+    fn record_phases(&self, trace: &Trace) {
+        for name in [
+            "execute_plan",
+            "triangulate",
+            "weld",
+            "merge_weld",
+            "stitch",
+            "lod",
+        ] {
+            let sum = trace.sum(name);
+            if !sum.is_zero() {
+                self.metrics
+                    .histogram(&format!("phase_{name}_us"))
+                    .record_duration(sum);
+            }
+        }
+    }
+
     /// Extract the full pyramid for `iso` with `backend` and insert every
     /// level, returning the levels in order. Runs outside the cache lock.
+    /// The extraction's span tree lands in `trace`.
     fn extract_and_insert(
         &self,
         iso: f32,
         backend: Backend,
+        trace: &Trace,
     ) -> io::Result<Vec<Arc<CachedSurface>>> {
         let t0 = Instant::now();
-        let (chain, report) = self.db.extract_lods_with(iso, &self.lods, backend)?;
-        self.note_miss_cost(t0.elapsed());
+        let opts = oociso_cluster::ExtractOptions {
+            lods: self.lods.clone(),
+            backend,
+            trace: trace.clone(),
+            ..Default::default()
+        };
+        let (chain, report) = self.db.extract_lods_opts(iso, &opts)?;
+        let wall = t0.elapsed();
+        self.extract_latency_us.record_duration(wall);
+        self.record_phases(trace);
+        self.note_miss_cost(wall);
         let active_metacells = report.total_active_metacells();
         let mut cache = self.cache.lock().expect("cache lock");
         Ok(chain
@@ -315,7 +479,10 @@ impl<S: ScalarValue> State<S> {
         iso: f32,
         backend: Backend,
         full: Arc<CachedSurface>,
+        trace: &Trace,
     ) -> Vec<Arc<CachedSurface>> {
+        let mut sp = trace.span("rebuild");
+        sp.field("levels", self.lods.ratios.len() as u64);
         let t0 = Instant::now();
         let base_vertices = full.mesh.num_vertices();
         let mut coarse: Vec<(oociso_march::IndexedMesh, f64)> = Vec::new();
@@ -332,6 +499,7 @@ impl<S: ScalarValue> State<S> {
             cumulative += stats.max_error;
             coarse.push((mesh, cumulative));
         }
+        self.rebuild_latency_us.record_duration(sp.finish());
         self.note_miss_cost(t0.elapsed());
         let mut cache = self.cache.lock().expect("cache lock");
         cache.touch(iso, backend.id(), 0);
@@ -356,15 +524,20 @@ impl<S: ScalarValue> State<S> {
     /// outside the cache lock (concurrent first-queries of one isovalue may
     /// each extract — both count as misses, last insert wins — but no
     /// request ever blocks behind another's extraction).
-    fn pyramid_for(&self, iso: f32, backend: Backend) -> io::Result<Vec<Arc<CachedSurface>>> {
+    fn pyramid_for(
+        &self,
+        iso: f32,
+        backend: Backend,
+        trace: &Trace,
+    ) -> io::Result<Vec<Arc<CachedSurface>>> {
         let resident_full = self
             .cache
             .lock()
             .expect("cache lock")
             .peek(iso, backend.id(), 0);
         match resident_full {
-            Some(full) => Ok(self.rebuild_from_full(iso, backend, full)),
-            None => self.extract_and_insert(iso, backend),
+            Some(full) => Ok(self.rebuild_from_full(iso, backend, full, trace)),
+            None => self.extract_and_insert(iso, backend, trace),
         }
     }
 
@@ -374,13 +547,26 @@ impl<S: ScalarValue> State<S> {
     /// the request degrades to the finest cached coarser level (when
     /// [`ServeOptions::degrade`] is set and one is resident — booked as a
     /// hit on the level actually served) or is shed with a retry hint.
-    fn surface(&self, iso: f32, backend: Backend, lod: u16) -> io::Result<MeshOutcome> {
-        if let Some(hit) = self
+    fn surface(
+        &self,
+        iso: f32,
+        backend: Backend,
+        lod: u16,
+        trace: &Trace,
+        root: &Span,
+    ) -> io::Result<MeshOutcome> {
+        let t = Instant::now();
+        let hit = self
             .cache
             .lock()
             .expect("cache lock")
-            .get(iso, backend.id(), lod)
-        {
+            .get(iso, backend.id(), lod);
+        root.annotate(
+            "cache",
+            t.elapsed(),
+            &[("hit", hit.is_some() as u64), ("lod", lod as u64)],
+        );
+        if let Some(hit) = hit {
             return Ok(MeshOutcome::Serve {
                 surface: hit,
                 cache_hit: true,
@@ -390,7 +576,7 @@ impl<S: ScalarValue> State<S> {
         }
         match self.try_slot() {
             Some(slot) => {
-                let levels = self.pyramid_for(iso, backend)?;
+                let levels = self.pyramid_for(iso, backend, trace)?;
                 drop(slot);
                 Ok(MeshOutcome::Serve {
                     surface: levels[lod as usize].clone(),
@@ -408,7 +594,8 @@ impl<S: ScalarValue> State<S> {
                         self.levels(),
                     );
                     if let Some((level, surface)) = coarser {
-                        self.degraded.fetch_add(1, Ordering::Relaxed);
+                        self.c.degraded.inc();
+                        root.annotate("degrade", Duration::ZERO, &[("served_lod", level as u64)]);
                         return Ok(MeshOutcome::Serve {
                             surface,
                             cache_hit: true,
@@ -417,7 +604,7 @@ impl<S: ScalarValue> State<S> {
                         });
                     }
                 }
-                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.c.shed.inc();
                 Ok(MeshOutcome::Busy {
                     retry_after_ms: self.retry_hint_ms(),
                 })
@@ -435,11 +622,12 @@ impl<S: ScalarValue> State<S> {
     /// deterministic, so byte-identical to the original levels — without
     /// touching disk. A miss that can't win a slot is shed (frames have no
     /// degraded form: per-tile LOD selection needs the whole pyramid).
-    fn all_levels(&self, iso: f32) -> io::Result<FrameOutcome> {
+    fn all_levels(&self, iso: f32, trace: &Trace, root: &Span) -> io::Result<FrameOutcome> {
         let want = self.levels() as usize;
         // frame requests carry no backend selector: they render the server's
         // default backend's pyramid
         let backend = self.default_backend;
+        let t = Instant::now();
         let resident_full = {
             let mut cache = self.cache.lock().expect("cache lock");
             let mut levels = Vec::with_capacity(want);
@@ -457,6 +645,7 @@ impl<S: ScalarValue> State<S> {
                 for lod in 0..want {
                     cache.touch(iso, backend.id(), lod as u16);
                 }
+                root.annotate("cache", t.elapsed(), &[("hit", 1)]);
                 return Ok(FrameOutcome::Serve {
                     levels,
                     cache_hit: true,
@@ -465,15 +654,16 @@ impl<S: ScalarValue> State<S> {
             cache.account(backend.id(), 0, false);
             levels.into_iter().next() // level 0, if it was resident
         };
+        root.annotate("cache", t.elapsed(), &[("hit", 0)]);
         let Some(slot) = self.try_slot() else {
-            self.shed.fetch_add(1, Ordering::Relaxed);
+            self.c.shed.inc();
             return Ok(FrameOutcome::Busy {
                 retry_after_ms: self.retry_hint_ms(),
             });
         };
         let levels = match resident_full {
-            Some(full) => self.rebuild_from_full(iso, backend, full),
-            None => self.extract_and_insert(iso, backend)?,
+            Some(full) => self.rebuild_from_full(iso, backend, full, trace),
+            None => self.extract_and_insert(iso, backend, trace)?,
         };
         drop(slot);
         Ok(FrameOutcome::Serve {
@@ -493,6 +683,8 @@ pub struct IsoServer {
     ctl: Arc<Control>,
     accept_loop: Option<JoinHandle<()>>,
     report: Arc<dyn Fn() -> ServerReport + Send + Sync>,
+    metrics: Arc<dyn Fn() -> String + Send + Sync>,
+    logger: Logger,
 }
 
 impl IsoServer {
@@ -539,6 +731,11 @@ impl IsoServer {
             draining: AtomicBool::new(false),
             live: AtomicU64::new(0),
         });
+        let metrics = Registry::new();
+        let c = Counters::resolve(&metrics);
+        let request_latency_us = metrics.histogram("request_latency_us");
+        let extract_latency_us = metrics.histogram("extract_latency_us");
+        let rebuild_latency_us = metrics.histogram("rebuild_latency_us");
         let state = Arc::new(State {
             db,
             lods: LodSpec {
@@ -554,21 +751,21 @@ impl IsoServer {
             read_timeout: opts.read_timeout,
             write_timeout: opts.write_timeout,
             idle_timeout: opts.idle_timeout,
-            connections: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            mesh_requests: AtomicU64::new(0),
-            frame_requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            bytes_out: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            degraded: AtomicU64::new(0),
-            timed_out: AtomicU64::new(0),
-            drained: AtomicU64::new(0),
-            accept_backoffs: AtomicU64::new(0),
+            metrics,
+            c,
+            request_latency_us,
+            extract_latency_us,
+            rebuild_latency_us,
+            logger: opts.logger.clone(),
+            recent: TraceJournal::new(opts.trace_buffer.max(1)),
+            slow: TraceJournal::new(32),
+            slow_ms: opts.slow_ms,
             inflight_miss: AtomicU64::new(0),
             miss_cost_ms: AtomicU64::new(0),
         });
         let report_state = state.clone();
+        let metrics_state = state.clone();
+        let logger = opts.logger.clone();
         let accept_loop = std::thread::Builder::new()
             .name("oociso-accept".to_string())
             .spawn(move || accept_loop(listener, state))?;
@@ -577,6 +774,8 @@ impl IsoServer {
             ctl,
             accept_loop: Some(accept_loop),
             report: Arc::new(move || report_state.report()),
+            metrics: Arc::new(move || metrics_state.metrics_text()),
+            logger,
         })
     }
 
@@ -588,6 +787,11 @@ impl IsoServer {
     /// Server counters, as a stats request would see them.
     pub fn report(&self) -> ServerReport {
         (self.report)()
+    }
+
+    /// The metrics exposition, as a metrics request would see it.
+    pub fn metrics(&self) -> String {
+        (self.metrics)()
     }
 
     /// Gracefully stop: [`IsoServer::drain`] with a 5-second deadline.
@@ -604,6 +808,18 @@ impl IsoServer {
         let t0 = Instant::now();
         while self.ctl.live.load(Ordering::SeqCst) > 0 && t0.elapsed() < deadline {
             std::thread::sleep(Duration::from_millis(2));
+        }
+        let stuck = self.ctl.live.load(Ordering::SeqCst);
+        if stuck > 0 {
+            self.logger.warn(
+                "serve",
+                "drain_timeout",
+                "drain deadline expired with connections still live; hard-closing",
+                &[
+                    ("live", stuck.to_string()),
+                    ("deadline_ms", deadline.as_millis().to_string()),
+                ],
+            );
         }
         self.ctl.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept_loop.take() {
@@ -627,6 +843,23 @@ fn fd_exhausted(e: &io::Error) -> bool {
     matches!(e.raw_os_error(), Some(23) | Some(24)) // ENFILE | EMFILE
 }
 
+/// Book one fd-exhausted accept failure: the backoff counter ticks on every
+/// failure, but the structured warning fires once per starvation *episode* —
+/// `starved` stays set until a successful accept resets it, so a wedged
+/// process emits one log line, not one per 100 ms of backoff.
+fn note_fd_exhaustion(backoffs: &Counter, logger: &Logger, e: &io::Error, starved: &mut bool) {
+    backoffs.inc();
+    if !*starved {
+        *starved = true;
+        logger.warn(
+            "serve",
+            "accept_backoff",
+            "accept failed; backing off until fds free up",
+            &[("error", e.to_string())],
+        );
+    }
+}
+
 fn accept_loop<S: ScalarValue>(listener: TcpListener, state: Arc<State<S>>) {
     let ctl = state.ctl.clone();
     let mut fd_starved = false;
@@ -634,7 +867,7 @@ fn accept_loop<S: ScalarValue>(listener: TcpListener, state: Arc<State<S>>) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 fd_starved = false;
-                state.connections.fetch_add(1, Ordering::Relaxed);
+                state.c.connections.inc();
                 let over = state
                     .max_connections
                     .is_some_and(|cap| ctl.live.load(Ordering::SeqCst) >= cap as u64);
@@ -672,11 +905,7 @@ fn accept_loop<S: ScalarValue>(listener: TcpListener, state: Arc<State<S>>) {
                 std::thread::park_timeout(Duration::from_millis(2));
             }
             Err(e) if fd_exhausted(&e) => {
-                state.accept_backoffs.fetch_add(1, Ordering::Relaxed);
-                if !fd_starved {
-                    fd_starved = true;
-                    eprintln!("oociso-serve: accept failed ({e}); backing off until fds free up");
-                }
+                note_fd_exhaustion(&state.c.accept_backoffs, &state.logger, &e, &mut fd_starved);
                 std::thread::park_timeout(Duration::from_millis(100));
             }
             Err(_) => std::thread::park_timeout(Duration::from_millis(10)),
@@ -702,9 +931,9 @@ fn shed_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) -> i
         Some(FrameIn::Ok { version, .. }) => version,
         Some(FrameIn::Violation { version, .. }) => version,
     };
-    state.shed.fetch_add(1, Ordering::Relaxed);
-    state.requests.fetch_add(1, Ordering::Relaxed);
-    state.errors.fetch_add(1, Ordering::Relaxed);
+    state.c.shed.inc();
+    state.c.requests.inc();
+    state.c.errors.inc();
     let hint = state.retry_hint_ms();
     let frame = encode_frame_at(
         version,
@@ -716,9 +945,7 @@ fn shed_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) -> i
     );
     stream.write_all(&frame)?;
     stream.flush()?;
-    state
-        .bytes_out
-        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+    state.c.bytes_out.add(frame.len() as u64);
     Ok(())
 }
 
@@ -755,6 +982,41 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
+/// The wire trace id a request carries, if its type can carry one.
+fn request_trace_id(msg: &Message) -> u64 {
+    match msg {
+        Message::MeshRequest { trace_id, .. } | Message::FrameRequest { trace_id, .. } => *trace_id,
+        _ => 0,
+    }
+}
+
+/// How one reply write ended.
+enum Sent {
+    Ok,
+    /// The peer stopped draining (write deadline fired): counted
+    /// `timed_out`, connection to be closed.
+    PeerGone,
+}
+
+/// Write one reply frame under the write deadline, booking `bytes_out`.
+fn send_reply<S: ScalarValue>(
+    stream: &mut TcpStream,
+    state: &State<S>,
+    bytes: &[u8],
+) -> io::Result<Sent> {
+    match stream.write_all(bytes).and_then(|_| stream.flush()) {
+        Ok(()) => {
+            state.c.bytes_out.add(bytes.len() as u64);
+            Ok(Sent::Ok)
+        }
+        Err(e) if is_timeout(&e) => {
+            state.c.timed_out.inc();
+            Ok(Sent::PeerGone)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// Park at a frame boundary until the next request's first byte arrives,
 /// polling in [`POLL_TICK`] slices so drain/shutdown take effect promptly
 /// and idle time is metered. Returns the byte so the frame reader can
@@ -776,7 +1038,7 @@ fn wait_for_frame<S: ScalarValue>(
             Err(e) if is_timeout(&e) => {
                 if let Some(idle) = state.idle_timeout {
                     if parked.elapsed() >= idle {
-                        state.timed_out.fetch_add(1, Ordering::Relaxed);
+                        state.c.timed_out.inc();
                         return Ok(Boundary::Close);
                     }
                 }
@@ -834,56 +1096,93 @@ fn handle_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) ->
             Ok(None) => return Ok(()), // EOF exactly at the boundary byte
             Ok(Some(f)) => f,
             Err(e) if is_timeout(&e) => {
-                state.timed_out.fetch_add(1, Ordering::Relaxed);
+                state.c.timed_out.inc();
                 return Ok(());
             }
             // peer vanished mid-frame: close without ceremony
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
         };
-        let (reply, version, close) = match frame {
-            FrameIn::Ok { msg, version } => (respond(state, msg, version), version, false),
+        state.c.requests.inc();
+        match frame {
             FrameIn::Violation {
                 code,
                 detail,
                 close,
                 version,
-            } => (
-                Reply::Msg(Message::Error {
-                    code,
-                    detail,
-                    retry_after_ms: None,
-                }),
-                version,
-                close,
-            ),
-        };
-        if matches!(reply, Reply::Msg(Message::Error { .. })) {
-            state.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        state.requests.fetch_add(1, Ordering::Relaxed);
-        let frame_bytes = match reply {
-            Reply::Msg(msg) => encode_frame_at(version, &msg),
-            Reply::Encoded(bytes) => bytes,
-        };
-        match stream.write_all(&frame_bytes).and_then(|_| stream.flush()) {
-            Ok(()) => {}
-            Err(e) if is_timeout(&e) => {
-                // the peer stopped draining its response: cut it
-                state.timed_out.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+            } => {
+                state.c.errors.inc();
+                let bytes = encode_frame_at(
+                    version,
+                    &Message::Error {
+                        code,
+                        detail,
+                        retry_after_ms: None,
+                    },
+                );
+                if matches!(send_reply(&mut stream, state, &bytes)?, Sent::PeerGone) {
+                    return Ok(());
+                }
+                if state.ctl.draining.load(Ordering::SeqCst) {
+                    state.c.drained.inc();
+                }
+                if close {
+                    return Ok(());
+                }
             }
-            Err(e) => return Err(e),
-        }
-        state
-            .bytes_out
-            .fetch_add(frame_bytes.len() as u64, Ordering::Relaxed);
-        if state.ctl.draining.load(Ordering::SeqCst) {
-            // this reply completed during the graceful drain
-            state.drained.fetch_add(1, Ordering::Relaxed);
-        }
-        if close {
-            return Ok(());
+            FrameIn::Ok { msg, version } => {
+                // every well-formed request gets a trace; only requests that
+                // carried a wire id land in the recent journal (slow ones are
+                // retained regardless)
+                let trace_id = request_trace_id(&msg);
+                let trace = if trace_id != 0 {
+                    Trace::new(trace_id, DEFAULT_TRACE_EVENTS)
+                } else {
+                    Trace::detached()
+                };
+                let mut root = trace.span("request");
+                root.field("msg_type", msg.msg_type() as u64);
+                root.field("version", version as u64);
+                let reply = respond(state, msg, version, &trace, &root);
+                if matches!(reply, Reply::Msg(Message::Error { .. })) {
+                    state.c.errors.inc();
+                }
+                let t_enc = Instant::now();
+                let frame_bytes = match reply {
+                    Reply::Msg(msg) => encode_frame_at(version, &msg),
+                    Reply::Encoded(bytes) => bytes,
+                };
+                root.annotate(
+                    "encode",
+                    t_enc.elapsed(),
+                    &[("bytes", frame_bytes.len() as u64)],
+                );
+                let sent = send_reply(&mut stream, state, &frame_bytes)?;
+                let total = root.finish();
+                state.request_latency_us.record_duration(total);
+                if trace_id != 0 {
+                    state.recent.push(&trace, total);
+                }
+                if state.slow_ms > 0 && total >= Duration::from_millis(state.slow_ms) {
+                    state.slow.push(&trace, total);
+                    state.logger.warn(
+                        "serve",
+                        "slow_query",
+                        format!("request took {} ms", total.as_millis()),
+                        &[
+                            ("trace_id", trace_id.to_string()),
+                            ("threshold_ms", state.slow_ms.to_string()),
+                        ],
+                    );
+                }
+                if matches!(sent, Sent::PeerGone) {
+                    return Ok(());
+                }
+                if state.ctl.draining.load(Ordering::SeqCst) {
+                    // this reply completed during the graceful drain
+                    state.c.drained.inc();
+                }
+            }
         }
     }
 }
@@ -905,15 +1204,25 @@ fn busy_reply(context: &str, retry_after_ms: u32) -> Message {
 }
 
 /// Compute the response for one well-formed request spoken at `version`.
-fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Reply {
+/// Extraction spans land in `trace`; request-level annotations hang off
+/// `root`. The client's trace id (0 when untraced) is echoed on mesh and
+/// frame responses; pre-v5 encoders drop it on the floor.
+fn respond<S: ScalarValue>(
+    state: &State<S>,
+    msg: Message,
+    version: u16,
+    trace: &Trace,
+    root: &Span,
+) -> Reply {
     match msg {
         Message::MeshRequest {
             iso,
             region,
             lod,
             backend,
+            trace_id,
         } => {
-            state.mesh_requests.fetch_add(1, Ordering::Relaxed);
+            state.c.mesh_requests.inc();
             if lod >= state.levels() {
                 return Reply::Msg(Message::Error {
                     code: ERR_BAD_LOD,
@@ -946,7 +1255,7 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                     }
                 },
             };
-            match state.surface(iso, backend, lod) {
+            match state.surface(iso, backend, lod, trace, root) {
                 // no region: serialize straight from the shared cached mesh
                 Ok(MeshOutcome::Serve {
                     surface,
@@ -960,6 +1269,7 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                         served_lod,
                         degraded,
                         backend.id(),
+                        trace_id,
                         &surface.mesh,
                         version,
                     )),
@@ -971,6 +1281,7 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                             served_lod,
                             degraded,
                             backend: backend.id(),
+                            trace_id,
                             mesh: surface.mesh.filter_region(lo, hi),
                         })
                     }
@@ -985,8 +1296,12 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                 }),
             }
         }
-        Message::FrameRequest { iso, params } => {
-            state.frame_requests.fetch_add(1, Ordering::Relaxed);
+        Message::FrameRequest {
+            iso,
+            params,
+            trace_id,
+        } => {
+            state.c.frame_requests.inc();
             let (w, h) = (params.width as usize, params.height as usize);
             let (cols, rows) = (params.tile_cols as usize, params.tile_rows as usize);
             if w == 0
@@ -1005,7 +1320,7 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                     retry_after_ms: None,
                 });
             }
-            match state.all_levels(iso) {
+            match state.all_levels(iso, trace, root) {
                 Ok(FrameOutcome::Serve { levels, cache_hit }) => {
                     let tiles = TileLayout::new(cols, rows, w, h);
                     let full = &levels[0].mesh;
@@ -1059,6 +1374,7 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
                         width: params.width,
                         height: params.height,
                         regions,
+                        trace_id,
                     })
                 }
                 Ok(FrameOutcome::Busy { retry_after_ms }) => {
@@ -1078,11 +1394,55 @@ fn respond<S: ScalarValue>(state: &State<S>, msg: Message, version: u16) -> Repl
             Reply::Encoded(encode_stats_response_frame(&state.report(), version))
         }
         Message::Ping { payload } => Reply::Msg(Message::Pong { payload }),
+        // exposition text covers this server's registry, the cache counters,
+        // and the process-global registry (background queue waits)
+        Message::MetricsRequest => Reply::Msg(Message::MetricsResponse {
+            text: state.metrics_text(),
+        }),
+        // id 0 = latest wire-traced request; otherwise search recent then slow
+        Message::TraceRequest { id } => Reply::Msg(state.trace_reply(id)),
         // a client sending server-to-client messages is confused
         other => Reply::Msg(Message::Error {
             code: ERR_MALFORMED,
             detail: format!("unexpected client message type {}", other.msg_type()),
             retry_after_ms: None,
         }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oociso_obs::{CaptureSink, Level};
+    use std::sync::Arc;
+
+    // the chaos contract for fd starvation: the backoff counter ticks on
+    // every failed accept, the structured warning fires exactly once per
+    // episode, and a fresh episode warns again
+    #[test]
+    fn fd_exhaustion_warns_once_per_episode() {
+        let sink = Arc::new(CaptureSink::new());
+        let logger = Logger::new(sink.clone());
+        let backoffs = Counter::new();
+        let emfile = || io::Error::from_raw_os_error(24);
+        assert!(fd_exhausted(&emfile()));
+
+        let mut starved = false;
+        for _ in 0..5 {
+            note_fd_exhaustion(&backoffs, &logger, &emfile(), &mut starved);
+        }
+        assert_eq!(backoffs.get(), 5, "every failure ticks the counter");
+        assert_eq!(
+            sink.named("accept_backoff").len(),
+            1,
+            "one warn per episode"
+        );
+
+        // a successful accept resets the flag; the next starvation warns anew
+        starved = false;
+        note_fd_exhaustion(&backoffs, &logger, &emfile(), &mut starved);
+        assert_eq!(backoffs.get(), 6);
+        assert_eq!(sink.named("accept_backoff").len(), 2);
+        assert_eq!(sink.count_at(Level::Warn), 2);
     }
 }

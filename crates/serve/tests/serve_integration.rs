@@ -7,11 +7,12 @@ use oociso_cluster::{ExtractOptions, LodSpec};
 use oociso_core::{ClusterDatabase, PreprocessOptions};
 use oociso_march::{Backend, IndexedMesh};
 use oociso_serve::protocol::{
-    encode_payload, ERR_BAD_CHECKSUM, ERR_MALFORMED, ERR_UNSUPPORTED_VERSION, MSG_MESH_REQUEST,
-    MSG_MESH_RESPONSE, MSG_STATS_REQUEST,
+    encode_payload, encode_payload_at, ERR_BAD_CHECKSUM, ERR_MALFORMED, ERR_UNSUPPORTED_VERSION,
+    MSG_MESH_REQUEST, MSG_MESH_RESPONSE, MSG_STATS_REQUEST,
 };
 use oociso_serve::{
-    Client, FrameParams, IsoServer, Message, Region, ServeOptions, ERR_BAD_BACKEND, ERR_BAD_LOD,
+    render_trace_events, Client, FrameParams, IsoServer, Message, Region, ServeOptions,
+    ERR_BAD_BACKEND, ERR_BAD_LOD,
 };
 use oociso_volume::field::{FieldExt, SphereField};
 use oociso_volume::{Dims3, Volume};
@@ -209,12 +210,18 @@ fn region_and_frame_requests_match_direct_calls() {
 fn malformed_and_wrong_version_requests_get_structured_errors() {
     let (dir, server, _direct) = serve_fixture("abuse", 256 << 20);
     let addr = server.addr();
-    let good_payload = encode_payload(&Message::MeshRequest {
-        iso: 120.0,
-        region: None,
-        lod: 0,
-        backend: None,
-    });
+    // encoded at v4 so the payload ends at the lod field (no backend byte,
+    // no trace id) — the torn-field cases below append bytes one at a time
+    let good_payload = encode_payload_at(
+        4,
+        &Message::MeshRequest {
+            iso: 120.0,
+            region: None,
+            lod: 0,
+            backend: None,
+            trace_id: 0,
+        },
+    );
 
     // future protocol version → ERR_UNSUPPORTED_VERSION, connection survives
     let mut client = Client::connect(addr).unwrap();
@@ -302,6 +309,7 @@ fn malformed_and_wrong_version_requests_get_structured_errors() {
                 served_lod: 0,
                 degraded: false,
                 backend: 0,
+                trace_id: 0,
                 mesh: IndexedMesh::new(),
             }),
             false,
@@ -724,6 +732,7 @@ fn backend_selection_round_trips_with_isolated_cache_slots() {
         region: None,
         lod: 0,
         backend: Some(9),
+        trace_id: 0,
     });
     match client
         .roundtrip_raw(
@@ -800,6 +809,144 @@ fn server_default_backend_applies_to_selector_less_requests() {
     assert!(!mc.cache_hit, "MC slot starts cold on an SN-default server");
     assert_eq!(mc.backend, Backend::Mc.id());
     assert_same_mesh(&mc.mesh, &direct.extract(iso).unwrap().mesh, "explicit mc");
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_ids_round_trip_and_journals_serve_traces() {
+    let (dir, server, _direct) = serve_fixture("traced", 256 << 20);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let iso = 120.0f32;
+
+    // a traced cold query: the id is echoed and the retained span tree
+    // shows the extraction actually happening under the request root
+    let cold = client
+        .query_mesh_traced(iso, None, 0, None, 0xDEAD_BEEF)
+        .unwrap();
+    assert!(!cold.cache_hit);
+    assert_eq!(cold.trace_id, 0xDEAD_BEEF, "id echoed on the reply");
+    let t = client.trace(0xDEAD_BEEF).unwrap();
+    assert!(t.found, "traced request retained in the journal");
+    assert_eq!(t.id, 0xDEAD_BEEF);
+    assert!(t.total_us > 0);
+    let tree = render_trace_events(&t.events);
+    for span in ["request", "cache", "extract", "encode"] {
+        assert!(tree.contains(span), "cold trace missing `{span}`:\n{tree}");
+    }
+
+    // a traced warm query: cache annotate says hit, no extract span
+    let warm = client.query_mesh_traced(iso, None, 0, None, 77).unwrap();
+    assert!(warm.cache_hit);
+    assert_eq!(warm.trace_id, 77);
+    let t = client.trace(77).unwrap();
+    assert!(t.found);
+    let tree = render_trace_events(&t.events);
+    assert!(tree.contains("hit=1"), "{tree}");
+    assert!(!tree.contains("extract"), "{tree}");
+
+    // id 0 = "latest traced request" = the warm one; unknown ids miss
+    let latest = client.trace(0).unwrap();
+    assert!(latest.found);
+    assert_eq!(latest.id, 77);
+    assert!(!client.trace(0xBAD0_BAD0).unwrap().found);
+
+    // an untraced request (trace_id 0 on the wire) does not enter the journal
+    let plain = client.query_mesh(iso, None).unwrap();
+    assert_eq!(plain.trace_id, 0);
+    assert_eq!(
+        client.trace(0).unwrap().id,
+        77,
+        "untraced requests not journaled"
+    );
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_exposition_agrees_with_stats() {
+    let (dir, server, _direct) = serve_fixture("metrics", 256 << 20);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let iso = 120.0f32;
+    client.query_mesh(iso, None).unwrap(); // miss
+    client.query_mesh(iso, None).unwrap(); // hit
+
+    let text = client.metrics().unwrap();
+    let line = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+            .unwrap_or_else(|| panic!("metric `{name}` missing from:\n{text}"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|_| panic!("metric `{name}` not an integer"))
+    };
+    // the exposition reads the same counter handles as the stats reply, so
+    // the two views can never disagree
+    let s = client.stats().unwrap();
+    assert_eq!(line("mesh_requests_total"), s.mesh_requests);
+    assert_eq!(line("cache_hits_total"), s.cache_hits);
+    assert_eq!(line("cache_misses_total"), s.cache_misses);
+    assert_eq!(line("connections_total"), s.connections);
+    // requests_total on the wire text was sampled before the metrics and
+    // stats requests themselves were counted; allow that skew only
+    assert!(line("requests_total") >= 2);
+    // histograms made it into the exposition with recorded samples
+    assert!(
+        text.contains("request_latency_us_count"),
+        "histogram missing:\n{text}"
+    );
+    assert!(text.contains("phase_triangulate_us_count"), "{text}");
+
+    // the in-process view matches too
+    assert!(server.metrics().contains("mesh_requests_total"));
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pre_v5_dialects_are_served_untraced() {
+    let (dir, server, direct) = serve_fixture("prev5", 256 << 20);
+    let iso = 120.0f32;
+    let truth = direct.extract(iso).unwrap().mesh;
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // the same logical request spoken at v2, v3, and v4 — none carry a
+    // trace id, every one gets the full mesh and decodes trace_id as 0,
+    // and the connection survives for the next dialect
+    let req = Message::MeshRequest {
+        iso,
+        region: None,
+        lod: 0,
+        backend: None,
+        trace_id: 0xFFFF_FFFF, // must never reach a pre-v5 wire
+    };
+    for version in 2u16..=4 {
+        let payload = encode_payload_at(version, &req);
+        match client
+            .roundtrip_raw(
+                oociso_serve::MAGIC,
+                version,
+                MSG_MESH_REQUEST,
+                &payload,
+                false,
+            )
+            .unwrap()
+        {
+            Some(Message::MeshResponse { mesh, trace_id, .. }) => {
+                assert_eq!(trace_id, 0, "v{version} reply must carry no trace id");
+                assert_same_mesh(&mesh, &truth, "pre-v5 dialect");
+            }
+            other => panic!("v{version}: expected mesh response, got {other:?}"),
+        }
+    }
+    // ...and a v5 traced request on the same connection still works
+    let traced = client.query_mesh_traced(iso, None, 0, None, 5).unwrap();
+    assert_eq!(traced.trace_id, 5);
 
     server.stop();
     std::fs::remove_dir_all(&dir).ok();

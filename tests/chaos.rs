@@ -440,6 +440,7 @@ fn busy_replies_back_off_and_then_succeed() {
                     served_lod: 0,
                     degraded: false,
                     backend: 0,
+                    trace_id: 0,
                     mesh: IndexedMesh::new(),
                 }
             };
