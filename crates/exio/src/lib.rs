@@ -25,12 +25,16 @@
 //!   test harness.
 //! * **Positioned writes** — [`write_at::WriteAt`]: the portable write-side
 //!   abstraction beneath out-of-core preprocessing.
+//! * **Readiness** — `poll::Poller`/`poll::EventFd` (Linux): a thin,
+//!   dependency-free epoll + eventfd binding, the substrate of the serve
+//!   layer's nonblocking reactor.
 
 pub mod block;
 pub mod cost;
 pub mod device;
 pub mod farm;
 pub mod faulty;
+pub mod poll;
 pub mod queue;
 pub mod stats;
 pub mod store;

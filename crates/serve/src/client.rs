@@ -159,6 +159,24 @@ fn torn(e: &io::Error) -> bool {
     )
 }
 
+/// Read one complete reply frame off the wire, undecoded: header +
+/// payload + checksum, exactly as the server sent it.
+fn read_raw_reply(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    use std::io::Read;
+    let mut header = [0u8; crate::protocol::HEADER_BYTES];
+    stream.read_exact(&mut header).map_err(map_timeout)?;
+    let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let mut frame = header.to_vec();
+    let rest = usize::try_from(len)
+        .ok()
+        .and_then(|n| n.checked_add(4))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "absurd frame length"))?;
+    let mut body = vec![0u8; rest];
+    stream.read_exact(&mut body).map_err(map_timeout)?;
+    frame.extend_from_slice(&body);
+    Ok(frame)
+}
+
 /// Socket-timeout expiry surfaces as `WouldBlock` on Unix; normalize to
 /// `TimedOut` so callers see one deadline error kind.
 fn map_timeout(e: io::Error) -> io::Error {
@@ -527,6 +545,48 @@ impl Client {
             } => Err(server_error(code, detail, retry_after_ms)),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Write every request back-to-back on this connection, then read the
+    /// replies — the pipelined exchange. The server guarantees replies
+    /// come back **in request order**, so `replies[i]` answers
+    /// `requests[i]`. No retry policy applies: a transport failure fails
+    /// the whole batch, while per-request refusals (`ERR_BUSY`, bad
+    /// parameters) come back as `Message::Error` entries in their slot.
+    pub fn pipeline(&mut self, requests: &[Message]) -> io::Result<Vec<Message>> {
+        for msg in requests {
+            write_frame(&mut self.stream, msg).map_err(map_timeout)?;
+        }
+        let mut replies = Vec::with_capacity(requests.len());
+        for _ in requests {
+            match read_frame(&mut self.stream).map_err(map_timeout)? {
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed mid-pipeline",
+                    ))
+                }
+                Some(FrameIn::Ok { msg: reply, .. }) => replies.push(reply),
+                Some(FrameIn::Violation { code, detail, .. }) => {
+                    return Err(server_error(code, detail, None))
+                }
+            }
+        }
+        Ok(replies)
+    }
+
+    /// Like [`Client::pipeline`] but returning each reply's raw frame
+    /// bytes (header + payload + checksum), undecoded — the hook for
+    /// byte-level equivalence tests between serving cores.
+    pub fn pipeline_raw(&mut self, requests: &[Message]) -> io::Result<Vec<Vec<u8>>> {
+        for msg in requests {
+            write_frame(&mut self.stream, msg).map_err(map_timeout)?;
+        }
+        let mut replies = Vec::with_capacity(requests.len());
+        for _ in requests {
+            replies.push(read_raw_reply(&mut self.stream)?);
+        }
+        Ok(replies)
     }
 
     /// Send a frame with explicit header fields and return the server's

@@ -11,10 +11,17 @@
 //!   isovalue, an optional region, and mesh-vs-framebuffer mode; responses
 //!   carry an indexed mesh or tile frames), CRC-32 payload checksums,
 //!   structured errors for version/framing violations.
-//! * [`server`] — [`IsoServer`]: a multi-threaded `TcpListener` accept loop
-//!   (thread per connection) over one shared
-//!   [`oociso_core::ClusterDatabase`], serving concurrent clients through
-//!   the existing streaming extraction path.
+//! * [`server`] — [`IsoServer`]: one shared
+//!   [`oociso_core::ClusterDatabase`] behind either serving core — the
+//!   classic multi-threaded accept loop (thread per connection), or, with
+//!   [`ServeOptions::reactor_threads`] set, the nonblocking reactor below.
+//! * [`reactor`] — the epoll event-loop core (Linux): N reactor threads
+//!   each own a set of connections with per-connection read/decode →
+//!   dispatch → incremental write-out state machines, request pipelining
+//!   with responses in request order, bounded outbound queues
+//!   (backpressure), and an extraction worker pool signalled back through
+//!   an eventfd. Identical wire and overload semantics to the threaded
+//!   core — the chaos suite runs against both.
 //! * [`cache`] — [`ResultCache`]: an isovalue-keyed, byte-budgeted LRU of
 //!   extraction results with hit/miss/eviction counters surfaced through
 //!   the stats message, `NodeReport`-style.
@@ -43,6 +50,8 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 pub mod transport;
 

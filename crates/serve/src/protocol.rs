@@ -1240,6 +1240,113 @@ pub fn read_frame_limited(r: &mut impl Read, max_payload: u64) -> io::Result<Opt
     }
 }
 
+/// One step of buffer-based incremental frame decoding — the nonblocking
+/// reactor's counterpart to [`read_frame_limited`], sharing its exact
+/// violation semantics (same codes, same close-the-connection decisions).
+#[allow(clippy::large_enum_variant)] // same rationale as `FrameIn`
+#[derive(Debug)]
+pub enum FrameStep {
+    /// The buffer does not yet hold a whole frame. `need` is the total
+    /// buffered byte count required before decoding can complete — a lower
+    /// bound the caller can use to size its next read (16 until the header
+    /// is in, then the frame's exact length).
+    NeedMore { need: usize },
+    /// One complete frame occupied the first `consumed` buffer bytes.
+    /// For violations with `close: true` (bad magic, oversized length
+    /// claim) framing is lost and `consumed` covers the whole buffer:
+    /// nothing behind the poisoned header may be interpreted.
+    Frame { frame: FrameIn, consumed: usize },
+}
+
+/// Decode one frame from the front of `buf` without consuming input — the
+/// caller drains `consumed` bytes after acting on the result. Semantics
+/// mirror [`read_frame_limited`] exactly: same payload cap enforced before
+/// the payload is even buffered, same violation codes, same reply-version
+/// selection. (EOF handling stays with the caller: an empty buffer at peer
+/// close is a clean boundary, a partial frame is a torn one.)
+pub fn decode_frame_bytes(buf: &[u8], max_payload: u64) -> FrameStep {
+    if buf.len() < HEADER_BYTES {
+        return FrameStep::NeedMore { need: HEADER_BYTES };
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+    let msg_type = u16::from_le_bytes(buf[6..8].try_into().unwrap());
+    let len = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+    let reply_version = if (MIN_VERSION..=VERSION).contains(&version) {
+        version
+    } else {
+        VERSION
+    };
+    if magic != MAGIC {
+        return FrameStep::Frame {
+            frame: FrameIn::Violation {
+                code: ERR_BAD_MAGIC,
+                detail: format!("bad magic {magic:#x}"),
+                close: true,
+                version: reply_version,
+            },
+            consumed: buf.len(),
+        };
+    }
+    let cap = max_payload.min(MAX_PAYLOAD);
+    if len > cap {
+        // as in the blocking reader: the length claim may be hostile, so
+        // the frame is never buffered out — connection to be closed
+        return FrameStep::Frame {
+            frame: FrameIn::Violation {
+                code: ERR_MALFORMED,
+                detail: format!("payload length {len} exceeds cap {cap}"),
+                close: true,
+                version: reply_version,
+            },
+            consumed: buf.len(),
+        };
+    }
+    let total = HEADER_BYTES + len as usize + 4;
+    if buf.len() < total {
+        return FrameStep::NeedMore { need: total };
+    }
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return FrameStep::Frame {
+            frame: FrameIn::Violation {
+                code: ERR_UNSUPPORTED_VERSION,
+                detail: format!(
+                    "protocol version {version} not supported (server speaks {MIN_VERSION}..={VERSION})"
+                ),
+                close: false,
+                version: reply_version,
+            },
+            consumed: total,
+        };
+    }
+    let payload = &buf[HEADER_BYTES..HEADER_BYTES + len as usize];
+    let crc = u32::from_le_bytes(buf[HEADER_BYTES + len as usize..total].try_into().unwrap());
+    if crc != crc32(payload) {
+        return FrameStep::Frame {
+            frame: FrameIn::Violation {
+                code: ERR_BAD_CHECKSUM,
+                detail: "payload checksum mismatch".to_string(),
+                close: false,
+                version: reply_version,
+            },
+            consumed: total,
+        };
+    }
+    let frame = match decode_payload(msg_type, payload) {
+        Ok(msg) => FrameIn::Ok { msg, version },
+        Err(e) => FrameIn::Violation {
+            code: ERR_MALFORMED,
+            detail: e.to_string(),
+            close: false,
+            version: reply_version,
+        },
+    };
+    FrameStep::Frame {
+        frame,
+        consumed: total,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1912,5 +2019,127 @@ mod tests {
         let off = payload.len() - 12 - 4;
         payload[off..off + 4].copy_from_slice(&99u32.to_le_bytes());
         assert!(decode_payload(MSG_MESH_RESPONSE, &payload).is_err());
+    }
+
+    // the incremental decoder must agree with the blocking reader on every
+    // prefix: NeedMore until the frame completes, then the same FrameIn
+    #[test]
+    fn incremental_decode_agrees_with_blocking_reader() {
+        let msgs = [
+            Message::Ping {
+                payload: b"abc".to_vec(),
+            },
+            Message::StatsRequest,
+            Message::MeshRequest {
+                iso: 0.5,
+                region: None,
+                lod: 1,
+                backend: Some(1),
+                trace_id: 77,
+            },
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        // feed the concatenated stream byte by byte
+        let mut decoded = Vec::new();
+        let mut buf: Vec<u8> = Vec::new();
+        for &b in &stream {
+            buf.push(b);
+            match decode_frame_bytes(&buf, MAX_REQUEST_PAYLOAD) {
+                FrameStep::NeedMore { need } => assert!(need > buf.len()),
+                FrameStep::Frame { frame, consumed } => {
+                    assert_eq!(consumed, buf.len(), "frames decode exactly at their end");
+                    decoded.push(frame);
+                    buf.clear();
+                }
+            }
+        }
+        assert!(buf.is_empty());
+        assert_eq!(decoded.len(), msgs.len());
+        for (frame, want) in decoded.iter().zip(&msgs) {
+            match frame {
+                FrameIn::Ok { msg, version } => {
+                    assert_eq!(msg, want);
+                    assert_eq!(*version, VERSION);
+                }
+                FrameIn::Violation { detail, .. } => panic!("rejected own frame: {detail}"),
+            }
+        }
+        // two whole frames buffered at once decode one at a time
+        let FrameStep::Frame { consumed, .. } = decode_frame_bytes(&stream, MAX_REQUEST_PAYLOAD)
+        else {
+            panic!("complete frame not decoded");
+        };
+        assert_eq!(consumed, encode_frame(&msgs[0]).len());
+    }
+
+    #[test]
+    fn incremental_decode_violations_match_blocking_reader() {
+        // bad magic: close, whole buffer poisoned
+        let bad = encode_frame_raw(0xDEAD_BEEF, VERSION, MSG_PING, b"x");
+        match decode_frame_bytes(&bad, MAX_REQUEST_PAYLOAD) {
+            FrameStep::Frame {
+                frame:
+                    FrameIn::Violation {
+                        code: ERR_BAD_MAGIC,
+                        close: true,
+                        ..
+                    },
+                consumed,
+            } => assert_eq!(consumed, bad.len()),
+            other => panic!("bad magic not flagged: {other:?}"),
+        }
+        // hostile length claim: rejected from the header alone, close
+        let mut huge = encode_frame_raw(MAGIC, VERSION, MSG_PING, b"");
+        huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame_bytes(&huge[..HEADER_BYTES], MAX_REQUEST_PAYLOAD),
+            FrameStep::Frame {
+                frame: FrameIn::Violation {
+                    code: ERR_MALFORMED,
+                    close: true,
+                    ..
+                },
+                ..
+            }
+        ));
+        // future version: full frame consumed, connection survives, and the
+        // reply dialect falls back to the server's current version
+        let fut = encode_frame_raw(MAGIC, VERSION + 10, MSG_PING, b"");
+        match decode_frame_bytes(&fut, MAX_REQUEST_PAYLOAD) {
+            FrameStep::Frame {
+                frame:
+                    FrameIn::Violation {
+                        code: ERR_UNSUPPORTED_VERSION,
+                        close: false,
+                        version,
+                        ..
+                    },
+                consumed,
+            } => {
+                assert_eq!(consumed, fut.len());
+                assert_eq!(version, VERSION);
+            }
+            other => panic!("future version not flagged: {other:?}"),
+        }
+        // corrupt checksum: full frame consumed, connection survives
+        let mut corrupt = encode_frame(&Message::Ping {
+            payload: b"payload".to_vec(),
+        });
+        let n = corrupt.len();
+        corrupt[n - 1] ^= 0xFF;
+        assert!(matches!(
+            decode_frame_bytes(&corrupt, MAX_REQUEST_PAYLOAD),
+            FrameStep::Frame {
+                frame: FrameIn::Violation {
+                    code: ERR_BAD_CHECKSUM,
+                    close: false,
+                    ..
+                },
+                ..
+            }
+        ));
     }
 }

@@ -37,8 +37,8 @@
 use crate::cache::{CachedSurface, ResultCache};
 use crate::protocol::{
     encode_frame_at, encode_mesh_response_frame, encode_stats_response_frame, read_frame_limited,
-    FrameIn, Message, ServerReport, TraceEvent, ERR_BAD_BACKEND, ERR_BAD_LOD, ERR_BUSY,
-    ERR_INTERNAL, ERR_MALFORMED, MAX_LOD_LEVELS, MAX_REQUEST_PAYLOAD,
+    FrameIn, FrameParams, Message, Region, ServerReport, TraceEvent, ERR_BAD_BACKEND, ERR_BAD_LOD,
+    ERR_BUSY, ERR_INTERNAL, ERR_MALFORMED, MAX_LOD_LEVELS, MAX_REQUEST_PAYLOAD,
 };
 use oociso_cluster::LodSpec;
 use oociso_core::ClusterDatabase;
@@ -112,6 +112,24 @@ pub struct ServeOptions {
     /// `slow_query`, `drain_timeout`). Default logs to stderr; tests
     /// install an `oociso_obs::CaptureSink` to assert on events.
     pub logger: Logger,
+    /// Nonblocking reactor core: `N > 0` serves with `N` epoll event-loop
+    /// threads (Linux only), each owning a set of connections — request
+    /// pipelining, bounded outbound queues, no per-connection thread. `0`
+    /// (the library default) keeps the classic thread-per-connection core.
+    /// The CLI defaults to the reactor (`serve --threaded` opts out). On
+    /// non-Linux targets a nonzero value falls back to the threaded core.
+    pub reactor_threads: usize,
+    /// Extraction/render worker threads behind the reactor (cache misses
+    /// and rasterization run here; the event loops never block on them).
+    /// `0` (the default) sizes the pool automatically. Ignored by the
+    /// threaded core, whose connection threads do their own work.
+    pub reactor_workers: usize,
+    /// Per-connection outbound byte budget (reactor only): once a client's
+    /// queued-but-unsent responses exceed it, the reactor stops *reading*
+    /// that client until the queue drains below half — backpressure, so a
+    /// pipelining client that never reads cannot balloon server memory.
+    /// Default 8 MiB.
+    pub outbound_budget: usize,
 }
 
 impl Default for ServeOptions {
@@ -130,22 +148,37 @@ impl Default for ServeOptions {
             slow_ms: 1000,
             trace_buffer: 64,
             logger: Logger::stderr(),
+            reactor_threads: 0,
+            reactor_workers: 0,
+            outbound_budget: 8 << 20,
         }
     }
 }
 
 /// Shared shutdown/drain flags and the live-connection gauge — what
 /// [`IsoServer::drain`] coordinates with the accept loop and every handler.
-struct Control {
+pub(crate) struct Control {
     /// Hard stop: accept loop exits, handlers close at the next frame
     /// boundary or poll tick.
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     /// Graceful phase: accept loop exits, handlers finish the request they
     /// are on (replies counted `drained`) and close at the frame boundary.
-    draining: AtomicBool,
+    pub(crate) draining: AtomicBool,
     /// Connections currently inside a handler (the admission-cap gauge and
     /// what drain waits on).
-    live: AtomicU64,
+    pub(crate) live: AtomicU64,
+    /// Out-of-band wakeups registered by blocking serving cores (the
+    /// reactor's eventfd doorbells), rung whenever a flag above flips so a
+    /// parked event loop notices immediately instead of at its next tick.
+    pub(crate) wakers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl Control {
+    pub(crate) fn wake_all(&self) {
+        for w in self.wakers.lock().expect("wakers lock").iter() {
+            w();
+        }
+    }
 }
 
 /// The server's reporting counters, all living in its [`Registry`] (each
@@ -153,18 +186,18 @@ struct Control {
 /// handles are resolved once at bind so the hot path never takes the
 /// registry lock. [`ServerReport`] reads the same handles — the metrics
 /// exposition and the stats response can never disagree.
-struct Counters {
-    connections: Counter,
-    requests: Counter,
-    mesh_requests: Counter,
-    frame_requests: Counter,
-    errors: Counter,
-    bytes_out: Counter,
-    shed: Counter,
-    degraded: Counter,
-    timed_out: Counter,
-    drained: Counter,
-    accept_backoffs: Counter,
+pub(crate) struct Counters {
+    pub(crate) connections: Counter,
+    pub(crate) requests: Counter,
+    pub(crate) mesh_requests: Counter,
+    pub(crate) frame_requests: Counter,
+    pub(crate) errors: Counter,
+    pub(crate) bytes_out: Counter,
+    pub(crate) shed: Counter,
+    pub(crate) degraded: Counter,
+    pub(crate) timed_out: Counter,
+    pub(crate) drained: Counter,
+    pub(crate) accept_backoffs: Counter,
 }
 
 impl Counters {
@@ -186,37 +219,37 @@ impl Counters {
 }
 
 /// Shared state behind every connection handler.
-struct State<S: ScalarValue> {
+pub(crate) struct State<S: ScalarValue> {
     db: ClusterDatabase<S>,
     lods: LodSpec,
     lod_tolerance_px: f32,
     cache: Mutex<ResultCache>,
-    ctl: Arc<Control>,
+    pub(crate) ctl: Arc<Control>,
     extraction_slots: Option<u32>,
-    max_connections: Option<u32>,
+    pub(crate) max_connections: Option<u32>,
     degrade: bool,
-    default_backend: Backend,
-    read_timeout: Option<Duration>,
-    write_timeout: Option<Duration>,
-    idle_timeout: Option<Duration>,
+    pub(crate) default_backend: Backend,
+    pub(crate) read_timeout: Option<Duration>,
+    pub(crate) write_timeout: Option<Duration>,
+    pub(crate) idle_timeout: Option<Duration>,
     /// Per-server metrics registry (counters below plus the latency and
     /// extraction-phase histograms; rendered by [`Message::MetricsRequest`]).
-    metrics: Registry,
-    c: Counters,
+    pub(crate) metrics: Registry,
+    pub(crate) c: Counters,
     /// End-to-end request wall time, decode to written reply, in µs.
-    request_latency_us: Histogram,
+    pub(crate) request_latency_us: Histogram,
     /// Cache-miss extraction wall time (full pyramid build), in µs.
     extract_latency_us: Histogram,
     /// No-disk pyramid re-decimation wall time, in µs.
     rebuild_latency_us: Histogram,
     /// Structured operational log.
-    logger: Logger,
+    pub(crate) logger: Logger,
     /// Finished traces of wire-traced requests (trace id != 0).
-    recent: TraceJournal,
+    pub(crate) recent: TraceJournal,
     /// Finished traces of slow requests, traced or not.
-    slow: TraceJournal,
+    pub(crate) slow: TraceJournal,
     /// Slow-query threshold (ms); 0 disables.
-    slow_ms: u64,
+    pub(crate) slow_ms: u64,
     /// Extractions/rebuilds currently holding a slot.
     inflight_miss: AtomicU64,
     /// Smoothed wall-clock of recent cache-miss work, in ms — the source of
@@ -225,13 +258,15 @@ struct State<S: ScalarValue> {
 }
 
 /// RAII extraction-slot lease: decrements the in-flight gauge on drop, so a
-/// panicking or erroring extraction can never leak its slot.
-struct SlotGuard<'a, S: ScalarValue> {
-    state: &'a State<S>,
+/// panicking or erroring extraction can never leak its slot. Owns an `Arc`
+/// of the state, so a won slot can be shipped to a reactor worker thread
+/// and still release on any exit path there.
+pub(crate) struct SlotGuard<S: ScalarValue> {
+    state: Arc<State<S>>,
     counted: bool,
 }
 
-impl<S: ScalarValue> Drop for SlotGuard<'_, S> {
+impl<S: ScalarValue> Drop for SlotGuard<S> {
     fn drop(&mut self) {
         if self.counted {
             self.state.inflight_miss.fetch_sub(1, Ordering::SeqCst);
@@ -239,8 +274,27 @@ impl<S: ScalarValue> Drop for SlotGuard<'_, S> {
     }
 }
 
+/// Floor of the `ERR_BUSY` retry-after hint, in milliseconds. Critically,
+/// this is also the **cold-start** hint: before any cache miss has
+/// completed, the EWMA has no samples (`miss_cost_ms == 0`), and a raw
+/// hint of 0 ms would invite every shed client to retry immediately — a
+/// synchronized re-storm against a server that just declared itself
+/// overloaded. A shed request is therefore never told to retry sooner than
+/// this, samples or not.
+pub(crate) const RETRY_HINT_FLOOR_MS: u64 = 25;
+
+/// Ceiling of the retry-after hint: even when recent misses cost minutes,
+/// clients are invited back within this bound (they will simply be shed
+/// again, cheaply, if the server is still busy).
+pub(crate) const RETRY_HINT_CEIL_MS: u64 = 10_000;
+
+/// Clamp a smoothed miss cost (0 = no samples yet) into the hint window.
+pub(crate) fn clamp_retry_hint(miss_cost_ms: u64) -> u32 {
+    miss_cost_ms.clamp(RETRY_HINT_FLOOR_MS, RETRY_HINT_CEIL_MS) as u32
+}
+
 /// What admission control decided for one mesh request.
-enum MeshOutcome {
+pub(crate) enum MeshOutcome {
     Serve {
         surface: Arc<CachedSurface>,
         cache_hit: bool,
@@ -253,7 +307,7 @@ enum MeshOutcome {
 }
 
 /// What admission control decided for one frame request.
-enum FrameOutcome {
+pub(crate) enum FrameOutcome {
     Serve {
         levels: Vec<Arc<CachedSurface>>,
         cache_hit: bool,
@@ -263,13 +317,41 @@ enum FrameOutcome {
     },
 }
 
+/// A mesh request's admission verdict with the *work* still unexecuted —
+/// what the reactor dispatches on. [`State::surface`] (the threaded path)
+/// and the reactor worker both complete an `Extract` through
+/// [`State::pyramid_for`], so the two cores share admission and extraction
+/// semantics by construction, not by parallel maintenance.
+pub(crate) enum MeshAdmit<S: ScalarValue> {
+    /// Hit, degraded serve, or busy: the outcome is already in hand.
+    Ready(MeshOutcome),
+    /// Miss that won a slot: extraction still to run (off-loop, for the
+    /// reactor; inline, for a connection thread).
+    Extract { slot: SlotGuard<S> },
+}
+
+/// A frame request's admission verdict (see [`MeshAdmit`]).
+pub(crate) enum FrameAdmit<S: ScalarValue> {
+    /// The whole pyramid is resident (booked as one hit, levels touched).
+    Hit(Vec<Arc<CachedSurface>>),
+    Busy {
+        retry_after_ms: u32,
+    },
+    /// Miss holding a slot; `resident_full` is the still-cached level 0 to
+    /// re-decimate from, if any (else a disk extraction is due).
+    Extract {
+        slot: SlotGuard<S>,
+        resident_full: Option<Arc<CachedSurface>>,
+    },
+}
+
 impl<S: ScalarValue> State<S> {
     /// Total levels served (1 = full resolution only).
-    fn levels(&self) -> u16 {
+    pub(crate) fn levels(&self) -> u16 {
         self.lods.levels() as u16
     }
 
-    fn report(&self) -> ServerReport {
+    pub(crate) fn report(&self) -> ServerReport {
         let cache = self.cache.lock().expect("cache lock").stats();
         ServerReport {
             connections: self.c.connections.get(),
@@ -301,7 +383,7 @@ impl<S: ScalarValue> State<S> {
     /// so exposed from its stats rather than double-counted), and the
     /// process-global registry (queue-wait histograms recorded by the I/O
     /// layer, which has no handle on this server).
-    fn metrics_text(&self) -> String {
+    pub(crate) fn metrics_text(&self) -> String {
         self.metrics
             .gauge("active_connections")
             .set(self.ctl.live.load(Ordering::Relaxed) as i64);
@@ -330,7 +412,7 @@ impl<S: ScalarValue> State<S> {
     /// Build the trace-request reply: id 0 = the most recent wire-traced
     /// request, otherwise the id is looked up in the recent journal first,
     /// then among retained slow queries.
-    fn trace_reply(&self, id: u64) -> Message {
+    pub(crate) fn trace_reply(&self, id: u64) -> Message {
         let found = if id == 0 {
             self.recent.latest()
         } else {
@@ -367,10 +449,10 @@ impl<S: ScalarValue> State<S> {
 
     /// Try to win one cache-miss slot. `None` means at capacity (the caller
     /// sheds or degrades); the returned guard releases the slot on drop.
-    fn try_slot(&self) -> Option<SlotGuard<'_, S>> {
+    fn try_slot(self: &Arc<Self>) -> Option<SlotGuard<S>> {
         match self.extraction_slots {
             None => Some(SlotGuard {
-                state: self,
+                state: self.clone(),
                 counted: false,
             }),
             Some(max) => self
@@ -380,7 +462,7 @@ impl<S: ScalarValue> State<S> {
                 })
                 .ok()
                 .map(|_| SlotGuard {
-                    state: self,
+                    state: self.clone(),
                     counted: true,
                 }),
         }
@@ -398,9 +480,8 @@ impl<S: ScalarValue> State<S> {
     /// The retry-after hint for a shed request: the smoothed cost of recent
     /// miss work, clamped to a sane window — before any miss completed, a
     /// conservative floor.
-    fn retry_hint_ms(&self) -> u32 {
-        let cost = self.miss_cost_ms.load(Ordering::Relaxed);
-        cost.clamp(25, 10_000) as u32
+    pub(crate) fn retry_hint_ms(&self) -> u32 {
+        clamp_retry_hint(self.miss_cost_ms.load(Ordering::Relaxed))
     }
 
     /// Feed the extraction-phase histograms from the span durations the
@@ -524,7 +605,7 @@ impl<S: ScalarValue> State<S> {
     /// outside the cache lock (concurrent first-queries of one isovalue may
     /// each extract — both count as misses, last insert wins — but no
     /// request ever blocks behind another's extraction).
-    fn pyramid_for(
+    pub(crate) fn pyramid_for(
         &self,
         iso: f32,
         backend: Backend,
@@ -548,13 +629,39 @@ impl<S: ScalarValue> State<S> {
     /// [`ServeOptions::degrade`] is set and one is resident — booked as a
     /// hit on the level actually served) or is shed with a retry hint.
     fn surface(
-        &self,
+        self: &Arc<Self>,
         iso: f32,
         backend: Backend,
         lod: u16,
         trace: &Trace,
         root: &Span,
     ) -> io::Result<MeshOutcome> {
+        match self.admit_mesh(iso, backend, lod, root) {
+            MeshAdmit::Ready(outcome) => Ok(outcome),
+            MeshAdmit::Extract { slot } => {
+                let levels = self.pyramid_for(iso, backend, trace)?;
+                drop(slot);
+                Ok(MeshOutcome::Serve {
+                    surface: levels[lod as usize].clone(),
+                    cache_hit: false,
+                    served_lod: lod,
+                    degraded: false,
+                })
+            }
+        }
+    }
+
+    /// The admission half of [`State::surface`]: probe the cache, try for a
+    /// slot, degrade or shed at capacity. Everything here is cheap (mutexed
+    /// lookups and atomics, no extraction), so the reactor runs it inline
+    /// on the event loop; only an `Extract` verdict leaves for a worker.
+    pub(crate) fn admit_mesh(
+        self: &Arc<Self>,
+        iso: f32,
+        backend: Backend,
+        lod: u16,
+        root: &Span,
+    ) -> MeshAdmit<S> {
         let t = Instant::now();
         let hit = self
             .cache
@@ -567,7 +674,7 @@ impl<S: ScalarValue> State<S> {
             &[("hit", hit.is_some() as u64), ("lod", lod as u64)],
         );
         if let Some(hit) = hit {
-            return Ok(MeshOutcome::Serve {
+            return MeshAdmit::Ready(MeshOutcome::Serve {
                 surface: hit,
                 cache_hit: true,
                 served_lod: lod,
@@ -575,16 +682,7 @@ impl<S: ScalarValue> State<S> {
             });
         }
         match self.try_slot() {
-            Some(slot) => {
-                let levels = self.pyramid_for(iso, backend, trace)?;
-                drop(slot);
-                Ok(MeshOutcome::Serve {
-                    surface: levels[lod as usize].clone(),
-                    cache_hit: false,
-                    served_lod: lod,
-                    degraded: false,
-                })
-            }
+            Some(slot) => MeshAdmit::Extract { slot },
             None => {
                 if self.degrade {
                     let coarser = self.cache.lock().expect("cache lock").coarser(
@@ -596,7 +694,7 @@ impl<S: ScalarValue> State<S> {
                     if let Some((level, surface)) = coarser {
                         self.c.degraded.inc();
                         root.annotate("degrade", Duration::ZERO, &[("served_lod", level as u64)]);
-                        return Ok(MeshOutcome::Serve {
+                        return MeshAdmit::Ready(MeshOutcome::Serve {
                             surface,
                             cache_hit: true,
                             served_lod: level,
@@ -605,7 +703,7 @@ impl<S: ScalarValue> State<S> {
                     }
                 }
                 self.c.shed.inc();
-                Ok(MeshOutcome::Busy {
+                MeshAdmit::Ready(MeshOutcome::Busy {
                     retry_after_ms: self.retry_hint_ms(),
                 })
             }
@@ -622,7 +720,35 @@ impl<S: ScalarValue> State<S> {
     /// deterministic, so byte-identical to the original levels — without
     /// touching disk. A miss that can't win a slot is shed (frames have no
     /// degraded form: per-tile LOD selection needs the whole pyramid).
-    fn all_levels(&self, iso: f32, trace: &Trace, root: &Span) -> io::Result<FrameOutcome> {
+    fn all_levels(
+        self: &Arc<Self>,
+        iso: f32,
+        trace: &Trace,
+        root: &Span,
+    ) -> io::Result<FrameOutcome> {
+        match self.admit_frame(iso, root) {
+            FrameAdmit::Hit(levels) => Ok(FrameOutcome::Serve {
+                levels,
+                cache_hit: true,
+            }),
+            FrameAdmit::Busy { retry_after_ms } => Ok(FrameOutcome::Busy { retry_after_ms }),
+            FrameAdmit::Extract {
+                slot,
+                resident_full,
+            } => {
+                let levels = self.complete_frame_extract(iso, resident_full, trace)?;
+                drop(slot);
+                Ok(FrameOutcome::Serve {
+                    levels,
+                    cache_hit: false,
+                })
+            }
+        }
+    }
+
+    /// The admission half of [`State::all_levels`] (see [`State::admit_mesh`]
+    /// for why the split exists).
+    pub(crate) fn admit_frame(self: &Arc<Self>, iso: f32, root: &Span) -> FrameAdmit<S> {
         let want = self.levels() as usize;
         // frame requests carry no backend selector: they render the server's
         // default backend's pyramid
@@ -646,30 +772,40 @@ impl<S: ScalarValue> State<S> {
                     cache.touch(iso, backend.id(), lod as u16);
                 }
                 root.annotate("cache", t.elapsed(), &[("hit", 1)]);
-                return Ok(FrameOutcome::Serve {
-                    levels,
-                    cache_hit: true,
-                });
+                return FrameAdmit::Hit(levels);
             }
             cache.account(backend.id(), 0, false);
             levels.into_iter().next() // level 0, if it was resident
         };
         root.annotate("cache", t.elapsed(), &[("hit", 0)]);
-        let Some(slot) = self.try_slot() else {
-            self.c.shed.inc();
-            return Ok(FrameOutcome::Busy {
-                retry_after_ms: self.retry_hint_ms(),
-            });
-        };
-        let levels = match resident_full {
-            Some(full) => self.rebuild_from_full(iso, backend, full, trace),
-            None => self.extract_and_insert(iso, backend, trace)?,
-        };
-        drop(slot);
-        Ok(FrameOutcome::Serve {
-            levels,
-            cache_hit: false,
-        })
+        match self.try_slot() {
+            Some(slot) => FrameAdmit::Extract {
+                slot,
+                resident_full,
+            },
+            None => {
+                self.c.shed.inc();
+                FrameAdmit::Busy {
+                    retry_after_ms: self.retry_hint_ms(),
+                }
+            }
+        }
+    }
+
+    /// Execute the extraction a [`FrameAdmit::Extract`] verdict committed
+    /// to: re-decimate from the resident full mesh when possible, hit the
+    /// disk otherwise. The caller drops the slot afterwards.
+    pub(crate) fn complete_frame_extract(
+        &self,
+        iso: f32,
+        resident_full: Option<Arc<CachedSurface>>,
+        trace: &Trace,
+    ) -> io::Result<Vec<Arc<CachedSurface>>> {
+        let backend = self.default_backend;
+        match resident_full {
+            Some(full) => Ok(self.rebuild_from_full(iso, backend, full, trace)),
+            None => self.extract_and_insert(iso, backend, trace),
+        }
     }
 }
 
@@ -730,6 +866,7 @@ impl IsoServer {
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             live: AtomicU64::new(0),
+            wakers: Mutex::new(Vec::new()),
         });
         let metrics = Registry::new();
         let c = Counters::resolve(&metrics);
@@ -766,6 +903,23 @@ impl IsoServer {
         let report_state = state.clone();
         let metrics_state = state.clone();
         let logger = opts.logger.clone();
+        #[cfg(target_os = "linux")]
+        let accept_loop = if opts.reactor_threads > 0 {
+            crate::reactor::spawn(
+                listener,
+                state,
+                crate::reactor::ReactorConfig {
+                    reactors: opts.reactor_threads,
+                    workers: opts.reactor_workers,
+                    outbound_budget: opts.outbound_budget.max(1),
+                },
+            )?
+        } else {
+            std::thread::Builder::new()
+                .name("oociso-accept".to_string())
+                .spawn(move || accept_loop(listener, state))?
+        };
+        #[cfg(not(target_os = "linux"))]
         let accept_loop = std::thread::Builder::new()
             .name("oociso-accept".to_string())
             .spawn(move || accept_loop(listener, state))?;
@@ -805,6 +959,7 @@ impl IsoServer {
     /// accept loop. Returns the final counters.
     pub fn drain(mut self, deadline: Duration) -> ServerReport {
         self.ctl.draining.store(true, Ordering::SeqCst);
+        self.ctl.wake_all();
         let t0 = Instant::now();
         while self.ctl.live.load(Ordering::SeqCst) > 0 && t0.elapsed() < deadline {
             std::thread::sleep(Duration::from_millis(2));
@@ -822,6 +977,7 @@ impl IsoServer {
             );
         }
         self.ctl.shutdown.store(true, Ordering::SeqCst);
+        self.ctl.wake_all();
         if let Some(h) = self.accept_loop.take() {
             let _ = h.join();
         }
@@ -839,7 +995,7 @@ impl IsoServer {
 /// `EMFILE`/`ENFILE`: the process or system is out of file descriptors.
 /// Accepting will keep failing until something closes, so the loop must back
 /// off instead of spinning at full speed burning the log and the CPU.
-fn fd_exhausted(e: &io::Error) -> bool {
+pub(crate) fn fd_exhausted(e: &io::Error) -> bool {
     matches!(e.raw_os_error(), Some(23) | Some(24)) // ENFILE | EMFILE
 }
 
@@ -847,7 +1003,12 @@ fn fd_exhausted(e: &io::Error) -> bool {
 /// failure, but the structured warning fires once per starvation *episode* —
 /// `starved` stays set until a successful accept resets it, so a wedged
 /// process emits one log line, not one per 100 ms of backoff.
-fn note_fd_exhaustion(backoffs: &Counter, logger: &Logger, e: &io::Error, starved: &mut bool) {
+pub(crate) fn note_fd_exhaustion(
+    backoffs: &Counter,
+    logger: &Logger,
+    e: &io::Error,
+    starved: &mut bool,
+) {
     backoffs.inc();
     if !*starved {
         *starved = true;
@@ -864,52 +1025,74 @@ fn accept_loop<S: ScalarValue>(listener: TcpListener, state: Arc<State<S>>) {
     let ctl = state.ctl.clone();
     let mut fd_starved = false;
     while !ctl.shutdown.load(Ordering::SeqCst) && !ctl.draining.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                fd_starved = false;
-                state.c.connections.inc();
-                let over = state
-                    .max_connections
-                    .is_some_and(|cap| ctl.live.load(Ordering::SeqCst) >= cap as u64);
-                if over {
-                    // over the cap: a short-lived handler answers one
-                    // ERR_BUSY (at whatever version the client speaks) and
-                    // closes — honest shedding, not a silent drop. It does
-                    // not count toward `live`, so shed handlers can never
-                    // starve real ones.
-                    let state = state.clone();
-                    let _ = std::thread::Builder::new()
-                        .name("oociso-shed".to_string())
-                        .spawn(move || {
-                            let _ = shed_connection(stream, &state);
-                        });
-                    continue;
+        // drain the whole backlog before parking: a burst of K simultaneous
+        // connects is accepted in one pass, not serialized behind one 2 ms
+        // park per connection
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    fd_starved = false;
+                    accept_one(stream, &state);
                 }
-                ctl.live.fetch_add(1, Ordering::SeqCst);
-                let state = state.clone();
-                let spawned = std::thread::Builder::new()
-                    .name("oociso-conn".to_string())
-                    .spawn(move || {
-                        // connection errors (peer vanished mid-frame) end the
-                        // handler; the server itself is unaffected
-                        let _ = handle_connection(stream, &state);
-                        state.ctl.live.fetch_sub(1, Ordering::SeqCst);
-                    });
-                if spawned.is_err() {
-                    // thread exhaustion: the connection is dropped, but the
-                    // gauge must not leak or the cap wedges shut
-                    ctl.live.fetch_sub(1, Ordering::SeqCst);
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if fd_exhausted(&e) => {
+                    note_fd_exhaustion(
+                        &state.c.accept_backoffs,
+                        &state.logger,
+                        &e,
+                        &mut fd_starved,
+                    );
+                    std::thread::park_timeout(Duration::from_millis(100));
+                    break;
+                }
+                Err(_) => {
+                    std::thread::park_timeout(Duration::from_millis(10));
+                    break;
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::park_timeout(Duration::from_millis(2));
-            }
-            Err(e) if fd_exhausted(&e) => {
-                note_fd_exhaustion(&state.c.accept_backoffs, &state.logger, &e, &mut fd_starved);
-                std::thread::park_timeout(Duration::from_millis(100));
-            }
-            Err(_) => std::thread::park_timeout(Duration::from_millis(10)),
         }
+        std::thread::park_timeout(Duration::from_millis(2));
+    }
+}
+
+/// Hand one freshly accepted connection to its handler thread (or the shed
+/// path when over the connection cap).
+fn accept_one<S: ScalarValue>(stream: TcpStream, state: &Arc<State<S>>) {
+    let ctl = &state.ctl;
+    state.c.connections.inc();
+    let over = state
+        .max_connections
+        .is_some_and(|cap| ctl.live.load(Ordering::SeqCst) >= cap as u64);
+    if over {
+        // over the cap: a short-lived handler answers one ERR_BUSY (at
+        // whatever version the client speaks) and closes — honest
+        // shedding, not a silent drop. It does not count toward `live`,
+        // so shed handlers can never starve real ones.
+        let state = state.clone();
+        let _ = std::thread::Builder::new()
+            .name("oociso-shed".to_string())
+            .spawn(move || {
+                let _ = shed_connection(stream, &state);
+            });
+        return;
+    }
+    ctl.live.fetch_add(1, Ordering::SeqCst);
+    let state = state.clone();
+    let spawned = std::thread::Builder::new()
+        .name("oociso-conn".to_string())
+        .spawn({
+            let state = state.clone();
+            move || {
+                // connection errors (peer vanished mid-frame) end the
+                // handler; the server itself is unaffected
+                let _ = handle_connection(stream, &state);
+                state.ctl.live.fetch_sub(1, Ordering::SeqCst);
+            }
+        });
+    if spawned.is_err() {
+        // thread exhaustion: the connection is dropped, but the
+        // gauge must not leak or the cap wedges shut
+        state.ctl.live.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -955,14 +1138,34 @@ fn shed_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) -> i
 // one transient `Reply` per handled request — the `Message` variant's
 // inline size never accumulates, so boxing would only add indirection
 #[allow(clippy::large_enum_variant)]
-enum Reply {
+pub(crate) enum Reply {
     Msg(Message),
     Encoded(Vec<u8>),
 }
 
-/// Granularity at which a parked handler re-checks the drain/shutdown flags
-/// and its idle budget while waiting for the next frame.
-const POLL_TICK: Duration = Duration::from_millis(25);
+impl Reply {
+    /// Encode at the client's dialect, booking the error counter exactly as
+    /// the threaded core does — both serving cores finish a reply here.
+    pub(crate) fn finalize<S: ScalarValue>(self, state: &State<S>, version: u16) -> Vec<u8> {
+        if matches!(self, Reply::Msg(Message::Error { .. })) {
+            state.c.errors.inc();
+        }
+        match self {
+            Reply::Msg(msg) => encode_frame_at(version, &msg),
+            Reply::Encoded(bytes) => bytes,
+        }
+    }
+}
+
+/// Granularity at which a parked handler re-checks the drain/shutdown
+/// flags while waiting for the next frame. This tick bounds only how fast a
+/// *drain* takes effect on an idle connection — never data latency: the
+/// blocking read below returns the moment a byte arrives, and the idle
+/// deadline is enforced from its true remainder, not quantized to ticks.
+/// (The previous 25 ms tick was also harmless to data latency for the same
+/// reason, but computing the real remainder makes that property explicit
+/// and lets the flag tick be coarse.)
+const FLAG_TICK: Duration = Duration::from_millis(100);
 
 /// Why the frame-boundary wait ended without a frame.
 enum Boundary {
@@ -983,7 +1186,7 @@ fn is_timeout(e: &io::Error) -> bool {
 }
 
 /// The wire trace id a request carries, if its type can carry one.
-fn request_trace_id(msg: &Message) -> u64 {
+pub(crate) fn request_trace_id(msg: &Message) -> u64 {
     match msg {
         Message::MeshRequest { trace_id, .. } | Message::FrameRequest { trace_id, .. } => *trace_id,
         _ => 0,
@@ -1017,32 +1220,38 @@ fn send_reply<S: ScalarValue>(
     }
 }
 
-/// Park at a frame boundary until the next request's first byte arrives,
-/// polling in [`POLL_TICK`] slices so drain/shutdown take effect promptly
-/// and idle time is metered. Returns the byte so the frame reader can
-/// prepend it.
+/// Park at a frame boundary until the next request's first byte arrives.
+/// The socket read blocks for the *true* remaining idle budget (capped by
+/// [`FLAG_TICK`] only so drain/shutdown stay responsive): data wakes it
+/// immediately, the idle deadline fires at its actual remainder. Returns
+/// the byte so the frame reader can prepend it.
 fn wait_for_frame<S: ScalarValue>(
     stream: &mut TcpStream,
     state: &State<S>,
 ) -> io::Result<Boundary> {
-    stream.set_read_timeout(Some(POLL_TICK))?;
     let parked = Instant::now();
     let mut byte = [0u8; 1];
     loop {
         if state.ctl.shutdown.load(Ordering::SeqCst) || state.ctl.draining.load(Ordering::SeqCst) {
             return Ok(Boundary::Close);
         }
+        let wait = match state.idle_timeout {
+            Some(idle) => {
+                let remaining = idle.saturating_sub(parked.elapsed());
+                if remaining.is_zero() {
+                    state.c.timed_out.inc();
+                    return Ok(Boundary::Close);
+                }
+                remaining.min(FLAG_TICK)
+            }
+            None => FLAG_TICK,
+        };
+        // set_read_timeout(0) would mean "block forever"; floor at 1 ms
+        stream.set_read_timeout(Some(wait.max(Duration::from_millis(1))))?;
         match stream.read(&mut byte) {
             Ok(0) => return Ok(Boundary::Close),
             Ok(_) => return Ok(Boundary::Frame(byte[0])),
-            Err(e) if is_timeout(&e) => {
-                if let Some(idle) = state.idle_timeout {
-                    if parked.elapsed() >= idle {
-                        state.c.timed_out.inc();
-                        return Ok(Boundary::Close);
-                    }
-                }
-            }
+            Err(e) if is_timeout(&e) => {}
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
@@ -1076,7 +1285,10 @@ impl Read for Prefixed<'_> {
 /// payload allocation. Every reply frame is stamped with the protocol
 /// version the request spoke, so older clients keep parsing a v3 server's
 /// answers.
-fn handle_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) -> io::Result<()> {
+fn handle_connection<S: ScalarValue>(
+    mut stream: TcpStream,
+    state: &Arc<State<S>>,
+) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_write_timeout(state.write_timeout)?;
     loop {
@@ -1144,14 +1356,8 @@ fn handle_connection<S: ScalarValue>(mut stream: TcpStream, state: &State<S>) ->
                 root.field("msg_type", msg.msg_type() as u64);
                 root.field("version", version as u64);
                 let reply = respond(state, msg, version, &trace, &root);
-                if matches!(reply, Reply::Msg(Message::Error { .. })) {
-                    state.c.errors.inc();
-                }
                 let t_enc = Instant::now();
-                let frame_bytes = match reply {
-                    Reply::Msg(msg) => encode_frame_at(version, &msg),
-                    Reply::Encoded(bytes) => bytes,
-                };
+                let frame_bytes = reply.finalize(state, version);
                 root.annotate(
                     "encode",
                     t_enc.elapsed(),
@@ -1195,7 +1401,7 @@ const MAX_FRAME_PIXELS: usize = 8 << 20;
 
 /// The structured overload reply (v3 clients additionally get the hint as a
 /// typed field; for older dialects it survives in the detail text).
-fn busy_reply(context: &str, retry_after_ms: u32) -> Message {
+pub(crate) fn busy_reply(context: &str, retry_after_ms: u32) -> Message {
     Message::Error {
         code: ERR_BUSY,
         detail: format!("{context}; retry in {retry_after_ms} ms"),
@@ -1203,12 +1409,183 @@ fn busy_reply(context: &str, retry_after_ms: u32) -> Message {
     }
 }
 
+/// Validate a mesh request's LOD and backend selector. `Err` is the error
+/// reply to send; the connection survives either rejection.
+// the Err is a ready-to-send reply by design; it is moved straight into the
+// response path, never propagated through fallible call chains
+#[allow(clippy::result_large_err)]
+pub(crate) fn validate_mesh_request<S: ScalarValue>(
+    state: &State<S>,
+    lod: u16,
+    backend: Option<u8>,
+) -> Result<Backend, Reply> {
+    if lod >= state.levels() {
+        return Err(Reply::Msg(Message::Error {
+            code: ERR_BAD_LOD,
+            detail: format!(
+                "lod {lod} out of range: server has {} level(s)",
+                state.levels()
+            ),
+            retry_after_ms: None,
+        }));
+    }
+    // absent selector (every pre-v4 request) = the server default;
+    // an unknown id is rejected structurally, connection kept
+    match backend {
+        None => Ok(state.default_backend),
+        Some(id) => Backend::from_id(id).ok_or_else(|| {
+            Reply::Msg(Message::Error {
+                code: ERR_BAD_BACKEND,
+                detail: format!(
+                    "unknown backend id {id}: server knows {}",
+                    Backend::ALL
+                        .iter()
+                        .map(|b| format!("{} ({})", b.id(), b.name()))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                retry_after_ms: None,
+            })
+        }),
+    }
+}
+
+/// Validate a frame request's viewport/tiling. `Some` is the rejection.
+pub(crate) fn validate_frame_request(params: &FrameParams) -> Option<Reply> {
+    let (w, h) = (params.width as usize, params.height as usize);
+    let (cols, rows) = (params.tile_cols as usize, params.tile_rows as usize);
+    if w == 0
+        || h == 0
+        || w.saturating_mul(h) > MAX_FRAME_PIXELS
+        || cols == 0
+        || rows == 0
+        || w % cols != 0
+        || h % rows != 0
+    {
+        return Some(Reply::Msg(Message::Error {
+            code: ERR_MALFORMED,
+            detail: format!(
+                "bad viewport {w}x{h} in {cols}x{rows} tiles (pixel cap {MAX_FRAME_PIXELS})"
+            ),
+            retry_after_ms: None,
+        }));
+    }
+    None
+}
+
+/// The `ERR_INTERNAL` reply for a failed extraction.
+pub(crate) fn internal_error_reply(e: &io::Error) -> Reply {
+    Reply::Msg(Message::Error {
+        code: ERR_INTERNAL,
+        detail: format!("extraction failed: {e}"),
+        retry_after_ms: None,
+    })
+}
+
+/// Turn a decided mesh outcome into its reply — both serving cores funnel
+/// through here, so region filtering, the borrowed-mesh encode path, and
+/// the trace-id echo cannot diverge between them.
+pub(crate) fn mesh_outcome_reply(
+    outcome: MeshOutcome,
+    region: Option<Region>,
+    backend: Backend,
+    trace_id: u64,
+    version: u16,
+) -> Reply {
+    match outcome {
+        // no region: serialize straight from the shared cached mesh
+        MeshOutcome::Serve {
+            surface,
+            cache_hit,
+            served_lod,
+            degraded,
+        } => match region {
+            None => Reply::Encoded(encode_mesh_response_frame(
+                cache_hit,
+                surface.active_metacells,
+                served_lod,
+                degraded,
+                backend.id(),
+                trace_id,
+                &surface.mesh,
+                version,
+            )),
+            Some(r) => {
+                let (lo, hi) = r.corners();
+                Reply::Msg(Message::MeshResponse {
+                    cache_hit,
+                    active_metacells: surface.active_metacells,
+                    served_lod,
+                    degraded,
+                    backend: backend.id(),
+                    trace_id,
+                    mesh: surface.mesh.filter_region(lo, hi),
+                })
+            }
+        },
+        MeshOutcome::Busy { retry_after_ms } => {
+            Reply::Msg(busy_reply("extraction slots exhausted", retry_after_ms))
+        }
+    }
+}
+
+/// Rasterize an admitted frame request from its resident pyramid — the
+/// render half shared by the threaded core (inline on the connection
+/// thread) and the reactor (on a worker, never the event loop).
+pub(crate) fn frame_render_reply<S: ScalarValue>(
+    state: &State<S>,
+    levels: &[Arc<CachedSurface>],
+    cache_hit: bool,
+    params: &FrameParams,
+    trace_id: u64,
+) -> Reply {
+    let (w, h) = (params.width as usize, params.height as usize);
+    let (cols, rows) = (params.tile_cols as usize, params.tile_rows as usize);
+    let tiles = TileLayout::new(cols, rows, w, h);
+    let full = &levels[0].mesh;
+    let mut regions = Vec::with_capacity(tiles.num_tiles());
+    if full.is_empty() {
+        let fb = Framebuffer::new(w, h);
+        regions = tiles.shard(&fb);
+    } else {
+        let bounds = full.bounds();
+        let camera = Camera::orbiting(&bounds, params.azimuth, params.elevation, params.distance);
+        // one LOD level per tile by projected error; each selected level
+        // rasterizes its full framebuffer once, tiles then cut their
+        // region from their level's buffer
+        let errors: Vec<f64> = levels.iter().map(|l| l.world_error).collect();
+        let picks = select_tile_levels(&tiles, &camera, &bounds, &errors, state.lod_tolerance_px);
+        let mut buffers: Vec<Option<Framebuffer>> = Vec::new();
+        buffers.resize_with(levels.len(), || None);
+        for (t, &level) in picks.iter().enumerate() {
+            if buffers[level].is_none() {
+                let mut fb = Framebuffer::new(w, h);
+                rasterize_mesh(&levels[level].mesh, &camera, [0.9, 0.78, 0.5], &mut fb);
+                buffers[level] = Some(fb);
+            }
+            let fb = buffers[level].as_ref().expect("just rasterized");
+            regions.push(oociso_render::FrameRegion::extract(
+                fb,
+                tiles.tile_origin(t),
+                tiles.tile_size(),
+            ));
+        }
+    }
+    Reply::Msg(Message::FrameResponse {
+        cache_hit,
+        width: params.width,
+        height: params.height,
+        regions,
+        trace_id,
+    })
+}
+
 /// Compute the response for one well-formed request spoken at `version`.
 /// Extraction spans land in `trace`; request-level annotations hang off
 /// `root`. The client's trace id (0 when untraced) is echoed on mesh and
 /// frame responses; pre-v5 encoders drop it on the floor.
-fn respond<S: ScalarValue>(
-    state: &State<S>,
+pub(crate) fn respond<S: ScalarValue>(
+    state: &Arc<State<S>>,
     msg: Message,
     version: u16,
     trace: &Trace,
@@ -1223,77 +1600,13 @@ fn respond<S: ScalarValue>(
             trace_id,
         } => {
             state.c.mesh_requests.inc();
-            if lod >= state.levels() {
-                return Reply::Msg(Message::Error {
-                    code: ERR_BAD_LOD,
-                    detail: format!(
-                        "lod {lod} out of range: server has {} level(s)",
-                        state.levels()
-                    ),
-                    retry_after_ms: None,
-                });
-            }
-            // absent selector (every pre-v4 request) = the server default;
-            // an unknown id is rejected structurally, connection kept
-            let backend = match backend {
-                None => state.default_backend,
-                Some(id) => match Backend::from_id(id) {
-                    Some(b) => b,
-                    None => {
-                        return Reply::Msg(Message::Error {
-                            code: ERR_BAD_BACKEND,
-                            detail: format!(
-                                "unknown backend id {id}: server knows {}",
-                                Backend::ALL
-                                    .iter()
-                                    .map(|b| format!("{} ({})", b.id(), b.name()))
-                                    .collect::<Vec<_>>()
-                                    .join(", ")
-                            ),
-                            retry_after_ms: None,
-                        })
-                    }
-                },
+            let backend = match validate_mesh_request(state, lod, backend) {
+                Ok(b) => b,
+                Err(reply) => return reply,
             };
             match state.surface(iso, backend, lod, trace, root) {
-                // no region: serialize straight from the shared cached mesh
-                Ok(MeshOutcome::Serve {
-                    surface,
-                    cache_hit,
-                    served_lod,
-                    degraded,
-                }) => match region {
-                    None => Reply::Encoded(encode_mesh_response_frame(
-                        cache_hit,
-                        surface.active_metacells,
-                        served_lod,
-                        degraded,
-                        backend.id(),
-                        trace_id,
-                        &surface.mesh,
-                        version,
-                    )),
-                    Some(r) => {
-                        let (lo, hi) = r.corners();
-                        Reply::Msg(Message::MeshResponse {
-                            cache_hit,
-                            active_metacells: surface.active_metacells,
-                            served_lod,
-                            degraded,
-                            backend: backend.id(),
-                            trace_id,
-                            mesh: surface.mesh.filter_region(lo, hi),
-                        })
-                    }
-                },
-                Ok(MeshOutcome::Busy { retry_after_ms }) => {
-                    Reply::Msg(busy_reply("extraction slots exhausted", retry_after_ms))
-                }
-                Err(e) => Reply::Msg(Message::Error {
-                    code: ERR_INTERNAL,
-                    detail: format!("extraction failed: {e}"),
-                    retry_after_ms: None,
-                }),
+                Ok(outcome) => mesh_outcome_reply(outcome, region, backend, trace_id, version),
+                Err(e) => internal_error_reply(&e),
             }
         }
         Message::FrameRequest {
@@ -1302,89 +1615,17 @@ fn respond<S: ScalarValue>(
             trace_id,
         } => {
             state.c.frame_requests.inc();
-            let (w, h) = (params.width as usize, params.height as usize);
-            let (cols, rows) = (params.tile_cols as usize, params.tile_rows as usize);
-            if w == 0
-                || h == 0
-                || w.saturating_mul(h) > MAX_FRAME_PIXELS
-                || cols == 0
-                || rows == 0
-                || w % cols != 0
-                || h % rows != 0
-            {
-                return Reply::Msg(Message::Error {
-                    code: ERR_MALFORMED,
-                    detail: format!(
-                        "bad viewport {w}x{h} in {cols}x{rows} tiles (pixel cap {MAX_FRAME_PIXELS})"
-                    ),
-                    retry_after_ms: None,
-                });
+            if let Some(reply) = validate_frame_request(&params) {
+                return reply;
             }
             match state.all_levels(iso, trace, root) {
                 Ok(FrameOutcome::Serve { levels, cache_hit }) => {
-                    let tiles = TileLayout::new(cols, rows, w, h);
-                    let full = &levels[0].mesh;
-                    let mut regions = Vec::with_capacity(tiles.num_tiles());
-                    if full.is_empty() {
-                        let fb = Framebuffer::new(w, h);
-                        regions = tiles.shard(&fb);
-                    } else {
-                        let bounds = full.bounds();
-                        let camera = Camera::orbiting(
-                            &bounds,
-                            params.azimuth,
-                            params.elevation,
-                            params.distance,
-                        );
-                        // one LOD level per tile by projected error; each
-                        // selected level rasterizes its full framebuffer
-                        // once, tiles then cut their region from their
-                        // level's buffer
-                        let errors: Vec<f64> = levels.iter().map(|l| l.world_error).collect();
-                        let picks = select_tile_levels(
-                            &tiles,
-                            &camera,
-                            &bounds,
-                            &errors,
-                            state.lod_tolerance_px,
-                        );
-                        let mut buffers: Vec<Option<Framebuffer>> = Vec::new();
-                        buffers.resize_with(levels.len(), || None);
-                        for (t, &level) in picks.iter().enumerate() {
-                            if buffers[level].is_none() {
-                                let mut fb = Framebuffer::new(w, h);
-                                rasterize_mesh(
-                                    &levels[level].mesh,
-                                    &camera,
-                                    [0.9, 0.78, 0.5],
-                                    &mut fb,
-                                );
-                                buffers[level] = Some(fb);
-                            }
-                            let fb = buffers[level].as_ref().expect("just rasterized");
-                            regions.push(oociso_render::FrameRegion::extract(
-                                fb,
-                                tiles.tile_origin(t),
-                                tiles.tile_size(),
-                            ));
-                        }
-                    }
-                    Reply::Msg(Message::FrameResponse {
-                        cache_hit,
-                        width: params.width,
-                        height: params.height,
-                        regions,
-                        trace_id,
-                    })
+                    frame_render_reply(state, &levels, cache_hit, &params, trace_id)
                 }
                 Ok(FrameOutcome::Busy { retry_after_ms }) => {
                     Reply::Msg(busy_reply("extraction slots exhausted", retry_after_ms))
                 }
-                Err(e) => Reply::Msg(Message::Error {
-                    code: ERR_INTERNAL,
-                    detail: format!("extraction failed: {e}"),
-                    retry_after_ms: None,
-                }),
+                Err(e) => internal_error_reply(&e),
             }
         }
         Message::StatsRequest => {
@@ -1444,5 +1685,20 @@ mod tests {
         assert_eq!(backoffs.get(), 6);
         assert_eq!(sink.named("accept_backoff").len(), 2);
         assert_eq!(sink.count_at(Level::Warn), 2);
+    }
+
+    // the cold-start contract: with no miss samples the EWMA reads 0, and a
+    // shed client must still be told to wait the documented floor — never
+    // "retry in 0 ms", which would synchronize a re-storm
+    #[test]
+    fn retry_hint_cold_start_clamps_to_floor() {
+        assert_eq!(clamp_retry_hint(0), RETRY_HINT_FLOOR_MS as u32);
+        assert_eq!(clamp_retry_hint(1), RETRY_HINT_FLOOR_MS as u32);
+        assert_eq!(
+            clamp_retry_hint(RETRY_HINT_FLOOR_MS),
+            RETRY_HINT_FLOOR_MS as u32
+        );
+        assert_eq!(clamp_retry_hint(500), 500);
+        assert_eq!(clamp_retry_hint(u64::MAX), RETRY_HINT_CEIL_MS as u32);
     }
 }
