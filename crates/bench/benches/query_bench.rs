@@ -364,6 +364,91 @@ fn bench_client_storm(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+fn bench_isovalue_scrub(c: &mut Criterion) {
+    // the interactive scrub speculative warming exists for: one client
+    // sweeps 8 isovalues 5.0 apart, dwelling ~60 ms on each stop (a human
+    // dragging a slider), against a cold server. Measured time is the *sum
+    // of per-stop query latencies* — dwell excluded — so the group prices
+    // exactly what the user feels. With `warm_delta` matching the scrub
+    // step, each miss extracts the next stop's pyramid on an idle spare
+    // slot during the dwell, converting roughly every other stop from a
+    // full extraction into a cache hit; the cold config pays a miss at
+    // every stop. A fresh server (empty cache) per iteration keeps the
+    // comparison honest.
+    use oociso_core::{ClusterDatabase, PreprocessOptions};
+    use oociso_serve::{Client, IsoServer, ServeOptions};
+    let dims = Dims3::new(48, 48, 44);
+    let vol = RmProxy::with_seed(7).volume(200, dims);
+    let dir = std::env::temp_dir().join(format!("oociso_qbench_scrub_{}", std::process::id()));
+    ClusterDatabase::preprocess(&vol, &dir, &PreprocessOptions::default()).unwrap();
+    let stops: Vec<f32> = (0..8).map(|i| 90.0 + 5.0 * i as f32).collect();
+    let dwell = Duration::from_millis(60);
+
+    // one-time sanity pass outside the measurement loop: the warmed scrub
+    // really does serve δ-neighbors from cache
+    {
+        let db = ClusterDatabase::<u8>::open(&dir, true).unwrap();
+        let server = IsoServer::bind(
+            db,
+            ("127.0.0.1", 0),
+            ServeOptions {
+                warm_delta: Some(5.0),
+                extraction_slots: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let mut hits = 0u32;
+        for &iso in &stops {
+            std::thread::sleep(dwell);
+            if client.query_mesh(iso, None).unwrap().cache_hit {
+                hits += 1;
+            }
+        }
+        server.stop();
+        assert!(
+            hits >= 3,
+            "warmed scrub must hit δ-neighbors (got {hits}/8)"
+        );
+    }
+
+    let mut group = c.benchmark_group("isovalue_scrub");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stops.len() as u64));
+    for (name, warm_delta) in [("cold", None), ("warmed", Some(5.0f32))] {
+        group.bench_function(BenchmarkId::new("scrub_8x5", name), |b| {
+            b.iter_custom(|iters| {
+                let mut served = Duration::ZERO;
+                for _ in 0..iters {
+                    let db = ClusterDatabase::<u8>::open(&dir, true).unwrap();
+                    let server = IsoServer::bind(
+                        db,
+                        ("127.0.0.1", 0),
+                        ServeOptions {
+                            warm_delta,
+                            extraction_slots: Some(2),
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    let mut client = Client::connect(server.addr()).unwrap();
+                    for &iso in &stops {
+                        std::thread::sleep(dwell);
+                        let t0 = std::time::Instant::now();
+                        client.query_mesh(iso, None).unwrap();
+                        served += t0.elapsed();
+                    }
+                    server.stop();
+                }
+                served
+            })
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 criterion_group!(
     benches,
     bench_extract,
@@ -373,6 +458,7 @@ criterion_group!(
     bench_decimate,
     bench_admission_storm,
     bench_metrics_overhead,
-    bench_client_storm
+    bench_client_storm,
+    bench_isovalue_scrub
 );
 criterion_main!(benches);

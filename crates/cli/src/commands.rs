@@ -20,13 +20,13 @@ USAGE:
   oociso render     --db DIR --iso V --out FILE.ppm [--size N] [--tiles CxR]
   oociso serve      --db DIR [--addr 127.0.0.1:7077] [--cache-mb N] [--port-file FILE]
                     [--backend mc|surfacenets] [--lods R1,R2|none] [--slots N]
-                    [--max-conns N] [--degrade]
+                    [--max-conns N] [--degrade] [--warm-delta D]
                     [--reactor | --threaded] [--reactor-threads N] [--workers N]
                     [--outbound-budget-mb N]
                     [--read-timeout-ms N] [--idle-timeout-ms N]
                     [--slow-ms N] [--trace-buffer N]
   oociso query      --addr HOST:PORT (--iso V | --stats) [--lod N]
-                    [--backend mc|surfacenets] [--obj FILE]
+                    [--backend mc|surfacenets] [--obj FILE] [--progressive]
                     [--region x0,y0,z0,x1,y1,z1]
                     [--frame FILE.ppm] [--size N] [--tiles CxR] [--stats]
                     [--timeout MS] [--retries N] [--trace [ID]]
@@ -57,7 +57,12 @@ reactor core by default (`--reactor-threads N` event loops, request
 pipelining, bounded per-client outbound queues — `--outbound-budget-mb`);
 `--threaded` falls back to the classic thread-per-connection core, the
 only core on other platforms. `--workers N` sizes the reactor's
-extraction pool.
+extraction pool. `serve --warm-delta D` speculatively pre-extracts v±D
+after each cache-miss at v, using only otherwise-idle extraction slots —
+an isovalue scrub hits the warmed cache instead of extracting. `query
+--progressive` asks for a coarse-to-fine streamed delivery (protocol v6):
+the coarsest cached level renders immediately and each refinement prints
+with its arrival time; the final mesh equals the plain `--lod` reply.
 ";
 
 fn err(e: impl std::fmt::Display) -> String {
@@ -316,6 +321,9 @@ pub fn serve(opts: &Options) -> Result<(), String> {
     let max_connections: Option<u32> = opts.opt_num("max-conns")?;
     let degrade = opts.flag("degrade");
     let backend = backend_opt(opts)?;
+    // `--warm-delta D` turns on speculative cache warming: after each
+    // cache-miss extraction at isovalue v, idle capacity pre-extracts v±D
+    let warm_delta: Option<f32> = opts.opt_num("warm-delta")?;
     let mut serve_opts = oociso_serve::ServeOptions {
         cache_bytes: cache_mb << 20,
         lod_ratios,
@@ -323,6 +331,7 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         max_connections,
         degrade,
         backend,
+        warm_delta,
         ..Default::default()
     };
     if let Some(ms) = opts.opt_num::<u64>("read-timeout-ms")? {
@@ -385,6 +394,9 @@ pub fn serve(opts: &Options) -> Result<(), String> {
             max_connections.map_or("none".into(), |n| n.to_string()),
             if degrade { "on" } else { "off" }
         );
+    }
+    if let Some(delta) = warm_delta {
+        println!("warming: speculative extraction of v±{delta} after each cache miss");
     }
     server.park()
 }
@@ -472,7 +484,30 @@ fn query_iso(
                 .map_err(|e| format!("--backend: {e}"))?,
         ),
     };
-    let reply = if trace_id != 0 {
+    let reply = if opts.flag("progressive") {
+        // --progressive streams the LOD pyramid coarsest-first (protocol
+        // v6), printing each refinement as it lands
+        if region.is_some() {
+            return Err("--progressive cannot be combined with --region".into());
+        }
+        if trace_id != 0 {
+            return Err("--progressive cannot be combined with --trace".into());
+        }
+        println!("isovalue {iso}, progressive -> lod {lod}:");
+        client
+            .query_mesh_progressive(iso, lod, backend, |u| {
+                println!(
+                    "  +{:.3}s  level {}: {} triangles ({} vertices) [{}, {} on the wire]",
+                    t.elapsed().as_secs_f64(),
+                    u.level,
+                    u.mesh.len(),
+                    u.mesh.num_vertices(),
+                    if u.cache_hit { "cached" } else { "extracted" },
+                    if u.delta { "delta" } else { "full" },
+                );
+            })
+            .map_err(err)?
+    } else if trace_id != 0 {
         client
             .query_mesh_traced(iso, region, lod, backend, trace_id)
             .map_err(err)?

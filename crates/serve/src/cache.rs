@@ -61,7 +61,14 @@ pub struct CacheStats {
     pub backend_hits: [u64; NUM_BACKENDS],
     /// Misses per extraction backend; sums to `misses`.
     pub backend_misses: [u64; NUM_BACKENDS],
+    /// Hits on entries inserted by speculative warming that had not yet
+    /// been touched by real traffic — the warming engine's payoff counter
+    /// (each warmed entry is counted at most once, on its first hit).
+    pub speculative_hits: u64,
 }
+
+/// The cache's composite key: `(isovalue bits, backend id, LOD level)`.
+type CacheKey = (u32, u8, u16);
 
 /// A byte-budgeted LRU map from `(isovalue bits, backend id, LOD level)` to
 /// extraction results.
@@ -72,8 +79,11 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct ResultCache {
     budget_bytes: u64,
-    /// `(key, entry)` pairs ordered least→most recently used.
-    entries: Vec<((u32, u8, u16), Arc<CachedSurface>)>,
+    /// `(key, entry, speculative)` triples ordered least→most recently
+    /// used. The flag marks entries inserted by speculative warming that no
+    /// real request has touched yet; warming inserts sit *behind* real
+    /// traffic's recency and are the first evicted.
+    entries: Vec<(CacheKey, Arc<CachedSurface>, bool)>,
     resident_bytes: u64,
     stats: CacheStats,
 }
@@ -110,11 +120,17 @@ impl ResultCache {
     /// on a hit.
     pub fn get(&mut self, iso: f32, backend: u8, lod: u16) -> Option<Arc<CachedSurface>> {
         let key = (iso.to_bits(), backend, lod);
-        match self.entries.iter().position(|(k, _)| *k == key) {
+        match self.entries.iter().position(|(k, ..)| *k == key) {
             Some(i) => {
-                let pair = self.entries.remove(i);
-                let hit = pair.1.clone();
-                self.entries.push(pair);
+                let mut entry = self.entries.remove(i);
+                let hit = entry.1.clone();
+                if entry.2 {
+                    // first real touch of a warmed entry: count the payoff
+                    // once and promote it to a regular resident
+                    self.stats.speculative_hits += 1;
+                    entry.2 = false;
+                }
+                self.entries.push(entry);
                 self.stats.hits += 1;
                 self.stats.lod_hits[level_slot(lod)] += 1;
                 self.stats.backend_hits[backend_slot(backend)] += 1;
@@ -137,8 +153,8 @@ impl ResultCache {
         let key = (iso.to_bits(), backend, lod);
         self.entries
             .iter()
-            .find(|(k, _)| *k == key)
-            .map(|(_, e)| e.clone())
+            .find(|(k, ..)| *k == key)
+            .map(|(_, e, _)| e.clone())
     }
 
     /// Count a lookup outcome against `backend`/`lod` without probing
@@ -183,9 +199,9 @@ impl ResultCache {
     /// counter. No-op when absent.
     pub fn touch(&mut self, iso: f32, backend: u8, lod: u16) {
         let key = (iso.to_bits(), backend, lod);
-        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
-            let pair = self.entries.remove(i);
-            self.entries.push(pair);
+        if let Some(i) = self.entries.iter().position(|(k, ..)| *k == key) {
+            let entry = self.entries.remove(i);
+            self.entries.push(entry);
         }
     }
 
@@ -204,9 +220,9 @@ impl ResultCache {
         let key = (iso.to_bits(), backend, lod);
         let surface = Arc::new(surface);
         let bytes = surface.bytes();
-        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+        if let Some(i) = self.entries.iter().position(|(k, ..)| *k == key) {
             // concurrent miss on the same isovalue: keep the newer result
-            let (_, old) = self.entries.remove(i);
+            let (_, old, _) = self.entries.remove(i);
             self.resident_bytes -= old.bytes();
         }
         if bytes > self.budget_bytes {
@@ -215,11 +231,65 @@ impl ResultCache {
         }
         self.stats.insertions += 1;
         self.resident_bytes += bytes;
-        self.entries.push((key, surface.clone()));
+        self.entries.push((key, surface.clone(), false));
         while self.resident_bytes > self.budget_bytes {
-            let (_, evicted) = self.entries.remove(0);
+            let (_, evicted, _) = self.entries.remove(0);
             self.resident_bytes -= evicted.bytes();
             self.stats.evictions += 1;
+        }
+        self.refresh_gauges();
+        surface
+    }
+
+    /// Insert a speculatively warmed result *behind* the recency of real
+    /// traffic: the entry goes in at the cold end of the LRU order (after
+    /// any older speculative entries), so it is evicted before anything a
+    /// real request touched. A speculative insert never evicts real
+    /// traffic to make room — when the spare budget cannot hold it even
+    /// after evicting colder speculative entries, the new entry itself is
+    /// dropped. An already-resident result for the key is kept untouched
+    /// (real traffic may have raced the warmer and its entry is fresher in
+    /// every sense).
+    pub fn insert_speculative(
+        &mut self,
+        iso: f32,
+        backend: u8,
+        lod: u16,
+        surface: CachedSurface,
+    ) -> Arc<CachedSurface> {
+        let key = (iso.to_bits(), backend, lod);
+        if let Some((_, existing, _)) = self.entries.iter().find(|(k, ..)| *k == key) {
+            return existing.clone();
+        }
+        let surface = Arc::new(surface);
+        let bytes = surface.bytes();
+        if bytes > self.budget_bytes {
+            return surface;
+        }
+        // behind every real entry, but after older speculative ones, so the
+        // oldest warmed result is evicted first
+        let pos = self
+            .entries
+            .iter()
+            .take_while(|(.., speculative)| *speculative)
+            .count();
+        self.entries.insert(pos, (key, surface.clone(), true));
+        self.resident_bytes += bytes;
+        self.stats.insertions += 1;
+        while self.resident_bytes > self.budget_bytes {
+            // victims are speculative entries only, coldest first — the
+            // just-inserted entry is the last candidate and ends the loop
+            match self.entries.iter().position(|(.., spec)| *spec) {
+                Some(i) => {
+                    let (k, evicted, _) = self.entries.remove(i);
+                    self.resident_bytes -= evicted.bytes();
+                    self.stats.evictions += 1;
+                    if k == key {
+                        break;
+                    }
+                }
+                None => break,
+            }
         }
         self.refresh_gauges();
         surface
@@ -394,6 +464,98 @@ mod tests {
         // still evicts 1.0 as the least recently *used*
         c.insert(3.0, 0, 0, surface(1));
         assert!(c.peek(1.0, 0, 0).is_none(), "peek must not refresh recency");
+    }
+
+    #[test]
+    fn speculative_inserts_sit_behind_real_recency() {
+        // budget fits exactly three 1-triangle meshes
+        let mut c = ResultCache::new(144);
+        c.insert(1.0, 0, 0, surface(1));
+        c.insert_speculative(2.0, 0, 0, surface(1));
+        c.insert(3.0, 0, 0, surface(1));
+        // the speculative entry is coldest even though it was inserted
+        // between the two real ones: the next insert evicts it, not 1.0
+        c.insert(4.0, 0, 0, surface(1));
+        assert!(c.peek(2.0, 0, 0).is_none(), "warmed entry evicted first");
+        assert!(c.peek(1.0, 0, 0).is_some(), "real traffic survives");
+        assert!(c.peek(3.0, 0, 0).is_some());
+    }
+
+    #[test]
+    fn speculative_hit_is_counted_once_then_promoted() {
+        let mut c = ResultCache::new(10_000);
+        c.insert_speculative(1.0, 0, 0, surface(1));
+        assert_eq!(c.stats().speculative_hits, 0, "insertion is not a hit");
+        assert!(c.get(1.0, 0, 0).is_some());
+        assert_eq!(c.stats().speculative_hits, 1, "first touch pays off");
+        assert!(c.get(1.0, 0, 0).is_some());
+        let s = c.stats();
+        assert_eq!(s.speculative_hits, 1, "payoff is counted exactly once");
+        assert_eq!(s.hits, 2, "both lookups are still regular hits");
+        // promoted: now ordinary recency — a later speculative insert is
+        // evicted ahead of it
+        let mut c = ResultCache::new(96);
+        c.insert_speculative(1.0, 0, 0, surface(1));
+        assert!(c.get(1.0, 0, 0).is_some()); // promote
+        c.insert_speculative(2.0, 0, 0, surface(1));
+        c.insert(3.0, 0, 0, surface(1));
+        assert!(
+            c.peek(1.0, 0, 0).is_some(),
+            "promoted entry now outranks later speculative inserts"
+        );
+        assert!(
+            c.peek(2.0, 0, 0).is_none(),
+            "unpromoted speculative evicted"
+        );
+        assert!(c.peek(3.0, 0, 0).is_some());
+    }
+
+    #[test]
+    fn speculative_insert_never_evicts_real_traffic() {
+        // budget exactly holds the two real entries
+        let mut c = ResultCache::new(96);
+        c.insert(1.0, 0, 0, surface(1));
+        c.insert(2.0, 0, 0, surface(1));
+        let evictions_before = c.stats().evictions;
+        c.insert_speculative(3.0, 0, 0, surface(1));
+        assert!(c.peek(1.0, 0, 0).is_some(), "real entry survives warming");
+        assert!(c.peek(2.0, 0, 0).is_some(), "real entry survives warming");
+        assert!(
+            c.peek(3.0, 0, 0).is_none(),
+            "no spare budget: the warmed entry itself is dropped"
+        );
+        // colder speculative entries are fair game, though
+        let mut c = ResultCache::new(96);
+        c.insert_speculative(1.0, 0, 0, surface(1));
+        c.insert(2.0, 0, 0, surface(1));
+        c.insert_speculative(3.0, 0, 0, surface(1));
+        assert!(c.peek(1.0, 0, 0).is_none(), "older speculative evicted");
+        assert!(c.peek(2.0, 0, 0).is_some());
+        assert!(c.peek(3.0, 0, 0).is_some());
+        let _ = evictions_before;
+    }
+
+    #[test]
+    fn speculative_insert_keeps_an_existing_resident_entry() {
+        let mut c = ResultCache::new(10_000);
+        c.insert(1.0, 0, 0, surface(2));
+        let got = c.insert_speculative(1.0, 0, 0, surface(1));
+        assert_eq!(got.mesh.len(), 2, "the resident (real) result wins");
+        assert!(c.get(1.0, 0, 0).is_some());
+        assert_eq!(
+            c.stats().speculative_hits,
+            0,
+            "entry never became speculative"
+        );
+    }
+
+    #[test]
+    fn oversized_speculative_insert_passes_through() {
+        let mut c = ResultCache::new(100);
+        let arc = c.insert_speculative(5.0, 0, 0, surface(10)); // 480 B
+        assert_eq!(arc.mesh.len(), 10);
+        assert_eq!(c.stats().resident_entries, 0);
+        assert!(c.peek(5.0, 0, 0).is_none());
     }
 
     #[test]

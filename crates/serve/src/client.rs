@@ -22,8 +22,8 @@
 //! `ERR_BUSY` from a malformed request without string matching.
 
 use crate::protocol::{
-    encode_frame_raw, read_frame, write_frame, FrameIn, FrameParams, Message, Region, ServerReport,
-    TraceEvent, ERR_BUSY,
+    encode_frame_raw, read_frame, write_frame, ChunkBody, FrameIn, FrameParams, Message, Region,
+    ServerReport, TraceEvent, ERR_BUSY,
 };
 use oociso_march::{Backend, IndexedMesh};
 use oociso_render::Framebuffer;
@@ -53,6 +53,22 @@ pub struct MeshReply {
     /// 0 from pre-v5 servers). A nonzero echo can be handed to
     /// [`Client::trace`] to pull the request's span tree.
     pub trace_id: u64,
+}
+
+/// One refinement step of a progressive mesh delivery (protocol v6),
+/// handed to the [`Client::query_mesh_progressive`] callback as each chunk
+/// arrives and is reconstructed.
+#[derive(Debug)]
+pub struct ProgressiveUpdate<'a> {
+    /// The LOD pyramid level this chunk refined the surface to.
+    pub level: u16,
+    /// Whether the server served this level from its result cache.
+    pub cache_hit: bool,
+    /// Whether the level crossed the wire as a collapse-record delta
+    /// against the previous chunk (false = full mesh).
+    pub delta: bool,
+    /// The level's complete reconstructed mesh.
+    pub mesh: &'a IndexedMesh,
 }
 
 /// A decoded framebuffer reply.
@@ -111,6 +127,10 @@ impl ServerError {
         e.get_ref().and_then(|inner| inner.downcast_ref())
     }
 }
+
+/// The minimum delay before any retry, whatever the server's hint or the
+/// configured base backoff say. See [`Client::backoff_delay`].
+const BACKOFF_FLOOR: Duration = Duration::from_millis(25);
 
 /// Lift a server error frame into an `io::Error` carrying the typed code.
 fn server_error(code: u16, detail: String, retry_after_ms: Option<u32>) -> io::Error {
@@ -279,13 +299,20 @@ impl Client {
     /// `opts.backoff`, capped at `opts.backoff_max`, floored by the
     /// server's hint when present, then equal-jittered into
     /// `[base/2, base)` so synchronized clients spread out.
+    ///
+    /// Never below [`BACKOFF_FLOOR`]: a server whose hint EWMA reads 0 ms
+    /// (or a pre-v3 server sending hintless `ERR_BUSY`, combined with
+    /// `opts.backoff` configured to zero) must not spin the client into a
+    /// hot retry loop against a peer that just declared itself overloaded.
     fn backoff_delay(&mut self, attempt: u32, hint_ms: Option<u32>) -> Duration {
         let exp = self
             .opts
             .backoff
             .saturating_mul(1u32 << attempt.min(16))
             .min(self.opts.backoff_max);
-        let base = exp.max(Duration::from_millis(u64::from(hint_ms.unwrap_or(0))));
+        let base = exp
+            .max(Duration::from_millis(u64::from(hint_ms.unwrap_or(0))))
+            .max(BACKOFF_FLOOR);
         base / 2 + Duration::from_secs_f64(base.as_secs_f64() / 2.0 * self.jitter())
     }
 
@@ -401,6 +428,37 @@ impl Client {
             backend: backend.map(|b| b.id()),
             trace_id,
         })
+    }
+
+    /// Query the isosurface at `iso` progressively (protocol v6): the
+    /// server streams the LOD pyramid coarsest-first down to level `lod`,
+    /// and `on_level` observes every reconstructed refinement as it
+    /// arrives — render each one and the surface sharpens while the
+    /// extraction finishes. Returns the final (finest delivered) level as
+    /// a [`MeshReply`]; `degraded` is set when the server stopped coarser
+    /// than requested under overload.
+    ///
+    /// No retry policy applies: once chunks have been delivered a replay
+    /// could re-observe refinements, so `ERR_BUSY` and torn connections
+    /// surface directly and the caller decides whether to re-issue.
+    pub fn query_mesh_progressive(
+        &mut self,
+        iso: f32,
+        lod: u16,
+        backend: Option<Backend>,
+        on_level: impl FnMut(&ProgressiveUpdate<'_>),
+    ) -> io::Result<MeshReply> {
+        write_frame(
+            &mut self.stream,
+            &Message::ProgressiveRequest {
+                iso,
+                lod,
+                backend: backend.map(|b| b.id()),
+                trace_id: 0,
+            },
+        )
+        .map_err(map_timeout)?;
+        read_progressive_reply(&mut self.stream, lod, on_level)
     }
 
     fn query(&mut self, request: Message) -> io::Result<MeshReply> {
@@ -617,6 +675,100 @@ impl Client {
             // a reset mid-read also counts as "hung up"
             Err(e) if e.kind() == io::ErrorKind::ConnectionReset => Ok(None),
             Err(e) => Err(map_timeout(e)),
+        }
+    }
+}
+
+/// Reassemble one progressive delivery from `r`: decode chunks until the
+/// final one, apply deltas against the previous level, and hand every
+/// reconstructed refinement to `on_level`. Factored off [`Client`] (and
+/// public) so torn-stream tests can drive it from an in-memory reader.
+///
+/// The stream is validated as it is consumed — chunk levels must strictly
+/// decrease (coarse→fine), a delta chunk needs a previous level and must
+/// apply cleanly — and any tear, error frame, or violation surfaces as a
+/// clean `Err` with no half-applied refinement ever reaching `on_level`.
+pub fn read_progressive_reply<R: io::Read>(
+    r: &mut R,
+    want_lod: u16,
+    mut on_level: impl FnMut(&ProgressiveUpdate<'_>),
+) -> io::Result<MeshReply> {
+    let mut prev: Option<(u16, IndexedMesh)> = None;
+    loop {
+        let frame = read_frame(r).map_err(map_timeout)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-progressive-delivery",
+            )
+        })?;
+        let msg = match frame {
+            FrameIn::Ok { msg, .. } => msg,
+            FrameIn::Violation { code, detail, .. } => {
+                return Err(server_error(code, detail, None))
+            }
+        };
+        match msg {
+            Message::MeshChunk {
+                last,
+                level,
+                cache_hit,
+                backend,
+                active_metacells,
+                trace_id,
+                body,
+            } => {
+                if let Some((prev_level, _)) = &prev {
+                    if level >= *prev_level {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("chunk level {level} after {prev_level}: must refine"),
+                        ));
+                    }
+                }
+                let delta = matches!(body, ChunkBody::Delta(_));
+                let mesh = match body {
+                    ChunkBody::Full(mesh) => mesh,
+                    ChunkBody::Delta(d) => {
+                        let Some((_, prev_mesh)) = &prev else {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "delta chunk with no previous level to apply it to",
+                            ));
+                        };
+                        d.apply(prev_mesh).ok_or_else(|| {
+                            io::Error::new(io::ErrorKind::InvalidData, "inconsistent delta chunk")
+                        })?
+                    }
+                };
+                on_level(&ProgressiveUpdate {
+                    level,
+                    cache_hit,
+                    delta,
+                    mesh: &mesh,
+                });
+                if last {
+                    return Ok(MeshReply {
+                        mesh,
+                        cache_hit,
+                        active_metacells,
+                        served_lod: level,
+                        // the server signals a degraded (overload-truncated)
+                        // delivery by ending coarser than asked
+                        degraded: level > want_lod,
+                        backend,
+                        trace_id,
+                    });
+                }
+                prev = Some((level, mesh));
+            }
+            // a structured refusal (busy, bad lod) or a trailing
+            // ERR_INTERNAL after an extraction failure mid-delivery
+            Message::Error {
+                code,
+                detail,
+                retry_after_ms,
+            } => return Err(server_error(code, detail, retry_after_ms)),
+            other => return Err(unexpected(&other)),
         }
     }
 }

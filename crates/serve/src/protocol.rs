@@ -24,7 +24,7 @@
 //! bit patterns, so a mesh or framebuffer survives the wire **bit-exactly**
 //! (the round-trip property every serve test leans on).
 
-use oociso_march::{IndexedMesh, Vec3};
+use oociso_march::{IndexedMesh, MeshDelta, Vec3};
 use oociso_render::FrameRegion;
 use std::io::{self, Read, Write};
 
@@ -48,13 +48,21 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"OISO");
 /// returning a finished request trace's span events. At v5 the mesh-request
 /// backend byte is always present ([`BACKEND_DEFAULT`] = server default), so
 /// the 8-byte trace id that follows is unambiguous by length. Readers accept
+/// Version 6 added progressive (coarse-to-fine) mesh delivery as two *new*
+/// message types — [`MSG_PROGRESSIVE_REQUEST`] and the chunked
+/// [`MSG_MESH_CHUNK`] response it elicits, one frame per LOD level
+/// (coarsest first, refinements optionally encoded as collapse-record
+/// deltas against the previous chunk) — so no existing payload layout
+/// changed at all: every v1–v5 message encodes byte-identically at v6.
+/// Readers accept
 /// any version in [`MIN_VERSION`]`..=`[`VERSION`], and a server answers each
 /// frame at the version the client spoke — a v1 client simply never asks for
 /// (and never hears about) LOD levels, so it gets level 0, exactly as
 /// before, a v2 client never sees the v3 trailing fields, a pre-v4 client
-/// always gets the server's default backend, and a pre-v5 client is served
-/// bit-identically, untraced.
-pub const VERSION: u16 = 5;
+/// always gets the server's default backend, a pre-v5 client is served
+/// bit-identically, untraced, and a pre-v6 client never learns the
+/// progressive message types exist.
+pub const VERSION: u16 = 6;
 /// Oldest protocol version still accepted on the wire.
 pub const MIN_VERSION: u16 = 1;
 /// Most LOD pyramid levels the protocol (and the per-level stats counters)
@@ -93,6 +101,16 @@ pub const MSG_METRICS_RESPONSE: u16 = 12;
 pub const MSG_TRACE_REQUEST: u16 = 13;
 /// A finished request trace's span events. **v5.**
 pub const MSG_TRACE_RESPONSE: u16 = 14;
+/// Ask for a progressive (coarse-to-fine) mesh delivery: the server answers
+/// with one [`MSG_MESH_CHUNK`] frame per LOD level, coarsest first. **v6.**
+pub const MSG_PROGRESSIVE_REQUEST: u16 = 15;
+/// One level of a progressive mesh delivery. The final chunk of a delivery
+/// sets its `last` flag; refinement chunks may carry a collapse-record
+/// delta against the previous chunk instead of a full mesh. **v6.**
+pub const MSG_MESH_CHUNK: u16 = 16;
+/// Oldest protocol version whose frames may carry the progressive message
+/// types above — a pre-v6 frame smuggling one in is rejected as malformed.
+pub const MIN_PROGRESSIVE_VERSION: u16 = 6;
 
 /// Error codes carried by [`Message::Error`].
 pub const ERR_UNSUPPORTED_VERSION: u16 = 1;
@@ -340,6 +358,65 @@ pub enum Message {
         dropped: u64,
         events: Vec<TraceEvent>,
     },
+    /// Ask for a progressive (coarse-to-fine) mesh delivery down to LOD
+    /// pyramid level `lod` (0 = full resolution). The server streams one
+    /// [`Message::MeshChunk`] per level, coarsest first, on this
+    /// connection, in request order relative to every other reply. **v6** —
+    /// unlike the trailing-field extensions of v2–v5 this is a new message
+    /// type, so every pre-v6 payload layout is untouched.
+    ProgressiveRequest {
+        iso: f32,
+        /// The finest level wanted (the delivery ends there).
+        lod: u16,
+        /// Extraction backend id, or `None` for the server's default
+        /// (encoded as [`BACKEND_DEFAULT`]).
+        backend: Option<u8>,
+        /// Client-supplied trace id, echoed on every chunk (0 = untraced).
+        trace_id: u64,
+    },
+    /// One level of a progressive mesh delivery. **v6.**
+    MeshChunk {
+        /// True on the delivery's final (finest) chunk.
+        last: bool,
+        /// The LOD pyramid level this chunk carries.
+        level: u16,
+        /// Whether this level was served from the result cache.
+        cache_hit: bool,
+        /// Extraction backend id that produced the level.
+        backend: u8,
+        active_metacells: u64,
+        /// Echo of the request's trace id.
+        trace_id: u64,
+        /// The level itself — full mesh, or a delta against the previous
+        /// chunk of the same delivery.
+        body: ChunkBody,
+    },
+}
+
+/// The mesh carried by one [`Message::MeshChunk`]: either the level's
+/// complete mesh, or — when it is smaller on the wire — a bit-exact
+/// collapse-record delta ([`oociso_march::MeshDelta`]) against the mesh the
+/// previous chunk of the same delivery reconstructed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChunkBody {
+    /// The level's complete mesh.
+    Full(IndexedMesh),
+    /// The level encoded against the previous chunk's reconstructed mesh.
+    Delta(MeshDelta),
+}
+
+/// Choose the cheaper wire encoding for a chunk: a collapse-record delta
+/// against `prev` when one exists and beats the full mesh, else the full
+/// mesh. The first chunk of a delivery has no `prev` and is always full.
+pub fn chunk_body_for(prev: Option<&IndexedMesh>, mesh: &IndexedMesh) -> ChunkBody {
+    if let Some(prev) = prev {
+        let delta = MeshDelta::between(prev, mesh);
+        let full_bytes = mesh.num_vertices() * 12 + mesh.indices().len() * 4;
+        if delta.wire_bytes() < full_bytes {
+            return ChunkBody::Delta(delta);
+        }
+    }
+    ChunkBody::Full(mesh.clone())
 }
 
 /// One span event inside a [`Message::TraceResponse`] — the wire twin of
@@ -419,6 +496,8 @@ impl Message {
             Message::MetricsResponse { .. } => MSG_METRICS_RESPONSE,
             Message::TraceRequest { .. } => MSG_TRACE_REQUEST,
             Message::TraceResponse { .. } => MSG_TRACE_RESPONSE,
+            Message::ProgressiveRequest { .. } => MSG_PROGRESSIVE_REQUEST,
+            Message::MeshChunk { .. } => MSG_MESH_CHUNK,
         }
     }
 }
@@ -558,6 +637,111 @@ fn read_region(rd: &mut Rd) -> io::Result<FrameRegion> {
     })
 }
 
+/// The version-independent mesh body shared by mesh responses and full
+/// chunks: vertex/index counts followed by positions and indices.
+fn put_mesh_body(out: &mut Vec<u8>, mesh: &IndexedMesh) {
+    put_u64(out, mesh.num_vertices() as u64);
+    put_u64(out, mesh.indices().len() as u64);
+    for p in mesh.positions() {
+        put_f32(out, p.x);
+        put_f32(out, p.y);
+        put_f32(out, p.z);
+    }
+    for &i in mesh.indices() {
+        put_u32(out, i);
+    }
+}
+
+/// A collapse-record delta body: counts, reuse bitmap, references into the
+/// previous chunk's mesh, literal positions, then the index buffer.
+fn put_delta_body(out: &mut Vec<u8>, delta: &MeshDelta) {
+    put_u64(out, delta.reused.len() as u64);
+    put_u64(out, delta.indices.len() as u64);
+    put_u64(out, delta.refs.len() as u64);
+    let mut bitmap = vec![0u8; delta.reused.len().div_ceil(8)];
+    for (i, &r) in delta.reused.iter().enumerate() {
+        if r {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out.extend_from_slice(&bitmap);
+    for &r in &delta.refs {
+        put_u32(out, r);
+    }
+    for p in &delta.literals {
+        put_f32(out, p.x);
+        put_f32(out, p.y);
+        put_f32(out, p.z);
+    }
+    for &i in &delta.indices {
+        put_u32(out, i);
+    }
+}
+
+/// A mesh-chunk payload around either body kind. Chunks only ever travel in
+/// v6+ frames, so unlike the trailing-field messages nothing here is
+/// version-gated.
+#[allow(clippy::too_many_arguments)]
+fn put_mesh_chunk(
+    out: &mut Vec<u8>,
+    last: bool,
+    level: u16,
+    cache_hit: bool,
+    backend: u8,
+    active_metacells: u64,
+    trace_id: u64,
+    body: &ChunkBody,
+) {
+    out.push(last as u8);
+    put_u16(out, level);
+    out.push(cache_hit as u8);
+    out.push(backend);
+    out.push(matches!(body, ChunkBody::Delta(_)) as u8);
+    put_u64(out, active_metacells);
+    match body {
+        ChunkBody::Full(mesh) => put_mesh_body(out, mesh),
+        ChunkBody::Delta(delta) => put_delta_body(out, delta),
+    }
+    put_u64(out, trace_id);
+}
+
+/// Encode a complete `MeshChunk` frame from **borrowed** meshes — the
+/// progressive serve's hot path, which must not deep-clone cached LOD
+/// levels. The body is the cheaper of the full mesh and a collapse-record
+/// delta against `prev` (the mesh the previous chunk of this delivery
+/// reconstructed); the first chunk passes `prev = None` and is always full.
+/// `version` stamps the frame header (v6+ in practice — pre-v6 clients
+/// cannot ask for chunks).
+#[allow(clippy::too_many_arguments)]
+pub fn encode_mesh_chunk_frame(
+    last: bool,
+    level: u16,
+    cache_hit: bool,
+    backend: u8,
+    active_metacells: u64,
+    trace_id: u64,
+    prev: Option<&IndexedMesh>,
+    mesh: &IndexedMesh,
+    version: u16,
+) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.push(last as u8);
+    put_u16(&mut payload, level);
+    payload.push(cache_hit as u8);
+    payload.push(backend);
+    let delta = prev
+        .map(|p| MeshDelta::between(p, mesh))
+        .filter(|d| d.wire_bytes() < mesh.num_vertices() * 12 + mesh.indices().len() * 4);
+    payload.push(delta.is_some() as u8);
+    put_u64(&mut payload, active_metacells);
+    match &delta {
+        Some(d) => put_delta_body(&mut payload, d),
+        None => put_mesh_body(&mut payload, mesh),
+    }
+    put_u64(&mut payload, trace_id);
+    encode_frame_raw(MAGIC, version, MSG_MESH_CHUNK, &payload)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn put_mesh_response(
     out: &mut Vec<u8>,
@@ -576,16 +760,7 @@ fn put_mesh_response(
     );
     out.push(cache_hit as u8);
     put_u64(out, active_metacells);
-    put_u64(out, mesh.num_vertices() as u64);
-    put_u64(out, mesh.indices().len() as u64);
-    for p in mesh.positions() {
-        put_f32(out, p.x);
-        put_f32(out, p.y);
-        put_f32(out, p.z);
-    }
-    for &i in mesh.indices() {
-        put_u32(out, i);
-    }
+    put_mesh_body(out, mesh);
     // v3 trailing fields; older dialects end at the indices (decoded as
     // served_lod 0 / not degraded — pre-v3 servers could not degrade)
     if version >= 3 {
@@ -838,6 +1013,37 @@ pub fn encode_payload_at(version: u16, msg: &Message) -> Vec<u8> {
                 }
             }
         }
+        // v6 message types: these never travel in pre-v6 frames, so their
+        // payloads need no version gates at all.
+        Message::ProgressiveRequest {
+            iso,
+            lod,
+            backend,
+            trace_id,
+        } => {
+            put_f32(&mut out, *iso);
+            put_u16(&mut out, *lod);
+            out.push(backend.unwrap_or(BACKEND_DEFAULT));
+            put_u64(&mut out, *trace_id);
+        }
+        Message::MeshChunk {
+            last,
+            level,
+            cache_hit,
+            backend,
+            active_metacells,
+            trace_id,
+            body,
+        } => put_mesh_chunk(
+            &mut out,
+            *last,
+            *level,
+            *cache_hit,
+            *backend,
+            *active_metacells,
+            *trace_id,
+            body,
+        ),
     }
     out
 }
@@ -1082,6 +1288,104 @@ pub fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<Message> {
                 total_us,
                 dropped,
                 events,
+            }
+        }
+        MSG_PROGRESSIVE_REQUEST => {
+            let iso = rd.f32()?;
+            let lod = rd.u16()?;
+            let b = rd.u8()?;
+            let trace_id = rd.u64()?;
+            Message::ProgressiveRequest {
+                iso,
+                lod,
+                backend: if b == BACKEND_DEFAULT { None } else { Some(b) },
+                trace_id,
+            }
+        }
+        MSG_MESH_CHUNK => {
+            let last = rd.u8()? != 0;
+            let level = rd.u16()?;
+            let cache_hit = rd.u8()? != 0;
+            let backend = rd.u8()?;
+            let encoding = rd.u8()?;
+            let active_metacells = rd.u64()?;
+            let body = match encoding {
+                0 => {
+                    let nvert = rd.len("chunk vertex count", 12)?;
+                    let nidx = rd.len("chunk index count", 4)?;
+                    if nidx % 3 != 0 {
+                        return Err(malformed("chunk index count not a triangle multiple"));
+                    }
+                    let mut mesh = IndexedMesh::with_capacity(nidx / 3);
+                    for _ in 0..nvert {
+                        mesh.push_vertex(Vec3::new(rd.f32()?, rd.f32()?, rd.f32()?));
+                    }
+                    for _ in 0..nidx / 3 {
+                        let (a, b, c) = (rd.u32()?, rd.u32()?, rd.u32()?);
+                        if a as usize >= nvert || b as usize >= nvert || c as usize >= nvert {
+                            return Err(malformed("chunk index out of range"));
+                        }
+                        mesh.push_triangle(a, b, c);
+                    }
+                    ChunkBody::Full(mesh)
+                }
+                1 => {
+                    // every delta vertex costs at least 4 bytes (a reused
+                    // slot's reference; literals cost 12), bounding the
+                    // hostile-count pre-reservation
+                    let nvert = rd.len("chunk delta vertex count", 4)?;
+                    let nidx = rd.len("chunk delta index count", 4)?;
+                    if nidx % 3 != 0 {
+                        return Err(malformed("chunk index count not a triangle multiple"));
+                    }
+                    let nrefs = rd.len("chunk delta ref count", 4)?;
+                    if nrefs > nvert {
+                        return Err(malformed("chunk delta ref count"));
+                    }
+                    let bitmap = rd.take(nvert.div_ceil(8))?;
+                    let mut reused = Vec::with_capacity(nvert);
+                    for i in 0..nvert {
+                        reused.push(bitmap[i / 8] >> (i % 8) & 1 != 0);
+                    }
+                    if reused.iter().filter(|&&r| r).count() != nrefs {
+                        return Err(malformed("chunk delta bitmap disagrees with ref count"));
+                    }
+                    // references are validated against the *previous* chunk's
+                    // mesh at apply time — the decoder cannot see it
+                    let mut refs = Vec::with_capacity(nrefs);
+                    for _ in 0..nrefs {
+                        refs.push(rd.u32()?);
+                    }
+                    let mut literals = Vec::with_capacity(nvert - nrefs);
+                    for _ in 0..nvert - nrefs {
+                        literals.push(Vec3::new(rd.f32()?, rd.f32()?, rd.f32()?));
+                    }
+                    let mut indices = Vec::with_capacity(nidx);
+                    for _ in 0..nidx {
+                        let i = rd.u32()?;
+                        if i as usize >= nvert {
+                            return Err(malformed("chunk delta index out of range"));
+                        }
+                        indices.push(i);
+                    }
+                    ChunkBody::Delta(MeshDelta {
+                        reused,
+                        refs,
+                        literals,
+                        indices,
+                    })
+                }
+                _ => return Err(malformed("chunk encoding")),
+            };
+            let trace_id = rd.u64()?;
+            Message::MeshChunk {
+                last,
+                level,
+                cache_hit,
+                backend,
+                active_metacells,
+                trace_id,
+                body,
             }
         }
         other => return Err(malformed(&format!("unknown message type {other}"))),
@@ -1523,6 +1827,133 @@ mod tests {
                 },
             ],
         });
+        roundtrip(Message::ProgressiveRequest {
+            iso: 127.5,
+            lod: 0,
+            backend: None,
+            trace_id: 0,
+        });
+        roundtrip(Message::ProgressiveRequest {
+            iso: -2.75,
+            lod: 3,
+            backend: Some(1),
+            trace_id: u64::MAX,
+        });
+        roundtrip(Message::MeshChunk {
+            last: false,
+            level: 2,
+            cache_hit: true,
+            backend: 0,
+            active_metacells: 17,
+            trace_id: 55,
+            body: ChunkBody::Full(sample_mesh()),
+        });
+        roundtrip(Message::MeshChunk {
+            last: true,
+            level: 0,
+            cache_hit: false,
+            backend: 1,
+            active_metacells: 17,
+            trace_id: 55,
+            body: ChunkBody::Delta(MeshDelta::between(&sample_mesh(), &sample_mesh())),
+        });
+        // a delta with every slot kind: reused, literal, empty indices
+        roundtrip(Message::MeshChunk {
+            last: true,
+            level: 0,
+            cache_hit: false,
+            backend: 0,
+            active_metacells: 0,
+            trace_id: 0,
+            body: ChunkBody::Delta(MeshDelta {
+                reused: vec![true, false, true],
+                refs: vec![2, 0],
+                literals: vec![Vec3::new(1.0, -2.0, f32::MIN_POSITIVE)],
+                indices: vec![0, 1, 2],
+            }),
+        });
+    }
+
+    #[test]
+    fn borrowed_chunk_encode_matches_owned_message_encode() {
+        let coarse = sample_mesh();
+        let mut fine = sample_mesh();
+        let d = fine.push_vertex(Vec3::new(4.0, 4.0, 4.0));
+        fine.push_triangle(0, 1, d);
+        for (prev, mesh) in [(None, &coarse), (Some(&coarse), &fine)] {
+            let borrowed = encode_mesh_chunk_frame(true, 0, false, 1, 9, 77, prev, mesh, VERSION);
+            let owned = encode_frame(&Message::MeshChunk {
+                last: true,
+                level: 0,
+                cache_hit: false,
+                backend: 1,
+                active_metacells: 9,
+                trace_id: 77,
+                body: chunk_body_for(prev, mesh),
+            });
+            assert_eq!(borrowed, owned);
+        }
+    }
+
+    #[test]
+    fn chunk_delta_reconstructs_the_fine_level_bit_exactly() {
+        let coarse = sample_mesh();
+        let mut fine = sample_mesh();
+        let d = fine.push_vertex(Vec3::new(4.0, 4.0, 4.0));
+        fine.push_triangle(0, 1, d);
+        // all of `coarse`'s positions recur in `fine`, so the delta encoding
+        // must win and survive the wire intact
+        let frame = encode_mesh_chunk_frame(true, 0, false, 0, 0, 0, Some(&coarse), &fine, VERSION);
+        let mut cursor = &frame[..];
+        match read_frame(&mut cursor).unwrap().unwrap() {
+            FrameIn::Ok {
+                msg: Message::MeshChunk { body, .. },
+                ..
+            } => match body {
+                ChunkBody::Delta(delta) => {
+                    let rebuilt = delta.apply(&coarse).expect("wire delta applies");
+                    assert_eq!(rebuilt.positions(), fine.positions());
+                    assert_eq!(rebuilt.indices(), fine.indices());
+                }
+                ChunkBody::Full(_) => panic!("expected the delta encoding to win"),
+            },
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_chunk_payloads_are_errors_not_panics() {
+        // valid chunk, then flip the encoding byte to an unknown value
+        let frame = encode_frame(&Message::MeshChunk {
+            last: true,
+            level: 0,
+            cache_hit: false,
+            backend: 0,
+            active_metacells: 0,
+            trace_id: 0,
+            body: ChunkBody::Full(sample_mesh()),
+        });
+        let payload = &frame[HEADER_BYTES..frame.len() - 4];
+        // encoding byte is at offset 5 of the payload
+        let mut bad = payload.to_vec();
+        bad[5] = 9;
+        assert!(decode_payload(MSG_MESH_CHUNK, &bad).is_err());
+        // a delta whose bitmap popcount disagrees with its ref count
+        let mut delta_payload = Vec::new();
+        delta_payload.extend_from_slice(&[1, 0, 0, 0, 0, 1]); // last, level, hit, backend, delta
+        delta_payload.extend_from_slice(&0u64.to_le_bytes()); // active
+        delta_payload.extend_from_slice(&2u64.to_le_bytes()); // nvert
+        delta_payload.extend_from_slice(&0u64.to_le_bytes()); // nidx
+        delta_payload.extend_from_slice(&2u64.to_le_bytes()); // nrefs
+        delta_payload.push(0b01); // bitmap says 1 reused, refs say 2
+        delta_payload.extend_from_slice(&[0u8; 8]); // two refs
+        delta_payload.extend_from_slice(&[0u8; 12]); // one literal
+        delta_payload.extend_from_slice(&0u64.to_le_bytes()); // trace id
+        assert!(decode_payload(MSG_MESH_CHUNK, &delta_payload).is_err());
+        // truncation at every prefix must error, never panic
+        for cut in 0..payload.len() {
+            let _ = decode_payload(MSG_MESH_CHUNK, &payload[..cut]);
+        }
     }
 
     #[test]

@@ -56,12 +56,12 @@
 use crate::cache::CachedSurface;
 use crate::protocol::{
     decode_frame_bytes, encode_frame_at, FrameIn, FrameParams, FrameStep, Message, Region,
-    ERR_BUSY, MAX_REQUEST_PAYLOAD,
+    ERR_BUSY, ERR_MALFORMED, MAX_REQUEST_PAYLOAD, MIN_PROGRESSIVE_VERSION,
 };
 use crate::server::{
-    busy_reply, frame_render_reply, internal_error_reply, mesh_outcome_reply, request_trace_id,
-    respond, validate_frame_request, validate_mesh_request, FrameAdmit, MeshAdmit, MeshOutcome,
-    Reply, SlotGuard, State,
+    busy_reply, encode_chunk_run, frame_render_reply, internal_error_reply, mesh_outcome_reply,
+    request_trace_id, respond, validate_frame_request, validate_mesh_request, FrameAdmit,
+    MeshAdmit, MeshOutcome, ProgressiveAdmit, Reply, SlotGuard, State,
 };
 use oociso_exio::poll::{Event, EventFd, Interest, Poller};
 use oociso_march::Backend;
@@ -103,11 +103,14 @@ struct Mailbox {
     doorbell: EventFd,
 }
 
-/// An encoded reply coming back from the worker pool.
+/// An encoded reply frame coming back from the worker pool. A progressive
+/// serve posts several completions for one request slot; `done` marks the
+/// last one (every non-progressive job posts exactly one, done).
 struct Completion {
     token: u64,
     seq: u64,
     payload: OutPayload,
+    done: bool,
 }
 
 /// Everything needed to account a reply when its last byte reaches the
@@ -119,6 +122,9 @@ struct ReplyMeta {
     /// Close the connection once this reply is flushed (protocol violation
     /// with lost framing, or a shed connection's one allowed reply).
     close_after: bool,
+    /// A non-final progressive chunk: more frames of the same request
+    /// follow, so per-request accounting (drain bookkeeping) waits.
+    interim: bool,
 }
 
 /// An encoded reply plus its accounting.
@@ -127,11 +133,45 @@ struct OutPayload {
     meta: ReplyMeta,
 }
 
-/// One reply slot in a connection's in-order pending queue.
+/// One reply slot in a connection's in-order pending queue. One *request*
+/// owns one slot even when (progressive) it answers with several frames:
+/// ready frames stream out as they land, but the slot — and with it every
+/// later request's reply — is released only once `done`, so replies stay
+/// strictly ordered per connection.
 struct Pending {
     seq: u64,
-    /// `None` while the job is still on a worker.
-    ready: Option<OutPayload>,
+    /// Encoded frames ready to stream, oldest first.
+    ready: VecDeque<OutPayload>,
+    /// No more frames will arrive for this slot.
+    done: bool,
+}
+
+impl Pending {
+    /// A slot still waiting on a worker (or on further progressive chunks).
+    fn open(seq: u64) -> Pending {
+        Pending {
+            seq,
+            ready: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    /// A slot answered entirely inline by one frame.
+    fn answered(seq: u64, payload: OutPayload) -> Pending {
+        Pending {
+            seq,
+            ready: VecDeque::from([payload]),
+            done: true,
+        }
+    }
+}
+
+/// What classification decided for one request: answered entirely on the
+/// event loop (one or more frames, slot done), or shipped to the worker
+/// pool — possibly after streaming a resident head of progressive chunks.
+enum Classified {
+    Inline(Vec<OutPayload>),
+    Offloaded { head: Vec<OutPayload> },
 }
 
 /// A reply frame being written out, with a write cursor.
@@ -192,6 +232,18 @@ enum Job<S: ScalarValue> {
         params: FrameParams,
         slot: SlotGuard<S>,
         resident_full: Option<Arc<CachedSurface>>,
+    },
+    /// The extraction tail of an admitted progressive request: the resident
+    /// coarse prefix already streamed from the event loop; the worker
+    /// extracts, then posts one completion per remaining chunk (levels
+    /// `next_level` down to `lod`), delta-continuing from `prev`.
+    Progressive {
+        iso: f32,
+        backend: Backend,
+        lod: u16,
+        slot: SlotGuard<S>,
+        prev: Option<Arc<CachedSurface>>,
+        next_level: u16,
     },
 }
 
@@ -332,6 +384,21 @@ fn worker_loop<S: ScalarValue>(rx: Arc<Mutex<mpsc::Receiver<Envelope<S>>>>, stat
     }
 }
 
+/// Post one completed reply frame to the owning reactor.
+fn post(mailbox: &Mailbox, token: u64, seq: u64, payload: OutPayload, done: bool) {
+    mailbox
+        .completions
+        .lock()
+        .expect("completions lock")
+        .push(Completion {
+            token,
+            seq,
+            payload,
+            done,
+        });
+    let _ = mailbox.doorbell.notify();
+}
+
 fn run_job<S: ScalarValue>(env: Envelope<S>, state: &Arc<State<S>>) {
     let Envelope {
         job,
@@ -343,6 +410,71 @@ fn run_job<S: ScalarValue>(env: Envelope<S>, state: &Arc<State<S>>) {
         trace,
         mut root,
     } = env;
+    let job = if let Job::Progressive {
+        iso,
+        backend,
+        lod,
+        slot,
+        prev,
+        next_level,
+    } = job
+    {
+        // a panicking extraction surfaces as a final ERR_INTERNAL chunk;
+        // the slot guard releases during unwind or on the drop below
+        let result = catch_unwind(AssertUnwindSafe(|| state.pyramid_for(iso, backend, &trace)))
+            .unwrap_or_else(|_| Err(io::Error::other("extraction panicked")));
+        drop(slot);
+        root.field("offloaded", 1);
+        match result {
+            Err(e) => {
+                let t_enc = Instant::now();
+                let bytes = internal_error_reply(&e).finalize(state, version);
+                root.annotate("encode", t_enc.elapsed(), &[("bytes", bytes.len() as u64)]);
+                post(
+                    &mailbox,
+                    token,
+                    seq,
+                    OutPayload {
+                        bytes,
+                        meta: ReplyMeta {
+                            root: Some(root),
+                            trace: Some(trace),
+                            trace_id,
+                            close_after: false,
+                            interim: false,
+                        },
+                    },
+                    true,
+                );
+            }
+            Ok(levels) => {
+                let t_enc = Instant::now();
+                let run: Vec<Arc<CachedSurface>> = (lod..=next_level)
+                    .rev()
+                    .map(|l| levels[l as usize].clone())
+                    .collect();
+                let frames = encode_chunk_run(
+                    &run,
+                    next_level,
+                    false,
+                    backend,
+                    trace_id,
+                    version,
+                    prev.as_ref(),
+                    true,
+                );
+                // each chunk is posted (and rung) individually so refinement
+                // starts flowing before the run is fully posted
+                for payload in chunk_payloads(frames, root, trace, trace_id, t_enc.elapsed()) {
+                    let done = !payload.meta.interim;
+                    post(&mailbox, token, seq, payload, done);
+                }
+            }
+        }
+        return;
+    } else {
+        job
+    };
     // a panicking extraction must not strand the reply slot: the client
     // gets ERR_INTERNAL and the connection lives on (the slot guard
     // released during unwind)
@@ -388,30 +520,65 @@ fn run_job<S: ScalarValue>(env: Envelope<S>, state: &Arc<State<S>>) {
             }
             Err(e) => internal_error_reply(&e),
         },
+        // peeled off above; the rebinding can't narrow the type
+        Job::Progressive { .. } => unreachable!("progressive jobs handled above"),
     }))
     .unwrap_or_else(|_| internal_error_reply(&io::Error::other("extraction panicked")));
     let t_enc = Instant::now();
     let bytes = reply.finalize(state, version);
     root.annotate("encode", t_enc.elapsed(), &[("bytes", bytes.len() as u64)]);
     root.field("offloaded", 1);
-    mailbox
-        .completions
-        .lock()
-        .expect("completions lock")
-        .push(Completion {
-            token,
-            seq,
-            payload: OutPayload {
+    post(
+        &mailbox,
+        token,
+        seq,
+        OutPayload {
+            bytes,
+            meta: ReplyMeta {
+                root: Some(root),
+                trace: Some(trace),
+                trace_id,
+                close_after: false,
+                interim: false,
+            },
+        },
+        true,
+    );
+}
+
+/// Turn an encoded chunk run into its per-frame payloads: the request's
+/// span and trace ride the *final* chunk (one request, one accounting),
+/// earlier chunks are marked interim. `enc` is the wall time the encode
+/// took, annotated with the run's total bytes.
+fn chunk_payloads(
+    frames: Vec<Vec<u8>>,
+    root: Span,
+    trace: Trace,
+    trace_id: u64,
+    enc: Duration,
+) -> Vec<OutPayload> {
+    let total: usize = frames.iter().map(|f| f.len()).sum();
+    root.annotate("encode", enc, &[("bytes", total as u64)]);
+    let n = frames.len();
+    let mut root = Some(root);
+    let mut trace = Some(trace);
+    frames
+        .into_iter()
+        .enumerate()
+        .map(|(i, bytes)| {
+            let last = i + 1 == n;
+            OutPayload {
                 bytes,
                 meta: ReplyMeta {
-                    root: Some(root),
-                    trace: Some(trace),
+                    root: if last { root.take() } else { None },
+                    trace: if last { trace.take() } else { None },
                     trace_id,
                     close_after: false,
+                    interim: !last,
                 },
-            },
-        });
-    let _ = mailbox.doorbell.notify();
+            }
+        })
+        .collect()
 }
 
 /// One event-loop thread.
@@ -496,7 +663,8 @@ impl<S: ScalarValue> Reactor<S> {
         for c in done {
             if let Some(conn) = self.conns.get_mut(&c.token) {
                 if let Some(p) = conn.pending.iter_mut().find(|p| p.seq == c.seq) {
-                    p.ready = Some(c.payload);
+                    p.ready.push_back(c.payload);
+                    p.done |= c.done;
                     touched.push(c.token);
                 }
             }
@@ -699,18 +867,19 @@ impl<S: ScalarValue> Reactor<S> {
                 },
             );
             conn.stop_reading = true;
-            conn.pending.push_back(Pending {
+            conn.pending.push_back(Pending::answered(
                 seq,
-                ready: Some(OutPayload {
+                OutPayload {
                     bytes,
                     meta: ReplyMeta {
                         root: None,
                         trace: None,
                         trace_id: 0,
                         close_after: true,
+                        interim: false,
                     },
-                }),
-            });
+                },
+            ));
             return;
         }
 
@@ -733,18 +902,19 @@ impl<S: ScalarValue> Reactor<S> {
                 if close {
                     conn.stop_reading = true;
                 }
-                conn.pending.push_back(Pending {
+                conn.pending.push_back(Pending::answered(
                     seq,
-                    ready: Some(OutPayload {
+                    OutPayload {
                         bytes,
                         meta: ReplyMeta {
                             root: None,
                             trace: None,
                             trace_id: 0,
                             close_after: close,
+                            interim: false,
                         },
-                    }),
-                });
+                    },
+                ));
             }
             FrameIn::Ok { msg, version } => {
                 let trace_id = request_trace_id(&msg);
@@ -756,13 +926,18 @@ impl<S: ScalarValue> Reactor<S> {
                 let mut root = trace.span("request");
                 root.field("msg_type", msg.msg_type() as u64);
                 root.field("version", version as u64);
-                conn.pending.push_back(Pending { seq, ready: None });
-                match self.classify(token, seq, msg, version, trace, root) {
-                    None => {} // offloaded; the mailbox will deliver it
-                    Some((payload, t)) => {
-                        if let Some(conn) = self.conns.get_mut(&t) {
-                            if let Some(p) = conn.pending.iter_mut().find(|p| p.seq == seq) {
-                                p.ready = Some(payload);
+                conn.pending.push_back(Pending::open(seq));
+                let verdict = self.classify(token, seq, msg, version, trace, root);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    if let Some(p) = conn.pending.iter_mut().find(|p| p.seq == seq) {
+                        match verdict {
+                            // offloaded: `head` (a progressive serve's
+                            // resident prefix) streams now, the worker
+                            // posts the rest via the mailbox
+                            Classified::Offloaded { head } => p.ready.extend(head),
+                            Classified::Inline(payloads) => {
+                                p.ready.extend(payloads);
+                                p.done = true;
                             }
                         }
                     }
@@ -772,8 +947,8 @@ impl<S: ScalarValue> Reactor<S> {
     }
 
     /// Decide one well-formed request: answer inline (cache hits, shed and
-    /// degraded verdicts, stats/ping/metrics/trace, validation errors) or
-    /// ship an envelope to the pool. Returns the inline payload, if any.
+    /// degraded verdicts, stats/ping/metrics/trace, validation errors,
+    /// fully cached progressive streams) or ship an envelope to the pool.
     #[allow(clippy::too_many_arguments)]
     fn classify(
         &mut self,
@@ -783,25 +958,23 @@ impl<S: ScalarValue> Reactor<S> {
         version: u16,
         trace: Trace,
         mut root: Span,
-    ) -> Option<(OutPayload, u64)> {
+    ) -> Classified {
         let state = self.state.clone();
         let inline = |reply: Reply, mut root: Span, trace: Trace, trace_id: u64| {
             let t_enc = Instant::now();
             let bytes = reply.finalize(&state, version);
             root.annotate("encode", t_enc.elapsed(), &[("bytes", bytes.len() as u64)]);
             let _ = &mut root;
-            Some((
-                OutPayload {
-                    bytes,
-                    meta: ReplyMeta {
-                        root: Some(root),
-                        trace: Some(trace),
-                        trace_id,
-                        close_after: false,
-                    },
+            Classified::Inline(vec![OutPayload {
+                bytes,
+                meta: ReplyMeta {
+                    root: Some(root),
+                    trace: Some(trace),
+                    trace_id,
+                    close_after: false,
+                    interim: false,
                 },
-                token,
-            ))
+            }])
         };
         match msg {
             Message::MeshRequest {
@@ -840,7 +1013,97 @@ impl<S: ScalarValue> Reactor<S> {
                             trace,
                             root,
                         });
-                        None
+                        Classified::Offloaded { head: Vec::new() }
+                    }
+                }
+            }
+            Message::ProgressiveRequest {
+                iso,
+                lod,
+                backend,
+                trace_id,
+            } => {
+                state.c.mesh_requests.inc();
+                if version < MIN_PROGRESSIVE_VERSION {
+                    return inline(
+                        Reply::Msg(Message::Error {
+                            code: ERR_MALFORMED,
+                            detail: format!(
+                                "progressive requests need protocol v{MIN_PROGRESSIVE_VERSION} (frame spoke v{version})"
+                            ),
+                            retry_after_ms: None,
+                        }),
+                        root,
+                        trace,
+                        trace_id,
+                    );
+                }
+                let backend = match validate_mesh_request(&state, lod, backend) {
+                    Ok(b) => b,
+                    Err(reply) => return inline(reply, root, trace, trace_id),
+                };
+                let top = state.levels() - 1;
+                match state.admit_progressive(iso, backend, lod, &root) {
+                    ProgressiveAdmit::Busy { retry_after_ms } => inline(
+                        Reply::Msg(busy_reply("extraction slots exhausted", retry_after_ms)),
+                        root,
+                        trace,
+                        trace_id,
+                    ),
+                    ProgressiveAdmit::Ready { levels }
+                    | ProgressiveAdmit::Degraded { resident: levels } => {
+                        let t_enc = Instant::now();
+                        let frames = encode_chunk_run(
+                            &levels, top, true, backend, trace_id, version, None, true,
+                        );
+                        Classified::Inline(chunk_payloads(
+                            frames,
+                            root,
+                            trace,
+                            trace_id,
+                            t_enc.elapsed(),
+                        ))
+                    }
+                    ProgressiveAdmit::Extract { resident, slot } => {
+                        // stream what's already cached now; the worker picks
+                        // up delta continuity from the finest resident level
+                        let t_enc = Instant::now();
+                        let head: Vec<OutPayload> = encode_chunk_run(
+                            &resident, top, true, backend, trace_id, version, None, false,
+                        )
+                        .into_iter()
+                        .map(|bytes| OutPayload {
+                            bytes,
+                            meta: ReplyMeta {
+                                root: None,
+                                trace: None,
+                                trace_id,
+                                close_after: false,
+                                interim: true,
+                            },
+                        })
+                        .collect();
+                        root.annotate("encode", t_enc.elapsed(), &[("head", head.len() as u64)]);
+                        let next_level = top - resident.len() as u16;
+                        let prev = resident.last().cloned();
+                        self.offload(Envelope {
+                            job: Job::Progressive {
+                                iso,
+                                backend,
+                                lod,
+                                slot,
+                                prev,
+                                next_level,
+                            },
+                            mailbox: self.mailbox.clone(),
+                            token,
+                            seq,
+                            trace_id,
+                            version,
+                            trace,
+                            root,
+                        });
+                        Classified::Offloaded { head }
                     }
                 }
             }
@@ -877,7 +1140,7 @@ impl<S: ScalarValue> Reactor<S> {
                             trace,
                             root,
                         });
-                        None
+                        Classified::Offloaded { head: Vec::new() }
                     }
                     FrameAdmit::Extract {
                         slot,
@@ -898,7 +1161,7 @@ impl<S: ScalarValue> Reactor<S> {
                             trace,
                             root,
                         });
-                        None
+                        Classified::Offloaded { head: Vec::new() }
                     }
                 }
             }
@@ -929,20 +1192,24 @@ impl<S: ScalarValue> Reactor<S> {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        // release replies in request order only
-        while let Some(front) = conn.pending.front() {
-            if front.ready.is_none() {
+        // release replies in request order only: the head slot streams every
+        // frame it has ready (a progressive serve's chunks flow before its
+        // extraction finishes), but later slots stay blocked until the head
+        // is done — responses never interleave or reorder
+        while let Some(front) = conn.pending.front_mut() {
+            while let Some(payload) = front.ready.pop_front() {
+                conn.out_bytes += payload.bytes.len();
+                self.meters.outbound.add(payload.bytes.len() as i64);
+                conn.out.push_back(OutFrame {
+                    bytes: payload.bytes,
+                    off: 0,
+                    meta: payload.meta,
+                });
+            }
+            if !front.done {
                 break;
             }
-            let p = conn.pending.pop_front().expect("checked front");
-            let payload = p.ready.expect("checked ready");
-            conn.out_bytes += payload.bytes.len();
-            self.meters.outbound.add(payload.bytes.len() as i64);
-            conn.out.push_back(OutFrame {
-                bytes: payload.bytes,
-                off: 0,
-                meta: payload.meta,
-            });
+            conn.pending.pop_front();
         }
         // incremental write-out
         let mut hard_close = false;
@@ -1144,8 +1411,9 @@ fn finish_reply<S: ScalarValue>(
             }
         }
     }
-    if state.ctl.draining.load(Ordering::SeqCst) {
-        // this reply completed during the graceful drain
+    if !meta.interim && state.ctl.draining.load(Ordering::SeqCst) {
+        // this reply completed during the graceful drain (a progressive
+        // serve counts once, on its final chunk)
         state.c.drained.inc();
     }
     if meta.close_after {

@@ -36,9 +36,10 @@
 
 use crate::cache::{CachedSurface, ResultCache};
 use crate::protocol::{
-    encode_frame_at, encode_mesh_response_frame, encode_stats_response_frame, read_frame_limited,
-    FrameIn, FrameParams, Message, Region, ServerReport, TraceEvent, ERR_BAD_BACKEND, ERR_BAD_LOD,
-    ERR_BUSY, ERR_INTERNAL, ERR_MALFORMED, MAX_LOD_LEVELS, MAX_REQUEST_PAYLOAD,
+    encode_frame_at, encode_mesh_chunk_frame, encode_mesh_response_frame,
+    encode_stats_response_frame, read_frame_limited, FrameIn, FrameParams, Message, Region,
+    ServerReport, TraceEvent, ERR_BAD_BACKEND, ERR_BAD_LOD, ERR_BUSY, ERR_INTERNAL, ERR_MALFORMED,
+    MAX_LOD_LEVELS, MAX_REQUEST_PAYLOAD, MIN_PROGRESSIVE_VERSION,
 };
 use oociso_cluster::LodSpec;
 use oociso_core::ClusterDatabase;
@@ -48,10 +49,11 @@ use oociso_obs::{
 };
 use oociso_render::{rasterize_mesh, select_tile_levels, Camera, Framebuffer, TileLayout};
 use oociso_volume::ScalarValue;
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -130,6 +132,17 @@ pub struct ServeOptions {
     /// pipelining client that never reads cannot balloon server memory.
     /// Default 8 MiB.
     pub outbound_budget: usize,
+    /// Speculative cache warming for interactive isovalue scrubs: after a
+    /// cache-miss extraction at isovalue `v` completes, enqueue low-priority
+    /// warm jobs for `v - δ` and `v + δ` (the pyramid of `v` itself is
+    /// already fully cached by the miss). Warm jobs run on a single
+    /// background thread, **never take the last extraction slot**, are
+    /// skipped when the target is already resident or no spare slot exists,
+    /// and insert behind the recency of real traffic — so warming can slow
+    /// down nothing and evict nothing a client asked for. Tracked by the
+    /// `speculative_{started,completed,cancelled,hits}_total` metrics
+    /// family. `None` (the default) disables warming.
+    pub warm_delta: Option<f32>,
 }
 
 impl Default for ServeOptions {
@@ -151,6 +164,7 @@ impl Default for ServeOptions {
             reactor_threads: 0,
             reactor_workers: 0,
             outbound_budget: 8 << 20,
+            warm_delta: None,
         }
     }
 }
@@ -198,6 +212,13 @@ pub(crate) struct Counters {
     pub(crate) timed_out: Counter,
     pub(crate) drained: Counter,
     pub(crate) accept_backoffs: Counter,
+    /// Warm jobs that actually began an extraction.
+    pub(crate) spec_started: Counter,
+    /// Warm extractions whose pyramid landed in the cache.
+    pub(crate) spec_completed: Counter,
+    /// Warm jobs dropped without completing: target already resident, no
+    /// spare slot, queue overflow, or a failed extraction.
+    pub(crate) spec_cancelled: Counter,
 }
 
 impl Counters {
@@ -214,8 +235,37 @@ impl Counters {
             timed_out: reg.counter("timed_out_total"),
             drained: reg.counter("drained_total"),
             accept_backoffs: reg.counter("accept_backoffs_total"),
+            spec_started: reg.counter("speculative_started_total"),
+            spec_completed: reg.counter("speculative_completed_total"),
+            spec_cancelled: reg.counter("speculative_cancelled_total"),
         }
     }
+}
+
+/// Cap on queued warm jobs: a fast scrub can outrun the warmer, and stale
+/// neighbors of isovalues the user has already scrubbed past are worthless —
+/// overflow drops the *oldest* job (counted `speculative_cancelled_total`).
+const WARM_QUEUE_CAP: usize = 64;
+
+/// How long the warmer tolerates slot contention before cancelling a job:
+/// up to [`WARM_DEFER_ATTEMPTS`] polls, [`WARM_DEFER_INTERVAL`] apart
+/// (~1 s total). The common transient — the miss that scheduled the job
+/// still draining its own slot — clears within one or two polls; a slot
+/// pool that stays full for the whole window is real load, and warming
+/// yields to it.
+const WARM_DEFER_ATTEMPTS: u32 = 50;
+const WARM_DEFER_INTERVAL: Duration = Duration::from_millis(20);
+
+/// The speculative-warming work queue: isovalue neighbors enqueued after
+/// real cache misses, drained by the single `oociso-warm` thread whenever it
+/// can win a *spare* (never the last) extraction slot.
+pub(crate) struct WarmQueue {
+    /// Scrub-neighbor distance δ.
+    delta: f32,
+    /// Pending `(iso bits, backend id)` jobs, oldest first.
+    jobs: Mutex<VecDeque<(u32, u8)>>,
+    /// Rung on push and on drain/shutdown so the warmer parks cheaply.
+    cv: Condvar,
 }
 
 /// Shared state behind every connection handler.
@@ -252,9 +302,15 @@ pub(crate) struct State<S: ScalarValue> {
     pub(crate) slow_ms: u64,
     /// Extractions/rebuilds currently holding a slot.
     inflight_miss: AtomicU64,
-    /// Smoothed wall-clock of recent cache-miss work, in ms — the source of
-    /// the `ERR_BUSY` retry-after hint.
+    /// Smoothed wall-clock of recent **full** cache-miss extractions, in ms
+    /// — the source of the `ERR_BUSY` retry-after hint. Cheap work that
+    /// costs a fraction of a real miss (pyramid re-decimations, degraded
+    /// coarse serves, warm extractions) is deliberately excluded: letting
+    /// it sample the EWMA drags the hint far below honest extraction cost
+    /// and invites retry stampedes.
     miss_cost_ms: AtomicU64,
+    /// Speculative-warming queue; `None` when warming is disabled.
+    warm: Option<Arc<WarmQueue>>,
 }
 
 /// RAII extraction-slot lease: decrements the in-flight gauge on drop, so a
@@ -345,7 +401,95 @@ pub(crate) enum FrameAdmit<S: ScalarValue> {
     },
 }
 
+/// A v6 progressive request's admission verdict. A progressive serve
+/// streams the pyramid **coarsest-first** down to the requested `lod`;
+/// `resident`/`levels` vectors here are always in that stream order
+/// (level `levels()-1` first), each a maximal contiguous cached prefix so
+/// refinement never skips a level mid-stream.
+pub(crate) enum ProgressiveAdmit<S: ScalarValue> {
+    /// Every level from the coarsest down to the requested one is resident:
+    /// the whole stream serves from cache (booked as one hit at `lod`,
+    /// exactly what a plain mesh request costs).
+    Ready { levels: Vec<Arc<CachedSurface>> },
+    /// Miss that lost the slot race with nothing coarse to offer.
+    Busy { retry_after_ms: u32 },
+    /// Miss at capacity, but ([`ServeOptions::degrade`]) a cached coarse
+    /// prefix exists: stream just that, the final chunk's `level` still
+    /// above the requested `lod` — how a progressive client sees
+    /// degradation.
+    Degraded { resident: Vec<Arc<CachedSurface>> },
+    /// Miss that won a slot: stream the resident coarse prefix (possibly
+    /// empty) immediately, then the rest of the pyramid from the extraction
+    /// this slot admits.
+    Extract {
+        resident: Vec<Arc<CachedSurface>>,
+        slot: SlotGuard<S>,
+    },
+}
+
 impl<S: ScalarValue> State<S> {
+    /// Build the shared serving state: everything [`IsoServer::bind`] wires
+    /// up except the listener and the serving threads. Factored out so unit
+    /// tests can drive admission, extraction, and warming against a real
+    /// database without binding a socket. Assumes `opts` already validated.
+    pub(crate) fn new(db: ClusterDatabase<S>, opts: &ServeOptions) -> Arc<State<S>> {
+        let ctl = Arc::new(Control {
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            live: AtomicU64::new(0),
+            wakers: Mutex::new(Vec::new()),
+        });
+        let metrics = Registry::new();
+        let c = Counters::resolve(&metrics);
+        let request_latency_us = metrics.histogram("request_latency_us");
+        let extract_latency_us = metrics.histogram("extract_latency_us");
+        let rebuild_latency_us = metrics.histogram("rebuild_latency_us");
+        let warm = opts.warm_delta.map(|delta| {
+            Arc::new(WarmQueue {
+                delta,
+                jobs: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            })
+        });
+        if let Some(q) = &warm {
+            // drain/shutdown must wake a parked warmer immediately, not at
+            // its next poll tick
+            let q = q.clone();
+            ctl.wakers
+                .lock()
+                .expect("wakers lock")
+                .push(Box::new(move || q.cv.notify_all()));
+        }
+        Arc::new(State {
+            db,
+            lods: LodSpec {
+                ratios: opts.lod_ratios.clone(),
+            },
+            lod_tolerance_px: opts.lod_tolerance_px,
+            cache: Mutex::new(ResultCache::new(opts.cache_bytes)),
+            ctl,
+            extraction_slots: opts.extraction_slots,
+            max_connections: opts.max_connections,
+            degrade: opts.degrade,
+            default_backend: opts.backend,
+            read_timeout: opts.read_timeout,
+            write_timeout: opts.write_timeout,
+            idle_timeout: opts.idle_timeout,
+            metrics,
+            c,
+            request_latency_us,
+            extract_latency_us,
+            rebuild_latency_us,
+            logger: opts.logger.clone(),
+            recent: TraceJournal::new(opts.trace_buffer.max(1)),
+            slow: TraceJournal::new(32),
+            slow_ms: opts.slow_ms,
+            inflight_miss: AtomicU64::new(0),
+            miss_cost_ms: AtomicU64::new(0),
+            warm,
+        })
+    }
+
     /// Total levels served (1 = full resolution only).
     pub(crate) fn levels(&self) -> u16 {
         self.lods.levels() as u16
@@ -396,6 +540,10 @@ impl<S: ScalarValue> State<S> {
             ("cache_hits_total", cache.hits),
             ("cache_misses_total", cache.misses),
             ("cache_evictions_total", cache.evictions),
+            // owned by the cache (promotion happens inside `get`), exposed
+            // here next to its speculative_{started,completed,cancelled}
+            // registry siblings
+            ("speculative_hits_total", cache.speculative_hits),
         ] {
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
         }
@@ -484,6 +632,126 @@ impl<S: ScalarValue> State<S> {
         clamp_retry_hint(self.miss_cost_ms.load(Ordering::Relaxed))
     }
 
+    /// Try to win a **spare** extraction slot for speculative work: like
+    /// [`State::try_slot`], but never the last one — a warm job must leave
+    /// at least one slot free for a real request, so with one slot (or
+    /// zero) configured warming simply never runs. Unlimited slots
+    /// (`extraction_slots: None`) have no "last slot" to protect.
+    pub(crate) fn try_warm_slot(self: &Arc<Self>) -> Option<SlotGuard<S>> {
+        match self.extraction_slots {
+            None => Some(SlotGuard {
+                state: self.clone(),
+                counted: false,
+            }),
+            Some(max) => self
+                .inflight_miss
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n + 1 < max as u64).then_some(n + 1)
+                })
+                .ok()
+                .map(|_| SlotGuard {
+                    state: self.clone(),
+                    counted: true,
+                }),
+        }
+    }
+
+    /// Enqueue warm jobs for the scrub neighbors `iso ± δ` after a real
+    /// cache miss at `iso` completed. Deduplicates against the pending
+    /// queue; overflow drops the oldest job (a stale neighbor of an
+    /// isovalue the user already scrubbed past), counted cancelled. No-op
+    /// when warming is disabled.
+    fn schedule_warm(&self, iso: f32, backend: Backend) {
+        let Some(q) = &self.warm else { return };
+        let mut jobs = q.jobs.lock().expect("warm queue lock");
+        for neighbor in [iso - q.delta, iso + q.delta] {
+            if !neighbor.is_finite() {
+                continue;
+            }
+            let key = (neighbor.to_bits(), backend.id());
+            if jobs.contains(&key) {
+                continue;
+            }
+            if jobs.len() >= WARM_QUEUE_CAP {
+                jobs.pop_front();
+                self.c.spec_cancelled.inc();
+            }
+            jobs.push_back(key);
+        }
+        drop(jobs);
+        q.cv.notify_one();
+    }
+
+    /// Run one dequeued warm job: skip (counted cancelled) when the target
+    /// pyramid is already resident, and report `false` — job not consumed —
+    /// when no spare slot can be won right now. The caller decides whether
+    /// to defer or give up on contention; a real request wanting the
+    /// capacity always outranks warming.
+    pub(crate) fn warm_one(self: &Arc<Self>, iso_bits: u32, backend_id: u8) -> bool {
+        let iso = f32::from_bits(iso_bits);
+        let backend = Backend::from_id(backend_id).unwrap_or(self.default_backend);
+        if self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .peek(iso, backend.id(), 0)
+            .is_some()
+        {
+            self.c.spec_cancelled.inc();
+            return true;
+        }
+        let Some(slot) = self.try_warm_slot() else {
+            return false;
+        };
+        self.c.spec_started.inc();
+        let trace = Trace::detached();
+        match self.warm_extract(iso, backend, &trace) {
+            Ok(()) => self.c.spec_completed.inc(),
+            Err(e) => {
+                self.c.spec_cancelled.inc();
+                self.logger.warn(
+                    "serve",
+                    "warm_failed",
+                    "speculative extraction failed",
+                    &[("iso", iso.to_string()), ("error", e.to_string())],
+                );
+            }
+        }
+        drop(slot);
+        true
+    }
+
+    /// The speculative twin of [`State::extract_and_insert`]: extract the
+    /// full pyramid and insert every level **speculatively** (behind the
+    /// recency of real traffic, never evicting it). Deliberately feeds
+    /// neither the miss-cost EWMA nor `extract_latency_us` — those describe
+    /// what a *client-visible* miss costs — and never schedules further
+    /// warming (no speculative cascades).
+    fn warm_extract(&self, iso: f32, backend: Backend, trace: &Trace) -> io::Result<()> {
+        let opts = oociso_cluster::ExtractOptions {
+            lods: self.lods.clone(),
+            backend,
+            trace: trace.clone(),
+            ..Default::default()
+        };
+        let (chain, report) = self.db.extract_lods_opts(iso, &opts)?;
+        let active_metacells = report.total_active_metacells();
+        let mut cache = self.cache.lock().expect("cache lock");
+        for (i, level) in chain.into_levels().into_iter().enumerate() {
+            cache.insert_speculative(
+                iso,
+                backend.id(),
+                i as u16,
+                CachedSurface {
+                    mesh: level.mesh,
+                    active_metacells,
+                    world_error: level.cumulative_error.sqrt(),
+                },
+            );
+        }
+        Ok(())
+    }
+
     /// Feed the extraction-phase histograms from the span durations the
     /// pipeline just recorded into `trace` — one registry-lock resolve per
     /// phase, on the miss path only (misses cost milliseconds-to-seconds;
@@ -528,24 +796,30 @@ impl<S: ScalarValue> State<S> {
         self.record_phases(trace);
         self.note_miss_cost(wall);
         let active_metacells = report.total_active_metacells();
-        let mut cache = self.cache.lock().expect("cache lock");
-        Ok(chain
-            .into_levels()
-            .into_iter()
-            .enumerate()
-            .map(|(i, level)| {
-                cache.insert(
-                    iso,
-                    backend.id(),
-                    i as u16,
-                    CachedSurface {
-                        mesh: level.mesh,
-                        active_metacells,
-                        world_error: level.cumulative_error.sqrt(),
-                    },
-                )
-            })
-            .collect())
+        let levels = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            chain
+                .into_levels()
+                .into_iter()
+                .enumerate()
+                .map(|(i, level)| {
+                    cache.insert(
+                        iso,
+                        backend.id(),
+                        i as u16,
+                        CachedSurface {
+                            mesh: level.mesh,
+                            active_metacells,
+                            world_error: level.cumulative_error.sqrt(),
+                        },
+                    )
+                })
+                .collect()
+        };
+        // a real miss at `iso` is the scrub signal: warm its neighbors
+        // (outside the cache lock; a no-op when warming is off)
+        self.schedule_warm(iso, backend);
+        Ok(levels)
     }
 
     /// Re-decimate the pyramid from an already-resident full-resolution
@@ -564,7 +838,6 @@ impl<S: ScalarValue> State<S> {
     ) -> Vec<Arc<CachedSurface>> {
         let mut sp = trace.span("rebuild");
         sp.field("levels", self.lods.ratios.len() as u64);
-        let t0 = Instant::now();
         let base_vertices = full.mesh.num_vertices();
         let mut coarse: Vec<(oociso_march::IndexedMesh, f64)> = Vec::new();
         let mut cumulative = 0.0;
@@ -580,8 +853,12 @@ impl<S: ScalarValue> State<S> {
             cumulative += stats.max_error;
             coarse.push((mesh, cumulative));
         }
+        // NOT a `note_miss_cost` sample: a re-decimation costs a fraction
+        // of a disk-backed extraction, and during degraded storms rebuilds
+        // dominate the miss stream — sampling them would drag the
+        // `ERR_BUSY` retry hint far below honest extraction cost and
+        // invite retry stampedes.
         self.rebuild_latency_us.record_duration(sp.finish());
-        self.note_miss_cost(t0.elapsed());
         let mut cache = self.cache.lock().expect("cache lock");
         cache.touch(iso, backend.id(), 0);
         let mut levels = vec![full.clone()];
@@ -710,6 +987,70 @@ impl<S: ScalarValue> State<S> {
         }
     }
 
+    /// The admission half of a v6 progressive serve. Accounted as exactly
+    /// one lookup against the requested `lod` — a hit only when *every*
+    /// level from the coarsest down to `lod` is resident (all of them are
+    /// streamed, so all must be in hand; the coarser levels are touched so
+    /// a scrub-heavy workload keeps its pyramids hot). Anything less is a
+    /// miss: the resident coarse prefix streams immediately and the rest
+    /// needs a slot, degrades to prefix-only, or is shed — same ladder as
+    /// [`State::admit_mesh`].
+    pub(crate) fn admit_progressive(
+        self: &Arc<Self>,
+        iso: f32,
+        backend: Backend,
+        lod: u16,
+        root: &Span,
+    ) -> ProgressiveAdmit<S> {
+        let want = self.levels();
+        let t = Instant::now();
+        let (resident, full_hit) = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            let mut out = Vec::new();
+            for level in (lod..want).rev() {
+                match cache.peek(iso, backend.id(), level) {
+                    Some(s) => out.push(s),
+                    None => break,
+                }
+            }
+            let full = out.len() == (want - lod) as usize;
+            if full {
+                // the accounted lookup (also promotes a speculatively
+                // warmed entry, counting `speculative_hits`)
+                let _ = cache.get(iso, backend.id(), lod);
+                for level in lod + 1..want {
+                    cache.touch(iso, backend.id(), level);
+                }
+            } else {
+                cache.account(backend.id(), lod, false);
+            }
+            (out, full)
+        };
+        root.annotate(
+            "cache",
+            t.elapsed(),
+            &[("hit", full_hit as u64), ("lod", lod as u64)],
+        );
+        if full_hit {
+            return ProgressiveAdmit::Ready { levels: resident };
+        }
+        match self.try_slot() {
+            Some(slot) => ProgressiveAdmit::Extract { resident, slot },
+            None => {
+                if self.degrade && !resident.is_empty() {
+                    self.c.degraded.inc();
+                    let served = want - resident.len() as u16;
+                    root.annotate("degrade", Duration::ZERO, &[("served_lod", served as u64)]);
+                    return ProgressiveAdmit::Degraded { resident };
+                }
+                self.c.shed.inc();
+                ProgressiveAdmit::Busy {
+                    retry_after_ms: self.retry_hint_ms(),
+                }
+            }
+        }
+    }
+
     /// Every pyramid level at `iso` for the frame path, under admission
     /// control. The request is accounted as exactly one lookup against
     /// level 0 (what a v1 frame request cost): a hit only when the *whole*
@@ -818,6 +1159,9 @@ pub struct IsoServer {
     addr: SocketAddr,
     ctl: Arc<Control>,
     accept_loop: Option<JoinHandle<()>>,
+    /// The speculative-warming thread, when warming is enabled (exits on
+    /// drain/shutdown; joined so its extraction finishes before teardown).
+    warmer: Option<JoinHandle<()>>,
     report: Arc<dyn Fn() -> ServerReport + Send + Sync>,
     metrics: Arc<dyn Fn() -> String + Send + Sync>,
     logger: Logger,
@@ -857,49 +1201,32 @@ impl IsoServer {
             }
             prev = r;
         }
+        if let Some(delta) = opts.warm_delta {
+            if !delta.is_finite() || delta <= 0.0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("warm delta must be finite and positive (got {delta})"),
+                ));
+            }
+        }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // polling accept loop: nonblocking listener + short sleep lets
         // `stop()` take effect without a wake-up connection
         listener.set_nonblocking(true)?;
-        let ctl = Arc::new(Control {
-            shutdown: AtomicBool::new(false),
-            draining: AtomicBool::new(false),
-            live: AtomicU64::new(0),
-            wakers: Mutex::new(Vec::new()),
-        });
-        let metrics = Registry::new();
-        let c = Counters::resolve(&metrics);
-        let request_latency_us = metrics.histogram("request_latency_us");
-        let extract_latency_us = metrics.histogram("extract_latency_us");
-        let rebuild_latency_us = metrics.histogram("rebuild_latency_us");
-        let state = Arc::new(State {
-            db,
-            lods: LodSpec {
-                ratios: opts.lod_ratios.clone(),
-            },
-            lod_tolerance_px: opts.lod_tolerance_px,
-            cache: Mutex::new(ResultCache::new(opts.cache_bytes)),
-            ctl: ctl.clone(),
-            extraction_slots: opts.extraction_slots,
-            max_connections: opts.max_connections,
-            degrade: opts.degrade,
-            default_backend: opts.backend,
-            read_timeout: opts.read_timeout,
-            write_timeout: opts.write_timeout,
-            idle_timeout: opts.idle_timeout,
-            metrics,
-            c,
-            request_latency_us,
-            extract_latency_us,
-            rebuild_latency_us,
-            logger: opts.logger.clone(),
-            recent: TraceJournal::new(opts.trace_buffer.max(1)),
-            slow: TraceJournal::new(32),
-            slow_ms: opts.slow_ms,
-            inflight_miss: AtomicU64::new(0),
-            miss_cost_ms: AtomicU64::new(0),
-        });
+        let state = State::new(db, &opts);
+        let ctl = state.ctl.clone();
+        let warmer = match state.warm.is_some() {
+            true => Some(
+                std::thread::Builder::new()
+                    .name("oociso-warm".to_string())
+                    .spawn({
+                        let state = state.clone();
+                        move || warmer_loop(state)
+                    })?,
+            ),
+            false => None,
+        };
         let report_state = state.clone();
         let metrics_state = state.clone();
         let logger = opts.logger.clone();
@@ -927,6 +1254,7 @@ impl IsoServer {
             addr,
             ctl,
             accept_loop: Some(accept_loop),
+            warmer,
             report: Arc::new(move || report_state.report()),
             metrics: Arc::new(move || metrics_state.metrics_text()),
             logger,
@@ -981,6 +1309,9 @@ impl IsoServer {
         if let Some(h) = self.accept_loop.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.warmer.take() {
+            let _ = h.join();
+        }
         (self.report)()
     }
 
@@ -1018,6 +1349,53 @@ pub(crate) fn note_fd_exhaustion(
             "accept failed; backing off until fds free up",
             &[("error", e.to_string())],
         );
+    }
+}
+
+/// The speculative-warming thread: park on the warm queue, drain it one
+/// job at a time, exit on drain/shutdown. Single-threaded by design — warm
+/// work is strictly lower priority than everything else, so one spare-slot
+/// consumer is the whole budget (the timed wait is only a backstop; the
+/// queue's condvar is rung on push and registered as a [`Control`] waker).
+fn warmer_loop<S: ScalarValue>(state: Arc<State<S>>) {
+    let q = state.warm.clone().expect("warmer spawned without a queue");
+    loop {
+        let job = {
+            let mut jobs = q.jobs.lock().expect("warm queue lock");
+            loop {
+                if state.ctl.shutdown.load(Ordering::SeqCst)
+                    || state.ctl.draining.load(Ordering::SeqCst)
+                {
+                    return;
+                }
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                let (guard, _) =
+                    q.cv.wait_timeout(jobs, Duration::from_millis(100))
+                        .expect("warm queue lock");
+                jobs = guard;
+            }
+        };
+        // A spare slot is often *transiently* unavailable — most commonly
+        // because the very miss that scheduled this job still holds its
+        // admission slot while its reply drains. Defer briefly instead of
+        // cancelling on first contact; only sustained contention (real
+        // traffic genuinely wanting the capacity) cancels the job.
+        let mut deferrals = 0u32;
+        while !state.warm_one(job.0, job.1) {
+            deferrals += 1;
+            if deferrals >= WARM_DEFER_ATTEMPTS {
+                state.c.spec_cancelled.inc();
+                break;
+            }
+            if state.ctl.shutdown.load(Ordering::SeqCst)
+                || state.ctl.draining.load(Ordering::SeqCst)
+            {
+                return;
+            }
+            std::thread::sleep(WARM_DEFER_INTERVAL);
+        }
     }
 }
 
@@ -1188,7 +1566,9 @@ fn is_timeout(e: &io::Error) -> bool {
 /// The wire trace id a request carries, if its type can carry one.
 pub(crate) fn request_trace_id(msg: &Message) -> u64 {
     match msg {
-        Message::MeshRequest { trace_id, .. } | Message::FrameRequest { trace_id, .. } => *trace_id,
+        Message::MeshRequest { trace_id, .. }
+        | Message::FrameRequest { trace_id, .. }
+        | Message::ProgressiveRequest { trace_id, .. } => *trace_id,
         _ => 0,
     }
 }
@@ -1355,15 +1735,40 @@ fn handle_connection<S: ScalarValue>(
                 let mut root = trace.span("request");
                 root.field("msg_type", msg.msg_type() as u64);
                 root.field("version", version as u64);
-                let reply = respond(state, msg, version, &trace, &root);
-                let t_enc = Instant::now();
-                let frame_bytes = reply.finalize(state, version);
-                root.annotate(
-                    "encode",
-                    t_enc.elapsed(),
-                    &[("bytes", frame_bytes.len() as u64)],
-                );
-                let sent = send_reply(&mut stream, state, &frame_bytes)?;
+                // progressive requests write several reply frames, so they
+                // bypass the single-`Reply` funnel; everything else is
+                // unchanged
+                let sent = if let Message::ProgressiveRequest {
+                    iso,
+                    lod,
+                    backend,
+                    trace_id: wire_id,
+                } = msg
+                {
+                    serve_progressive(
+                        &mut stream,
+                        state,
+                        ProgressiveParams {
+                            iso,
+                            lod,
+                            backend,
+                            trace_id: wire_id,
+                            version,
+                        },
+                        &trace,
+                        &root,
+                    )?
+                } else {
+                    let reply = respond(state, msg, version, &trace, &root);
+                    let t_enc = Instant::now();
+                    let frame_bytes = reply.finalize(state, version);
+                    root.annotate(
+                        "encode",
+                        t_enc.elapsed(),
+                        &[("bytes", frame_bytes.len() as u64)],
+                    );
+                    send_reply(&mut stream, state, &frame_bytes)?
+                };
                 let total = root.finish();
                 state.request_latency_us.record_duration(total);
                 if trace_id != 0 {
@@ -1580,6 +1985,154 @@ pub(crate) fn frame_render_reply<S: ScalarValue>(
     })
 }
 
+/// The wire parameters of one v6 progressive request, plus the dialect it
+/// arrived in.
+pub(crate) struct ProgressiveParams {
+    pub(crate) iso: f32,
+    pub(crate) lod: u16,
+    pub(crate) backend: Option<u8>,
+    pub(crate) trace_id: u64,
+    pub(crate) version: u16,
+}
+
+/// Encode one run of progressive chunk frames for `surfaces` (in stream
+/// order: the first chunk is pyramid level `top_level`, counting down one
+/// per chunk). `prev` is the previously sent surface for delta continuity
+/// into the run; within the run each chunk deltas against its predecessor.
+/// `final_run` marks the run's last chunk `last` on the wire. Shared by
+/// both serving cores so chunk framing cannot diverge between them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn encode_chunk_run(
+    surfaces: &[Arc<CachedSurface>],
+    top_level: u16,
+    cache_hit: bool,
+    backend: Backend,
+    trace_id: u64,
+    version: u16,
+    prev: Option<&Arc<CachedSurface>>,
+    final_run: bool,
+) -> Vec<Vec<u8>> {
+    let mut frames = Vec::with_capacity(surfaces.len());
+    for (i, s) in surfaces.iter().enumerate() {
+        let level = top_level - i as u16;
+        let last = final_run && i + 1 == surfaces.len();
+        let prev_mesh = match i {
+            0 => prev.map(|p| &p.mesh),
+            _ => Some(&surfaces[i - 1].mesh),
+        };
+        frames.push(encode_mesh_chunk_frame(
+            last,
+            level,
+            cache_hit,
+            backend.id(),
+            s.active_metacells,
+            trace_id,
+            prev_mesh,
+            &s.mesh,
+            version,
+        ));
+    }
+    frames
+}
+
+/// Serve one v6 progressive request on the threaded core: admit, then write
+/// chunk frames directly (coarsest first), running an admitted extraction
+/// inline between the resident prefix and the fresh levels. An extraction
+/// failure after chunks have gone out surfaces as a trailing `ERR_INTERNAL`
+/// frame — the client discards the partial refinement cleanly.
+fn serve_progressive<S: ScalarValue>(
+    stream: &mut TcpStream,
+    state: &Arc<State<S>>,
+    p: ProgressiveParams,
+    trace: &Trace,
+    root: &Span,
+) -> io::Result<Sent> {
+    state.c.mesh_requests.inc();
+    let send_msg =
+        |stream: &mut TcpStream, state: &Arc<State<S>>, reply: Reply| -> io::Result<Sent> {
+            let bytes = reply.finalize(state, p.version);
+            send_reply(stream, state, &bytes)
+        };
+    if p.version < MIN_PROGRESSIVE_VERSION {
+        // the decoder accepts the payload at any version; the *request* is
+        // still a v6 feature — a pre-v6 frame smuggling one in is malformed
+        return send_msg(
+            stream,
+            state,
+            Reply::Msg(Message::Error {
+                code: ERR_MALFORMED,
+                detail: format!(
+                    "progressive requests need protocol v{MIN_PROGRESSIVE_VERSION} (frame spoke v{})",
+                    p.version
+                ),
+                retry_after_ms: None,
+            }),
+        );
+    }
+    let backend = match validate_mesh_request(state, p.lod, p.backend) {
+        Ok(b) => b,
+        Err(reply) => return send_msg(stream, state, reply),
+    };
+    let top = state.levels() - 1;
+    match state.admit_progressive(p.iso, backend, p.lod, root) {
+        ProgressiveAdmit::Busy { retry_after_ms } => send_msg(
+            stream,
+            state,
+            Reply::Msg(busy_reply("extraction slots exhausted", retry_after_ms)),
+        ),
+        ProgressiveAdmit::Ready { levels } | ProgressiveAdmit::Degraded { resident: levels } => {
+            for frame in encode_chunk_run(
+                &levels, top, true, backend, p.trace_id, p.version, None, true,
+            ) {
+                if matches!(send_reply(stream, state, &frame)?, Sent::PeerGone) {
+                    return Ok(Sent::PeerGone);
+                }
+            }
+            Ok(Sent::Ok)
+        }
+        ProgressiveAdmit::Extract { resident, slot } => {
+            // the cached coarse prefix streams before the extraction runs —
+            // the whole point of progressive delivery
+            for frame in encode_chunk_run(
+                &resident, top, true, backend, p.trace_id, p.version, None, false,
+            ) {
+                if matches!(send_reply(stream, state, &frame)?, Sent::PeerGone) {
+                    return Ok(Sent::PeerGone);
+                }
+            }
+            let next = top - resident.len() as u16;
+            match state.pyramid_for(p.iso, backend, trace) {
+                Err(e) => send_msg(stream, state, internal_error_reply(&e)),
+                Ok(levels) => {
+                    drop(slot);
+                    // `levels` is indexed by lod (0 = full); stream `next`
+                    // down to the requested lod, delta-continuing from the
+                    // last resident chunk
+                    let run: Vec<Arc<CachedSurface>> = (p.lod..=next)
+                        .rev()
+                        .map(|l| levels[l as usize].clone())
+                        .collect();
+                    for frame in encode_chunk_run(
+                        &run,
+                        next,
+                        false,
+                        backend,
+                        p.trace_id,
+                        p.version,
+                        resident.last(),
+                        true,
+                    ) {
+                        if matches!(send_reply(stream, state, &frame)?, Sent::PeerGone) {
+                            return Ok(Sent::PeerGone);
+                        }
+                    }
+                    Ok(Sent::Ok)
+                }
+            }
+        }
+    }
+}
+
 /// Compute the response for one well-formed request spoken at `version`.
 /// Extraction spans land in `trace`; request-level annotations hang off
 /// `root`. The client's trace id (0 when untraced) is echoed on mesh and
@@ -1654,8 +2207,185 @@ pub(crate) fn respond<S: ScalarValue>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oociso_core::PreprocessOptions;
     use oociso_obs::{CaptureSink, Level};
+    use oociso_volume::field::{FieldExt, SphereField};
+    use oociso_volume::{Dims3, Volume};
     use std::sync::Arc;
+
+    /// A [`State`] over a real (tiny) single-node database in a fresh temp
+    /// directory — lets unit tests drive extraction, rebuild, and warming
+    /// directly, without a socket in the way.
+    fn test_state(name: &str, opts: ServeOptions) -> Arc<State<u8>> {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("oociso_server_unit_{}_{name}", std::process::id()));
+        let vol: Volume<u8> = SphereField::centered(0.32, 128.0).sample(Dims3::cube(17));
+        let db = ClusterDatabase::preprocess(
+            &vol,
+            &dir,
+            &PreprocessOptions {
+                nodes: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        State::new(db, &opts)
+    }
+
+    // the satellite-1 contract: pyramid re-decimations record their own
+    // histogram but never sample the miss-cost EWMA — a degraded storm of
+    // cheap rebuilds must not drag the ERR_BUSY retry hint below honest
+    // extraction cost
+    #[test]
+    fn rebuilds_do_not_feed_the_retry_hint() {
+        let state = test_state(
+            "rebuild_hint",
+            ServeOptions {
+                lod_ratios: vec![0.5],
+                ..Default::default()
+            },
+        );
+        let trace = Trace::detached();
+        let levels = state
+            .extract_and_insert(110.0, Backend::Mc, &trace)
+            .unwrap();
+        assert!(
+            state.miss_cost_ms.load(Ordering::Relaxed) > 0,
+            "a real miss must sample the EWMA"
+        );
+        // pin the EWMA at a sentinel, run a rebuild, assert it is untouched
+        state.miss_cost_ms.store(5000, Ordering::Relaxed);
+        let rebuilt = state.rebuild_from_full(110.0, Backend::Mc, levels[0].clone(), &trace);
+        assert_eq!(rebuilt.len(), 2);
+        assert_eq!(
+            state.miss_cost_ms.load(Ordering::Relaxed),
+            5000,
+            "rebuilds must not sample the miss-cost EWMA"
+        );
+        assert_eq!(
+            state.rebuild_latency_us.snapshot().count,
+            1,
+            "rebuild wall time still lands in its own histogram"
+        );
+    }
+
+    // the satellite-3 contract: an extraction whose result is too big to
+    // cache (pass-through) still feeds the miss-cost EWMA and the
+    // extract-latency histogram — the costliest extractions are exactly the
+    // ones the retry hint must see
+    #[test]
+    fn oversized_pass_through_extractions_still_feed_the_hint() {
+        let state = test_state(
+            "oversized_hint",
+            ServeOptions {
+                cache_bytes: 1,
+                ..Default::default()
+            },
+        );
+        let trace = Trace::detached();
+        let levels = state
+            .extract_and_insert(110.0, Backend::Mc, &trace)
+            .unwrap();
+        assert!(!levels[0].mesh.is_empty(), "the sphere must triangulate");
+        let cache = state.cache.lock().unwrap().stats();
+        assert_eq!(
+            cache.resident_entries, 0,
+            "1-byte budget: every entry passed through uncached"
+        );
+        assert!(
+            state.miss_cost_ms.load(Ordering::Relaxed) > 0,
+            "pass-through extraction must sample the EWMA"
+        );
+        assert_eq!(
+            state.extract_latency_us.snapshot().count,
+            1,
+            "pass-through extraction must sample extract_latency_us"
+        );
+    }
+
+    // warm admission: a warm job may take a spare slot but never the last
+    // one, so a single-slot server simply never warms
+    #[test]
+    fn warm_slot_never_takes_the_last_one() {
+        let state = test_state(
+            "warm_slot",
+            ServeOptions {
+                extraction_slots: Some(2),
+                ..Default::default()
+            },
+        );
+        let spare = state.try_warm_slot().expect("one spare slot available");
+        assert!(
+            state.try_warm_slot().is_none(),
+            "the last slot is reserved for real traffic"
+        );
+        let real = state.try_slot().expect("a real request wins the last slot");
+        drop(real);
+        drop(spare);
+
+        let single = test_state(
+            "warm_slot_single",
+            ServeOptions {
+                extraction_slots: Some(1),
+                ..Default::default()
+            },
+        );
+        assert!(single.try_warm_slot().is_none(), "one slot: never warm");
+        assert!(single.try_slot().is_some(), "…but real traffic is served");
+    }
+
+    // the warming pipeline end to end at the State level: a real miss
+    // enqueues its scrub neighbors, running a job warms the neighbor's
+    // pyramid speculatively, a later real query promotes it (counting
+    // speculative_hits), and none of it samples client-visible miss
+    // economics
+    #[test]
+    fn warm_jobs_fill_the_cache_behind_real_traffic() {
+        let state = test_state(
+            "warm_pipeline",
+            ServeOptions {
+                warm_delta: Some(4.0),
+                lod_ratios: vec![0.5],
+                ..Default::default()
+            },
+        );
+        let trace = Trace::detached();
+        state
+            .extract_and_insert(110.0, Backend::Mc, &trace)
+            .unwrap();
+        let queued: Vec<(u32, u8)> = {
+            let q = state.warm.as_ref().unwrap();
+            q.jobs.lock().unwrap().iter().copied().collect()
+        };
+        assert_eq!(
+            queued,
+            vec![
+                (106.0f32.to_bits(), Backend::Mc.id()),
+                (114.0f32.to_bits(), Backend::Mc.id()),
+            ],
+            "a miss at v enqueues v-δ and v+δ"
+        );
+        // run one job by hand (no warmer thread in State-only tests), with
+        // the EWMA pinned to prove warming never samples it
+        state.miss_cost_ms.store(5000, Ordering::Relaxed);
+        state.warm_one(114.0f32.to_bits(), Backend::Mc.id());
+        assert_eq!(state.c.spec_started.get(), 1);
+        assert_eq!(state.c.spec_completed.get(), 1);
+        assert_eq!(state.miss_cost_ms.load(Ordering::Relaxed), 5000);
+        assert_eq!(
+            state.extract_latency_us.snapshot().count,
+            1,
+            "only the real miss samples extract_latency_us"
+        );
+        // the warmed pyramid is resident; the first real query promotes it
+        let hit = state.cache.lock().unwrap().get(114.0, Backend::Mc.id(), 0);
+        assert!(hit.is_some(), "warmed level must be resident");
+        assert_eq!(state.cache.lock().unwrap().stats().speculative_hits, 1);
+        // re-warming a resident isovalue is skipped, counted cancelled
+        state.warm_one(114.0f32.to_bits(), Backend::Mc.id());
+        assert_eq!(state.c.spec_cancelled.get(), 1);
+        assert_eq!(state.c.spec_started.get(), 1, "a skip never starts");
+    }
 
     // the chaos contract for fd starvation: the backoff counter ticks on
     // every failed accept, the structured warning fires exactly once per

@@ -7,12 +7,13 @@ use oociso_cluster::{ExtractOptions, LodSpec};
 use oociso_core::{ClusterDatabase, PreprocessOptions};
 use oociso_march::{Backend, IndexedMesh};
 use oociso_serve::protocol::{
-    encode_payload, encode_payload_at, ERR_BAD_CHECKSUM, ERR_MALFORMED, ERR_UNSUPPORTED_VERSION,
-    MSG_MESH_REQUEST, MSG_MESH_RESPONSE, MSG_STATS_REQUEST,
+    encode_payload, encode_payload_at, read_frame, write_frame, FrameIn, ERR_BAD_CHECKSUM,
+    ERR_MALFORMED, ERR_UNSUPPORTED_VERSION, HEADER_BYTES, MSG_MESH_REQUEST, MSG_MESH_RESPONSE,
+    MSG_PROGRESSIVE_REQUEST, MSG_STATS_REQUEST,
 };
 use oociso_serve::{
-    render_trace_events, Client, FrameParams, IsoServer, Message, Region, ServeOptions,
-    ERR_BAD_BACKEND, ERR_BAD_LOD,
+    read_progressive_reply, render_trace_events, ChaosStream, Client, ConnFault, FrameParams,
+    IsoServer, Message, Region, ServeOptions, ERR_BAD_BACKEND, ERR_BAD_LOD, MAGIC,
 };
 use oociso_volume::field::{FieldExt, SphereField};
 use oociso_volume::{Dims3, Volume};
@@ -947,6 +948,146 @@ fn pre_v5_dialects_are_served_untraced() {
     // ...and a v5 traced request on the same connection still works
     let traced = client.query_mesh_traced(iso, None, 0, None, 5).unwrap();
     assert_eq!(traced.trace_id, 5);
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Read one complete raw reply frame (header + payload + checksum) off a
+/// progressive delivery's socket.
+fn read_raw_frame(stream: &mut std::net::TcpStream) -> Vec<u8> {
+    use std::io::Read;
+    let mut frame = vec![0u8; HEADER_BYTES];
+    stream.read_exact(&mut frame).unwrap();
+    let len = u64::from_le_bytes(frame[8..16].try_into().unwrap()) as usize;
+    let mut body = vec![0u8; len + 4];
+    stream.read_exact(&mut body).unwrap();
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Satellite: chunked-response reassembly under a torn stream. The raw
+/// bytes of one complete progressive delivery are captured, then replayed
+/// truncated at every chunk boundary (±1 byte) and a sweep of mid-frame
+/// offsets: reassembly must either complete or fail cleanly — a refinement
+/// the callback observed is always a whole, bit-correct level, never a
+/// half-applied one.
+#[test]
+fn progressive_reassembly_survives_truncation_at_every_boundary() {
+    let (dir, server, direct) = lod_fixture("prog_torn");
+    let iso = 120.0f32;
+
+    // capture one complete delivery, recording where each chunk ends
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    write_frame(
+        &mut stream,
+        &Message::ProgressiveRequest {
+            iso,
+            lod: 0,
+            backend: None,
+            trace_id: 0,
+        },
+    )
+    .unwrap();
+    let mut raw: Vec<u8> = Vec::new();
+    let mut boundaries: Vec<usize> = Vec::new();
+    loop {
+        let frame = read_raw_frame(&mut stream);
+        raw.extend_from_slice(&frame);
+        boundaries.push(raw.len());
+        match read_frame(&mut &frame[..]).unwrap() {
+            Some(FrameIn::Ok {
+                msg: Message::MeshChunk { last, .. },
+                ..
+            }) => {
+                if last {
+                    break;
+                }
+            }
+            other => panic!("expected a chunk frame, got {other:?}"),
+        }
+    }
+    server.stop();
+
+    // the intact capture reassembles to the direct extraction
+    let mut expected: Vec<(u16, IndexedMesh)> = Vec::new();
+    let full = read_progressive_reply(&mut std::io::Cursor::new(&raw[..]), 0, |u| {
+        expected.push((u.level, u.mesh.clone()))
+    })
+    .unwrap();
+    assert_eq!(
+        expected.iter().map(|e| e.0).collect::<Vec<_>>(),
+        vec![2, 1, 0]
+    );
+    assert_same_mesh(&full.mesh, &direct.extract(iso).unwrap().mesh, "intact");
+
+    // every chunk boundary (and its neighbors), plus a mid-frame sweep
+    let mut cuts: Vec<usize> = boundaries
+        .iter()
+        .flat_map(|&b| [b.saturating_sub(1), b, b + 1])
+        .collect();
+    cuts.extend((0..raw.len()).step_by(611));
+    cuts.sort_unstable();
+    cuts.dedup();
+    for cut in cuts.into_iter().filter(|&c| c < raw.len()) {
+        let mut seen: Vec<(u16, IndexedMesh)> = Vec::new();
+        let mut torn = ChaosStream::new(
+            std::io::Cursor::new(&raw[..]),
+            ConnFault::TruncateResponse {
+                after_bytes: cut as u64,
+            },
+        );
+        let res = read_progressive_reply(&mut torn, 0, |u| seen.push((u.level, u.mesh.clone())));
+        assert!(
+            res.is_err(),
+            "cut at {cut}/{} bytes must surface an error",
+            raw.len()
+        );
+        // whatever arrived before the tear is a clean prefix of the true
+        // refinement sequence — complete levels only, bit-exact
+        assert!(
+            seen.len() < expected.len(),
+            "cut {cut}: delivery cannot finish"
+        );
+        for ((lvl, mesh), (want_lvl, want_mesh)) in seen.iter().zip(&expected) {
+            assert_eq!(lvl, want_lvl, "cut {cut}: refinement order");
+            assert_same_mesh(mesh, want_mesh, &format!("cut {cut} level {lvl}"));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A pre-v6 frame smuggling the v6 progressive message type draws a
+/// structured `ERR_MALFORMED` — and the connection survives to serve a
+/// well-formed v6 delivery right after.
+#[test]
+fn pre_v6_frames_cannot_carry_progressive_requests() {
+    let (dir, server, _direct) = lod_fixture("prog_v5gate");
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // hand-rolled ProgressiveRequest payload inside a v5 frame
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&120.0f32.to_le_bytes());
+    payload.extend_from_slice(&0u16.to_le_bytes());
+    payload.push(0xFF); // BACKEND_DEFAULT
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    match client
+        .roundtrip_raw(MAGIC, 5, MSG_PROGRESSIVE_REQUEST, &payload, false)
+        .unwrap()
+    {
+        Some(Message::Error { code, detail, .. }) => {
+            assert_eq!(code, ERR_MALFORMED, "{detail}");
+            assert!(detail.contains("v6"), "{detail}");
+        }
+        other => panic!("expected a structured error, got {other:?}"),
+    }
+
+    let mut levels = Vec::new();
+    let reply = client
+        .query_mesh_progressive(120.0, 0, None, |u| levels.push(u.level))
+        .unwrap();
+    assert_eq!(levels, vec![2, 1, 0]);
+    assert!(!reply.degraded);
 
     server.stop();
     std::fs::remove_dir_all(&dir).ok();

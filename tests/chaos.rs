@@ -680,3 +680,156 @@ fn slowloris_peer_is_disconnected_and_server_keeps_serving() {
 fn slowloris_peer_is_disconnected_and_server_keeps_serving_reactor() {
     slowloris_scenario(Core::Reactor);
 }
+
+/// Exact-token lookup in a Prometheus text exposition: `name value` lines
+/// only, so `speculative_hits_total` never matches a longer sibling.
+fn metric_value(exposition: &str, name: &str) -> u64 {
+    exposition
+        .lines()
+        .find_map(|line| {
+            let mut it = line.split_whitespace();
+            (it.next() == Some(name)).then(|| it.next().unwrap().parse().unwrap())
+        })
+        .unwrap_or_else(|| panic!("metric {name} missing from exposition"))
+}
+
+/// Speculative warming pays for an isovalue scrub: one real miss at `v`
+/// warms `v ± δ` on idle slots, so the next scrub stops are cache hits —
+/// bit-identical to direct extraction — and the warming added zero sheds
+/// and zero degraded serves.
+fn warmed_scrub_scenario(core: Core) {
+    let (dir, served, direct) = build_db(&format!("chaos_warmscrub_{}", core.suffix()));
+    let server = IsoServer::bind(
+        served,
+        ("127.0.0.1", 0),
+        core.options(ServeOptions {
+            warm_delta: Some(10.0),
+            extraction_slots: Some(2),
+            ..Default::default()
+        }),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // the scrub's first stop: a real miss, which schedules 100.0 and 120.0
+    let first = client.query_mesh(110.0, None).unwrap();
+    assert!(!first.cache_hit);
+    assert_same_mesh(
+        &first.mesh,
+        &direct.extract(110.0).unwrap().mesh,
+        "first stop",
+    );
+
+    // wait for both warm jobs to land (idle slots, so this is quick)
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let m = client.metrics().unwrap();
+        if metric_value(&m, "speculative_completed_total") >= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "warm jobs for 110±10 never completed:\n{m}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // the neighboring stops are served from the warmed cache, bit-correct
+    for iso in [100.0f32, 120.0] {
+        let reply = client.query_mesh(iso, None).unwrap();
+        assert!(reply.cache_hit, "warmed {iso} must be resident");
+        assert!(!reply.degraded);
+        assert_same_mesh(
+            &reply.mesh,
+            &direct.extract(iso).unwrap().mesh,
+            &format!("warmed {iso}"),
+        );
+    }
+    let m = client.metrics().unwrap();
+    assert!(
+        metric_value(&m, "speculative_hits_total") >= 2,
+        "both neighbors were speculative entries:\n{m}"
+    );
+    assert!(metric_value(&m, "speculative_started_total") >= 2);
+
+    let report = server.stop();
+    assert_eq!(report.shed, 0, "warming must not cost real traffic a slot");
+    assert_eq!(report.degraded, 0);
+    assert_eq!(report.errors, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warmed_scrub_hits_speculative_entries_without_shedding() {
+    warmed_scrub_scenario(Core::Threaded);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn warmed_scrub_hits_speculative_entries_without_shedding_reactor() {
+    warmed_scrub_scenario(Core::Reactor);
+}
+
+/// Regression: a busy reply hinting `retry_after_ms: 0` (or carrying no
+/// hint at all) must not turn the retry loop into a hot spin — the client
+/// clamps the delay to a 25 ms floor. Scripted schedule: busy with a zero
+/// hint, busy with no hint, then serve.
+#[test]
+fn zero_and_absent_busy_hints_are_floored_not_hot_looped() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let script = [Some(0u32), None];
+        let mut replies = 0usize;
+        while let Ok(Some(frame)) = read_frame_limited(&mut stream, MAX_REQUEST_PAYLOAD) {
+            let FrameIn::Ok { version, .. } = frame else {
+                panic!("client sent a malformed frame")
+            };
+            let msg = match script.get(replies) {
+                Some(&hint) => Message::Error {
+                    code: protocol::ERR_BUSY,
+                    detail: "scripted busy".into(),
+                    retry_after_ms: hint,
+                },
+                None => Message::MeshResponse {
+                    cache_hit: true,
+                    active_metacells: 7,
+                    served_lod: 0,
+                    degraded: false,
+                    backend: 0,
+                    trace_id: 0,
+                    mesh: IndexedMesh::new(),
+                },
+            };
+            use std::io::Write;
+            stream.write_all(&encode_frame_at(version, &msg)).unwrap();
+            replies += 1;
+            if replies > script.len() {
+                break;
+            }
+        }
+        replies
+    });
+
+    // zero base backoff: before the floor fix, both waits rounded to ~0 ms
+    let mut client = Client::connect_with(
+        addr,
+        ClientOptions {
+            retries: 3,
+            backoff: Duration::ZERO,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let t0 = Instant::now();
+    let reply = client.query_mesh(42.0, None).unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(reply.active_metacells, 7);
+    assert_eq!(handle.join().unwrap(), 3, "busy, busy, served");
+    // each floored wait is jittered into [12.5, 25) ms; two of them
+    assert!(
+        elapsed >= Duration::from_millis(25),
+        "the floor must hold even with a 0 ms hint, got {elapsed:?}"
+    );
+}

@@ -68,6 +68,17 @@ impl Bencher {
             self.samples.push(t.elapsed());
         }
     }
+
+    /// Run a routine that does its own timing: called with an iteration
+    /// count, it returns the measured duration for that many iterations
+    /// (letting per-iteration setup and teardown stay off the clock). The
+    /// shim samples one iteration at a time.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        black_box(routine(1)); // warm-up
+        for _ in 0..self.sample_size {
+            self.samples.push(routine(1));
+        }
+    }
 }
 
 /// The harness entry point; one per `criterion_group!` run.
@@ -275,6 +286,23 @@ mod tests {
         });
         group.finish();
         assert!(runs >= 4); // warm-up + samples
+    }
+
+    #[test]
+    fn iter_custom_records_reported_durations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shimtest");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                assert_eq!(iters, 1);
+                calls += 1;
+                Duration::from_micros(5)
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 4); // warm-up + samples
     }
 
     #[test]
